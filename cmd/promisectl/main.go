@@ -1,0 +1,215 @@
+// Command promisectl is a command-line promise client for a promised
+// server: it requests, releases and modifies promises, and invokes service
+// actions under promise environments — the client box of Figure 2.
+//
+// Usage:
+//
+//	promisectl [-url http://localhost:8642] [-client cli] <command> [args]
+//
+// Commands:
+//
+//	request <predicate>...        request one promise over the predicates
+//	modify <old-id> <predicate>.. atomically swap old promise for a new one
+//	release <promise-id>          release a promise
+//	invoke <action> [k=v]...      run an action (optionally -env/-keep)
+//	buy <pool> <qty> <promise-id> purchase under a promise, releasing it
+//
+// Predicates:
+//
+//	qty:<pool>=<n>       anonymous view (quantity of pool >= n)
+//	inst:<id>            named view (instance available)
+//	prop:<expression>    property view (standard predicate syntax)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8642", "promise manager base URL")
+	client := flag.String("client", "cli", "promise client identity")
+	dur := flag.Duration("duration", time.Minute, "requested promise duration")
+	env := flag.String("env", "", "comma-separated promise ids protecting the action")
+	release := flag.Bool("release-env", false, "release environment promises with the action")
+	flag.Parse()
+
+	c := &transport.Client{BaseURL: *url, Client: *client}
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "request":
+		err = cmdRequest(c, *dur, nil, args[1:])
+	case "modify":
+		if len(args) < 3 {
+			usage()
+		}
+		err = cmdRequest(c, *dur, []string{args[1]}, args[2:])
+	case "release":
+		if len(args) != 2 {
+			usage()
+		}
+		err = c.Release(args[1])
+		if err == nil {
+			fmt.Printf("released %s\n", args[1])
+		}
+	case "invoke":
+		if len(args) < 2 {
+			usage()
+		}
+		err = cmdInvoke(c, *env, *release, args[1], args[2:])
+	case "buy":
+		if len(args) != 4 {
+			usage()
+		}
+		err = cmdBuy(c, args[1], args[2], args[3])
+	case "stats":
+		err = cmdGet(*url, "/stats")
+	case "audit":
+		err = cmdGet(*url, "/audit")
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promisectl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: promisectl [flags] <request|modify|release|invoke|buy|stats|audit> ...
+  request qty:pink-widgets=5 prop:'floor = 5'
+  modify prm-1 qty:acct-alice=200
+  release prm-1
+  invoke pool-level pool=pink-widgets
+  buy pink-widgets 5 prm-1
+  stats                       show the manager's activity counters
+  audit                       run a server-side consistency audit`)
+	os.Exit(2)
+}
+
+// cmdGet fetches a read-only operational endpoint.
+func cmdGet(base, path string) error {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s returned %s", path, resp.Status)
+	}
+	return nil
+}
+
+func parsePredicates(args []string) ([]core.Predicate, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("no predicates given")
+	}
+	var out []core.Predicate
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "qty:"):
+			body := strings.TrimPrefix(a, "qty:")
+			pool, qtyStr, ok := strings.Cut(body, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad quantity predicate %q (want qty:<pool>=<n>)", a)
+			}
+			qty, err := strconv.ParseInt(qtyStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad quantity in %q: %v", a, err)
+			}
+			out = append(out, core.Quantity(pool, qty))
+		case strings.HasPrefix(a, "inst:"):
+			out = append(out, core.Named(strings.TrimPrefix(a, "inst:")))
+		case strings.HasPrefix(a, "prop:"):
+			p, err := core.Property(strings.TrimPrefix(a, "prop:"))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		default:
+			return nil, fmt.Errorf("unknown predicate form %q (want qty:/inst:/prop:)", a)
+		}
+	}
+	return out, nil
+}
+
+func cmdRequest(c *transport.Client, d time.Duration, releases, predArgs []string) error {
+	preds, err := parsePredicates(predArgs)
+	if err != nil {
+		return err
+	}
+	res, err := c.Exchange([]core.PromiseRequest{{
+		Predicates: preds,
+		Duration:   d,
+		Releases:   releases,
+	}}, nil, nil)
+	if err != nil {
+		return err
+	}
+	pr := res.Promises[0]
+	if !pr.Accepted {
+		return fmt.Errorf("rejected: %s", pr.Reason)
+	}
+	fmt.Printf("granted %s (expires %s)\n", pr.PromiseID, pr.Expires.Format(time.RFC3339))
+	return nil
+}
+
+func parseEnv(env string, release bool) []core.EnvEntry {
+	if env == "" {
+		return nil
+	}
+	var out []core.EnvEntry
+	for _, id := range strings.Split(env, ",") {
+		out = append(out, core.EnvEntry{PromiseID: strings.TrimSpace(id), Release: release})
+	}
+	return out
+}
+
+func cmdInvoke(c *transport.Client, env string, release bool, action string, kvs []string) error {
+	params := make(map[string]string, len(kvs))
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("bad parameter %q (want k=v)", kv)
+		}
+		params[k] = v
+	}
+	result, err := c.Invoke(parseEnv(env, release), action, params)
+	if err != nil {
+		return err
+	}
+	fmt.Println(result)
+	return nil
+}
+
+func cmdBuy(c *transport.Client, pool, qtyStr, promiseID string) error {
+	qty, err := strconv.ParseInt(qtyStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad quantity %q: %v", qtyStr, err)
+	}
+	result, err := c.Invoke(
+		[]core.EnvEntry{{PromiseID: promiseID, Release: true}},
+		"adjust-pool", map[string]string{"pool": pool, "delta": fmt.Sprintf("-%d", qty)},
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("purchased %d of %s under %s; stock now %s\n", qty, pool, promiseID, result)
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParsePredicates(t *testing.T) {
+	preds, err := parsePredicates([]string{
+		"qty:pink-widgets=5",
+		"inst:room-212",
+		"prop:floor = 5 and view",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 3 {
+		t.Fatalf("preds = %d", len(preds))
+	}
+	if preds[0].View != core.AnonymousView || preds[0].Pool != "pink-widgets" || preds[0].Qty != 5 {
+		t.Fatalf("qty pred = %+v", preds[0])
+	}
+	if preds[1].View != core.NamedView || preds[1].Instance != "room-212" {
+		t.Fatalf("inst pred = %+v", preds[1])
+	}
+	if preds[2].View != core.PropertyView || preds[2].Source != "floor = 5 and view" {
+		t.Fatalf("prop pred = %+v", preds[2])
+	}
+}
+
+func TestParsePredicatesErrors(t *testing.T) {
+	cases := [][]string{
+		{},               // none
+		{"qty:pool"},     // missing =
+		{"qty:pool=abc"}, // non-numeric
+		{"prop:(("},      // bad expression
+		{"room-212"},     // unknown prefix
+		{"banana:room"},  // unknown prefix
+	}
+	for _, args := range cases {
+		if _, err := parsePredicates(args); err == nil {
+			t.Errorf("parsePredicates(%v) succeeded", args)
+		}
+	}
+}
+
+func TestParseEnv(t *testing.T) {
+	if parseEnv("", true) != nil {
+		t.Fatal("empty env should be nil")
+	}
+	env := parseEnv("prm-1, prm-2 ,prm-3", true)
+	if len(env) != 3 || env[1].PromiseID != "prm-2" || !env[2].Release {
+		t.Fatalf("env = %+v", env)
+	}
+	env = parseEnv("prm-1", false)
+	if env[0].Release {
+		t.Fatal("release flag leaked")
+	}
+}

@@ -1,0 +1,126 @@
+// Command promised serves a promise manager over HTTP — the PM box of the
+// paper's Figure 2 deployed as a standalone process. It hosts the standard
+// resource-operation services and can seed demo resources at startup.
+//
+// Usage:
+//
+//	promised [-addr :8642] [-seed retail|hotel|bank] [-max-duration 10m]
+//
+// The wire protocol is the §6 promise protocol over XML; see
+// internal/protocol. Try it with cmd/promisectl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/predicate"
+	"repro/internal/service"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/promises"
+)
+
+func main() {
+	addr := flag.String("addr", ":8642", "listen address")
+	seed := flag.String("seed", "retail", "demo dataset to seed: retail, hotel, bank, none")
+	seedFile := flag.String("seed-file", "", "XML resource seed file (see internal/resource seed format); overrides -seed")
+	maxDur := flag.Duration("max-duration", 10*time.Minute, "cap on granted promise durations")
+	sweepEvery := flag.Duration("sweep", 5*time.Second, "expiry sweep interval")
+	flag.Parse()
+
+	m, err := promises.New(promises.Config{MaxDuration: *maxDur})
+	if err != nil {
+		log.Fatalf("promised: %v", err)
+	}
+	if *seedFile != "" {
+		f, err := os.Open(*seedFile)
+		if err != nil {
+			log.Fatalf("promised: %v", err)
+		}
+		pools, instances, err := m.Resources().LoadSeed(f)
+		_ = f.Close()
+		if err != nil {
+			log.Fatalf("promised: seed file %s: %v", *seedFile, err)
+		}
+		log.Printf("promised: seeded %d pools, %d instances from %s", pools, instances, *seedFile)
+	} else if err := seedData(m, *seed); err != nil {
+		log.Fatalf("promised: seeding %q: %v", *seed, err)
+	}
+
+	reg := service.NewRegistry()
+	service.RegisterStandard(reg)
+
+	go func() {
+		for range time.Tick(*sweepEvery) {
+			if err := m.Sweep(); err != nil {
+				log.Printf("promised: sweep: %v", err)
+			}
+			log.Printf("promised: %s", m.Stats())
+		}
+	}()
+
+	srv := transport.NewServer(m, reg)
+	log.Printf("promised: promise manager listening on %s (seed=%s, actions=%v)",
+		*addr, *seed, reg.Names())
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// seedData installs one of the demo datasets used throughout the examples.
+func seedData(m *core.Manager, name string) error {
+	if name == "none" {
+		return nil
+	}
+	tx := m.Store().Begin(txn.Block)
+	defer func() {
+		if !tx.Done() {
+			_ = tx.Abort()
+		}
+	}()
+	rm := m.Resources()
+	switch name {
+	case "retail":
+		if err := rm.CreatePool(tx, "pink-widgets", 100, nil); err != nil {
+			return err
+		}
+		if err := rm.CreatePool(tx, "blue-widgets", 100, nil); err != nil {
+			return err
+		}
+		if err := rm.CreatePool(tx, "shipping-slots", 20, nil); err != nil {
+			return err
+		}
+	case "hotel":
+		for i := 1; i <= 20; i++ {
+			floor := int64(1 + (i-1)/4)
+			props := map[string]predicate.Value{
+				"floor":   predicate.Int(floor),
+				"view":    predicate.Bool(i%3 == 0),
+				"smoking": predicate.Bool(i%7 == 0),
+				"beds":    predicate.Str([]string{"twin", "king", "single"}[i%3]),
+			}
+			if err := rm.CreateInstance(tx, fmt.Sprintf("room-%d%02d", floor, i%4+10), props); err != nil {
+				return err
+			}
+		}
+	case "bank":
+		for _, acct := range []struct {
+			id  string
+			bal int64
+		}{{"alice", 50000}, {"bob", 12000}, {"carol", 300}} {
+			if err := rm.CreatePool(tx, "acct-"+acct.id, acct.bal, nil); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown seed %q", name)
+	}
+	return tx.Commit()
+}

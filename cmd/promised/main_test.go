@@ -1,0 +1,80 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/txn"
+	"repro/promises"
+)
+
+func TestSeedDatasets(t *testing.T) {
+	for _, name := range []string{"retail", "hotel", "bank", "none"} {
+		m, err := promises.New(promises.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seedData(m, name); err != nil {
+			t.Fatalf("seed %q: %v", name, err)
+		}
+		tx := m.Store().Begin(txn.Block)
+		pools, err := m.Resources().Pools(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances, err := m.Resources().Instances(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = tx.Commit()
+		switch name {
+		case "retail":
+			if len(pools) != 3 {
+				t.Fatalf("retail pools = %d", len(pools))
+			}
+		case "hotel":
+			if len(instances) != 20 {
+				t.Fatalf("hotel rooms = %d", len(instances))
+			}
+		case "bank":
+			if len(pools) != 3 {
+				t.Fatalf("bank accounts = %d", len(pools))
+			}
+		case "none":
+			if len(pools) != 0 || len(instances) != 0 {
+				t.Fatal("none seeded something")
+			}
+		}
+	}
+}
+
+func TestSeedUnknown(t *testing.T) {
+	m, err := promises.New(promises.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seedData(m, "galaxy"); err == nil {
+		t.Fatal("unknown seed accepted")
+	}
+}
+
+func TestSeededRetailIsPromisable(t *testing.T) {
+	m, err := promises.New(promises.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seedData(m, "retail"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.Execute(promises.Request{
+		Client: "smoke",
+		PromiseRequests: []promises.PromiseRequest{{
+			Predicates: []promises.Predicate{promises.Quantity("pink-widgets", 5)},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Promises[0].Accepted {
+		t.Fatalf("seeded stock not promisable: %s", resp.Promises[0].Reason)
+	}
+}

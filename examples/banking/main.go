@@ -1,0 +1,119 @@
+// Banking: the paper's account examples — escrow-style promises over an
+// anonymous balance (§3.1: "if a promise is made that a client application
+// will be able to withdraw $500 from an account, the bank is not obliged to
+// set aside five specific $100 bills"), the §9 observation that two
+// promises for balance>=100 and balance>=50 jointly require 150, and the §4
+// atomic upgrade/downgrade of a payment guarantee.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/txn"
+	"repro/promises"
+)
+
+func main() {
+	m, err := promises.New(promises.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Alice's account: $300 (cents omitted for readability).
+	tx := m.Store().Begin(txn.Block)
+	if err := m.Resources().CreatePool(tx, "acct-alice", 300, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	request := func(client string, amount int64) promises.PromiseResponse {
+		// Predicates can arrive in the general expression syntax of §3;
+		// FromExpr maps "balance >= N" onto the escrow machinery.
+		pred, err := promises.FromExpr("acct-alice", fmt.Sprintf("balance >= %d", amount))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := m.Execute(promises.Request{
+			Client: client,
+			PromiseRequests: []promises.PromiseRequest{{
+				Predicates: []promises.Predicate{pred},
+				Duration:   time.Minute,
+			}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return resp.Promises[0]
+	}
+
+	// §9: "two promises for 'balance>100' and 'balance>50' imply that the
+	// balance must be kept over 150" — unlike integrity constraints, the
+	// reservations are disjoint.
+	shopA := request("shop-a", 100)
+	shopB := request("shop-b", 50)
+	fmt.Printf("shop-a promised $100: %v; shop-b promised $50: %v\n", shopA.Accepted, shopB.Accepted)
+	probe := request("shop-c", 200) // 300 - 150 = 150 free; $200 must fail
+	fmt.Printf("shop-c asks $200 with $150 free: accepted=%v (%s)\n", probe.Accepted, probe.Reason)
+
+	// §4 third requirement: shop-a's anticipated charge grows to $200 — an
+	// atomic upgrade that hands back the $100 promise only if the new one
+	// is granted.
+	upPred, _ := promises.FromExpr("acct-alice", "balance >= 200")
+	resp, err := m.Execute(promises.Request{
+		Client: "shop-a",
+		PromiseRequests: []promises.PromiseRequest{{
+			Predicates: []promises.Predicate{upPred},
+			Duration:   time.Minute,
+			Releases:   []string{shopA.PromiseID},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	upgrade := resp.Promises[0]
+	fmt.Printf("shop-a atomic upgrade $100->$200: accepted=%v\n", upgrade.Accepted)
+
+	// Alice spends her unpromised money; the post-action check allows it
+	// because $50 remains free (300 - 200 - 50 = 50).
+	withdraw := func(amount int64) error {
+		resp, err := m.Execute(promises.Request{
+			Client: "alice",
+			Action: func(ac *promises.ActionContext) (any, error) {
+				_, err := ac.Resources.AdjustPool(ac.Tx, "acct-alice", -amount)
+				return nil, err
+			},
+		})
+		if err != nil {
+			return err
+		}
+		return resp.ActionErr
+	}
+	if err := withdraw(50); err != nil {
+		log.Fatalf("withdrawing free $50: %v", err)
+	}
+	fmt.Println("alice withdrew her unpromised $50")
+
+	// Withdrawing more would violate the outstanding promises: the action
+	// is rolled back and reported, not silently allowed.
+	err = withdraw(10)
+	fmt.Printf("alice tries another $10: %v (violation=%v)\n",
+		err, errors.Is(err, promises.ErrPromiseViolated))
+
+	// shop-a charges the promised $200, releasing its promise atomically.
+	resp, err = m.Execute(promises.Request{
+		Client: "shop-a",
+		Env:    []promises.EnvEntry{{PromiseID: upgrade.PromiseID, Release: true}},
+		Action: func(ac *promises.ActionContext) (any, error) {
+			bal, err := ac.Resources.AdjustPool(ac.Tx, "acct-alice", -200)
+			return bal, err
+		},
+	})
+	if err != nil || resp.ActionErr != nil {
+		log.Fatalf("charge failed: %v %v", err, resp.ActionErr)
+	}
+	fmt.Printf("shop-a charged $200; balance now $%v (shop-b's $50 still protected)\n", resp.ActionResult)
+}

@@ -1,0 +1,143 @@
+// Hotel: the §3.3 property-view scenario — concurrent customers with
+// overlapping property predicates, the room-512 tentative reallocation of
+// §5, and the essential-vs-desirable negotiation where a client "may
+// initially request a non-smoking room with a view and twin beds, and
+// eventually accept a promise for a room with just twin beds".
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/predicate"
+	"repro/internal/resource"
+	"repro/internal/txn"
+	"repro/promises"
+)
+
+func main() {
+	m, err := promises.New(promises.Config{PropertyMode: promises.MatchingMode})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seedRooms(m)
+
+	request := func(client, expr string) (promises.PromiseResponse, error) {
+		resp, err := m.Execute(promises.Request{
+			Client: client,
+			PromiseRequests: []promises.PromiseRequest{{
+				Predicates: []promises.Predicate{promises.MustProperty(expr)},
+				Duration:   time.Minute,
+			}},
+		})
+		if err != nil {
+			return promises.PromiseResponse{}, err
+		}
+		return resp.Promises[0], nil
+	}
+
+	show := func(label string, pr promises.PromiseResponse) {
+		if !pr.Accepted {
+			fmt.Printf("%-45s REJECTED (%s)\n", label, pr.Reason)
+			return
+		}
+		info, _ := m.PromiseInfo(pr.PromiseID)
+		fmt.Printf("%-45s granted %s -> %s\n", label, pr.PromiseID, info.Assigned[0])
+	}
+
+	// §3.3: "one customer may be asking for a room with a view, while
+	// another might be requesting any 5th floor room. Room 512 could be a
+	// suitable available resource that would allow the promise manager to
+	// grant either of these requests, but the manager has to ensure that
+	// the same room is not allocated to both."
+	view, err := request("customer-view", "view = true")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(`customer-view: "view = true"`, view)
+
+	fifth, err := request("customer-5th", "floor = 5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(`customer-5th: "floor = 5"`, fifth)
+	vi, _ := m.PromiseInfo(view.PromiseID)
+	fi, _ := m.PromiseInfo(fifth.PromiseID)
+	fmt.Printf("  (tentative allocation moved the view promise to %s so %s could take room-512)\n",
+		vi.Assigned[0], fi.Assigned[0])
+
+	// Negotiation: essential twin beds, desirable view + non-smoking.
+	fmt.Println("\ncustomer-picky negotiates:")
+	wishes := []string{
+		`not smoking and view and beds = "twin"`,
+		`not smoking and beds = "twin"`,
+		`beds = "twin"`,
+	}
+	var got promises.PromiseResponse
+	for _, wish := range wishes {
+		pr, err := request("customer-picky", wish)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show("  wish: "+wish, pr)
+		if pr.Accepted {
+			got = pr
+			break
+		}
+	}
+	if !got.Accepted {
+		log.Fatal("negotiation failed entirely")
+	}
+
+	// Booking: take the assigned room, releasing the promise atomically.
+	info, _ := m.PromiseInfo(got.PromiseID)
+	room := info.Assigned[0]
+	resp, err := m.Execute(promises.Request{
+		Client: "customer-picky",
+		Env:    []promises.EnvEntry{{PromiseID: got.PromiseID, Release: true}},
+		Action: func(ac *promises.ActionContext) (any, error) {
+			return room, ac.Resources.SetStatus(ac.Tx, room, resource.Taken)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.ActionErr != nil {
+		log.Fatalf("booking failed: %v", resp.ActionErr)
+	}
+	fmt.Printf("\ncustomer-picky booked %v; promise released\n", resp.ActionResult)
+
+	active, _ := m.ActivePromises()
+	fmt.Printf("promises still active: %d (view + 5th-floor customers)\n", len(active))
+}
+
+func seedRooms(m *promises.Manager) {
+	rooms := []struct {
+		id      string
+		floor   int64
+		view    bool
+		smoking bool
+		beds    string
+	}{
+		{"room-512", 5, true, false, "king"},
+		{"room-316", 3, true, false, "twin"},
+		{"room-214", 2, false, false, "twin"},
+		{"room-108", 1, false, true, "twin"},
+	}
+	tx := m.Store().Begin(txn.Block)
+	for _, r := range rooms {
+		props := map[string]predicate.Value{
+			"floor":   predicate.Int(r.floor),
+			"view":    predicate.Bool(r.view),
+			"smoking": predicate.Bool(r.smoking),
+			"beds":    predicate.Str(r.beds),
+		}
+		if err := m.Resources().CreateInstance(tx, r.id, props); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: the paper's Figure 1 ordering flow against an in-process
+// promise manager — request a promise for 5 pink widgets, process the
+// order, then purchase with an atomic release.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/txn"
+	"repro/promises"
+)
+
+func main() {
+	m, err := promises.New(promises.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seed the merchant's stock: 10 pink widgets on hand.
+	tx := m.Store().Begin(txn.Block)
+	if err := m.Resources().CreatePool(tx, "pink-widgets", 10, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// "Determine we need 5 pink widgets to be in stock. Send promise
+	// request that (quantity of 'pink widgets' >= 5)."
+	resp, err := m.Execute(promises.Request{
+		Client: "order-process",
+		PromiseRequests: []promises.PromiseRequest{{
+			RequestID:  "order-1",
+			Predicates: []promises.Predicate{promises.Quantity("pink-widgets", 5)},
+			Duration:   time.Minute,
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr := resp.Promises[0]
+	if !pr.Accepted {
+		log.Fatalf("promise rejected: %s", pr.Reason)
+	}
+	fmt.Printf("promise %s granted: 5 pink widgets will stay available until %s\n",
+		pr.PromiseID, pr.Expires.Format(time.Kitchen))
+
+	// "Continue processing order (organise payment, shippers)" — the
+	// promise, not a lock, protects the stock during this work.
+	fmt.Println("processing order: payment authorised, shipper booked")
+
+	// "Send 'purchase stock' request to promise manager and release
+	// promise to keep stock level >= 5" — one atomic unit.
+	resp, err = m.Execute(promises.Request{
+		Client: "order-process",
+		Env:    []promises.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+		Action: func(ac *promises.ActionContext) (any, error) {
+			level, err := ac.Resources.AdjustPool(ac.Tx, "pink-widgets", -5)
+			return level, err
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.ActionErr != nil {
+		log.Fatalf("purchase failed: %v", resp.ActionErr)
+	}
+	fmt.Printf("purchased 5 pink widgets; stock now %v, promise released\n", resp.ActionResult)
+}

@@ -1,0 +1,188 @@
+// Retail: the full §7 merchant scenario as a long-running workflow —
+// Figure 1's accept and reject paths, the next-day-shipping promise from
+// the second §7 example, and a §5 delegated backorder to a distributor.
+//
+// Three orders run through the same order-process workflow definition:
+//
+//	order-A  5 widgets + shipping  → promised locally, fulfilled
+//	order-B  8 widgets + shipping  → stock short, backorder delegated to
+//	                                 the distributor and shipped from there
+//	order-C  5 widgets + shipping  → rejected: no shipping slots left
+//	                                 (Figure 1's "goods unavailable" path)
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/txn"
+	"repro/internal/workflow"
+	"repro/promises"
+)
+
+func main() {
+	// The distributor holds deep stock; the merchant carries 10 widgets
+	// and 5 next-day shipping slots, delegating widget shortfalls.
+	distributor, err := promises.New(promises.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seedPool(distributor, "pink-widgets", 1000)
+
+	supplier := &promises.ManagerSupplier{M: distributor, Client: "merchant"}
+	merchant, err := promises.New(promises.Config{
+		Suppliers: map[string]promises.Supplier{"pink-widgets": supplier},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seedPool(merchant, "pink-widgets", 10)
+	seedPool(merchant, "shipping-slots", 2)
+
+	def := orderProcess(merchant, supplier)
+
+	for _, order := range []struct {
+		name     string
+		qty      int64
+		shipping bool
+	}{
+		{"order-A", 5, true},
+		{"order-B", 8, true},
+		{"order-C", 5, true},
+	} {
+		in, err := workflow.NewInstance(def)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in.Vars()["order"] = order.name
+		in.Vars()["qty"] = order.qty
+		in.Vars()["shipping"] = order.shipping
+		if err := in.Run(); err != nil {
+			fmt.Printf("%s: terminated: %v\n", order.name, err)
+			continue
+		}
+		if in.Status() == workflow.Waiting {
+			// Payment arrives later; the promise keeps the stock safe.
+			fmt.Printf("%s: waiting for payment (promise held, trace %v)\n", order.name, in.Trace())
+			if err := in.Deliver("payment", "card-****42"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%s: %v (steps: %v)\n", order.name, in.Status(), in.Trace())
+	}
+
+	level := poolLevel(merchant, "pink-widgets")
+	fmt.Printf("merchant stock after all orders: %d pink widgets\n", level)
+	fmt.Printf("distributor stock: %d (backorder drawn for order-B)\n",
+		poolLevel(distributor, "pink-widgets"))
+}
+
+// orderProcess is the Figure 1 ordering process as a workflow definition.
+func orderProcess(m *promises.Manager, supplier *promises.ManagerSupplier) *workflow.Definition {
+	return &workflow.Definition{
+		Name:  "order-process",
+		Start: "reserve",
+		Steps: map[string]workflow.StepFunc{
+			// "Determine we need N pink widgets … send promise request."
+			"reserve": func(c *workflow.Context) (workflow.Transition, error) {
+				qty := c.Vars["qty"].(int64)
+				preds := []promises.Predicate{promises.Quantity("pink-widgets", qty)}
+				if c.Vars["shipping"] == true {
+					// The §7 shipping example: "a promise of next day
+					// delivery, with the predicate making no assumptions
+					// about how this promise will be implemented."
+					preds = append(preds, promises.Quantity("shipping-slots", 1))
+				}
+				resp, err := m.Execute(promises.Request{
+					Client:          c.Vars["order"].(string),
+					PromiseRequests: []promises.PromiseRequest{{Predicates: preds, Duration: time.Minute}},
+				})
+				if err != nil {
+					return workflow.Transition{}, err
+				}
+				pr := resp.Promises[0]
+				if !pr.Accepted {
+					// "Terminate order process saying goods unavailable."
+					return workflow.Transition{}, fmt.Errorf("goods unavailable: %s", pr.Reason)
+				}
+				c.Vars["promise"] = pr.PromiseID
+				if info, err := m.PromiseInfo(pr.PromiseID); err == nil && info.DelegatedQty[0] > 0 {
+					fmt.Printf("%s: backorder of %d promised by distributor (%s)\n",
+						c.Vars["order"], info.DelegatedQty[0], info.DelegatedID[0])
+					c.Vars["backorder"] = info.DelegatedQty[0]
+					c.Vars["backorder-id"] = info.DelegatedID[0]
+				}
+				return workflow.WaitFor("payment", "fulfil"), nil
+			},
+			// "Send 'purchase stock' request … and release promise."
+			"fulfil": func(c *workflow.Context) (workflow.Transition, error) {
+				qty := c.Vars["qty"].(int64)
+				// Ship the backordered portion straight from the
+				// distributor first, consuming the upstream promise (§5:
+				// "a backorder will be fulfilled on time").
+				if back, ok := c.Vars["backorder"].(int64); ok && back > 0 {
+					if err := supplier.ConsumePromise(c.Vars["backorder-id"].(string), back); err != nil {
+						return workflow.Transition{}, fmt.Errorf("backorder shipment: %w", err)
+					}
+					qty -= back
+				}
+				resp, err := m.Execute(promises.Request{
+					Client: c.Vars["order"].(string),
+					Env:    []promises.EnvEntry{{PromiseID: c.Vars["promise"].(string), Release: true}},
+					Action: func(ac *promises.ActionContext) (any, error) {
+						// Local stock may cover only part; the delegated
+						// remainder ships from the distributor.
+						tx := ac.Tx
+						p, err := ac.Resources.Pool(tx, "pink-widgets")
+						if err != nil {
+							return nil, err
+						}
+						local := qty
+						if p.OnHand < local {
+							local = p.OnHand
+						}
+						if local > 0 {
+							if _, err := ac.Resources.AdjustPool(tx, "pink-widgets", -local); err != nil {
+								return nil, err
+							}
+						}
+						if c.Vars["shipping"] == true {
+							if _, err := ac.Resources.AdjustPool(tx, "shipping-slots", -1); err != nil {
+								return nil, err
+							}
+						}
+						return local, nil
+					},
+				})
+				if err != nil {
+					return workflow.Transition{}, err
+				}
+				if resp.ActionErr != nil {
+					return workflow.Transition{}, resp.ActionErr
+				}
+				return workflow.Done(), nil
+			},
+		},
+	}
+}
+
+func seedPool(m *promises.Manager, pool string, qty int64) {
+	tx := m.Store().Begin(txn.Block)
+	if err := m.Resources().CreatePool(tx, pool, qty, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func poolLevel(m *promises.Manager, pool string) int64 {
+	tx := m.Store().Begin(txn.Block)
+	defer tx.Commit()
+	p, err := m.Resources().Pool(tx, pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p.OnHand
+}

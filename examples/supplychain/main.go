@@ -1,0 +1,127 @@
+// Supplychain: the Figure 2 architecture deployed for real — three promise
+// managers (factory, wholesaler, retailer) each behind its own HTTP server
+// on localhost, chained by §5 delegation over the §6 wire protocol. A
+// customer order at the retailer cascades promises up the chain.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/promises"
+)
+
+// serveTier starts a promise manager with the standard services on a
+// localhost listener and returns its base URL.
+func serveTier(name string, m *core.Manager) string {
+	reg := service.NewRegistry()
+	service.RegisterStandard(reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, transport.NewServer(m, reg).Handler()); err != nil {
+			log.Printf("%s server: %v", name, err)
+		}
+	}()
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("%-10s listening on %s\n", name, url)
+	return url
+}
+
+func newManagerWithStock(pool string, qty int64, suppliers map[string]promises.Supplier) *core.Manager {
+	m, err := promises.New(promises.Config{Suppliers: suppliers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tx := m.Store().Begin(txn.Block)
+	if err := m.Resources().CreatePool(tx, pool, qty, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func main() {
+	// Factory: deep stock, no supplier.
+	factory := newManagerWithStock("widgets", 1000, nil)
+	factoryURL := serveTier("factory", factory)
+
+	// Wholesaler: 20 on hand, restocks from the factory over HTTP.
+	wholesaler := newManagerWithStock("widgets", 20, map[string]promises.Supplier{
+		"widgets": &transport.RemoteSupplier{C: &transport.Client{BaseURL: factoryURL, Client: "wholesaler"}},
+	})
+	wholesalerURL := serveTier("wholesaler", wholesaler)
+
+	// Retailer: 5 on hand, restocks from the wholesaler over HTTP.
+	retailer := newManagerWithStock("widgets", 5, map[string]promises.Supplier{
+		"widgets": &transport.RemoteSupplier{C: &transport.Client{BaseURL: wholesalerURL, Client: "retailer"}},
+	})
+	retailerURL := serveTier("retailer", retailer)
+
+	// The customer talks only to the retailer.
+	customer := &transport.Client{BaseURL: retailerURL, Client: "customer"}
+
+	fmt.Println("\ncustomer orders 30 widgets from the retailer (5 local, 20 wholesale, 5 factory):")
+	pr, err := customer.RequestPromise([]promises.Predicate{promises.Quantity("widgets", 30)}, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !pr.Accepted {
+		log.Fatalf("rejected: %s", pr.Reason)
+	}
+	fmt.Printf("  retailer granted %s (expires %s)\n", pr.PromiseID, pr.Expires.Format(time.Kitchen))
+
+	info, err := retailer.PromiseInfo(pr.PromiseID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  retailer delegated %d units upstream via %s\n", info.DelegatedQty[0], info.DelegatedID[0])
+	wInfo, err := wholesaler.PromiseInfo(info.DelegatedID[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  wholesaler delegated %d units to the factory via %s\n", wInfo.DelegatedQty[0], wInfo.DelegatedID[0])
+
+	// Over-asking gets a §6-style counter-offer instead of a blind no.
+	fmt.Println("\na rival asks the factory for 2000 widgets:")
+	rival := &transport.Client{BaseURL: factoryURL, Client: "rival"}
+	rpr, err := rival.RequestPromise([]promises.Predicate{promises.Quantity("widgets", 2000)}, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  accepted=%v, counter-offer=%v\n", rpr.Accepted, rpr.Counter)
+
+	// Purchase: the retailer ships local stock under the promise with an
+	// atomic release; upstream promises release across the chain.
+	fmt.Println("\ncustomer purchases (retailer ships 5 local; backorders ship upstream):")
+	level, err := customer.Invoke(
+		[]promises.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+		"adjust-pool", map[string]string{"pool": "widgets", "delta": "-5"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  retailer stock now %s\n", level)
+
+	for _, tier := range []struct {
+		name string
+		m    *core.Manager
+	}{{"retailer", retailer}, {"wholesaler", wholesaler}, {"factory", factory}} {
+		rep, err := tier.m.Audit()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s %s\n", tier.name, rep)
+	}
+}

@@ -1,0 +1,155 @@
+// Travel: the §4 travel-planning example — "a client may want a promise
+// that a flight and a rental car and a hotel room will all be available",
+// granted or rejected as one atomic unit, plus the fallback strategy the
+// paper sketches ("obtaining them one at a time, trying alternative
+// resources and predicates when other promise requests are rejected") and
+// an atomic itinerary upgrade (§4, third requirement).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/predicate"
+	"repro/internal/resource"
+	"repro/internal/txn"
+	"repro/promises"
+)
+
+func main() {
+	m, err := promises.New(promises.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed(m)
+
+	// Agent 1 books the whole trip atomically: one flight seat, one rental
+	// car, and any 5th-floor hotel room.
+	trip := []promises.Predicate{
+		promises.Quantity("flights-SYD-SFO", 1),
+		promises.Quantity("rental-cars", 1),
+		promises.MustProperty("floor = 5"),
+	}
+	resp, err := m.Execute(promises.Request{
+		Client:          "agent-1",
+		PromiseRequests: []promises.PromiseRequest{{Predicates: trip, Duration: time.Minute}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr1 := resp.Promises[0]
+	fmt.Printf("agent-1 atomic trip: accepted=%v promise=%s\n", pr1.Accepted, pr1.PromiseID)
+
+	// Agent 2 tries the same trip; the last rental car is promised, so the
+	// whole request is rejected — and crucially no flight seat leaks.
+	resp, err = m.Execute(promises.Request{
+		Client:          "agent-2",
+		PromiseRequests: []promises.PromiseRequest{{Predicates: trip, Duration: time.Minute}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agent-2 atomic trip: accepted=%v (%s)\n",
+		resp.Promises[0].Accepted, resp.Promises[0].Reason)
+
+	// Agent 2 falls back to piecewise booking with alternatives: flight
+	// first, then train instead of car, then any room at all.
+	var held []string
+	for _, alt := range [][]promises.Predicate{
+		{promises.Quantity("flights-SYD-SFO", 1)},
+		{promises.Quantity("rental-cars", 1)},
+		{promises.Quantity("train-passes", 1)}, // alternative when cars are gone
+		{promises.MustProperty("floor >= 1")},
+	} {
+		resp, err := m.Execute(promises.Request{
+			Client:          "agent-2",
+			PromiseRequests: []promises.PromiseRequest{{Predicates: alt, Duration: time.Minute}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr := resp.Promises[0]
+		fmt.Printf("agent-2 piecewise %-28s accepted=%v\n", alt[0].String(), pr.Accepted)
+		if pr.Accepted {
+			held = append(held, pr.PromiseID)
+		}
+	}
+	fmt.Printf("agent-2 holds %d promises: %v\n", len(held), held)
+
+	// Agent 1 upgrades the trip atomically: two flight seats instead of
+	// one (a companion joins), releasing the old promise only if the new
+	// one is granted.
+	upgrade := []promises.Predicate{
+		promises.Quantity("flights-SYD-SFO", 2),
+		promises.Quantity("rental-cars", 1),
+		promises.MustProperty("floor = 5"),
+	}
+	resp, err = m.Execute(promises.Request{
+		Client: "agent-1",
+		PromiseRequests: []promises.PromiseRequest{{
+			Predicates: upgrade,
+			Duration:   time.Minute,
+			Releases:   []string{pr1.PromiseID},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	up := resp.Promises[0]
+	fmt.Printf("agent-1 upgrade to 2 seats: accepted=%v", up.Accepted)
+	if !up.Accepted {
+		info, _ := m.PromiseInfo(pr1.PromiseID)
+		fmt.Printf(" — old promise still %v (nothing lost)", info.State)
+	}
+	fmt.Println()
+
+	// Finally agent 1 confirms: the booking action consumes the resources
+	// and releases the trip promise atomically.
+	active := up.PromiseID
+	if !up.Accepted {
+		active = pr1.PromiseID
+	}
+	info, _ := m.PromiseInfo(active)
+	room := info.Assigned[2]
+	resp, err = m.Execute(promises.Request{
+		Client: "agent-1",
+		Env:    []promises.EnvEntry{{PromiseID: active, Release: true}},
+		Action: func(ac *promises.ActionContext) (any, error) {
+			seats := info.Predicates[0].Qty
+			if _, err := ac.Resources.AdjustPool(ac.Tx, "flights-SYD-SFO", -seats); err != nil {
+				return nil, err
+			}
+			if _, err := ac.Resources.AdjustPool(ac.Tx, "rental-cars", -1); err != nil {
+				return nil, err
+			}
+			return room, ac.Resources.SetStatus(ac.Tx, room, resource.Taken)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.ActionErr != nil {
+		log.Fatalf("confirmation failed: %v", resp.ActionErr)
+	}
+	fmt.Printf("agent-1 confirmed: room %v booked, promise released\n", resp.ActionResult)
+}
+
+func seed(m *promises.Manager) {
+	tx := m.Store().Begin(txn.Block)
+	rm := m.Resources()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(rm.CreatePool(tx, "flights-SYD-SFO", 3, nil))
+	must(rm.CreatePool(tx, "rental-cars", 1, nil))
+	must(rm.CreatePool(tx, "train-passes", 10, nil))
+	for i, floor := range []int64{5, 5, 3} {
+		must(rm.CreateInstance(tx, fmt.Sprintf("room-%d0%d", floor, i+1), map[string]predicate.Value{
+			"floor": predicate.Int(floor),
+		}))
+	}
+	must(tx.Commit())
+}

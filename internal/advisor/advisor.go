@@ -1,0 +1,144 @@
+// Package advisor implements the §10 future-work heuristics: "providing
+// simple heuristics to choose an appropriate implementation technique for
+// each class of resources". Given a description of how clients use a
+// resource, it recommends one of the §3 views and one of the §5
+// implementation techniques, with the paper's rationale.
+package advisor
+
+import "fmt"
+
+// Technique is a §5 implementation technique.
+type Technique int
+
+// Techniques, in the order §5 presents them.
+const (
+	// ResourcePool: counts of available/allocated items — escrow-style
+	// (internal/escrow).
+	ResourcePool Technique = iota
+	// AllocatedTags: an availability status field per instance
+	// (internal/softlock).
+	AllocatedTags
+	// SatisfiabilityCheck: evaluate all promises against resource state on
+	// every operation; property views need bipartite matching.
+	SatisfiabilityCheck
+	// TentativeAllocation: the hybrid — property-based promises pinned to
+	// instances, rearranged when a later request would otherwise fail.
+	TentativeAllocation
+	// Delegation: cover the promise with a promise from a third party.
+	Delegation
+)
+
+// String names the technique.
+func (t Technique) String() string {
+	switch t {
+	case ResourcePool:
+		return "resource-pool (escrow)"
+	case AllocatedTags:
+		return "allocated-tags (soft locks)"
+	case SatisfiabilityCheck:
+		return "satisfiability-check (matching)"
+	case TentativeAllocation:
+		return "tentative-allocation (matching + reassignment)"
+	case Delegation:
+		return "delegation (upstream promise)"
+	}
+	return fmt.Sprintf("Technique(%d)", int(t))
+}
+
+// View mirrors the §3 resource views without importing core (the advisor
+// is usable at design time, before any manager exists).
+type View int
+
+// Views.
+const (
+	Anonymous View = iota
+	Named
+	Property
+)
+
+// String names the view.
+func (v View) String() string {
+	switch v {
+	case Anonymous:
+		return "anonymous"
+	case Named:
+		return "named"
+	case Property:
+		return "property"
+	}
+	return fmt.Sprintf("View(%d)", int(v))
+}
+
+// Profile describes how client applications regard a resource — the §3
+// point that views belong to applications, not resources: "the concepts of
+// named and anonymous resources are about the way client applications view
+// the resources, not about the resources themselves."
+type Profile struct {
+	// Interchangeable: clients accept any instance ("most retail goods").
+	Interchangeable bool
+	// SelectionByProperties: clients pick by exposed attributes (floor,
+	// view, beds) rather than a quantity or a specific id.
+	SelectionByProperties bool
+	// OverlappingPredicates: concurrent clients use different property
+	// subsets over the same instances (the room-512 situation).
+	OverlappingPredicates bool
+	// ExternallySourced: shortfalls can be covered by an upstream provider
+	// (a distributor who fulfils backorders).
+	ExternallySourced bool
+}
+
+// Recommendation is the advisor's output.
+type Recommendation struct {
+	View      View
+	Technique Technique
+	// Secondary holds an additional technique to combine (e.g. delegation
+	// on top of a pool).
+	Secondary []Technique
+	// Rationale explains the choice in the paper's terms.
+	Rationale string
+}
+
+// String renders the recommendation.
+func (r Recommendation) String() string {
+	out := fmt.Sprintf("%s view via %s", r.View, r.Technique)
+	for _, s := range r.Secondary {
+		out += " + " + s.String()
+	}
+	return out + " — " + r.Rationale
+}
+
+// Recommend applies the §3/§5 heuristics.
+func Recommend(p Profile) Recommendation {
+	var rec Recommendation
+	switch {
+	case p.Interchangeable && !p.SelectionByProperties:
+		rec = Recommendation{
+			View:      Anonymous,
+			Technique: ResourcePool,
+			Rationale: "clients accept any instance, so track a quantity on hand and reserve escrow-style (§3.1, §5 resource pool); the only constraint is that promised sums stay within availability",
+		}
+	case p.SelectionByProperties && p.OverlappingPredicates:
+		rec = Recommendation{
+			View:      Property,
+			Technique: TentativeAllocation,
+			Rationale: "concurrent predicates overlap on the same instances (the room-512 case), so pin promises to instances tentatively and rearrange when a later request would otherwise fail (§5 tentative allocation)",
+		}
+	case p.SelectionByProperties:
+		rec = Recommendation{
+			View:      Property,
+			Technique: SatisfiabilityCheck,
+			Rationale: "clients select by exposed properties; without heavy overlap a satisfiability check (bipartite matching) on grant and after actions suffices (§5 satisfiability check)",
+		}
+	default:
+		rec = Recommendation{
+			View:      Named,
+			Technique: AllocatedTags,
+			Rationale: "instances are distinguishable and clients want a specific one (used cars, 'room 212 on 12/3/2007'), so a status field flipped available→promised→taken is enough (§5 allocated tags)",
+		}
+	}
+	if p.ExternallySourced {
+		rec.Secondary = append(rec.Secondary, Delegation)
+		rec.Rationale += "; shortfalls can be covered by an upstream promise (§5 delegation)"
+	}
+	return rec
+}

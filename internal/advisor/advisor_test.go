@@ -1,0 +1,102 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+)
+
+// The test cases are the paper's own examples from §3 and §5.
+func TestRecommendPaperExamples(t *testing.T) {
+	cases := []struct {
+		name      string
+		profile   Profile
+		view      View
+		technique Technique
+	}{
+		{
+			// "Barnes and Noble may have many copies of each book title."
+			name:      "book copies",
+			profile:   Profile{Interchangeable: true},
+			view:      Anonymous,
+			technique: ResourcePool,
+		},
+		{
+			// "a promise is made that a client application will be able to
+			// withdraw $500 from an account."
+			name:      "account balance",
+			profile:   Profile{Interchangeable: true},
+			view:      Anonymous,
+			technique: ResourcePool,
+		},
+		{
+			// "used cars could be considered unique and not interchangeable."
+			name:      "used car",
+			profile:   Profile{},
+			view:      Named,
+			technique: AllocatedTags,
+		},
+		{
+			// "Room 212, Sydney Hilton, 12/3/2007."
+			name:      "specific hotel room",
+			profile:   Profile{},
+			view:      Named,
+			technique: AllocatedTags,
+		},
+		{
+			// "one customer may be asking for a room with a view, while
+			// another might be requesting any 5th floor room."
+			name:      "hotel rooms by property",
+			profile:   Profile{SelectionByProperties: true, OverlappingPredicates: true},
+			view:      Property,
+			technique: TentativeAllocation,
+		},
+		{
+			name:      "rooms by property without overlap",
+			profile:   Profile{SelectionByProperties: true},
+			view:      Property,
+			technique: SatisfiabilityCheck,
+		},
+	}
+	for _, c := range cases {
+		rec := Recommend(c.profile)
+		if rec.View != c.view || rec.Technique != c.technique {
+			t.Errorf("%s: got %s/%s, want %s/%s", c.name, rec.View, rec.Technique, c.view, c.technique)
+		}
+		if rec.Rationale == "" {
+			t.Errorf("%s: empty rationale", c.name)
+		}
+	}
+}
+
+func TestRecommendDelegationSecondary(t *testing.T) {
+	// "a purchase order can be accepted by the merchant if it has received
+	// a promise from the distributor that a backorder will be fulfilled."
+	rec := Recommend(Profile{Interchangeable: true, ExternallySourced: true})
+	if rec.Technique != ResourcePool {
+		t.Fatalf("primary = %v", rec.Technique)
+	}
+	if len(rec.Secondary) != 1 || rec.Secondary[0] != Delegation {
+		t.Fatalf("secondary = %v", rec.Secondary)
+	}
+	if !strings.Contains(rec.Rationale, "delegation") {
+		t.Fatalf("rationale = %q", rec.Rationale)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, tech := range []Technique{ResourcePool, AllocatedTags, SatisfiabilityCheck, TentativeAllocation, Delegation, Technique(99)} {
+		if tech.String() == "" {
+			t.Errorf("empty string for %d", int(tech))
+		}
+	}
+	for _, v := range []View{Anonymous, Named, Property, View(99)} {
+		if v.String() == "" {
+			t.Errorf("empty string for view %d", int(v))
+		}
+	}
+	rec := Recommend(Profile{Interchangeable: true, ExternallySourced: true})
+	s := rec.String()
+	if !strings.Contains(s, "anonymous") || !strings.Contains(s, "delegation") {
+		t.Fatalf("recommendation string = %q", s)
+	}
+}

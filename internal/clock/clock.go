@@ -1,0 +1,58 @@
+// Package clock provides an injectable time source.
+//
+// Promise durations and expiry (paper §2: "Promises do not last forever")
+// are defined relative to a Clock. Production code uses the system clock;
+// tests and benchmarks use a manually advanced fake so that expiry behaviour
+// is deterministic.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for promise expiry.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+}
+
+// System is a Clock backed by the wall clock.
+type System struct{}
+
+// Now implements Clock.
+func (System) Now() time.Time { return time.Now() }
+
+// Fake is a manually controlled Clock. The zero value starts at the Unix
+// epoch. Fake is safe for concurrent use.
+type Fake struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFake returns a Fake clock set to start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Advance moves the clock forward by d. Advancing by a negative duration
+// moves it backwards; tests use that to probe clock-skew handling.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+// Set jumps the clock to t.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = t
+}

@@ -1,0 +1,68 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemMonotonicish(t *testing.T) {
+	c := System{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("system clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestFakeStartsAtGivenTime(t *testing.T) {
+	start := time.Date(2007, 1, 7, 0, 0, 0, 0, time.UTC) // CIDR'07 opening day
+	f := NewFake(start)
+	if got := f.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}
+
+func TestFakeAdvance(t *testing.T) {
+	start := time.Unix(0, 0)
+	f := NewFake(start)
+	f.Advance(90 * time.Second)
+	if got, want := f.Now(), start.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	f.Advance(-30 * time.Second)
+	if got, want := f.Now(), start.Add(60*time.Second); !got.Equal(want) {
+		t.Fatalf("after negative advance Now() = %v, want %v", got, want)
+	}
+}
+
+func TestFakeSet(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	target := time.Unix(1_000_000, 0)
+	f.Set(target)
+	if got := f.Now(); !got.Equal(target) {
+		t.Fatalf("Now() = %v, want %v", got, target)
+	}
+}
+
+func TestFakeConcurrentAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Advance(time.Second)
+			_ = f.Now()
+		}()
+	}
+	wg.Wait()
+	if got, want := f.Now(), time.Unix(50, 0); !got.Equal(want) {
+		t.Fatalf("after 50 concurrent advances Now() = %v, want %v", got, want)
+	}
+}
+
+func TestFakeImplementsClock(t *testing.T) {
+	var _ Clock = (*Fake)(nil)
+	var _ Clock = System{}
+}

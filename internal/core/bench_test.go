@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/predicate"
+	"repro/internal/resource"
+	"repro/internal/txn"
+)
+
+func benchManager(b *testing.B, cfg Config) *Manager {
+	b.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkGrantReleaseAnonymous is the core grant path without transport.
+func BenchmarkGrantReleaseAnonymous(b *testing.B) {
+	m := benchManager(b, Config{DefaultDuration: time.Hour})
+	tx := m.Store().Begin(txn.Block)
+	if err := m.Resources().CreatePool(tx, "p", 1<<40, nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := m.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+			Predicates: []Predicate{Quantity("p", 1)},
+		}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: resp.Promises[0].PromiseID, Release: true}}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLazyMatcherSeeding is the ablation behind the E5 note: solving
+// the property assignment from the stored assignments (incremental) vs from
+// scratch (what a full per-grant matching would do). Both must saturate;
+// seeded should be markedly cheaper because only one augmenting path runs.
+func BenchmarkLazyMatcherSeeding(b *testing.B) {
+	const n = 500
+	exprs := make([]predicate.Expr, n)
+	cands := make([]*resource.Instance, n)
+	initial := make([]string, n)
+	for i := 0; i < n; i++ {
+		// Slot i accepts candidates [i, n): a triangular structure where
+		// unseeded solving does real augmentation work.
+		exprs[i] = predicate.MustParse(fmt.Sprintf("slot >= %d", i))
+		cands[i] = &resource.Instance{
+			ID:    fmt.Sprintf("inst-%06d", i),
+			Props: map[string]predicate.Value{"slot": predicate.Int(int64(i))},
+		}
+		initial[i] = fmt.Sprintf("inst-%06d", i)
+	}
+	empty := make([]string, n)
+
+	b.Run("seeded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := newLazyMatcher(exprs, cands).solve(initial); !ok {
+				b.Fatal("unsaturated")
+			}
+		}
+	})
+	b.Run("unseeded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := newLazyMatcher(exprs, cands).solve(empty); !ok {
+				b.Fatal("unsaturated")
+			}
+		}
+	})
+}
+
+// BenchmarkSweep measures the per-request expiry sweep at three promise
+// table sizes — the linear factor visible in E5.
+func BenchmarkSweep(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("promises=%d", n), func(b *testing.B) {
+			m := benchManager(b, Config{DefaultDuration: time.Hour})
+			tx := m.Store().Begin(txn.Block)
+			if err := m.Resources().CreatePool(tx, "p", 1<<40, nil); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				resp, err := m.Execute(Request{Client: "seed", PromiseRequests: []PromiseRequest{{
+					Predicates: []Predicate{Quantity("p", 1)},
+				}}})
+				if err != nil || !resp.Promises[0].Accepted {
+					b.Fatalf("%v %v", resp, err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Sweep(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAudit prices the full consistency audit.
+func BenchmarkAudit(b *testing.B) {
+	m := benchManager(b, Config{DefaultDuration: time.Hour})
+	tx := m.Store().Begin(txn.Block)
+	if err := m.Resources().CreatePool(tx, "p", 1<<40, nil); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := m.Resources().CreateInstance(tx, fmt.Sprintf("i%d", i), map[string]predicate.Value{
+			"x": predicate.Int(int64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := m.Execute(Request{Client: "seed", PromiseRequests: []PromiseRequest{{
+			Predicates: []Predicate{Quantity("p", 1)},
+		}}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := m.Execute(Request{Client: "seed", PromiseRequests: []PromiseRequest{{
+			Predicates: []Predicate{MustProperty("x >= 0")},
+		}}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := m.Audit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Healthy() {
+			b.Fatalf("unhealthy: %s", rep)
+		}
+	}
+}

@@ -1,0 +1,593 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/escrow"
+	"repro/internal/ids"
+	"repro/internal/resource"
+	"repro/internal/softlock"
+	"repro/internal/txn"
+)
+
+// PropertyMode selects the implementation technique for property-view
+// promises (§5).
+type PropertyMode int
+
+// Property-view implementation techniques.
+const (
+	// MatchingMode is the satisfiability check of §5 with tentative
+	// allocation: grants and post-action checks run bipartite matching and
+	// may rearrange tentative allocations to admit more promises.
+	MatchingMode PropertyMode = iota
+	// FirstFitMode is the naive ablation: each property promise is bound
+	// to the first satisfying available instance and never moved. The E7
+	// experiment measures how many grants this loses.
+	FirstFitMode
+)
+
+// Config configures a Manager.
+type Config struct {
+	// Store is the transactional store shared with the resource manager.
+	// Nil creates a fresh store (and Resources must then be nil too).
+	Store *txn.Store
+	// Resources is the resource manager. Nil creates one on Store.
+	Resources *resource.Manager
+	// Clock drives promise expiry. Nil uses the system clock.
+	Clock clock.Clock
+	// DefaultDuration applies when a request does not name a duration.
+	// Zero means 30 seconds.
+	DefaultDuration time.Duration
+	// MaxDuration caps granted durations (§6: the manager "might … offer
+	// a guarantee that expires sooner than the client wished"). Zero means
+	// 10 minutes.
+	MaxDuration time.Duration
+	// PropertyMode selects the property-view technique.
+	PropertyMode PropertyMode
+	// DisablePostCheck skips the post-action promise check — the E9
+	// ablation demonstrating why §8 requires it. Never set in production.
+	DisablePostCheck bool
+	// Suppliers maps pool ids to upstream promise makers for delegation
+	// (§5). Optional.
+	Suppliers map[string]Supplier
+	// MaxRetries bounds internal deadlock retries per request. Zero means
+	// 32.
+	MaxRetries int
+}
+
+// Manager is the promise manager. It is safe for concurrent use; every
+// Execute call runs as one ACID transaction against the shared store (§8).
+type Manager struct {
+	store      *txn.Store
+	rm         *resource.Manager
+	ledger     *escrow.Ledger
+	tags       *softlock.Tags
+	clk        clock.Clock
+	promiseIDs *ids.Generator
+	cfg        Config
+	metrics    managerMetrics
+}
+
+// New creates a Manager, installing its promise, escrow and soft-lock
+// tables into the store. Call New at most once per store.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Store == nil {
+		if cfg.Resources != nil {
+			return nil, fmt.Errorf("core: Config.Resources set without Config.Store")
+		}
+		cfg.Store = txn.NewStore()
+	}
+	if cfg.Resources == nil {
+		rm, err := resource.NewManager(cfg.Store)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Resources = rm
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System{}
+	}
+	if cfg.DefaultDuration <= 0 {
+		cfg.DefaultDuration = 30 * time.Second
+	}
+	if cfg.MaxDuration <= 0 {
+		cfg.MaxDuration = 10 * time.Minute
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 32
+	}
+	if err := cfg.Store.CreateTable(TablePromises); err != nil {
+		return nil, err
+	}
+	if err := cfg.Store.CreateTable(TablePromisesDone); err != nil {
+		return nil, err
+	}
+	ledger, err := escrow.NewLedger(cfg.Store, cfg.Resources)
+	if err != nil {
+		return nil, err
+	}
+	tags, err := softlock.NewTags(cfg.Store, cfg.Resources)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		store:      cfg.Store,
+		rm:         cfg.Resources,
+		ledger:     ledger,
+		tags:       tags,
+		clk:        cfg.Clock,
+		promiseIDs: ids.New("prm"),
+		cfg:        cfg,
+	}, nil
+}
+
+// Resources returns the resource manager (for seeding state in examples
+// and tests).
+func (m *Manager) Resources() *resource.Manager { return m.rm }
+
+// Store returns the backing store.
+func (m *Manager) Store() *txn.Store { return m.store }
+
+// execState carries cross-trust-domain compensation hooks for one request
+// (upstream promises acquired during planning must be released if the local
+// transaction aborts, and upstream releases must run only after it commits)
+// plus metric deltas that apply only if the attempt commits — a deadlock
+// retry must not double-count.
+type execState struct {
+	undoUpstream []func()
+	postCommit   []func()
+	released     int64
+	expired      int64
+}
+
+// Execute processes one client message: grants/rejects its promise
+// requests, runs its action under its promise environment, applies release
+// options atomically with action success, and performs the post-action
+// promise check — all inside a single ACID transaction, exactly as §8
+// prescribes. Deadlocks between concurrent requests are retried internally.
+func (m *Manager) Execute(req Request) (*Response, error) {
+	if req.Client == "" {
+		return nil, fmt.Errorf("%w: missing client", ErrBadRequest)
+	}
+	start := m.clk.Now()
+	var lastErr error
+	for attempt := 0; attempt < m.cfg.MaxRetries; attempt++ {
+		resp, err := m.executeOnce(req)
+		if err == nil {
+			m.observeExecute(start, resp)
+			switch {
+			case resp.ActionErr == nil:
+			case errors.Is(resp.ActionErr, ErrPromiseViolated):
+				m.metrics.violations.Inc()
+			default:
+				m.metrics.actionErrors.Inc()
+			}
+			return resp, nil
+		}
+		if !errors.Is(err, txn.ErrDeadlock) {
+			return nil, err
+		}
+		m.metrics.deadlocks.Inc()
+		lastErr = err
+		// Deadlock victims back off with jitter so retrying requests do
+		// not collide in lockstep.
+		shift := attempt
+		if shift > 8 {
+			shift = 8
+		}
+		time.Sleep(time.Duration(rand.Intn(1<<shift+1)) * 50 * time.Microsecond)
+	}
+	return nil, fmt.Errorf("core: request kept deadlocking after %d attempts: %w", m.cfg.MaxRetries, lastErr)
+}
+
+func (m *Manager) executeOnce(req Request) (_ *Response, err error) {
+	tx := m.store.Begin(txn.Block)
+	st := &execState{}
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		if !tx.Done() {
+			_ = tx.Abort()
+		}
+		// Compensate upstream promises acquired during this attempt.
+		for i := len(st.undoUpstream) - 1; i >= 0; i-- {
+			st.undoUpstream[i]()
+		}
+	}()
+
+	if err := m.sweepExpired(tx, st); err != nil {
+		return nil, err
+	}
+
+	resp := &Response{}
+	for _, pr := range req.PromiseRequests {
+		presp, err := m.processPromiseRequest(tx, st, req.Client, pr)
+		if err != nil {
+			return nil, err
+		}
+		resp.Promises = append(resp.Promises, presp)
+	}
+
+	envErr := m.validateEnv(tx, req.Client, req.Env)
+	switch {
+	case req.Action != nil:
+		if envErr != nil {
+			resp.ActionErr = envErr
+			break
+		}
+		sp := tx.Savepoint()
+		postMark := len(st.postCommit)
+		relMark := st.released
+		result, aerr := runAction(req.Action, tx, m.rm)
+		if aerr != nil {
+			// A deadlock inside the action is a transaction-level event,
+			// not an application failure: bubble it up so Execute retries
+			// the whole request (actions must therefore be deterministic
+			// functions of transaction state, which PM-unaware services
+			// are by construction).
+			if errors.Is(aerr, txn.ErrDeadlock) {
+				return nil, aerr
+			}
+			// Action failed: undo its changes; promises in the environment
+			// remain in force (§4: "if the purchase fails … then the
+			// promise should remain in force").
+			if rerr := tx.RollbackTo(sp); rerr != nil {
+				return nil, rerr
+			}
+			resp.ActionErr = aerr
+			break
+		}
+		// Release options apply atomically with action success.
+		if rerr := m.applyEnvReleases(tx, st, req.Client, req.Env); rerr != nil {
+			return nil, rerr
+		}
+		if !m.cfg.DisablePostCheck {
+			if verr := m.checkAll(tx); verr != nil {
+				// §8: "the promise manager will roll back the changes made
+				// by the Action and return a failure message".
+				if rerr := tx.RollbackTo(sp); rerr != nil {
+					return nil, rerr
+				}
+				st.postCommit = st.postCommit[:postMark]
+				st.released = relMark
+				resp.ActionErr = fmt.Errorf("%w: %v", ErrPromiseViolated, verr)
+				break
+			}
+		}
+		resp.ActionResult = result
+	case len(req.Env) > 0:
+		// Pure promise-release message.
+		if envErr != nil {
+			resp.ActionErr = envErr
+			break
+		}
+		if rerr := m.applyEnvReleases(tx, st, req.Client, req.Env); rerr != nil {
+			return nil, rerr
+		}
+	}
+
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	committed = true
+	m.metrics.releases.Add(st.released)
+	m.metrics.expirations.Add(st.expired)
+	for _, f := range st.postCommit {
+		f()
+	}
+	return resp, nil
+}
+
+// runAction executes the application action, converting panics into errors
+// so an ill-behaved service cannot take down the manager.
+func runAction(a Action, tx *txn.Tx, rm *resource.Manager) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: action panicked: %v", r)
+		}
+	}()
+	return a(&ActionContext{Tx: tx, Resources: rm})
+}
+
+// processPromiseRequest evaluates one atomic <promise-request>. It returns
+// the response to send; err is reserved for internal failures that must
+// abort the whole message.
+func (m *Manager) processPromiseRequest(tx *txn.Tx, st *execState, client string, pr PromiseRequest) (PromiseResponse, error) {
+	reject := func(format string, args ...any) PromiseResponse {
+		return PromiseResponse{Correlation: pr.RequestID, Reason: fmt.Sprintf(format, args...)}
+	}
+	if len(pr.Predicates) == 0 {
+		return reject("no predicates in promise request"), nil
+	}
+	for _, p := range pr.Predicates {
+		if err := p.Validate(); err != nil {
+			return reject("invalid predicate %s: %v", p, err), nil
+		}
+	}
+	// Resolve promises to be handed back atomically with this grant (§4,
+	// third requirement). They stay in force if the grant fails.
+	var releases []*Promise
+	for _, rid := range pr.Releases {
+		p, err := m.promiseForClient(tx, client, rid)
+		if err != nil {
+			return reject("release target %s: %v", rid, err), nil
+		}
+		releases = append(releases, p)
+	}
+
+	duration := m.clampDuration(pr.Duration)
+	plan, reason, counter, err := m.plan(tx, st, pr.Predicates, releases, duration)
+	if err != nil {
+		return PromiseResponse{}, err
+	}
+	if plan == nil {
+		resp := reject("%s", reason)
+		resp.Counter = counter
+		return resp, nil
+	}
+
+	for _, rp := range releases {
+		if err := m.releasePromise(tx, st, rp, Released); err != nil {
+			return PromiseResponse{}, err
+		}
+	}
+	prm := &Promise{
+		ID:         m.promiseIDs.Next(),
+		Client:     client,
+		Predicates: append([]Predicate(nil), pr.Predicates...),
+		Expires:    m.clk.Now().Add(duration),
+		State:      Active,
+	}
+	if err := m.applyGrant(tx, prm, plan); err != nil {
+		return PromiseResponse{}, err
+	}
+	return PromiseResponse{
+		Correlation: pr.RequestID,
+		Accepted:    true,
+		PromiseID:   prm.ID,
+		Expires:     prm.Expires,
+	}, nil
+}
+
+func (m *Manager) clampDuration(d time.Duration) time.Duration {
+	if d <= 0 {
+		d = m.cfg.DefaultDuration
+	}
+	if d > m.cfg.MaxDuration {
+		d = m.cfg.MaxDuration
+	}
+	return d
+}
+
+// promiseForClient loads a usable promise owned by client, mapping state
+// problems to the client-visible sentinel errors.
+func (m *Manager) promiseForClient(tx *txn.Tx, client, id string) (*Promise, error) {
+	p, err := m.promise(tx, id)
+	if err != nil {
+		return nil, err
+	}
+	if p.Client != client {
+		return nil, fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
+	}
+	switch p.State {
+	case Released:
+		return nil, fmt.Errorf("%w: %s", ErrPromiseReleased, id)
+	case Expired:
+		return nil, fmt.Errorf("%w: %s", ErrPromiseExpired, id)
+	}
+	if !m.clk.Now().Before(p.Expires) {
+		return nil, fmt.Errorf("%w: %s", ErrPromiseExpired, id)
+	}
+	return p, nil
+}
+
+func (m *Manager) promise(tx *txn.Tx, id string) (*Promise, error) {
+	row, err := tx.Get(TablePromises, id)
+	if errors.Is(err, txn.ErrNotFound) {
+		row, err = tx.Get(TablePromisesDone, id)
+	}
+	if errors.Is(err, txn.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p := row.(*promiseRow).p
+	return &p, nil
+}
+
+// putPromise stores p in the table matching its state: active promises in
+// the scanned promise table, terminal ones in the keyed-only done table.
+func (m *Manager) putPromise(tx *txn.Tx, p *Promise) error {
+	if p.State == Active {
+		return tx.Put(TablePromises, p.ID, &promiseRow{p: *p})
+	}
+	if err := tx.Delete(TablePromises, p.ID); err != nil && !errors.Is(err, txn.ErrNotFound) {
+		return err
+	}
+	return tx.Put(TablePromisesDone, p.ID, &promiseRow{p: *p})
+}
+
+// validateEnv checks that every environment promise exists, belongs to the
+// client, and has not expired or been released — the "promise-expired"
+// check of §2.
+func (m *Manager) validateEnv(tx *txn.Tx, client string, env []EnvEntry) error {
+	for _, e := range env {
+		if _, err := m.promiseForClient(tx, client, e.PromiseID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyEnvReleases hands back every environment promise whose release
+// option is set.
+func (m *Manager) applyEnvReleases(tx *txn.Tx, st *execState, client string, env []EnvEntry) error {
+	for _, e := range env {
+		if !e.Release {
+			continue
+		}
+		p, err := m.promiseForClient(tx, client, e.PromiseID)
+		if err != nil {
+			return err
+		}
+		if err := m.releasePromise(tx, st, p, Released); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// releasePromise frees every hold backing p and marks it with the given
+// terminal state (Released or Expired).
+func (m *Manager) releasePromise(tx *txn.Tx, st *execState, p *Promise, terminal State) error {
+	if p.State != Active {
+		return nil
+	}
+	for i, pred := range p.Predicates {
+		slot := slotKey(p.ID, i)
+		switch pred.View {
+		case AnonymousView:
+			q, err := m.ledger.Reserved(tx, pred.Pool, slot)
+			if err != nil {
+				return err
+			}
+			if q > 0 {
+				if err := m.ledger.Release(tx, pred.Pool, slot, q); err != nil {
+					return err
+				}
+			}
+			if i < len(p.DelegatedID) && p.DelegatedID[i] != "" {
+				sup := m.cfg.Suppliers[pred.Pool]
+				if sup != nil {
+					id := p.DelegatedID[i]
+					st.postCommit = append(st.postCommit, func() { _ = sup.ReleasePromise(id) })
+				}
+			}
+		case NamedView, PropertyView:
+			inst := ""
+			if i < len(p.Assigned) {
+				inst = p.Assigned[i]
+			}
+			if inst == "" {
+				continue
+			}
+			holder, err := m.tags.Holder(tx, inst)
+			if err != nil {
+				return err
+			}
+			if holder != slot {
+				continue // the action already consumed it through Take, or a repair moved it
+			}
+			in, err := m.rm.Instance(tx, inst)
+			if errors.Is(err, txn.ErrNotFound) {
+				if ferr := m.tags.Forget(tx, inst, slot); ferr != nil {
+					return ferr
+				}
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if in.Status == resource.Promised {
+				if err := m.tags.Release(tx, inst, slot); err != nil {
+					return err
+				}
+			} else {
+				// The application took (or otherwise moved) the instance
+				// under this promise's protection; just drop the record.
+				if err := m.tags.Forget(tx, inst, slot); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	p.State = terminal
+	if terminal == Expired {
+		st.expired++
+	} else {
+		st.released++
+	}
+	return m.putPromise(tx, p)
+}
+
+// sweepExpired lapses every active promise past its expiry, freeing its
+// holds. It runs at the start of every request so availability reflects
+// only live promises (§2: "promises will expire at the end of this time").
+func (m *Manager) sweepExpired(tx *txn.Tx, st *execState) error {
+	now := m.clk.Now()
+	var expired []*Promise
+	err := tx.Scan(TablePromises, func(_ string, row txn.Row) bool {
+		p := row.(*promiseRow).p
+		if p.State == Active && !now.Before(p.Expires) {
+			expired = append(expired, &p)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range expired {
+		if err := m.releasePromise(tx, st, p, Expired); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sweep expires lapsed promises in a transaction of its own; deployments
+// call it periodically, tests call it after advancing a fake clock.
+func (m *Manager) Sweep() error {
+	tx := m.store.Begin(txn.Block)
+	st := &execState{}
+	if err := m.sweepExpired(tx, st); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	m.metrics.expirations.Add(st.expired)
+	for _, f := range st.postCommit {
+		f()
+	}
+	return nil
+}
+
+// PromiseInfo returns a copy of the promise with the given id, for
+// inspection by tools and tests.
+func (m *Manager) PromiseInfo(id string) (Promise, error) {
+	tx := m.store.Begin(txn.Block)
+	defer tx.Commit()
+	p, err := m.promise(tx, id)
+	if err != nil {
+		return Promise{}, err
+	}
+	return *p, nil
+}
+
+// ActivePromises returns copies of all active, unexpired promises.
+func (m *Manager) ActivePromises() ([]Promise, error) {
+	tx := m.store.Begin(txn.Block)
+	defer tx.Commit()
+	return m.activePromises(tx)
+}
+
+func (m *Manager) activePromises(tx *txn.Tx) ([]Promise, error) {
+	now := m.clk.Now()
+	var out []Promise
+	err := tx.Scan(TablePromises, func(_ string, row txn.Row) bool {
+		p := row.(*promiseRow).p
+		if p.State == Active && now.Before(p.Expires) {
+			out = append(out, p)
+		}
+		return true
+	})
+	return out, err
+}

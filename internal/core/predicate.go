@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/predicate"
+)
+
+// View identifies how a predicate regards its resources — the three
+// abstractions of paper §3, "derived from a study of different isolation
+// mechanisms commonly used in existing business practices".
+type View int
+
+// Resource views.
+const (
+	// AnonymousView (§3.1): a pool of indistinguishable instances; the
+	// predicate asks for a quantity.
+	AnonymousView View = iota
+	// NamedView (§3.2): one specific instance identified by id.
+	NamedView
+	// PropertyView (§3.3): any instance whose properties satisfy a boolean
+	// expression.
+	PropertyView
+)
+
+// String names the view.
+func (v View) String() string {
+	switch v {
+	case AnonymousView:
+		return "anonymous"
+	case NamedView:
+		return "named"
+	case PropertyView:
+		return "property"
+	}
+	return fmt.Sprintf("View(%d)", int(v))
+}
+
+// Predicate is one condition within a promise request. The three views map
+// onto the paper's examples:
+//
+//   - Quantity("pink-widgets", 5)    — "quantity of 'pink widgets' >= 5"
+//   - Named("room-212-hilton-12mar") — "room 212, Sydney Hilton, 12/3/2007"
+//   - Property(`floor = 5 and view`) — "any 5th floor room with a view"
+type Predicate struct {
+	View View
+	// Pool and Qty describe an anonymous-view quantity requirement.
+	Pool string
+	Qty  int64
+	// Instance is the named-view instance id.
+	Instance string
+	// Expr is the property-view selection predicate; Source is its text
+	// form, preserved for protocol encoding.
+	Expr   predicate.Expr
+	Source string
+}
+
+// Quantity builds an anonymous-view predicate: qty units of pool must
+// remain available.
+func Quantity(pool string, qty int64) Predicate {
+	return Predicate{View: AnonymousView, Pool: pool, Qty: qty}
+}
+
+// Named builds a named-view predicate over one instance.
+func Named(instance string) Predicate {
+	return Predicate{View: NamedView, Instance: instance}
+}
+
+// Property builds a property-view predicate from an expression in the
+// standard predicate syntax.
+func Property(src string) (Predicate, error) {
+	e, err := predicate.Parse(src)
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{View: PropertyView, Expr: e, Source: src}, nil
+}
+
+// MustProperty is Property for statically known expressions; it panics on
+// parse errors.
+func MustProperty(src string) Predicate {
+	p, err := Property(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FromExpr interprets a general boolean expression as an anonymous-view
+// quantity requirement on pool — the "general Boolean expressions …
+// specified using standard schemas" path of §3, where "the promise manager
+// … can be completely general purpose". Expressions of the restricted form
+// `quantity >= N` (or equivalent lower-bound conjunctions over "quantity",
+// "balance" or "onhand") become Quantity(pool, N).
+func FromExpr(pool, src string) (Predicate, error) {
+	e, err := predicate.Parse(src)
+	if err != nil {
+		return Predicate{}, err
+	}
+	prop, iv, ok := predicate.Bound(e)
+	if !ok {
+		return Predicate{}, fmt.Errorf("%w: %q is not a lower-bound quantity expression", ErrBadRequest, src)
+	}
+	switch prop {
+	case "quantity", "balance", "onhand":
+	default:
+		return Predicate{}, fmt.Errorf("%w: %q constrains %q, want quantity/balance/onhand", ErrBadRequest, src, prop)
+	}
+	if iv.Empty() || iv.Lo <= 0 || iv.Hi != math.MaxInt64 {
+		return Predicate{}, fmt.Errorf("%w: %q must be a positive lower bound", ErrBadRequest, src)
+	}
+	return Quantity(pool, iv.Lo), nil
+}
+
+// Validate checks structural well-formedness.
+func (p Predicate) Validate() error {
+	switch p.View {
+	case AnonymousView:
+		if p.Pool == "" {
+			return fmt.Errorf("%w: anonymous predicate needs a pool", ErrBadRequest)
+		}
+		if p.Qty <= 0 {
+			return fmt.Errorf("%w: anonymous predicate needs positive quantity, got %d", ErrBadRequest, p.Qty)
+		}
+	case NamedView:
+		if p.Instance == "" {
+			return fmt.Errorf("%w: named predicate needs an instance id", ErrBadRequest)
+		}
+	case PropertyView:
+		if p.Expr == nil {
+			return fmt.Errorf("%w: property predicate needs an expression", ErrBadRequest)
+		}
+	default:
+		return fmt.Errorf("%w: unknown view %v", ErrBadRequest, p.View)
+	}
+	return nil
+}
+
+// String renders the predicate for traces and protocol encoding.
+func (p Predicate) String() string {
+	switch p.View {
+	case AnonymousView:
+		return fmt.Sprintf("quantity(%s) >= %d", p.Pool, p.Qty)
+	case NamedView:
+		return fmt.Sprintf("instance(%s) available", p.Instance)
+	case PropertyView:
+		if p.Source != "" {
+			return fmt.Sprintf("match(%s)", p.Source)
+		}
+		return fmt.Sprintf("match(%s)", p.Expr)
+	}
+	return "invalid-predicate"
+}

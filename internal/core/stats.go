@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// managerMetrics instruments the manager's hot paths. Counters are cheap
+// (atomic adds); the latency histogram records every Execute call.
+type managerMetrics struct {
+	grants       metrics.Counter
+	rejections   metrics.Counter
+	releases     metrics.Counter
+	expirations  metrics.Counter
+	violations   metrics.Counter
+	actionErrors metrics.Counter
+	deadlocks    metrics.Counter // internal deadlock retries
+	requests     metrics.Counter
+	latency      metrics.Histogram
+}
+
+// Stats is a point-in-time snapshot of manager activity, for operators and
+// experiment harnesses.
+type Stats struct {
+	// Requests is the number of Execute calls completed.
+	Requests int64
+	// Grants and Rejections count promise-request outcomes.
+	Grants, Rejections int64
+	// Releases counts promises handed back (including atomic modifies).
+	Releases int64
+	// Expirations counts promises lapsed by the sweep.
+	Expirations int64
+	// Violations counts actions rolled back by the post-action check.
+	Violations int64
+	// ActionErrors counts actions that failed on their own.
+	ActionErrors int64
+	// DeadlockRetries counts internal transaction retries.
+	DeadlockRetries int64
+	// Latency summarises Execute latency.
+	Latency metrics.Summary
+}
+
+// String renders the snapshot on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"requests=%d grants=%d rejections=%d releases=%d expirations=%d violations=%d actionErrs=%d deadlockRetries=%d p50=%v p99=%v",
+		s.Requests, s.Grants, s.Rejections, s.Releases, s.Expirations,
+		s.Violations, s.ActionErrors, s.DeadlockRetries, s.Latency.P50, s.Latency.P99)
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Requests:        m.metrics.requests.Value(),
+		Grants:          m.metrics.grants.Value(),
+		Rejections:      m.metrics.rejections.Value(),
+		Releases:        m.metrics.releases.Value(),
+		Expirations:     m.metrics.expirations.Value(),
+		Violations:      m.metrics.violations.Value(),
+		ActionErrors:    m.metrics.actionErrors.Value(),
+		DeadlockRetries: m.metrics.deadlocks.Value(),
+		Latency:         m.metrics.latency.Summarize(),
+	}
+}
+
+// observeExecute records one completed Execute call.
+func (m *Manager) observeExecute(start time.Time, resp *Response) {
+	m.metrics.requests.Inc()
+	m.metrics.latency.Observe(time.Since(start))
+	if resp == nil {
+		return
+	}
+	for _, pr := range resp.Promises {
+		if pr.Accepted {
+			m.metrics.grants.Inc()
+		} else {
+			m.metrics.rejections.Inc()
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package escrow implements the "Resource Pool" technique of paper §5 for
+// anonymous resources, in the style of O'Neil's escrow transactional method
+// [8]: "when we promise that we can supply 10 widgets, we remove 10 widgets
+// from the pool of available widgets and place them in the allocated pool.
+// The digital equivalent can be implemented by keeping a count of available
+// and allocated items in the record corresponding to each type of
+// resource."
+//
+// A Ledger keeps, per pool, the quantities reserved by each holder. The
+// escrow invariant is
+//
+//	sum(reserved quantities) <= pool quantity on hand
+//
+// which is exactly §3.1: "the only constraint being that the sum of all
+// promised resources should not exceed the resources that are actually
+// available." Because the ledger lives in the same transactional store as
+// the resource manager, a promise grant and its reservation commit or roll
+// back together (§8).
+package escrow
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/resource"
+	"repro/internal/txn"
+)
+
+// Table is the store table holding escrow entries.
+const Table = "escrow"
+
+// ErrInsufficient is returned when a reservation would overdraw the pool.
+var ErrInsufficient = errors.New("escrow: insufficient unreserved quantity")
+
+// ErrNoReservation is returned when releasing or consuming more than the
+// holder has reserved.
+var ErrNoReservation = errors.New("escrow: holder has no such reservation")
+
+// entry is the per-pool escrow record.
+type entry struct {
+	pool     string
+	reserved map[string]int64 // holder -> quantity
+}
+
+// CloneRow implements txn.Row.
+func (e *entry) CloneRow() txn.Row {
+	c := &entry{pool: e.pool, reserved: make(map[string]int64, len(e.reserved))}
+	for k, v := range e.reserved {
+		c.reserved[k] = v
+	}
+	return c
+}
+
+func (e *entry) total() int64 {
+	var t int64
+	for _, q := range e.reserved {
+		t += q
+	}
+	return t
+}
+
+// Ledger tracks escrow reservations against pools managed by a
+// resource.Manager sharing the same store.
+type Ledger struct {
+	store *txn.Store
+	rm    *resource.Manager
+}
+
+// NewLedger creates the escrow table and returns a Ledger.
+func NewLedger(store *txn.Store, rm *resource.Manager) (*Ledger, error) {
+	if err := store.CreateTable(Table); err != nil {
+		return nil, err
+	}
+	return &Ledger{store: store, rm: rm}, nil
+}
+
+func (l *Ledger) load(tx *txn.Tx, pool string) (*entry, error) {
+	row, err := tx.Get(Table, pool)
+	if errors.Is(err, txn.ErrNotFound) {
+		return &entry{pool: pool, reserved: make(map[string]int64)}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return row.(*entry), nil
+}
+
+// Reserve sets aside qty units of pool for holder, enforcing the escrow
+// invariant against the pool's current quantity on hand. Multiple
+// reservations by the same holder accumulate.
+func (l *Ledger) Reserve(tx *txn.Tx, pool, holder string, qty int64) error {
+	if qty <= 0 {
+		return fmt.Errorf("escrow: reserve quantity must be positive, got %d", qty)
+	}
+	p, err := l.rm.Pool(tx, pool)
+	if err != nil {
+		return err
+	}
+	e, err := l.load(tx, pool)
+	if err != nil {
+		return err
+	}
+	if e.total()+qty > p.OnHand {
+		return fmt.Errorf("%w: pool %q has %d on hand, %d already reserved, requested %d",
+			ErrInsufficient, pool, p.OnHand, e.total(), qty)
+	}
+	e.reserved[holder] += qty
+	return tx.Put(Table, pool, e)
+}
+
+// Release returns qty units of holder's reservation to the unreserved pool.
+func (l *Ledger) Release(tx *txn.Tx, pool, holder string, qty int64) error {
+	if qty <= 0 {
+		return fmt.Errorf("escrow: release quantity must be positive, got %d", qty)
+	}
+	e, err := l.load(tx, pool)
+	if err != nil {
+		return err
+	}
+	if e.reserved[holder] < qty {
+		return fmt.Errorf("%w: holder %q reserved %d of pool %q, tried to release %d",
+			ErrNoReservation, holder, e.reserved[holder], pool, qty)
+	}
+	e.reserved[holder] -= qty
+	if e.reserved[holder] == 0 {
+		delete(e.reserved, holder)
+	}
+	return tx.Put(Table, pool, e)
+}
+
+// Consume fulfils qty units of holder's reservation: the reservation
+// shrinks and the pool's quantity on hand falls by the same amount — the
+// action "which depends on, but violates, a previously promised condition,
+// together with releasing the promise" (§4).
+func (l *Ledger) Consume(tx *txn.Tx, pool, holder string, qty int64) error {
+	if qty <= 0 {
+		return fmt.Errorf("escrow: consume quantity must be positive, got %d", qty)
+	}
+	e, err := l.load(tx, pool)
+	if err != nil {
+		return err
+	}
+	if e.reserved[holder] < qty {
+		return fmt.Errorf("%w: holder %q reserved %d of pool %q, tried to consume %d",
+			ErrNoReservation, holder, e.reserved[holder], pool, qty)
+	}
+	if _, err := l.rm.AdjustPool(tx, pool, -qty); err != nil {
+		return err
+	}
+	e.reserved[holder] -= qty
+	if e.reserved[holder] == 0 {
+		delete(e.reserved, holder)
+	}
+	return tx.Put(Table, pool, e)
+}
+
+// Reserved returns the quantity holder currently has reserved in pool.
+func (l *Ledger) Reserved(tx *txn.Tx, pool, holder string) (int64, error) {
+	e, err := l.load(tx, pool)
+	if err != nil {
+		return 0, err
+	}
+	return e.reserved[holder], nil
+}
+
+// TotalReserved returns the sum of all reservations against pool.
+func (l *Ledger) TotalReserved(tx *txn.Tx, pool string) (int64, error) {
+	e, err := l.load(tx, pool)
+	if err != nil {
+		return 0, err
+	}
+	return e.total(), nil
+}
+
+// Unreserved returns the pool quantity not covered by any reservation —
+// what a new promise request can still draw on.
+func (l *Ledger) Unreserved(tx *txn.Tx, pool string) (int64, error) {
+	p, err := l.rm.Pool(tx, pool)
+	if err != nil {
+		return 0, err
+	}
+	total, err := l.TotalReserved(tx, pool)
+	if err != nil {
+		return 0, err
+	}
+	return p.OnHand - total, nil
+}
+
+// CheckInvariant verifies sum(reserved) <= on-hand for pool; promise
+// checking calls this after every application action (§8 "a check is
+// performed after every client-requested operation has completed").
+func (l *Ledger) CheckInvariant(tx *txn.Tx, pool string) error {
+	u, err := l.Unreserved(tx, pool)
+	if err != nil {
+		return err
+	}
+	if u < 0 {
+		return fmt.Errorf("%w: pool %q overdrawn by %d", ErrInsufficient, pool, -u)
+	}
+	return nil
+}
+
+// CheckAllInvariants verifies the escrow invariant for every pool that has
+// reservations.
+func (l *Ledger) CheckAllInvariants(tx *txn.Tx) error {
+	var pools []string
+	err := tx.Scan(Table, func(key string, _ txn.Row) bool {
+		pools = append(pools, key)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, pool := range pools {
+		if err := l.CheckInvariant(tx, pool); err != nil {
+			return err
+		}
+	}
+	return nil
+}

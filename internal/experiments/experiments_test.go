@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment suite is the reproduction's evaluation; these tests run
+// every experiment in quick mode and assert the *shape* claims recorded in
+// EXPERIMENTS.md, so a regression in the system shows up as a failed shape.
+
+func cell(t *testing.T, tbl *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tbl.Rows) || col >= len(tbl.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d) in %+v", tbl.ID, row, col, tbl.Rows)
+	}
+	return tbl.Rows[row][col]
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("not an int: %q", s)
+	}
+	return n
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x"), 64)
+	if err != nil {
+		t.Fatalf("not a float: %q", s)
+	}
+	return f
+}
+
+func TestE1PromisesBeatLockingAtLongHolds(t *testing.T) {
+	tbl, err := RunE1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Fprint(bytes.NewBuffer(nil))
+	// At the longest hold, promises must be at least 2x locking.
+	last := len(tbl.Rows) - 1
+	speedup := atof(t, cell(t, tbl, last, 3))
+	if speedup < 2 {
+		t.Fatalf("E1 shape broken: speedup at longest hold = %.2f, want >= 2", speedup)
+	}
+}
+
+func TestE2PromisesScaleWithClients(t *testing.T) {
+	tbl, err := RunE2(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 16 clients promises must beat locking (which is pinned at ~1/hold).
+	last := len(tbl.Rows) - 1
+	lock := atof(t, cell(t, tbl, last, 1))
+	prom := atof(t, cell(t, tbl, last, 2))
+	if prom < 2*lock {
+		t.Fatalf("E2 shape broken: promises %.0f vs locking %.0f at max clients", prom, lock)
+	}
+}
+
+func TestE3PromisesNeverFailLate(t *testing.T) {
+	tbl, err := RunE3(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCTALate := false
+	for _, row := range tbl.Rows {
+		if row[1] == "promises" && row[4] != "0" {
+			t.Fatalf("E3 shape broken: promises row has %s late failures", row[4])
+		}
+		if row[1] == "check-then-act" && row[4] != "0" {
+			sawCTALate = true
+		}
+	}
+	if !sawCTALate {
+		t.Log("warning: check-then-act produced no late failures in quick mode (timing-dependent)")
+	}
+}
+
+func TestE4PromisesNeverDeadlock(t *testing.T) {
+	tbl, err := RunE4(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "0" {
+			t.Fatalf("E4 shape broken: promises deadlocked %s times", row[3])
+		}
+		if fulfilled := atoi(t, row[4]); fulfilled == 0 {
+			t.Fatalf("E4: promises fulfilled nothing at %s pairs", row[0])
+		}
+	}
+}
+
+func TestE5CostsReported(t *testing.T) {
+	tbl, err := RunE5(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 2 {
+		t.Fatalf("E5 rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		for col := 1; col <= 3; col++ {
+			if atof(t, row[col]) <= 0 {
+				t.Fatalf("E5: non-positive latency %q in row %v", row[col], row)
+			}
+		}
+	}
+}
+
+func TestE6MatchingSaturates(t *testing.T) {
+	tbl, err := RunE6(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "true" {
+			t.Fatalf("E6 shape broken: graph %s not saturated", row[0])
+		}
+	}
+}
+
+func TestE7MatchingBeatsFirstFit(t *testing.T) {
+	tbl, err := RunE7(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows come in (matching, first-fit) pairs per room count.
+	for i := 0; i+1 < len(tbl.Rows); i += 2 {
+		matchRate := atof(t, cell(t, tbl, i, 4))
+		fitRate := atof(t, cell(t, tbl, i+1, 4))
+		if matchRate < fitRate {
+			t.Fatalf("E7 shape broken at %s rooms: matching %.1f%% < first-fit %.1f%%",
+				tbl.Rows[i][0], matchRate, fitRate)
+		}
+	}
+}
+
+func TestE8AtomicModifyNeverLosesEverything(t *testing.T) {
+	tbl, err := RunE8(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(t, tbl, 0, 0) != "atomic-modify" {
+		t.Fatalf("row order changed: %v", tbl.Rows)
+	}
+	if cell(t, tbl, 0, 3) != "0" {
+		t.Fatalf("E8 shape broken: atomic modify lost everything %s times", cell(t, tbl, 0, 3))
+	}
+	// The naive strategy's lost count is timing-dependent; upgraded+kept+
+	// lost must account for all rounds in both rows.
+}
+
+func TestE9AblationBreaksInvariant(t *testing.T) {
+	tbl, err := RunE9(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(t, tbl, 0, 3) != "HELD" {
+		t.Fatalf("E9 shape broken: post-check enabled but invariant %q", cell(t, tbl, 0, 3))
+	}
+	if cell(t, tbl, 0, 2) != "0" {
+		// With the check on, some drains may legitimately commit while
+		// unpromised capacity remains (100-80=20 allows 6 drains of 3).
+		if atoi(t, cell(t, tbl, 0, 2)) > 6 {
+			t.Fatalf("E9: too many committed drains with post-check on: %s", cell(t, tbl, 0, 2))
+		}
+	}
+	if !strings.HasPrefix(cell(t, tbl, 1, 3), "BROKEN") {
+		t.Fatalf("E9 shape broken: ablation kept invariant %q", cell(t, tbl, 1, 3))
+	}
+}
+
+func TestE10PiggybackSaves(t *testing.T) {
+	tbl, err := RunE10(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saving string
+	for _, row := range tbl.Rows {
+		if row[0] == "piggyback saving" {
+			saving = row[1]
+		}
+	}
+	if saving == "" {
+		t.Fatal("no piggyback saving row")
+	}
+	if atof(t, saving) <= 0 {
+		t.Fatalf("E10 shape broken: piggyback saving %s", saving)
+	}
+}
+
+func TestE11DelegationSucceedsAtAllDepths(t *testing.T) {
+	tbl, err := RunE11(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != "true" {
+			t.Fatalf("E11 shape broken: depth %s grant failed", row[0])
+		}
+	}
+}
+
+func TestRegistryAndIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 11 || ids[0] != "E1" || ids[10] != "E11" {
+		t.Fatalf("IDs() = %v", ids)
+	}
+	for _, id := range ids {
+		if Registry[id] == nil {
+			t.Fatalf("no runner for %s", id)
+		}
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{
+		ID: "EX", Title: "t", Claim: "c",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   "n",
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"EX", "claim: c", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fprint missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package ids generates the identifiers used throughout the promise
+// protocol: request identifiers (paper §6, used to correlate
+// promise-requests with promise-responses) and promise identifiers (assigned
+// by the promise maker on grant).
+//
+// Identifiers are process-unique, ordered, and cheap: a prefixed
+// monotonically increasing counter. They are deliberately not UUIDs — the
+// module is offline and the paper requires only uniqueness within a
+// client/manager conversation plus human readability in traces.
+package ids
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Generator produces identifiers with a fixed prefix, e.g. "req" or "prm".
+// The zero value is not usable; construct with New.
+type Generator struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+// New returns a Generator whose identifiers look like "<prefix>-<n>".
+func New(prefix string) *Generator {
+	return &Generator{prefix: prefix}
+}
+
+// Next returns the next identifier. Safe for concurrent use.
+func (g *Generator) Next() string {
+	return fmt.Sprintf("%s-%d", g.prefix, g.n.Add(1))
+}
+
+// Count reports how many identifiers have been issued.
+func (g *Generator) Count() uint64 { return g.n.Load() }

@@ -1,0 +1,65 @@
+package ids
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNextHasPrefix(t *testing.T) {
+	g := New("req")
+	id := g.Next()
+	if !strings.HasPrefix(id, "req-") {
+		t.Fatalf("Next() = %q, want prefix req-", id)
+	}
+}
+
+func TestNextMonotonic(t *testing.T) {
+	g := New("prm")
+	if a, b := g.Next(), g.Next(); a == b {
+		t.Fatalf("two consecutive ids equal: %q", a)
+	}
+	if g.Next() != "prm-3" {
+		t.Fatalf("expected third id prm-3")
+	}
+}
+
+func TestCount(t *testing.T) {
+	g := New("x")
+	for i := 0; i < 7; i++ {
+		g.Next()
+	}
+	if got := g.Count(); got != 7 {
+		t.Fatalf("Count() = %d, want 7", got)
+	}
+}
+
+func TestConcurrentUnique(t *testing.T) {
+	g := New("c")
+	const workers, per = 16, 200
+	var mu sync.Mutex
+	seen := make(map[string]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]string, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, g.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate id %q", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*per {
+		t.Fatalf("got %d unique ids, want %d", len(seen), workers*per)
+	}
+}

@@ -1,0 +1,193 @@
+// Package matching implements bipartite maximum matching for property-view
+// promise checking. Paper §5 ("Satisfiability Check"): "This might be done
+// by finding a matching in a bipartite graph where edges link the untaken
+// resources to the promise predicates that they can satisfy." And §9: "With
+// property views, promise satisfiability can require a graph matching
+// algorithm, whereas integrity satisfiability is just logical
+// satisfiability."
+//
+// The left vertex set holds promise predicates, the right set holds
+// available resource instances; an edge (p, r) means instance r satisfies
+// predicate p. The set of promises is jointly satisfiable exactly when a
+// matching saturates the left side — each promise can be assigned its own
+// distinct instance (§3.2: one instance cannot back two promises).
+//
+// The package provides Hopcroft–Karp (O(E·sqrt(V))) as the production
+// algorithm and an exponential brute-force oracle used by property-based
+// tests to validate it.
+package matching
+
+import "fmt"
+
+// Unmatched marks a vertex with no partner in a matching.
+const Unmatched = -1
+
+// Graph is a bipartite graph over left vertices 0..NLeft-1 and right
+// vertices 0..NRight-1.
+type Graph struct {
+	nLeft, nRight int
+	adj           [][]int // adj[l] = right neighbours of l
+}
+
+// NewGraph returns an empty bipartite graph with the given part sizes.
+func NewGraph(nLeft, nRight int) *Graph {
+	return &Graph{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
+}
+
+// NLeft returns the size of the left part.
+func (g *Graph) NLeft() int { return g.nLeft }
+
+// NRight returns the size of the right part.
+func (g *Graph) NRight() int { return g.nRight }
+
+// AddEdge connects left vertex l to right vertex r. Out-of-range vertices
+// panic: graph construction bugs must not silently weaken promise checking.
+func (g *Graph) AddEdge(l, r int) {
+	if l < 0 || l >= g.nLeft || r < 0 || r >= g.nRight {
+		panic(fmt.Sprintf("matching: edge (%d,%d) out of range %dx%d", l, r, g.nLeft, g.nRight))
+	}
+	g.adj[l] = append(g.adj[l], r)
+}
+
+// Adj returns the neighbours of left vertex l (shared slice; do not modify).
+func (g *Graph) Adj(l int) []int { return g.adj[l] }
+
+// MaxMatching computes a maximum matching with Hopcroft–Karp. It returns
+// the matching size and the assignment matchL where matchL[l] is the right
+// partner of l or Unmatched.
+func (g *Graph) MaxMatching() (int, []int) {
+	const inf = int(^uint(0) >> 1)
+	matchL := make([]int, g.nLeft)
+	matchR := make([]int, g.nRight)
+	for i := range matchL {
+		matchL[i] = Unmatched
+	}
+	for i := range matchR {
+		matchR[i] = Unmatched
+	}
+	dist := make([]int, g.nLeft)
+	queue := make([]int, 0, g.nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < g.nLeft; l++ {
+			if matchL[l] == Unmatched {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, r := range g.adj[l] {
+				nl := matchR[r]
+				if nl == Unmatched {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range g.adj[l] {
+			nl := matchR[r]
+			if nl == Unmatched || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for l := 0; l < g.nLeft; l++ {
+			if matchL[l] == Unmatched && dfs(l) {
+				size++
+			}
+		}
+	}
+	return size, matchL
+}
+
+// SaturatesLeft reports whether every left vertex (promise) can be matched,
+// i.e. the promise set is jointly satisfiable, returning the assignment
+// when it is.
+func (g *Graph) SaturatesLeft() ([]int, bool) {
+	size, matchL := g.MaxMatching()
+	return matchL, size == g.nLeft
+}
+
+// BruteMaxMatching computes the maximum matching size by exhaustive
+// backtracking. Exponential; only for cross-checking Hopcroft–Karp in tests
+// on small graphs.
+func BruteMaxMatching(g *Graph) int {
+	usedR := make([]bool, g.nRight)
+	best := 0
+	var rec func(l, size int)
+	rec = func(l, size int) {
+		if size+(g.nLeft-l) <= best {
+			return // prune: cannot beat best
+		}
+		if l == g.nLeft {
+			if size > best {
+				best = size
+			}
+			return
+		}
+		// Option 1: leave l unmatched.
+		rec(l+1, size)
+		// Option 2: match l to each free neighbour.
+		for _, r := range g.adj[l] {
+			if !usedR[r] {
+				usedR[r] = true
+				rec(l+1, size+1)
+				usedR[r] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// VerifyMatching checks that matchL is a valid matching for g: partners in
+// range, edges exist, and no right vertex used twice. Tests use it to
+// validate assignments returned by MaxMatching.
+func VerifyMatching(g *Graph, matchL []int) error {
+	if len(matchL) != g.nLeft {
+		return fmt.Errorf("matching: assignment length %d, want %d", len(matchL), g.nLeft)
+	}
+	seen := make(map[int]int)
+	for l, r := range matchL {
+		if r == Unmatched {
+			continue
+		}
+		if r < 0 || r >= g.nRight {
+			return fmt.Errorf("matching: l=%d matched to out-of-range r=%d", l, r)
+		}
+		ok := false
+		for _, n := range g.adj[l] {
+			if n == r {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("matching: l=%d matched to non-neighbour r=%d", l, r)
+		}
+		if prev, dup := seen[r]; dup {
+			return fmt.Errorf("matching: right vertex %d used by both l=%d and l=%d", r, prev, l)
+		}
+		seen[r] = l
+	}
+	return nil
+}

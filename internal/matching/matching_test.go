@@ -1,0 +1,268 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewGraph(0, 0)
+	size, matchL := g.MaxMatching()
+	if size != 0 || len(matchL) != 0 {
+		t.Fatalf("empty: size=%d matchL=%v", size, matchL)
+	}
+	if _, ok := g.SaturatesLeft(); !ok {
+		t.Fatal("empty left side is trivially saturated")
+	}
+}
+
+func TestNoEdges(t *testing.T) {
+	g := NewGraph(3, 3)
+	size, matchL := g.MaxMatching()
+	if size != 0 {
+		t.Fatalf("size = %d", size)
+	}
+	for l, r := range matchL {
+		if r != Unmatched {
+			t.Fatalf("l=%d matched to %d with no edges", l, r)
+		}
+	}
+	if _, ok := g.SaturatesLeft(); ok {
+		t.Fatal("saturated with no edges")
+	}
+}
+
+func TestPerfectMatching(t *testing.T) {
+	g := NewGraph(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	size, matchL := g.MaxMatching()
+	if size != 3 {
+		t.Fatalf("size = %d", size)
+	}
+	if err := VerifyMatching(g, matchL); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.SaturatesLeft(); !ok {
+		t.Fatal("complete bipartite graph should saturate")
+	}
+}
+
+func TestHotelRoomScenario(t *testing.T) {
+	// §3.3: "one customer may be asking for a room with a view, while
+	// another might be requesting any 5th floor room. Room 512 could be a
+	// suitable available resource that would allow the promise manager to
+	// grant either of these requests, but the manager has to ensure that
+	// the same room is not allocated to both requests at once."
+	//
+	// Rooms: 0 = room 512 (view, 5th floor); 1 = room 316 (view only).
+	// Promises: 0 = wants view, 1 = wants 5th floor.
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0) // view -> 512
+	g.AddEdge(0, 1) // view -> 316
+	g.AddEdge(1, 0) // 5th floor -> 512 only
+	matchL, ok := g.SaturatesLeft()
+	if !ok {
+		t.Fatal("both promises should be grantable")
+	}
+	if matchL[1] != 0 {
+		t.Fatalf("5th-floor promise must take room 512, got %d", matchL[1])
+	}
+	if matchL[0] != 1 {
+		t.Fatalf("view promise must be displaced to room 316, got %d", matchL[0])
+	}
+
+	// With only room 512 available, the two promises conflict.
+	g2 := NewGraph(2, 1)
+	g2.AddEdge(0, 0)
+	g2.AddEdge(1, 0)
+	if _, ok := g2.SaturatesLeft(); ok {
+		t.Fatal("one room cannot back two promises")
+	}
+}
+
+func TestAugmentingPathReassignment(t *testing.T) {
+	// Chain structure forcing reassignments: l0-{r0}, l1-{r0,r1}, l2-{r1,r2}.
+	g := NewGraph(3, 3)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 1)
+	g.AddEdge(2, 1)
+	g.AddEdge(2, 2)
+	size, matchL := g.MaxMatching()
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	if err := VerifyMatching(g, matchL); err != nil {
+		t.Fatal(err)
+	}
+	if matchL[0] != 0 || matchL[1] != 1 || matchL[2] != 2 {
+		t.Fatalf("forced assignment wrong: %v", matchL)
+	}
+}
+
+func TestUnbalancedGraphs(t *testing.T) {
+	// More promises than resources: saturation impossible.
+	g := NewGraph(4, 2)
+	for l := 0; l < 4; l++ {
+		for r := 0; r < 2; r++ {
+			g.AddEdge(l, r)
+		}
+	}
+	size, _ := g.MaxMatching()
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+	// More resources than promises: fine.
+	g2 := NewGraph(2, 5)
+	g2.AddEdge(0, 4)
+	g2.AddEdge(1, 4)
+	g2.AddEdge(1, 0)
+	matchL, ok := g2.SaturatesLeft()
+	if !ok {
+		t.Fatalf("should saturate: %v", matchL)
+	}
+	if err := VerifyMatching(g2, matchL); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateEdgesHarmless(t *testing.T) {
+	g := NewGraph(1, 1)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 0)
+	size, matchL := g.MaxMatching()
+	if size != 1 || matchL[0] != 0 {
+		t.Fatalf("size=%d matchL=%v", size, matchL)
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	cases := [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddEdge(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			g := NewGraph(2, 2)
+			g.AddEdge(c[0], c[1])
+		}()
+	}
+}
+
+func TestVerifyMatchingCatchesBadAssignments(t *testing.T) {
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 0)
+	if err := VerifyMatching(g, []int{0}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if err := VerifyMatching(g, []int{1, Unmatched}); err == nil {
+		t.Fatal("non-neighbour accepted")
+	}
+	if err := VerifyMatching(g, []int{0, 0}); err == nil {
+		t.Fatal("duplicate right vertex accepted")
+	}
+	if err := VerifyMatching(g, []int{5, Unmatched}); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if err := VerifyMatching(g, []int{0, Unmatched}); err != nil {
+		t.Fatalf("valid partial matching rejected: %v", err)
+	}
+}
+
+func randomGraph(r *rand.Rand, maxL, maxR int, p float64) *Graph {
+	nl := r.Intn(maxL + 1)
+	nr := r.Intn(maxR + 1)
+	g := NewGraph(nl, nr)
+	for l := 0; l < nl; l++ {
+		for rr := 0; rr < nr; rr++ {
+			if r.Float64() < p {
+				g.AddEdge(l, rr)
+			}
+		}
+	}
+	return g
+}
+
+// TestQuickHopcroftKarpMatchesBruteForce cross-checks the production
+// algorithm against exhaustive search on random small graphs.
+func TestQuickHopcroftKarpMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 7, 7, 0.2+0.6*r.Float64())
+		size, matchL := g.MaxMatching()
+		if err := VerifyMatching(g, matchL); err != nil {
+			t.Logf("invalid matching: %v", err)
+			return false
+		}
+		// Matching size must equal the number of matched left vertices.
+		matched := 0
+		for _, m := range matchL {
+			if m != Unmatched {
+				matched++
+			}
+		}
+		if matched != size {
+			t.Logf("size %d but %d matched vertices", size, matched)
+			return false
+		}
+		if brute := BruteMaxMatching(g); brute != size {
+			t.Logf("HK=%d brute=%d on %d x %d", size, brute, g.NLeft(), g.NRight())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMatchingMonotonic: adding a resource never shrinks the matching.
+func TestQuickMatchingMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 6, 6, 0.4)
+		before, _ := g.MaxMatching()
+		// Extend with one extra right vertex connected to random lefts.
+		g2 := NewGraph(g.NLeft(), g.NRight()+1)
+		for l := 0; l < g.NLeft(); l++ {
+			for _, rr := range g.Adj(l) {
+				g2.AddEdge(l, rr)
+			}
+			if r.Intn(2) == 0 {
+				g2.AddEdge(l, g.NRight())
+			}
+		}
+		after, _ := g2.MaxMatching()
+		return after >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeGraphPerformanceSanity(t *testing.T) {
+	// 1000x1000 with ~5 edges per left vertex must complete instantly and
+	// produce a verified matching.
+	r := rand.New(rand.NewSource(42))
+	g := NewGraph(1000, 1000)
+	for l := 0; l < 1000; l++ {
+		for k := 0; k < 5; k++ {
+			g.AddEdge(l, r.Intn(1000))
+		}
+	}
+	size, matchL := g.MaxMatching()
+	if err := VerifyMatching(g, matchL); err != nil {
+		t.Fatal(err)
+	}
+	if size < 900 {
+		t.Fatalf("suspiciously small matching %d on dense-ish random graph", size)
+	}
+}

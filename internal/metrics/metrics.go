@@ -1,0 +1,108 @@
+// Package metrics provides the lightweight counters and latency histograms
+// used by the benchmark harness (cmd/promise-bench) and by integration tests
+// to report the experiment rows recorded in EXPERIMENTS.md.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta (delta may be negative only in tests; production callers
+// should treat Counter as monotonic).
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Histogram records durations and reports percentile summaries. It stores
+// raw samples; experiments record at most a few million observations so the
+// memory cost is acceptable and the percentiles are exact.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Summary holds an exact percentile summary of a Histogram.
+type Summary struct {
+	Count          int
+	Min, Max, Mean time.Duration
+	P50, P90, P99  time.Duration
+}
+
+// Summarize computes a Summary. An empty histogram yields a zero Summary.
+func (h *Histogram) Summarize() Summary {
+	h.mu.Lock()
+	samples := make([]time.Duration, len(h.samples))
+	copy(samples, h.samples)
+	h.mu.Unlock()
+
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var total time.Duration
+	for _, s := range samples {
+		total += s
+	}
+	pick := func(q float64) time.Duration {
+		idx := int(math.Ceil(q*float64(len(samples)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		return samples[idx]
+	}
+	return Summary{
+		Count: len(samples),
+		Min:   samples[0],
+		Max:   samples[len(samples)-1],
+		Mean:  total / time.Duration(len(samples)),
+		P50:   pick(0.50),
+		P90:   pick(0.90),
+		P99:   pick(0.99),
+	}
+}
+
+// String renders the summary as a single row, e.g. for experiment output.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%v p50=%v p90=%v p99=%v max=%v mean=%v",
+		s.Count, s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean)
+}
+
+// Rate is a convenience: successes/total as a percentage string, guarding
+// the zero-total case.
+func Rate(success, total int64) string {
+	if total == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(success)/float64(total))
+}

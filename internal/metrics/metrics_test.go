@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 3200 {
+		t.Fatalf("Value() = %d, want 3200", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Summarize()
+	if s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty histogram summary = %+v, want zero", s)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Fatalf("P50 = %v, want 50ms", s.P50)
+	}
+	if s.P90 != 90*time.Millisecond {
+		t.Fatalf("P90 = %v, want 90ms", s.P90)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Fatalf("P99 = %v, want 99ms", s.P99)
+	}
+	wantMean := 50500 * time.Microsecond
+	if s.Mean != wantMean {
+		t.Fatalf("Mean = %v, want %v", s.Mean, wantMean)
+	}
+}
+
+func TestHistogramSingle(t *testing.T) {
+	var h Histogram
+	h.Observe(7 * time.Millisecond)
+	s := h.Summarize()
+	if s.P50 != 7*time.Millisecond || s.P99 != 7*time.Millisecond {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 800 {
+		t.Fatalf("Count = %d, want 800", got)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(1, 0); got != "n/a" {
+		t.Fatalf("Rate(1,0) = %q", got)
+	}
+	if got := Rate(1, 2); got != "50.0%" {
+		t.Fatalf("Rate(1,2) = %q", got)
+	}
+	if got := Rate(0, 5); got != "0.0%" {
+		t.Fatalf("Rate(0,5) = %q", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	if s := h.Summarize().String(); s == "" {
+		t.Fatal("String() empty")
+	}
+}

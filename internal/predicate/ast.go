@@ -1,0 +1,140 @@
+package predicate
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a parsed predicate expression. Expressions are immutable after
+// parsing and safe to share between goroutines.
+type Expr interface {
+	// String renders the expression in source syntax; parsing the result
+	// yields an equivalent expression (tested by quick-check round trips).
+	String() string
+	// appendProps accumulates referenced property names.
+	appendProps(set map[string]struct{})
+}
+
+// Lit is a literal value.
+type Lit struct {
+	Val Value
+}
+
+// String implements Expr.
+func (l *Lit) String() string                      { return l.Val.String() }
+func (l *Lit) appendProps(set map[string]struct{}) {}
+
+// Ref is a reference to a named resource property, e.g. "quantity" or
+// "room.floor".
+type Ref struct {
+	Name string
+}
+
+// String implements Expr.
+func (r *Ref) String() string                      { return r.Name }
+func (r *Ref) appendProps(set map[string]struct{}) { set[r.Name] = struct{}{} }
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAnd BinOp = iota
+	OpOr
+	OpEq
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+// String returns the source form of the operator.
+func (op BinOp) String() string {
+	switch op {
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	}
+	return fmt.Sprintf("BinOp(%d)", int(op))
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// String implements Expr. Output is fully parenthesised so precedence is
+// preserved on re-parse.
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+func (b *Binary) appendProps(set map[string]struct{}) {
+	b.L.appendProps(set)
+	b.R.appendProps(set)
+}
+
+// Not is logical negation.
+type Not struct {
+	X Expr
+}
+
+// String implements Expr.
+func (n *Not) String() string { return "(not " + n.X.String() + ")" }
+
+func (n *Not) appendProps(set map[string]struct{}) { n.X.appendProps(set) }
+
+// In tests membership of an expression's value in a literal set, e.g.
+// `beds in ("twin", "king")`.
+type In struct {
+	X   Expr
+	Set []Value
+}
+
+// String implements Expr.
+func (in *In) String() string {
+	parts := make([]string, len(in.Set))
+	for i, v := range in.Set {
+		parts[i] = v.String()
+	}
+	return "(" + in.X.String() + " in (" + strings.Join(parts, ", ") + "))"
+}
+
+func (in *In) appendProps(set map[string]struct{}) { in.X.appendProps(set) }
+
+// Properties returns the sorted-free set of property names referenced by e.
+func Properties(e Expr) map[string]struct{} {
+	set := make(map[string]struct{})
+	e.appendProps(set)
+	return set
+}

@@ -1,0 +1,64 @@
+package predicate
+
+import "testing"
+
+// The predicate language sits on the promise manager's hottest path (every
+// property-view edge evaluation parses nothing but evaluates one Expr), so
+// its costs are pinned here.
+
+func BenchmarkParse(b *testing.B) {
+	const src = `not smoking and view and beds = "twin" and floor >= 5`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	e := MustParse(`not smoking and view and beds = "twin" and floor >= 5`)
+	env := MapEnv{
+		"smoking": Bool(false),
+		"view":    Bool(true),
+		"beds":    Str("twin"),
+		"floor":   Int(5),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, err := Eval(e, env)
+		if err != nil || !ok {
+			b.Fatalf("%v %v", ok, err)
+		}
+	}
+}
+
+func BenchmarkEvalShortCircuit(b *testing.B) {
+	e := MustParse(`smoking and view and beds = "twin"`)
+	env := MapEnv{"smoking": Bool(false)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, err := Eval(e, env)
+		if err != nil || ok {
+			b.Fatalf("%v %v", ok, err)
+		}
+	}
+}
+
+func BenchmarkFold(b *testing.B) {
+	e := MustParse("quantity >= 2 + 3 and 1 + 1 = 2")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Fold(e)
+	}
+}
+
+func BenchmarkBound(b *testing.B) {
+	e := MustParse("balance >= 100 and balance < 500")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := Bound(e); !ok {
+			b.Fatal("not bounded")
+		}
+	}
+}

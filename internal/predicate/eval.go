@@ -1,0 +1,193 @@
+package predicate
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Env supplies property values during evaluation. A resource instance, a
+// pool record, or a joined view can all act as environments.
+type Env interface {
+	// Lookup returns the value of the named property and whether it exists.
+	Lookup(name string) (Value, bool)
+}
+
+// MapEnv is an Env backed by a map. The zero value is an empty environment.
+type MapEnv map[string]Value
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// ErrUnknownProperty is wrapped by evaluation errors for references to
+// properties the environment does not define. Callers distinguish "predicate
+// is false" from "predicate is not applicable to this resource".
+var ErrUnknownProperty = errors.New("unknown property")
+
+// EvalError describes an evaluation failure.
+type EvalError struct {
+	Expr string
+	Err  error
+}
+
+// Error implements error.
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("predicate: evaluating %s: %v", e.Expr, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *EvalError) Unwrap() error { return e.Err }
+
+// Eval evaluates e against env and requires a boolean result, as promise
+// predicates are boolean conditions (§3).
+func Eval(e Expr, env Env) (bool, error) {
+	v, err := evalValue(e, env)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.AsBool()
+	if !ok {
+		return false, &EvalError{Expr: e.String(), Err: fmt.Errorf("predicate result is %s, want bool", v.Kind())}
+	}
+	return b, nil
+}
+
+// EvalValue evaluates e against env and returns its value of any kind.
+// Useful for computed properties and tests.
+func EvalValue(e Expr, env Env) (Value, error) {
+	return evalValue(e, env)
+}
+
+func evalValue(e Expr, env Env) (Value, error) {
+	switch n := e.(type) {
+	case *Lit:
+		return n.Val, nil
+	case *Ref:
+		v, ok := env.Lookup(n.Name)
+		if !ok {
+			return Value{}, &EvalError{Expr: e.String(), Err: fmt.Errorf("%w: %q", ErrUnknownProperty, n.Name)}
+		}
+		return v, nil
+	case *Not:
+		v, err := evalValue(n.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		b, ok := v.AsBool()
+		if !ok {
+			return Value{}, &EvalError{Expr: e.String(), Err: fmt.Errorf("operand of 'not' is %s, want bool", v.Kind())}
+		}
+		return Bool(!b), nil
+	case *In:
+		v, err := evalValue(n.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		for _, member := range n.Set {
+			if v.Equal(member) {
+				return Bool(true), nil
+			}
+		}
+		return Bool(false), nil
+	case *Binary:
+		return evalBinary(n, env)
+	default:
+		return Value{}, &EvalError{Expr: e.String(), Err: fmt.Errorf("unknown expression node %T", e)}
+	}
+}
+
+func evalBinary(n *Binary, env Env) (Value, error) {
+	// Short-circuit logical operators first.
+	switch n.Op {
+	case OpAnd, OpOr:
+		l, err := evalValue(n.L, env)
+		if err != nil {
+			return Value{}, err
+		}
+		lb, ok := l.AsBool()
+		if !ok {
+			return Value{}, &EvalError{Expr: n.String(), Err: fmt.Errorf("left operand of %s is %s, want bool", n.Op, l.Kind())}
+		}
+		if n.Op == OpAnd && !lb {
+			return Bool(false), nil
+		}
+		if n.Op == OpOr && lb {
+			return Bool(true), nil
+		}
+		r, err := evalValue(n.R, env)
+		if err != nil {
+			return Value{}, err
+		}
+		rb, ok := r.AsBool()
+		if !ok {
+			return Value{}, &EvalError{Expr: n.String(), Err: fmt.Errorf("right operand of %s is %s, want bool", n.Op, r.Kind())}
+		}
+		return Bool(rb), nil
+	}
+
+	l, err := evalValue(n.L, env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := evalValue(n.R, env)
+	if err != nil {
+		return Value{}, err
+	}
+
+	switch n.Op {
+	case OpEq:
+		return Bool(l.Equal(r)), nil
+	case OpNeq:
+		return Bool(!l.Equal(r)), nil
+	case OpLt, OpLe, OpGt, OpGe:
+		c, err := l.Compare(r)
+		if err != nil {
+			return Value{}, &EvalError{Expr: n.String(), Err: err}
+		}
+		switch n.Op {
+		case OpLt:
+			return Bool(c < 0), nil
+		case OpLe:
+			return Bool(c <= 0), nil
+		case OpGt:
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case OpAdd:
+		// "+" concatenates strings as a convenience for property synthesis.
+		if l.Kind() == KindString && r.Kind() == KindString {
+			ls, _ := l.AsString()
+			rs, _ := r.AsString()
+			return Str(ls + rs), nil
+		}
+		fallthrough
+	case OpSub, OpMul, OpDiv, OpMod:
+		li, lok := l.AsInt()
+		ri, rok := r.AsInt()
+		if !lok || !rok {
+			return Value{}, &EvalError{Expr: n.String(), Err: fmt.Errorf("arithmetic %s needs ints, got %s and %s", n.Op, l.Kind(), r.Kind())}
+		}
+		switch n.Op {
+		case OpAdd:
+			return Int(li + ri), nil
+		case OpSub:
+			return Int(li - ri), nil
+		case OpMul:
+			return Int(li * ri), nil
+		case OpDiv:
+			if ri == 0 {
+				return Value{}, &EvalError{Expr: n.String(), Err: errors.New("division by zero")}
+			}
+			return Int(li / ri), nil
+		default:
+			if ri == 0 {
+				return Value{}, &EvalError{Expr: n.String(), Err: errors.New("modulo by zero")}
+			}
+			return Int(li % ri), nil
+		}
+	}
+	return Value{}, &EvalError{Expr: n.String(), Err: fmt.Errorf("unknown operator %v", n.Op)}
+}

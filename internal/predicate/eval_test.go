@@ -1,0 +1,140 @@
+package predicate
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEvalComparisons(t *testing.T) {
+	env := MapEnv{"q": Int(10), "name": Str("alice"), "flag": Bool(true)}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"q = 10", true},
+		{"q != 10", false},
+		{"q < 11", true},
+		{"q <= 10", true},
+		{"q > 10", false},
+		{"q >= 10", true},
+		{`name = "alice"`, true},
+		{`name < "bob"`, true},
+		{"flag = true", true},
+		{"flag", true},
+		{"not flag", false},
+		{"q >= 5 and q <= 20", true},
+		{"q < 5 or q > 5", true},
+		{"q*2 = 20", true},
+		{"q-10 = 0", true},
+		{"q/3 = 3", true},
+		{"q%3 = 1", true},
+		{"false < true", true}, // bool ordering, §3.3 acceptability
+	}
+	for _, c := range cases {
+		e := MustParse(c.src)
+		got, err := Eval(e, env)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("Eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalStringConcat(t *testing.T) {
+	v, err := EvalValue(MustParse(`"foo" + "bar"`), MapEnv{})
+	if err != nil {
+		t.Fatalf("EvalValue: %v", err)
+	}
+	if s, _ := v.AsString(); s != "foobar" {
+		t.Fatalf("concat = %q", s)
+	}
+}
+
+func TestEvalUnknownProperty(t *testing.T) {
+	_, err := Eval(MustParse("missing = 1"), MapEnv{})
+	if err == nil {
+		t.Fatal("want error for unknown property")
+	}
+	if !errors.Is(err, ErrUnknownProperty) {
+		t.Fatalf("error %v should wrap ErrUnknownProperty", err)
+	}
+	var ee *EvalError
+	if !errors.As(err, &ee) {
+		t.Fatalf("error type %T, want *EvalError", err)
+	}
+}
+
+func TestEvalTypeErrors(t *testing.T) {
+	env := MapEnv{"s": Str("x"), "n": Int(3), "b": Bool(true)}
+	cases := []string{
+		"s < 5",       // mixed-kind comparison
+		"s and b",     // non-bool operand of and
+		"b or n",      // non-bool right operand of or (b=false path) — but b true short-circuits
+		"not n",       // not over int
+		"s * 2 = 2",   // arithmetic over string
+		"n + b = 1",   // arithmetic over bool
+		"n = 3 and n", // int used as condition (left true, so right is reached)
+	}
+	for _, src := range cases {
+		e := MustParse(src)
+		_, err := Eval(e, env)
+		if src == "b or n" {
+			// b=true short-circuits; rewrite with false to force the error.
+			_, err = Eval(e, MapEnv{"b": Bool(false), "n": Int(3)})
+		}
+		if err == nil {
+			t.Errorf("Eval(%q) succeeded, want type error", src)
+		}
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// The right operand references a missing property; short circuit must
+	// prevent evaluation.
+	e := MustParse("q > 100 and missing = 1")
+	got, err := Eval(e, MapEnv{"q": Int(1)})
+	if err != nil || got {
+		t.Fatalf("and short-circuit: got %v, %v", got, err)
+	}
+	e = MustParse("q < 100 or missing = 1")
+	got, err = Eval(e, MapEnv{"q": Int(1)})
+	if err != nil || !got {
+		t.Fatalf("or short-circuit: got %v, %v", got, err)
+	}
+}
+
+func TestEvalDivByZero(t *testing.T) {
+	for _, src := range []string{"1/0 = 1", "1%0 = 1"} {
+		if _, err := Eval(MustParse(src), MapEnv{}); err == nil {
+			t.Errorf("Eval(%q) succeeded, want division error", src)
+		}
+	}
+}
+
+func TestEvalNonBoolResult(t *testing.T) {
+	if _, err := Eval(MustParse("1 + 2"), MapEnv{}); err == nil {
+		t.Fatal("Eval of arithmetic expr should fail (non-bool result)")
+	}
+}
+
+func TestEvalHotelExample(t *testing.T) {
+	// Room 512 from §3.3: has a view AND is on the 5th floor, so it can
+	// satisfy either competing predicate.
+	room512 := MapEnv{"floor": Int(5), "view": Bool(true), "beds": Str("twin"), "smoking": Bool(false)}
+	wantView := MustParse("view = true")
+	want5th := MustParse("floor = 5")
+	for _, e := range []Expr{wantView, want5th} {
+		ok, err := Eval(e, room512)
+		if err != nil || !ok {
+			t.Fatalf("room512 should satisfy %s: %v %v", e, ok, err)
+		}
+	}
+	// §3.3 negotiation example: non-smoking with view and twin beds.
+	full := MustParse(`not smoking and view and beds = "twin"`)
+	ok, err := Eval(full, room512)
+	if err != nil || !ok {
+		t.Fatalf("room512 should satisfy full predicate: %v %v", ok, err)
+	}
+}

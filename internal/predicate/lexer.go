@@ -1,0 +1,222 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// SyntaxError describes a lexing or parsing failure with its byte offset in
+// the source expression.
+type SyntaxError struct {
+	Pos int
+	Msg string
+	Src string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("predicate: syntax error at offset %d: %s (in %q)", e.Pos, e.Msg, e.Src)
+}
+
+// lexer tokenises a predicate expression.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...), Src: l.src}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '+':
+		l.pos++
+		return token{kind: tokPlus, pos: start}, nil
+	case c == '-':
+		l.pos++
+		return token{kind: tokMinus, pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, pos: start}, nil
+	case c == '/':
+		l.pos++
+		return token{kind: tokSlash, pos: start}, nil
+	case c == '%':
+		l.pos++
+		return token{kind: tokPercent, pos: start}, nil
+	case c == '=':
+		l.pos++
+		if l.peekByte() == '=' {
+			l.pos++
+		}
+		return token{kind: tokEq, pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.peekByte() == '=' {
+			l.pos++
+			return token{kind: tokNeq, pos: start}, nil
+		}
+		return token{kind: tokNot, pos: start}, nil
+	case c == '<':
+		l.pos++
+		if l.peekByte() == '=' {
+			l.pos++
+			return token{kind: tokLe, pos: start}, nil
+		}
+		if l.peekByte() == '>' { // SQL-style <>
+			l.pos++
+			return token{kind: tokNeq, pos: start}, nil
+		}
+		return token{kind: tokLt, pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.peekByte() == '=' {
+			l.pos++
+			return token{kind: tokGe, pos: start}, nil
+		}
+		return token{kind: tokGt, pos: start}, nil
+	case c == '&':
+		l.pos++
+		if l.peekByte() != '&' {
+			return token{}, l.errf(start, "unexpected '&' (use && or and)")
+		}
+		l.pos++
+		return token{kind: tokAnd, pos: start}, nil
+	case c == '|':
+		l.pos++
+		if l.peekByte() != '|' {
+			return token{}, l.errf(start, "unexpected '|' (use || or or)")
+		}
+		l.pos++
+		return token{kind: tokOr, pos: start}, nil
+	case c == '\'' || c == '"':
+		return l.lexString(c)
+	case c >= '0' && c <= '9':
+		return l.lexInt()
+	default:
+		r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+		if isIdentStart(r) {
+			return l.lexIdent()
+		}
+		return token{}, l.errf(start, "unexpected character %q", r)
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (l *lexer) lexInt() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	// Reject "5x" style runs where digits flow straight into letters.
+	if l.pos < len(l.src) {
+		r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+		if isIdentStart(r) {
+			return token{}, l.errf(start, "malformed number %q", l.src[start:l.pos+1])
+		}
+	}
+	n, err := strconv.ParseInt(l.src[start:l.pos], 10, 64)
+	if err != nil {
+		return token{}, l.errf(start, "integer out of range: %s", l.src[start:l.pos])
+	}
+	return token{kind: tokInt, num: n, pos: start}, nil
+}
+
+// lexString scans a single- or double-quoted string. Backslash escapes the
+// quote character and backslash itself.
+func (l *lexer) lexString(quote byte) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf(start, "unterminated string")
+			}
+			l.pos++
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errf(start, "unterminated string")
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	word := l.src[start:l.pos]
+	switch strings.ToLower(word) {
+	case "and":
+		return token{kind: tokAnd, pos: start}, nil
+	case "or":
+		return token{kind: tokOr, pos: start}, nil
+	case "not":
+		return token{kind: tokNot, pos: start}, nil
+	case "in":
+		return token{kind: tokIn, pos: start}, nil
+	case "true":
+		return token{kind: tokTrue, pos: start}, nil
+	case "false":
+		return token{kind: tokFalse, pos: start}, nil
+	}
+	return token{kind: tokIdent, text: word, pos: start}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

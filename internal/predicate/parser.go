@@ -1,0 +1,272 @@
+package predicate
+
+// parser is a recursive-descent parser over the lexer's token stream with a
+// single token of lookahead.
+type parser struct {
+	lex *lexer
+	tok token
+	err error
+}
+
+// Parse parses a predicate expression in the language documented on the
+// package comment. It returns a *SyntaxError on malformed input.
+func Parse(src string) (Expr, error) {
+	p := &parser{lex: &lexer{src: src}}
+	p.advance()
+	if p.err != nil {
+		return nil, p.err
+	}
+	e := p.parseOr()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.lex.errf(p.tok.pos, "unexpected %s after expression", p.tok)
+	}
+	return e, nil
+}
+
+// MustParse parses src and panics on error. For tests and package-level
+// example predicates only.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *parser) advance() {
+	if p.err != nil {
+		return
+	}
+	tok, err := p.lex.next()
+	if err != nil {
+		p.err = err
+		p.tok = token{kind: tokEOF}
+		return
+	}
+	p.tok = tok
+}
+
+func (p *parser) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = p.lex.errf(p.tok.pos, format, args...)
+	}
+}
+
+func (p *parser) parseOr() Expr {
+	e := p.parseAnd()
+	for p.err == nil && p.tok.kind == tokOr {
+		p.advance()
+		r := p.parseAnd()
+		e = &Binary{Op: OpOr, L: e, R: r}
+	}
+	return e
+}
+
+func (p *parser) parseAnd() Expr {
+	e := p.parseNot()
+	for p.err == nil && p.tok.kind == tokAnd {
+		p.advance()
+		r := p.parseNot()
+		e = &Binary{Op: OpAnd, L: e, R: r}
+	}
+	return e
+}
+
+func (p *parser) parseNot() Expr {
+	if p.tok.kind == tokNot {
+		p.advance()
+		return &Not{X: p.parseNot()}
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() Expr {
+	e := p.parseSum()
+	if p.err != nil {
+		return e
+	}
+	var op BinOp
+	switch p.tok.kind {
+	case tokEq:
+		op = OpEq
+	case tokNeq:
+		op = OpNeq
+	case tokLt:
+		op = OpLt
+	case tokLe:
+		op = OpLe
+	case tokGt:
+		op = OpGt
+	case tokGe:
+		op = OpGe
+	case tokIn:
+		p.advance()
+		return p.parseInSet(e)
+	default:
+		return e
+	}
+	p.advance()
+	r := p.parseSum()
+	return &Binary{Op: op, L: e, R: r}
+}
+
+// parseInSet parses `( literal {, literal} )` after an `in` keyword.
+func (p *parser) parseInSet(x Expr) Expr {
+	if p.tok.kind != tokLParen {
+		p.fail("expected '(' after 'in', got %s", p.tok)
+		return x
+	}
+	p.advance()
+	var set []Value
+	for {
+		v, ok := p.parseLiteralValue()
+		if !ok {
+			return x
+		}
+		set = append(set, v)
+		if p.tok.kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tokRParen {
+		p.fail("expected ')' closing 'in' set, got %s", p.tok)
+		return x
+	}
+	p.advance()
+	return &In{X: x, Set: set}
+}
+
+func (p *parser) parseLiteralValue() (Value, bool) {
+	neg := false
+	if p.tok.kind == tokMinus {
+		neg = true
+		p.advance()
+	}
+	switch p.tok.kind {
+	case tokInt:
+		n := p.tok.num
+		if neg {
+			n = -n
+		}
+		p.advance()
+		return Int(n), true
+	case tokString:
+		if neg {
+			p.fail("cannot negate string literal")
+			return Value{}, false
+		}
+		s := p.tok.text
+		p.advance()
+		return Str(s), true
+	case tokTrue:
+		if neg {
+			p.fail("cannot negate boolean literal")
+			return Value{}, false
+		}
+		p.advance()
+		return Bool(true), true
+	case tokFalse:
+		if neg {
+			p.fail("cannot negate boolean literal")
+			return Value{}, false
+		}
+		p.advance()
+		return Bool(false), true
+	default:
+		p.fail("expected literal in 'in' set, got %s", p.tok)
+		return Value{}, false
+	}
+}
+
+func (p *parser) parseSum() Expr {
+	e := p.parseTerm()
+	for p.err == nil {
+		var op BinOp
+		switch p.tok.kind {
+		case tokPlus:
+			op = OpAdd
+		case tokMinus:
+			op = OpSub
+		default:
+			return e
+		}
+		p.advance()
+		r := p.parseTerm()
+		e = &Binary{Op: op, L: e, R: r}
+	}
+	return e
+}
+
+func (p *parser) parseTerm() Expr {
+	e := p.parseUnary()
+	for p.err == nil {
+		var op BinOp
+		switch p.tok.kind {
+		case tokStar:
+			op = OpMul
+		case tokSlash:
+			op = OpDiv
+		case tokPercent:
+			op = OpMod
+		default:
+			return e
+		}
+		p.advance()
+		r := p.parseUnary()
+		e = &Binary{Op: op, L: e, R: r}
+	}
+	return e
+}
+
+func (p *parser) parseUnary() Expr {
+	if p.tok.kind == tokMinus {
+		p.advance()
+		x := p.parseUnary()
+		// -x is sugar for (0 - x).
+		return &Binary{Op: OpSub, L: &Lit{Val: Int(0)}, R: x}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() Expr {
+	switch p.tok.kind {
+	case tokInt:
+		e := &Lit{Val: Int(p.tok.num)}
+		p.advance()
+		return e
+	case tokString:
+		e := &Lit{Val: Str(p.tok.text)}
+		p.advance()
+		return e
+	case tokTrue:
+		p.advance()
+		return &Lit{Val: Bool(true)}
+	case tokFalse:
+		p.advance()
+		return &Lit{Val: Bool(false)}
+	case tokIdent:
+		e := &Ref{Name: p.tok.text}
+		p.advance()
+		return e
+	case tokLParen:
+		p.advance()
+		e := p.parseOr()
+		if p.err != nil {
+			return e
+		}
+		if p.tok.kind != tokRParen {
+			p.fail("expected ')', got %s", p.tok)
+			return e
+		}
+		p.advance()
+		return e
+	default:
+		p.fail("expected expression, got %s", p.tok)
+		return &Lit{Val: Bool(false)}
+	}
+}

@@ -1,0 +1,214 @@
+package predicate
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleComparison(t *testing.T) {
+	e, err := Parse("quantity >= 5")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	b, ok := e.(*Binary)
+	if !ok || b.Op != OpGe {
+		t.Fatalf("got %T %v, want Binary >=", e, e)
+	}
+	if r, ok := b.L.(*Ref); !ok || r.Name != "quantity" {
+		t.Fatalf("left = %v, want Ref quantity", b.L)
+	}
+	if l, ok := b.R.(*Lit); !ok || !l.Val.Equal(Int(5)) {
+		t.Fatalf("right = %v, want 5", b.R)
+	}
+}
+
+func TestParsePrecedenceAndOverOr(t *testing.T) {
+	e := MustParse("a = 1 or b = 2 and c = 3")
+	top, ok := e.(*Binary)
+	if !ok || top.Op != OpOr {
+		t.Fatalf("top = %v, want or", e)
+	}
+	right, ok := top.R.(*Binary)
+	if !ok || right.Op != OpAnd {
+		t.Fatalf("right of or = %v, want and", top.R)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	e := MustParse("x + 2 * 3 = 7")
+	env := MapEnv{"x": Int(1)}
+	got, err := Eval(e, env)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if !got {
+		t.Fatalf("1 + 2*3 = 7 should hold")
+	}
+}
+
+func TestParseDottedIdentifier(t *testing.T) {
+	e := MustParse("room.floor = 5")
+	props := Properties(e)
+	if _, ok := props["room.floor"]; !ok {
+		t.Fatalf("Properties = %v, want room.floor", props)
+	}
+}
+
+func TestParseStringBothQuotes(t *testing.T) {
+	for _, src := range []string{`beds = "twin"`, `beds = 'twin'`} {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		ok, err := Eval(e, MapEnv{"beds": Str("twin")})
+		if err != nil || !ok {
+			t.Fatalf("Eval(%q) = %v, %v", src, ok, err)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	e := MustParse(`name = "a\"b"`)
+	ok, err := Eval(e, MapEnv{"name": Str(`a"b`)})
+	if err != nil || !ok {
+		t.Fatalf("escape eval = %v, %v", ok, err)
+	}
+}
+
+func TestParseInSet(t *testing.T) {
+	e := MustParse(`beds in ("twin", "king") and floor >= 5`)
+	cases := []struct {
+		beds  string
+		floor int64
+		want  bool
+	}{
+		{"twin", 5, true},
+		{"king", 12, true},
+		{"single", 8, false},
+		{"twin", 2, false},
+	}
+	for _, c := range cases {
+		got, err := Eval(e, MapEnv{"beds": Str(c.beds), "floor": Int(c.floor)})
+		if err != nil {
+			t.Fatalf("Eval(%v): %v", c, err)
+		}
+		if got != c.want {
+			t.Errorf("beds=%s floor=%d: got %v, want %v", c.beds, c.floor, got, c.want)
+		}
+	}
+}
+
+func TestParseInSetNegativeNumbers(t *testing.T) {
+	e := MustParse("delta in (-1, 0, 1)")
+	got, err := Eval(e, MapEnv{"delta": Int(-1)})
+	if err != nil || !got {
+		t.Fatalf("in set with negative = %v, %v", got, err)
+	}
+}
+
+func TestParseNotVariants(t *testing.T) {
+	for _, src := range []string{"not smoking", "!smoking", "not (smoking)"} {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		got, err := Eval(e, MapEnv{"smoking": Bool(false)})
+		if err != nil || !got {
+			t.Fatalf("Eval(%q) = %v, %v", src, got, err)
+		}
+	}
+}
+
+func TestParseSQLStyleOperators(t *testing.T) {
+	e := MustParse("a <> 3")
+	got, err := Eval(e, MapEnv{"a": Int(4)})
+	if err != nil || !got {
+		t.Fatalf("<> eval = %v, %v", got, err)
+	}
+	e = MustParse("a == 3 AND b OR NOT c")
+	got, err = Eval(e, MapEnv{"a": Int(3), "b": Bool(false), "c": Bool(false)})
+	if err != nil || !got {
+		t.Fatalf("keyword-case eval = %v, %v", got, err)
+	}
+}
+
+func TestParseUnaryMinus(t *testing.T) {
+	e := MustParse("balance >= -100")
+	got, err := Eval(e, MapEnv{"balance": Int(-50)})
+	if err != nil || !got {
+		t.Fatalf("unary minus = %v, %v", got, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"quantity >=",
+		">= 5",
+		"(a = 1",
+		"a = 1)",
+		"a & b",
+		"a | b",
+		`name = "unterminated`,
+		"5x",
+		"a in 5",
+		"a in ()",
+		"a in (b)", // non-literal member
+		"a = 1 extra",
+		"a @ 1",
+		"beds in (-'x')",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("Parse(%q) error type %T, want *SyntaxError", src, err)
+			}
+		}
+	}
+}
+
+func TestParseErrorMentionsOffset(t *testing.T) {
+	_, err := Parse("quantity >= ")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error %q should mention offset", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"quantity >= 5",
+		"(a = 1 or b = 2) and not c",
+		`beds in ("twin", "king")`,
+		"x + 2 * 3 - 1 = 6",
+		"-x < 4",
+		"a % 2 = 0",
+		"a / 2 >= 1",
+	}
+	for _, src := range srcs {
+		e1 := MustParse(src)
+		printed := e1.String()
+		e2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-Parse(%q from %q): %v", printed, src, err)
+		}
+		if e2.String() != printed {
+			t.Errorf("round trip changed: %q -> %q", printed, e2.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("((")
+}

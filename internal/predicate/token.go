@@ -1,0 +1,70 @@
+package predicate
+
+import "fmt"
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokInt
+	tokString
+	tokIdent // includes dotted identifiers; keywords resolved by parser
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokEq  // = or ==
+	tokNeq // !=
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokAnd // and, &&
+	tokOr  // or, ||
+	tokNot // not, !
+	tokIn  // in
+	tokTrue
+	tokFalse
+)
+
+func (k tokenKind) String() string {
+	names := map[tokenKind]string{
+		tokEOF: "EOF", tokInt: "INT", tokString: "STRING", tokIdent: "IDENT",
+		tokLParen: "(", tokRParen: ")", tokComma: ",", tokDot: ".",
+		tokPlus: "+", tokMinus: "-", tokStar: "*", tokSlash: "/", tokPercent: "%",
+		tokEq: "=", tokNeq: "!=", tokLt: "<", tokLe: "<=", tokGt: ">", tokGe: ">=",
+		tokAnd: "and", tokOr: "or", tokNot: "not", tokIn: "in",
+		tokTrue: "true", tokFalse: "false",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string // identifier text or string literal content
+	num  int64  // integer literal value
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokIdent:
+		return t.text
+	case tokInt:
+		return fmt.Sprintf("%d", t.num)
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.kind.String()
+	}
+}

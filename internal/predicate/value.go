@@ -1,0 +1,153 @@
+// Package predicate implements the promise predicate language of paper §3:
+// "Predicates are simply Boolean expressions over resources. Our model
+// imposes no restrictions on the form these expressions can take."
+//
+// The package provides, in the "most general and complex form" of §3, a
+// standard syntax (SQL/XPath-flavoured boolean expressions over named
+// resource properties), so that "the promise manager … can be completely
+// general purpose, knowing nothing about the applications, schemas or
+// resource availability": it only needs to parse, store, and evaluate
+// predicate expressions with the assistance of a resource manager.
+//
+// The language:
+//
+//	expr   := or
+//	or     := and { ("or" | "||") and }
+//	and    := not { ("and" | "&&") not }
+//	not    := ["not" | "!"] cmp
+//	cmp    := sum [ ("=" | "==" | "!=" | "<" | "<=" | ">" | ">=") sum ]
+//	        | sum "in" "(" literal {"," literal} ")"
+//	sum    := term { ("+" | "-") term }
+//	term   := unary { ("*" | "/" | "%") unary }
+//	unary  := ["-"] primary
+//	primary:= INT | STRING | "true" | "false" | IDENT {"." IDENT} | "(" expr ")"
+//
+// Values are 64-bit integers (quantities, balances in cents, floor numbers),
+// strings (bed types, categories) and booleans (smoking, view). Floats are
+// deliberately absent: every quantity in the paper's examples is discrete,
+// and exact comparison keeps promise checking decidable.
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the dynamic types of predicate values.
+type Kind int
+
+// Value kinds.
+const (
+	KindInt Kind = iota
+	KindString
+	KindBool
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a dynamically typed predicate value.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+	b    bool
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Str returns a string Value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean Value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the dynamic type.
+func (v Value) Kind() Kind { return v.kind }
+
+// AsInt returns the integer payload; ok is false for non-int values.
+func (v Value) AsInt() (int64, bool) { return v.i, v.kind == KindInt }
+
+// AsString returns the string payload; ok is false for non-string values.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsBool returns the boolean payload; ok is false for non-bool values.
+func (v Value) AsBool() (bool, bool) { return v.b, v.kind == KindBool }
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == w.i
+	case KindString:
+		return v.s == w.s
+	case KindBool:
+		return v.b == w.b
+	}
+	return false
+}
+
+// Compare orders two values of the same kind: -1, 0, +1. Booleans order
+// false < true (useful for "ordered in acceptability" properties, §3.3).
+// It returns an error when the kinds differ, because silently comparing a
+// string to an int would make promise checking unsound.
+func (v Value) Compare(w Value) (int, error) {
+	if v.kind != w.kind {
+		return 0, fmt.Errorf("predicate: cannot compare %s with %s", v.kind, w.kind)
+	}
+	switch v.kind {
+	case KindInt:
+		switch {
+		case v.i < w.i:
+			return -1, nil
+		case v.i > w.i:
+			return 1, nil
+		}
+		return 0, nil
+	case KindString:
+		switch {
+		case v.s < w.s:
+			return -1, nil
+		case v.s > w.s:
+			return 1, nil
+		}
+		return 0, nil
+	case KindBool:
+		switch {
+		case !v.b && w.b:
+			return -1, nil
+		case v.b && !w.b:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("predicate: unknown kind %v", v.kind)
+}
+
+// String renders the value in source syntax, so expressions round-trip.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	}
+	return "?"
+}

@@ -1,0 +1,336 @@
+// Package protocol implements the promise protocol elements of paper §6 as
+// XML message envelopes: "clients and promise managers exchange
+// promise-related information using <promise> and <environment> message
+// header elements. <Promise> elements are used in the creation and release
+// of promises. <Environment> elements are used to specify the promise
+// context that applies for the SOAP service requests carried in the
+// associated message body."
+//
+// The envelope mirrors the SOAP header/body split: promise machinery rides
+// in the header, the application action in the body, so "the promise
+// release and the application request form an atomic unit" when combined
+// (§2). A single <promise> element can carry both <promise-request> and
+// <promise-response> children, supporting the piggybacking noted in §6.
+package protocol
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Envelope is one protocol message.
+type Envelope struct {
+	XMLName xml.Name `xml:"envelope"`
+	Header  Header   `xml:"header"`
+	Body    Body     `xml:"body"`
+}
+
+// Header carries the promise protocol elements.
+type Header struct {
+	// Client identifies the promise client.
+	Client string `xml:"client,omitempty"`
+	// Promise carries promise-requests and piggybacked promise-responses.
+	Promise *PromiseHeader `xml:"promise,omitempty"`
+	// Environment names the promises protecting the body's action.
+	Environment *EnvironmentHeader `xml:"environment,omitempty"`
+}
+
+// PromiseHeader is the <promise> element.
+type PromiseHeader struct {
+	Requests  []WireRequest  `xml:"promise-request"`
+	Responses []WireResponse `xml:"promise-response"`
+}
+
+// WireRequest is a <promise-request> element: request identifier,
+// predicates, resources, duration, and promises to release on grant (§6).
+type WireRequest struct {
+	ID         string          `xml:"id,attr,omitempty"`
+	Duration   string          `xml:"duration,attr,omitempty"`
+	Predicates []WirePredicate `xml:"predicate"`
+	Releases   []string        `xml:"release"`
+}
+
+// WirePredicate is one predicate with its resource reference. The view
+// attribute selects the §3 resource abstraction.
+type WirePredicate struct {
+	View     string `xml:"view,attr"`
+	Pool     string `xml:"pool,attr,omitempty"`
+	Qty      int64  `xml:"qty,attr,omitempty"`
+	Instance string `xml:"instance,attr,omitempty"`
+	Expr     string `xml:"expr,attr,omitempty"`
+}
+
+// WireResponse is a <promise-response> element: promise identifier, result,
+// duration granted, and correlation to the earlier request (§6). Counter
+// carries the manager's counter-offer predicates on rejection (the §6
+// "accepted with the condition XX" direction).
+type WireResponse struct {
+	Correlation string          `xml:"correlation,attr,omitempty"`
+	PromiseID   string          `xml:"promise,attr,omitempty"`
+	Result      string          `xml:"result,attr"`
+	Expires     string          `xml:"expires,attr,omitempty"`
+	Reason      string          `xml:"reason,omitempty"`
+	Counter     []WirePredicate `xml:"counter>predicate,omitempty"`
+}
+
+// Result attribute values.
+const (
+	ResultAccepted = "accepted"
+	ResultRejected = "rejected"
+)
+
+// EnvironmentHeader is the <environment> element: "a set of promise
+// identifiers … a corresponding set of promise release options" (§6).
+type EnvironmentHeader struct {
+	Refs []PromiseRef `xml:"promise-ref"`
+}
+
+// PromiseRef names one environment promise and its release option.
+type PromiseRef struct {
+	ID      string `xml:"id,attr"`
+	Release bool   `xml:"release,attr"`
+}
+
+// Body carries the application request or its outcome.
+type Body struct {
+	Action *WireAction `xml:"action,omitempty"`
+	Result string      `xml:"result,omitempty"`
+	Fault  *Fault      `xml:"fault,omitempty"`
+}
+
+// WireAction names a registered service operation with string parameters.
+type WireAction struct {
+	Name   string  `xml:"name,attr"`
+	Params []Param `xml:"param"`
+}
+
+// Param is one named action parameter.
+type Param struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:",chardata"`
+}
+
+// ParamMap flattens the action's parameters.
+func (a *WireAction) ParamMap() map[string]string {
+	out := make(map[string]string, len(a.Params))
+	for _, p := range a.Params {
+		out[p.Name] = p.Value
+	}
+	return out
+}
+
+// Fault reports an action failure.
+type Fault struct {
+	Code    string `xml:"code,attr"`
+	Message string `xml:",chardata"`
+}
+
+// Fault codes mapping the manager's sentinel errors onto the wire.
+const (
+	FaultPromiseExpired  = "promise-expired"
+	FaultPromiseNotFound = "promise-not-found"
+	FaultPromiseReleased = "promise-released"
+	FaultPromiseViolated = "promise-violated"
+	FaultBadRequest      = "bad-request"
+	FaultActionFailed    = "action-failed"
+)
+
+// Encode writes the envelope as indented XML.
+func Encode(w io.Writer, env *Envelope) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		return fmt.Errorf("protocol: encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+// Decode reads one envelope.
+func Decode(r io.Reader) (*Envelope, error) {
+	var env Envelope
+	if err := xml.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("protocol: decode: %w", err)
+	}
+	return &env, nil
+}
+
+// PredicateToWire converts a core predicate for transmission.
+func PredicateToWire(p core.Predicate) WirePredicate {
+	switch p.View {
+	case core.AnonymousView:
+		return WirePredicate{View: "anonymous", Pool: p.Pool, Qty: p.Qty}
+	case core.NamedView:
+		return WirePredicate{View: "named", Instance: p.Instance}
+	default:
+		src := p.Source
+		if src == "" && p.Expr != nil {
+			src = p.Expr.String()
+		}
+		return WirePredicate{View: "property", Expr: src}
+	}
+}
+
+// PredicateFromWire parses a wire predicate.
+func PredicateFromWire(w WirePredicate) (core.Predicate, error) {
+	switch w.View {
+	case "anonymous":
+		return core.Quantity(w.Pool, w.Qty), nil
+	case "named":
+		return core.Named(w.Instance), nil
+	case "property":
+		return core.Property(w.Expr)
+	default:
+		return core.Predicate{}, fmt.Errorf("protocol: unknown predicate view %q", w.View)
+	}
+}
+
+// RequestToWire converts a core promise request.
+func RequestToWire(pr core.PromiseRequest) WireRequest {
+	out := WireRequest{ID: pr.RequestID, Releases: pr.Releases}
+	if pr.Duration > 0 {
+		out.Duration = pr.Duration.String()
+	}
+	for _, p := range pr.Predicates {
+		out.Predicates = append(out.Predicates, PredicateToWire(p))
+	}
+	return out
+}
+
+// RequestFromWire parses a wire promise request.
+func RequestFromWire(w WireRequest) (core.PromiseRequest, error) {
+	out := core.PromiseRequest{RequestID: w.ID, Releases: w.Releases}
+	if w.Duration != "" {
+		d, err := time.ParseDuration(w.Duration)
+		if err != nil {
+			return core.PromiseRequest{}, fmt.Errorf("protocol: bad duration %q: %v", w.Duration, err)
+		}
+		out.Duration = d
+	}
+	for _, wp := range w.Predicates {
+		p, err := PredicateFromWire(wp)
+		if err != nil {
+			return core.PromiseRequest{}, err
+		}
+		out.Predicates = append(out.Predicates, p)
+	}
+	return out, nil
+}
+
+// ResponseToWire converts a core promise response.
+func ResponseToWire(pr core.PromiseResponse) WireResponse {
+	out := WireResponse{
+		Correlation: pr.Correlation,
+		PromiseID:   pr.PromiseID,
+		Reason:      pr.Reason,
+	}
+	if pr.Accepted {
+		out.Result = ResultAccepted
+		out.Expires = pr.Expires.UTC().Format(time.RFC3339Nano)
+	} else {
+		out.Result = ResultRejected
+		for _, p := range pr.Counter {
+			out.Counter = append(out.Counter, PredicateToWire(p))
+		}
+	}
+	return out
+}
+
+// ResponseFromWire parses a wire promise response.
+func ResponseFromWire(w WireResponse) (core.PromiseResponse, error) {
+	out := core.PromiseResponse{
+		Correlation: w.Correlation,
+		PromiseID:   w.PromiseID,
+		Reason:      w.Reason,
+		Accepted:    w.Result == ResultAccepted,
+	}
+	if w.Expires != "" {
+		t, err := time.Parse(time.RFC3339Nano, w.Expires)
+		if err != nil {
+			return core.PromiseResponse{}, fmt.Errorf("protocol: bad expires %q: %v", w.Expires, err)
+		}
+		out.Expires = t
+	}
+	for _, wp := range w.Counter {
+		p, err := PredicateFromWire(wp)
+		if err != nil {
+			return core.PromiseResponse{}, err
+		}
+		out.Counter = append(out.Counter, p)
+	}
+	return out, nil
+}
+
+// EnvToWire converts environment entries.
+func EnvToWire(env []core.EnvEntry) *EnvironmentHeader {
+	if len(env) == 0 {
+		return nil
+	}
+	out := &EnvironmentHeader{}
+	for _, e := range env {
+		out.Refs = append(out.Refs, PromiseRef{ID: e.PromiseID, Release: e.Release})
+	}
+	return out
+}
+
+// EnvFromWire parses environment entries.
+func EnvFromWire(h *EnvironmentHeader) []core.EnvEntry {
+	if h == nil {
+		return nil
+	}
+	out := make([]core.EnvEntry, 0, len(h.Refs))
+	for _, r := range h.Refs {
+		out = append(out, core.EnvEntry{PromiseID: r.ID, Release: r.Release})
+	}
+	return out
+}
+
+// FaultFromError maps a manager error onto a wire fault.
+func FaultFromError(err error) *Fault {
+	if err == nil {
+		return nil
+	}
+	code := FaultActionFailed
+	switch {
+	case errors.Is(err, core.ErrPromiseExpired):
+		code = FaultPromiseExpired
+	case errors.Is(err, core.ErrPromiseNotFound):
+		code = FaultPromiseNotFound
+	case errors.Is(err, core.ErrPromiseReleased):
+		code = FaultPromiseReleased
+	case errors.Is(err, core.ErrPromiseViolated):
+		code = FaultPromiseViolated
+	case errors.Is(err, core.ErrBadRequest):
+		code = FaultBadRequest
+	}
+	return &Fault{Code: code, Message: err.Error()}
+}
+
+// ErrorFromFault reconstructs a sentinel-wrapped error from a wire fault so
+// remote clients can use errors.Is exactly like local ones.
+func ErrorFromFault(f *Fault) error {
+	if f == nil {
+		return nil
+	}
+	switch f.Code {
+	case FaultPromiseExpired:
+		return fmt.Errorf("%w: %s", core.ErrPromiseExpired, f.Message)
+	case FaultPromiseNotFound:
+		return fmt.Errorf("%w: %s", core.ErrPromiseNotFound, f.Message)
+	case FaultPromiseReleased:
+		return fmt.Errorf("%w: %s", core.ErrPromiseReleased, f.Message)
+	case FaultPromiseViolated:
+		return fmt.Errorf("%w: %s", core.ErrPromiseViolated, f.Message)
+	case FaultBadRequest:
+		return fmt.Errorf("%w: %s", core.ErrBadRequest, f.Message)
+	default:
+		return fmt.Errorf("protocol: action failed: %s", f.Message)
+	}
+}

@@ -1,0 +1,304 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	env := &Envelope{
+		Header: Header{
+			Client: "order-process",
+			Promise: &PromiseHeader{
+				Requests: []WireRequest{{
+					ID:       "req-1",
+					Duration: "30s",
+					Predicates: []WirePredicate{
+						{View: "anonymous", Pool: "pink-widgets", Qty: 5},
+						{View: "named", Instance: "room-212"},
+						{View: "property", Expr: "floor = 5 and view"},
+					},
+					Releases: []string{"prm-1", "prm-2"},
+				}},
+				Responses: []WireResponse{{
+					Correlation: "req-0", PromiseID: "prm-9", Result: ResultAccepted,
+					Expires: "2007-01-07T00:00:30Z",
+				}},
+			},
+			Environment: &EnvironmentHeader{Refs: []PromiseRef{
+				{ID: "prm-3", Release: true},
+				{ID: "prm-4", Release: false},
+			}},
+		},
+		Body: Body{Action: &WireAction{
+			Name:   "purchase",
+			Params: []Param{{Name: "pool", Value: "pink-widgets"}, {Name: "qty", Value: "5"}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []string{"<promise>", "<promise-request", "<promise-response", "<environment>", "<action"} {
+		if !strings.Contains(buf.String(), tag) {
+			t.Errorf("encoded envelope missing %s:\n%s", tag, buf.String())
+		}
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Client != "order-process" {
+		t.Fatalf("client = %q", got.Header.Client)
+	}
+	if len(got.Header.Promise.Requests) != 1 || len(got.Header.Promise.Requests[0].Predicates) != 3 {
+		t.Fatalf("requests = %+v", got.Header.Promise.Requests)
+	}
+	if got.Header.Promise.Requests[0].Releases[1] != "prm-2" {
+		t.Fatal("releases lost")
+	}
+	if len(got.Header.Environment.Refs) != 2 || !got.Header.Environment.Refs[0].Release {
+		t.Fatalf("environment = %+v", got.Header.Environment)
+	}
+	if got.Body.Action.Name != "purchase" || got.Body.Action.ParamMap()["qty"] != "5" {
+		t.Fatalf("action = %+v", got.Body.Action)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not xml at all")); err == nil {
+		t.Fatal("want decode error")
+	}
+	if _, err := Decode(strings.NewReader("<envelope><unclosed></envelope>")); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestPredicateConversions(t *testing.T) {
+	preds := []core.Predicate{
+		core.Quantity("w", 5),
+		core.Named("i"),
+		core.MustProperty("floor = 5"),
+	}
+	for _, p := range preds {
+		w := PredicateToWire(p)
+		back, err := PredicateFromWire(w)
+		if err != nil {
+			t.Fatalf("round trip %v: %v", p, err)
+		}
+		if back.View != p.View || back.Pool != p.Pool || back.Qty != p.Qty || back.Instance != p.Instance {
+			t.Fatalf("round trip changed %+v -> %+v", p, back)
+		}
+		if p.View == core.PropertyView && back.Source != p.Source {
+			t.Fatalf("property source lost: %q -> %q", p.Source, back.Source)
+		}
+	}
+	if _, err := PredicateFromWire(WirePredicate{View: "galactic"}); err == nil {
+		t.Fatal("unknown view accepted")
+	}
+	if _, err := PredicateFromWire(WirePredicate{View: "property", Expr: "(("}); err == nil {
+		t.Fatal("bad property expression accepted")
+	}
+	// Property predicate without preserved source still encodes.
+	p := core.MustProperty("floor = 5")
+	p.Source = ""
+	if w := PredicateToWire(p); w.Expr == "" {
+		t.Fatal("expr not reconstructed from AST")
+	}
+}
+
+func TestRequestConversions(t *testing.T) {
+	pr := core.PromiseRequest{
+		RequestID:  "r1",
+		Duration:   45 * time.Second,
+		Predicates: []core.Predicate{core.Quantity("w", 3)},
+		Releases:   []string{"prm-7"},
+	}
+	w := RequestToWire(pr)
+	back, err := RequestFromWire(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RequestID != "r1" || back.Duration != 45*time.Second || len(back.Predicates) != 1 || back.Releases[0] != "prm-7" {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if _, err := RequestFromWire(WireRequest{Duration: "soon"}); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+	if _, err := RequestFromWire(WireRequest{Predicates: []WirePredicate{{View: "x"}}}); err == nil {
+		t.Fatal("bad predicate accepted")
+	}
+}
+
+func TestResponseConversions(t *testing.T) {
+	exp := time.Date(2007, 1, 7, 1, 2, 3, 0, time.UTC)
+	pr := core.PromiseResponse{Correlation: "r1", Accepted: true, PromiseID: "prm-1", Expires: exp}
+	w := ResponseToWire(pr)
+	if w.Result != ResultAccepted || w.Expires == "" {
+		t.Fatalf("wire = %+v", w)
+	}
+	back, err := ResponseFromWire(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Accepted || !back.Expires.Equal(exp) || back.PromiseID != "prm-1" {
+		t.Fatalf("round trip = %+v", back)
+	}
+	rej := ResponseToWire(core.PromiseResponse{Correlation: "r2", Reason: "no stock"})
+	if rej.Result != ResultRejected || rej.Expires != "" {
+		t.Fatalf("rejected wire = %+v", rej)
+	}
+	if _, err := ResponseFromWire(WireResponse{Result: ResultAccepted, Expires: "yesterday"}); err == nil {
+		t.Fatal("bad expires accepted")
+	}
+}
+
+func TestCounterOfferWireRoundTrip(t *testing.T) {
+	rej := core.PromiseResponse{
+		Correlation: "r1",
+		Reason:      "short",
+		Counter:     []core.Predicate{core.Quantity("w", 7), core.Quantity("v", 2)},
+	}
+	w := ResponseToWire(rej)
+	if len(w.Counter) != 2 {
+		t.Fatalf("wire counter = %+v", w.Counter)
+	}
+	back, err := ResponseFromWire(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Counter) != 2 || back.Counter[0].Qty != 7 || back.Counter[1].Pool != "v" {
+		t.Fatalf("round trip counter = %+v", back.Counter)
+	}
+	// Accepted responses never carry counters.
+	acc := ResponseToWire(core.PromiseResponse{Accepted: true, Counter: rej.Counter})
+	if len(acc.Counter) != 0 {
+		t.Fatalf("accepted response carries counter: %+v", acc.Counter)
+	}
+	// Bad counter predicate on the wire is a decode error.
+	w.Counter[0].View = "galactic"
+	if _, err := ResponseFromWire(w); err == nil {
+		t.Fatal("bad counter accepted")
+	}
+}
+
+func TestEnvConversions(t *testing.T) {
+	if EnvToWire(nil) != nil {
+		t.Fatal("empty env should encode as nil")
+	}
+	env := []core.EnvEntry{{PromiseID: "p1", Release: true}, {PromiseID: "p2"}}
+	h := EnvToWire(env)
+	back := EnvFromWire(h)
+	if len(back) != 2 || !back[0].Release || back[1].PromiseID != "p2" {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if EnvFromWire(nil) != nil {
+		t.Fatal("nil header should yield nil env")
+	}
+}
+
+func TestFaultMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		code string
+	}{
+		{core.ErrPromiseExpired, FaultPromiseExpired},
+		{core.ErrPromiseNotFound, FaultPromiseNotFound},
+		{core.ErrPromiseReleased, FaultPromiseReleased},
+		{core.ErrPromiseViolated, FaultPromiseViolated},
+		{core.ErrBadRequest, FaultBadRequest},
+		{errors.New("shipper unavailable"), FaultActionFailed},
+	}
+	for _, c := range cases {
+		f := FaultFromError(c.err)
+		if f.Code != c.code {
+			t.Errorf("FaultFromError(%v).Code = %q, want %q", c.err, f.Code, c.code)
+		}
+		back := ErrorFromFault(f)
+		if c.code != FaultActionFailed && !errors.Is(back, c.err) {
+			t.Errorf("ErrorFromFault(%q) = %v, not Is(%v)", c.code, back, c.err)
+		}
+	}
+	if FaultFromError(nil) != nil {
+		t.Fatal("nil error should map to nil fault")
+	}
+	if ErrorFromFault(nil) != nil {
+		t.Fatal("nil fault should map to nil error")
+	}
+}
+
+// TestGoldenEnvelope pins the exact wire format: any change to the XML
+// shape is a protocol break and must be deliberate.
+func TestGoldenEnvelope(t *testing.T) {
+	env := &Envelope{
+		Header: Header{
+			Client: "order-process",
+			Promise: &PromiseHeader{Requests: []WireRequest{{
+				ID:       "req-1",
+				Duration: "1m0s",
+				Predicates: []WirePredicate{
+					{View: "anonymous", Pool: "pink-widgets", Qty: 5},
+				},
+			}}},
+			Environment: &EnvironmentHeader{Refs: []PromiseRef{{ID: "prm-9", Release: true}}},
+		},
+		Body: Body{Action: &WireAction{
+			Name:   "purchase",
+			Params: []Param{{Name: "qty", Value: "5"}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `<?xml version="1.0" encoding="UTF-8"?>
+<envelope>
+  <header>
+    <client>order-process</client>
+    <promise>
+      <promise-request id="req-1" duration="1m0s">
+        <predicate view="anonymous" pool="pink-widgets" qty="5"></predicate>
+      </promise-request>
+    </promise>
+    <environment>
+      <promise-ref id="prm-9" release="true"></promise-ref>
+    </environment>
+  </header>
+  <body>
+    <action name="purchase">
+      <param name="qty">5</param>
+    </action>
+  </body>
+</envelope>`
+	if got := buf.String(); got != golden {
+		t.Fatalf("wire format changed:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+func TestPiggybackedRequestAndResponse(t *testing.T) {
+	// §6: "a single <promise> element can include both <promise-request>
+	// and <promise-response> elements."
+	env := &Envelope{Header: Header{Promise: &PromiseHeader{
+		Requests:  []WireRequest{{ID: "r2", Predicates: []WirePredicate{{View: "named", Instance: "x"}}}},
+		Responses: []WireResponse{{Correlation: "r1", Result: ResultRejected, Reason: "sold out"}},
+	}}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Header.Promise.Requests) != 1 || len(got.Header.Promise.Responses) != 1 {
+		t.Fatalf("piggyback lost: %+v", got.Header.Promise)
+	}
+	if got.Header.Promise.Responses[0].Reason != "sold out" {
+		t.Fatal("reason lost")
+	}
+}

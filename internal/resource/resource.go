@@ -1,0 +1,294 @@
+// Package resource implements the Resource Manager (RM) of the prototype
+// architecture (paper §8): "The role of the RM is to store the state of the
+// system, and to process queries and updates on this data as requested by
+// the application and the promise manager."
+//
+// It models the three resource views of §3:
+//
+//   - anonymous view: Pool records with a quantity on hand ("the
+//     availability of anonymous resources is usually explicitly tracked …
+//     'quantity on hand' or 'account balance'");
+//   - named view: Instance records carrying an allocation Status field —
+//     the "allocated tags" / soft-lock field of §5;
+//   - view via properties: Instances expose arbitrary typed properties and
+//     can be selected by predicate (§3.3).
+//
+// All access happens inside a txn.Tx so that the promise manager can wrap
+// each request in a single ACID transaction (§8).
+package resource
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/predicate"
+	"repro/internal/txn"
+)
+
+// Table names inside the backing store.
+const (
+	TablePools     = "pools"
+	TableInstances = "instances"
+)
+
+// Status is the allocated-tag state of a named resource instance (§5:
+// "set to something like 'available' initially and then to 'promised' when
+// the instance was provisionally allocated … then either set to 'taken' by
+// a subsequent action, or … reset back to 'available'").
+type Status int
+
+// Instance statuses.
+const (
+	Available Status = iota
+	Promised
+	Taken
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Available:
+		return "available"
+	case Promised:
+		return "promised"
+	case Taken:
+		return "taken"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Pool is an anonymous resource pool: a count of interchangeable items
+// (book copies, dollars in an account, economy seats).
+type Pool struct {
+	ID string
+	// OnHand is the quantity physically available (§3.1 "quantity on hand").
+	OnHand int64
+	// Props carries descriptive attributes of the pool (price, category…).
+	Props map[string]predicate.Value
+}
+
+// CloneRow implements txn.Row.
+func (p *Pool) CloneRow() txn.Row {
+	c := &Pool{ID: p.ID, OnHand: p.OnHand}
+	if p.Props != nil {
+		c.Props = make(map[string]predicate.Value, len(p.Props))
+		for k, v := range p.Props {
+			c.Props[k] = v
+		}
+	}
+	return c
+}
+
+// Env exposes the pool to predicate evaluation. The quantity on hand is
+// visible as both "quantity" and "onhand"; pool properties are visible by
+// name, and "id" is the pool identifier.
+func (p *Pool) Env() predicate.Env {
+	env := predicate.MapEnv{
+		"quantity": predicate.Int(p.OnHand),
+		"onhand":   predicate.Int(p.OnHand),
+		"id":       predicate.Str(p.ID),
+	}
+	for k, v := range p.Props {
+		env[k] = v
+	}
+	return env
+}
+
+// Instance is a named resource instance (§3.2): a used car, 'Room 212,
+// Sydney Hilton, 12/3/2007', seat 24G on QF1.
+type Instance struct {
+	ID     string
+	Status Status
+	// Props are the instance's exposed properties (§3.3): floor, view,
+	// beds, smoking, class…
+	Props map[string]predicate.Value
+}
+
+// CloneRow implements txn.Row.
+func (i *Instance) CloneRow() txn.Row {
+	c := &Instance{ID: i.ID, Status: i.Status}
+	if i.Props != nil {
+		c.Props = make(map[string]predicate.Value, len(i.Props))
+		for k, v := range i.Props {
+			c.Props[k] = v
+		}
+	}
+	return c
+}
+
+// Env exposes the instance's properties plus the builtins "id" and
+// "status" to predicate evaluation.
+func (i *Instance) Env() predicate.Env {
+	env := predicate.MapEnv{
+		"id":     predicate.Str(i.ID),
+		"status": predicate.Str(i.Status.String()),
+	}
+	for k, v := range i.Props {
+		env[k] = v
+	}
+	return env
+}
+
+// Manager provides typed access to pools and instances within transactions.
+type Manager struct {
+	store *txn.Store
+}
+
+// NewManager creates the RM tables in store and returns a Manager.
+func NewManager(store *txn.Store) (*Manager, error) {
+	for _, tbl := range []string{TablePools, TableInstances} {
+		if err := store.CreateTable(tbl); err != nil {
+			return nil, err
+		}
+	}
+	return &Manager{store: store}, nil
+}
+
+// Store returns the backing store (the promise manager shares it so that
+// promise-table updates and resource updates commit atomically, §8).
+func (m *Manager) Store() *txn.Store { return m.store }
+
+// CreatePool registers a new pool with an initial quantity on hand.
+func (m *Manager) CreatePool(tx *txn.Tx, id string, onHand int64, props map[string]predicate.Value) error {
+	if onHand < 0 {
+		return fmt.Errorf("resource: pool %q: negative initial quantity %d", id, onHand)
+	}
+	if _, err := tx.Get(TablePools, id); err == nil {
+		return fmt.Errorf("resource: pool %q already exists", id)
+	}
+	return tx.Put(TablePools, id, &Pool{ID: id, OnHand: onHand, Props: props})
+}
+
+// Pool fetches a pool by id.
+func (m *Manager) Pool(tx *txn.Tx, id string) (*Pool, error) {
+	row, err := tx.Get(TablePools, id)
+	if err != nil {
+		return nil, err
+	}
+	return row.(*Pool), nil
+}
+
+// PutPool writes back a (possibly modified) pool.
+func (m *Manager) PutPool(tx *txn.Tx, p *Pool) error {
+	return tx.Put(TablePools, p.ID, p)
+}
+
+// AdjustPool adds delta to the pool's quantity on hand, rejecting
+// adjustments that would drive it negative — the RM-level invariant that
+// escrow promising relies on.
+func (m *Manager) AdjustPool(tx *txn.Tx, id string, delta int64) (int64, error) {
+	p, err := m.Pool(tx, id)
+	if err != nil {
+		return 0, err
+	}
+	next := p.OnHand + delta
+	if next < 0 {
+		return p.OnHand, fmt.Errorf("resource: pool %q: adjustment %d would make quantity negative (have %d)", id, delta, p.OnHand)
+	}
+	p.OnHand = next
+	if err := m.PutPool(tx, p); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// Pools scans every pool in id order.
+func (m *Manager) Pools(tx *txn.Tx) ([]*Pool, error) {
+	var out []*Pool
+	err := tx.Scan(TablePools, func(_ string, row txn.Row) bool {
+		out = append(out, row.(*Pool))
+		return true
+	})
+	return out, err
+}
+
+// CreateInstance registers a new named instance in Available state.
+func (m *Manager) CreateInstance(tx *txn.Tx, id string, props map[string]predicate.Value) error {
+	if _, err := tx.Get(TableInstances, id); err == nil {
+		return fmt.Errorf("resource: instance %q already exists", id)
+	}
+	return tx.Put(TableInstances, id, &Instance{ID: id, Status: Available, Props: props})
+}
+
+// Instance fetches an instance by id.
+func (m *Manager) Instance(tx *txn.Tx, id string) (*Instance, error) {
+	row, err := tx.Get(TableInstances, id)
+	if err != nil {
+		return nil, err
+	}
+	return row.(*Instance), nil
+}
+
+// PutInstance writes back a (possibly modified) instance.
+func (m *Manager) PutInstance(tx *txn.Tx, in *Instance) error {
+	return tx.Put(TableInstances, in.ID, in)
+}
+
+// SetStatus transitions an instance's allocated tag, enforcing the legal
+// transitions of §5: available→promised, promised→taken, promised→available
+// (release), available→taken (direct un-promised purchase), taken→available
+// (restock/return).
+func (m *Manager) SetStatus(tx *txn.Tx, id string, to Status) error {
+	in, err := m.Instance(tx, id)
+	if err != nil {
+		return err
+	}
+	legal := map[Status][]Status{
+		Available: {Promised, Taken},
+		Promised:  {Taken, Available},
+		Taken:     {Available},
+	}
+	ok := false
+	for _, next := range legal[in.Status] {
+		if next == to {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("resource: instance %q: illegal status transition %v -> %v", id, in.Status, to)
+	}
+	in.Status = to
+	return m.PutInstance(tx, in)
+}
+
+// Instances scans every instance in id order.
+func (m *Manager) Instances(tx *txn.Tx) ([]*Instance, error) {
+	var out []*Instance
+	err := tx.Scan(TableInstances, func(_ string, row txn.Row) bool {
+		out = append(out, row.(*Instance))
+		return true
+	})
+	return out, err
+}
+
+// Matching returns the instances whose property environment satisfies
+// expr, in id order. Instances for which the predicate references unknown
+// properties are skipped (the predicate simply does not apply to them),
+// but genuine type errors propagate: a schema mismatch should fail loudly.
+func (m *Manager) Matching(tx *txn.Tx, expr predicate.Expr) ([]*Instance, error) {
+	var out []*Instance
+	var evalErr error
+	err := tx.Scan(TableInstances, func(_ string, row txn.Row) bool {
+		in := row.(*Instance)
+		ok, err := predicate.Eval(expr, in.Env())
+		if err != nil {
+			if errors.Is(err, predicate.ErrUnknownProperty) {
+				return true // not applicable to this instance
+			}
+			evalErr = err
+			return false
+		}
+		if ok {
+			out = append(out, in)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}

@@ -1,0 +1,327 @@
+package resource
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/predicate"
+	"repro/internal/txn"
+)
+
+func newRM(t *testing.T) (*Manager, *txn.Store) {
+	t.Helper()
+	store := txn.NewStore()
+	m, err := NewManager(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, store
+}
+
+func TestPoolCreateGetAdjust(t *testing.T) {
+	m, store := newRM(t)
+	tx := store.Begin(txn.Block)
+	if err := m.CreatePool(tx, "pink-widget", 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Pool(tx, "pink-widget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OnHand != 10 {
+		t.Fatalf("OnHand = %d", p.OnHand)
+	}
+	next, err := m.AdjustPool(tx, "pink-widget", -5)
+	if err != nil || next != 5 {
+		t.Fatalf("AdjustPool = %d, %v", next, err)
+	}
+	if _, err := m.AdjustPool(tx, "pink-widget", -6); err == nil {
+		t.Fatal("negative quantity allowed")
+	}
+	// The failed adjustment must not have changed state.
+	p, _ = m.Pool(tx, "pink-widget")
+	if p.OnHand != 5 {
+		t.Fatalf("OnHand after failed adjust = %d, want 5", p.OnHand)
+	}
+	_ = tx.Commit()
+}
+
+func TestPoolDuplicateAndNegative(t *testing.T) {
+	m, store := newRM(t)
+	tx := store.Begin(txn.Block)
+	defer tx.Commit()
+	if err := m.CreatePool(tx, "x", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreatePool(tx, "x", 1, nil); err == nil {
+		t.Fatal("duplicate pool allowed")
+	}
+	if err := m.CreatePool(tx, "y", -1, nil); err == nil {
+		t.Fatal("negative pool allowed")
+	}
+}
+
+func TestPoolEnv(t *testing.T) {
+	p := &Pool{ID: "books", OnHand: 7, Props: map[string]predicate.Value{"price": predicate.Int(30)}}
+	ok, err := predicate.Eval(predicate.MustParse("quantity >= 5 and price <= 30"), p.Env())
+	if err != nil || !ok {
+		t.Fatalf("pool env eval = %v, %v", ok, err)
+	}
+	ok, err = predicate.Eval(predicate.MustParse(`id = "books" and onhand = 7`), p.Env())
+	if err != nil || !ok {
+		t.Fatalf("pool builtin env eval = %v, %v", ok, err)
+	}
+}
+
+func TestInstanceLifecycle(t *testing.T) {
+	m, store := newRM(t)
+	tx := store.Begin(txn.Block)
+	props := map[string]predicate.Value{"floor": predicate.Int(5), "view": predicate.Bool(true)}
+	if err := m.CreateInstance(tx, "room-512", props); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateInstance(tx, "room-512", nil); err == nil {
+		t.Fatal("duplicate instance allowed")
+	}
+	in, err := m.Instance(tx, "room-512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Status != Available {
+		t.Fatalf("initial status = %v", in.Status)
+	}
+	// available -> promised -> taken
+	if err := m.SetStatus(tx, "room-512", Promised); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStatus(tx, "room-512", Taken); err != nil {
+		t.Fatal(err)
+	}
+	// taken -> promised is illegal
+	if err := m.SetStatus(tx, "room-512", Promised); err == nil {
+		t.Fatal("taken->promised allowed")
+	}
+	// taken -> available (return/restock)
+	if err := m.SetStatus(tx, "room-512", Available); err != nil {
+		t.Fatal(err)
+	}
+	// promised -> available (release)
+	if err := m.SetStatus(tx, "room-512", Promised); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStatus(tx, "room-512", Available); err != nil {
+		t.Fatal(err)
+	}
+	_ = tx.Commit()
+}
+
+func TestIllegalSelfTransition(t *testing.T) {
+	m, store := newRM(t)
+	tx := store.Begin(txn.Block)
+	defer tx.Commit()
+	_ = m.CreateInstance(tx, "i", nil)
+	if err := m.SetStatus(tx, "i", Available); err == nil {
+		t.Fatal("available->available allowed")
+	}
+}
+
+func TestInstanceEnvBuiltins(t *testing.T) {
+	in := &Instance{ID: "seat-24G", Status: Promised, Props: map[string]predicate.Value{"class": predicate.Str("economy")}}
+	ok, err := predicate.Eval(predicate.MustParse(`id = "seat-24G" and status = "promised" and class = "economy"`), in.Env())
+	if err != nil || !ok {
+		t.Fatalf("instance env = %v, %v", ok, err)
+	}
+}
+
+func TestMatching(t *testing.T) {
+	m, store := newRM(t)
+	tx := store.Begin(txn.Block)
+	rooms := []struct {
+		id    string
+		floor int64
+		view  bool
+	}{
+		{"room-101", 1, false},
+		{"room-102", 1, true},
+		{"room-512", 5, true},
+		{"room-513", 5, false},
+	}
+	for _, r := range rooms {
+		props := map[string]predicate.Value{"floor": predicate.Int(r.floor), "view": predicate.Bool(r.view)}
+		if err := m.CreateInstance(tx, r.id, props); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.Matching(tx, predicate.MustParse("floor = 5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "room-512" || got[1].ID != "room-513" {
+		t.Fatalf("floor=5 matches: %v", ids(got))
+	}
+	got, err = m.Matching(tx, predicate.MustParse("view = true"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "room-102" || got[1].ID != "room-512" {
+		t.Fatalf("view matches: %v", ids(got))
+	}
+	got, err = m.Matching(tx, predicate.MustParse("floor = 5 and view"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "room-512" {
+		t.Fatalf("combined matches: %v", ids(got))
+	}
+	_ = tx.Commit()
+}
+
+func TestMatchingSkipsInapplicableInstances(t *testing.T) {
+	m, store := newRM(t)
+	tx := store.Begin(txn.Block)
+	defer tx.Commit()
+	_ = m.CreateInstance(tx, "car-1", map[string]predicate.Value{"km": predicate.Int(50000)})
+	_ = m.CreateInstance(tx, "room-1", map[string]predicate.Value{"floor": predicate.Int(2)})
+	got, err := m.Matching(tx, predicate.MustParse("floor >= 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "room-1" {
+		t.Fatalf("matches: %v", ids(got))
+	}
+}
+
+func TestMatchingTypeErrorPropagates(t *testing.T) {
+	m, store := newRM(t)
+	tx := store.Begin(txn.Block)
+	defer tx.Commit()
+	_ = m.CreateInstance(tx, "i", map[string]predicate.Value{"floor": predicate.Str("five")})
+	if _, err := m.Matching(tx, predicate.MustParse("floor >= 5")); err == nil {
+		t.Fatal("schema type mismatch should error")
+	}
+}
+
+func TestPoolsAndInstancesScan(t *testing.T) {
+	m, store := newRM(t)
+	tx := store.Begin(txn.Block)
+	defer tx.Commit()
+	_ = m.CreatePool(tx, "b", 1, nil)
+	_ = m.CreatePool(tx, "a", 2, nil)
+	pools, err := m.Pools(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pools) != 2 || pools[0].ID != "a" || pools[1].ID != "b" {
+		t.Fatalf("pools scan: %v", pools)
+	}
+	_ = m.CreateInstance(tx, "z", nil)
+	_ = m.CreateInstance(tx, "y", nil)
+	ins, err := m.Instances(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 2 || ins[0].ID != "y" {
+		t.Fatalf("instances scan: %v", ids(ins))
+	}
+}
+
+func TestAbortRestoresResources(t *testing.T) {
+	m, store := newRM(t)
+	setup := store.Begin(txn.Block)
+	_ = m.CreatePool(setup, "w", 10, nil)
+	_ = m.CreateInstance(setup, "i", nil)
+	_ = setup.Commit()
+
+	tx := store.Begin(txn.Block)
+	if _, err := m.AdjustPool(tx, "w", -4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStatus(tx, "i", Promised); err != nil {
+		t.Fatal(err)
+	}
+	_ = tx.Abort()
+
+	check := store.Begin(txn.Block)
+	defer check.Commit()
+	p, _ := m.Pool(check, "w")
+	if p.OnHand != 10 {
+		t.Fatalf("pool after abort = %d", p.OnHand)
+	}
+	in, _ := m.Instance(check, "i")
+	if in.Status != Available {
+		t.Fatalf("instance after abort = %v", in.Status)
+	}
+}
+
+func TestCloneRowDeepCopiesProps(t *testing.T) {
+	in := &Instance{ID: "i", Props: map[string]predicate.Value{"floor": predicate.Int(5)}}
+	clone := in.CloneRow().(*Instance)
+	clone.Props["floor"] = predicate.Int(9)
+	if v := in.Props["floor"]; !v.Equal(predicate.Int(5)) {
+		t.Fatal("Instance.CloneRow shares Props map")
+	}
+	p := &Pool{ID: "p", OnHand: 3, Props: map[string]predicate.Value{"x": predicate.Int(1)}}
+	pc := p.CloneRow().(*Pool)
+	pc.Props["x"] = predicate.Int(2)
+	if v := p.Props["x"]; !v.Equal(predicate.Int(1)) {
+		t.Fatal("Pool.CloneRow shares Props map")
+	}
+}
+
+func TestMissingLookups(t *testing.T) {
+	m, store := newRM(t)
+	tx := store.Begin(txn.Block)
+	defer tx.Commit()
+	if _, err := m.Pool(tx, "ghost"); !errors.Is(err, txn.ErrNotFound) {
+		t.Fatalf("missing pool: %v", err)
+	}
+	if _, err := m.Instance(tx, "ghost"); !errors.Is(err, txn.ErrNotFound) {
+		t.Fatalf("missing instance: %v", err)
+	}
+	if err := m.SetStatus(tx, "ghost", Taken); !errors.Is(err, txn.ErrNotFound) {
+		t.Fatalf("SetStatus missing: %v", err)
+	}
+	if _, err := m.AdjustPool(tx, "ghost", 1); !errors.Is(err, txn.ErrNotFound) {
+		t.Fatalf("AdjustPool missing: %v", err)
+	}
+}
+
+// TestQuickAdjustPoolNeverNegative: property test that any sequence of
+// adjustments keeps OnHand non-negative.
+func TestQuickAdjustPoolNeverNegative(t *testing.T) {
+	m, store := newRM(t)
+	setup := store.Begin(txn.Block)
+	_ = m.CreatePool(setup, "q", 100, nil)
+	_ = setup.Commit()
+
+	f := func(deltas []int8) bool {
+		tx := store.Begin(txn.Block)
+		defer tx.Commit()
+		for _, d := range deltas {
+			_, _ = m.AdjustPool(tx, "q", int64(d)) // errors allowed; state must stay valid
+			p, err := m.Pool(tx, "q")
+			if err != nil || p.OnHand < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Available.String() != "available" || Promised.String() != "promised" || Taken.String() != "taken" {
+		t.Fatal("status names")
+	}
+}
+
+func ids(ins []*Instance) []string {
+	out := make([]string, len(ins))
+	for i, in := range ins {
+		out[i] = in.ID
+	}
+	return out
+}

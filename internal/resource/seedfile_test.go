@@ -1,0 +1,146 @@
+package resource
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/predicate"
+	"repro/internal/txn"
+)
+
+const sampleSeed = `<?xml version="1.0" encoding="UTF-8"?>
+<resources>
+  <pool id="pink-widgets" onhand="100">
+    <prop name="price">250</prop>
+  </pool>
+  <pool id="acct-alice" onhand="50000"></pool>
+  <instance id="room-512">
+    <prop name="floor">5</prop>
+    <prop name="view">true</prop>
+    <prop name="beds">"king"</prop>
+  </instance>
+</resources>`
+
+func TestLoadSeed(t *testing.T) {
+	m, store := newRM(t)
+	pools, instances, err := m.LoadSeed(strings.NewReader(sampleSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pools != 2 || instances != 1 {
+		t.Fatalf("loaded %d pools, %d instances", pools, instances)
+	}
+	tx := store.Begin(txn.Block)
+	defer tx.Commit()
+	p, err := m.Pool(tx, "pink-widgets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OnHand != 100 || !p.Props["price"].Equal(predicate.Int(250)) {
+		t.Fatalf("pool = %+v", p)
+	}
+	in, err := m.Instance(tx, "room-512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Status != Available {
+		t.Fatalf("status = %v", in.Status)
+	}
+	ok, err := predicate.Eval(predicate.MustParse(`floor = 5 and view and beds = "king"`), in.Env())
+	if err != nil || !ok {
+		t.Fatalf("seeded props wrong: %v %v", ok, err)
+	}
+}
+
+func TestLoadSeedErrorsAreAtomic(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"malformed xml", "<resources><pool"},
+		{"negative pool", `<resources><pool id="ok" onhand="5"></pool><pool id="bad" onhand="-1"></pool></resources>`},
+		{"duplicate pool", `<resources><pool id="x" onhand="1"></pool><pool id="x" onhand="1"></pool></resources>`},
+		{"bad property expr", `<resources><instance id="i"><prop name="p">((</prop></instance></resources>`},
+		{"non-constant property", `<resources><instance id="i"><prop name="p">quantity + 1</prop></instance></resources>`},
+	}
+	for _, c := range cases {
+		m, store := newRM(t)
+		if _, _, err := m.LoadSeed(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		// Nothing may have been created.
+		tx := store.Begin(txn.Block)
+		pools, _ := m.Pools(tx)
+		instances, _ := m.Instances(tx)
+		_ = tx.Commit()
+		if len(pools) != 0 || len(instances) != 0 {
+			t.Errorf("%s: partial load (%d pools, %d instances)", c.name, len(pools), len(instances))
+		}
+	}
+}
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	m, store := newRM(t)
+	tx := store.Begin(txn.Block)
+	if err := m.CreatePool(tx, "w", 42, map[string]predicate.Value{
+		"price": predicate.Int(9), "brand": predicate.Str(`acme "deluxe"`),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateInstance(tx, "i1", map[string]predicate.Value{
+		"flag": predicate.Bool(true), "n": predicate.Int(-3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.DumpSeed(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, store2 := newRM(t)
+	pools, instances, err := m2.LoadSeed(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-load: %v\n%s", err, buf.String())
+	}
+	if pools != 1 || instances != 1 {
+		t.Fatalf("round trip counts: %d %d", pools, instances)
+	}
+	tx2 := store2.Begin(txn.Block)
+	defer tx2.Commit()
+	p, _ := m2.Pool(tx2, "w")
+	if p.OnHand != 42 || !p.Props["brand"].Equal(predicate.Str(`acme "deluxe"`)) {
+		t.Fatalf("pool after round trip = %+v", p)
+	}
+	in, _ := m2.Instance(tx2, "i1")
+	if !in.Props["flag"].Equal(predicate.Bool(true)) || !in.Props["n"].Equal(predicate.Int(-3)) {
+		t.Fatalf("instance after round trip = %+v", in)
+	}
+}
+
+func TestDumpSeedDeterministic(t *testing.T) {
+	m, store := newRM(t)
+	tx := store.Begin(txn.Block)
+	_ = m.CreateInstance(tx, "i", map[string]predicate.Value{
+		"z": predicate.Int(1), "a": predicate.Int(2), "m": predicate.Int(3),
+	})
+	_ = tx.Commit()
+	var a, b bytes.Buffer
+	if err := m.DumpSeed(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DumpSeed(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("dump not deterministic")
+	}
+	if !strings.Contains(a.String(), `name="a"`) {
+		t.Fatalf("dump missing props:\n%s", a.String())
+	}
+}

@@ -1,0 +1,111 @@
+// Package service hosts application services behind the promise manager,
+// filling the "Application" role of the Figure 2 prototype (§8): "The
+// responsibility of the application is to process the action request passed
+// from the promise manager. The application uses a resource manager to keep
+// the global system state."
+//
+// Services register named operations; the transport layer resolves an
+// incoming <action> element to a registered handler and passes it to the
+// promise manager for execution inside the request transaction. Handlers
+// are written against the resource manager only — "coded without explicit
+// knowledge of the PM or its promises".
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/resource"
+)
+
+// Handler processes one action invocation. Params come from the wire
+// message; the ActionContext provides transactional resource access.
+type Handler func(params map[string]string, ac *core.ActionContext) (string, error)
+
+// Registry maps action names to handlers. It is safe for concurrent use;
+// registration normally happens at startup.
+type Registry struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{handlers: make(map[string]Handler)}
+}
+
+// Register installs a handler. Re-registering a name replaces the handler.
+func (r *Registry) Register(name string, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers[name] = h
+}
+
+// Resolve returns the handler for name.
+func (r *Registry) Resolve(name string) (Handler, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.handlers[name]
+	if !ok {
+		return nil, fmt.Errorf("service: no action registered as %q", name)
+	}
+	return h, nil
+}
+
+// Names lists registered actions, sorted, for tooling.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.handlers))
+	for n := range r.handlers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterStandard installs the generic resource operations used by the
+// examples and the CLI:
+//
+//	adjust-pool   pool=<id> delta=<n>      — add/remove pool stock
+//	pool-level    pool=<id>                — read quantity on hand
+//	take-instance instance=<id>            — consume a named instance
+//	release-instance instance=<id>         — return a taken instance
+func RegisterStandard(r *Registry) {
+	r.Register("adjust-pool", func(params map[string]string, ac *core.ActionContext) (string, error) {
+		pool := params["pool"]
+		delta, err := strconv.ParseInt(params["delta"], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("service: adjust-pool: bad delta %q", params["delta"])
+		}
+		next, err := ac.Resources.AdjustPool(ac.Tx, pool, delta)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(next, 10), nil
+	})
+	r.Register("pool-level", func(params map[string]string, ac *core.ActionContext) (string, error) {
+		p, err := ac.Resources.Pool(ac.Tx, params["pool"])
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(p.OnHand, 10), nil
+	})
+	r.Register("take-instance", func(params map[string]string, ac *core.ActionContext) (string, error) {
+		id := params["instance"]
+		if err := ac.Resources.SetStatus(ac.Tx, id, resource.Taken); err != nil {
+			return "", err
+		}
+		return id, nil
+	})
+	r.Register("release-instance", func(params map[string]string, ac *core.ActionContext) (string, error) {
+		id := params["instance"]
+		if err := ac.Resources.SetStatus(ac.Tx, id, resource.Available); err != nil {
+			return "", err
+		}
+		return id, nil
+	})
+}

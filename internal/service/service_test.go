@@ -1,0 +1,124 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/resource"
+	"repro/internal/txn"
+)
+
+func newWorld(t *testing.T) (*Registry, *core.Manager) {
+	t.Helper()
+	m, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Store().Begin(txn.Block)
+	if err := m.Resources().CreatePool(tx, "w", 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Resources().CreateInstance(tx, "i", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	RegisterStandard(reg)
+	return reg, m
+}
+
+// invoke runs a registered handler through the manager, as transport does.
+func invoke(t *testing.T, reg *Registry, m *core.Manager, name string, params map[string]string) (string, error) {
+	t.Helper()
+	h, err := reg.Resolve(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.Execute(core.Request{
+		Client: "tester",
+		Action: func(ac *core.ActionContext) (any, error) {
+			return h(params, ac)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ActionErr != nil {
+		return "", resp.ActionErr
+	}
+	return resp.ActionResult.(string), nil
+}
+
+func TestResolveUnknown(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Resolve("nope"); err == nil {
+		t.Fatal("unknown action resolved")
+	}
+}
+
+func TestNames(t *testing.T) {
+	reg, _ := newWorld(t)
+	names := reg.Names()
+	want := []string{"adjust-pool", "pool-level", "release-instance", "take-instance"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("x", func(map[string]string, *core.ActionContext) (string, error) { return "1", nil })
+	reg.Register("x", func(map[string]string, *core.ActionContext) (string, error) { return "2", nil })
+	h, _ := reg.Resolve("x")
+	got, _ := h(nil, nil)
+	if got != "2" {
+		t.Fatalf("handler not replaced: %q", got)
+	}
+}
+
+func TestAdjustPoolAndLevel(t *testing.T) {
+	reg, m := newWorld(t)
+	out, err := invoke(t, reg, m, "adjust-pool", map[string]string{"pool": "w", "delta": "-4"})
+	if err != nil || out != "6" {
+		t.Fatalf("adjust: %q %v", out, err)
+	}
+	out, err = invoke(t, reg, m, "pool-level", map[string]string{"pool": "w"})
+	if err != nil || out != "6" {
+		t.Fatalf("level: %q %v", out, err)
+	}
+	if _, err := invoke(t, reg, m, "adjust-pool", map[string]string{"pool": "w", "delta": "nan"}); err == nil {
+		t.Fatal("bad delta accepted")
+	}
+	if _, err := invoke(t, reg, m, "adjust-pool", map[string]string{"pool": "w", "delta": "-100"}); err == nil {
+		t.Fatal("overdraw accepted")
+	}
+	if _, err := invoke(t, reg, m, "pool-level", map[string]string{"pool": "ghost"}); err == nil {
+		t.Fatal("missing pool accepted")
+	}
+}
+
+func TestTakeAndReleaseInstance(t *testing.T) {
+	reg, m := newWorld(t)
+	out, err := invoke(t, reg, m, "take-instance", map[string]string{"instance": "i"})
+	if err != nil || out != "i" {
+		t.Fatalf("take: %q %v", out, err)
+	}
+	tx := m.Store().Begin(txn.Block)
+	in, _ := m.Resources().Instance(tx, "i")
+	if in.Status != resource.Taken {
+		t.Fatalf("status = %v", in.Status)
+	}
+	_ = tx.Commit()
+	if _, err := invoke(t, reg, m, "release-instance", map[string]string{"instance": "i"}); err != nil {
+		t.Fatal(err)
+	}
+	tx = m.Store().Begin(txn.Block)
+	defer tx.Commit()
+	in, _ = m.Resources().Instance(tx, "i")
+	if in.Status != resource.Available {
+		t.Fatalf("status after release = %v", in.Status)
+	}
+}

@@ -1,0 +1,185 @@
+// Package softlock implements the "Allocated Tags" technique of paper §5
+// for resources accessed via a named view: "keep an availability status
+// field as part of the data used to describe the resource instance … set to
+// 'promised' when the instance was provisionally allocated to a client …
+// then either set to 'taken' by a subsequent action, or … reset back to
+// 'available' if the promise is released."
+//
+// This is the "common business practice sometimes called 'soft locks'" of
+// §2: the record is not locked against access; applications simply skip
+// records tagged as allocated.
+//
+// The table pairs each promised instance with its holder so that one client
+// cannot release or take another's allocation — enforcing §3.2's rule that
+// "a single named resource instance cannot be promised to more than one
+// client application at the same time."
+package softlock
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/resource"
+	"repro/internal/txn"
+)
+
+// Table is the store table mapping instance id -> holder.
+const Table = "softlocks"
+
+// Errors reported by tag transitions.
+var (
+	// ErrAlreadyAllocated is returned when promising an instance that is
+	// already promised or taken.
+	ErrAlreadyAllocated = errors.New("softlock: instance already allocated")
+	// ErrNotHolder is returned when a client manipulates an allocation it
+	// does not hold.
+	ErrNotHolder = errors.New("softlock: caller does not hold this allocation")
+)
+
+// holderRow records which client holds an instance's soft lock.
+type holderRow struct {
+	holder string
+}
+
+// CloneRow implements txn.Row.
+func (h *holderRow) CloneRow() txn.Row { c := *h; return &c }
+
+// Tags manages allocated-tag transitions over named instances.
+type Tags struct {
+	store *txn.Store
+	rm    *resource.Manager
+}
+
+// NewTags creates the soft-lock table and returns a Tags manager.
+func NewTags(store *txn.Store, rm *resource.Manager) (*Tags, error) {
+	if err := store.CreateTable(Table); err != nil {
+		return nil, err
+	}
+	return &Tags{store: store, rm: rm}, nil
+}
+
+// Acquire tags instance id as promised to holder. Fails with
+// ErrAlreadyAllocated if the instance is not currently available.
+func (t *Tags) Acquire(tx *txn.Tx, id, holder string) error {
+	in, err := t.rm.Instance(tx, id)
+	if err != nil {
+		return err
+	}
+	if in.Status != resource.Available {
+		return fmt.Errorf("%w: %q is %v", ErrAlreadyAllocated, id, in.Status)
+	}
+	if err := t.rm.SetStatus(tx, id, resource.Promised); err != nil {
+		return err
+	}
+	return tx.Put(Table, id, &holderRow{holder: holder})
+}
+
+// Release returns a promised instance to available. Only the holder may
+// release.
+func (t *Tags) Release(tx *txn.Tx, id, holder string) error {
+	if err := t.checkHolder(tx, id, holder); err != nil {
+		return err
+	}
+	if err := t.rm.SetStatus(tx, id, resource.Available); err != nil {
+		return err
+	}
+	return tx.Delete(Table, id)
+}
+
+// Take consumes a promised instance (promised -> taken), ending the
+// allocation. Only the holder may take.
+func (t *Tags) Take(tx *txn.Tx, id, holder string) error {
+	if err := t.checkHolder(tx, id, holder); err != nil {
+		return err
+	}
+	if err := t.rm.SetStatus(tx, id, resource.Taken); err != nil {
+		return err
+	}
+	return tx.Delete(Table, id)
+}
+
+// Forget removes holder's allocation record without touching the
+// instance's status. The promise manager uses it when releasing a promise
+// whose instance the application action already consumed directly (the
+// action set the tag to taken itself; §8 allows actions to "make state
+// changes that will violate those promises that are being released
+// atomically with the action").
+func (t *Tags) Forget(tx *txn.Tx, id, holder string) error {
+	if err := t.checkHolder(tx, id, holder); err != nil {
+		return err
+	}
+	return tx.Delete(Table, id)
+}
+
+func (t *Tags) checkHolder(tx *txn.Tx, id, holder string) error {
+	row, err := tx.Get(Table, id)
+	if errors.Is(err, txn.ErrNotFound) {
+		return fmt.Errorf("%w: %q has no allocation", ErrNotHolder, id)
+	}
+	if err != nil {
+		return err
+	}
+	if row.(*holderRow).holder != holder {
+		return fmt.Errorf("%w: %q is held by another client", ErrNotHolder, id)
+	}
+	return nil
+}
+
+// Holder reports who holds instance id, or "" when unallocated.
+func (t *Tags) Holder(tx *txn.Tx, id string) (string, error) {
+	row, err := tx.Get(Table, id)
+	if errors.Is(err, txn.ErrNotFound) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return row.(*holderRow).holder, nil
+}
+
+// Holders returns a snapshot of every allocation: instance id -> holder.
+// The promise manager's property-view planner uses it to classify instances
+// in one pass instead of a lookup per instance.
+func (t *Tags) Holders(tx *txn.Tx) (map[string]string, error) {
+	out := make(map[string]string)
+	err := tx.Scan(Table, func(key string, row txn.Row) bool {
+		out[key] = row.(*holderRow).holder
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CheckInvariant verifies tag/table agreement: every promised instance has
+// exactly one holder record and every holder record points at a promised
+// instance.
+func (t *Tags) CheckInvariant(tx *txn.Tx) error {
+	holders := make(map[string]string)
+	err := tx.Scan(Table, func(key string, row txn.Row) bool {
+		holders[key] = row.(*holderRow).holder
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	instances, err := t.rm.Instances(tx)
+	if err != nil {
+		return err
+	}
+	for _, in := range instances {
+		_, held := holders[in.ID]
+		if in.Status == resource.Promised && !held {
+			return fmt.Errorf("softlock: instance %q promised but has no holder record", in.ID)
+		}
+		if in.Status != resource.Promised && held {
+			return fmt.Errorf("softlock: instance %q is %v but has a holder record", in.ID, in.Status)
+		}
+		delete(holders, in.ID)
+	}
+	for id := range holders {
+		return fmt.Errorf("softlock: holder record for unknown instance %q", id)
+	}
+	return nil
+}

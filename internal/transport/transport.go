@@ -1,0 +1,294 @@
+// Package transport deploys the Figure 2 prototype architecture (§8) over
+// HTTP: a Server exposes a promise manager and its application services at
+// a single endpoint; a Client sends protocol envelopes carrying promise
+// headers and action bodies. "The client adds promises header messages to
+// its normal service requests and sends them to the promise manager for
+// processing. The promise manager then does its work and passes the request
+// on to the application."
+//
+// The package also provides RemoteSupplier, a core.Supplier backed by a
+// Client, so delegation chains (§5) span processes.
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/service"
+)
+
+// Endpoint is the promise manager's HTTP path.
+const Endpoint = "/promises"
+
+// Server adapts a promise manager and a service registry to HTTP.
+type Server struct {
+	manager  *core.Manager
+	registry *service.Registry
+}
+
+// NewServer returns a Server for manager and registry.
+func NewServer(manager *core.Manager, registry *service.Registry) *Server {
+	return &Server{manager: manager, registry: registry}
+}
+
+// Handler returns the http.Handler exposing the promise endpoint plus two
+// read-only operational endpoints:
+//
+//	GET /stats  — the manager's activity counters (text)
+//	GET /audit  — a full consistency audit (text; 500 when unhealthy)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+Endpoint, s.handle)
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, s.manager.Stats())
+	})
+	mux.HandleFunc("GET /audit", func(w http.ResponseWriter, _ *http.Request) {
+		rep, err := s.manager.Audit()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !rep.Healthy() {
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+		fmt.Fprintln(w, rep)
+	})
+	return mux
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	in, err := protocol.Decode(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req := core.Request{Client: in.Header.Client}
+	if in.Header.Promise != nil {
+		for _, wr := range in.Header.Promise.Requests {
+			pr, err := protocol.RequestFromWire(wr)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			req.PromiseRequests = append(req.PromiseRequests, pr)
+		}
+	}
+	req.Env = protocol.EnvFromWire(in.Header.Environment)
+	if in.Body.Action != nil {
+		handler, err := s.registry.Resolve(in.Body.Action.Name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		params := in.Body.Action.ParamMap()
+		req.Action = func(ac *core.ActionContext) (any, error) {
+			return handler(params, ac)
+		}
+	}
+
+	resp, err := s.manager.Execute(req)
+	if err != nil {
+		// Malformed request (e.g. missing client); internal failures also
+		// land here and surface as 500s via the fault-free error path.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	out := &protocol.Envelope{}
+	if len(resp.Promises) > 0 {
+		out.Header.Promise = &protocol.PromiseHeader{}
+		for _, pr := range resp.Promises {
+			out.Header.Promise.Responses = append(out.Header.Promise.Responses, protocol.ResponseToWire(pr))
+		}
+	}
+	if resp.ActionErr != nil {
+		out.Body.Fault = protocol.FaultFromError(resp.ActionErr)
+	} else if s, ok := resp.ActionResult.(string); ok {
+		out.Body.Result = s
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	if err := protocol.Encode(w, out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client talks to a remote promise manager.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8642".
+	BaseURL string
+	// Client identifies this promise client to the manager.
+	Client string
+	// HTTP is the underlying transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Do sends an envelope (stamping the client identity) and returns the
+// response envelope.
+func (c *Client) Do(env *protocol.Envelope) (*protocol.Envelope, error) {
+	env.Header.Client = c.Client
+	var buf bytes.Buffer
+	if err := protocol.Encode(&buf, env); err != nil {
+		return nil, err
+	}
+	httpResp, err := c.httpClient().Post(c.BaseURL+Endpoint, "application/xml", &buf)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(httpResp.Body)
+		return nil, fmt.Errorf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes()))
+	}
+	return protocol.Decode(httpResp.Body)
+}
+
+// Result is the client-side view of one full exchange.
+type Result struct {
+	// Promises are the promise responses from the header.
+	Promises []core.PromiseResponse
+	// ActionResult is the body result string.
+	ActionResult string
+	// ActionErr is the body fault mapped back onto sentinel errors.
+	ActionErr error
+}
+
+// Exchange sends promise requests, an environment and an optional action in
+// one message and decodes the reply.
+func (c *Client) Exchange(reqs []core.PromiseRequest, env []core.EnvEntry, action *protocol.WireAction) (*Result, error) {
+	msg := &protocol.Envelope{}
+	if len(reqs) > 0 {
+		msg.Header.Promise = &protocol.PromiseHeader{}
+		for _, r := range reqs {
+			msg.Header.Promise.Requests = append(msg.Header.Promise.Requests, protocol.RequestToWire(r))
+		}
+	}
+	msg.Header.Environment = protocol.EnvToWire(env)
+	msg.Body.Action = action
+
+	reply, err := c.Do(msg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{ActionResult: reply.Body.Result}
+	if reply.Header.Promise != nil {
+		for _, wr := range reply.Header.Promise.Responses {
+			pr, err := protocol.ResponseFromWire(wr)
+			if err != nil {
+				return nil, err
+			}
+			out.Promises = append(out.Promises, pr)
+		}
+	}
+	out.ActionErr = protocol.ErrorFromFault(reply.Body.Fault)
+	return out, nil
+}
+
+// RequestPromise asks for one promise over the given predicates.
+func (c *Client) RequestPromise(preds []core.Predicate, d time.Duration) (core.PromiseResponse, error) {
+	res, err := c.Exchange([]core.PromiseRequest{{Predicates: preds, Duration: d}}, nil, nil)
+	if err != nil {
+		return core.PromiseResponse{}, err
+	}
+	if len(res.Promises) != 1 {
+		return core.PromiseResponse{}, fmt.Errorf("transport: got %d promise responses, want 1", len(res.Promises))
+	}
+	return res.Promises[0], nil
+}
+
+// Release hands back a promise.
+func (c *Client) Release(promiseID string) error {
+	res, err := c.Exchange(nil, []core.EnvEntry{{PromiseID: promiseID, Release: true}}, nil)
+	if err != nil {
+		return err
+	}
+	return res.ActionErr
+}
+
+// Invoke runs a registered action under the given environment.
+func (c *Client) Invoke(env []core.EnvEntry, name string, params map[string]string) (string, error) {
+	action := &protocol.WireAction{Name: name}
+	for k, v := range params {
+		action.Params = append(action.Params, protocol.Param{Name: k, Value: v})
+	}
+	res, err := c.Exchange(nil, env, action)
+	if err != nil {
+		return "", err
+	}
+	if res.ActionErr != nil {
+		return "", res.ActionErr
+	}
+	return res.ActionResult, nil
+}
+
+// RemoteSupplier adapts a Client into a core.Supplier so a local manager
+// can delegate shortfalls to a remote one (§5) — the cross-process version
+// of core.ManagerSupplier. It remembers which pool each upstream promise
+// covers, because the wire protocol (like §6) has no promise introspection.
+type RemoteSupplier struct {
+	C *Client
+
+	mu    sync.Mutex
+	pools map[string]string // upstream promise id -> pool
+}
+
+// RequestPromise implements core.Supplier.
+func (s *RemoteSupplier) RequestPromise(pool string, qty int64, d time.Duration) (string, error) {
+	pr, err := s.C.RequestPromise([]core.Predicate{core.Quantity(pool, qty)}, d)
+	if err != nil {
+		return "", err
+	}
+	if !pr.Accepted {
+		return "", fmt.Errorf("transport: upstream rejected %d of %q: %s", qty, pool, pr.Reason)
+	}
+	s.mu.Lock()
+	if s.pools == nil {
+		s.pools = make(map[string]string)
+	}
+	s.pools[pr.PromiseID] = pool
+	s.mu.Unlock()
+	return pr.PromiseID, nil
+}
+
+// ReleasePromise implements core.Supplier.
+func (s *RemoteSupplier) ReleasePromise(id string) error {
+	s.mu.Lock()
+	delete(s.pools, id)
+	s.mu.Unlock()
+	return s.C.Release(id)
+}
+
+// ConsumePromise implements core.Supplier via the standard adjust-pool
+// action; the server must have service.RegisterStandard handlers installed.
+func (s *RemoteSupplier) ConsumePromise(id string, qty int64) error {
+	s.mu.Lock()
+	pool, ok := s.pools[id]
+	delete(s.pools, id)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: unknown upstream promise %q", id)
+	}
+	res, err := s.C.Exchange(nil, []core.EnvEntry{{PromiseID: id, Release: true}}, &protocol.WireAction{
+		Name: "adjust-pool",
+		Params: []protocol.Param{
+			{Name: "pool", Value: pool},
+			{Name: "delta", Value: fmt.Sprintf("-%d", qty)},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	return res.ActionErr
+}

@@ -1,0 +1,309 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/service"
+	"repro/internal/txn"
+)
+
+// newTestServer spins up a full Figure 2 deployment: PM + App + RM behind
+// an HTTP test server.
+func newTestServer(t *testing.T, seedFn func(m *core.Manager) error) (*httptest.Server, *core.Manager) {
+	t.Helper()
+	m, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seedFn != nil {
+		tx := m.Store().Begin(txn.Block)
+		defer func() {
+			if !tx.Done() {
+				_ = tx.Abort()
+			}
+		}()
+		if err := seedFn(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := service.NewRegistry()
+	service.RegisterStandard(reg)
+	srv := httptest.NewServer(NewServer(m, reg).Handler())
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+func seedPool(m *core.Manager, pool string, qty int64) error {
+	tx := m.Store().Begin(txn.Block)
+	if err := m.Resources().CreatePool(tx, pool, qty, nil); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func TestEndToEndFigure1OverHTTP(t *testing.T) {
+	srv, m := newTestServer(t, func(m *core.Manager) error {
+		return seedPool(m, "pink-widgets", 10)
+	})
+	c := &Client{BaseURL: srv.URL, Client: "order-process"}
+
+	// Promise request.
+	pr, err := c.RequestPromise([]core.Predicate{core.Quantity("pink-widgets", 5)}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Accepted {
+		t.Fatalf("rejected: %s", pr.Reason)
+	}
+	if pr.Expires.IsZero() {
+		t.Fatal("expires not propagated")
+	}
+
+	// Purchase with atomic release, via the registered action.
+	result, err := c.Invoke(
+		[]core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+		"adjust-pool", map[string]string{"pool": "pink-widgets", "delta": "-5"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result != "5" {
+		t.Fatalf("new level = %q, want 5", result)
+	}
+	info, err := m.PromiseInfo(pr.PromiseID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != core.Released {
+		t.Fatalf("promise state = %v", info.State)
+	}
+}
+
+func TestRejectionOverHTTP(t *testing.T) {
+	srv, _ := newTestServer(t, func(m *core.Manager) error {
+		return seedPool(m, "w", 3)
+	})
+	c := &Client{BaseURL: srv.URL, Client: "c"}
+	pr, err := c.RequestPromise([]core.Predicate{core.Quantity("w", 5)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Accepted {
+		t.Fatal("over-grant over HTTP")
+	}
+	if !strings.Contains(pr.Reason, "available") {
+		t.Fatalf("reason = %q", pr.Reason)
+	}
+}
+
+func TestFaultMappingOverHTTP(t *testing.T) {
+	srv, _ := newTestServer(t, func(m *core.Manager) error {
+		return seedPool(m, "w", 3)
+	})
+	c := &Client{BaseURL: srv.URL, Client: "c"}
+	// Using an unknown promise id yields a typed fault on the client side.
+	_, err := c.Invoke([]core.EnvEntry{{PromiseID: "prm-404"}}, "pool-level", map[string]string{"pool": "w"})
+	if !errors.Is(err, core.ErrPromiseNotFound) {
+		t.Fatalf("err = %v, want ErrPromiseNotFound", err)
+	}
+	// Releasing twice yields promise-released.
+	pr, _ := c.RequestPromise([]core.Predicate{core.Quantity("w", 1)}, 0)
+	if err := c.Release(pr.PromiseID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(pr.PromiseID); !errors.Is(err, core.ErrPromiseReleased) {
+		t.Fatalf("double release err = %v", err)
+	}
+}
+
+func TestViolationFaultOverHTTP(t *testing.T) {
+	srv, _ := newTestServer(t, func(m *core.Manager) error {
+		return seedPool(m, "w", 10)
+	})
+	holder := &Client{BaseURL: srv.URL, Client: "holder"}
+	pr, err := holder.RequestPromise([]core.Predicate{core.Quantity("w", 8)}, time.Minute)
+	if err != nil || !pr.Accepted {
+		t.Fatalf("setup: %v %v", pr, err)
+	}
+	rogue := &Client{BaseURL: srv.URL, Client: "rogue"}
+	_, err = rogue.Invoke(nil, "adjust-pool", map[string]string{"pool": "w", "delta": "-5"})
+	if !errors.Is(err, core.ErrPromiseViolated) {
+		t.Fatalf("err = %v, want ErrPromiseViolated", err)
+	}
+	// State intact.
+	level, err := rogue.Invoke(nil, "pool-level", map[string]string{"pool": "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != "10" {
+		t.Fatalf("level = %q after rolled-back violation", level)
+	}
+}
+
+func TestUnknownActionIs404(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	c := &Client{BaseURL: srv.URL, Client: "c"}
+	_, err := c.Invoke(nil, "launch-missiles", nil)
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("err = %v, want 404", err)
+	}
+}
+
+func TestMissingClientIsBadRequest(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	c := &Client{BaseURL: srv.URL, Client: ""}
+	_, err := c.Exchange(nil, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("err = %v, want 400", err)
+	}
+}
+
+func TestMalformedEnvelopeIsBadRequest(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	resp, err := srv.Client().Post(srv.URL+Endpoint, "application/xml", strings.NewReader("<garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestRemoteSupplierDelegationChain(t *testing.T) {
+	// Distributor server; merchant manager delegates to it over HTTP (E11).
+	distSrv, distM := newTestServer(t, func(m *core.Manager) error {
+		return seedPool(m, "widgets", 10)
+	})
+	sup := &RemoteSupplier{C: &Client{BaseURL: distSrv.URL, Client: "merchant"}}
+	merchant, err := core.New(core.Config{
+		Suppliers: map[string]core.Supplier{"widgets": sup},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seedPool(merchant, "widgets", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := merchant.Execute(core.Request{
+		Client: "customer",
+		PromiseRequests: []core.PromiseRequest{{
+			Predicates: []core.Predicate{core.Quantity("widgets", 8)},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := resp.Promises[0]
+	if !pr.Accepted {
+		t.Fatalf("delegated grant over HTTP rejected: %s", pr.Reason)
+	}
+	info, _ := merchant.PromiseInfo(pr.PromiseID)
+	if info.DelegatedQty[0] != 5 {
+		t.Fatalf("delegated qty = %d", info.DelegatedQty[0])
+	}
+	// The distributor holds the upstream promise.
+	up, err := distM.PromiseInfo(info.DelegatedID[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.State != core.Active {
+		t.Fatalf("upstream state = %v", up.State)
+	}
+	// Release propagates over HTTP.
+	if _, err := merchant.Execute(core.Request{
+		Client: "customer",
+		Env:    []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	up, _ = distM.PromiseInfo(info.DelegatedID[0])
+	if up.State != core.Released {
+		t.Fatalf("upstream after release = %v", up.State)
+	}
+}
+
+func TestRemoteSupplierConsume(t *testing.T) {
+	distSrv, distM := newTestServer(t, func(m *core.Manager) error {
+		return seedPool(m, "w", 10)
+	})
+	sup := &RemoteSupplier{C: &Client{BaseURL: distSrv.URL, Client: "m"}}
+	id, err := sup.RequestPromise("w", 4, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.ConsumePromise(id, 4); err != nil {
+		t.Fatal(err)
+	}
+	tx := distM.Store().Begin(txn.Block)
+	defer tx.Commit()
+	p, _ := distM.Resources().Pool(tx, "w")
+	if p.OnHand != 6 {
+		t.Fatalf("on hand = %d", p.OnHand)
+	}
+	if err := sup.ConsumePromise("up-unknown", 1); err == nil {
+		t.Fatal("unknown upstream promise consumed")
+	}
+}
+
+func TestOpsEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t, func(m *core.Manager) error {
+		return seedPool(m, "w", 10)
+	})
+	c := &Client{BaseURL: srv.URL, Client: "c"}
+	if _, err := c.RequestPromise([]core.Predicate{core.Quantity("w", 5)}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf strings.Builder
+		if _, err := io.Copy(&buf, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.String()
+	}
+	code, body := get("/stats")
+	if code != 200 || !strings.Contains(body, "grants=1") {
+		t.Fatalf("/stats: %d %q", code, body)
+	}
+	code, body = get("/audit")
+	if code != 200 || !strings.Contains(body, "healthy") {
+		t.Fatalf("/audit: %d %q", code, body)
+	}
+}
+
+func TestPiggybackedGrantAndAction(t *testing.T) {
+	// One message carrying both a promise request and an action (§6): the
+	// action runs and the promise is granted in the same transaction.
+	srv, _ := newTestServer(t, func(m *core.Manager) error {
+		return seedPool(m, "w", 10)
+	})
+	c := &Client{BaseURL: srv.URL, Client: "c"}
+	res, err := c.Exchange(
+		[]core.PromiseRequest{{Predicates: []core.Predicate{core.Quantity("w", 3)}}},
+		nil,
+		&protocol.WireAction{Name: "pool-level", Params: []protocol.Param{{Name: "pool", Value: "w"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Promises) != 1 || !res.Promises[0].Accepted {
+		t.Fatalf("promises = %+v", res.Promises)
+	}
+	if res.ActionErr != nil || res.ActionResult != "10" {
+		t.Fatalf("action: %q %v", res.ActionResult, res.ActionErr)
+	}
+}

@@ -1,0 +1,257 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestModeCompatibilityMatrix(t *testing.T) {
+	// Rows: holder, columns: requester. Classic hierarchical matrix.
+	want := map[[2]Mode]bool{
+		{IS, IS}: true, {IS, IX}: true, {IS, S}: true, {IS, SIX}: true, {IS, X}: false,
+		{IX, IS}: true, {IX, IX}: true, {IX, S}: false, {IX, SIX}: false, {IX, X}: false,
+		{S, IS}: true, {S, IX}: false, {S, S}: true, {S, SIX}: false, {S, X}: false,
+		{SIX, IS}: true, {SIX, IX}: false, {SIX, S}: false, {SIX, SIX}: false, {SIX, X}: false,
+		{X, IS}: false, {X, IX}: false, {X, S}: false, {X, SIX}: false, {X, X}: false,
+	}
+	for pair, exp := range want {
+		if got := compatible(pair[0], pair[1]); got != exp {
+			t.Errorf("compatible(%v, %v) = %v, want %v", pair[0], pair[1], got, exp)
+		}
+	}
+}
+
+func TestModeSup(t *testing.T) {
+	cases := []struct {
+		a, b, want Mode
+	}{
+		{None, S, S},
+		{IS, IX, IX},
+		{IS, S, S},
+		{S, IX, SIX},
+		{IX, S, SIX},
+		{S, X, X},
+		{IX, X, X},
+		{SIX, X, X},
+		{SIX, S, SIX},
+		{SIX, IX, SIX},
+		{X, IS, X},
+		{S, S, S},
+	}
+	for _, c := range cases {
+		if got := sup(c.a, c.b); got != c.want {
+			t.Errorf("sup(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAcquireSharedConcurrently(t *testing.T) {
+	lm := NewLockManager()
+	for tx := uint64(1); tx <= 5; tx++ {
+		if err := lm.Acquire(tx, "r", S, NoWait); err != nil {
+			t.Fatalf("tx %d: %v", tx, err)
+		}
+	}
+}
+
+func TestAcquireExclusiveConflicts(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "r", X, NoWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "r", S, NoWait); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("want ErrWouldBlock, got %v", err)
+	}
+	lm.ReleaseAll(1)
+	if err := lm.Acquire(2, "r", S, NoWait); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestAcquireReentrantAndUpgrade(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "r", S, NoWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(1, "r", S, NoWait); err != nil {
+		t.Fatalf("re-acquire same mode: %v", err)
+	}
+	if err := lm.Acquire(1, "r", X, NoWait); err != nil {
+		t.Fatalf("upgrade S->X with no other holders: %v", err)
+	}
+	if got := lm.HeldModes(1)["r"]; got != X {
+		t.Fatalf("held mode = %v, want X", got)
+	}
+}
+
+func TestUpgradeBlockedByOtherReader(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "r", S, NoWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "r", S, NoWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(1, "r", X, NoWait); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("upgrade with concurrent reader: want ErrWouldBlock, got %v", err)
+	}
+}
+
+func TestBlockingHandoff(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "r", X, Block); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- lm.Acquire(2, "r", X, Block) }()
+	select {
+	case err := <-got:
+		t.Fatalf("acquire returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	lm.ReleaseAll(1)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("handoff: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "a", X, Block); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "b", X, Block); err != nil {
+		t.Fatal(err)
+	}
+	step := make(chan error, 1)
+	go func() { step <- lm.Acquire(1, "b", X, Block) }() // 1 waits on 2
+	time.Sleep(20 * time.Millisecond)
+	// 2 requests a held by 1: closes the cycle; 2 must get ErrDeadlock.
+	err := lm.Acquire(2, "a", X, Block)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	// Victim aborts: releases its locks; tx 1 proceeds.
+	lm.ReleaseAll(2)
+	select {
+	case err := <-step:
+		if err != nil {
+			t.Fatalf("tx1 after victim abort: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("tx1 never unblocked")
+	}
+}
+
+func TestDeadlockThreeWay(t *testing.T) {
+	lm := NewLockManager()
+	for tx := uint64(1); tx <= 3; tx++ {
+		if err := lm.Acquire(tx, string(rune('a'+tx-1)), X, Block); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 2)
+	go func() { done <- lm.Acquire(1, "b", X, Block) }()
+	go func() { done <- lm.Acquire(2, "c", X, Block) }()
+	time.Sleep(20 * time.Millisecond)
+	err := lm.Acquire(3, "a", X, Block)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	lm.ReleaseAll(3)
+	if err := <-done; err != nil {
+		t.Fatalf("first waiter: %v", err)
+	}
+}
+
+func TestFIFOPreventsWriterStarvation(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "r", S, Block); err != nil {
+		t.Fatal(err)
+	}
+	writer := make(chan error, 1)
+	go func() { writer <- lm.Acquire(2, "r", X, Block) }()
+	time.Sleep(20 * time.Millisecond)
+	// A new reader must queue behind the writer, not sneak in.
+	if err := lm.Acquire(3, "r", S, NoWait); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("reader bypassed queued writer: %v", err)
+	}
+	lm.ReleaseAll(1)
+	if err := <-writer; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+}
+
+func TestReleaseAllWakesMultipleReaders(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "r", X, Block); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = lm.Acquire(uint64(10+i), "r", S, Block)
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	lm.ReleaseAll(1)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+	}
+}
+
+func TestNoWaitNeverDeadlocks(t *testing.T) {
+	// §9 claim: "unfulfillable promise requests are rejected immediately
+	// rather than blocking, we do not have to worry about deadlock".
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "a", X, NoWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "b", X, NoWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(1, "b", X, NoWait); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("want ErrWouldBlock, got %v", err)
+	}
+	if err := lm.Acquire(2, "a", X, NoWait); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("want ErrWouldBlock, got %v", err)
+	}
+	// Both can release and retry; no one is stuck.
+	lm.ReleaseAll(1)
+	if err := lm.Acquire(2, "a", X, NoWait); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntentionLocksAllowDisjointRowWriters(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "tbl/rooms", IX, NoWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(1, "row/rooms/101", X, NoWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "tbl/rooms", IX, NoWait); err != nil {
+		t.Fatalf("second IX on table: %v", err)
+	}
+	if err := lm.Acquire(2, "row/rooms/102", X, NoWait); err != nil {
+		t.Fatalf("disjoint row write: %v", err)
+	}
+	// But a table scanner (S) must be blocked by the IX holders.
+	if err := lm.Acquire(3, "tbl/rooms", S, NoWait); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("scan during writes: want ErrWouldBlock, got %v", err)
+	}
+}

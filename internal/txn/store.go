@@ -1,0 +1,261 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Row is a value stored in a table. Rows must be deep-copyable so that a
+// transaction never aliases committed state: Get returns a clone, Put stores
+// a clone.
+type Row interface {
+	// CloneRow returns a deep copy.
+	CloneRow() Row
+}
+
+// ErrNotFound is returned by Get for a missing key.
+var ErrNotFound = errors.New("txn: key not found")
+
+// table holds committed rows.
+type table struct {
+	rows map[string]Row
+}
+
+// Store is an in-memory multi-table store with strict-2PL transactions and
+// undo-log rollback. It models the Resource Manager's storage and the
+// promise table of the prototype (§8).
+type Store struct {
+	lm     *LockManager
+	nextTx atomic.Uint64
+
+	mu     sync.RWMutex // guards the tables map and row maps; row access also lock-managed
+	tables map[string]*table
+}
+
+// NewStore returns an empty Store.
+func NewStore() *Store {
+	return &Store{
+		lm:     NewLockManager(),
+		tables: make(map[string]*table),
+	}
+}
+
+// CreateTable registers a table. Creating an existing table is an error so
+// schema typos surface early.
+func (s *Store) CreateTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return fmt.Errorf("txn: table %q already exists", name)
+	}
+	s.tables[name] = &table{rows: make(map[string]Row)}
+	return nil
+}
+
+// undoRecord captures the pre-image of one modified key.
+type undoRecord struct {
+	table, key string
+	prev       Row // nil when key did not exist
+}
+
+// Tx is a transaction. A Tx is used by a single goroutine.
+type Tx struct {
+	id     uint64
+	store  *Store
+	policy WaitPolicy
+	// undo records one pre-image per write (not deduplicated per key, so
+	// that savepoint rollback restores intermediate states correctly;
+	// reverse replay makes the earliest pre-image win on full abort).
+	undo []undoRecord
+	done bool
+}
+
+// Begin starts a transaction with the given wait policy for its locks.
+func (s *Store) Begin(policy WaitPolicy) *Tx {
+	return &Tx{
+		id:     s.nextTx.Add(1),
+		store:  s,
+		policy: policy,
+	}
+}
+
+// ID returns the transaction identifier (used by baseline lock experiments).
+func (t *Tx) ID() uint64 { return t.id }
+
+func tableLock(tbl string) string    { return "tbl/" + tbl }
+func rowLock(tbl, key string) string { return "row/" + tbl + "/" + key }
+
+func (t *Tx) lookupTable(name string) (*table, error) {
+	t.store.mu.RLock()
+	tbl := t.store.tables[name]
+	t.store.mu.RUnlock()
+	if tbl == nil {
+		return nil, fmt.Errorf("txn: no such table %q", name)
+	}
+	return tbl, nil
+}
+
+// Get returns a clone of the row at (tbl, key), taking IS on the table and
+// S on the row.
+func (t *Tx) Get(tbl, key string) (Row, error) {
+	if t.done {
+		return nil, ErrTxDone
+	}
+	tab, err := t.lookupTable(tbl)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.store.lm.Acquire(t.id, tableLock(tbl), IS, t.policy); err != nil {
+		return nil, err
+	}
+	if err := t.store.lm.Acquire(t.id, rowLock(tbl, key), S, t.policy); err != nil {
+		return nil, err
+	}
+	t.store.mu.RLock()
+	row, ok := tab.rows[key]
+	t.store.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, tbl, key)
+	}
+	return row.CloneRow(), nil
+}
+
+// Put stores a clone of row at (tbl, key), taking IX on the table and X on
+// the row, recording an undo pre-image on first touch.
+func (t *Tx) Put(tbl, key string, row Row) error {
+	if t.done {
+		return ErrTxDone
+	}
+	tab, err := t.lookupTable(tbl)
+	if err != nil {
+		return err
+	}
+	if err := t.store.lm.Acquire(t.id, tableLock(tbl), IX, t.policy); err != nil {
+		return err
+	}
+	if err := t.store.lm.Acquire(t.id, rowLock(tbl, key), X, t.policy); err != nil {
+		return err
+	}
+	t.store.mu.Lock()
+	defer t.store.mu.Unlock()
+	t.recordUndoLocked(tab, tbl, key)
+	tab.rows[key] = row.CloneRow()
+	return nil
+}
+
+// Delete removes (tbl, key). Deleting a missing key returns ErrNotFound.
+func (t *Tx) Delete(tbl, key string) error {
+	if t.done {
+		return ErrTxDone
+	}
+	tab, err := t.lookupTable(tbl)
+	if err != nil {
+		return err
+	}
+	if err := t.store.lm.Acquire(t.id, tableLock(tbl), IX, t.policy); err != nil {
+		return err
+	}
+	if err := t.store.lm.Acquire(t.id, rowLock(tbl, key), X, t.policy); err != nil {
+		return err
+	}
+	t.store.mu.Lock()
+	defer t.store.mu.Unlock()
+	if _, ok := tab.rows[key]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, tbl, key)
+	}
+	t.recordUndoLocked(tab, tbl, key)
+	delete(tab.rows, key)
+	return nil
+}
+
+// Scan visits every row of tbl in key order under a table-level S lock
+// (preventing phantoms for the duration of the transaction, which the
+// promise-checking step of §8 requires). fn receives clones; returning
+// false stops the scan early.
+func (t *Tx) Scan(tbl string, fn func(key string, row Row) bool) error {
+	if t.done {
+		return ErrTxDone
+	}
+	tab, err := t.lookupTable(tbl)
+	if err != nil {
+		return err
+	}
+	if err := t.store.lm.Acquire(t.id, tableLock(tbl), S, t.policy); err != nil {
+		return err
+	}
+	t.store.mu.RLock()
+	keys := make([]string, 0, len(tab.rows))
+	for k := range tab.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snapshot := make([]Row, len(keys))
+	for i, k := range keys {
+		snapshot[i] = tab.rows[k].CloneRow()
+	}
+	t.store.mu.RUnlock()
+	for i, k := range keys {
+		if !fn(k, snapshot[i]) {
+			break
+		}
+	}
+	return nil
+}
+
+// recordUndoLocked appends the pre-image of (tbl, key). Caller holds s.mu.
+func (t *Tx) recordUndoLocked(tab *table, tbl, key string) {
+	var prev Row
+	if old, ok := tab.rows[key]; ok {
+		prev = old.CloneRow()
+	}
+	t.undo = append(t.undo, undoRecord{table: tbl, key: key, prev: prev})
+}
+
+// Commit makes the transaction's writes durable (in-memory) and releases
+// all locks.
+func (t *Tx) Commit() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	t.undo = nil
+	t.store.lm.ReleaseAll(t.id)
+	return nil
+}
+
+// Abort rolls back every write via the undo log (in reverse order) and
+// releases all locks. The §8 prototype relies on this to undo application
+// actions that violated unrelated promises.
+func (t *Tx) Abort() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	t.store.mu.Lock()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		tab := t.store.tables[u.table]
+		if tab == nil {
+			continue
+		}
+		if u.prev == nil {
+			delete(tab.rows, u.key)
+		} else {
+			tab.rows[u.key] = u.prev.CloneRow()
+		}
+	}
+	t.store.mu.Unlock()
+	t.undo = nil
+	t.store.lm.ReleaseAll(t.id)
+	return nil
+}
+
+// Done reports whether the transaction has committed or aborted.
+func (t *Tx) Done() bool { return t.done }
+
+// LockManager exposes the store's lock manager so the baseline package can
+// take long-duration application locks in the same namespace.
+func (s *Store) LockManager() *LockManager { return s.lm }

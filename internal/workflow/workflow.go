@@ -1,0 +1,215 @@
+// Package workflow is a small event-driven engine for long-running business
+// processes — the substitute for the authors' GAT workflow engine [5],
+// which the paper names as the intended host for promise interactions
+// ("In future work, we will implement support for Promise interactions in
+// several service-provision frameworks, including our own GAT engine").
+//
+// A process is a set of named steps. Each step runs application code (which
+// may call a promise manager) and returns a Transition: go to another step,
+// wait for an external event, or finish. Waiting models the long-running
+// quality that motivates promises — the process holds promises, not locks,
+// across its waits (§1, §7).
+package workflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status is the lifecycle state of a process instance.
+type Status int
+
+// Instance statuses.
+const (
+	// Ready instances have not started.
+	Ready Status = iota
+	// Waiting instances are parked on an external event.
+	Waiting
+	// Completed instances finished successfully.
+	Completed
+	// Failed instances stopped with an error.
+	Failed
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Waiting:
+		return "waiting"
+	case Completed:
+		return "completed"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Context carries process-scoped state between steps.
+type Context struct {
+	// Vars is the process variable bag.
+	Vars map[string]any
+	// Event holds the payload of the most recently delivered event.
+	Event any
+}
+
+// Transition tells the engine what to do after a step.
+type Transition struct {
+	next  string
+	await string
+	done  bool
+}
+
+// Goto continues at the named step.
+func Goto(step string) Transition { return Transition{next: step} }
+
+// WaitFor parks the instance until event is delivered, then continues at
+// the named step.
+func WaitFor(event, then string) Transition { return Transition{await: event, next: then} }
+
+// Done completes the process.
+func Done() Transition { return Transition{done: true} }
+
+// StepFunc is one step of a process.
+type StepFunc func(*Context) (Transition, error)
+
+// Definition is a reusable process definition.
+type Definition struct {
+	// Name identifies the process type.
+	Name string
+	// Start is the first step.
+	Start string
+	// Steps maps step names to their functions.
+	Steps map[string]StepFunc
+	// MaxSteps guards against accidental infinite loops; zero means 10000.
+	MaxSteps int
+}
+
+// Errors reported by the engine.
+var (
+	// ErrUnknownStep is returned when a transition names a missing step.
+	ErrUnknownStep = errors.New("workflow: unknown step")
+	// ErrNotWaiting is returned by Deliver on an instance that is not
+	// parked, or parked on a different event.
+	ErrNotWaiting = errors.New("workflow: instance not waiting for this event")
+	// ErrFinished is returned when driving a completed or failed instance.
+	ErrFinished = errors.New("workflow: instance already finished")
+	// ErrTooManySteps is returned when MaxSteps is exceeded.
+	ErrTooManySteps = errors.New("workflow: step budget exceeded")
+)
+
+// Instance is one running process.
+type Instance struct {
+	def     *Definition
+	ctx     *Context
+	status  Status
+	current string // step to run next (after event delivery when waiting)
+	waitFor string
+	trace   []string
+	failure error
+	steps   int
+}
+
+// NewInstance creates an instance of def.
+func NewInstance(def *Definition) (*Instance, error) {
+	if def.Start == "" {
+		return nil, errors.New("workflow: definition has no start step")
+	}
+	if _, ok := def.Steps[def.Start]; !ok {
+		return nil, fmt.Errorf("%w: start step %q", ErrUnknownStep, def.Start)
+	}
+	return &Instance{
+		def:     def,
+		ctx:     &Context{Vars: make(map[string]any)},
+		current: def.Start,
+	}, nil
+}
+
+// Status reports the instance state.
+func (i *Instance) Status() Status { return i.status }
+
+// Trace returns the executed step names in order.
+func (i *Instance) Trace() []string { return append([]string(nil), i.trace...) }
+
+// Failure returns the error that failed the instance, if any.
+func (i *Instance) Failure() error { return i.failure }
+
+// Vars exposes the process variable bag.
+func (i *Instance) Vars() map[string]any { return i.ctx.Vars }
+
+// WaitingFor names the awaited event, or "".
+func (i *Instance) WaitingFor() string {
+	if i.status == Waiting {
+		return i.waitFor
+	}
+	return ""
+}
+
+// Run drives the instance until it waits, completes or fails.
+func (i *Instance) Run() error {
+	switch i.status {
+	case Completed, Failed:
+		return ErrFinished
+	case Waiting:
+		return fmt.Errorf("%w: waiting for %q", ErrNotWaiting, i.waitFor)
+	}
+	return i.drive()
+}
+
+// Deliver hands an external event (with payload) to a waiting instance and
+// resumes it.
+func (i *Instance) Deliver(event string, payload any) error {
+	if i.status != Waiting || i.waitFor != event {
+		return fmt.Errorf("%w: status=%v waiting=%q delivered=%q", ErrNotWaiting, i.status, i.waitFor, event)
+	}
+	i.status = Ready
+	i.waitFor = ""
+	i.ctx.Event = payload
+	return i.drive()
+}
+
+func (i *Instance) drive() error {
+	max := i.def.MaxSteps
+	if max <= 0 {
+		max = 10000
+	}
+	for {
+		step, ok := i.def.Steps[i.current]
+		if !ok {
+			i.status = Failed
+			i.failure = fmt.Errorf("%w: %q", ErrUnknownStep, i.current)
+			return i.failure
+		}
+		i.steps++
+		if i.steps > max {
+			i.status = Failed
+			i.failure = fmt.Errorf("%w: %d", ErrTooManySteps, max)
+			return i.failure
+		}
+		i.trace = append(i.trace, i.current)
+		tr, err := step(i.ctx)
+		if err != nil {
+			i.status = Failed
+			i.failure = fmt.Errorf("workflow: step %q: %w", i.current, err)
+			return i.failure
+		}
+		switch {
+		case tr.done:
+			i.status = Completed
+			return nil
+		case tr.await != "":
+			if _, ok := i.def.Steps[tr.next]; !ok {
+				i.status = Failed
+				i.failure = fmt.Errorf("%w: %q (after event %q)", ErrUnknownStep, tr.next, tr.await)
+				return i.failure
+			}
+			i.status = Waiting
+			i.waitFor = tr.await
+			i.current = tr.next
+			return nil
+		default:
+			i.current = tr.next
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func linearDef() *Definition {
+	return &Definition{
+		Name:  "linear",
+		Start: "a",
+		Steps: map[string]StepFunc{
+			"a": func(c *Context) (Transition, error) {
+				c.Vars["a"] = true
+				return Goto("b"), nil
+			},
+			"b": func(c *Context) (Transition, error) {
+				c.Vars["b"] = true
+				return Done(), nil
+			},
+		},
+	}
+}
+
+func TestLinearProcess(t *testing.T) {
+	in, err := NewInstance(linearDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Status() != Ready {
+		t.Fatalf("status = %v", in.Status())
+	}
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Status() != Completed {
+		t.Fatalf("status = %v", in.Status())
+	}
+	if fmt.Sprint(in.Trace()) != "[a b]" {
+		t.Fatalf("trace = %v", in.Trace())
+	}
+	if in.Vars()["a"] != true || in.Vars()["b"] != true {
+		t.Fatal("vars not set")
+	}
+	if err := in.Run(); !errors.Is(err, ErrFinished) {
+		t.Fatalf("re-run: %v", err)
+	}
+}
+
+func TestWaitAndDeliver(t *testing.T) {
+	def := &Definition{
+		Name:  "order",
+		Start: "reserve",
+		Steps: map[string]StepFunc{
+			"reserve": func(c *Context) (Transition, error) {
+				return WaitFor("payment", "ship"), nil
+			},
+			"ship": func(c *Context) (Transition, error) {
+				c.Vars["paid"] = c.Event
+				return Done(), nil
+			},
+		},
+	}
+	in, _ := NewInstance(def)
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Status() != Waiting || in.WaitingFor() != "payment" {
+		t.Fatalf("status=%v waiting=%q", in.Status(), in.WaitingFor())
+	}
+	// Wrong event rejected.
+	if err := in.Deliver("cancellation", nil); !errors.Is(err, ErrNotWaiting) {
+		t.Fatalf("wrong event: %v", err)
+	}
+	// Run while waiting rejected.
+	if err := in.Run(); !errors.Is(err, ErrNotWaiting) {
+		t.Fatalf("run while waiting: %v", err)
+	}
+	if err := in.Deliver("payment", 250); err != nil {
+		t.Fatal(err)
+	}
+	if in.Status() != Completed || in.Vars()["paid"] != 250 {
+		t.Fatalf("status=%v paid=%v", in.Status(), in.Vars()["paid"])
+	}
+	if in.WaitingFor() != "" {
+		t.Fatal("WaitingFor after completion")
+	}
+}
+
+func TestStepFailure(t *testing.T) {
+	def := &Definition{
+		Name:  "f",
+		Start: "boom",
+		Steps: map[string]StepFunc{
+			"boom": func(c *Context) (Transition, error) {
+				return Transition{}, errors.New("kaput")
+			},
+		},
+	}
+	in, _ := NewInstance(def)
+	if err := in.Run(); err == nil {
+		t.Fatal("want error")
+	}
+	if in.Status() != Failed || in.Failure() == nil {
+		t.Fatalf("status=%v failure=%v", in.Status(), in.Failure())
+	}
+	if err := in.Deliver("x", nil); !errors.Is(err, ErrNotWaiting) {
+		t.Fatalf("deliver to failed: %v", err)
+	}
+}
+
+func TestUnknownStepTransitions(t *testing.T) {
+	def := &Definition{
+		Name:  "u",
+		Start: "a",
+		Steps: map[string]StepFunc{
+			"a": func(c *Context) (Transition, error) { return Goto("ghost"), nil },
+		},
+	}
+	in, _ := NewInstance(def)
+	if err := in.Run(); !errors.Is(err, ErrUnknownStep) {
+		t.Fatalf("goto ghost: %v", err)
+	}
+	def2 := &Definition{
+		Name:  "u2",
+		Start: "a",
+		Steps: map[string]StepFunc{
+			"a": func(c *Context) (Transition, error) { return WaitFor("e", "ghost"), nil },
+		},
+	}
+	in2, _ := NewInstance(def2)
+	if err := in2.Run(); !errors.Is(err, ErrUnknownStep) {
+		t.Fatalf("wait-then-ghost: %v", err)
+	}
+}
+
+func TestDefinitionValidation(t *testing.T) {
+	if _, err := NewInstance(&Definition{Name: "x"}); err == nil {
+		t.Fatal("no start accepted")
+	}
+	if _, err := NewInstance(&Definition{Name: "x", Start: "a"}); !errors.Is(err, ErrUnknownStep) {
+		t.Fatalf("missing start step: %v", err)
+	}
+}
+
+func TestInfiniteLoopGuard(t *testing.T) {
+	def := &Definition{
+		Name:     "spin",
+		Start:    "a",
+		MaxSteps: 50,
+		Steps: map[string]StepFunc{
+			"a": func(c *Context) (Transition, error) { return Goto("a"), nil },
+		},
+	}
+	in, _ := NewInstance(def)
+	if err := in.Run(); !errors.Is(err, ErrTooManySteps) {
+		t.Fatalf("loop guard: %v", err)
+	}
+}
+
+func TestBranching(t *testing.T) {
+	def := &Definition{
+		Name:  "branch",
+		Start: "decide",
+		Steps: map[string]StepFunc{
+			"decide": func(c *Context) (Transition, error) {
+				if c.Vars["in-stock"] == true {
+					return Goto("ship"), nil
+				}
+				return Goto("backorder"), nil
+			},
+			"ship":      func(c *Context) (Transition, error) { c.Vars["path"] = "ship"; return Done(), nil },
+			"backorder": func(c *Context) (Transition, error) { c.Vars["path"] = "backorder"; return Done(), nil },
+		},
+	}
+	in, _ := NewInstance(def)
+	in.Vars()["in-stock"] = true
+	_ = in.Run()
+	if in.Vars()["path"] != "ship" {
+		t.Fatalf("path = %v", in.Vars()["path"])
+	}
+	in2, _ := NewInstance(def)
+	_ = in2.Run()
+	if in2.Vars()["path"] != "backorder" {
+		t.Fatalf("path = %v", in2.Vars()["path"])
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Ready: "ready", Waiting: "waiting", Completed: "completed", Failed: "failed",
+	} {
+		if s.String() != want {
+			t.Errorf("%v", s)
+		}
+	}
+	if Status(9).String() == "" {
+		t.Fatal("unknown status string empty")
+	}
+}

@@ -1,0 +1,206 @@
+package promises
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// This file implements the §10 future-work item of integrating promises
+// with business-activity-style coordination ("the transaction support found
+// in standards like WS-BusinessActivity"): an Activity tracks the promises
+// a long-running process obtains from any number of promise makers and
+// guarantees all-or-release acquisition — if any requirement cannot be
+// obtained, everything already held is handed back (compensation), since
+// "the autonomy of service-providers means that there is no way to demand
+// atomicity across long duration business processes" (§4).
+
+// PromiseMaker abstracts one promise-granting endpoint: a local Manager or
+// a remote manager reached through the wire protocol.
+type PromiseMaker interface {
+	// RequestPromise submits one promise request for the given client.
+	RequestPromise(client string, pr PromiseRequest) (PromiseResponse, error)
+	// ReleasePromise hands a promise back.
+	ReleasePromise(client string, id string) error
+}
+
+// LocalMaker adapts a Manager into a PromiseMaker.
+type LocalMaker struct {
+	M *Manager
+}
+
+// RequestPromise implements PromiseMaker.
+func (l *LocalMaker) RequestPromise(client string, pr PromiseRequest) (PromiseResponse, error) {
+	resp, err := l.M.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{pr}})
+	if err != nil {
+		return PromiseResponse{}, err
+	}
+	return resp.Promises[0], nil
+}
+
+// ReleasePromise implements PromiseMaker.
+func (l *LocalMaker) ReleasePromise(client, id string) error {
+	resp, err := l.M.Execute(Request{Client: client, Env: []EnvEntry{{PromiseID: id, Release: true}}})
+	if err != nil {
+		return err
+	}
+	return resp.ActionErr
+}
+
+// RemoteMaker adapts a transport.Client into a PromiseMaker. The client's
+// own identity is used; the per-call client argument must match it.
+type RemoteMaker struct {
+	C *transport.Client
+}
+
+// RequestPromise implements PromiseMaker.
+func (r *RemoteMaker) RequestPromise(client string, pr PromiseRequest) (PromiseResponse, error) {
+	if client != r.C.Client {
+		return PromiseResponse{}, fmt.Errorf("%w: remote maker is bound to client %q, got %q",
+			ErrBadRequest, r.C.Client, client)
+	}
+	res, err := r.C.Exchange([]PromiseRequest{pr}, nil, nil)
+	if err != nil {
+		return PromiseResponse{}, err
+	}
+	if len(res.Promises) != 1 {
+		return PromiseResponse{}, fmt.Errorf("promises: got %d responses, want 1", len(res.Promises))
+	}
+	return res.Promises[0], nil
+}
+
+// ReleasePromise implements PromiseMaker.
+func (r *RemoteMaker) ReleasePromise(client, id string) error {
+	if client != r.C.Client {
+		return fmt.Errorf("%w: remote maker is bound to client %q, got %q", ErrBadRequest, r.C.Client, client)
+	}
+	return r.C.Release(id)
+}
+
+// ErrActivityClosed is returned when obtaining through a completed or
+// cancelled activity.
+var ErrActivityClosed = errors.New("promises: activity already closed")
+
+// heldPromise tracks one obtained promise and where to release it.
+type heldPromise struct {
+	maker PromiseMaker
+	id    string
+}
+
+// Activity coordinates promise acquisition across managers for one
+// long-running business process.
+type Activity struct {
+	client string
+
+	mu     sync.Mutex
+	held   []heldPromise
+	closed bool
+}
+
+// NewActivity starts an activity for the given promise client identity.
+func NewActivity(client string) *Activity {
+	return &Activity{client: client}
+}
+
+// Obtain requests one promise from mk and tracks it on success. A
+// rejection is returned as-is (the caller may try alternatives, §4's
+// "trying alternative resources and predicates"); transport errors
+// propagate. Neither cancels the activity.
+func (a *Activity) Obtain(mk PromiseMaker, preds []Predicate, d time.Duration) (PromiseResponse, error) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return PromiseResponse{}, ErrActivityClosed
+	}
+	a.mu.Unlock()
+
+	pr, err := mk.RequestPromise(a.client, PromiseRequest{Predicates: preds, Duration: d})
+	if err != nil {
+		return PromiseResponse{}, err
+	}
+	if pr.Accepted {
+		a.mu.Lock()
+		if a.closed {
+			// Lost the race with Cancel/Complete: hand it straight back.
+			a.mu.Unlock()
+			_ = mk.ReleasePromise(a.client, pr.PromiseID)
+			return PromiseResponse{}, ErrActivityClosed
+		}
+		a.held = append(a.held, heldPromise{maker: mk, id: pr.PromiseID})
+		a.mu.Unlock()
+	}
+	return pr, nil
+}
+
+// MustObtain is Obtain that cancels the whole activity when the promise is
+// rejected or errors, returning what went wrong. This is the all-or-release
+// acquisition pattern of the §4 travel agent.
+func (a *Activity) MustObtain(mk PromiseMaker, preds []Predicate, d time.Duration) (PromiseResponse, error) {
+	pr, err := a.Obtain(mk, preds, d)
+	if err != nil {
+		_ = a.Cancel()
+		return PromiseResponse{}, err
+	}
+	if !pr.Accepted {
+		_ = a.Cancel()
+		return pr, fmt.Errorf("promises: activity requirement rejected: %s", pr.Reason)
+	}
+	return pr, nil
+}
+
+// Held lists the tracked promise ids, in acquisition order.
+func (a *Activity) Held() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, len(a.held))
+	for i, h := range a.held {
+		out[i] = h.id
+	}
+	return out
+}
+
+// Cancel releases every held promise, in reverse acquisition order
+// (compensation). Errors are collected; releasing continues past failures
+// so one unreachable maker cannot strand the rest.
+func (a *Activity) Cancel() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	held := a.held
+	a.held = nil
+	a.mu.Unlock()
+
+	var errs []error
+	for i := len(held) - 1; i >= 0; i-- {
+		if err := held[i].maker.ReleasePromise(a.client, held[i].id); err != nil {
+			errs = append(errs, fmt.Errorf("release %s: %w", held[i].id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Complete closes the activity successfully, returning the held promise
+// ids for the caller to consume (each under its own action+release, which
+// remains per-service atomic — cross-service atomicity is exactly what the
+// paper says cannot be demanded). After Complete, the activity no longer
+// releases anything.
+func (a *Activity) Complete() ([]string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil, ErrActivityClosed
+	}
+	a.closed = true
+	out := make([]string, len(a.held))
+	for i, h := range a.held {
+		out[i] = h.id
+	}
+	a.held = nil
+	return out, nil
+}

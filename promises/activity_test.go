@@ -1,0 +1,206 @@
+package promises_test
+
+import (
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/promises"
+)
+
+func newMakerWorld(t *testing.T, pools map[string]int64) *promises.Manager {
+	t.Helper()
+	m, err := promises.New(promises.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Store().Begin(txn.Block)
+	for pool, qty := range pools {
+		if err := m.Resources().CreatePool(tx, pool, qty, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestActivityAllOrReleaseSuccess(t *testing.T) {
+	// §4's travel agent across three autonomous services.
+	airline := newMakerWorld(t, map[string]int64{"seats": 2})
+	cars := newMakerWorld(t, map[string]int64{"cars": 1})
+	hotel := newMakerWorld(t, map[string]int64{"rooms": 5})
+
+	a := promises.NewActivity("agent")
+	for _, leg := range []struct {
+		m    *promises.Manager
+		pool string
+	}{{airline, "seats"}, {cars, "cars"}, {hotel, "rooms"}} {
+		if _, err := a.MustObtain(&promises.LocalMaker{M: leg.m},
+			[]promises.Predicate{promises.Quantity(leg.pool, 1)}, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	held, err := a.Complete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(held) != 3 {
+		t.Fatalf("held = %v", held)
+	}
+	// Promises remain active after completion: the agent consumes them.
+	for i, m := range []*promises.Manager{airline, cars, hotel} {
+		info, err := m.PromiseInfo(held[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State != promises.Active {
+			t.Fatalf("leg %d state = %v", i, info.State)
+		}
+	}
+}
+
+func TestActivityCompensatesOnFailure(t *testing.T) {
+	airline := newMakerWorld(t, map[string]int64{"seats": 2})
+	cars := newMakerWorld(t, map[string]int64{"cars": 0}) // no cars anywhere
+
+	a := promises.NewActivity("agent")
+	if _, err := a.MustObtain(&promises.LocalMaker{M: airline},
+		[]promises.Predicate{promises.Quantity("seats", 1)}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	seatID := a.Held()[0]
+	_, err := a.MustObtain(&promises.LocalMaker{M: cars},
+		[]promises.Predicate{promises.Quantity("cars", 1)}, time.Minute)
+	if err == nil {
+		t.Fatal("car leg should fail")
+	}
+	// The seat promise was compensated.
+	info, err := airline.PromiseInfo(seatID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != promises.Released {
+		t.Fatalf("seat promise state = %v, want released", info.State)
+	}
+	// The activity is closed.
+	if _, err := a.Obtain(&promises.LocalMaker{M: airline},
+		[]promises.Predicate{promises.Quantity("seats", 1)}, time.Minute); !errors.Is(err, promises.ErrActivityClosed) {
+		t.Fatalf("obtain after cancel: %v", err)
+	}
+	if _, err := a.Complete(); !errors.Is(err, promises.ErrActivityClosed) {
+		t.Fatalf("complete after cancel: %v", err)
+	}
+	if err := a.Cancel(); err != nil {
+		t.Fatalf("idempotent cancel: %v", err)
+	}
+}
+
+func TestActivityObtainToleratesRejection(t *testing.T) {
+	// Plain Obtain does not cancel: the caller tries an alternative (§4's
+	// "trying alternative resources and predicates").
+	m := newMakerWorld(t, map[string]int64{"cars": 0, "trains": 5})
+	a := promises.NewActivity("agent")
+	mk := &promises.LocalMaker{M: m}
+	pr, err := a.Obtain(mk, []promises.Predicate{promises.Quantity("cars", 1)}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Accepted {
+		t.Fatal("no cars exist")
+	}
+	pr, err = a.Obtain(mk, []promises.Predicate{promises.Quantity("trains", 1)}, time.Minute)
+	if err != nil || !pr.Accepted {
+		t.Fatalf("train: %+v %v", pr, err)
+	}
+	if len(a.Held()) != 1 {
+		t.Fatalf("held = %v", a.Held())
+	}
+}
+
+func TestActivityOverHTTP(t *testing.T) {
+	airline := newMakerWorld(t, map[string]int64{"seats": 1})
+	hotel := newMakerWorld(t, map[string]int64{"rooms": 1})
+	reg := service.NewRegistry()
+	service.RegisterStandard(reg)
+	airSrv := httptest.NewServer(transport.NewServer(airline, reg).Handler())
+	defer airSrv.Close()
+	hotSrv := httptest.NewServer(transport.NewServer(hotel, reg).Handler())
+	defer hotSrv.Close()
+
+	a := promises.NewActivity("agent")
+	airMk := &promises.RemoteMaker{C: &transport.Client{BaseURL: airSrv.URL, Client: "agent"}}
+	hotMk := &promises.RemoteMaker{C: &transport.Client{BaseURL: hotSrv.URL, Client: "agent"}}
+	if _, err := a.MustObtain(airMk, []promises.Predicate{promises.Quantity("seats", 1)}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.MustObtain(hotMk, []promises.Predicate{promises.Quantity("rooms", 1)}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	held := a.Held()
+	if err := a.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	// Both remote promises released.
+	if info, _ := airline.PromiseInfo(held[0]); info.State != promises.Released {
+		t.Fatalf("airline promise = %v", info.State)
+	}
+	if info, _ := hotel.PromiseInfo(held[1]); info.State != promises.Released {
+		t.Fatalf("hotel promise = %v", info.State)
+	}
+}
+
+func TestRemoteMakerIdentityGuard(t *testing.T) {
+	m := newMakerWorld(t, map[string]int64{"p": 1})
+	reg := service.NewRegistry()
+	srv := httptest.NewServer(transport.NewServer(m, reg).Handler())
+	defer srv.Close()
+	mk := &promises.RemoteMaker{C: &transport.Client{BaseURL: srv.URL, Client: "alice"}}
+	if _, err := mk.RequestPromise("bob", promises.PromiseRequest{
+		Predicates: []promises.Predicate{promises.Quantity("p", 1)},
+	}); !errors.Is(err, promises.ErrBadRequest) {
+		t.Fatalf("identity mismatch: %v", err)
+	}
+	if err := mk.ReleasePromise("bob", "prm-1"); !errors.Is(err, promises.ErrBadRequest) {
+		t.Fatalf("identity mismatch on release: %v", err)
+	}
+}
+
+func TestActivityConcurrentObtainAndCancel(t *testing.T) {
+	// Obtain racing Cancel must never leak: either the promise is tracked
+	// and released by Cancel, or Obtain releases it itself.
+	m := newMakerWorld(t, map[string]int64{"p": 1000})
+	mk := &promises.LocalMaker{M: m}
+	for round := 0; round < 20; round++ {
+		a := promises.NewActivity("agent")
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_, _ = a.Obtain(mk, []promises.Predicate{promises.Quantity("p", 1)}, time.Minute)
+		}()
+		go func() {
+			defer wg.Done()
+			_ = a.Cancel()
+		}()
+		wg.Wait()
+		_ = a.Cancel()
+		// Any tracked-but-uncancelled promise would show up here.
+		list, err := m.ActivePromises()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range list {
+			// A promise may legitimately remain if Obtain finished before
+			// Cancel started... but then Cancel would have released it.
+			// So nothing may remain.
+			t.Fatalf("round %d leaked promise %s", round, p.ID)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package promises
+
+import (
+	"fmt"
+	"time"
+)
+
+// NegotiationResult records the outcome of a Negotiate call.
+type NegotiationResult struct {
+	// Response is the final promise response (accepted or the last
+	// rejection).
+	Response PromiseResponse
+	// Attempt is the 0-based index of the alternative that was granted;
+	// len(alternatives) means the manager's counter-offer was taken; -1
+	// means nothing was granted.
+	Attempt int
+	// Tried lists the rejection reasons of the failed attempts, in order.
+	Tried []string
+}
+
+// Accepted reports whether any alternative was granted.
+func (r *NegotiationResult) Accepted() bool { return r.Response.Accepted }
+
+// Negotiate implements the client side of §3.3's negotiation pattern:
+// "users may regard some properties as essential and others as desirable …
+// the promise requestor and the promise maker negotiate to find a promise
+// that is both satisfiable and maximally desirable. For example, the client
+// may initially request a non-smoking room with a view and twin beds, and
+// eventually accept a promise for a room with just twin beds."
+//
+// Alternatives are tried in order (most to least desirable); the first
+// grant wins. If every alternative is rejected and acceptCounter is true,
+// the manager's counter-offer from the final rejection (if any) is
+// submitted as a last attempt — the §6 "accepted with the condition XX"
+// loop closed from the client side.
+func Negotiate(m *Manager, client string, d time.Duration, acceptCounter bool, alternatives ...[]Predicate) (*NegotiationResult, error) {
+	if len(alternatives) == 0 {
+		return nil, fmt.Errorf("%w: no alternatives to negotiate", ErrBadRequest)
+	}
+	result := &NegotiationResult{Attempt: -1}
+	for i, preds := range alternatives {
+		resp, err := m.Execute(Request{
+			Client: client,
+			PromiseRequests: []PromiseRequest{{
+				RequestID:  fmt.Sprintf("negotiate-%d", i),
+				Predicates: preds,
+				Duration:   d,
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		pr := resp.Promises[0]
+		if pr.Accepted {
+			result.Response = pr
+			result.Attempt = i
+			return result, nil
+		}
+		result.Response = pr
+		result.Tried = append(result.Tried, pr.Reason)
+	}
+	if acceptCounter && len(result.Response.Counter) > 0 {
+		resp, err := m.Execute(Request{
+			Client: client,
+			PromiseRequests: []PromiseRequest{{
+				RequestID:  "negotiate-counter",
+				Predicates: result.Response.Counter,
+				Duration:   d,
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		pr := resp.Promises[0]
+		result.Response = pr
+		if pr.Accepted {
+			result.Attempt = len(alternatives)
+			return result, nil
+		}
+		result.Tried = append(result.Tried, pr.Reason)
+	}
+	return result, nil
+}

@@ -1,0 +1,154 @@
+// Package promises is the public API of the Promises library, a full
+// implementation of "Isolation Support for Service-based Applications"
+// (Greenfield, Fekete, Jang, Kuo, Nepal — CIDR 2007).
+//
+// A Promise is "an agreement between a client application (a 'promise
+// client') and a service (a 'promise maker'). By accepting a promise
+// request, a service guarantees that some set of conditions ('predicates')
+// will be maintained over a set of resources for a specified period of
+// time." (§2)
+//
+// # Quickstart
+//
+//	m, err := promises.New(promises.Config{})
+//	// seed a pool of 10 pink widgets
+//	tx := m.Store().Begin(txn.Block)
+//	m.Resources().CreatePool(tx, "pink-widgets", 10, nil)
+//	tx.Commit()
+//
+//	// Figure 1: ask for a promise that 5 widgets stay available
+//	resp, _ := m.Execute(promises.Request{
+//	    Client: "order-process",
+//	    PromiseRequests: []promises.PromiseRequest{{
+//	        Predicates: []promises.Predicate{promises.Quantity("pink-widgets", 5)},
+//	        Duration:   time.Minute,
+//	    }},
+//	})
+//	pr := resp.Promises[0] // pr.Accepted, pr.PromiseID
+//
+//	// later: purchase under the promise, releasing it atomically
+//	m.Execute(promises.Request{
+//	    Client: "order-process",
+//	    Env:    []promises.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+//	    Action: func(ac *promises.ActionContext) (any, error) {
+//	        _, err := ac.Resources.AdjustPool(ac.Tx, "pink-widgets", -5)
+//	        return nil, err
+//	    },
+//	})
+//
+// # Resource views
+//
+// Predicates come in the paper's three flavours (§3):
+//
+//   - Quantity(pool, n) — anonymous view: n interchangeable units.
+//   - Named(instance)   — named view: one specific instance.
+//   - Property(expr)    — property view: any instance satisfying a boolean
+//     expression such as `floor = 5 and view and beds = "twin"`.
+//
+// # Architecture
+//
+// The Manager follows the prototype of §8: promise table, escrow ledger and
+// soft-lock tags live in one transactional store with the resource manager;
+// every Execute call is a single ACID transaction; actions that violate
+// outstanding promises are rolled back. internal/transport serves the
+// manager over HTTP using the §6 protocol elements; see cmd/promised.
+package promises
+
+import (
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// Re-exported core types. The library's behaviour is documented on the
+// originals in repro/internal/core.
+type (
+	// Manager is the promise manager (§2, §8).
+	Manager = core.Manager
+	// Config configures a Manager.
+	Config = core.Config
+	// Request is one client message (§6).
+	Request = core.Request
+	// Response is the manager's reply.
+	Response = core.Response
+	// PromiseRequest is one atomic <promise-request> (§4, §6).
+	PromiseRequest = core.PromiseRequest
+	// PromiseResponse is one <promise-response> (§6).
+	PromiseResponse = core.PromiseResponse
+	// EnvEntry names an environment promise with its release option.
+	EnvEntry = core.EnvEntry
+	// Predicate is one promised condition (§3).
+	Predicate = core.Predicate
+	// Promise is a granted promise.
+	Promise = core.Promise
+	// Action is an application operation run under the manager's
+	// transaction (§8).
+	Action = core.Action
+	// ActionContext gives actions transactional resource access.
+	ActionContext = core.ActionContext
+	// Supplier is an upstream promise maker for delegation (§5).
+	Supplier = core.Supplier
+	// ManagerSupplier adapts a local Manager into a Supplier.
+	ManagerSupplier = core.ManagerSupplier
+	// View is a resource view (§3).
+	View = core.View
+	// State is a promise lifecycle state.
+	State = core.State
+	// PropertyMode selects the property-view technique (§5).
+	PropertyMode = core.PropertyMode
+	// Stats is a snapshot of manager activity counters.
+	Stats = core.Stats
+	// AuditReport summarises a consistency audit (Manager.Audit).
+	AuditReport = core.AuditReport
+)
+
+// Re-exported constants.
+const (
+	AnonymousView = core.AnonymousView
+	NamedView     = core.NamedView
+	PropertyView  = core.PropertyView
+
+	Active   = core.Active
+	Released = core.Released
+	Expired  = core.Expired
+
+	MatchingMode = core.MatchingMode
+	FirstFitMode = core.FirstFitMode
+)
+
+// Re-exported sentinel errors.
+var (
+	ErrPromiseNotFound = core.ErrPromiseNotFound
+	ErrPromiseExpired  = core.ErrPromiseExpired
+	ErrPromiseReleased = core.ErrPromiseReleased
+	ErrPromiseViolated = core.ErrPromiseViolated
+	ErrBadRequest      = core.ErrBadRequest
+)
+
+// New creates a Manager. A zero Config builds a self-contained manager
+// with a fresh store and resource manager.
+func New(cfg Config) (*Manager, error) { return core.New(cfg) }
+
+// Quantity builds an anonymous-view predicate (§3.1): qty units of pool
+// must remain available.
+func Quantity(pool string, qty int64) Predicate { return core.Quantity(pool, qty) }
+
+// Named builds a named-view predicate (§3.2) over one instance.
+func Named(instance string) Predicate { return core.Named(instance) }
+
+// Property builds a property-view predicate (§3.3) from an expression in
+// the standard predicate syntax.
+func Property(src string) (Predicate, error) { return core.Property(src) }
+
+// MustProperty is Property that panics on parse errors; for statically
+// known expressions.
+func MustProperty(src string) Predicate { return core.MustProperty(src) }
+
+// FromExpr interprets a lower-bound quantity expression such as
+// "quantity >= 5" or "balance >= 100" as an anonymous predicate on pool.
+func FromExpr(pool, src string) (Predicate, error) { return core.FromExpr(pool, src) }
+
+// SystemClock is the wall clock for Config.Clock.
+func SystemClock() clock.Clock { return clock.System{} }
+
+// FakeClock returns a manually advanced clock for tests and simulations.
+func FakeClock() *clock.Fake { return clock.NewFake(clock.System{}.Now()) }
