@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -496,6 +497,50 @@ func BenchmarkE11(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkE12 — sharded vs serialized promise manager under parallel
+// grant/release load through the public API. Workers each own one pool;
+// with shards > 1 they stripe across stores and scale with cores, while
+// shards=1 serializes every request through one shard lock. Run with
+// -cpu 8 for the headline ratio.
+func BenchmarkE12(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := promises.NewSharded(promises.ShardedConfig{Shards: shards, DefaultDuration: time.Hour})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const pools = 32
+			names := make([]string, pools)
+			for i := range names {
+				names[i] = fmt.Sprintf("pool-%d", i)
+				if err := s.CreatePool(names[i], 1<<40, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := next.Add(1)
+				pool := names[int(id)%pools]
+				client := fmt.Sprintf("c%d", id)
+				for pb.Next() {
+					resp, err := s.Execute(core.Request{Client: client, PromiseRequests: []core.PromiseRequest{{
+						Predicates: []core.Predicate{core.Quantity(pool, 1)},
+					}}})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := s.Execute(core.Request{Client: client, Env: []core.EnvEntry{{PromiseID: resp.Promises[0].PromiseID, Release: true}}}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
 		})
 	}
 }

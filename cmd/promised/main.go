@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	promised [-addr :8642] [-seed retail|hotel|bank] [-max-duration 10m]
+//	promised [-addr :8642] [-seed retail|hotel|bank] [-shards N] [-max-duration 10m]
+//
+// -shards defaults to GOMAXPROCS.
+//
+// State is striped across -shards independent shards (hash of pool or
+// instance id) so parallel clients on different resources proceed
+// concurrently; -shards 1 serializes every request through one store.
 //
 // The wire protocol is the §6 promise protocol over XML; see
 // internal/protocol. Try it with cmd/promisectl.
@@ -16,13 +22,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/predicate"
 	"repro/internal/service"
 	"repro/internal/transport"
-	"repro/internal/txn"
 	"repro/promises"
 )
 
@@ -30,11 +35,12 @@ func main() {
 	addr := flag.String("addr", ":8642", "listen address")
 	seed := flag.String("seed", "retail", "demo dataset to seed: retail, hotel, bank, none")
 	seedFile := flag.String("seed-file", "", "XML resource seed file (see internal/resource seed format); overrides -seed")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "state shards; 1 serializes all requests through one store")
 	maxDur := flag.Duration("max-duration", 10*time.Minute, "cap on granted promise durations")
 	sweepEvery := flag.Duration("sweep", 5*time.Second, "expiry sweep interval")
 	flag.Parse()
 
-	m, err := promises.New(promises.Config{MaxDuration: *maxDur})
+	m, err := promises.NewSharded(promises.ShardedConfig{Shards: *shards, MaxDuration: *maxDur})
 	if err != nil {
 		log.Fatalf("promised: %v", err)
 	}
@@ -43,7 +49,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("promised: %v", err)
 		}
-		pools, instances, err := m.Resources().LoadSeed(f)
+		pools, instances, err := m.LoadSeed(f)
 		_ = f.Close()
 		if err != nil {
 			log.Fatalf("promised: seed file %s: %v", *seedFile, err)
@@ -66,36 +72,28 @@ func main() {
 	}()
 
 	srv := transport.NewServer(m, reg)
-	log.Printf("promised: promise manager listening on %s (seed=%s, actions=%v)",
-		*addr, *seed, reg.Names())
+	log.Printf("promised: promise manager listening on %s (seed=%s, shards=%d, actions=%v)",
+		*addr, *seed, m.NumShards(), reg.Names())
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-// seedData installs one of the demo datasets used throughout the examples.
-func seedData(m *core.Manager, name string) error {
+// seedData installs one of the demo datasets used throughout the examples,
+// routing each pool and instance to its owning shard.
+func seedData(m *promises.ShardedManager, name string) error {
 	if name == "none" {
 		return nil
 	}
-	tx := m.Store().Begin(txn.Block)
-	defer func() {
-		if !tx.Done() {
-			_ = tx.Abort()
-		}
-	}()
-	rm := m.Resources()
 	switch name {
 	case "retail":
-		if err := rm.CreatePool(tx, "pink-widgets", 100, nil); err != nil {
-			return err
-		}
-		if err := rm.CreatePool(tx, "blue-widgets", 100, nil); err != nil {
-			return err
-		}
-		if err := rm.CreatePool(tx, "shipping-slots", 20, nil); err != nil {
-			return err
+		for pool, qty := range map[string]int64{
+			"pink-widgets": 100, "blue-widgets": 100, "shipping-slots": 20,
+		} {
+			if err := m.CreatePool(pool, qty, nil); err != nil {
+				return err
+			}
 		}
 	case "hotel":
 		for i := 1; i <= 20; i++ {
@@ -106,7 +104,7 @@ func seedData(m *core.Manager, name string) error {
 				"smoking": predicate.Bool(i%7 == 0),
 				"beds":    predicate.Str([]string{"twin", "king", "single"}[i%3]),
 			}
-			if err := rm.CreateInstance(tx, fmt.Sprintf("room-%d%02d", floor, i%4+10), props); err != nil {
+			if err := m.CreateInstance(fmt.Sprintf("room-%d%02d", floor, i%4+10), props); err != nil {
 				return err
 			}
 		}
@@ -115,12 +113,12 @@ func seedData(m *core.Manager, name string) error {
 			id  string
 			bal int64
 		}{{"alice", 50000}, {"bob", 12000}, {"carol", 300}} {
-			if err := rm.CreatePool(tx, "acct-"+acct.id, acct.bal, nil); err != nil {
+			if err := m.CreatePool("acct-"+acct.id, acct.bal, nil); err != nil {
 				return err
 			}
 		}
 	default:
 		return fmt.Errorf("unknown seed %q", name)
 	}
-	return tx.Commit()
+	return nil
 }

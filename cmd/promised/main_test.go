@@ -3,29 +3,32 @@ package main
 import (
 	"testing"
 
-	"repro/internal/txn"
 	"repro/promises"
 )
 
+func newSharded(t *testing.T) *promises.ShardedManager {
+	t.Helper()
+	m, err := promises.NewSharded(promises.ShardedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestSeedDatasets(t *testing.T) {
 	for _, name := range []string{"retail", "hotel", "bank", "none"} {
-		m, err := promises.New(promises.Config{})
-		if err != nil {
-			t.Fatal(err)
-		}
+		m := newSharded(t)
 		if err := seedData(m, name); err != nil {
 			t.Fatalf("seed %q: %v", name, err)
 		}
-		tx := m.Store().Begin(txn.Block)
-		pools, err := m.Resources().Pools(tx)
+		pools, err := m.Pools()
 		if err != nil {
 			t.Fatal(err)
 		}
-		instances, err := m.Resources().Instances(tx)
+		instances, err := m.Instances()
 		if err != nil {
 			t.Fatal(err)
 		}
-		_ = tx.Commit()
 		switch name {
 		case "retail":
 			if len(pools) != 3 {
@@ -48,20 +51,13 @@ func TestSeedDatasets(t *testing.T) {
 }
 
 func TestSeedUnknown(t *testing.T) {
-	m, err := promises.New(promises.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := seedData(m, "galaxy"); err == nil {
+	if err := seedData(newSharded(t), "galaxy"); err == nil {
 		t.Fatal("unknown seed accepted")
 	}
 }
 
 func TestSeededRetailIsPromisable(t *testing.T) {
-	m, err := promises.New(promises.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	m := newSharded(t)
 	if err := seedData(m, "retail"); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/txn"
+)
+
+// This file is the batched request surface shared by the single-store
+// Manager and the ShardedManager. Batching lets the daemon amortize lock
+// acquisition and per-transaction overhead (sweep, commit) over many
+// independent promise operations from one client.
+
+// GrantBatch processes many independent promise requests for one client in
+// a single transaction. Each PromiseRequest is still atomic on its own —
+// one rejection does not affect its neighbours — exactly as if they had
+// arrived in one §6 message.
+func (m *Manager) GrantBatch(client string, reqs []PromiseRequest) ([]PromiseResponse, error) {
+	resp, err := m.Execute(Request{Client: client, PromiseRequests: reqs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Promises, nil
+}
+
+// CheckBatch reports, per promise id, whether the promise is currently
+// usable by client: nil when active and unexpired, otherwise the matching
+// sentinel error (ErrPromiseNotFound, ErrPromiseReleased,
+// ErrPromiseExpired). All ids are checked in one read-only transaction.
+func (m *Manager) CheckBatch(client string, ids []string) []error {
+	out := make([]error, len(ids))
+	tx := m.store.Begin(txn.Block)
+	defer tx.Commit()
+	for i, id := range ids {
+		_, out[i] = m.promiseForClient(tx, client, id)
+	}
+	return out
+}
+
+// usable reports whether the promise exists, belongs to client, and is
+// still active and unexpired, in a transaction of its own.
+func (m *Manager) usable(client, id string) error {
+	tx := m.store.Begin(txn.Block)
+	defer tx.Commit()
+	_, err := m.promiseForClient(tx, client, id)
+	return err
+}
+
+// envOK validates an environment in a read-only transaction: every promise
+// exists, belongs to client, and has not expired or been released.
+func (m *Manager) envOK(client string, env []EnvEntry) error {
+	if client == "" {
+		return fmt.Errorf("%w: missing client", ErrBadRequest)
+	}
+	tx := m.store.Begin(txn.Block)
+	defer tx.Commit()
+	return m.validateEnv(tx, client, env)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -152,4 +153,130 @@ func BenchmarkAudit(b *testing.B) {
 			b.Fatalf("unhealthy: %s", rep)
 		}
 	}
+}
+
+// benchShardedPools builds a sharded manager with enough distinct pools
+// that parallel workers spread across shards.
+func benchShardedPools(b *testing.B, shards, pools int) (*ShardedManager, []string) {
+	b.Helper()
+	s, err := NewSharded(ShardedConfig{Shards: shards, DefaultDuration: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, pools)
+	for i := range names {
+		names[i] = fmt.Sprintf("pool-%d", i)
+		if err := s.CreatePool(names[i], 1<<40, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, names
+}
+
+// BenchmarkManagerParallel is the sharding headline: grant+release cycles
+// under b.RunParallel with a realistic outstanding-promise table (512
+// long-lived promises), comparing the serialized single-shard
+// configuration against the sharded one. Sharding wins twice: workers on
+// different shards proceed concurrently, and the per-request linear
+// factors (the §8 expiry sweep scans every active promise in the store)
+// shrink to 1/N per shard because each shard holds only its stripe.
+// Run with -cpu 8 to reproduce the 8-goroutine acceptance number.
+func BenchmarkManagerParallel(b *testing.B) {
+	const outstanding = 512
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, pools := benchShardedPools(b, shards, 32)
+			for i := 0; i < outstanding; i++ {
+				resp, err := s.Execute(Request{Client: "holder", PromiseRequests: []PromiseRequest{{
+					Predicates: []Predicate{Quantity(pools[i%len(pools)], 1)},
+				}}})
+				if err != nil || !resp.Promises[0].Accepted {
+					b.Fatalf("%v %v", resp, err)
+				}
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := next.Add(1)
+				pool := pools[int(id)%len(pools)]
+				client := fmt.Sprintf("c%d", id)
+				for pb.Next() {
+					resp, err := s.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
+						Predicates: []Predicate{Quantity(pool, 1)},
+					}}})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := s.Execute(Request{Client: client, Env: []EnvEntry{{PromiseID: resp.Promises[0].PromiseID, Release: true}}}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkGrantBatch prices the batched request API against one Execute
+// per request: a batch of 16 single-pool grants pays for shard locks, the
+// expiry sweep and transaction setup once per shard instead of 16 times.
+// The outstanding promises make the per-Execute sweep a real cost, as in
+// any loaded deployment.
+func BenchmarkGrantBatch(b *testing.B) {
+	const batch = 16
+	const outstanding = 256
+	hold := func(b *testing.B, s *ShardedManager, pools []string) {
+		b.Helper()
+		for i := 0; i < outstanding; i++ {
+			resp, err := s.Execute(Request{Client: "holder", PromiseRequests: []PromiseRequest{{
+				Predicates: []Predicate{Quantity(pools[i%len(pools)], 1)},
+			}}})
+			if err != nil || !resp.Promises[0].Accepted {
+				b.Fatalf("%v %v", resp, err)
+			}
+		}
+	}
+	b.Run("individual", func(b *testing.B) {
+		s, pools := benchShardedPools(b, 8, batch)
+		hold(b, s, pools)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var env []EnvEntry
+			for k := 0; k < batch; k++ {
+				resp, err := s.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+					Predicates: []Predicate{Quantity(pools[k], 1)},
+				}}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				env = append(env, EnvEntry{PromiseID: resp.Promises[0].PromiseID, Release: true})
+			}
+			if _, err := s.Execute(Request{Client: "c", Env: env}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		s, pools := benchShardedPools(b, 8, batch)
+		hold(b, s, pools)
+		reqs := make([]PromiseRequest, batch)
+		for k := range reqs {
+			reqs[k] = PromiseRequest{Predicates: []Predicate{Quantity(pools[k], 1)}}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resps, err := s.GrantBatch("c", reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var env []EnvEntry
+			for _, pr := range resps {
+				env = append(env, EnvEntry{PromiseID: pr.PromiseID, Release: true})
+			}
+			if _, err := s.Execute(Request{Client: "c", Env: env}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -57,6 +57,10 @@ type Config struct {
 	// MaxRetries bounds internal deadlock retries per request. Zero means
 	// 32.
 	MaxRetries int
+	// IDPrefix overrides the promise-id prefix. Empty means "prm". The
+	// sharded manager gives each shard a distinct prefix so promise ids
+	// stay unique across shards and route back to their owning shard.
+	IDPrefix string
 }
 
 // Manager is the promise manager. It is safe for concurrent use; every
@@ -100,6 +104,9 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 32
 	}
+	if cfg.IDPrefix == "" {
+		cfg.IDPrefix = "prm"
+	}
 	if err := cfg.Store.CreateTable(TablePromises); err != nil {
 		return nil, err
 	}
@@ -120,7 +127,7 @@ func New(cfg Config) (*Manager, error) {
 		ledger:     ledger,
 		tags:       tags,
 		clk:        cfg.Clock,
-		promiseIDs: ids.New("prm"),
+		promiseIDs: ids.New(cfg.IDPrefix),
 		cfg:        cfg,
 	}, nil
 }

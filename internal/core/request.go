@@ -73,6 +73,11 @@ type Request struct {
 	Env []EnvEntry
 	// Action is the optional application request in the message body.
 	Action Action
+	// Resources optionally names the pools and instances Action touches.
+	// The single-store Manager ignores it; the ShardedManager uses it to
+	// route the action to the shard owning those resources (an action only
+	// sees the resource state of the shard it runs on).
+	Resources []string
 }
 
 // PromiseResponse is one <promise-response> element (§6): "A promise

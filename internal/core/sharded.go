@@ -1,0 +1,1139 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/ids"
+	"repro/internal/predicate"
+	"repro/internal/resource"
+	"repro/internal/txn"
+)
+
+// ShardedManager is a promise manager whose state is striped across N
+// independent shards so that throughput grows with cores: each shard owns a
+// private transactional store holding its slice of the promise table, the
+// escrow ledger and the soft-lock tags, plus the resource pools and
+// instances that hash to it (FNV-1a of the pool/instance id).
+//
+// Concurrency protocol. Every operation computes the set of shards it can
+// touch and acquires those shards' mutexes in ascending index order — the
+// lock-ordering protocol that makes cross-shard work deadlock-free.
+// Requests confined to one shard (the common case) take one lock and run
+// the full single-store §8 semantics on that shard. Requests spanning
+// shards hold the whole ordered lock set for their duration, so concurrent
+// clients can never observe a cross-shard grant or release half-applied.
+//
+// Cross-shard promise requests are decomposed into one sub-promise per
+// shard, granted in ascending shard order; if any shard rejects, the
+// already-granted sub-promises are released before the locks drop and the
+// client sees one atomic rejection. The granted whole is a composite
+// promise ("shp-<n>") tracked in a directory mapping it to its per-shard
+// parts; clients use composite ids exactly like ordinary ones.
+//
+// Two deliberate semantic narrowings versus the single-store Manager, both
+// conservative (they can reject requests a global manager could accept, but
+// never over-promise):
+//
+//   - Releases attached to a cross-shard promise request are applied after
+//     the new grant succeeds, so the grant cannot count the released
+//     resources as available. Same-shard upgrades keep the full §4
+//     release-with-grant semantics via the single-shard path.
+//   - Property-view predicates match within one shard at a time: the
+//     request is admitted if some shard can satisfy all its property
+//     predicates jointly (every shard is tried, under the full lock set).
+//     Tentative-allocation rearrangement never crosses shards.
+//
+// Actions run on a single shard and see only that shard's resources.
+// Requests whose action touches resources should set Request.Resources so
+// the action is routed to the owning shard; otherwise it runs on the
+// lowest-indexed involved shard.
+//
+// Suppliers are passed through to every shard for delegation (§5). A
+// supplier must not route back into the same ShardedManager, or it will
+// deadlock on the shard locks it already holds.
+type ShardedManager struct {
+	shards []*managerShard
+	clk    clock.Clock
+
+	// compIDs names composite promises; their parts live in directory.
+	compIDs *ids.Generator
+	dirMu   sync.Mutex
+	dir     map[string]*composite
+}
+
+// managerShard pairs one single-store Manager with the mutex that the
+// lock-ordering protocol acquires on its behalf.
+type managerShard struct {
+	mu sync.Mutex
+	m  *Manager
+}
+
+// composite records how a cross-shard promise decomposes into per-shard
+// sub-promises. Entries are never removed once the id has been handed to a
+// client — like the single-store done tables, they are what keeps a
+// released or expired composite answering with the precise
+// promise-released / promise-expired sentinels instead of not-found.
+type composite struct {
+	client  string
+	expires time.Time
+	parts   []compositePart
+}
+
+// compositePart is one shard's slice of a composite promise. predIdx maps
+// the sub-promise's predicates back to their positions in the original
+// request, so PromiseInfo can reconstruct the promise in client order.
+type compositePart struct {
+	shard   int
+	id      string
+	predIdx []int
+	expires time.Time
+}
+
+// shardIDPrefix prefixes per-shard promise ids: shard i issues "prm<i>-<n>",
+// which is how promise ids route back to their owning shard.
+const shardIDPrefix = "prm"
+
+// compositeIDPrefix prefixes directory-tracked composite promise ids.
+const compositeIDPrefix = "shp-"
+
+// ShardedConfig configures a ShardedManager. The per-shard fields mirror
+// Config; every shard shares the same clock and supplier map.
+type ShardedConfig struct {
+	// Shards is the number of state stripes. Zero means 8.
+	Shards int
+	// Clock drives promise expiry on every shard. Nil uses the system clock.
+	Clock clock.Clock
+	// DefaultDuration, MaxDuration, PropertyMode, DisablePostCheck,
+	// Suppliers and MaxRetries apply to each shard as in Config.
+	DefaultDuration  time.Duration
+	MaxDuration      time.Duration
+	PropertyMode     PropertyMode
+	DisablePostCheck bool
+	Suppliers        map[string]Supplier
+	MaxRetries       int
+}
+
+// NewSharded creates a ShardedManager with cfg.Shards independent shards.
+func NewSharded(cfg ShardedConfig) (*ShardedManager, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 8
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System{}
+	}
+	s := &ShardedManager{
+		clk:     cfg.Clock,
+		compIDs: ids.New("shp"),
+		dir:     make(map[string]*composite),
+	}
+	for i := 0; i < n; i++ {
+		m, err := New(Config{
+			Clock:            cfg.Clock,
+			DefaultDuration:  cfg.DefaultDuration,
+			MaxDuration:      cfg.MaxDuration,
+			PropertyMode:     cfg.PropertyMode,
+			DisablePostCheck: cfg.DisablePostCheck,
+			Suppliers:        cfg.Suppliers,
+			MaxRetries:       cfg.MaxRetries,
+			IDPrefix:         fmt.Sprintf("%s%d", shardIDPrefix, i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, &managerShard{m: m})
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *ShardedManager) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard index owning the pool or instance with the
+// given id — exposed so tools and tests can place resources deliberately.
+func (s *ShardedManager) ShardOf(resourceID string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(resourceID))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// ownerShard maps a promise id back to its shard via the "prm<i>-" prefix.
+// ok is false for composite ids and ids this manager never issued.
+func (s *ShardedManager) ownerShard(id string) (int, bool) {
+	if !strings.HasPrefix(id, shardIDPrefix) {
+		return 0, false
+	}
+	rest := id[len(shardIDPrefix):]
+	dash := strings.IndexByte(rest, '-')
+	if dash <= 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest[:dash])
+	if err != nil || n < 0 || n >= len(s.shards) {
+		return 0, false
+	}
+	return n, true
+}
+
+func isCompositeID(id string) bool { return strings.HasPrefix(id, compositeIDPrefix) }
+
+// lookupComposite returns the directory entry for id, or nil when missing
+// or owned by a different client (pass client "" to skip the owner check).
+func (s *ShardedManager) lookupComposite(client, id string) *composite {
+	s.dirMu.Lock()
+	defer s.dirMu.Unlock()
+	c := s.dir[id]
+	if c == nil || (client != "" && c.client != client) {
+		return nil
+	}
+	return c
+}
+
+func (s *ShardedManager) dropComposite(id string) {
+	s.dirMu.Lock()
+	delete(s.dir, id)
+	s.dirMu.Unlock()
+}
+
+// lockShards acquires the mutexes of the given shard set in ascending index
+// order and returns the matching unlock. Ascending acquisition is the whole
+// deadlock-avoidance story: two cross-shard requests can never hold locks
+// in an order that closes a cycle.
+func (s *ShardedManager) lockShards(set map[int]bool) (unlock func()) {
+	idxs := make([]int, 0, len(set))
+	for i := range set {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		s.shards[i].mu.Lock()
+	}
+	return func() {
+		for j := len(idxs) - 1; j >= 0; j-- {
+			s.shards[idxs[j]].mu.Unlock()
+		}
+	}
+}
+
+// addPromiseID adds the shards backing a referenced promise id to set.
+// Composite ids mark the route non-simple; unknown ids land on shard 0,
+// where lookup produces the correct not-found error.
+func (s *ShardedManager) addPromiseID(set map[int]bool, id string, simple *bool) {
+	if isCompositeID(id) {
+		*simple = false
+		if c := s.lookupComposite("", id); c != nil {
+			for _, part := range c.parts {
+				set[part.shard] = true
+			}
+			return
+		}
+		set[0] = true
+		return
+	}
+	if sh, ok := s.ownerShard(id); ok {
+		set[sh] = true
+		return
+	}
+	set[0] = true
+}
+
+// routeRequest computes the shard set one promise request can touch.
+// simple means the whole request (predicates and releases) lives on one
+// shard with no composite references, so the single-store path can run it
+// with full §4/§8 semantics.
+func (s *ShardedManager) routeRequest(pr PromiseRequest) (set map[int]bool, simple bool) {
+	set = make(map[int]bool)
+	simple = true
+	for _, p := range pr.Predicates {
+		switch p.View {
+		case AnonymousView:
+			set[s.ShardOf(p.Pool)] = true
+		case NamedView:
+			set[s.ShardOf(p.Instance)] = true
+		case PropertyView:
+			// The satisfying instance may live anywhere.
+			for i := range s.shards {
+				set[i] = true
+			}
+		}
+	}
+	for _, rid := range pr.Releases {
+		s.addPromiseID(set, rid, &simple)
+	}
+	if len(set) == 0 {
+		set[0] = true
+	}
+	if len(set) > 1 {
+		simple = false
+	}
+	return set, simple
+}
+
+// route computes the shard set for a whole request, whether the
+// single-shard fast path applies, and the primary shard an action should
+// run on.
+func (s *ShardedManager) route(req Request) (involved map[int]bool, simple bool, primary int) {
+	involved = make(map[int]bool)
+	simple = true
+	for _, pr := range req.PromiseRequests {
+		set, sub := s.routeRequest(pr)
+		if !sub {
+			simple = false
+		}
+		for i := range set {
+			involved[i] = true
+		}
+	}
+	for _, e := range req.Env {
+		s.addPromiseID(involved, e.PromiseID, &simple)
+	}
+	for _, r := range req.Resources {
+		involved[s.ShardOf(r)] = true
+	}
+	if len(involved) == 0 {
+		involved[0] = true
+	}
+	if len(involved) > 1 {
+		simple = false
+	}
+	if len(req.Resources) > 0 {
+		primary = s.ShardOf(req.Resources[0])
+	} else {
+		primary = len(s.shards)
+		for i := range involved {
+			if i < primary {
+				primary = i
+			}
+		}
+	}
+	return involved, simple, primary
+}
+
+// subsetOf reports whether every shard in a is also in b.
+func subsetOf(a, b map[int]bool) bool {
+	for i := range a {
+		if !b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Execute processes one client message, exactly like Manager.Execute but
+// with state striped across shards. Single-shard requests delegate to the
+// owning shard's manager; cross-shard requests run the composite protocol
+// under the ordered lock set.
+//
+// Routing resolves composite ids against the directory lock-free, so the
+// request is re-routed after the locks are held: a composite registered in
+// between could otherwise send execution to shards whose mutexes were
+// never acquired. The loop converges because directory entries for
+// client-visible ids are never removed — a re-route can only grow the set.
+func (s *ShardedManager) Execute(req Request) (*Response, error) {
+	if req.Client == "" {
+		return nil, fmt.Errorf("%w: missing client", ErrBadRequest)
+	}
+	for {
+		involved, _, _ := s.route(req)
+		unlock := s.lockShards(involved)
+		again, simple, primary := s.route(req)
+		if !subsetOf(again, involved) {
+			unlock()
+			continue
+		}
+		defer unlock()
+		if simple {
+			return s.shards[primary].m.Execute(req)
+		}
+		return s.executeCross(req, primary)
+	}
+}
+
+// executeCross runs a cross-shard request. Caller holds the locks of every
+// shard the request can touch.
+func (s *ShardedManager) executeCross(req Request, primary int) (*Response, error) {
+	resp := &Response{}
+	for _, pr := range req.PromiseRequests {
+		presp, err := s.grantCross(req.Client, pr)
+		if err != nil {
+			// Restore the single-store all-or-nothing contract for the
+			// message: grants already committed for earlier promise
+			// requests are handed back before the error surfaces.
+			for _, prev := range resp.Promises {
+				s.releaseGrant(req.Client, prev)
+			}
+			return nil, err
+		}
+		resp.Promises = append(resp.Promises, presp)
+	}
+
+	groups, envErr := s.splitEnv(req.Client, req.Env)
+	if envErr == nil {
+		envErr = s.validateEnvGroups(req.Client, groups)
+	}
+	switch {
+	case req.Action != nil:
+		if envErr != nil {
+			resp.ActionErr = envErr
+			break
+		}
+		// The action and the primary shard's releases run as one §8
+		// transaction on the primary; the other shards' releases apply
+		// afterwards, invisible to concurrent clients because the full
+		// lock set is held throughout.
+		sub, err := s.shards[primary].m.Execute(Request{
+			Client: req.Client,
+			Env:    groups[primary],
+			Action: req.Action,
+		})
+		if err != nil {
+			for _, prev := range resp.Promises {
+				s.releaseGrant(req.Client, prev)
+			}
+			return nil, err
+		}
+		resp.ActionResult, resp.ActionErr = sub.ActionResult, sub.ActionErr
+		if resp.ActionErr == nil {
+			s.applyReleaseGroups(req.Client, groups, primary)
+		}
+	case len(req.Env) > 0:
+		if envErr != nil {
+			resp.ActionErr = envErr
+			break
+		}
+		s.applyReleaseGroups(req.Client, groups, -1)
+	}
+	return resp, nil
+}
+
+// releaseGrant hands back a just-granted promise (single-shard or
+// composite) when a later internal failure in the same message forces the
+// whole message to fail: the client never learns the promise id, so the
+// grant must not outlive the call.
+func (s *ShardedManager) releaseGrant(client string, pr PromiseResponse) {
+	if !pr.Accepted {
+		return
+	}
+	if isCompositeID(pr.PromiseID) {
+		if c := s.lookupComposite(client, pr.PromiseID); c != nil {
+			for _, part := range c.parts {
+				_, _ = s.shards[part.shard].m.Execute(Request{
+					Client: client,
+					Env:    []EnvEntry{{PromiseID: part.id, Release: true}},
+				})
+			}
+			s.dropComposite(pr.PromiseID)
+		}
+		return
+	}
+	if sh, ok := s.ownerShard(pr.PromiseID); ok {
+		_, _ = s.shards[sh].m.Execute(Request{
+			Client: client,
+			Env:    []EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+		})
+	}
+}
+
+// splitEnv decomposes an environment into per-shard environments, expanding
+// composite promises into their parts. The error mirrors validateEnv's
+// client-visible sentinels.
+func (s *ShardedManager) splitEnv(client string, env []EnvEntry) (map[int][]EnvEntry, error) {
+	groups := make(map[int][]EnvEntry)
+	for _, e := range env {
+		if isCompositeID(e.PromiseID) {
+			c := s.lookupComposite(client, e.PromiseID)
+			if c == nil {
+				return nil, fmt.Errorf("%w: %s", ErrPromiseNotFound, e.PromiseID)
+			}
+			for _, part := range c.parts {
+				groups[part.shard] = append(groups[part.shard], EnvEntry{PromiseID: part.id, Release: e.Release})
+			}
+			continue
+		}
+		sh, ok := s.ownerShard(e.PromiseID)
+		if !ok {
+			sh = 0
+		}
+		groups[sh] = append(groups[sh], e)
+	}
+	return groups, nil
+}
+
+// validateEnvGroups checks every per-shard environment, in shard order.
+func (s *ShardedManager) validateEnvGroups(client string, groups map[int][]EnvEntry) error {
+	for _, sh := range sortedKeys(groups) {
+		if err := s.shards[sh].m.envOK(client, groups[sh]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyReleaseGroups hands back every release-flagged environment entry,
+// shard by shard, skipping skipShard (whose releases already ran inside the
+// action transaction). It is best-effort: validation already passed under
+// the held locks, so the only failures left are clock expiry (the sweep
+// frees those holds anyway) and internal store errors, and neither may
+// turn a committed action into a client-visible failure.
+func (s *ShardedManager) applyReleaseGroups(client string, groups map[int][]EnvEntry, skipShard int) {
+	for _, sh := range sortedKeys(groups) {
+		if sh == skipShard {
+			continue
+		}
+		var rel []EnvEntry
+		for _, e := range groups[sh] {
+			if e.Release {
+				rel = append(rel, e)
+			}
+		}
+		if len(rel) == 0 {
+			continue
+		}
+		_, _ = s.shards[sh].m.Execute(Request{Client: client, Env: rel})
+	}
+}
+
+// grantCross evaluates one promise request that may span shards. Caller
+// holds the locks of every shard the request can touch.
+func (s *ShardedManager) grantCross(client string, pr PromiseRequest) (PromiseResponse, error) {
+	reject := func(format string, args ...any) PromiseResponse {
+		return PromiseResponse{Correlation: pr.RequestID, Reason: fmt.Sprintf(format, args...)}
+	}
+	if len(pr.Predicates) == 0 {
+		return reject("no predicates in promise request"), nil
+	}
+	for _, p := range pr.Predicates {
+		if err := p.Validate(); err != nil {
+			return reject("invalid predicate %s: %v", p, err), nil
+		}
+	}
+
+	// Resolve release targets to their per-shard parts up front; they are
+	// applied only after the whole grant succeeds, and stay in force on
+	// rejection.
+	var rels []relTarget
+	for _, rid := range pr.Releases {
+		rt := relTarget{id: rid}
+		if isCompositeID(rid) {
+			c := s.lookupComposite(client, rid)
+			if c == nil {
+				return reject("release target %s: %v", rid, fmt.Errorf("%w: %s", ErrPromiseNotFound, rid)), nil
+			}
+			rt.parts = c.parts
+		} else {
+			sh, ok := s.ownerShard(rid)
+			if !ok {
+				return reject("release target %s: %v", rid, fmt.Errorf("%w: %s", ErrPromiseNotFound, rid)), nil
+			}
+			rt.parts = []compositePart{{shard: sh, id: rid}}
+		}
+		for _, part := range rt.parts {
+			if err := s.shards[part.shard].m.usable(client, part.id); err != nil {
+				return reject("release target %s: %v", rid, err), nil
+			}
+		}
+		rels = append(rels, rt)
+	}
+
+	// Partition predicates: anonymous and named bind to their resource's
+	// shard; property predicates float and are hosted by whichever shard
+	// can satisfy them all.
+	fixed := make(map[int][]int)
+	var floating []int
+	for i, p := range pr.Predicates {
+		switch p.View {
+		case AnonymousView:
+			fixed[s.ShardOf(p.Pool)] = append(fixed[s.ShardOf(p.Pool)], i)
+		case NamedView:
+			fixed[s.ShardOf(p.Instance)] = append(fixed[s.ShardOf(p.Instance)], i)
+		case PropertyView:
+			floating = append(floating, i)
+		}
+	}
+
+	// Same-shard request: when every predicate and every release target
+	// lives on one shard (and no release is composite, which the inner
+	// manager cannot resolve), delegate wholesale so the full §4
+	// release-with-grant upgrade semantics apply even when the request
+	// rides in a cross-shard message.
+	if len(floating) == 0 && len(fixed) == 1 {
+		for sh := range fixed {
+			sameShard := true
+			for _, rt := range rels {
+				if isCompositeID(rt.id) {
+					sameShard = false
+					break
+				}
+				for _, part := range rt.parts {
+					if part.shard != sh {
+						sameShard = false
+						break
+					}
+				}
+			}
+			if !sameShard {
+				break
+			}
+			resp, err := s.shards[sh].m.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{pr}})
+			if err != nil {
+				return PromiseResponse{}, err
+			}
+			return resp.Promises[0], nil
+		}
+	}
+
+	// Grant the fixed sub-promises once — their outcome does not depend on
+	// where the property predicates land.
+	parts, rejection, err := s.grantParts(client, pr, fixed)
+	if err != nil {
+		return PromiseResponse{}, err
+	}
+	if rejection == nil && len(floating) > 0 {
+		// Probe each shard as host for the whole floating set; the first
+		// shard that can satisfy them all jointly wins.
+		for host := 0; host < len(s.shards); host++ {
+			var floatPart []compositePart
+			floatPart, rejection, err = s.grantParts(client, pr, map[int][]int{host: floating})
+			if err != nil {
+				s.releaseParts(client, parts)
+				return PromiseResponse{}, err
+			}
+			if rejection == nil {
+				parts = append(parts, floatPart...)
+				break
+			}
+		}
+	}
+	if rejection != nil {
+		s.releaseParts(client, parts)
+		out := *rejection
+		out.Correlation = pr.RequestID
+		return out, nil
+	}
+	id, expires := s.registerComposite(client, parts)
+	s.applyReleaseTargets(client, rels)
+	return PromiseResponse{
+		Correlation: pr.RequestID,
+		Accepted:    true,
+		PromiseID:   id,
+		Expires:     expires,
+	}, nil
+}
+
+// grantParts grants one sub-promise per shard for the predicate indices in
+// byShard. On any rejection the sub-promises granted so far by this call
+// are released again and the rejecting shard's response is returned.
+func (s *ShardedManager) grantParts(client string, pr PromiseRequest, byShard map[int][]int) (_ []compositePart, rejection *PromiseResponse, _ error) {
+	var granted []compositePart
+	for _, sh := range sortedKeys(byShard) {
+		idxs := byShard[sh]
+		preds := make([]Predicate, len(idxs))
+		for j, idx := range idxs {
+			preds[j] = pr.Predicates[idx]
+		}
+		resp, err := s.shards[sh].m.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
+			Predicates: preds,
+			Duration:   pr.Duration,
+		}}})
+		if err != nil {
+			s.releaseParts(client, granted)
+			return nil, nil, err
+		}
+		sub := resp.Promises[0]
+		if !sub.Accepted {
+			s.releaseParts(client, granted)
+			rr := sub
+			return nil, &rr, nil
+		}
+		granted = append(granted, compositePart{shard: sh, id: sub.PromiseID, predIdx: idxs, expires: sub.Expires})
+	}
+	return granted, nil, nil
+}
+
+// releaseParts hands back sub-promises granted earlier in an operation
+// that is now failing, in reverse grant order.
+func (s *ShardedManager) releaseParts(client string, parts []compositePart) {
+	for i := len(parts) - 1; i >= 0; i-- {
+		_, _ = s.shards[parts[i].shard].m.Execute(Request{
+			Client: client,
+			Env:    []EnvEntry{{PromiseID: parts[i].id, Release: true}},
+		})
+	}
+}
+
+// registerComposite records a granted composite promise and returns its id
+// and expiry (the earliest part expiry: the whole is only guaranteed while
+// every part holds).
+func (s *ShardedManager) registerComposite(client string, parts []compositePart) (string, time.Time) {
+	expires := parts[0].expires
+	for _, part := range parts[1:] {
+		if part.expires.Before(expires) {
+			expires = part.expires
+		}
+	}
+	id := s.compIDs.Next()
+	s.dirMu.Lock()
+	s.dir[id] = &composite{client: client, expires: expires, parts: parts}
+	s.dirMu.Unlock()
+	return id, expires
+}
+
+// relTarget is one resolved release target of a cross-shard grant: the
+// client-visible id plus the per-shard sub-promises backing it.
+type relTarget struct {
+	id    string
+	parts []compositePart
+}
+
+// applyReleaseTargets hands back the release targets of a successful
+// cross-shard grant. Validation already passed under the held locks, so
+// only clock expiry can intervene; those promises free their holds via the
+// sweep instead, and the error is deliberately ignored.
+func (s *ShardedManager) applyReleaseTargets(client string, rels []relTarget) {
+	for _, rt := range rels {
+		for _, part := range rt.parts {
+			_, _ = s.shards[part.shard].m.Execute(Request{
+				Client: client,
+				Env:    []EnvEntry{{PromiseID: part.id, Release: true}},
+			})
+		}
+	}
+}
+
+// GrantBatch grants many independent promise requests for one client under
+// a single acquisition of the ordered shard lock set, batching the
+// single-shard requests into one transaction per shard. Responses line up
+// with reqs by index; each request is still individually atomic.
+func (s *ShardedManager) GrantBatch(client string, reqs []PromiseRequest) ([]PromiseResponse, error) {
+	if client == "" {
+		return nil, fmt.Errorf("%w: missing client", ErrBadRequest)
+	}
+	routeAll := func() (involved map[int]bool, perShard map[int][]int, cross []int) {
+		involved = make(map[int]bool)
+		perShard = make(map[int][]int)
+		for i, pr := range reqs {
+			set, simple := s.routeRequest(pr)
+			for sh := range set {
+				involved[sh] = true
+			}
+			if simple {
+				for sh := range set {
+					perShard[sh] = append(perShard[sh], i)
+				}
+			} else {
+				cross = append(cross, i)
+			}
+		}
+		return involved, perShard, cross
+	}
+	involved, perShard, cross := routeAll()
+	if len(involved) == 0 {
+		return []PromiseResponse{}, nil
+	}
+	// Re-route under the locks, exactly as Execute does, so a composite
+	// release target resolved mid-flight cannot reach unlocked shards.
+	unlock := s.lockShards(involved)
+	for {
+		again, perShard2, cross2 := routeAll()
+		if subsetOf(again, involved) {
+			perShard, cross = perShard2, cross2
+			break
+		}
+		unlock()
+		involved = again
+		unlock = s.lockShards(involved)
+	}
+	defer unlock()
+
+	out := make([]PromiseResponse, len(reqs))
+	// On an internal error, grants already committed would be lost to the
+	// caller (it never sees their ids), so they are handed back first.
+	undo := func() {
+		for _, pr := range out {
+			s.releaseGrant(client, pr)
+		}
+	}
+	for _, sh := range sortedKeys(perShard) {
+		idxs := perShard[sh]
+		batch := make([]PromiseRequest, len(idxs))
+		for j, idx := range idxs {
+			batch[j] = reqs[idx]
+		}
+		resps, err := s.shards[sh].m.GrantBatch(client, batch)
+		if err != nil {
+			undo()
+			return nil, err
+		}
+		for j, idx := range idxs {
+			out[idx] = resps[j]
+		}
+	}
+	for _, idx := range cross {
+		presp, err := s.grantCross(client, reqs[idx])
+		if err != nil {
+			undo()
+			return nil, err
+		}
+		out[idx] = presp
+	}
+	return out, nil
+}
+
+// CheckBatch reports, per promise id, whether the promise is currently
+// usable by client (see Manager.CheckBatch). Ids are checked one shard at a
+// time; a composite is usable only if every part is.
+func (s *ShardedManager) CheckBatch(client string, ids []string) []error {
+	out := make([]error, len(ids))
+	perShard := make(map[int][]int)
+	for i, id := range ids {
+		if isCompositeID(id) {
+			c := s.lookupComposite(client, id)
+			if c == nil {
+				out[i] = fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
+				continue
+			}
+			for _, part := range c.parts {
+				if out[i] != nil {
+					break
+				}
+				sh := s.shards[part.shard]
+				sh.mu.Lock()
+				out[i] = sh.m.usable(client, part.id)
+				sh.mu.Unlock()
+			}
+			continue
+		}
+		sh, ok := s.ownerShard(id)
+		if !ok {
+			sh = 0
+		}
+		perShard[sh] = append(perShard[sh], i)
+	}
+	for _, shIdx := range sortedKeys(perShard) {
+		idxs := perShard[shIdx]
+		batch := make([]string, len(idxs))
+		for j, idx := range idxs {
+			batch[j] = ids[idx]
+		}
+		sh := s.shards[shIdx]
+		sh.mu.Lock()
+		errs := sh.m.CheckBatch(client, batch)
+		sh.mu.Unlock()
+		for j, idx := range idxs {
+			out[idx] = errs[j]
+		}
+	}
+	return out
+}
+
+// Sweep expires lapsed promises on every shard. Directory entries for
+// expired composites stay behind, like rows in the done tables, so clients
+// reusing the id still get the precise promise-expired error.
+func (s *ShardedManager) Sweep() error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		err := sh.m.Sweep()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotDir copies the composite directory so callers can walk it while
+// taking shard locks (never hold dirMu across a shard lock).
+func (s *ShardedManager) snapshotDir() map[string]*composite {
+	s.dirMu.Lock()
+	defer s.dirMu.Unlock()
+	snapshot := make(map[string]*composite, len(s.dir))
+	for id, c := range s.dir {
+		snapshot[id] = c
+	}
+	return snapshot
+}
+
+// PromiseInfo returns a copy of the promise with the given id. Composite
+// promises are reconstructed from their parts in original predicate order;
+// a composite reports the worst lifecycle state among its parts.
+func (s *ShardedManager) PromiseInfo(id string) (Promise, error) {
+	if !isCompositeID(id) {
+		sh, ok := s.ownerShard(id)
+		if !ok {
+			return Promise{}, fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
+		}
+		s.shards[sh].mu.Lock()
+		defer s.shards[sh].mu.Unlock()
+		return s.shards[sh].m.PromiseInfo(id)
+	}
+	c := s.lookupComposite("", id)
+	if c == nil {
+		return Promise{}, fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
+	}
+	n := 0
+	for _, part := range c.parts {
+		for _, idx := range part.predIdx {
+			if idx+1 > n {
+				n = idx + 1
+			}
+		}
+	}
+	out := Promise{
+		ID:           id,
+		Client:       c.client,
+		Predicates:   make([]Predicate, n),
+		Assigned:     make([]string, n),
+		DelegatedQty: make([]int64, n),
+		DelegatedID:  make([]string, n),
+		Expires:      c.expires,
+		State:        Active,
+	}
+	for _, part := range c.parts {
+		sh := s.shards[part.shard]
+		sh.mu.Lock()
+		p, err := sh.m.PromiseInfo(part.id)
+		sh.mu.Unlock()
+		if err != nil {
+			return Promise{}, err
+		}
+		for j, idx := range part.predIdx {
+			out.Predicates[idx] = p.Predicates[j]
+			if j < len(p.Assigned) {
+				out.Assigned[idx] = p.Assigned[j]
+			}
+			if j < len(p.DelegatedQty) {
+				out.DelegatedQty[idx] = p.DelegatedQty[j]
+			}
+			if j < len(p.DelegatedID) {
+				out.DelegatedID[idx] = p.DelegatedID[j]
+			}
+		}
+		if p.State != Active {
+			out.State = p.State
+		}
+	}
+	return out, nil
+}
+
+// ActivePromises returns copies of all active, unexpired promises across
+// every shard. Parts of composite promises appear individually, under
+// their per-shard ids.
+func (s *ShardedManager) ActivePromises() ([]Promise, error) {
+	var out []Promise
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		ps, err := sh.m.ActivePromises()
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps...)
+	}
+	return out, nil
+}
+
+// Stats aggregates every shard's counters. The latency summary is merged
+// approximately: counts and means combine exactly, percentiles report the
+// worst shard (conservative). Counters track per-shard work, not
+// client-visible outcomes: a composite grant over N shards counts N
+// requests and N grants, and the cross-shard protocol's probe/undo cycles
+// (rejected host attempts, rolled-back sub-promises) add matching
+// rejection and release counts.
+func (s *ShardedManager) Stats() Stats {
+	var out Stats
+	var meanWeighted time.Duration
+	for _, sh := range s.shards {
+		st := sh.m.Stats()
+		out.Requests += st.Requests
+		out.Grants += st.Grants
+		out.Rejections += st.Rejections
+		out.Releases += st.Releases
+		out.Expirations += st.Expirations
+		out.Violations += st.Violations
+		out.ActionErrors += st.ActionErrors
+		out.DeadlockRetries += st.DeadlockRetries
+		l := st.Latency
+		if l.Count == 0 {
+			continue
+		}
+		if out.Latency.Count == 0 || l.Min < out.Latency.Min {
+			out.Latency.Min = l.Min
+		}
+		if l.Max > out.Latency.Max {
+			out.Latency.Max = l.Max
+		}
+		if l.P50 > out.Latency.P50 {
+			out.Latency.P50 = l.P50
+		}
+		if l.P90 > out.Latency.P90 {
+			out.Latency.P90 = l.P90
+		}
+		if l.P99 > out.Latency.P99 {
+			out.Latency.P99 = l.P99
+		}
+		meanWeighted += l.Mean * time.Duration(l.Count)
+		out.Latency.Count += l.Count
+	}
+	if out.Latency.Count > 0 {
+		out.Latency.Mean = meanWeighted / time.Duration(out.Latency.Count)
+	}
+	return out
+}
+
+// Audit runs every shard's consistency audit and checks the composite
+// directory: each part of each live composite must resolve to a promise
+// owned by the composite's client. Problems are prefixed with their shard.
+func (s *ShardedManager) Audit() (*AuditReport, error) {
+	report := &AuditReport{}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		rep, err := sh.m.Audit()
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		report.ActivePromises += rep.ActivePromises
+		report.Slots += rep.Slots
+		for _, p := range rep.Problems {
+			report.Problems = append(report.Problems, fmt.Sprintf("shard %d: %s", i, p))
+		}
+	}
+	for id, c := range s.snapshotDir() {
+		for _, part := range c.parts {
+			sh := s.shards[part.shard]
+			sh.mu.Lock()
+			p, err := sh.m.PromiseInfo(part.id)
+			sh.mu.Unlock()
+			if err != nil {
+				report.Problems = append(report.Problems,
+					fmt.Sprintf("directory: composite %s part %s: %v", id, part.id, err))
+				continue
+			}
+			if p.Client != c.client {
+				report.Problems = append(report.Problems,
+					fmt.Sprintf("directory: composite %s part %s owned by %q, want %q", id, part.id, p.Client, c.client))
+			}
+		}
+	}
+	return report, nil
+}
+
+// CreatePool registers a pool on its owning shard, in a transaction of its
+// own.
+func (s *ShardedManager) CreatePool(id string, onHand int64, props map[string]predicate.Value) error {
+	sh := s.shards[s.ShardOf(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tx := sh.m.Store().Begin(txn.Block)
+	if err := sh.m.Resources().CreatePool(tx, id, onHand, props); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// CreateInstance registers a named instance on its owning shard, in a
+// transaction of its own.
+func (s *ShardedManager) CreateInstance(id string, props map[string]predicate.Value) error {
+	sh := s.shards[s.ShardOf(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tx := sh.m.Store().Begin(txn.Block)
+	if err := sh.m.Resources().CreateInstance(tx, id, props); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// LoadSeed reads a resource seed file and creates its pools and instances
+// on their owning shards. Unlike the single-store loader this is not
+// atomic: a malformed entry leaves earlier entries created.
+func (s *ShardedManager) LoadSeed(r io.Reader) (pools, instances int, err error) {
+	ps, ins, err := resource.ParseSeed(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, p := range ps {
+		if err := s.CreatePool(p.ID, p.OnHand, p.Props); err != nil {
+			return pools, instances, err
+		}
+		pools++
+	}
+	for _, in := range ins {
+		if err := s.CreateInstance(in.ID, in.Props); err != nil {
+			return pools, instances, err
+		}
+		instances++
+	}
+	return pools, instances, nil
+}
+
+// Pools lists every pool across all shards, in id order.
+func (s *ShardedManager) Pools() ([]*resource.Pool, error) {
+	var out []*resource.Pool
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		tx := sh.m.Store().Begin(txn.Block)
+		ps, err := sh.m.Resources().Pools(tx)
+		_ = tx.Commit()
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Instances lists every named instance across all shards, in id order.
+func (s *ShardedManager) Instances() ([]*resource.Instance, error) {
+	var out []*resource.Instance
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		tx := sh.m.Store().Begin(txn.Block)
+		ins, err := sh.m.Resources().Instances(tx)
+		_ = tx.Commit()
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ins...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// PoolLevel returns the quantity on hand of one pool, for tools and tests.
+func (s *ShardedManager) PoolLevel(pool string) (int64, error) {
+	sh := s.shards[s.ShardOf(pool)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tx := sh.m.Store().Begin(txn.Block)
+	defer tx.Commit()
+	p, err := sh.m.Resources().Pool(tx, pool)
+	if err != nil {
+		return 0, err
+	}
+	return p.OnHand, nil
+}
+
+// sortedKeys returns the keys of m in ascending order — every multi-shard
+// iteration uses it so shards are always visited in lock order.
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

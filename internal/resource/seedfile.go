@@ -70,12 +70,52 @@ func parseProps(props []seedProp) (map[string]predicate.Value, error) {
 	return out, nil
 }
 
+// SeedPool is one parsed pool entry of a seed file.
+type SeedPool struct {
+	ID     string
+	OnHand int64
+	Props  map[string]predicate.Value
+}
+
+// SeedInstance is one parsed instance entry of a seed file.
+type SeedInstance struct {
+	ID    string
+	Props map[string]predicate.Value
+}
+
+// ParseSeed decodes a seed file without touching any store, so callers that
+// stripe resources across multiple managers (the sharded promise manager)
+// can route each entry to its owner.
+func ParseSeed(r io.Reader) ([]SeedPool, []SeedInstance, error) {
+	var doc seedFile
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("resource: seed file: %v", err)
+	}
+	pools := make([]SeedPool, 0, len(doc.Pools))
+	for _, p := range doc.Pools {
+		props, err := parseProps(p.Props)
+		if err != nil {
+			return nil, nil, err
+		}
+		pools = append(pools, SeedPool{ID: p.ID, OnHand: p.OnHand, Props: props})
+	}
+	instances := make([]SeedInstance, 0, len(doc.Instances))
+	for _, in := range doc.Instances {
+		props, err := parseProps(in.Props)
+		if err != nil {
+			return nil, nil, err
+		}
+		instances = append(instances, SeedInstance{ID: in.ID, Props: props})
+	}
+	return pools, instances, nil
+}
+
 // LoadSeed reads a seed file and creates its pools and instances in m,
 // inside one transaction: a malformed file leaves the manager untouched.
 func (m *Manager) LoadSeed(r io.Reader) (pools, instances int, err error) {
-	var doc seedFile
-	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
-		return 0, 0, fmt.Errorf("resource: seed file: %v", err)
+	ps, ins, err := ParseSeed(r)
+	if err != nil {
+		return 0, 0, err
 	}
 	tx := m.store.Begin(txn.Block)
 	defer func() {
@@ -83,22 +123,14 @@ func (m *Manager) LoadSeed(r io.Reader) (pools, instances int, err error) {
 			_ = tx.Abort()
 		}
 	}()
-	for _, p := range doc.Pools {
-		props, err := parseProps(p.Props)
-		if err != nil {
-			return 0, 0, err
-		}
-		if err := m.CreatePool(tx, p.ID, p.OnHand, props); err != nil {
+	for _, p := range ps {
+		if err := m.CreatePool(tx, p.ID, p.OnHand, p.Props); err != nil {
 			return 0, 0, err
 		}
 		pools++
 	}
-	for _, in := range doc.Instances {
-		props, err := parseProps(in.Props)
-		if err != nil {
-			return 0, 0, err
-		}
-		if err := m.CreateInstance(tx, in.ID, props); err != nil {
+	for _, in := range ins {
+		if err := m.CreateInstance(tx, in.ID, in.Props); err != nil {
 			return 0, 0, err
 		}
 		instances++

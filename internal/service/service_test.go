@@ -1,7 +1,9 @@
 package service
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -120,5 +122,92 @@ func TestTakeAndReleaseInstance(t *testing.T) {
 	in, _ = m.Resources().Instance(tx, "i")
 	if in.Status != resource.Available {
 		t.Fatalf("status after release = %v", in.Status)
+	}
+}
+
+// TestHandlersConcurrentOnShardedManager drives the standard handlers
+// through a sharded manager from many goroutines — the daemon's actual
+// concurrent configuration. Each worker consumes stock from its own pool
+// under promise protection; final levels must account for every unit.
+func TestHandlersConcurrentOnShardedManager(t *testing.T) {
+	const workers = 8
+	const iters = 40
+	s, err := core.NewSharded(core.ShardedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	RegisterStandard(reg)
+	pools := make([]string, workers)
+	for w := range pools {
+		pools[w] = fmt.Sprintf("stock-%d", w)
+		if err := s.CreatePool(pools[w], iters, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	adjust, err := reg.Resolve("adjust-pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool := pools[w]
+			client := fmt.Sprintf("svc-%d", w)
+			params := map[string]string{"pool": pool, "delta": "-1"}
+			for i := 0; i < iters; i++ {
+				grant, err := s.Execute(core.Request{Client: client, PromiseRequests: []core.PromiseRequest{{
+					Predicates: []core.Predicate{core.Quantity(pool, 1)},
+				}}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				pr := grant.Promises[0]
+				if !pr.Accepted {
+					t.Errorf("grant rejected: %s", pr.Reason)
+					return
+				}
+				resp, err := s.Execute(core.Request{
+					Client:    client,
+					Env:       []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+					Resources: []string{pool},
+					Action: func(ac *core.ActionContext) (any, error) {
+						return adjust(params, ac)
+					},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.ActionErr != nil {
+					t.Errorf("adjust-pool: %v", resp.ActionErr)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for _, pool := range pools {
+		lvl, err := s.PoolLevel(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lvl != 0 {
+			t.Errorf("pool %s level = %d, want 0", pool, lvl)
+		}
+	}
+	rep, err := s.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Fatalf("audit unhealthy: %s", rep)
 	}
 }

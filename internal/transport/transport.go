@@ -25,14 +25,24 @@ import (
 // Endpoint is the promise manager's HTTP path.
 const Endpoint = "/promises"
 
+// Engine is the manager-side surface the transport needs. Both the
+// single-store core.Manager and the sharded core.ShardedManager implement
+// it, so a daemon picks its concurrency model at construction time without
+// the transport caring.
+type Engine interface {
+	Execute(core.Request) (*core.Response, error)
+	Stats() core.Stats
+	Audit() (*core.AuditReport, error)
+}
+
 // Server adapts a promise manager and a service registry to HTTP.
 type Server struct {
-	manager  *core.Manager
+	manager  Engine
 	registry *service.Registry
 }
 
 // NewServer returns a Server for manager and registry.
-func NewServer(manager *core.Manager, registry *service.Registry) *Server {
+func NewServer(manager Engine, registry *service.Registry) *Server {
 	return &Server{manager: manager, registry: registry}
 }
 
@@ -88,6 +98,15 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		params := in.Body.Action.ParamMap()
 		req.Action = func(ac *core.ActionContext) (any, error) {
 			return handler(params, ac)
+		}
+		// The standard handlers name their resources in the "pool" and
+		// "instance" params; surface them so a sharded engine routes the
+		// action to the owning shard (the single-store engine ignores this).
+		if p := params["pool"]; p != "" {
+			req.Resources = append(req.Resources, p)
+		}
+		if p := params["instance"]; p != "" {
+			req.Resources = append(req.Resources, p)
 		}
 	}
 

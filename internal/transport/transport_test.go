@@ -2,9 +2,11 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -305,5 +307,78 @@ func TestPiggybackedGrantAndAction(t *testing.T) {
 	}
 	if res.ActionErr != nil || res.ActionResult != "10" {
 		t.Fatalf("action: %q %v", res.ActionResult, res.ActionErr)
+	}
+}
+
+// TestShardedServerConcurrentClients serves a sharded manager over HTTP —
+// the daemon's production shape — and hammers it with parallel clients,
+// each consuming its own pool under promise protection. The /audit
+// endpoint must report healthy afterwards.
+func TestShardedServerConcurrentClients(t *testing.T) {
+	const workers = 8
+	const iters = 25
+	s, err := core.NewSharded(core.ShardedConfig{Shards: 4, DefaultDuration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools := make([]string, workers)
+	for w := range pools {
+		pools[w] = fmt.Sprintf("wire-%d", w)
+		if err := s.CreatePool(pools[w], iters, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := service.NewRegistry()
+	service.RegisterStandard(reg)
+	srv := httptest.NewServer(NewServer(s, reg).Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := &Client{BaseURL: srv.URL, Client: fmt.Sprintf("http-%d", w)}
+			pool := pools[w]
+			for i := 0; i < iters; i++ {
+				pr, err := c.RequestPromise([]core.Predicate{core.Quantity(pool, 1)}, time.Hour)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !pr.Accepted {
+					t.Errorf("grant rejected: %s", pr.Reason)
+					return
+				}
+				// The "pool" param routes the action to the owning shard.
+				if _, err := c.Invoke([]core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+					"adjust-pool", map[string]string{"pool": pool, "delta": "-1"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for _, pool := range pools {
+		lvl, err := s.PoolLevel(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lvl != 0 {
+			t.Errorf("pool %s level = %d, want 0", pool, lvl)
+		}
+	}
+	resp, err := srv.Client().Get(srv.URL + "/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/audit = %d: %s", resp.StatusCode, body)
 	}
 }

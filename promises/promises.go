@@ -66,6 +66,11 @@ type (
 	Manager = core.Manager
 	// Config configures a Manager.
 	Config = core.Config
+	// ShardedManager stripes promise, escrow and soft-lock state across N
+	// shards for concurrent throughput; see core.ShardedManager.
+	ShardedManager = core.ShardedManager
+	// ShardedConfig configures a ShardedManager.
+	ShardedConfig = core.ShardedConfig
 	// Request is one client message (§6).
 	Request = core.Request
 	// Response is the manager's reply.
@@ -127,6 +132,11 @@ var (
 // New creates a Manager. A zero Config builds a self-contained manager
 // with a fresh store and resource manager.
 func New(cfg Config) (*Manager, error) { return core.New(cfg) }
+
+// NewSharded creates a ShardedManager: a promise manager whose state is
+// striped across cfg.Shards independent shards (default 8) so concurrent
+// clients on different resources proceed in parallel.
+func NewSharded(cfg ShardedConfig) (*ShardedManager, error) { return core.NewSharded(cfg) }
 
 // Quantity builds an anonymous-view predicate (§3.1): qty units of pool
 // must remain available.
