@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 	"time"
 
@@ -39,11 +38,13 @@ type grantPlan struct {
 }
 
 // propSlot is one active property-view predicate with its tentative
-// assignment.
+// assignment. sole marks slots whose promise has no other predicate — the
+// shape the cross-shard coordinator may migrate between shards.
 type propSlot struct {
 	key      string
 	expr     predicate.Expr
 	assigned string
+	sole     bool
 }
 
 // plan decides whether the predicates can all be guaranteed, treating the
@@ -342,7 +343,7 @@ func (m *Manager) activePropertySlots(tx *txn.Tx, excluded map[string]bool) ([]p
 			if i < len(p.Assigned) {
 				assigned = p.Assigned[i]
 			}
-			out = append(out, propSlot{key: key, expr: pred.Expr, assigned: assigned})
+			out = append(out, propSlot{key: key, expr: pred.Expr, assigned: assigned, sole: len(p.Predicates) == 1})
 		}
 	}
 	return out, nil
@@ -394,15 +395,9 @@ func (m *Manager) applyRealloc(tx *txn.Tx, realloc map[string]string) error {
 	}
 	var moves []move
 	for slot, to := range realloc {
-		// slot = "<promiseID>#<idx>"
-		sep := strings.LastIndexByte(slot, '#')
-		if sep < 0 {
+		pid, idx, ok := parseSlotKey(slot)
+		if !ok {
 			return fmt.Errorf("core: bad slot key %q", slot)
-		}
-		pid := slot[:sep]
-		idx, err := strconv.Atoi(slot[sep+1:])
-		if err != nil {
-			return fmt.Errorf("core: bad slot key %q: %v", slot, err)
 		}
 		p, err := m.promise(tx, pid)
 		if err != nil {

@@ -1,54 +1,41 @@
 package core
 
 import (
+	"repro/internal/matching"
 	"repro/internal/predicate"
 	"repro/internal/resource"
 )
 
-// lazyMatcher solves the property-view assignment problem incrementally.
+// lazyMatcher solves the single-shard property-view assignment problem
+// incrementally.
 //
 // A full Hopcroft–Karp run per grant (the obvious reading of §5's
 // "satisfiability check") costs O(L·R) predicate evaluations just to build
 // the bipartite graph, making grant latency quadratic in the number of
 // outstanding property promises. But grants arrive one at a time, and the
 // promise manager already stores a valid assignment for every existing slot
-// (Promise.Assigned). By the augmenting-path theorem, a maximum matching
-// can be grown from any valid partial matching, so each grant only needs
-// augmenting paths for the new (or invalidated) slots — with edges
-// evaluated lazily, the common case touches O(R) predicates instead of
-// O(L·R).
+// (Promise.Assigned), so each grant only needs augmenting paths for the new
+// (or invalidated) slots — with edges evaluated lazily, the common case
+// touches O(R) predicates instead of O(L·R).
 //
-// internal/matching's Hopcroft–Karp remains the reference implementation;
-// property-based tests in the core package cross-check the two.
+// The augmenting machinery lives in matching.Incremental (shared with the
+// cross-shard coordinator in sharded.go); this adapter contributes the edge
+// oracle — predicate evaluation against instance property environments —
+// and the translation between instance ids and vertex indices.
 type lazyMatcher struct {
-	exprs []predicate.Expr
 	cands []*resource.Instance
-	// memo caches edge evaluations: 0 unknown, 1 edge, 2 no edge.
-	memo []int8
+	inc   *matching.Incremental
 }
 
 func newLazyMatcher(exprs []predicate.Expr, cands []*resource.Instance) *lazyMatcher {
-	return &lazyMatcher{
-		exprs: exprs,
-		cands: cands,
-		memo:  make([]int8, len(exprs)*len(cands)),
-	}
-}
-
-// edge reports whether candidate j satisfies slot i's predicate.
-// Evaluation errors (e.g. the predicate references a property the instance
-// lacks) mean "no edge".
-func (lm *lazyMatcher) edge(i, j int) bool {
-	k := i*len(lm.cands) + j
-	if lm.memo[k] == 0 {
-		ok, err := predicate.Eval(lm.exprs[i], lm.cands[j].Env())
-		if err == nil && ok {
-			lm.memo[k] = 1
-		} else {
-			lm.memo[k] = 2
-		}
-	}
-	return lm.memo[k] == 1
+	lm := &lazyMatcher{cands: cands}
+	lm.inc = matching.NewIncremental(len(exprs), len(cands), func(i, j int) bool {
+		// Evaluation errors (e.g. the predicate references a property the
+		// instance lacks) mean "no edge".
+		ok, err := predicate.Eval(exprs[i], cands[j].Env())
+		return err == nil && ok
+	})
+	return lm
 }
 
 // solve computes an assignment saturating every slot, seeded from initial
@@ -57,61 +44,26 @@ func (lm *lazyMatcher) edge(i, j int) bool {
 // not valid candidates or no longer satisfy their predicate are treated as
 // unassigned.
 func (lm *lazyMatcher) solve(initial []string) ([]string, bool) {
-	nL, nR := len(lm.exprs), len(lm.cands)
-	idxOf := make(map[string]int, nR)
+	idxOf := make(map[string]int, len(lm.cands))
 	for j, in := range lm.cands {
 		idxOf[in.ID] = j
 	}
-	assignL := make([]int, nL)
-	matchR := make([]int, nR)
-	for i := range assignL {
-		assignL[i] = -1
-	}
-	for j := range matchR {
-		matchR[j] = -1
-	}
-	// Seed from still-valid previous assignments.
+	seed := make([]int, len(initial))
 	for i, inst := range initial {
-		if i >= nL || inst == "" {
+		seed[i] = matching.Unmatched
+		if inst == "" {
 			continue
 		}
-		j, ok := idxOf[inst]
-		if !ok || matchR[j] != -1 || !lm.edge(i, j) {
-			continue
-		}
-		assignL[i] = j
-		matchR[j] = i
-	}
-	// Augment each unassigned slot (Kuhn's algorithm with lazy edges).
-	seen := make([]bool, nR)
-	var try func(i int) bool
-	try = func(i int) bool {
-		for j := 0; j < nR; j++ {
-			if seen[j] || !lm.edge(i, j) {
-				continue
-			}
-			seen[j] = true
-			if matchR[j] == -1 || try(matchR[j]) {
-				assignL[i] = j
-				matchR[j] = i
-				return true
-			}
-		}
-		return false
-	}
-	for i := 0; i < nL; i++ {
-		if assignL[i] != -1 {
-			continue
-		}
-		for k := range seen {
-			seen[k] = false
-		}
-		if !try(i) {
-			return nil, false
+		if j, ok := idxOf[inst]; ok {
+			seed[i] = j
 		}
 	}
-	out := make([]string, nL)
-	for i, j := range assignL {
+	assign, ok := lm.inc.Solve(seed)
+	if !ok {
+		return nil, false
+	}
+	out := make([]string, len(assign))
+	for i, j := range assign {
 		out[i] = lm.cands[j].ID
 	}
 	return out, true

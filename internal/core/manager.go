@@ -461,14 +461,8 @@ func (m *Manager) releasePromise(tx *txn.Tx, st *execState, p *Promise, terminal
 		slot := slotKey(p.ID, i)
 		switch pred.View {
 		case AnonymousView:
-			q, err := m.ledger.Reserved(tx, pred.Pool, slot)
-			if err != nil {
+			if _, err := m.ledger.ReleaseAll(tx, pred.Pool, slot); err != nil {
 				return err
-			}
-			if q > 0 {
-				if err := m.ledger.Release(tx, pred.Pool, slot, q); err != nil {
-					return err
-				}
 			}
 			if i < len(p.DelegatedID) && p.DelegatedID[i] != "" {
 				sup := m.cfg.Suppliers[pred.Pool]

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/txn"
@@ -79,6 +81,19 @@ type Promise struct {
 // never share backing resources.
 func slotKey(promiseID string, i int) string {
 	return fmt.Sprintf("%s#%d", promiseID, i)
+}
+
+// parseSlotKey splits a slot key back into promise id and predicate index.
+func parseSlotKey(slot string) (promiseID string, idx int, ok bool) {
+	sep := strings.LastIndexByte(slot, '#')
+	if sep <= 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(slot[sep+1:])
+	if err != nil || n < 0 {
+		return "", 0, false
+	}
+	return slot[:sep], n, true
 }
 
 // promiseRow wraps Promise as a txn.Row.

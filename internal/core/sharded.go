@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/ids"
+	"repro/internal/metrics"
 	"repro/internal/predicate"
 	"repro/internal/resource"
 	"repro/internal/txn"
@@ -31,25 +33,20 @@ import (
 // shards hold the whole ordered lock set for their duration, so concurrent
 // clients can never observe a cross-shard grant or release half-applied.
 //
-// Cross-shard promise requests are decomposed into one sub-promise per
-// shard, granted in ascending shard order; if any shard rejects, the
-// already-granted sub-promises are released before the locks drop and the
-// client sees one atomic rejection. The granted whole is a composite
-// promise ("shp-<n>") tracked in a directory mapping it to its per-shard
-// parts; clients use composite ids exactly like ordinary ones.
-//
-// Two deliberate semantic narrowings versus the single-store Manager, both
-// conservative (they can reject requests a global manager could accept, but
-// never over-promise):
-//
-//   - Releases attached to a cross-shard promise request are applied after
-//     the new grant succeeds, so the grant cannot count the released
-//     resources as available. Same-shard upgrades keep the full §4
-//     release-with-grant semantics via the single-shard path.
-//   - Property-view predicates match within one shard at a time: the
-//     request is admitted if some shard can satisfy all its property
-//     predicates jointly (every shard is tried, under the full lock set).
-//     Tentative-allocation rearrangement never crosses shards.
+// Cross-shard promise requests run a two-phase reserve → confirm/abort
+// pipeline (see reserve.go): every involved shard opens a Reservation that
+// tentatively applies its releases and grants its slice of the predicates
+// inside an open transaction; the coordinator then confirms all
+// reservations or aborts them all, so the client sees one atomic grant or
+// rejection and a released promise springs back untouched when the grant
+// fails elsewhere. Because releases apply before planning, §4
+// release-with-grant upgrades keep their semantics across shards, and
+// property-view predicates are placed by a single global bipartite match
+// over every shard's candidates (globalmatch.go) — the ShardedManager
+// accepts exactly the requests the single-store Manager accepts, for any
+// shard count. The granted whole is a composite promise ("shp-<n>")
+// tracked in a directory mapping it to its per-shard parts; clients use
+// composite ids exactly like ordinary ones.
 //
 // Actions run on a single shard and see only that shard's resources.
 // Requests whose action touches resources should set Request.Resources so
@@ -62,11 +59,25 @@ import (
 type ShardedManager struct {
 	shards []*managerShard
 	clk    clock.Clock
+	mode   PropertyMode
 
 	// compIDs names composite promises; their parts live in directory.
+	// moved tracks property sub-promises re-homed by the global matcher:
+	// promise id -> owning shard, overriding the id-prefix route. partOf
+	// maps sub-promise ids to their composite so a migration can update
+	// the composite's part table without scanning the directory. Entries
+	// are never removed (ids are client-visible forever). Directory
+	// composites are immutable: a migration replaces the entry, so readers
+	// holding the old pointer see a consistent — if stale — part list and
+	// retry off the not-found they run into.
 	compIDs *ids.Generator
 	dirMu   sync.Mutex
 	dir     map[string]*composite
+	moved   map[string]int
+	partOf  map[string]string
+
+	// imbalance retains the shard-imbalance gauge computed by Stats.
+	imbalance metrics.Gauge
 }
 
 // managerShard pairs one single-store Manager with the mutex that the
@@ -104,6 +115,13 @@ const shardIDPrefix = "prm"
 // compositeIDPrefix prefixes directory-tracked composite promise ids.
 const compositeIDPrefix = "shp-"
 
+// migrationRetryLimit bounds the optimistic retries the read paths
+// (CheckBatch, checkComposite, compositeInfo) make when a racing slot
+// migration re-homes a promise between routing and the shard lock; past
+// the limit they freeze migrations by taking every shard lock and resolve
+// definitively.
+const migrationRetryLimit = 4
+
 // ShardedConfig configures a ShardedManager. The per-shard fields mirror
 // Config; every shard shares the same clock and supplier map.
 type ShardedConfig struct {
@@ -132,8 +150,11 @@ func NewSharded(cfg ShardedConfig) (*ShardedManager, error) {
 	}
 	s := &ShardedManager{
 		clk:     cfg.Clock,
+		mode:    cfg.PropertyMode,
 		compIDs: ids.New("shp"),
 		dir:     make(map[string]*composite),
+		moved:   make(map[string]int),
+		partOf:  make(map[string]string),
 	}
 	for i := 0; i < n; i++ {
 		m, err := New(Config{
@@ -165,9 +186,16 @@ func (s *ShardedManager) ShardOf(resourceID string) int {
 	return int(h.Sum32() % uint32(len(s.shards)))
 }
 
-// ownerShard maps a promise id back to its shard via the "prm<i>-" prefix.
-// ok is false for composite ids and ids this manager never issued.
+// ownerShard maps a promise id back to its shard: the moved directory for
+// migrated property sub-promises, the "prm<i>-" prefix otherwise. ok is
+// false for composite ids and ids this manager never issued.
 func (s *ShardedManager) ownerShard(id string) (int, bool) {
+	s.dirMu.Lock()
+	sh, migrated := s.moved[id]
+	s.dirMu.Unlock()
+	if migrated {
+		return sh, true
+	}
 	if !strings.HasPrefix(id, shardIDPrefix) {
 		return 0, false
 	}
@@ -199,6 +227,11 @@ func (s *ShardedManager) lookupComposite(client, id string) *composite {
 
 func (s *ShardedManager) dropComposite(id string) {
 	s.dirMu.Lock()
+	if c := s.dir[id]; c != nil {
+		for _, part := range c.parts {
+			delete(s.partOf, part.id)
+		}
+	}
 	delete(s.dir, id)
 	s.dirMu.Unlock()
 }
@@ -327,33 +360,89 @@ func subsetOf(a, b map[int]bool) bool {
 	return true
 }
 
+// allShards returns the full shard set.
+func (s *ShardedManager) allShards() map[int]bool {
+	out := make(map[int]bool, len(s.shards))
+	for i := range s.shards {
+		out[i] = true
+	}
+	return out
+}
+
+// needsGlobal reports whether a named predicate in the request targets an
+// instance tentatively allocated to a property promise. Granting it means
+// displacing that allocation — a joint matching problem over every shard,
+// possibly migrating the displaced slot — so the request escalates to the
+// cross-shard pipeline under the full lock set. First-fit mode never
+// rearranges, so it never escalates (the owning shard rejects exactly as
+// the single store would). The caller must hold the lock of every shard
+// the request routes to; named instances' shards always are in the route.
+func (s *ShardedManager) needsGlobal(req Request) (bool, error) {
+	if s.mode == FirstFitMode {
+		return false, nil
+	}
+	for _, pr := range req.PromiseRequests {
+		held, err := s.promiseRequestNeedsGlobal(pr)
+		if err != nil || held {
+			return held, err
+		}
+	}
+	return false, nil
+}
+
+// promiseRequestNeedsGlobal is needsGlobal for one promise request.
+func (s *ShardedManager) promiseRequestNeedsGlobal(pr PromiseRequest) (bool, error) {
+	for _, p := range pr.Predicates {
+		if p.View != NamedView {
+			continue
+		}
+		held, err := s.shards[s.ShardOf(p.Instance)].m.propertySlotHolder(p.Instance)
+		if err != nil || held {
+			return held, err
+		}
+	}
+	return false, nil
+}
+
 // Execute processes one client message, exactly like Manager.Execute but
 // with state striped across shards. Single-shard requests delegate to the
 // owning shard's manager; cross-shard requests run the composite protocol
 // under the ordered lock set.
 //
-// Routing resolves composite ids against the directory lock-free, so the
-// request is re-routed after the locks are held: a composite registered in
-// between could otherwise send execution to shards whose mutexes were
-// never acquired. The loop converges because directory entries for
-// client-visible ids are never removed — a re-route can only grow the set.
+// Routing resolves composite ids and migrated promises against the
+// directory lock-free, so the request is re-routed after the locks are
+// held: a composite registered (or a slot migrated) in between could
+// otherwise send execution to shards whose mutexes were never acquired.
+// The loop converges because the lock set only grows. A second check under
+// the locks escalates to the full set when a named predicate needs the
+// global matcher (needsGlobal above).
 func (s *ShardedManager) Execute(req Request) (*Response, error) {
 	if req.Client == "" {
 		return nil, fmt.Errorf("%w: missing client", ErrBadRequest)
 	}
+	involved, _, _ := s.route(req)
 	for {
-		involved, _, _ := s.route(req)
 		unlock := s.lockShards(involved)
 		again, simple, primary := s.route(req)
-		if !subsetOf(again, involved) {
-			unlock()
-			continue
+		if subsetOf(again, involved) {
+			esc, err := s.needsGlobal(req)
+			if err != nil {
+				unlock()
+				return nil, err
+			}
+			if !esc || len(involved) == len(s.shards) {
+				defer unlock()
+				if simple && !esc {
+					return s.shards[primary].m.Execute(req)
+				}
+				return s.executeCross(req, primary)
+			}
+			again = s.allShards()
 		}
-		defer unlock()
-		if simple {
-			return s.shards[primary].m.Execute(req)
+		unlock()
+		for i := range again {
+			involved[i] = true
 		}
-		return s.executeCross(req, primary)
 	}
 }
 
@@ -501,7 +590,8 @@ func (s *ShardedManager) applyReleaseGroups(client string, groups map[int][]EnvE
 	}
 }
 
-// grantCross evaluates one promise request that may span shards. Caller
+// grantCross evaluates one promise request that may span shards, running
+// the two-phase reserve → confirm/abort pipeline of reserve.go. Caller
 // holds the locks of every shard the request can touch.
 func (s *ShardedManager) grantCross(client string, pr PromiseRequest) (PromiseResponse, error) {
 	reject := func(format string, args ...any) PromiseResponse {
@@ -516,67 +606,77 @@ func (s *ShardedManager) grantCross(client string, pr PromiseRequest) (PromiseRe
 		}
 	}
 
-	// Resolve release targets to their per-shard parts up front; they are
-	// applied only after the whole grant succeeds, and stay in force on
-	// rejection.
-	var rels []relTarget
+	// Partition release targets to their owning shards, expanding composite
+	// targets into their per-shard parts. Usability is checked by each
+	// shard's Reserve, under its transaction.
+	relByShard := make(map[int][]string)
+	hasCompositeRel := false
 	for _, rid := range pr.Releases {
-		rt := relTarget{id: rid}
 		if isCompositeID(rid) {
+			hasCompositeRel = true
 			c := s.lookupComposite(client, rid)
 			if c == nil {
 				return reject("release target %s: %v", rid, fmt.Errorf("%w: %s", ErrPromiseNotFound, rid)), nil
 			}
-			rt.parts = c.parts
-		} else {
-			sh, ok := s.ownerShard(rid)
-			if !ok {
-				return reject("release target %s: %v", rid, fmt.Errorf("%w: %s", ErrPromiseNotFound, rid)), nil
+			for _, part := range c.parts {
+				relByShard[part.shard] = append(relByShard[part.shard], part.id)
 			}
-			rt.parts = []compositePart{{shard: sh, id: rid}}
+			continue
 		}
-		for _, part := range rt.parts {
-			if err := s.shards[part.shard].m.usable(client, part.id); err != nil {
-				return reject("release target %s: %v", rid, err), nil
-			}
+		sh, ok := s.ownerShard(rid)
+		if !ok {
+			return reject("release target %s: %v", rid, fmt.Errorf("%w: %s", ErrPromiseNotFound, rid)), nil
 		}
-		rels = append(rels, rt)
+		relByShard[sh] = append(relByShard[sh], rid)
 	}
 
 	// Partition predicates: anonymous and named bind to their resource's
-	// shard; property predicates float and are hosted by whichever shard
-	// can satisfy them all.
+	// shard; property predicates float and are placed by the global match.
+	// A named predicate whose instance is tentatively allocated to a
+	// property promise is deferred into the global match too: granting it
+	// displaces that allocation, and the displaced slot may need to land
+	// on any shard (first-fit never displaces, so it never defers — the
+	// owning shard's planner rejects exactly as the single store would).
 	fixed := make(map[int][]int)
-	var floating []int
+	var floating []floatPred
 	for i, p := range pr.Predicates {
 		switch p.View {
 		case AnonymousView:
 			fixed[s.ShardOf(p.Pool)] = append(fixed[s.ShardOf(p.Pool)], i)
 		case NamedView:
+			if s.mode == MatchingMode {
+				// Deliberately re-peeked here even though needsGlobal
+				// already asked: an earlier promise request in the same
+				// message can have granted a property promise onto this
+				// instance, so the deferral answer must be re-read per
+				// request. (Only property grants create the held state,
+				// and any message containing one routes to every shard,
+				// so the full lock set is guaranteed either way.)
+				held, err := s.shards[s.ShardOf(p.Instance)].m.propertySlotHolder(p.Instance)
+				if err != nil {
+					return PromiseResponse{}, err
+				}
+				if held {
+					floating = append(floating, floatPred{idx: i, named: true})
+					continue
+				}
+			}
 			fixed[s.ShardOf(p.Instance)] = append(fixed[s.ShardOf(p.Instance)], i)
 		case PropertyView:
-			floating = append(floating, i)
+			floating = append(floating, floatPred{idx: i})
 		}
 	}
 
 	// Same-shard request: when every predicate and every release target
 	// lives on one shard (and no release is composite, which the inner
-	// manager cannot resolve), delegate wholesale so the full §4
-	// release-with-grant upgrade semantics apply even when the request
-	// rides in a cross-shard message.
-	if len(floating) == 0 && len(fixed) == 1 {
+	// manager cannot resolve), delegate wholesale so the common case stays
+	// one ordinary sub-promise with no reservation or directory overhead.
+	if len(floating) == 0 && len(fixed) == 1 && !hasCompositeRel {
 		for sh := range fixed {
 			sameShard := true
-			for _, rt := range rels {
-				if isCompositeID(rt.id) {
+			for rsh := range relByShard {
+				if rsh != sh {
 					sameShard = false
-					break
-				}
-				for _, part := range rt.parts {
-					if part.shard != sh {
-						sameShard = false
-						break
-					}
 				}
 			}
 			if !sameShard {
@@ -590,72 +690,148 @@ func (s *ShardedManager) grantCross(client string, pr PromiseRequest) (PromiseRe
 		}
 	}
 
-	// Grant the fixed sub-promises once — their outcome does not depend on
-	// where the property predicates land.
-	parts, rejection, err := s.grantParts(client, pr, fixed)
-	if err != nil {
-		return PromiseResponse{}, err
+	// Phase 1 — reserve. Every involved shard tentatively applies its
+	// releases and grants its fixed predicates inside an open transaction.
+	// With floating predicates every shard participates (any shard may host
+	// an instance or contribute rearrangement candidates); the held lock
+	// set covers them by construction, because routeRequest marks all
+	// shards for property view.
+	involved := make(map[int]bool)
+	for sh := range relByShard {
+		involved[sh] = true
 	}
-	if rejection == nil && len(floating) > 0 {
-		// Probe each shard as host for the whole floating set; the first
-		// shard that can satisfy them all jointly wins.
-		for host := 0; host < len(s.shards); host++ {
-			var floatPart []compositePart
-			floatPart, rejection, err = s.grantParts(client, pr, map[int][]int{host: floating})
-			if err != nil {
-				s.releaseParts(client, parts)
-				return PromiseResponse{}, err
-			}
-			if rejection == nil {
-				parts = append(parts, floatPart...)
-				break
-			}
+	for sh := range fixed {
+		involved[sh] = true
+	}
+	if len(floating) > 0 {
+		for i := range s.shards {
+			involved[i] = true
 		}
 	}
-	if rejection != nil {
-		s.releaseParts(client, parts)
-		out := *rejection
-		out.Correlation = pr.RequestID
-		return out, nil
+	resvs := make(map[int]*Reservation)
+	abortAll := func() {
+		for _, sh := range sortedKeys(resvs) {
+			resvs[sh].Abort()
+		}
 	}
-	id, expires := s.registerComposite(client, parts)
-	s.applyReleaseTargets(client, rels)
+	for _, sh := range sortedKeys(involved) {
+		idxs := fixed[sh]
+		preds := make([]Predicate, len(idxs))
+		for j, idx := range idxs {
+			preds[j] = pr.Predicates[idx]
+		}
+		resv, rejResp, err := s.shards[sh].m.Reserve(client, ReserveRequest{
+			Releases:   relByShard[sh],
+			Predicates: preds,
+			PredIdx:    idxs,
+			Duration:   pr.Duration,
+		})
+		if err != nil {
+			abortAll()
+			return PromiseResponse{}, err
+		}
+		if rejResp != nil {
+			// One shard's rejection aborts the whole pipeline: releases
+			// spring back into force on every shard (§4).
+			abortAll()
+			out := *rejResp
+			out.Correlation = pr.RequestID
+			return out, nil
+		}
+		resvs[sh] = resv
+	}
+
+	// Phase 2 — global property match. The coordinator solves one joint
+	// bipartite problem over every shard's candidates and applies the
+	// solution through the open reservations, releases strictly before
+	// acquisitions: migrating slots detach first, within-shard
+	// reallocations run per shard, migrating slots re-attach on their new
+	// shard, then the new predicates pin to their chosen instances — each
+	// as a single-predicate sub-promise, so the slot stays migratable.
+	var pendingMoves []slotMigration
+	if len(floating) > 0 {
+		plans, migs, ok, err := s.solveFloatAssignment(resvs, pr, floating, s.mode)
+		if err != nil {
+			abortAll()
+			return PromiseResponse{}, err
+		}
+		if !ok {
+			abortAll()
+			// Abort counted the per-shard requests; the client-visible
+			// rejection lands on the lowest involved shard's counter.
+			s.shards[sortedKeys(resvs)[0]].m.metrics.rejections.Inc()
+			return reject("property predicates not jointly satisfiable with outstanding promises"), nil
+		}
+		migRows := make([]*Promise, len(migs))
+		for i, mg := range migs {
+			if migRows[i], err = resvs[mg.from].MigrateOut(mg.promiseID); err != nil {
+				abortAll()
+				return PromiseResponse{}, err
+			}
+		}
+		for _, sh := range sortedKeys(plans) {
+			if p := plans[sh]; len(p.realloc) > 0 {
+				if err := resvs[sh].ApplyRealloc(p.realloc); err != nil {
+					abortAll()
+					return PromiseResponse{}, err
+				}
+			}
+		}
+		for i, mg := range migs {
+			if err := resvs[mg.to].MigrateIn(migRows[i], mg.inst); err != nil {
+				abortAll()
+				return PromiseResponse{}, err
+			}
+		}
+		for _, sh := range sortedKeys(plans) {
+			p := plans[sh]
+			for j := range p.preds {
+				if err := resvs[sh].GrantPinned(p.preds[j:j+1], p.predIdx[j:j+1], p.assign[j:j+1], pr.Duration); err != nil {
+					abortAll()
+					return PromiseResponse{}, err
+				}
+			}
+		}
+		pendingMoves = migs
+	}
+
+	// Phase 3 — confirm, in ascending shard order. Commit of an open
+	// reservation cannot conflict (the shard lock is held), so a failure
+	// here is an internal invariant break; grants already confirmed are
+	// handed back best-effort so no promise the client never learned about
+	// outlives the call.
+	var confirmed []compositePart
+	for _, sh := range sortedKeys(resvs) {
+		granted := resvs[sh].Granted()
+		if err := resvs[sh].Confirm(); err != nil {
+			abortAll()
+			s.releaseParts(client, confirmed)
+			return PromiseResponse{}, err
+		}
+		for _, g := range granted {
+			confirmed = append(confirmed, compositePart{shard: sh, id: g.ID, predIdx: g.PredIdx, expires: g.Expires})
+		}
+	}
+	s.commitMoves(pendingMoves)
+
+	// A pipeline that produced a single sub-promise (e.g. an upgrade whose
+	// new predicates all land on one shard while the releases span others)
+	// needs no composite id: the part is an ordinary promise.
+	if len(confirmed) == 1 {
+		return PromiseResponse{
+			Correlation: pr.RequestID,
+			Accepted:    true,
+			PromiseID:   confirmed[0].id,
+			Expires:     confirmed[0].expires,
+		}, nil
+	}
+	id, expires := s.registerComposite(client, confirmed)
 	return PromiseResponse{
 		Correlation: pr.RequestID,
 		Accepted:    true,
 		PromiseID:   id,
 		Expires:     expires,
 	}, nil
-}
-
-// grantParts grants one sub-promise per shard for the predicate indices in
-// byShard. On any rejection the sub-promises granted so far by this call
-// are released again and the rejecting shard's response is returned.
-func (s *ShardedManager) grantParts(client string, pr PromiseRequest, byShard map[int][]int) (_ []compositePart, rejection *PromiseResponse, _ error) {
-	var granted []compositePart
-	for _, sh := range sortedKeys(byShard) {
-		idxs := byShard[sh]
-		preds := make([]Predicate, len(idxs))
-		for j, idx := range idxs {
-			preds[j] = pr.Predicates[idx]
-		}
-		resp, err := s.shards[sh].m.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
-			Predicates: preds,
-			Duration:   pr.Duration,
-		}}})
-		if err != nil {
-			s.releaseParts(client, granted)
-			return nil, nil, err
-		}
-		sub := resp.Promises[0]
-		if !sub.Accepted {
-			s.releaseParts(client, granted)
-			rr := sub
-			return nil, &rr, nil
-		}
-		granted = append(granted, compositePart{shard: sh, id: sub.PromiseID, predIdx: idxs, expires: sub.Expires})
-	}
-	return granted, nil, nil
 }
 
 // releaseParts hands back sub-promises granted earlier in an operation
@@ -682,29 +858,47 @@ func (s *ShardedManager) registerComposite(client string, parts []compositePart)
 	id := s.compIDs.Next()
 	s.dirMu.Lock()
 	s.dir[id] = &composite{client: client, expires: expires, parts: parts}
+	for _, part := range parts {
+		s.partOf[part.id] = id
+	}
 	s.dirMu.Unlock()
 	return id, expires
 }
 
-// relTarget is one resolved release target of a cross-shard grant: the
-// client-visible id plus the per-shard sub-promises backing it.
-type relTarget struct {
-	id    string
-	parts []compositePart
-}
-
-// applyReleaseTargets hands back the release targets of a successful
-// cross-shard grant. Validation already passed under the held locks, so
-// only clock expiry can intervene; those promises free their holds via the
-// sweep instead, and the error is deliberately ignored.
-func (s *ShardedManager) applyReleaseTargets(client string, rels []relTarget) {
-	for _, rt := range rels {
-		for _, part := range rt.parts {
-			_, _ = s.shards[part.shard].m.Execute(Request{
-				Client: client,
-				Env:    []EnvEntry{{PromiseID: part.id, Release: true}},
-			})
+// commitMoves records confirmed cross-shard slot migrations: the moved
+// directory re-routes the promise ids from now on, and any composite
+// referencing a migrated part gets a fresh directory entry with the
+// updated shard. Entries are replaced, never mutated: a concurrent reader
+// holding the old pointer sees a consistent stale part list, runs into
+// promise-not-found on the vacated shard, and retries against the fresh
+// entry. Called only while every shard lock is held.
+func (s *ShardedManager) commitMoves(migs []slotMigration) {
+	if len(migs) == 0 {
+		return
+	}
+	s.dirMu.Lock()
+	defer s.dirMu.Unlock()
+	for _, mg := range migs {
+		s.moved[mg.promiseID] = mg.to
+		cid, ok := s.partOf[mg.promiseID]
+		if !ok {
+			continue
 		}
+		old := s.dir[cid]
+		if old == nil {
+			continue
+		}
+		fresh := &composite{
+			client:  old.client,
+			expires: old.expires,
+			parts:   append([]compositePart(nil), old.parts...),
+		}
+		for i := range fresh.parts {
+			if fresh.parts[i].id == mg.promiseID {
+				fresh.parts[i].shard = mg.to
+			}
+		}
+		s.dir[cid] = fresh
 	}
 }
 
@@ -739,16 +933,53 @@ func (s *ShardedManager) GrantBatch(client string, reqs []PromiseRequest) ([]Pro
 		return []PromiseResponse{}, nil
 	}
 	// Re-route under the locks, exactly as Execute does, so a composite
-	// release target resolved mid-flight cannot reach unlocked shards.
+	// release target resolved (or a slot migrated) mid-flight cannot reach
+	// unlocked shards; requests whose named predicates need the global
+	// matcher escalate to the full lock set and the cross path.
 	unlock := s.lockShards(involved)
 	for {
 		again, perShard2, cross2 := routeAll()
 		if subsetOf(again, involved) {
-			perShard, cross = perShard2, cross2
-			break
+			crossSet := make(map[int]bool, len(cross2))
+			for _, idx := range cross2 {
+				crossSet[idx] = true
+			}
+			needAll := false
+			if s.mode == MatchingMode {
+				for i, pr := range reqs {
+					held, err := s.promiseRequestNeedsGlobal(pr)
+					if err != nil {
+						unlock()
+						return nil, err
+					}
+					if held {
+						// The displaced slot may re-home anywhere, so the
+						// request needs the cross path under every lock.
+						crossSet[i] = true
+						needAll = true
+					}
+				}
+			}
+			if !needAll || len(involved) == len(s.shards) {
+				for sh, idxs := range perShard2 {
+					kept := idxs[:0]
+					for _, idx := range idxs {
+						if !crossSet[idx] {
+							kept = append(kept, idx)
+						}
+					}
+					perShard2[sh] = kept
+				}
+				cross2 = sortedKeys(crossSet)
+				perShard, cross = perShard2, cross2
+				break
+			}
+			again = s.allShards()
 		}
 		unlock()
-		involved = again
+		for i := range again {
+			involved[i] = true
+		}
 		unlock = s.lockShards(involved)
 	}
 	defer unlock()
@@ -789,26 +1020,15 @@ func (s *ShardedManager) GrantBatch(client string, reqs []PromiseRequest) ([]Pro
 
 // CheckBatch reports, per promise id, whether the promise is currently
 // usable by client (see Manager.CheckBatch). Ids are checked one shard at a
-// time; a composite is usable only if every part is.
+// time; a composite is usable only if every part is. A slot migration can
+// re-home a promise between routing and the shard lock, so routing is
+// re-verified under each lock and mis-routed ids are re-dispatched.
 func (s *ShardedManager) CheckBatch(client string, ids []string) []error {
 	out := make([]error, len(ids))
 	perShard := make(map[int][]int)
 	for i, id := range ids {
 		if isCompositeID(id) {
-			c := s.lookupComposite(client, id)
-			if c == nil {
-				out[i] = fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
-				continue
-			}
-			for _, part := range c.parts {
-				if out[i] != nil {
-					break
-				}
-				sh := s.shards[part.shard]
-				sh.mu.Lock()
-				out[i] = sh.m.usable(client, part.id)
-				sh.mu.Unlock()
-			}
+			out[i] = s.checkComposite(client, id)
 			continue
 		}
 		sh, ok := s.ownerShard(id)
@@ -817,21 +1037,93 @@ func (s *ShardedManager) CheckBatch(client string, ids []string) []error {
 		}
 		perShard[sh] = append(perShard[sh], i)
 	}
-	for _, shIdx := range sortedKeys(perShard) {
-		idxs := perShard[shIdx]
-		batch := make([]string, len(idxs))
-		for j, idx := range idxs {
-			batch[j] = ids[idx]
+	for attempt := 0; len(perShard) > 0; attempt++ {
+		if attempt > migrationRetryLimit {
+			// Migrations keep outrunning the per-shard locks; freeze them
+			// by holding every lock and resolve what is left.
+			unlock := s.lockShards(s.allShards())
+			for _, shIdx := range sortedKeys(perShard) {
+				for _, idx := range perShard[shIdx] {
+					o, ok := s.ownerShard(ids[idx])
+					if !ok {
+						o = 0
+					}
+					out[idx] = s.shards[o].m.usable(client, ids[idx])
+				}
+			}
+			unlock()
+			return out
 		}
-		sh := s.shards[shIdx]
-		sh.mu.Lock()
-		errs := sh.m.CheckBatch(client, batch)
-		sh.mu.Unlock()
-		for j, idx := range idxs {
-			out[idx] = errs[j]
+		next := make(map[int][]int)
+		for _, shIdx := range sortedKeys(perShard) {
+			idxs := perShard[shIdx]
+			sh := s.shards[shIdx]
+			sh.mu.Lock()
+			var batch []string
+			var bidx []int
+			for _, idx := range idxs {
+				// No migration can touch this shard while its lock is
+				// held, so the owner re-check is stable.
+				if o, ok := s.ownerShard(ids[idx]); ok && o != shIdx {
+					next[o] = append(next[o], idx)
+					continue
+				}
+				batch = append(batch, ids[idx])
+				bidx = append(bidx, idx)
+			}
+			errs := sh.m.CheckBatch(client, batch)
+			sh.mu.Unlock()
+			for j, idx := range bidx {
+				out[idx] = errs[j]
+			}
 		}
+		perShard = next
 	}
 	return out
+}
+
+// checkComposite checks every part of one composite, retrying when a
+// migration replaced the directory entry mid-walk (the stale entry routes
+// a part to its vacated shard, which answers promise-not-found).
+func (s *ShardedManager) checkComposite(client, id string) error {
+	for attempt := 0; ; attempt++ {
+		if attempt > migrationRetryLimit {
+			unlock := s.lockShards(s.allShards())
+			defer unlock()
+		}
+		c := s.lookupComposite(client, id)
+		if c == nil {
+			return fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
+		}
+		frozen := attempt > migrationRetryLimit
+		err, stale := s.checkParts(client, c, frozen)
+		if frozen || !stale {
+			return err
+		}
+	}
+}
+
+// checkParts checks each part on its shard; locked means the caller
+// already holds every shard lock. stale reports a part vanished from its
+// recorded shard — the signature of racing a migration.
+func (s *ShardedManager) checkParts(client string, c *composite, locked bool) (error, bool) {
+	for _, part := range c.parts {
+		sh := s.shards[part.shard]
+		if !locked {
+			sh.mu.Lock()
+		}
+		err := sh.m.usable(client, part.id)
+		if !locked {
+			sh.mu.Unlock()
+		}
+		if err != nil {
+			if errors.Is(err, ErrPromiseNotFound) && !locked {
+				return nil, true
+			}
+			return err, false
+		}
+	}
+	return nil, false
 }
 
 // Sweep expires lapsed promises on every shard. Directory entries for
@@ -863,20 +1155,46 @@ func (s *ShardedManager) snapshotDir() map[string]*composite {
 
 // PromiseInfo returns a copy of the promise with the given id. Composite
 // promises are reconstructed from their parts in original predicate order;
-// a composite reports the worst lifecycle state among its parts.
+// a composite reports the worst lifecycle state among its parts. Both
+// paths re-verify routing against racing slot migrations, exactly like
+// CheckBatch.
 func (s *ShardedManager) PromiseInfo(id string) (Promise, error) {
 	if !isCompositeID(id) {
-		sh, ok := s.ownerShard(id)
-		if !ok {
-			return Promise{}, fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
+		for {
+			sh, ok := s.ownerShard(id)
+			if !ok {
+				return Promise{}, fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
+			}
+			s.shards[sh].mu.Lock()
+			if o, ok := s.ownerShard(id); ok && o != sh {
+				s.shards[sh].mu.Unlock()
+				continue
+			}
+			p, err := s.shards[sh].m.PromiseInfo(id)
+			s.shards[sh].mu.Unlock()
+			return p, err
 		}
-		s.shards[sh].mu.Lock()
-		defer s.shards[sh].mu.Unlock()
-		return s.shards[sh].m.PromiseInfo(id)
+	}
+	for attempt := 0; ; attempt++ {
+		p, stale, err := s.compositeInfo(id, attempt > migrationRetryLimit)
+		if !stale {
+			return p, err
+		}
+	}
+}
+
+// compositeInfo reconstructs one composite from its parts. stale reports
+// the walk raced a migration (a part vanished from its recorded shard) and
+// must retry against the fresh directory entry; freeze resolves a
+// persistent race by holding every shard lock for the walk.
+func (s *ShardedManager) compositeInfo(id string, freeze bool) (_ Promise, stale bool, _ error) {
+	if freeze {
+		unlock := s.lockShards(s.allShards())
+		defer unlock()
 	}
 	c := s.lookupComposite("", id)
 	if c == nil {
-		return Promise{}, fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
+		return Promise{}, false, fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
 	}
 	n := 0
 	for _, part := range c.parts {
@@ -898,11 +1216,18 @@ func (s *ShardedManager) PromiseInfo(id string) (Promise, error) {
 	}
 	for _, part := range c.parts {
 		sh := s.shards[part.shard]
-		sh.mu.Lock()
+		if !freeze {
+			sh.mu.Lock()
+		}
 		p, err := sh.m.PromiseInfo(part.id)
-		sh.mu.Unlock()
+		if !freeze {
+			sh.mu.Unlock()
+		}
 		if err != nil {
-			return Promise{}, err
+			if errors.Is(err, ErrPromiseNotFound) && !freeze {
+				return Promise{}, true, nil
+			}
+			return Promise{}, false, err
 		}
 		for j, idx := range part.predIdx {
 			out.Predicates[idx] = p.Predicates[j]
@@ -920,7 +1245,7 @@ func (s *ShardedManager) PromiseInfo(id string) (Promise, error) {
 			out.State = p.State
 		}
 	}
-	return out, nil
+	return out, false, nil
 }
 
 // ActivePromises returns copies of all active, unexpired promises across
@@ -940,53 +1265,55 @@ func (s *ShardedManager) ActivePromises() ([]Promise, error) {
 	return out, nil
 }
 
-// Stats aggregates every shard's counters. The latency summary is merged
-// approximately: counts and means combine exactly, percentiles report the
-// worst shard (conservative). Counters track per-shard work, not
-// client-visible outcomes: a composite grant over N shards counts N
-// requests and N grants, and the cross-shard protocol's probe/undo cycles
-// (rejected host attempts, rolled-back sub-promises) add matching
-// rejection and release counts.
+// Stats aggregates every shard's counters and merges their latency
+// histograms exactly: the summary is computed over the union of every
+// shard's raw samples (no approximate percentile merge), and PerShard
+// carries each shard's own summary plus the Imbalance gauge so operators
+// can see skew instead of a single blended number. Counters track
+// per-shard work, not client-visible outcomes: a composite grant over N
+// shards counts N requests and N grants, and the cross-shard pipeline's
+// reserve/abort cycles add matching rejection and release counts.
 func (s *ShardedManager) Stats() Stats {
-	var out Stats
-	var meanWeighted time.Duration
-	for _, sh := range s.shards {
-		st := sh.m.Stats()
+	out := Stats{PerShard: make([]ShardStat, 0, len(s.shards))}
+	var all []time.Duration
+	var maxRequests int64
+	for i, sh := range s.shards {
+		// Copy each shard's samples once and summarise from the copy, so a
+		// scrape costs one pass over the sample store, not two.
+		samples := sh.m.metrics.latency.Samples()
+		perShard := metrics.SummarizeDurations(samples)
+		all = append(all, samples...)
+		st := ShardStat{
+			Shard:      i,
+			Requests:   sh.m.metrics.requests.Value(),
+			Grants:     sh.m.metrics.grants.Value(),
+			Rejections: sh.m.metrics.rejections.Value(),
+			Latency:    perShard,
+		}
 		out.Requests += st.Requests
 		out.Grants += st.Grants
 		out.Rejections += st.Rejections
-		out.Releases += st.Releases
-		out.Expirations += st.Expirations
-		out.Violations += st.Violations
-		out.ActionErrors += st.ActionErrors
-		out.DeadlockRetries += st.DeadlockRetries
-		l := st.Latency
-		if l.Count == 0 {
-			continue
+		out.Releases += sh.m.metrics.releases.Value()
+		out.Expirations += sh.m.metrics.expirations.Value()
+		out.Violations += sh.m.metrics.violations.Value()
+		out.ActionErrors += sh.m.metrics.actionErrors.Value()
+		out.DeadlockRetries += sh.m.metrics.deadlocks.Value()
+		out.PerShard = append(out.PerShard, st)
+		if st.Requests > maxRequests {
+			maxRequests = st.Requests
 		}
-		if out.Latency.Count == 0 || l.Min < out.Latency.Min {
-			out.Latency.Min = l.Min
-		}
-		if l.Max > out.Latency.Max {
-			out.Latency.Max = l.Max
-		}
-		if l.P50 > out.Latency.P50 {
-			out.Latency.P50 = l.P50
-		}
-		if l.P90 > out.Latency.P90 {
-			out.Latency.P90 = l.P90
-		}
-		if l.P99 > out.Latency.P99 {
-			out.Latency.P99 = l.P99
-		}
-		meanWeighted += l.Mean * time.Duration(l.Count)
-		out.Latency.Count += l.Count
 	}
-	if out.Latency.Count > 0 {
-		out.Latency.Mean = meanWeighted / time.Duration(out.Latency.Count)
+	out.Latency = metrics.SummarizeDurations(all)
+	if out.Requests > 0 {
+		out.Imbalance = float64(maxRequests) * float64(len(s.shards)) / float64(out.Requests)
 	}
+	s.imbalance.Set(out.Imbalance)
 	return out
 }
+
+// Imbalance returns the shard-imbalance gauge as of the last Stats call
+// (see Stats.Imbalance), without re-walking the shards.
+func (s *ShardedManager) Imbalance() float64 { return s.imbalance.Value() }
 
 // Audit runs every shard's consistency audit and checks the composite
 // directory: each part of each live composite must resolve to a promise
@@ -1007,23 +1334,73 @@ func (s *ShardedManager) Audit() (*AuditReport, error) {
 		}
 	}
 	for id, c := range s.snapshotDir() {
-		for _, part := range c.parts {
-			sh := s.shards[part.shard]
-			sh.mu.Lock()
-			p, err := sh.m.PromiseInfo(part.id)
-			sh.mu.Unlock()
-			if err != nil {
-				report.Problems = append(report.Problems,
-					fmt.Sprintf("directory: composite %s part %s: %v", id, part.id, err))
-				continue
+		problems := s.auditComposite(id, c)
+		if len(problems) > 0 {
+			// The snapshot entry may have raced a migration; judge the
+			// fresh entry before reporting.
+			if fresh := s.lookupComposite("", id); fresh != nil && fresh != c {
+				problems = s.auditComposite(id, fresh)
 			}
-			if p.Client != c.client {
-				report.Problems = append(report.Problems,
-					fmt.Sprintf("directory: composite %s part %s owned by %q, want %q", id, part.id, p.Client, c.client))
+		}
+		report.Problems = append(report.Problems, problems...)
+	}
+	s.dirMu.Lock()
+	moved := make(map[string]int, len(s.moved))
+	for id, sh := range s.moved {
+		moved[id] = sh
+	}
+	s.dirMu.Unlock()
+	for _, id := range sortedStringKeys(moved) {
+		shIdx := moved[id]
+		sh := s.shards[shIdx]
+		sh.mu.Lock()
+		_, err := sh.m.PromiseInfo(id)
+		sh.mu.Unlock()
+		if err != nil {
+			s.dirMu.Lock()
+			cur := s.moved[id]
+			s.dirMu.Unlock()
+			if cur != shIdx {
+				continue // moved again mid-audit; the fresh entry is checked next run
 			}
+			report.Problems = append(report.Problems,
+				fmt.Sprintf("moved: promise %s not found on shard %d: %v", id, shIdx, err))
 		}
 	}
 	return report, nil
+}
+
+// auditComposite verifies one composite directory entry: every part must
+// resolve on its recorded shard to a promise owned by the composite's
+// client.
+func (s *ShardedManager) auditComposite(id string, c *composite) []string {
+	var problems []string
+	for _, part := range c.parts {
+		sh := s.shards[part.shard]
+		sh.mu.Lock()
+		p, err := sh.m.PromiseInfo(part.id)
+		sh.mu.Unlock()
+		if err != nil {
+			problems = append(problems,
+				fmt.Sprintf("directory: composite %s part %s: %v", id, part.id, err))
+			continue
+		}
+		if p.Client != c.client {
+			problems = append(problems,
+				fmt.Sprintf("directory: composite %s part %s owned by %q, want %q", id, part.id, p.Client, c.client))
+		}
+	}
+	return problems
+}
+
+// sortedStringKeys returns m's keys in ascending order.
+func sortedStringKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // CreatePool registers a pool on its owning shard, in a transaction of its

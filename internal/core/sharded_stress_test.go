@@ -22,7 +22,7 @@ func TestShardedStressConservation(t *testing.T) {
 		numPools = 6
 		perPool  = 1 << 20
 	)
-	s, err := NewSharded(ShardedConfig{Shards: 4, Clock: nil, DefaultDuration: time.Hour})
+	s, err := NewSharded(ShardedConfig{Shards: testShards(4), Clock: nil, DefaultDuration: time.Hour})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,6 +167,111 @@ func TestShardedStressConservation(t *testing.T) {
 	mustHealthy(t, s)
 }
 
+// TestShardedStressUpgradeChurn races §4 upgrades through the two-phase
+// reserve/confirm pipeline: every worker continuously replaces its
+// cross-shard composite with a same-size successor ("release N, promise N
+// from the freed N"), with the pools sized so tightly that any
+// double-count of tentatively-freed capacity over-grants and any leaked
+// reservation starves a neighbour. Interleaved impossible upgrades force
+// mid-pipeline aborts whose rollback must leave the old promise intact.
+// Run under -race: this is the test that guards the reservation protocol.
+func TestShardedStressUpgradeChurn(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 120
+		hold    = 3
+	)
+	s, err := NewSharded(ShardedConfig{Shards: testShards(4), DefaultDuration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two pools, pinned to different shards, sized exactly to the workers'
+	// aggregate holds: zero slack for conservation bugs to hide in.
+	poolA := nameOnShard(t, s, 0, "churn-a")
+	poolB := nameOnShard(t, s, 2, "churn-b")
+	for _, pool := range []string{poolA, poolB} {
+		if err := s.CreatePool(pool, workers*hold, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7000 + w)))
+			client := fmt.Sprintf("churner-%d", w)
+			seed, err := s.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
+				Predicates: []Predicate{Quantity(poolA, hold), Quantity(poolB, hold)},
+			}}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cur := seed.Promises[0]
+			if !cur.Accepted {
+				t.Errorf("initial grant rejected: %s", cur.Reason)
+				return
+			}
+			for it := 0; it < iters; it++ {
+				if rng.Intn(5) == 0 {
+					// Impossible upgrade: asks for more than the whole pool,
+					// so one shard reserves (tentatively freeing this
+					// worker's holds) and the other aborts the pipeline.
+					resp, err := s.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
+						Predicates: []Predicate{Quantity(poolA, hold), Quantity(poolB, workers*hold+1)},
+						Releases:   []string{cur.PromiseID},
+					}}})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if resp.Promises[0].Accepted {
+						t.Error("upgrade granted beyond pool capacity")
+						return
+					}
+					if errs := s.CheckBatch(client, []string{cur.PromiseID}); errs[0] != nil {
+						t.Errorf("aborted upgrade consumed the release target: %v", errs[0])
+						return
+					}
+					continue
+				}
+				// Same-size upgrade: only satisfiable because the release is
+				// applied tentatively inside the reservation.
+				resp, err := s.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
+					Predicates: []Predicate{Quantity(poolA, hold), Quantity(poolB, hold)},
+					Releases:   []string{cur.PromiseID},
+				}}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				next := resp.Promises[0]
+				if !next.Accepted {
+					t.Errorf("same-size upgrade rejected: %s", next.Reason)
+					return
+				}
+				cur = next
+			}
+			if _, err := s.Execute(Request{Client: client, Env: []EnvEntry{{PromiseID: cur.PromiseID, Release: true}}}); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Conservation: every hold was released, so both pools must grant
+	// their full capacity again.
+	if full := grantQty(t, s, "final", Quantity(poolA, workers*hold), Quantity(poolB, workers*hold)); !full.Accepted {
+		t.Errorf("pipeline leaked reservations: %s", full.Reason)
+	}
+	mustHealthy(t, s)
+}
+
 // TestShardedStressNoDoubleGrant races many goroutines over a small set of
 // named instances spread across shards: at any moment at most one client
 // may hold each instance. A CAS-guarded shadow flag detects double-grants.
@@ -176,7 +281,7 @@ func TestShardedStressNoDoubleGrant(t *testing.T) {
 		iters     = 200
 		instances = 16
 	)
-	s, err := NewSharded(ShardedConfig{Shards: 4, DefaultDuration: time.Hour})
+	s, err := NewSharded(ShardedConfig{Shards: testShards(4), DefaultDuration: time.Hour})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,7 +11,9 @@ import (
 	"repro/internal/predicate"
 )
 
-// newShardedT builds a sharded manager on a fake clock.
+// newShardedT builds a sharded manager on a fake clock. The default shard
+// count follows the CI matrix (testShards); scenarios that pin resources
+// to specific shard indices set cfg.Shards explicitly.
 func newShardedT(t *testing.T, cfg ShardedConfig) (*ShardedManager, *clock.Fake) {
 	t.Helper()
 	fake := clock.NewFake(time.Date(2007, 1, 7, 0, 0, 0, 0, time.UTC))
@@ -19,7 +21,7 @@ func newShardedT(t *testing.T, cfg ShardedConfig) (*ShardedManager, *clock.Fake)
 		cfg.Clock = fake
 	}
 	if cfg.Shards == 0 {
-		cfg.Shards = 4
+		cfg.Shards = testShards(4)
 	}
 	s, err := NewSharded(cfg)
 	if err != nil {
@@ -28,9 +30,12 @@ func newShardedT(t *testing.T, cfg ShardedConfig) (*ShardedManager, *clock.Fake)
 	return s, fake
 }
 
-// nameOnShard generates a resource id hashing to the given shard.
+// nameOnShard generates a resource id hashing to the given shard (modulo
+// the actual shard count, so shard-count-generic tests still run under the
+// single-shard CI matrix leg).
 func nameOnShard(tb testing.TB, s *ShardedManager, shard int, base string) string {
 	tb.Helper()
+	shard %= s.NumShards()
 	for i := 0; i < 100000; i++ {
 		name := fmt.Sprintf("%s-%d", base, i)
 		if s.ShardOf(name) == shard {
@@ -78,8 +83,8 @@ func TestShardedSingleShardGrantRelease(t *testing.T) {
 		t.Fatalf("rejected: %s", pr.Reason)
 	}
 	// Single-shard promises carry their owning shard in the id prefix.
-	if !strings.HasPrefix(pr.PromiseID, "prm2-") {
-		t.Fatalf("promise id %q not issued by shard 2", pr.PromiseID)
+	if want := fmt.Sprintf("%s%d-", shardIDPrefix, s.ShardOf(pool)); !strings.HasPrefix(pr.PromiseID, want) {
+		t.Fatalf("promise id %q not issued by shard %d", pr.PromiseID, s.ShardOf(pool))
 	}
 	info, err := s.PromiseInfo(pr.PromiseID)
 	if err != nil {
@@ -112,7 +117,7 @@ func TestShardedCrossShardAtomicGrant(t *testing.T) {
 	if !pr.Accepted {
 		t.Fatalf("cross-shard grant rejected: %s", pr.Reason)
 	}
-	if !strings.HasPrefix(pr.PromiseID, "shp-") {
+	if s.ShardOf(a) != s.ShardOf(b) && !strings.HasPrefix(pr.PromiseID, "shp-") {
 		t.Fatalf("expected composite id, got %q", pr.PromiseID)
 	}
 	info, err := s.PromiseInfo(pr.PromiseID)
@@ -230,8 +235,253 @@ func TestShardedCrossShardUpgradeReleasesOld(t *testing.T) {
 	mustHealthy(t, s)
 }
 
-func TestShardedPropertyAcrossShards(t *testing.T) {
+func TestShardedCrossShardUpgradeNeedsFreedCapacity(t *testing.T) {
+	// The §4 upgrade that motivated the reserve/confirm pipeline: "release
+	// 5, promise 8 from the freed 5", with the new grant spanning shards.
+	// The request is only satisfiable if the release applies tentatively
+	// before planning — the single-shot path PR 1 shipped rejected it.
 	s, _ := newShardedT(t, ShardedConfig{})
+	a := nameOnShard(t, s, 0, "tight-a")
+	b := nameOnShard(t, s, 2, "tight-b")
+	mustPool(t, s, a, 8)
+	mustPool(t, s, b, 1)
+
+	old := grantQty(t, s, "c", Quantity(a, 5))
+	if !old.Accepted {
+		t.Fatal(old.Reason)
+	}
+	resp, err := s.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+		Predicates: []Predicate{Quantity(a, 8), Quantity(b, 1)},
+		Releases:   []string{old.PromiseID},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := resp.Promises[0]
+	if !up.Accepted {
+		t.Fatalf("cross-shard upgrade rejected despite freed capacity: %s", up.Reason)
+	}
+	if errs := s.CheckBatch("c", []string{old.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
+		t.Fatalf("upgraded-away promise reports %v, want ErrPromiseReleased", errs[0])
+	}
+	// Everything is held by the upgrade now; releasing it frees it all.
+	if over := grantQty(t, s, "c", Quantity(a, 1)); over.Accepted {
+		t.Fatal("upgrade double-counted the freed capacity")
+	}
+	if _, err := s.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: up.PromiseID, Release: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	if full := grantQty(t, s, "c", Quantity(a, 8), Quantity(b, 1)); !full.Accepted {
+		t.Fatalf("upgrade leaked holds: %s", full.Reason)
+	}
+	mustHealthy(t, s)
+}
+
+func TestShardedUpgradeAbortRestoresReleases(t *testing.T) {
+	// Mid-pipeline abort: shard a's reservation tentatively applies the
+	// release, then shard b rejects its slice. The abort must roll shard
+	// a back so the released promise springs back untouched (§4).
+	s, _ := newShardedT(t, ShardedConfig{})
+	a := nameOnShard(t, s, 1, "abort-a")
+	b := nameOnShard(t, s, 3, "abort-b")
+	mustPool(t, s, a, 10)
+	mustPool(t, s, b, 5)
+
+	old := grantQty(t, s, "c", Quantity(a, 10))
+	if !old.Accepted {
+		t.Fatal(old.Reason)
+	}
+	resp, err := s.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+		Predicates: []Predicate{Quantity(a, 10), Quantity(b, 99)},
+		Releases:   []string{old.PromiseID},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Promises[0].Accepted {
+		t.Fatal("granted beyond shard b capacity")
+	}
+	// The release must not have stuck: old is still usable and still
+	// holding all 10 units on shard a.
+	if errs := s.CheckBatch("c", []string{old.PromiseID}); errs[0] != nil {
+		t.Fatalf("release target consumed by aborted upgrade: %v", errs[0])
+	}
+	if over := grantQty(t, s, "c", Quantity(a, 1)); over.Accepted {
+		t.Fatal("aborted upgrade leaked shard a's tentative release")
+	}
+	mustHealthy(t, s)
+}
+
+func TestShardedPropertyUpgradeAcrossShards(t *testing.T) {
+	// An upgrade whose new property predicates are only jointly satisfiable
+	// if the released promise's instance is freed first: x (shard 0) is the
+	// only instance satisfying q, and the old promise holds it.
+	s, _ := newShardedT(t, ShardedConfig{})
+	x := nameOnShard(t, s, 0, "inst-x")
+	y := nameOnShard(t, s, 2, "inst-y")
+	if err := s.CreateInstance(x, map[string]predicate.Value{
+		"p": predicate.Bool(true), "q": predicate.Bool(true),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateInstance(y, map[string]predicate.Value{
+		"p": predicate.Bool(true), "q": predicate.Bool(false),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	old := grantQty(t, s, "c", MustProperty("q"))
+	if !old.Accepted {
+		t.Fatal(old.Reason)
+	}
+	resp, err := s.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+		Predicates: []Predicate{MustProperty("p"), MustProperty("q")},
+		Releases:   []string{old.PromiseID},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := resp.Promises[0]
+	if !up.Accepted {
+		t.Fatalf("property upgrade rejected despite freed instance: %s", up.Reason)
+	}
+	// q must be backed by x; p must have landed on y (the global match had
+	// to place the two predicates on different shards).
+	info, err := s.PromiseInfo(up.PromiseID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Assigned[1] != x || info.Assigned[0] != y {
+		t.Fatalf("assignments = %v, want [%s %s]", info.Assigned, y, x)
+	}
+	mustHealthy(t, s)
+}
+
+func TestShardedNamedDisplacesPropertySlotAcrossShards(t *testing.T) {
+	// The single-store semantics the pipeline must keep: a named predicate
+	// may claim an instance tentatively allocated to a property promise,
+	// as long as the displaced slot can be re-hosted — even when the only
+	// other satisfying instance lives on a different shard. The slot's
+	// sub-promise is then migrated between shards, keeping its id.
+	s, _ := newShardedT(t, ShardedConfig{Shards: 4})
+	x := nameOnShard(t, s, 0, "disp-x")
+	y := nameOnShard(t, s, 2, "disp-y")
+	for _, id := range []string{x, y} {
+		if err := s.CreateInstance(id, map[string]predicate.Value{"p": predicate.Bool(true)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	prop := grantQty(t, s, "c", MustProperty("p"))
+	if !prop.Accepted {
+		t.Fatal(prop.Reason)
+	}
+	info, err := s.PromiseInfo(prop.PromiseID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taken := info.Assigned[0]
+	other := x
+	if taken == x {
+		other = y
+	}
+
+	named := grantQty(t, s, "d", Named(taken))
+	if !named.Accepted {
+		t.Fatalf("named grant on property-held instance rejected: %s", named.Reason)
+	}
+	// The property promise survives, re-hosted on the other shard's
+	// instance under the same id.
+	if errs := s.CheckBatch("c", []string{prop.PromiseID}); errs[0] != nil {
+		t.Fatalf("displaced property promise unusable: %v", errs[0])
+	}
+	info, err = s.PromiseInfo(prop.PromiseID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Assigned[0] != other {
+		t.Fatalf("displaced slot assigned %q, want %q", info.Assigned[0], other)
+	}
+	// Both instances are now held: a third claim must fail, and releasing
+	// the migrated promise must free its (new) instance.
+	if dup := grantQty(t, s, "e", MustProperty("p")); dup.Accepted {
+		t.Fatal("double-granted a held instance")
+	}
+	if _, err := s.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: prop.PromiseID, Release: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	if again := grantQty(t, s, "e", Named(other)); !again.Accepted {
+		t.Fatalf("migrated promise's release did not free %s: %s", other, again.Reason)
+	}
+	mustHealthy(t, s)
+}
+
+func TestShardedCompositePartMigration(t *testing.T) {
+	// A migrating slot that is part of a composite: the composite's
+	// directory entry must follow the part to its new shard, so release,
+	// checks and audit keep working on the whole.
+	s, _ := newShardedT(t, ShardedConfig{Shards: 4})
+	x := nameOnShard(t, s, 0, "cpm-x")
+	y := nameOnShard(t, s, 2, "cpm-y")
+	pool := nameOnShard(t, s, 1, "cpm-pool")
+	for _, id := range []string{x, y} {
+		if err := s.CreateInstance(id, map[string]predicate.Value{"p": predicate.Bool(true)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPool(t, s, pool, 10)
+
+	comp := grantQty(t, s, "c", MustProperty("p"), Quantity(pool, 3))
+	if !comp.Accepted {
+		t.Fatal(comp.Reason)
+	}
+	if !strings.HasPrefix(comp.PromiseID, "shp-") {
+		t.Fatalf("expected composite, got %q", comp.PromiseID)
+	}
+	info, err := s.PromiseInfo(comp.PromiseID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taken := info.Assigned[0]
+
+	// Claim the composite's instance by name, forcing its property part to
+	// migrate to the other instance's shard.
+	if named := grantQty(t, s, "d", Named(taken)); !named.Accepted {
+		t.Fatalf("named claim rejected: %s", named.Reason)
+	}
+	if errs := s.CheckBatch("c", []string{comp.PromiseID}); errs[0] != nil {
+		t.Fatalf("composite unusable after part migration: %v", errs[0])
+	}
+	info, err = s.PromiseInfo(comp.PromiseID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Assigned[0] == taken {
+		t.Fatal("composite part not re-hosted")
+	}
+	mustHealthy(t, s) // audit walks the updated directory and moved table
+
+	// Releasing the composite frees the migrated part on its new shard and
+	// the escrow on the pool's shard.
+	if _, err := s.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: comp.PromiseID, Release: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	if errs := s.CheckBatch("c", []string{comp.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
+		t.Fatalf("released composite reports %v, want ErrPromiseReleased", errs[0])
+	}
+	if full := grantQty(t, s, "c", Quantity(pool, 10)); !full.Accepted {
+		t.Fatalf("composite release leaked escrow: %s", full.Reason)
+	}
+	if free := grantQty(t, s, "c", MustProperty("p")); !free.Accepted {
+		t.Fatalf("composite release leaked the migrated instance: %s", free.Reason)
+	}
+	mustHealthy(t, s)
+}
+
+func TestShardedPropertyAcrossShards(t *testing.T) {
+	// Pinned shard count: the scenario places the one matching room on
+	// shard 2 specifically.
+	s, _ := newShardedT(t, ShardedConfig{Shards: 4})
 	// Rooms scattered over shards; only one satisfies the predicate.
 	for shard := 0; shard < s.NumShards(); shard++ {
 		id := nameOnShard(t, s, shard, "room")
@@ -262,8 +512,8 @@ func TestShardedPropertyAcrossShards(t *testing.T) {
 
 func TestShardedNamedAcrossShardsAtomic(t *testing.T) {
 	s, _ := newShardedT(t, ShardedConfig{})
-	a := nameOnShard(t, s, 0, "seat")
-	b := nameOnShard(t, s, 3, "seat")
+	a := nameOnShard(t, s, 0, "seat-a")
+	b := nameOnShard(t, s, 3, "seat-b")
 	for _, id := range []string{a, b} {
 		if err := s.CreateInstance(id, nil); err != nil {
 			t.Fatal(err)
@@ -409,7 +659,7 @@ func TestShardedGrantBatch(t *testing.T) {
 	// One cross-shard request in the middle.
 	reqs = append(reqs[:6], append([]PromiseRequest{{
 		RequestID:  "cross",
-		Predicates: []Predicate{Quantity(pools[0], 1), Quantity(pools[3], 1)},
+		Predicates: []Predicate{Quantity(pools[0], 1), Quantity(pools[len(pools)-1], 1)},
 	}}, reqs[6:]...)...)
 
 	resps, err := s.GrantBatch("c", reqs)
@@ -490,6 +740,40 @@ func TestShardedStatsAggregate(t *testing.T) {
 	}
 	if st.Latency.Count != int(st.Requests) {
 		t.Fatalf("latency count = %d, want %d", st.Latency.Count, st.Requests)
+	}
+	// Per-shard histograms: one request landed on each shard.
+	if len(st.PerShard) != s.NumShards() {
+		t.Fatalf("len(PerShard) = %d, want %d", len(st.PerShard), s.NumShards())
+	}
+	for i, ps := range st.PerShard {
+		if ps.Shard != i {
+			t.Fatalf("PerShard[%d].Shard = %d", i, ps.Shard)
+		}
+		if ps.Requests != 1 || ps.Grants != 1 || ps.Latency.Count != 1 {
+			t.Fatalf("shard %d stats = %+v, want one granted request", i, ps)
+		}
+	}
+	// One request per shard is a perfectly balanced load.
+	if st.Imbalance != 1.0 {
+		t.Fatalf("Imbalance = %v, want 1.0", st.Imbalance)
+	}
+	if g := s.Imbalance(); g != st.Imbalance {
+		t.Fatalf("Imbalance gauge = %v, want %v", g, st.Imbalance)
+	}
+
+	// Skew the load and the gauge must follow: all shards' samples still
+	// merge into one exact summary.
+	for i := 0; i < 8; i++ {
+		if pr := grantQty(t, s, "c", Quantity(pools[0], 1)); !pr.Accepted {
+			t.Fatal(pr.Reason)
+		}
+	}
+	st = s.Stats()
+	if s.NumShards() > 1 && st.Imbalance <= 1.0 {
+		t.Fatalf("Imbalance = %v after skewing shard 0, want > 1.0", st.Imbalance)
+	}
+	if st.Latency.Count != int(st.Requests) {
+		t.Fatalf("merged latency count = %d, want %d", st.Latency.Count, st.Requests)
 	}
 }
 

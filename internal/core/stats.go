@@ -38,16 +38,41 @@ type Stats struct {
 	ActionErrors int64
 	// DeadlockRetries counts internal transaction retries.
 	DeadlockRetries int64
-	// Latency summarises Execute latency.
+	// Latency summarises Execute latency. For a sharded manager this is the
+	// exact summary over the union of every shard's samples, not an
+	// approximate percentile merge.
+	Latency metrics.Summary
+	// PerShard holds each shard's own counters and latency histogram
+	// summary, in shard order. Empty for the single-store Manager.
+	PerShard []ShardStat
+	// Imbalance is the shard-imbalance gauge: the busiest shard's request
+	// count divided by the mean per-shard request count. 1.0 means
+	// perfectly balanced load; N (the shard count) means one shard took
+	// everything. Zero when idle or unsharded.
+	Imbalance float64
+}
+
+// ShardStat is one shard's slice of a sharded manager's activity.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int
+	// Requests, Grants and Rejections count the shard's own work; a
+	// cross-shard pipeline counts once on every shard it reserved.
+	Requests, Grants, Rejections int64
+	// Latency summarises the shard's own request latency.
 	Latency metrics.Summary
 }
 
-// String renders the snapshot on one line.
+// String renders the snapshot on one line (plus shard balance when sharded).
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"requests=%d grants=%d rejections=%d releases=%d expirations=%d violations=%d actionErrs=%d deadlockRetries=%d p50=%v p99=%v",
 		s.Requests, s.Grants, s.Rejections, s.Releases, s.Expirations,
 		s.Violations, s.ActionErrors, s.DeadlockRetries, s.Latency.P50, s.Latency.P99)
+	if len(s.PerShard) > 0 {
+		out += fmt.Sprintf(" shards=%d imbalance=%.2f", len(s.PerShard), s.Imbalance)
+	}
+	return out
 }
 
 // Stats returns a snapshot of the manager's counters.

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"os"
+	"strconv"
+)
+
+// testShards returns the shard count for shard-count-generic tests: the
+// PROMISES_TEST_SHARDS environment variable when set (the CI matrix plumbs
+// {1, 8} through it, exercising both the degenerate single-shard
+// configuration and a wide one), else def. Tests whose scenario pins
+// resources to specific shard indices set ShardedConfig.Shards explicitly
+// instead.
+func testShards(def int) int {
+	if v := os.Getenv("PROMISES_TEST_SHARDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}

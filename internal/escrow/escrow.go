@@ -128,6 +128,24 @@ func (l *Ledger) Release(tx *txn.Tx, pool, holder string, qty int64) error {
 	return tx.Put(Table, pool, e)
 }
 
+// ReleaseAll returns holder's entire reservation in pool to the unreserved
+// quantity and reports how much was freed (zero, without error, when the
+// holder held nothing). The promise manager's release path uses it so that
+// handing back a promise slot is one ledger operation instead of a
+// read-then-release pair.
+func (l *Ledger) ReleaseAll(tx *txn.Tx, pool, holder string) (int64, error) {
+	e, err := l.load(tx, pool)
+	if err != nil {
+		return 0, err
+	}
+	q := e.reserved[holder]
+	if q == 0 {
+		return 0, nil
+	}
+	delete(e.reserved, holder)
+	return q, tx.Put(Table, pool, e)
+}
+
 // Consume fulfils qty units of holder's reservation: the reservation
 // shrinks and the pool's quantity on hand falls by the same amount — the
 // action "which depends on, but violates, a previously promised condition,

@@ -321,3 +321,31 @@ func TestQuickEscrowInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReleaseAll(t *testing.T) {
+	l, rm, store := newLedger(t)
+	seedPool(t, rm, store, "widgets", 10)
+	tx := store.Begin(txn.Block)
+	defer tx.Commit()
+	if err := l.Reserve(tx, "widgets", "alice", 7); err != nil {
+		t.Fatal(err)
+	}
+	freed, err := l.ReleaseAll(tx, "widgets", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != 7 {
+		t.Fatalf("freed = %d, want 7", freed)
+	}
+	if got, _ := l.Reserved(tx, "widgets", "alice"); got != 0 {
+		t.Fatalf("alice still holds %d", got)
+	}
+	if got, _ := l.Unreserved(tx, "widgets"); got != 10 {
+		t.Fatalf("unreserved = %d, want 10", got)
+	}
+	// A holder with nothing reserved frees zero, without error.
+	freed, err = l.ReleaseAll(tx, "widgets", "bob")
+	if err != nil || freed != 0 {
+		t.Fatalf("empty ReleaseAll = (%d, %v), want (0, nil)", freed, err)
+	}
+}

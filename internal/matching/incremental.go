@@ -1,0 +1,105 @@
+package matching
+
+// Incremental grows a maximum matching from a seeded partial assignment,
+// evaluating edges lazily through an oracle — Kuhn's algorithm with
+// augmenting paths. By the augmenting-path theorem a maximum matching can be
+// grown from any valid partial matching, so a caller that already holds a
+// correct assignment for most left vertices (the promise manager's tentative
+// allocations, or one shard's slice of a cross-shard match) only pays for
+// the new or displaced vertices, and only evaluates the edges those
+// augmenting paths actually walk.
+//
+// The edge oracle makes the structure reusable for constrained bipartite
+// problems: the cross-shard coordinator passes an oracle that admits an edge
+// only when predicate satisfaction AND shard co-location both hold, without
+// this package knowing what a shard is. Graph (eager, Hopcroft–Karp) remains
+// the reference implementation; property-based tests cross-check the two.
+type Incremental struct {
+	nLeft, nRight int
+	edge          func(l, r int) bool
+	// memo caches oracle calls: 0 unknown, 1 edge, 2 no edge.
+	memo []int8
+}
+
+// NewIncremental returns an incremental matcher over nLeft x nRight vertices
+// whose edges are decided by the oracle. The oracle must be deterministic
+// for the matcher's lifetime; each pair is evaluated at most once.
+func NewIncremental(nLeft, nRight int, edge func(l, r int) bool) *Incremental {
+	return &Incremental{
+		nLeft:  nLeft,
+		nRight: nRight,
+		edge:   edge,
+		memo:   make([]int8, nLeft*nRight),
+	}
+}
+
+// Edge reports whether left vertex l connects to right vertex r, consulting
+// the oracle on first use and the memo afterwards.
+func (inc *Incremental) Edge(l, r int) bool {
+	k := l*inc.nRight + r
+	if inc.memo[k] == 0 {
+		if inc.edge(l, r) {
+			inc.memo[k] = 1
+		} else {
+			inc.memo[k] = 2
+		}
+	}
+	return inc.memo[k] == 1
+}
+
+// Solve computes an assignment saturating every left vertex, seeded from
+// initial (right partner per left vertex, Unmatched for none). Seeds that
+// are out of range, duplicated, or not actual edges are treated as
+// unassigned. It returns the assignment (right partner per left vertex) and
+// whether saturation succeeded; on failure the partial assignment is not
+// returned.
+func (inc *Incremental) Solve(initial []int) ([]int, bool) {
+	assignL := make([]int, inc.nLeft)
+	matchR := make([]int, inc.nRight)
+	for i := range assignL {
+		assignL[i] = Unmatched
+	}
+	for j := range matchR {
+		matchR[j] = Unmatched
+	}
+	// Seed from still-valid previous partners.
+	for i, j := range initial {
+		if i >= inc.nLeft || j < 0 || j >= inc.nRight {
+			continue
+		}
+		if matchR[j] != Unmatched || !inc.Edge(i, j) {
+			continue
+		}
+		assignL[i] = j
+		matchR[j] = i
+	}
+	// Augment each unassigned left vertex.
+	seen := make([]bool, inc.nRight)
+	var try func(i int) bool
+	try = func(i int) bool {
+		for j := 0; j < inc.nRight; j++ {
+			if seen[j] || !inc.Edge(i, j) {
+				continue
+			}
+			seen[j] = true
+			if matchR[j] == Unmatched || try(matchR[j]) {
+				assignL[i] = j
+				matchR[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < inc.nLeft; i++ {
+		if assignL[i] != Unmatched {
+			continue
+		}
+		for k := range seen {
+			seen[k] = false
+		}
+		if !try(i) {
+			return nil, false
+		}
+	}
+	return assignL, true
+}

@@ -1,0 +1,121 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIncrementalSimpleSaturation(t *testing.T) {
+	// 2x2 identity graph: both left vertices saturate.
+	inc := NewIncremental(2, 2, func(l, r int) bool { return l == r })
+	assign, ok := inc.Solve([]int{Unmatched, Unmatched})
+	if !ok {
+		t.Fatal("identity graph must saturate")
+	}
+	if assign[0] != 0 || assign[1] != 1 {
+		t.Fatalf("assign = %v", assign)
+	}
+}
+
+func TestIncrementalInfeasible(t *testing.T) {
+	// Two left vertices competing for one right vertex.
+	inc := NewIncremental(2, 1, func(l, r int) bool { return true })
+	if _, ok := inc.Solve([]int{Unmatched, Unmatched}); ok {
+		t.Fatal("2 left over 1 right cannot saturate")
+	}
+}
+
+func TestIncrementalBadSeedsIgnored(t *testing.T) {
+	// Out-of-range, duplicate, and non-edge seeds must all be treated as
+	// unassigned rather than corrupting the matching.
+	inc := NewIncremental(3, 3, func(l, r int) bool { return l == r })
+	assign, ok := inc.Solve([]int{7, 0, 0}) // 7 out of range; 0 not an edge for l=1,2
+	if !ok {
+		t.Fatal("identity graph must saturate despite bad seeds")
+	}
+	for i, j := range assign {
+		if i != j {
+			t.Fatalf("assign = %v, want identity", assign)
+		}
+	}
+}
+
+func TestIncrementalSeedPreserved(t *testing.T) {
+	// A valid seed assignment must survive: augmenting runs only for the
+	// unassigned vertex, and it must not steal the seeded partner when an
+	// alternative exists.
+	edges := map[[2]int]bool{{0, 1}: true, {1, 0}: true, {1, 1}: true}
+	inc := NewIncremental(2, 2, func(l, r int) bool { return edges[[2]int{l, r}] })
+	assign, ok := inc.Solve([]int{1, Unmatched})
+	if !ok {
+		t.Fatal("must saturate")
+	}
+	if assign[0] != 1 || assign[1] != 0 {
+		t.Fatalf("assign = %v, want [1 0]", assign)
+	}
+}
+
+func TestIncrementalAugmentsThroughSeeds(t *testing.T) {
+	// The new vertex's only edge is taken by a seeded one, which must be
+	// displaced along an augmenting path (the §5 rearrangement).
+	edges := map[[2]int]bool{{0, 0}: true, {0, 1}: true, {1, 0}: true}
+	inc := NewIncremental(2, 2, func(l, r int) bool { return edges[[2]int{l, r}] })
+	assign, ok := inc.Solve([]int{0, Unmatched})
+	if !ok {
+		t.Fatal("must saturate by displacing the seed")
+	}
+	if assign[0] != 1 || assign[1] != 0 {
+		t.Fatalf("assign = %v, want [1 0]", assign)
+	}
+}
+
+// TestIncrementalMatchesHopcroftKarp cross-checks the two implementations:
+// for random graphs, the incremental matcher saturates the left side
+// exactly when Hopcroft–Karp finds a maximum matching of size nLeft, for
+// any seeding.
+func TestIncrementalMatchesHopcroftKarp(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		nL := 1 + rng.Intn(8)
+		nR := 1 + rng.Intn(10)
+		edges := make(map[[2]int]bool)
+		g := NewGraph(nL, nR)
+		for l := 0; l < nL; l++ {
+			for r := 0; r < nR; r++ {
+				if rng.Intn(3) == 0 {
+					edges[[2]int{l, r}] = true
+					g.AddEdge(l, r)
+				}
+			}
+		}
+		size, ref := g.MaxMatching()
+		// Random (often invalid) seeds must not change the verdict.
+		seed := make([]int, nL)
+		for i := range seed {
+			seed[i] = rng.Intn(nR+2) - 1
+		}
+		evals := 0
+		inc := NewIncremental(nL, nR, func(l, r int) bool {
+			evals++
+			return edges[[2]int{l, r}]
+		})
+		assign, ok := inc.Solve(seed)
+		if ok != (size == nL) {
+			t.Fatalf("trial %d: incremental ok=%v, Hopcroft–Karp size=%d/%d (ref %v)", trial, ok, size, nL, ref)
+		}
+		if evals > nL*nR {
+			t.Fatalf("trial %d: %d oracle calls for %d pairs — memo broken", trial, evals, nL*nR)
+		}
+		if !ok {
+			continue
+		}
+		// The assignment must be a valid saturating matching.
+		seen := make(map[int]bool)
+		for l, r := range assign {
+			if r < 0 || r >= nR || !edges[[2]int{l, r}] || seen[r] {
+				t.Fatalf("trial %d: invalid assignment %v", trial, assign)
+			}
+			seen[r] = true
+		}
+	}
+}

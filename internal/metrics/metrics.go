@@ -27,6 +27,18 @@ func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n.Load() }
 
+// Gauge is a settable point-in-time value safe for concurrent use, for
+// quantities that go up and down (shard imbalance, queue depth).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last value set (zero before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Histogram records durations and reports percentile summaries. It stores
 // raw samples; experiments record at most a few million observations so the
 // memory cost is acceptable and the percentiles are exact.
@@ -49,6 +61,17 @@ func (h *Histogram) Count() int {
 	return len(h.samples)
 }
 
+// Samples returns a copy of the raw observations, so callers can merge
+// several histograms into one exact summary (see SummarizeDurations) —
+// percentiles of a union cannot be recovered from per-histogram summaries.
+func (h *Histogram) Samples() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]time.Duration, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
 // Summary holds an exact percentile summary of a Histogram.
 type Summary struct {
 	Count          int
@@ -58,11 +81,12 @@ type Summary struct {
 
 // Summarize computes a Summary. An empty histogram yields a zero Summary.
 func (h *Histogram) Summarize() Summary {
-	h.mu.Lock()
-	samples := make([]time.Duration, len(h.samples))
-	copy(samples, h.samples)
-	h.mu.Unlock()
+	return SummarizeDurations(h.Samples())
+}
 
+// SummarizeDurations computes an exact Summary over raw samples, which it
+// sorts in place. Empty input yields a zero Summary.
+func SummarizeDurations(samples []time.Duration) Summary {
 	if len(samples) == 0 {
 		return Summary{}
 	}

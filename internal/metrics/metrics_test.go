@@ -95,6 +95,62 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if got := g.Value(); got != 0 {
+		t.Fatalf("zero Gauge Value() = %v, want 0", got)
+	}
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("Value() = %v, want 2.5", got)
+	}
+	g.Set(0.25)
+	if got := g.Value(); got != 0.25 {
+		t.Fatalf("Value() = %v, want 0.25", got)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.Set(float64(i))
+		}(i)
+	}
+	wg.Wait()
+	if v := g.Value(); v < 0 || v > 15 {
+		t.Fatalf("Value() = %v, want one of the written values", v)
+	}
+}
+
+func TestSummarizeDurationsMergesExactly(t *testing.T) {
+	// Two histograms whose union percentiles differ from both per-histogram
+	// summaries — the case the old worst-shard merge got wrong.
+	var a, b Histogram
+	for i := 1; i <= 50; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 51; i <= 100; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := SummarizeDurations(append(a.Samples(), b.Samples()...))
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Fatalf("merged P50 = %v, want 50ms", s.P50)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Fatalf("merged P99 = %v, want 99ms", s.P99)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("merged min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
 func TestRate(t *testing.T) {
 	if got := Rate(1, 0); got != "n/a" {
 		t.Fatalf("Rate(1,0) = %q", got)

@@ -38,6 +38,35 @@ type Header struct {
 	Promise *PromiseHeader `xml:"promise,omitempty"`
 	// Environment names the promises protecting the body's action.
 	Environment *EnvironmentHeader `xml:"environment,omitempty"`
+	// Batch carries many independent promise operations in one envelope,
+	// the §6 batching direction: remote clients amortize a whole burst of
+	// grants and checks over a single HTTP round trip.
+	Batch *BatchRequest `xml:"batch-request,omitempty"`
+	// BatchResult answers a Batch.
+	BatchResult *BatchResponse `xml:"batch-response,omitempty"`
+}
+
+// BatchRequest is the <batch-request> element: independent promise
+// requests plus promise-usability checks. Each grant is individually
+// atomic (one rejection does not affect its neighbours), exactly as if
+// the requests had arrived in separate §6 messages.
+type BatchRequest struct {
+	Grants []WireRequest `xml:"promise-request"`
+	Checks []PromiseRef  `xml:"check"`
+}
+
+// BatchResponse is the <batch-response> element. Responses and Checks line
+// up with the request's Grants and Checks by index.
+type BatchResponse struct {
+	Responses []WireResponse `xml:"promise-response"`
+	Checks    []CheckResult  `xml:"check-result"`
+}
+
+// CheckResult reports one promise's usability: no fault means the promise
+// is active, owned by the caller, and unexpired.
+type CheckResult struct {
+	ID    string `xml:"id,attr"`
+	Fault *Fault `xml:"fault,omitempty"`
 }
 
 // PromiseHeader is the <promise> element.

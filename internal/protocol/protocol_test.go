@@ -302,3 +302,82 @@ func TestPiggybackedRequestAndResponse(t *testing.T) {
 		t.Fatal("reason lost")
 	}
 }
+
+func TestBatchEnvelopeRoundTrip(t *testing.T) {
+	env := &Envelope{
+		Header: Header{
+			Client: "bulk-loader",
+			Batch: &BatchRequest{
+				Grants: []WireRequest{
+					{ID: "b-0", Predicates: []WirePredicate{{View: "anonymous", Pool: "widgets", Qty: 3}}},
+					{ID: "b-1", Predicates: []WirePredicate{{View: "named", Instance: "room-212"}}, Releases: []string{"prm-7"}},
+				},
+				Checks: []PromiseRef{{ID: "prm-1"}, {ID: "shp-2"}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []string{"<batch-request>", "<promise-request", "<check "} {
+		if !strings.Contains(buf.String(), tag) {
+			t.Errorf("encoded envelope missing %s:\n%s", tag, buf.String())
+		}
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := got.Header.Batch
+	if b == nil || len(b.Grants) != 2 || len(b.Checks) != 2 {
+		t.Fatalf("batch = %+v", b)
+	}
+	if b.Grants[1].Releases[0] != "prm-7" {
+		t.Fatal("batch grant releases lost")
+	}
+	if b.Checks[1].ID != "shp-2" {
+		t.Fatalf("checks = %+v", b.Checks)
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	env := &Envelope{
+		Header: Header{
+			BatchResult: &BatchResponse{
+				Responses: []WireResponse{
+					{Correlation: "b-0", PromiseID: "prm0-1", Result: ResultAccepted, Expires: "2007-01-07T00:00:30Z"},
+					{Correlation: "b-1", Result: ResultRejected, Reason: "pool empty"},
+				},
+				Checks: []CheckResult{
+					{ID: "prm-1"},
+					{ID: "shp-2", Fault: &Fault{Code: FaultPromiseReleased, Message: "promise released: shp-2"}},
+				},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := got.Header.BatchResult
+	if br == nil || len(br.Responses) != 2 || len(br.Checks) != 2 {
+		t.Fatalf("batch result = %+v", br)
+	}
+	if br.Responses[1].Reason != "pool empty" {
+		t.Fatal("rejection reason lost")
+	}
+	if br.Checks[0].Fault != nil {
+		t.Fatalf("healthy check grew a fault: %+v", br.Checks[0].Fault)
+	}
+	if !errors.Is(ErrorFromFault(br.Checks[1].Fault), core.ErrPromiseReleased) {
+		t.Fatalf("check fault does not map back to ErrPromiseReleased: %+v", br.Checks[1].Fault)
+	}
+	if got := ErrorFromFault(br.Checks[0].Fault); got != nil {
+		t.Fatalf("nil fault maps to %v", got)
+	}
+}

@@ -31,6 +31,8 @@ const Endpoint = "/promises"
 // the transport caring.
 type Engine interface {
 	Execute(core.Request) (*core.Response, error)
+	GrantBatch(client string, reqs []core.PromiseRequest) ([]core.PromiseResponse, error)
+	CheckBatch(client string, ids []string) []error
 	Stats() core.Stats
 	Audit() (*core.AuditReport, error)
 }
@@ -75,6 +77,10 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	in, err := protocol.Decode(r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if in.Header.Batch != nil {
+		s.handleBatch(w, in)
 		return
 	}
 	req := core.Request{Client: in.Header.Client}
@@ -129,6 +135,52 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		out.Body.Fault = protocol.FaultFromError(resp.ActionErr)
 	} else if s, ok := resp.ActionResult.(string); ok {
 		out.Body.Result = s
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	if err := protocol.Encode(w, out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleBatch answers a <batch-request> envelope: all grants run through
+// the engine's batched grant path (one lock acquisition per shard set),
+// then all checks, and the results ride back in one <batch-response>.
+func (s *Server) handleBatch(w http.ResponseWriter, in *protocol.Envelope) {
+	if in.Header.Promise != nil || in.Header.Environment != nil || in.Body.Action != nil {
+		http.Error(w, "transport: batch-request cannot combine with promise, environment or action elements", http.StatusBadRequest)
+		return
+	}
+	batch := in.Header.Batch
+	reqs := make([]core.PromiseRequest, 0, len(batch.Grants))
+	for _, wr := range batch.Grants {
+		pr, err := protocol.RequestFromWire(wr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reqs = append(reqs, pr)
+	}
+	out := &protocol.Envelope{}
+	out.Header.BatchResult = &protocol.BatchResponse{}
+	if len(reqs) > 0 {
+		resps, err := s.manager.GrantBatch(in.Header.Client, reqs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, pr := range resps {
+			out.Header.BatchResult.Responses = append(out.Header.BatchResult.Responses, protocol.ResponseToWire(pr))
+		}
+	}
+	if len(batch.Checks) > 0 {
+		ids := make([]string, len(batch.Checks))
+		for i, c := range batch.Checks {
+			ids[i] = c.ID
+		}
+		for i, err := range s.manager.CheckBatch(in.Header.Client, ids) {
+			out.Header.BatchResult.Checks = append(out.Header.BatchResult.Checks,
+				protocol.CheckResult{ID: ids[i], Fault: protocol.FaultFromError(err)})
+		}
 	}
 	w.Header().Set("Content-Type", "application/xml")
 	if err := protocol.Encode(w, out); err != nil {
@@ -212,6 +264,63 @@ func (c *Client) Exchange(reqs []core.PromiseRequest, env []core.EnvEntry, actio
 		}
 	}
 	out.ActionErr = protocol.ErrorFromFault(reply.Body.Fault)
+	return out, nil
+}
+
+// GrantBatch sends many independent promise requests in one round trip and
+// returns the responses in request order — the remote mirror of the
+// engines' GrantBatch.
+func (c *Client) GrantBatch(reqs []core.PromiseRequest) ([]core.PromiseResponse, error) {
+	msg := &protocol.Envelope{}
+	msg.Header.Batch = &protocol.BatchRequest{}
+	for _, r := range reqs {
+		msg.Header.Batch.Grants = append(msg.Header.Batch.Grants, protocol.RequestToWire(r))
+	}
+	reply, err := c.Do(msg)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Header.BatchResult == nil {
+		return nil, fmt.Errorf("transport: reply carries no batch-response")
+	}
+	out := make([]core.PromiseResponse, 0, len(reply.Header.BatchResult.Responses))
+	for _, wr := range reply.Header.BatchResult.Responses {
+		pr, err := protocol.ResponseFromWire(wr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pr)
+	}
+	if len(out) != len(reqs) {
+		return nil, fmt.Errorf("transport: got %d batch responses, want %d", len(out), len(reqs))
+	}
+	return out, nil
+}
+
+// CheckBatch asks, in one round trip, whether each promise is currently
+// usable by this client: nil when usable, otherwise the sentinel-wrapped
+// error, exactly like the engines' CheckBatch.
+func (c *Client) CheckBatch(ids []string) ([]error, error) {
+	msg := &protocol.Envelope{}
+	msg.Header.Batch = &protocol.BatchRequest{}
+	for _, id := range ids {
+		msg.Header.Batch.Checks = append(msg.Header.Batch.Checks, protocol.PromiseRef{ID: id})
+	}
+	reply, err := c.Do(msg)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Header.BatchResult == nil {
+		return nil, fmt.Errorf("transport: reply carries no batch-response")
+	}
+	checks := reply.Header.BatchResult.Checks
+	if len(checks) != len(ids) {
+		return nil, fmt.Errorf("transport: got %d check results, want %d", len(checks), len(ids))
+	}
+	out := make([]error, len(ids))
+	for i, cr := range checks {
+		out[i] = protocol.ErrorFromFault(cr.Fault)
+	}
 	return out, nil
 }
 

@@ -382,3 +382,115 @@ func TestShardedServerConcurrentClients(t *testing.T) {
 		t.Fatalf("/audit = %d: %s", resp.StatusCode, body)
 	}
 }
+
+func TestBatchOverHTTP(t *testing.T) {
+	// One round trip carries a burst of grants (including a §4 upgrade
+	// releasing an earlier promise) and a burst of usability checks.
+	srv, _ := newTestServer(t, func(m *core.Manager) error {
+		return seedPool(m, "bulk", 10)
+	})
+	c := &Client{BaseURL: srv.URL, Client: "loader"}
+
+	first, err := c.RequestPromise([]core.Predicate{core.Quantity("bulk", 10)}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Accepted {
+		t.Fatalf("seed grant rejected: %s", first.Reason)
+	}
+
+	resps, err := c.GrantBatch([]core.PromiseRequest{
+		{RequestID: "up", Predicates: []core.Predicate{core.Quantity("bulk", 10)}, Releases: []string{first.PromiseID}},
+		{RequestID: "no", Predicates: []core.Predicate{core.Quantity("bulk", 99)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("got %d responses", len(resps))
+	}
+	if !resps[0].Accepted {
+		t.Fatalf("upgrade rejected over the wire: %s", resps[0].Reason)
+	}
+	if resps[0].Correlation != "up" || resps[0].Expires.IsZero() {
+		t.Fatalf("response 0 = %+v", resps[0])
+	}
+	if resps[1].Accepted {
+		t.Fatal("over-capacity batch entry granted")
+	}
+
+	checks, err := c.CheckBatch([]string{resps[0].PromiseID, first.PromiseID, "prm-nope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checks[0] != nil {
+		t.Fatalf("fresh promise unusable: %v", checks[0])
+	}
+	if !errors.Is(checks[1], core.ErrPromiseReleased) {
+		t.Fatalf("upgraded-away promise reports %v, want ErrPromiseReleased", checks[1])
+	}
+	if !errors.Is(checks[2], core.ErrPromiseNotFound) {
+		t.Fatalf("unknown promise reports %v, want ErrPromiseNotFound", checks[2])
+	}
+}
+
+func TestBatchOverHTTPSharded(t *testing.T) {
+	// The same envelope against a sharded engine: cross-shard batch entries
+	// come back as composite promises and check correctly.
+	s, err := core.NewSharded(core.ShardedConfig{Shards: 4, DefaultDuration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolOn := func(shard int) string {
+		for i := 0; ; i++ {
+			name := fmt.Sprintf("bw-%d-%d", shard, i)
+			if s.ShardOf(name) == shard {
+				return name
+			}
+		}
+	}
+	a, b := poolOn(0), poolOn(3)
+	for _, pool := range []string{a, b} {
+		if err := s.CreatePool(pool, 10, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := service.NewRegistry()
+	srv := httptest.NewServer(NewServer(s, reg).Handler())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, Client: "loader"}
+
+	resps, err := c.GrantBatch([]core.PromiseRequest{
+		{RequestID: "solo", Predicates: []core.Predicate{core.Quantity(a, 2)}},
+		{RequestID: "span", Predicates: []core.Predicate{core.Quantity(a, 2), core.Quantity(b, 2)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resps[0].Accepted || !resps[1].Accepted {
+		t.Fatalf("batch rejected: %q / %q", resps[0].Reason, resps[1].Reason)
+	}
+	if !strings.HasPrefix(resps[1].PromiseID, "shp-") {
+		t.Fatalf("cross-shard batch entry id = %q, want composite", resps[1].PromiseID)
+	}
+	checks, err := c.CheckBatch([]string{resps[0].PromiseID, resps[1].PromiseID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cerr := range checks {
+		if cerr != nil {
+			t.Fatalf("batch promise %d unusable: %v", i, cerr)
+		}
+	}
+}
+
+func TestBatchCannotCombineWithAction(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	env := &protocol.Envelope{}
+	env.Header.Batch = &protocol.BatchRequest{}
+	env.Body.Action = &protocol.WireAction{Name: "adjust-pool"}
+	c := &Client{BaseURL: srv.URL, Client: "loader"}
+	if _, err := c.Do(env); err == nil || !strings.Contains(err.Error(), "batch-request") {
+		t.Fatalf("combined batch+action err = %v, want bad-request naming batch-request", err)
+	}
+}

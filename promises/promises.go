@@ -102,6 +102,8 @@ type (
 	PropertyMode = core.PropertyMode
 	// Stats is a snapshot of manager activity counters.
 	Stats = core.Stats
+	// ShardStat is one shard's slice of a sharded manager's Stats.
+	ShardStat = core.ShardStat
 	// AuditReport summarises a consistency audit (Manager.Audit).
 	AuditReport = core.AuditReport
 )
