@@ -8,6 +8,7 @@ package repro_bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
@@ -110,7 +111,7 @@ func BenchmarkE2(b *testing.B) {
 	m := benchWorld(b, map[string]int64{"p": 1 << 40}, core.Config{})
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			resp, err := m.Execute(core.Request{
+			resp, err := m.Execute(bg, core.Request{
 				Client: "c",
 				PromiseRequests: []core.PromiseRequest{{
 					Predicates: []core.Predicate{core.Quantity("p", 1)},
@@ -120,7 +121,7 @@ func BenchmarkE2(b *testing.B) {
 				b.Error(err)
 				return
 			}
-			if _, err := m.Execute(core.Request{
+			if _, err := m.Execute(bg, core.Request{
 				Client: "c",
 				Env:    []core.EnvEntry{{PromiseID: resp.Promises[0].PromiseID, Release: true}},
 			}); err != nil {
@@ -262,7 +263,7 @@ func BenchmarkE5(b *testing.B) {
 
 func mustGrant(b *testing.B, m *core.Manager, pred core.Predicate) string {
 	b.Helper()
-	resp, err := m.Execute(core.Request{Client: "seed", PromiseRequests: []core.PromiseRequest{{
+	resp, err := m.Execute(bg, core.Request{Client: "seed", PromiseRequests: []core.PromiseRequest{{
 		Predicates: []core.Predicate{pred},
 	}}})
 	if err != nil {
@@ -277,7 +278,7 @@ func mustGrant(b *testing.B, m *core.Manager, pred core.Predicate) string {
 func grantReleaseLoop(b *testing.B, m *core.Manager, pred func() core.Predicate) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		resp, err := m.Execute(core.Request{Client: "probe", PromiseRequests: []core.PromiseRequest{{
+		resp, err := m.Execute(bg, core.Request{Client: "probe", PromiseRequests: []core.PromiseRequest{{
 			Predicates: []core.Predicate{pred()},
 		}}})
 		if err != nil {
@@ -287,7 +288,7 @@ func grantReleaseLoop(b *testing.B, m *core.Manager, pred func() core.Predicate)
 		if !pr.Accepted {
 			b.Fatalf("probe rejected: %s", pr.Reason)
 		}
-		if _, err := m.Execute(core.Request{Client: "probe", Env: []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
+		if _, err := m.Execute(bg, core.Request{Client: "probe", Env: []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -353,7 +354,7 @@ func BenchmarkE8(b *testing.B) {
 	id := mustGrant(b, m, core.Quantity("acct", 100))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resp, err := m.Execute(core.Request{Client: "seed", PromiseRequests: []core.PromiseRequest{{
+		resp, err := m.Execute(bg, core.Request{Client: "seed", PromiseRequests: []core.PromiseRequest{{
 			Predicates: []core.Predicate{core.Quantity("acct", 100+int64(i%2))},
 			Releases:   []string{id},
 		}}})
@@ -383,7 +384,7 @@ func BenchmarkE9(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				resp, err := m.Execute(core.Request{
+				resp, err := m.Execute(bg, core.Request{
 					Client: "c",
 					Action: func(ac *core.ActionContext) (any, error) {
 						_, err := ac.Resources.AdjustPool(ac.Tx, "p", -1)
@@ -425,11 +426,11 @@ func BenchmarkE10(b *testing.B) {
 		c, _ := benchHTTP(b)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			pr, err := c.RequestPromise([]core.Predicate{core.Quantity("w", 1)}, time.Hour)
+			pr, err := c.RequestPromise(bg, []core.Predicate{core.Quantity("w", 1)}, time.Hour)
 			if err != nil || !pr.Accepted {
 				b.Fatalf("%v %v", pr, err)
 			}
-			if _, err := c.Invoke([]core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+			if _, err := c.Invoke(bg, []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 				"adjust-pool", map[string]string{"pool": "w", "delta": "-1"}); err != nil {
 				b.Fatal(err)
 			}
@@ -439,15 +440,15 @@ func BenchmarkE10(b *testing.B) {
 		c, _ := benchHTTP(b)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			pr, err := c.RequestPromise([]core.Predicate{core.Quantity("w", 1)}, time.Hour)
+			pr, err := c.RequestPromise(bg, []core.Predicate{core.Quantity("w", 1)}, time.Hour)
 			if err != nil || !pr.Accepted {
 				b.Fatalf("%v %v", pr, err)
 			}
-			if _, err := c.Invoke([]core.EnvEntry{{PromiseID: pr.PromiseID}},
+			if _, err := c.Invoke(bg, []core.EnvEntry{{PromiseID: pr.PromiseID}},
 				"adjust-pool", map[string]string{"pool": "w", "delta": "-1"}); err != nil {
 				b.Fatal(err)
 			}
-			if err := c.Release(pr.PromiseID); err != nil {
+			if err := c.Release(bg, "", pr.PromiseID); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -480,7 +481,7 @@ func BenchmarkE11(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				resp, err := managers[0].Execute(core.Request{Client: "c", PromiseRequests: []core.PromiseRequest{{
+				resp, err := managers[0].Execute(bg, core.Request{Client: "c", PromiseRequests: []core.PromiseRequest{{
 					Predicates: []core.Predicate{core.Quantity("w", 5)},
 				}}})
 				if err != nil {
@@ -490,7 +491,7 @@ func BenchmarkE11(b *testing.B) {
 				if !pr.Accepted {
 					b.Fatalf("rejected: %s", pr.Reason)
 				}
-				if _, err := managers[0].Execute(core.Request{
+				if _, err := managers[0].Execute(bg, core.Request{
 					Client: "c",
 					Env:    []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 				}); err != nil {
@@ -528,14 +529,14 @@ func BenchmarkE12(b *testing.B) {
 				pool := names[int(id)%pools]
 				client := fmt.Sprintf("c%d", id)
 				for pb.Next() {
-					resp, err := s.Execute(core.Request{Client: client, PromiseRequests: []core.PromiseRequest{{
+					resp, err := s.Execute(bg, core.Request{Client: client, PromiseRequests: []core.PromiseRequest{{
 						Predicates: []core.Predicate{core.Quantity(pool, 1)},
 					}}})
 					if err != nil {
 						b.Error(err)
 						return
 					}
-					if _, err := s.Execute(core.Request{Client: client, Env: []core.EnvEntry{{PromiseID: resp.Promises[0].PromiseID, Release: true}}}); err != nil {
+					if _, err := s.Execute(bg, core.Request{Client: client, Env: []core.EnvEntry{{PromiseID: resp.Promises[0].PromiseID, Release: true}}}); err != nil {
 						b.Error(err)
 						return
 					}
@@ -544,3 +545,5 @@ func BenchmarkE12(b *testing.B) {
 		})
 	}
 }
+
+var bg = context.Background()

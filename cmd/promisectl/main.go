@@ -1,18 +1,22 @@
 // Command promisectl is a command-line promise client for a promised
-// server: it requests, releases and modifies promises, and invokes service
-// actions under promise environments — the client box of Figure 2.
+// server: it requests, releases, checks and modifies promises, and invokes
+// service actions under promise environments — the client box of Figure 2,
+// driving the same Engine surface applications use.
 //
 // Usage:
 //
-//	promisectl [-url http://localhost:8642] [-client cli] <command> [args]
+//	promisectl [-url http://localhost:8642] [-client cli] [-timeout 10s] <command> [args]
 //
 // Commands:
 //
 //	request <predicate>...        request one promise over the predicates
 //	modify <old-id> <predicate>.. atomically swap old promise for a new one
-//	release <promise-id>          release a promise
-//	invoke <action> [k=v]...      run an action (optionally -env/-keep)
+//	release <promise-id>...       release promises atomically
+//	check <promise-id>...         report each promise's usability
+//	invoke <action> [k=v]...      run an action (optionally -env/-release-env)
 //	buy <pool> <qty> <promise-id> purchase under a promise, releasing it
+//	stats                         show the manager's activity counters
+//	audit                         run a server-side consistency audit
 //
 // Predicates:
 //
@@ -22,7 +26,8 @@
 package main
 
 import (
-	"flag"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,6 +35,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"flag"
 
 	"repro/internal/core"
 	"repro/internal/transport"
@@ -39,9 +46,14 @@ func main() {
 	url := flag.String("url", "http://localhost:8642", "promise manager base URL")
 	client := flag.String("client", "cli", "promise client identity")
 	dur := flag.Duration("duration", time.Minute, "requested promise duration")
+	timeout := flag.Duration("timeout", 10*time.Second, "deadline for the whole command")
 	env := flag.String("env", "", "comma-separated promise ids protecting the action")
 	release := flag.Bool("release-env", false, "release environment promises with the action")
+	jsonOut := flag.Bool("json", false, "stats/audit: fetch structured JSON instead of text")
 	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	c := &transport.Client{BaseURL: *url, Client: *client}
 	args := flag.Args()
@@ -51,34 +63,39 @@ func main() {
 	var err error
 	switch args[0] {
 	case "request":
-		err = cmdRequest(c, *dur, nil, args[1:])
+		err = cmdRequest(ctx, c, *dur, nil, args[1:])
 	case "modify":
 		if len(args) < 3 {
 			usage()
 		}
-		err = cmdRequest(c, *dur, []string{args[1]}, args[2:])
+		err = cmdRequest(ctx, c, *dur, []string{args[1]}, args[2:])
 	case "release":
-		if len(args) != 2 {
+		if len(args) < 2 {
 			usage()
 		}
-		err = c.Release(args[1])
+		err = c.Release(ctx, "", args[1:]...)
 		if err == nil {
-			fmt.Printf("released %s\n", args[1])
+			fmt.Printf("released %s\n", strings.Join(args[1:], ", "))
 		}
+	case "check":
+		if len(args) < 2 {
+			usage()
+		}
+		err = cmdCheck(ctx, c, args[1:])
 	case "invoke":
 		if len(args) < 2 {
 			usage()
 		}
-		err = cmdInvoke(c, *env, *release, args[1], args[2:])
+		err = cmdInvoke(ctx, c, *env, *release, args[1], args[2:])
 	case "buy":
 		if len(args) != 4 {
 			usage()
 		}
-		err = cmdBuy(c, args[1], args[2], args[3])
+		err = cmdBuy(ctx, c, args[1], args[2], args[3])
 	case "stats":
-		err = cmdGet(*url, "/stats")
+		err = cmdGet(ctx, *url, "/stats", *jsonOut)
 	case "audit":
-		err = cmdGet(*url, "/audit")
+		err = cmdGet(ctx, *url, "/audit", *jsonOut)
 	default:
 		usage()
 	}
@@ -89,10 +106,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: promisectl [flags] <request|modify|release|invoke|buy|stats|audit> ...
+	fmt.Fprintln(os.Stderr, `usage: promisectl [flags] <request|modify|release|check|invoke|buy|stats|audit> ...
   request qty:pink-widgets=5 prop:'floor = 5'
   modify prm-1 qty:acct-alice=200
-  release prm-1
+  release prm-1 prm-2
+  check prm-1 prm-2
   invoke pool-level pool=pink-widgets
   buy pink-widgets 5 prm-1
   stats                       show the manager's activity counters
@@ -101,8 +119,15 @@ func usage() {
 }
 
 // cmdGet fetches a read-only operational endpoint.
-func cmdGet(base, path string) error {
-	resp, err := http.Get(base + path)
+func cmdGet(ctx context.Context, base, path string, jsonOut bool) error {
+	if jsonOut {
+		path += "?format=json"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
@@ -149,24 +174,55 @@ func parsePredicates(args []string) ([]core.Predicate, error) {
 	return out, nil
 }
 
-func cmdRequest(c *transport.Client, d time.Duration, releases, predArgs []string) error {
+func cmdRequest(ctx context.Context, c *transport.Client, d time.Duration, releases, predArgs []string) error {
 	preds, err := parsePredicates(predArgs)
 	if err != nil {
 		return err
 	}
-	res, err := c.Exchange([]core.PromiseRequest{{
+	resp, err := c.Execute(ctx, core.Request{PromiseRequests: []core.PromiseRequest{{
 		Predicates: preds,
 		Duration:   d,
 		Releases:   releases,
-	}}, nil, nil)
+	}}})
 	if err != nil {
 		return err
 	}
-	pr := res.Promises[0]
+	pr := resp.Promises[0]
 	if !pr.Accepted {
 		return fmt.Errorf("rejected: %s", pr.Reason)
 	}
 	fmt.Printf("granted %s (expires %s)\n", pr.PromiseID, pr.Expires.Format(time.RFC3339))
+	return nil
+}
+
+// cmdCheck reports each promise's usability in one round trip.
+func cmdCheck(ctx context.Context, c *transport.Client, ids []string) error {
+	errs, err := c.CheckBatch(ctx, "", ids)
+	if err != nil {
+		return err
+	}
+	bad := false
+	for i, cerr := range errs {
+		switch {
+		case cerr == nil:
+			fmt.Printf("%s: usable\n", ids[i])
+		case errors.Is(cerr, core.ErrPromiseReleased):
+			fmt.Printf("%s: released\n", ids[i])
+			bad = true
+		case errors.Is(cerr, core.ErrPromiseExpired):
+			fmt.Printf("%s: expired\n", ids[i])
+			bad = true
+		case errors.Is(cerr, core.ErrPromiseNotFound):
+			fmt.Printf("%s: not found\n", ids[i])
+			bad = true
+		default:
+			fmt.Printf("%s: %v\n", ids[i], cerr)
+			bad = true
+		}
+	}
+	if bad {
+		return fmt.Errorf("some promises are not usable")
+	}
 	return nil
 }
 
@@ -181,7 +237,7 @@ func parseEnv(env string, release bool) []core.EnvEntry {
 	return out
 }
 
-func cmdInvoke(c *transport.Client, env string, release bool, action string, kvs []string) error {
+func cmdInvoke(ctx context.Context, c *transport.Client, env string, release bool, action string, kvs []string) error {
 	params := make(map[string]string, len(kvs))
 	for _, kv := range kvs {
 		k, v, ok := strings.Cut(kv, "=")
@@ -190,7 +246,7 @@ func cmdInvoke(c *transport.Client, env string, release bool, action string, kvs
 		}
 		params[k] = v
 	}
-	result, err := c.Invoke(parseEnv(env, release), action, params)
+	result, err := c.Invoke(ctx, parseEnv(env, release), action, params)
 	if err != nil {
 		return err
 	}
@@ -198,12 +254,12 @@ func cmdInvoke(c *transport.Client, env string, release bool, action string, kvs
 	return nil
 }
 
-func cmdBuy(c *transport.Client, pool, qtyStr, promiseID string) error {
+func cmdBuy(ctx context.Context, c *transport.Client, pool, qtyStr, promiseID string) error {
 	qty, err := strconv.ParseInt(qtyStr, 10, 64)
 	if err != nil {
 		return fmt.Errorf("bad quantity %q: %v", qtyStr, err)
 	}
-	result, err := c.Invoke(
+	result, err := c.Invoke(ctx,
 		[]core.EnvEntry{{PromiseID: promiseID, Release: true}},
 		"adjust-pool", map[string]string{"pool": pool, "delta": fmt.Sprintf("-%d", qty)},
 	)

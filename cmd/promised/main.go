@@ -10,26 +10,39 @@
 //
 // State is striped across -shards independent shards (hash of pool or
 // instance id) so parallel clients on different resources proceed
-// concurrently; -shards 1 serializes every request through one store.
+// concurrently; -shards 1 serializes every request through one store. Both
+// configurations come from promises.Open and serve the same Engine surface,
+// so clients cannot tell them apart.
 //
 // The wire protocol is the §6 promise protocol over XML; see
-// internal/protocol. Try it with cmd/promisectl.
+// internal/protocol. Try it with cmd/promisectl, or from code with
+// promises.Open(promises.WithRemote(url)).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"runtime"
 	"time"
 
-	"repro/internal/predicate"
 	"repro/internal/service"
 	"repro/internal/transport"
 	"repro/promises"
 )
+
+// localEngine is what the daemon needs beyond the client-facing Engine:
+// periodic sweeping and resource seeding. Both local engines implement it.
+type localEngine interface {
+	promises.Engine
+	Sweep() error
+	LoadSeed(r io.Reader) (pools, instances int, err error)
+	CreatePool(id string, onHand int64, props map[string]promises.Value) error
+	CreateInstance(id string, props map[string]promises.Value) error
+}
 
 func main() {
 	addr := flag.String("addr", ":8642", "listen address")
@@ -40,10 +53,11 @@ func main() {
 	sweepEvery := flag.Duration("sweep", 5*time.Second, "expiry sweep interval")
 	flag.Parse()
 
-	m, err := promises.NewSharded(promises.ShardedConfig{Shards: *shards, MaxDuration: *maxDur})
+	eng, err := promises.Open(promises.WithShards(*shards), promises.WithMaxDuration(*maxDur))
 	if err != nil {
 		log.Fatalf("promised: %v", err)
 	}
+	m := eng.(localEngine)
 	if *seedFile != "" {
 		f, err := os.Open(*seedFile)
 		if err != nil {
@@ -73,7 +87,7 @@ func main() {
 
 	srv := transport.NewServer(m, reg)
 	log.Printf("promised: promise manager listening on %s (seed=%s, shards=%d, actions=%v)",
-		*addr, *seed, m.NumShards(), reg.Names())
+		*addr, *seed, *shards, reg.Names())
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -82,7 +96,7 @@ func main() {
 
 // seedData installs one of the demo datasets used throughout the examples,
 // routing each pool and instance to its owning shard.
-func seedData(m *promises.ShardedManager, name string) error {
+func seedData(m localEngine, name string) error {
 	if name == "none" {
 		return nil
 	}
@@ -98,11 +112,11 @@ func seedData(m *promises.ShardedManager, name string) error {
 	case "hotel":
 		for i := 1; i <= 20; i++ {
 			floor := int64(1 + (i-1)/4)
-			props := map[string]predicate.Value{
-				"floor":   predicate.Int(floor),
-				"view":    predicate.Bool(i%3 == 0),
-				"smoking": predicate.Bool(i%7 == 0),
-				"beds":    predicate.Str([]string{"twin", "king", "single"}[i%3]),
+			props := map[string]promises.Value{
+				"floor":   promises.Int(floor),
+				"view":    promises.Bool(i%3 == 0),
+				"smoking": promises.Bool(i%7 == 0),
+				"beds":    promises.Str([]string{"twin", "king", "single"}[i%3]),
 			}
 			if err := m.CreateInstance(fmt.Sprintf("room-%d%02d", floor, i%4+10), props); err != nil {
 				return err

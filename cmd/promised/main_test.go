@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"repro/promises"
@@ -61,7 +62,7 @@ func TestSeededRetailIsPromisable(t *testing.T) {
 	if err := seedData(m, "retail"); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := m.Execute(promises.Request{
+	resp, err := m.Execute(context.Background(), promises.Request{
 		Client: "smoke",
 		PromiseRequests: []promises.PromiseRequest{{
 			Predicates: []promises.Predicate{promises.Quantity("pink-widgets", 5)},

@@ -7,26 +7,27 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/txn"
 	"repro/promises"
 )
 
 func main() {
-	m, err := promises.New(promises.Config{})
+	ctx := context.Background()
+	eng, err := promises.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Alice's account: $300 (cents omitted for readability).
-	tx := m.Store().Begin(txn.Block)
-	if err := m.Resources().CreatePool(tx, "acct-alice", 300, nil); err != nil {
+	seeder, err := promises.Seed(eng)
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := tx.Commit(); err != nil {
+	if err := seeder.CreatePool("acct-alice", 300, nil); err != nil {
 		log.Fatal(err)
 	}
 
@@ -37,7 +38,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		resp, err := m.Execute(promises.Request{
+		resp, err := eng.Execute(ctx, promises.Request{
 			Client: client,
 			PromiseRequests: []promises.PromiseRequest{{
 				Predicates: []promises.Predicate{pred},
@@ -63,7 +64,7 @@ func main() {
 	// atomic upgrade that hands back the $100 promise only if the new one
 	// is granted.
 	upPred, _ := promises.FromExpr("acct-alice", "balance >= 200")
-	resp, err := m.Execute(promises.Request{
+	resp, err := eng.Execute(ctx, promises.Request{
 		Client: "shop-a",
 		PromiseRequests: []promises.PromiseRequest{{
 			Predicates: []promises.Predicate{upPred},
@@ -80,7 +81,7 @@ func main() {
 	// Alice spends her unpromised money; the post-action check allows it
 	// because $50 remains free (300 - 200 - 50 = 50).
 	withdraw := func(amount int64) error {
-		resp, err := m.Execute(promises.Request{
+		resp, err := eng.Execute(ctx, promises.Request{
 			Client: "alice",
 			Action: func(ac *promises.ActionContext) (any, error) {
 				_, err := ac.Resources.AdjustPool(ac.Tx, "acct-alice", -amount)
@@ -104,7 +105,7 @@ func main() {
 		err, errors.Is(err, promises.ErrPromiseViolated))
 
 	// shop-a charges the promised $200, releasing its promise atomically.
-	resp, err = m.Execute(promises.Request{
+	resp, err = eng.Execute(ctx, promises.Request{
 		Client: "shop-a",
 		Env:    []promises.EnvEntry{{PromiseID: upgrade.PromiseID, Release: true}},
 		Action: func(ac *promises.ActionContext) (any, error) {

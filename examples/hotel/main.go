@@ -6,25 +6,34 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/predicate"
 	"repro/internal/resource"
-	"repro/internal/txn"
 	"repro/promises"
 )
 
+// inspector is the promise-introspection surface of the local engines,
+// beyond the client-facing Engine (clients hold ids, operators look
+// inside).
+type inspector interface {
+	PromiseInfo(id string) (promises.Promise, error)
+	ActivePromises() ([]promises.Promise, error)
+}
+
 func main() {
-	m, err := promises.New(promises.Config{PropertyMode: promises.MatchingMode})
+	ctx := context.Background()
+	eng, err := promises.Open(promises.WithPropertyMode(promises.MatchingMode))
 	if err != nil {
 		log.Fatal(err)
 	}
-	seedRooms(m)
+	seedRooms(eng)
+	ins := eng.(inspector)
 
 	request := func(client, expr string) (promises.PromiseResponse, error) {
-		resp, err := m.Execute(promises.Request{
+		resp, err := eng.Execute(ctx, promises.Request{
 			Client: client,
 			PromiseRequests: []promises.PromiseRequest{{
 				Predicates: []promises.Predicate{promises.MustProperty(expr)},
@@ -42,7 +51,7 @@ func main() {
 			fmt.Printf("%-45s REJECTED (%s)\n", label, pr.Reason)
 			return
 		}
-		info, _ := m.PromiseInfo(pr.PromiseID)
+		info, _ := ins.PromiseInfo(pr.PromiseID)
 		fmt.Printf("%-45s granted %s -> %s\n", label, pr.PromiseID, info.Assigned[0])
 	}
 
@@ -62,38 +71,36 @@ func main() {
 		log.Fatal(err)
 	}
 	show(`customer-5th: "floor = 5"`, fifth)
-	vi, _ := m.PromiseInfo(view.PromiseID)
-	fi, _ := m.PromiseInfo(fifth.PromiseID)
+	vi, _ := ins.PromiseInfo(view.PromiseID)
+	fi, _ := ins.PromiseInfo(fifth.PromiseID)
 	fmt.Printf("  (tentative allocation moved the view promise to %s so %s could take room-512)\n",
 		vi.Assigned[0], fi.Assigned[0])
 
-	// Negotiation: essential twin beds, desirable view + non-smoking.
+	// Negotiation: essential twin beds, desirable view + non-smoking —
+	// Negotiate drives the alternatives most-desirable first.
 	fmt.Println("\ncustomer-picky negotiates:")
-	wishes := []string{
-		`not smoking and view and beds = "twin"`,
-		`not smoking and beds = "twin"`,
-		`beds = "twin"`,
+	wishes := [][]promises.Predicate{
+		{promises.MustProperty(`not smoking and view and beds = "twin"`)},
+		{promises.MustProperty(`not smoking and beds = "twin"`)},
+		{promises.MustProperty(`beds = "twin"`)},
 	}
-	var got promises.PromiseResponse
-	for _, wish := range wishes {
-		pr, err := request("customer-picky", wish)
-		if err != nil {
-			log.Fatal(err)
-		}
-		show("  wish: "+wish, pr)
-		if pr.Accepted {
-			got = pr
-			break
-		}
+	neg, err := promises.Negotiate(ctx, eng, "customer-picky", time.Minute, false, wishes...)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if !got.Accepted {
+	for i, reason := range neg.Tried {
+		fmt.Printf("  wish %d rejected (%s)\n", i, reason)
+	}
+	if !neg.Accepted() {
 		log.Fatal("negotiation failed entirely")
 	}
+	got := neg.Response
+	show(fmt.Sprintf("  accepted wish %d", neg.Attempt), got)
 
 	// Booking: take the assigned room, releasing the promise atomically.
-	info, _ := m.PromiseInfo(got.PromiseID)
+	info, _ := ins.PromiseInfo(got.PromiseID)
 	room := info.Assigned[0]
-	resp, err := m.Execute(promises.Request{
+	resp, err := eng.Execute(ctx, promises.Request{
 		Client: "customer-picky",
 		Env:    []promises.EnvEntry{{PromiseID: got.PromiseID, Release: true}},
 		Action: func(ac *promises.ActionContext) (any, error) {
@@ -108,11 +115,15 @@ func main() {
 	}
 	fmt.Printf("\ncustomer-picky booked %v; promise released\n", resp.ActionResult)
 
-	active, _ := m.ActivePromises()
+	active, _ := ins.ActivePromises()
 	fmt.Printf("promises still active: %d (view + 5th-floor customers)\n", len(active))
 }
 
-func seedRooms(m *promises.Manager) {
+func seedRooms(eng promises.Engine) {
+	seeder, err := promises.Seed(eng)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rooms := []struct {
 		id      string
 		floor   int64
@@ -125,19 +136,15 @@ func seedRooms(m *promises.Manager) {
 		{"room-214", 2, false, false, "twin"},
 		{"room-108", 1, false, true, "twin"},
 	}
-	tx := m.Store().Begin(txn.Block)
 	for _, r := range rooms {
-		props := map[string]predicate.Value{
-			"floor":   predicate.Int(r.floor),
-			"view":    predicate.Bool(r.view),
-			"smoking": predicate.Bool(r.smoking),
-			"beds":    predicate.Str(r.beds),
+		props := map[string]promises.Value{
+			"floor":   promises.Int(r.floor),
+			"view":    promises.Bool(r.view),
+			"smoking": promises.Bool(r.smoking),
+			"beds":    promises.Str(r.beds),
 		}
-		if err := m.Resources().CreateInstance(tx, r.id, props); err != nil {
+		if err := seeder.CreateInstance(r.id, props); err != nil {
 			log.Fatal(err)
 		}
-	}
-	if err := tx.Commit(); err != nil {
-		log.Fatal(err)
 	}
 }

@@ -1,35 +1,40 @@
 // Quickstart: the paper's Figure 1 ordering flow against an in-process
 // promise manager — request a promise for 5 pink widgets, process the
 // order, then purchase with an atomic release.
+//
+// The engine comes from promises.Open; swap in WithShards(8) or
+// WithRemote("http://localhost:8642") and the rest of the program runs
+// unchanged (with a named action in place of the closure for remote).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/txn"
 	"repro/promises"
 )
 
 func main() {
-	m, err := promises.New(promises.Config{})
+	ctx := context.Background()
+	eng, err := promises.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Seed the merchant's stock: 10 pink widgets on hand.
-	tx := m.Store().Begin(txn.Block)
-	if err := m.Resources().CreatePool(tx, "pink-widgets", 10, nil); err != nil {
+	seeder, err := promises.Seed(eng)
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := tx.Commit(); err != nil {
+	if err := seeder.CreatePool("pink-widgets", 10, nil); err != nil {
 		log.Fatal(err)
 	}
 
 	// "Determine we need 5 pink widgets to be in stock. Send promise
 	// request that (quantity of 'pink widgets' >= 5)."
-	resp, err := m.Execute(promises.Request{
+	resp, err := eng.Execute(ctx, promises.Request{
 		Client: "order-process",
 		PromiseRequests: []promises.PromiseRequest{{
 			RequestID:  "order-1",
@@ -53,7 +58,7 @@ func main() {
 
 	// "Send 'purchase stock' request to promise manager and release
 	// promise to keep stock level >= 5" — one atomic unit.
-	resp, err = m.Execute(promises.Request{
+	resp, err = eng.Execute(ctx, promises.Request{
 		Client: "order-process",
 		Env:    []promises.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		Action: func(ac *promises.ActionContext) (any, error) {

@@ -2,6 +2,10 @@
 // Figure 1's accept and reject paths, the next-day-shipping promise from
 // the second §7 example, and a §5 delegated backorder to a distributor.
 //
+// The distributor hangs off the merchant through an EngineSupplier: swap
+// the in-process distributor engine for promises.Open(WithRemote(url)) and
+// the chain spans processes with zero further changes.
+//
 // Three orders run through the same order-process workflow definition:
 //
 //	order-A  5 widgets + shipping  → promised locally, fulfilled
@@ -12,28 +16,35 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/txn"
 	"repro/internal/workflow"
 	"repro/promises"
 )
 
+// inspector is the promise-introspection surface of the local engines.
+type inspector interface {
+	PromiseInfo(id string) (promises.Promise, error)
+}
+
 func main() {
 	// The distributor holds deep stock; the merchant carries 10 widgets
-	// and 5 next-day shipping slots, delegating widget shortfalls.
-	distributor, err := promises.New(promises.Config{})
+	// and 5 next-day shipping slots, delegating widget shortfalls. The
+	// distributor resolves the standard actions so backorders can ship
+	// through the supplier (the same handlers every daemon serves).
+	distributor, err := promises.Open(promises.WithStandardActions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	seedPool(distributor, "pink-widgets", 1000)
 
-	supplier := &promises.ManagerSupplier{M: distributor, Client: "merchant"}
-	merchant, err := promises.New(promises.Config{
-		Suppliers: map[string]promises.Supplier{"pink-widgets": supplier},
-	})
+	supplier := &promises.EngineSupplier{E: distributor, Client: "merchant"}
+	merchant, err := promises.Open(promises.WithSuppliers(map[string]promises.Supplier{
+		"pink-widgets": supplier,
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,14 +83,16 @@ func main() {
 		fmt.Printf("%s: %v (steps: %v)\n", order.name, in.Status(), in.Trace())
 	}
 
-	level := poolLevel(merchant, "pink-widgets")
-	fmt.Printf("merchant stock after all orders: %d pink widgets\n", level)
+	fmt.Printf("merchant stock after all orders: %d pink widgets\n",
+		poolLevel(merchant, "pink-widgets"))
 	fmt.Printf("distributor stock: %d (backorder drawn for order-B)\n",
 		poolLevel(distributor, "pink-widgets"))
 }
 
 // orderProcess is the Figure 1 ordering process as a workflow definition.
-func orderProcess(m *promises.Manager, supplier *promises.ManagerSupplier) *workflow.Definition {
+func orderProcess(eng promises.Engine, supplier *promises.EngineSupplier) *workflow.Definition {
+	ctx := context.Background()
+	ins := eng.(inspector)
 	return &workflow.Definition{
 		Name:  "order-process",
 		Start: "reserve",
@@ -94,7 +107,7 @@ func orderProcess(m *promises.Manager, supplier *promises.ManagerSupplier) *work
 					// about how this promise will be implemented."
 					preds = append(preds, promises.Quantity("shipping-slots", 1))
 				}
-				resp, err := m.Execute(promises.Request{
+				resp, err := eng.Execute(ctx, promises.Request{
 					Client:          c.Vars["order"].(string),
 					PromiseRequests: []promises.PromiseRequest{{Predicates: preds, Duration: time.Minute}},
 				})
@@ -107,7 +120,7 @@ func orderProcess(m *promises.Manager, supplier *promises.ManagerSupplier) *work
 					return workflow.Transition{}, fmt.Errorf("goods unavailable: %s", pr.Reason)
 				}
 				c.Vars["promise"] = pr.PromiseID
-				if info, err := m.PromiseInfo(pr.PromiseID); err == nil && info.DelegatedQty[0] > 0 {
+				if info, err := ins.PromiseInfo(pr.PromiseID); err == nil && info.DelegatedQty[0] > 0 {
 					fmt.Printf("%s: backorder of %d promised by distributor (%s)\n",
 						c.Vars["order"], info.DelegatedQty[0], info.DelegatedID[0])
 					c.Vars["backorder"] = info.DelegatedQty[0]
@@ -122,12 +135,12 @@ func orderProcess(m *promises.Manager, supplier *promises.ManagerSupplier) *work
 				// distributor first, consuming the upstream promise (§5:
 				// "a backorder will be fulfilled on time").
 				if back, ok := c.Vars["backorder"].(int64); ok && back > 0 {
-					if err := supplier.ConsumePromise(c.Vars["backorder-id"].(string), back); err != nil {
+					if err := supplier.ConsumePromise(ctx, c.Vars["backorder-id"].(string), back); err != nil {
 						return workflow.Transition{}, fmt.Errorf("backorder shipment: %w", err)
 					}
 					qty -= back
 				}
-				resp, err := m.Execute(promises.Request{
+				resp, err := eng.Execute(ctx, promises.Request{
 					Client: c.Vars["order"].(string),
 					Env:    []promises.EnvEntry{{PromiseID: c.Vars["promise"].(string), Release: true}},
 					Action: func(ac *promises.ActionContext) (any, error) {
@@ -167,22 +180,24 @@ func orderProcess(m *promises.Manager, supplier *promises.ManagerSupplier) *work
 	}
 }
 
-func seedPool(m *promises.Manager, pool string, qty int64) {
-	tx := m.Store().Begin(txn.Block)
-	if err := m.Resources().CreatePool(tx, pool, qty, nil); err != nil {
+func seedPool(eng promises.Engine, pool string, qty int64) {
+	seeder, err := promises.Seed(eng)
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := tx.Commit(); err != nil {
+	if err := seeder.CreatePool(pool, qty, nil); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func poolLevel(m *promises.Manager, pool string) int64 {
-	tx := m.Store().Begin(txn.Block)
-	defer tx.Commit()
-	p, err := m.Resources().Pool(tx, pool)
+func poolLevel(eng promises.Engine, pool string) int64 {
+	seeder, err := promises.Seed(eng)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return p.OnHand
+	level, err := seeder.PoolLevel(pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return level
 }

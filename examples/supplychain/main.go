@@ -2,25 +2,34 @@
 // managers (factory, wholesaler, retailer) each behind its own HTTP server
 // on localhost, chained by §5 delegation over the §6 wire protocol. A
 // customer order at the retailer cascades promises up the chain.
+//
+// Every hop — a tier's upstream supplier and the customer — is the same
+// unified Engine surface: the suppliers are EngineSuppliers over remote
+// engines from promises.Open(WithRemote(url)), and would work identically
+// over in-process engines.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/transport"
-	"repro/internal/txn"
 	"repro/promises"
 )
 
-// serveTier starts a promise manager with the standard services on a
+// inspector is the promise-introspection surface of the local engines.
+type inspector interface {
+	PromiseInfo(id string) (promises.Promise, error)
+}
+
+// serveTier starts a promise engine with the standard services on a
 // localhost listener and returns its base URL.
-func serveTier(name string, m *core.Manager) string {
+func serveTier(name string, eng promises.Engine) string {
 	reg := service.NewRegistry()
 	service.RegisterStandard(reg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -28,7 +37,7 @@ func serveTier(name string, m *core.Manager) string {
 		log.Fatal(err)
 	}
 	go func() {
-		if err := http.Serve(ln, transport.NewServer(m, reg).Handler()); err != nil {
+		if err := http.Serve(ln, transport.NewServer(eng, reg).Handler()); err != nil {
 			log.Printf("%s server: %v", name, err)
 		}
 	}()
@@ -37,57 +46,76 @@ func serveTier(name string, m *core.Manager) string {
 	return url
 }
 
-func newManagerWithStock(pool string, qty int64, suppliers map[string]promises.Supplier) *core.Manager {
-	m, err := promises.New(promises.Config{Suppliers: suppliers})
+// remoteEngine opens a wire client for the daemon at url under the given
+// client identity.
+func remoteEngine(url, client string) promises.Engine {
+	eng, err := promises.Open(promises.WithRemote(url), promises.WithClientID(client))
 	if err != nil {
 		log.Fatal(err)
 	}
-	tx := m.Store().Begin(txn.Block)
-	if err := m.Resources().CreatePool(tx, pool, qty, nil); err != nil {
+	return eng
+}
+
+func newTierWithStock(pool string, qty int64, suppliers map[string]promises.Supplier) promises.Engine {
+	eng, err := promises.Open(promises.WithSuppliers(suppliers))
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := tx.Commit(); err != nil {
+	seeder, err := promises.Seed(eng)
+	if err != nil {
 		log.Fatal(err)
 	}
-	return m
+	if err := seeder.CreatePool(pool, qty, nil); err != nil {
+		log.Fatal(err)
+	}
+	return eng
 }
 
 func main() {
+	ctx := context.Background()
+
 	// Factory: deep stock, no supplier.
-	factory := newManagerWithStock("widgets", 1000, nil)
+	factory := newTierWithStock("widgets", 1000, nil)
 	factoryURL := serveTier("factory", factory)
 
 	// Wholesaler: 20 on hand, restocks from the factory over HTTP.
-	wholesaler := newManagerWithStock("widgets", 20, map[string]promises.Supplier{
-		"widgets": &transport.RemoteSupplier{C: &transport.Client{BaseURL: factoryURL, Client: "wholesaler"}},
+	wholesaler := newTierWithStock("widgets", 20, map[string]promises.Supplier{
+		"widgets": &promises.EngineSupplier{E: remoteEngine(factoryURL, "wholesaler"), Client: "wholesaler"},
 	})
 	wholesalerURL := serveTier("wholesaler", wholesaler)
 
 	// Retailer: 5 on hand, restocks from the wholesaler over HTTP.
-	retailer := newManagerWithStock("widgets", 5, map[string]promises.Supplier{
-		"widgets": &transport.RemoteSupplier{C: &transport.Client{BaseURL: wholesalerURL, Client: "retailer"}},
+	retailer := newTierWithStock("widgets", 5, map[string]promises.Supplier{
+		"widgets": &promises.EngineSupplier{E: remoteEngine(wholesalerURL, "retailer"), Client: "retailer"},
 	})
 	retailerURL := serveTier("retailer", retailer)
 
-	// The customer talks only to the retailer.
-	customer := &transport.Client{BaseURL: retailerURL, Client: "customer"}
+	// The customer talks only to the retailer — through the same Engine
+	// interface the tiers use among themselves.
+	customer := remoteEngine(retailerURL, "customer")
 
 	fmt.Println("\ncustomer orders 30 widgets from the retailer (5 local, 20 wholesale, 5 factory):")
-	pr, err := customer.RequestPromise([]promises.Predicate{promises.Quantity("widgets", 30)}, time.Minute)
+	resp, err := customer.Execute(ctx, promises.Request{
+		PromiseRequests: []promises.PromiseRequest{{
+			Predicates: []promises.Predicate{promises.Quantity("widgets", 30)},
+			Duration:   time.Minute,
+		}},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	pr := resp.Promises[0]
 	if !pr.Accepted {
 		log.Fatalf("rejected: %s", pr.Reason)
 	}
 	fmt.Printf("  retailer granted %s (expires %s)\n", pr.PromiseID, pr.Expires.Format(time.Kitchen))
 
-	info, err := retailer.PromiseInfo(pr.PromiseID)
+	info, err := retailer.(inspector).PromiseInfo(pr.PromiseID)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  retailer delegated %d units upstream via %s\n", info.DelegatedQty[0], info.DelegatedID[0])
-	wInfo, err := wholesaler.PromiseInfo(info.DelegatedID[0])
+	wInfo, err := wholesaler.(inspector).PromiseInfo(info.DelegatedID[0])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,30 +123,42 @@ func main() {
 
 	// Over-asking gets a §6-style counter-offer instead of a blind no.
 	fmt.Println("\na rival asks the factory for 2000 widgets:")
-	rival := &transport.Client{BaseURL: factoryURL, Client: "rival"}
-	rpr, err := rival.RequestPromise([]promises.Predicate{promises.Quantity("widgets", 2000)}, time.Minute)
+	rival := remoteEngine(factoryURL, "rival")
+	resp, err = rival.Execute(ctx, promises.Request{
+		PromiseRequests: []promises.PromiseRequest{{
+			Predicates: []promises.Predicate{promises.Quantity("widgets", 2000)},
+			Duration:   time.Minute,
+		}},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	rpr := resp.Promises[0]
 	fmt.Printf("  accepted=%v, counter-offer=%v\n", rpr.Accepted, rpr.Counter)
 
 	// Purchase: the retailer ships local stock under the promise with an
-	// atomic release; upstream promises release across the chain.
+	// atomic release; upstream promises release across the chain. The
+	// named action crosses the wire where a closure could not.
 	fmt.Println("\ncustomer purchases (retailer ships 5 local; backorders ship upstream):")
-	level, err := customer.Invoke(
-		[]promises.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
-		"adjust-pool", map[string]string{"pool": "widgets", "delta": "-5"},
-	)
+	resp, err = customer.Execute(ctx, promises.Request{
+		Env:          []promises.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+		ActionName:   "adjust-pool",
+		ActionParams: map[string]string{"pool": "widgets", "delta": "-5"},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  retailer stock now %s\n", level)
+	if resp.ActionErr != nil {
+		log.Fatal(resp.ActionErr)
+	}
+	fmt.Printf("  retailer stock now %v\n", resp.ActionResult)
 
+	// Remote audits through the same Engine surface the tiers expose.
 	for _, tier := range []struct {
 		name string
-		m    *core.Manager
-	}{{"retailer", retailer}, {"wholesaler", wholesaler}, {"factory", factory}} {
-		rep, err := tier.m.Audit()
+		eng  promises.Engine
+	}{{"retailer", customer}, {"wholesaler", remoteEngine(wholesalerURL, "auditor")}, {"factory", rival}} {
+		rep, err := tier.eng.Audit()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,26 +3,33 @@
 // granted or rejected as one atomic unit, plus the fallback strategy the
 // paper sketches ("obtaining them one at a time, trying alternative
 // resources and predicates when other promise requests are rejected") and
-// an atomic itinerary upgrade (§4, third requirement).
+// an atomic itinerary upgrade (§4, third requirement). The piecewise
+// fallback runs through an Activity, the all-or-release §10 coordinator.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/predicate"
 	"repro/internal/resource"
-	"repro/internal/txn"
 	"repro/promises"
 )
 
+// inspector is the promise-introspection surface of the local engines.
+type inspector interface {
+	PromiseInfo(id string) (promises.Promise, error)
+}
+
 func main() {
-	m, err := promises.New(promises.Config{})
+	ctx := context.Background()
+	eng, err := promises.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
-	seed(m)
+	seed(eng)
+	ins := eng.(inspector)
 
 	// Agent 1 books the whole trip atomically: one flight seat, one rental
 	// car, and any 5th-floor hotel room.
@@ -31,7 +38,7 @@ func main() {
 		promises.Quantity("rental-cars", 1),
 		promises.MustProperty("floor = 5"),
 	}
-	resp, err := m.Execute(promises.Request{
+	resp, err := eng.Execute(ctx, promises.Request{
 		Client:          "agent-1",
 		PromiseRequests: []promises.PromiseRequest{{Predicates: trip, Duration: time.Minute}},
 	})
@@ -43,7 +50,7 @@ func main() {
 
 	// Agent 2 tries the same trip; the last rental car is promised, so the
 	// whole request is rejected — and crucially no flight seat leaks.
-	resp, err = m.Execute(promises.Request{
+	resp, err = eng.Execute(ctx, promises.Request{
 		Client:          "agent-2",
 		PromiseRequests: []promises.PromiseRequest{{Predicates: trip, Duration: time.Minute}},
 	})
@@ -54,26 +61,24 @@ func main() {
 		resp.Promises[0].Accepted, resp.Promises[0].Reason)
 
 	// Agent 2 falls back to piecewise booking with alternatives: flight
-	// first, then train instead of car, then any room at all.
-	var held []string
+	// first, then train instead of car, then any room at all — tracked by
+	// an Activity so everything is handed back if the trip falls through.
+	activity := promises.NewActivity("agent-2")
 	for _, alt := range [][]promises.Predicate{
 		{promises.Quantity("flights-SYD-SFO", 1)},
 		{promises.Quantity("rental-cars", 1)},
 		{promises.Quantity("train-passes", 1)}, // alternative when cars are gone
 		{promises.MustProperty("floor >= 1")},
 	} {
-		resp, err := m.Execute(promises.Request{
-			Client:          "agent-2",
-			PromiseRequests: []promises.PromiseRequest{{Predicates: alt, Duration: time.Minute}},
-		})
+		pr, err := activity.Obtain(ctx, eng, alt, time.Minute)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pr := resp.Promises[0]
 		fmt.Printf("agent-2 piecewise %-28s accepted=%v\n", alt[0].String(), pr.Accepted)
-		if pr.Accepted {
-			held = append(held, pr.PromiseID)
-		}
+	}
+	held, err := activity.Complete()
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("agent-2 holds %d promises: %v\n", len(held), held)
 
@@ -85,7 +90,7 @@ func main() {
 		promises.Quantity("rental-cars", 1),
 		promises.MustProperty("floor = 5"),
 	}
-	resp, err = m.Execute(promises.Request{
+	resp, err = eng.Execute(ctx, promises.Request{
 		Client: "agent-1",
 		PromiseRequests: []promises.PromiseRequest{{
 			Predicates: upgrade,
@@ -99,7 +104,7 @@ func main() {
 	up := resp.Promises[0]
 	fmt.Printf("agent-1 upgrade to 2 seats: accepted=%v", up.Accepted)
 	if !up.Accepted {
-		info, _ := m.PromiseInfo(pr1.PromiseID)
+		info, _ := ins.PromiseInfo(pr1.PromiseID)
 		fmt.Printf(" — old promise still %v (nothing lost)", info.State)
 	}
 	fmt.Println()
@@ -110,9 +115,9 @@ func main() {
 	if !up.Accepted {
 		active = pr1.PromiseID
 	}
-	info, _ := m.PromiseInfo(active)
+	info, _ := ins.PromiseInfo(active)
 	room := info.Assigned[2]
-	resp, err = m.Execute(promises.Request{
+	resp, err = eng.Execute(ctx, promises.Request{
 		Client: "agent-1",
 		Env:    []promises.EnvEntry{{PromiseID: active, Release: true}},
 		Action: func(ac *promises.ActionContext) (any, error) {
@@ -135,21 +140,22 @@ func main() {
 	fmt.Printf("agent-1 confirmed: room %v booked, promise released\n", resp.ActionResult)
 }
 
-func seed(m *promises.Manager) {
-	tx := m.Store().Begin(txn.Block)
-	rm := m.Resources()
+func seed(eng promises.Engine) {
+	seeder, err := promises.Seed(eng)
+	if err != nil {
+		log.Fatal(err)
+	}
 	must := func(err error) {
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	must(rm.CreatePool(tx, "flights-SYD-SFO", 3, nil))
-	must(rm.CreatePool(tx, "rental-cars", 1, nil))
-	must(rm.CreatePool(tx, "train-passes", 10, nil))
+	must(seeder.CreatePool("flights-SYD-SFO", 3, nil))
+	must(seeder.CreatePool("rental-cars", 1, nil))
+	must(seeder.CreatePool("train-passes", 10, nil))
 	for i, floor := range []int64{5, 5, 3} {
-		must(rm.CreateInstance(tx, fmt.Sprintf("room-%d0%d", floor, i+1), map[string]predicate.Value{
-			"floor": predicate.Int(floor),
+		must(seeder.CreateInstance(fmt.Sprintf("room-%d0%d", floor, i+1), map[string]promises.Value{
+			"floor": promises.Int(floor),
 		}))
 	}
-	must(tx.Commit())
 }

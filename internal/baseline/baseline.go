@@ -23,6 +23,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 
@@ -204,7 +205,7 @@ func NewPromiseOrders(m *core.Manager) *PromiseOrders {
 // RunOrder obtains a promise for qty of pool, thinks, then purchases under
 // the promise with an atomic release (Figure 1).
 func (b *PromiseOrders) RunOrder(pool string, qty int64, think func()) (Outcome, error) {
-	resp, err := b.m.Execute(core.Request{
+	resp, err := b.m.Execute(context.Background(), core.Request{
 		Client: "order",
 		PromiseRequests: []core.PromiseRequest{{
 			Predicates: []core.Predicate{core.Quantity(pool, qty)},
@@ -222,7 +223,7 @@ func (b *PromiseOrders) RunOrder(pool string, qty int64, think func()) (Outcome,
 		think() // the promise, not a lock, protects the condition
 	}
 
-	resp, err = b.m.Execute(core.Request{
+	resp, err = b.m.Execute(context.Background(), core.Request{
 		Client: "order",
 		Env:    []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		Action: func(ac *core.ActionContext) (any, error) {
@@ -246,7 +247,7 @@ func (b *PromiseOrders) RunMultiOrder(pools []string, qty int64, think func()) (
 	for i, pool := range pools {
 		preds[i] = core.Quantity(pool, qty)
 	}
-	resp, err := b.m.Execute(core.Request{
+	resp, err := b.m.Execute(context.Background(), core.Request{
 		Client:          "order",
 		PromiseRequests: []core.PromiseRequest{{Predicates: preds}},
 	})
@@ -260,7 +261,7 @@ func (b *PromiseOrders) RunMultiOrder(pools []string, qty int64, think func()) (
 	if think != nil {
 		think()
 	}
-	resp, err = b.m.Execute(core.Request{
+	resp, err = b.m.Execute(context.Background(), core.Request{
 		Client: "order",
 		Env:    []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		Action: func(ac *core.ActionContext) (any, error) {

@@ -54,7 +54,7 @@ func TestAuditHealthyAfterMixedActivity(t *testing.T) {
 		Predicates: []Predicate{Named("i1"), MustProperty("x = 1")},
 	}}})
 	// Release one, expire nothing yet.
-	if _, err := m.Execute(Request{Client: "a", Env: []EnvEntry{{PromiseID: pr1.PromiseID, Release: true}}}); err != nil {
+	if _, err := m.Execute(bg, Request{Client: "a", Env: []EnvEntry{{PromiseID: pr1.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := m.Audit()
@@ -199,7 +199,7 @@ func TestQuickSoakAuditStaysHealthy(t *testing.T) {
 		for step := 0; step < 40; step++ {
 			switch r.Intn(6) {
 			case 0: // grant anonymous
-				resp, err := m.Execute(requestQuantity("c", "p", int64(1+r.Intn(8))))
+				resp, err := m.Execute(bg, requestQuantity("c", "p", int64(1+r.Intn(8))))
 				if err != nil {
 					t.Logf("grant: %v", err)
 					return false
@@ -214,7 +214,7 @@ func TestQuickSoakAuditStaysHealthy(t *testing.T) {
 				} else {
 					pred = MustProperty(fmt.Sprintf("x = %d", r.Intn(2)))
 				}
-				resp, err := m.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+				resp, err := m.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 					Predicates: []Predicate{pred},
 				}}})
 				if err != nil {
@@ -227,7 +227,7 @@ func TestQuickSoakAuditStaysHealthy(t *testing.T) {
 			case 2: // release one
 				if len(held) > 0 {
 					idx := r.Intn(len(held))
-					_, err := m.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: held[idx], Release: true}}})
+					_, err := m.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: held[idx], Release: true}}})
 					if err != nil {
 						t.Logf("release: %v", err)
 						return false
@@ -237,7 +237,7 @@ func TestQuickSoakAuditStaysHealthy(t *testing.T) {
 			case 3: // modify (upgrade/downgrade) one
 				if len(held) > 0 {
 					idx := r.Intn(len(held))
-					resp, err := m.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+					resp, err := m.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 						Predicates: []Predicate{Quantity("p", int64(1+r.Intn(8)))},
 						Releases:   []string{held[idx]},
 					}}})
@@ -251,7 +251,7 @@ func TestQuickSoakAuditStaysHealthy(t *testing.T) {
 				}
 			case 4: // action (possibly violating; rolled back if so)
 				delta := int64(-(1 + r.Intn(5)))
-				_, err := m.Execute(Request{Client: "c", Action: func(ac *ActionContext) (any, error) {
+				_, err := m.Execute(bg, Request{Client: "c", Action: func(ac *ActionContext) (any, error) {
 					_, err := ac.Resources.AdjustPool(ac.Tx, "p", delta)
 					return nil, err
 				}})
@@ -311,7 +311,7 @@ func TestConcurrentSoakThenAudit(t *testing.T) {
 				default:
 					pred = MustProperty(fmt.Sprintf("x = %d", r.Intn(3)))
 				}
-				resp, err := m.Execute(Request{Client: fmt.Sprintf("w%d", w), PromiseRequests: []PromiseRequest{{
+				resp, err := m.Execute(bg, Request{Client: fmt.Sprintf("w%d", w), PromiseRequests: []PromiseRequest{{
 					Predicates: []Predicate{pred},
 				}}})
 				if err != nil {
@@ -320,7 +320,7 @@ func TestConcurrentSoakThenAudit(t *testing.T) {
 				}
 				pr := resp.Promises[0]
 				if pr.Accepted && r.Intn(3) > 0 {
-					if _, err := m.Execute(Request{Client: fmt.Sprintf("w%d", w),
+					if _, err := m.Execute(bg, Request{Client: fmt.Sprintf("w%d", w),
 						Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 						t.Error(err)
 						return

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/txn"
@@ -15,8 +16,8 @@ import (
 // a single transaction. Each PromiseRequest is still atomic on its own —
 // one rejection does not affect its neighbours — exactly as if they had
 // arrived in one §6 message.
-func (m *Manager) GrantBatch(client string, reqs []PromiseRequest) ([]PromiseResponse, error) {
-	resp, err := m.Execute(Request{Client: client, PromiseRequests: reqs})
+func (m *Manager) GrantBatch(ctx context.Context, client string, reqs []PromiseRequest) ([]PromiseResponse, error) {
+	resp, err := m.Execute(ctx, Request{Client: client, PromiseRequests: reqs})
 	if err != nil {
 		return nil, err
 	}
@@ -26,15 +27,20 @@ func (m *Manager) GrantBatch(client string, reqs []PromiseRequest) ([]PromiseRes
 // CheckBatch reports, per promise id, whether the promise is currently
 // usable by client: nil when active and unexpired, otherwise the matching
 // sentinel error (ErrPromiseNotFound, ErrPromiseReleased,
-// ErrPromiseExpired). All ids are checked in one read-only transaction.
-func (m *Manager) CheckBatch(client string, ids []string) []error {
+// ErrPromiseExpired). All ids are checked in one read-only transaction. The
+// outer error reports a failure of the check itself (a cancelled context, a
+// dead transport), never a per-promise state.
+func (m *Manager) CheckBatch(ctx context.Context, client string, ids []string) ([]error, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]error, len(ids))
 	tx := m.store.Begin(txn.Block)
 	defer tx.Commit()
 	for i, id := range ids {
 		_, out[i] = m.promiseForClient(tx, client, id)
 	}
-	return out
+	return out, nil
 }
 
 // usable reports whether the promise exists, belongs to client, and is

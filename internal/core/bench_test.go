@@ -32,13 +32,13 @@ func BenchmarkGrantReleaseAnonymous(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resp, err := m.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+		resp, err := m.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 			Predicates: []Predicate{Quantity("p", 1)},
 		}}})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := m.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: resp.Promises[0].PromiseID, Release: true}}}); err != nil {
+		if _, err := m.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: resp.Promises[0].PromiseID, Release: true}}}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -95,7 +95,7 @@ func BenchmarkSweep(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < n; i++ {
-				resp, err := m.Execute(Request{Client: "seed", PromiseRequests: []PromiseRequest{{
+				resp, err := m.Execute(bg, Request{Client: "seed", PromiseRequests: []PromiseRequest{{
 					Predicates: []Predicate{Quantity("p", 1)},
 				}}})
 				if err != nil || !resp.Promises[0].Accepted {
@@ -130,14 +130,14 @@ func BenchmarkAudit(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		if _, err := m.Execute(Request{Client: "seed", PromiseRequests: []PromiseRequest{{
+		if _, err := m.Execute(bg, Request{Client: "seed", PromiseRequests: []PromiseRequest{{
 			Predicates: []Predicate{Quantity("p", 1)},
 		}}}); err != nil {
 			b.Fatal(err)
 		}
 	}
 	for i := 0; i < 25; i++ {
-		if _, err := m.Execute(Request{Client: "seed", PromiseRequests: []PromiseRequest{{
+		if _, err := m.Execute(bg, Request{Client: "seed", PromiseRequests: []PromiseRequest{{
 			Predicates: []Predicate{MustProperty("x >= 0")},
 		}}}); err != nil {
 			b.Fatal(err)
@@ -187,7 +187,7 @@ func BenchmarkManagerParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			s, pools := benchShardedPools(b, shards, 32)
 			for i := 0; i < outstanding; i++ {
-				resp, err := s.Execute(Request{Client: "holder", PromiseRequests: []PromiseRequest{{
+				resp, err := s.Execute(bg, Request{Client: "holder", PromiseRequests: []PromiseRequest{{
 					Predicates: []Predicate{Quantity(pools[i%len(pools)], 1)},
 				}}})
 				if err != nil || !resp.Promises[0].Accepted {
@@ -201,14 +201,14 @@ func BenchmarkManagerParallel(b *testing.B) {
 				pool := pools[int(id)%len(pools)]
 				client := fmt.Sprintf("c%d", id)
 				for pb.Next() {
-					resp, err := s.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
+					resp, err := s.Execute(bg, Request{Client: client, PromiseRequests: []PromiseRequest{{
 						Predicates: []Predicate{Quantity(pool, 1)},
 					}}})
 					if err != nil {
 						b.Error(err)
 						return
 					}
-					if _, err := s.Execute(Request{Client: client, Env: []EnvEntry{{PromiseID: resp.Promises[0].PromiseID, Release: true}}}); err != nil {
+					if _, err := s.Execute(bg, Request{Client: client, Env: []EnvEntry{{PromiseID: resp.Promises[0].PromiseID, Release: true}}}); err != nil {
 						b.Error(err)
 						return
 					}
@@ -229,7 +229,7 @@ func BenchmarkGrantBatch(b *testing.B) {
 	hold := func(b *testing.B, s *ShardedManager, pools []string) {
 		b.Helper()
 		for i := 0; i < outstanding; i++ {
-			resp, err := s.Execute(Request{Client: "holder", PromiseRequests: []PromiseRequest{{
+			resp, err := s.Execute(bg, Request{Client: "holder", PromiseRequests: []PromiseRequest{{
 				Predicates: []Predicate{Quantity(pools[i%len(pools)], 1)},
 			}}})
 			if err != nil || !resp.Promises[0].Accepted {
@@ -244,7 +244,7 @@ func BenchmarkGrantBatch(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			var env []EnvEntry
 			for k := 0; k < batch; k++ {
-				resp, err := s.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+				resp, err := s.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 					Predicates: []Predicate{Quantity(pools[k], 1)},
 				}}})
 				if err != nil {
@@ -252,7 +252,7 @@ func BenchmarkGrantBatch(b *testing.B) {
 				}
 				env = append(env, EnvEntry{PromiseID: resp.Promises[0].PromiseID, Release: true})
 			}
-			if _, err := s.Execute(Request{Client: "c", Env: env}); err != nil {
+			if _, err := s.Execute(bg, Request{Client: "c", Env: env}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -266,7 +266,7 @@ func BenchmarkGrantBatch(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			resps, err := s.GrantBatch("c", reqs)
+			resps, err := s.GrantBatch(bg, "c", reqs)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -274,7 +274,7 @@ func BenchmarkGrantBatch(b *testing.B) {
 			for _, pr := range resps {
 				env = append(env, EnvEntry{PromiseID: pr.PromiseID, Release: true})
 			}
-			if _, err := s.Execute(Request{Client: "c", Env: env}); err != nil {
+			if _, err := s.Execute(bg, Request{Client: "c", Env: env}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -61,9 +62,9 @@ type propSlot struct {
 // On rejection, counter carries the manager's best counter-offer (§6's
 // "accepted with the condition XX" direction): the largest quantities it
 // could promise for the pools that fell short.
-func (m *Manager) plan(tx *txn.Tx, st *execState, preds []Predicate, releases []*Promise, d time.Duration) (_ *grantPlan, reason string, counter []Predicate, _ error) {
+func (m *Manager) plan(ctx context.Context, tx *txn.Tx, st *execState, preds []Predicate, releases []*Promise, d time.Duration) (_ *grantPlan, reason string, counter []Predicate, _ error) {
 	planState := &execState{}
-	plan, reason, counter, err := m.planInner(tx, planState, preds, releases, d)
+	plan, reason, counter, err := m.planInner(ctx, tx, planState, preds, releases, d)
 	acquired := planState.undoUpstream
 	if plan == nil {
 		for i := len(acquired) - 1; i >= 0; i-- {
@@ -75,7 +76,7 @@ func (m *Manager) plan(tx *txn.Tx, st *execState, preds []Predicate, releases []
 	return plan, "", nil, nil
 }
 
-func (m *Manager) planInner(tx *txn.Tx, st *execState, preds []Predicate, releases []*Promise, d time.Duration) (*grantPlan, string, []Predicate, error) {
+func (m *Manager) planInner(ctx context.Context, tx *txn.Tx, st *execState, preds []Predicate, releases []*Promise, d time.Duration) (*grantPlan, string, []Predicate, error) {
 	excludedSlots := make(map[string]bool)
 	freedQty := make(map[string]int64) // pool -> quantity freed by releases
 	freedInst := make(map[string]bool) // instances freed by releases
@@ -170,11 +171,13 @@ func (m *Manager) planInner(tx *txn.Tx, st *execState, preds []Predicate, releas
 				return nil, fmt.Sprintf("pool %q: internal shortfall", p.Pool), nil, nil
 			}
 			sup := m.cfg.Suppliers[p.Pool]
-			upID, err := sup.RequestPromise(p.Pool, short, d)
+			upID, err := sup.RequestPromise(ctx, p.Pool, short, d)
 			if err != nil {
 				return nil, fmt.Sprintf("pool %q: upstream: %v", p.Pool, err), nil, nil
 			}
-			st.undoUpstream = append(st.undoUpstream, func() { _ = sup.ReleasePromise(upID) })
+			// Compensation runs even when the request's context has died —
+			// the upstream hold must never leak.
+			st.undoUpstream = append(st.undoUpstream, func() { _ = sup.ReleasePromise(context.Background(), upID) })
 			plan.slots[i].delegQty = short
 			plan.slots[i].delegID = upID
 		}

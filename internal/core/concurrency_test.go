@@ -23,7 +23,7 @@ func TestConcurrentAnonymousGrantsRespectCapacity(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			pr, err := m.Execute(requestQuantity("client", "seats", 1))
+			pr, err := m.Execute(bg, requestQuantity("client", "seats", 1))
 			if err != nil {
 				t.Errorf("client %d: %v", c, err)
 				return
@@ -50,7 +50,7 @@ func TestConcurrentNamedGrantsSingleWinner(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pr, err := m.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+			pr, err := m.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 				Predicates: []Predicate{Named("unique")},
 			}}})
 			if err != nil {
@@ -87,7 +87,7 @@ func TestConcurrentPropertyGrantsBoundedByRooms(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pr, err := m.Execute(propertyReq("c", "view = true"))
+			pr, err := m.Execute(bg, propertyReq("c", "view = true"))
 			if err != nil {
 				t.Error(err)
 				return
@@ -134,7 +134,7 @@ func TestConcurrentMixedGrantReleaseChurn(t *testing.T) {
 				case 2:
 					preds = []Predicate{MustProperty("x = 1")}
 				}
-				resp, err := m.Execute(Request{Client: "churn", PromiseRequests: []PromiseRequest{{Predicates: preds}}})
+				resp, err := m.Execute(bg, Request{Client: "churn", PromiseRequests: []PromiseRequest{{Predicates: preds}}})
 				if err != nil {
 					t.Error(err)
 					return
@@ -143,7 +143,7 @@ func TestConcurrentMixedGrantReleaseChurn(t *testing.T) {
 				if !p.Accepted {
 					continue
 				}
-				if _, err := m.Execute(Request{Client: "churn", Env: []EnvEntry{{PromiseID: p.PromiseID, Release: true}}}); err != nil {
+				if _, err := m.Execute(bg, Request{Client: "churn", Env: []EnvEntry{{PromiseID: p.PromiseID, Release: true}}}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -179,7 +179,7 @@ func TestConcurrentActionsAndGrants(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pr, err := m.Execute(requestQuantity("buyer", "stock", 2))
+			pr, err := m.Execute(bg, requestQuantity("buyer", "stock", 2))
 			if err != nil {
 				t.Error(err)
 				return
@@ -188,7 +188,7 @@ func TestConcurrentActionsAndGrants(t *testing.T) {
 			if !p.Accepted {
 				return
 			}
-			resp, err := m.Execute(Request{
+			resp, err := m.Execute(bg, Request{
 				Client: "buyer",
 				Env:    []EnvEntry{{PromiseID: p.PromiseID, Release: true}},
 				Action: func(ac *ActionContext) (any, error) {

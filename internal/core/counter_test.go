@@ -43,7 +43,7 @@ func TestCounterOfferMultiPool(t *testing.T) {
 		}
 		return rm.CreatePool(tx, "c", 0, nil)
 	})
-	resp, err := m.Execute(Request{Client: "x", PromiseRequests: []PromiseRequest{{
+	resp, err := m.Execute(bg, Request{Client: "x", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{Quantity("a", 10), Quantity("b", 10), Quantity("c", 10)},
 	}}})
 	if err != nil {

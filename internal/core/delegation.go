@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -19,21 +20,27 @@ import (
 // or code outside the scope of the service"). The manager therefore
 // compensates: an upstream promise obtained during a request that later
 // aborts is released again, and upstream releases triggered by a local
-// release run only after the local transaction commits.
+// release run only after the local transaction commits. Compensation and
+// post-commit releases run under context.Background() — a dead client must
+// not strand upstream state.
+//
+// The request context flows through: cancelling the downstream request
+// cancels the upstream call it is waiting on.
 type Supplier interface {
 	// RequestPromise asks for qty units of pool for the given duration,
 	// returning the upstream promise id on success.
-	RequestPromise(pool string, qty int64, d time.Duration) (id string, err error)
+	RequestPromise(ctx context.Context, pool string, qty int64, d time.Duration) (id string, err error)
 	// ReleasePromise hands an upstream promise back.
-	ReleasePromise(id string) error
+	ReleasePromise(ctx context.Context, id string) error
 	// ConsumePromise fulfils qty units under the upstream promise and
 	// releases it (the backorder ships).
-	ConsumePromise(id string, qty int64) error
+	ConsumePromise(ctx context.Context, id string, qty int64) error
 }
 
 // ManagerSupplier adapts a local Manager into a Supplier, letting tests and
 // examples build merchant→distributor chains in-process; the transport
-// package provides the cross-process equivalent.
+// package provides the cross-process equivalent (RemoteSupplier), and the
+// two are interchangeable because both front a promises-style Engine.
 type ManagerSupplier struct {
 	// M is the upstream manager.
 	M *Manager
@@ -42,8 +49,8 @@ type ManagerSupplier struct {
 }
 
 // RequestPromise implements Supplier.
-func (s *ManagerSupplier) RequestPromise(pool string, qty int64, d time.Duration) (string, error) {
-	resp, err := s.M.Execute(Request{
+func (s *ManagerSupplier) RequestPromise(ctx context.Context, pool string, qty int64, d time.Duration) (string, error) {
+	resp, err := s.M.Execute(ctx, Request{
 		Client: s.Client,
 		PromiseRequests: []PromiseRequest{{
 			Predicates: []Predicate{Quantity(pool, qty)},
@@ -61,8 +68,8 @@ func (s *ManagerSupplier) RequestPromise(pool string, qty int64, d time.Duration
 }
 
 // ReleasePromise implements Supplier.
-func (s *ManagerSupplier) ReleasePromise(id string) error {
-	_, err := s.M.Execute(Request{
+func (s *ManagerSupplier) ReleasePromise(ctx context.Context, id string) error {
+	_, err := s.M.Execute(ctx, Request{
 		Client: s.Client,
 		Env:    []EnvEntry{{PromiseID: id, Release: true}},
 	})
@@ -72,9 +79,9 @@ func (s *ManagerSupplier) ReleasePromise(id string) error {
 // ConsumePromise implements Supplier: the upstream application action ships
 // qty units (drawing down the pool) and the protecting promise is released
 // atomically with it (§4, second requirement).
-func (s *ManagerSupplier) ConsumePromise(id string, qty int64) error {
+func (s *ManagerSupplier) ConsumePromise(ctx context.Context, id string, qty int64) error {
 	m := s.M
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(ctx, Request{
 		Client: s.Client,
 		Env:    []EnvEntry{{PromiseID: id, Release: true}},
 		Action: func(ac *ActionContext) (any, error) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -88,7 +89,7 @@ func TestDelegationReleasePropagatesUpstream(t *testing.T) {
 	pr := grantOne(t, merchant, requestQuantity("customer", "widgets", 8))
 	info, _ := merchant.PromiseInfo(pr.PromiseID)
 	upID := info.DelegatedID[0]
-	if _, err := merchant.Execute(Request{
+	if _, err := merchant.Execute(bg, Request{
 		Client: "customer",
 		Env:    []EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 	}); err != nil {
@@ -145,11 +146,11 @@ func TestManagerSupplierConsume(t *testing.T) {
 		return distributor.Resources().CreatePool(tx, "w", 10, nil)
 	})
 	sup := &ManagerSupplier{M: distributor, Client: "m"}
-	id, err := sup.RequestPromise("w", 4, time.Minute)
+	id, err := sup.RequestPromise(bg, "w", 4, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sup.ConsumePromise(id, 4); err != nil {
+	if err := sup.ConsumePromise(bg, id, 4); err != nil {
 		t.Fatal(err)
 	}
 	tx := distributor.Store().Begin(txn.Block)
@@ -158,7 +159,7 @@ func TestManagerSupplierConsume(t *testing.T) {
 	if p.OnHand != 6 {
 		t.Fatalf("distributor on hand = %d, want 6", p.OnHand)
 	}
-	if err := sup.ReleasePromise(id); err == nil {
+	if err := sup.ReleasePromise(bg, id); err == nil {
 		// Releasing a released promise reports the state error in
 		// Response.ActionErr, not as a transport error; both are fine as
 		// long as state is consistent.
@@ -177,15 +178,15 @@ type flakySupplier struct {
 	nextID   atomic.Int64
 }
 
-func (f *flakySupplier) RequestPromise(pool string, qty int64, d time.Duration) (string, error) {
+func (f *flakySupplier) RequestPromise(_ context.Context, pool string, qty int64, d time.Duration) (string, error) {
 	f.requests.Add(1)
 	if f.fail.Load() {
 		return "", errors.New("upstream down")
 	}
 	return "up-" + string(rune('0'+f.nextID.Add(1))), nil
 }
-func (f *flakySupplier) ReleasePromise(id string) error          { f.releases.Add(1); return nil }
-func (f *flakySupplier) ConsumePromise(id string, q int64) error { return nil }
+func (f *flakySupplier) ReleasePromise(context.Context, string) error        { f.releases.Add(1); return nil }
+func (f *flakySupplier) ConsumePromise(context.Context, string, int64) error { return nil }
 
 func TestDelegationSupplierErrorRejects(t *testing.T) {
 	sup := &flakySupplier{}
@@ -212,7 +213,7 @@ func TestDelegationMultiPredicateCompensation(t *testing.T) {
 	seed(t, m, func(tx *txn.Tx) error {
 		return m.Resources().CreatePool(tx, "w", 2, nil)
 	})
-	resp, err := m.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+	resp, err := m.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{
 			Quantity("w", 5),        // needs delegation for 3
 			Named("ghost-instance"), // fails: no such instance

@@ -13,7 +13,7 @@ import (
 
 func TestEmptyRequestIsNoOp(t *testing.T) {
 	m, _ := newManager(t, Config{})
-	resp, err := m.Execute(Request{Client: "c"})
+	resp, err := m.Execute(bg, Request{Client: "c"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestDelegatedPromiseViolationRollsBack(t *testing.T) {
 	if !pr.Accepted {
 		t.Fatal(pr.Reason)
 	}
-	resp, err := merchant.Execute(Request{
+	resp, err := merchant.Execute(bg, Request{
 		Client: "rogue",
 		Action: func(ac *ActionContext) (any, error) {
 			_, err := ac.Resources.AdjustPool(ac.Tx, "w", -2)
@@ -139,7 +139,7 @@ func TestPropertyPromiseOverStatusBuiltin(t *testing.T) {
 
 func TestActionResultTypesPreserved(t *testing.T) {
 	m, _ := newManager(t, Config{})
-	resp, err := m.Execute(Request{Client: "c", Action: func(ac *ActionContext) (any, error) {
+	resp, err := m.Execute(bg, Request{Client: "c", Action: func(ac *ActionContext) (any, error) {
 		return map[string]int{"a": 1}, nil
 	}})
 	if err != nil {
@@ -157,10 +157,10 @@ func TestReleaseIdempotenceViaState(t *testing.T) {
 		return m.Resources().CreatePool(tx, "p", 10, nil)
 	})
 	pr := grantOne(t, m, requestQuantity("c", "p", 5))
-	if _, err := m.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
+	if _, err := m.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := m.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}})
+	resp, err := m.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestInstanceDeletedUnderPromise(t *testing.T) {
 	pr := grantOne(t, m, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{Named("vase")},
 	}}})
-	resp, err := m.Execute(Request{Client: "clumsy", Action: func(ac *ActionContext) (any, error) {
+	resp, err := m.Execute(bg, Request{Client: "clumsy", Action: func(ac *ActionContext) (any, error) {
 		return nil, ac.Tx.Delete(resource.TableInstances, "vase")
 	}})
 	if err != nil {
@@ -245,7 +245,7 @@ func TestManyPredicatesOnePromise(t *testing.T) {
 	if len(info.Predicates) != 20 || len(info.Assigned) != 20 {
 		t.Fatalf("sizes: %d %d", len(info.Predicates), len(info.Assigned))
 	}
-	if _, err := m.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
+	if _, err := m.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := m.Audit()
@@ -264,7 +264,7 @@ func TestActionDeadlockIsRetriedNotReported(t *testing.T) {
 	// ActionErr to the client.
 	m, _ := newManager(t, Config{})
 	attempts := 0
-	resp, err := m.Execute(Request{Client: "c", Action: func(ac *ActionContext) (any, error) {
+	resp, err := m.Execute(bg, Request{Client: "c", Action: func(ac *ActionContext) (any, error) {
 		attempts++
 		if attempts < 3 {
 			return nil, fmt.Errorf("row lock: %w", txn.ErrDeadlock)
@@ -297,7 +297,7 @@ func TestTerminalPromisesLeaveScannedTable(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		pr := grantOne(t, m, requestQuantity("c", "p", 1))
 		if i%2 == 0 {
-			if _, err := m.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
+			if _, err := m.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 				t.Fatal(err)
 			}
 			lastReleased = pr.PromiseID

@@ -179,8 +179,8 @@ func (w *eqWorld) grant() {
 		reqS = append(reqS, PromiseRequest{Predicates: preds, Releases: relS, Duration: dur})
 		reqH = append(reqH, PromiseRequest{Predicates: preds, Releases: relH, Duration: dur})
 	}
-	respS, errS := w.single.Execute(Request{Client: client, PromiseRequests: reqS})
-	respH, errH := w.sharded.Execute(Request{Client: client, PromiseRequests: reqH})
+	respS, errS := w.single.Execute(bg, Request{Client: client, PromiseRequests: reqS})
+	respH, errH := w.sharded.Execute(bg, Request{Client: client, PromiseRequests: reqH})
 	if errS != nil || errH != nil {
 		t.Fatalf("execute errors diverge or are internal: single=%v sharded=%v", errS, errH)
 	}
@@ -204,8 +204,8 @@ func (w *eqWorld) release() {
 		return
 	}
 	pick := w.pairs[w.rng.Intn(len(w.pairs))]
-	respS, errS := w.single.Execute(Request{Client: pick.client, Env: []EnvEntry{{PromiseID: pick.singleID, Release: true}}})
-	respH, errH := w.sharded.Execute(Request{Client: pick.client, Env: []EnvEntry{{PromiseID: pick.shardID, Release: true}}})
+	respS, errS := w.single.Execute(bg, Request{Client: pick.client, Env: []EnvEntry{{PromiseID: pick.singleID, Release: true}}})
+	respH, errH := w.sharded.Execute(bg, Request{Client: pick.client, Env: []EnvEntry{{PromiseID: pick.shardID, Release: true}}})
 	if errS != nil || errH != nil {
 		t.Fatalf("release errors: single=%v sharded=%v", errS, errH)
 	}
@@ -229,8 +229,8 @@ func (w *eqWorld) batch() {
 			Predicates: []Predicate{Quantity(w.pools[perm[k]], int64(1+w.rng.Intn(3)))},
 		})
 	}
-	respS, errS := w.single.GrantBatch(client, reqs)
-	respH, errH := w.sharded.GrantBatch(client, reqs)
+	respS, errS := w.single.GrantBatch(bg, client, reqs)
+	respH, errH := w.sharded.GrantBatch(bg, client, reqs)
 	if errS != nil || errH != nil {
 		t.Fatalf("batch errors: single=%v sharded=%v", errS, errH)
 	}
@@ -272,8 +272,8 @@ func (w *eqWorld) verify() {
 			sIDs[k] = w.pairs[i].singleID
 			hIDs[k] = w.pairs[i].shardID
 		}
-		errsS := w.single.CheckBatch(client, sIDs)
-		errsH := w.sharded.CheckBatch(client, hIDs)
+		errsS := checkB(t, w.single, client, sIDs)
+		errsH := checkB(t, w.sharded, client, hIDs)
 		for k := range idxs {
 			cs, ch := sentinelClass(errsS[k]), sentinelClass(errsH[k])
 			if cs != ch {
@@ -373,10 +373,10 @@ func TestShardedEquivalenceUpgradeHeavy(t *testing.T) {
 				if prev := cur[client]; prev != nil {
 					relS, relH = []string{prev.singleID}, []string{prev.shardID}
 				}
-				respS, errS := w.single.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{
+				respS, errS := w.single.Execute(bg, Request{Client: client, PromiseRequests: []PromiseRequest{
 					{Predicates: preds, Releases: relS},
 				}})
-				respH, errH := w.sharded.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{
+				respH, errH := w.sharded.Execute(bg, Request{Client: client, PromiseRequests: []PromiseRequest{
 					{Predicates: preds, Releases: relH},
 				}})
 				if errS != nil || errH != nil {

@@ -20,7 +20,7 @@ func TestExpiredPromiseUseReturnsPromiseExpired(t *testing.T) {
 	pr := grantOne(t, m, requestQuantity("c", "p", 5))
 	fake.Advance(2 * time.Minute)
 	ran := false
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(bg, Request{
 		Client: "c",
 		Env:    []EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		Action: func(ac *ActionContext) (any, error) { ran = true; return nil, nil },
@@ -118,7 +118,7 @@ func TestExpiredPromiseNotCountedInChecks(t *testing.T) {
 	})
 	_ = grantOne(t, m, requestQuantity("a", "p", 8))
 	fake.Advance(2 * time.Minute)
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(bg, Request{
 		Client: "b",
 		Action: func(ac *ActionContext) (any, error) {
 			_, err := ac.Resources.AdjustPool(ac.Tx, "p", -9)

@@ -1,14 +1,17 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/escrow"
 	"repro/internal/ids"
+	"repro/internal/predicate"
 	"repro/internal/resource"
 	"repro/internal/softlock"
 	"repro/internal/txn"
@@ -54,6 +57,11 @@ type Config struct {
 	// Suppliers maps pool ids to upstream promise makers for delegation
 	// (§5). Optional.
 	Suppliers map[string]Supplier
+	// Actions resolves Request.ActionName to a runnable action, so
+	// applications written against the unified Engine surface can invoke
+	// named service operations on a local manager exactly as they would
+	// over the wire. Optional; service.Registry implements it.
+	Actions ActionResolver
 	// MaxRetries bounds internal deadlock retries per request. Zero means
 	// 32.
 	MaxRetries int
@@ -156,14 +164,25 @@ type execState struct {
 // options atomically with action success, and performs the post-action
 // promise check — all inside a single ACID transaction, exactly as §8
 // prescribes. Deadlocks between concurrent requests are retried internally.
-func (m *Manager) Execute(req Request) (*Response, error) {
+//
+// The context bounds the whole call: cancellation is honoured before each
+// attempt (a dead client never starts a transaction) and propagates to
+// upstream supplier calls made while planning. Work already committed is
+// never undone by a late cancellation.
+func (m *Manager) Execute(ctx context.Context, req Request) (*Response, error) {
 	if req.Client == "" {
 		return nil, fmt.Errorf("%w: missing client", ErrBadRequest)
+	}
+	if err := m.resolveAction(&req); err != nil {
+		return nil, err
 	}
 	start := m.clk.Now()
 	var lastErr error
 	for attempt := 0; attempt < m.cfg.MaxRetries; attempt++ {
-		resp, err := m.executeOnce(req)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := m.executeOnce(ctx, req)
 		if err == nil {
 			m.observeExecute(start, resp)
 			switch {
@@ -191,7 +210,28 @@ func (m *Manager) Execute(req Request) (*Response, error) {
 	return nil, fmt.Errorf("core: request kept deadlocking after %d attempts: %w", m.cfg.MaxRetries, lastErr)
 }
 
-func (m *Manager) executeOnce(req Request) (_ *Response, err error) {
+// resolveAction materialises req.ActionName through the configured resolver
+// into req.Action, so the rest of the pipeline sees one action shape.
+func (m *Manager) resolveAction(req *Request) error {
+	if req.ActionName == "" {
+		return nil
+	}
+	if req.Action != nil {
+		return fmt.Errorf("%w: both Action and ActionName set", ErrBadRequest)
+	}
+	if m.cfg.Actions == nil {
+		return fmt.Errorf("%w: no action resolver configured for action %q", ErrBadRequest, req.ActionName)
+	}
+	named, err := m.cfg.Actions.ResolveAction(req.ActionName)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	params := req.ActionParams
+	req.Action = func(ac *ActionContext) (any, error) { return named(params, ac) }
+	return nil
+}
+
+func (m *Manager) executeOnce(ctx context.Context, req Request) (_ *Response, err error) {
 	tx := m.store.Begin(txn.Block)
 	st := &execState{}
 	committed := false
@@ -214,7 +254,7 @@ func (m *Manager) executeOnce(req Request) (_ *Response, err error) {
 
 	resp := &Response{}
 	for _, pr := range req.PromiseRequests {
-		presp, err := m.processPromiseRequest(tx, st, req.Client, pr)
+		presp, err := m.processPromiseRequest(ctx, tx, st, req.Client, pr)
 		if err != nil {
 			return nil, err
 		}
@@ -305,7 +345,7 @@ func runAction(a Action, tx *txn.Tx, rm *resource.Manager) (result any, err erro
 // processPromiseRequest evaluates one atomic <promise-request>. It returns
 // the response to send; err is reserved for internal failures that must
 // abort the whole message.
-func (m *Manager) processPromiseRequest(tx *txn.Tx, st *execState, client string, pr PromiseRequest) (PromiseResponse, error) {
+func (m *Manager) processPromiseRequest(ctx context.Context, tx *txn.Tx, st *execState, client string, pr PromiseRequest) (PromiseResponse, error) {
 	reject := func(format string, args ...any) PromiseResponse {
 		return PromiseResponse{Correlation: pr.RequestID, Reason: fmt.Sprintf(format, args...)}
 	}
@@ -329,7 +369,7 @@ func (m *Manager) processPromiseRequest(tx *txn.Tx, st *execState, client string
 	}
 
 	duration := m.clampDuration(pr.Duration)
-	plan, reason, counter, err := m.plan(tx, st, pr.Predicates, releases, duration)
+	plan, reason, counter, err := m.plan(ctx, tx, st, pr.Predicates, releases, duration)
 	if err != nil {
 		return PromiseResponse{}, err
 	}
@@ -468,7 +508,9 @@ func (m *Manager) releasePromise(tx *txn.Tx, st *execState, p *Promise, terminal
 				sup := m.cfg.Suppliers[pred.Pool]
 				if sup != nil {
 					id := p.DelegatedID[i]
-					st.postCommit = append(st.postCommit, func() { _ = sup.ReleasePromise(id) })
+					// Post-commit compensation must outlive the request's
+					// context: the local release is already durable.
+					st.postCommit = append(st.postCommit, func() { _ = sup.ReleasePromise(context.Background(), id) })
 				}
 			}
 		case NamedView, PropertyView:
@@ -591,4 +633,79 @@ func (m *Manager) activePromises(tx *txn.Tx) ([]Promise, error) {
 		return true
 	})
 	return out, err
+}
+
+// Release hands back the named promises atomically: either every id is
+// usable by client and all are released, or none are and the failure is
+// returned — the pure-release message of §6 as a method.
+func (m *Manager) Release(ctx context.Context, client string, ids ...string) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	env := make([]EnvEntry, len(ids))
+	for i, id := range ids {
+		env[i] = EnvEntry{PromiseID: id, Release: true}
+	}
+	resp, err := m.Execute(ctx, Request{Client: client, Env: env})
+	if err != nil {
+		return err
+	}
+	return resp.ActionErr
+}
+
+// CreatePool registers a pool, in a transaction of its own — the seeding
+// convenience mirrored on ShardedManager so setup code is engine-agnostic.
+func (m *Manager) CreatePool(id string, onHand int64, props map[string]predicate.Value) error {
+	tx := m.store.Begin(txn.Block)
+	if err := m.rm.CreatePool(tx, id, onHand, props); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// CreateInstance registers a named instance, in a transaction of its own.
+func (m *Manager) CreateInstance(id string, props map[string]predicate.Value) error {
+	tx := m.store.Begin(txn.Block)
+	if err := m.rm.CreateInstance(tx, id, props); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// PoolLevel returns the quantity on hand of one pool, for tools and tests.
+func (m *Manager) PoolLevel(pool string) (int64, error) {
+	tx := m.store.Begin(txn.Block)
+	defer tx.Commit()
+	p, err := m.rm.Pool(tx, pool)
+	if err != nil {
+		return 0, err
+	}
+	return p.OnHand, nil
+}
+
+// LoadSeed reads a resource seed file and creates its pools and instances
+// in one transaction.
+func (m *Manager) LoadSeed(r io.Reader) (pools, instances int, err error) {
+	ps, ins, err := resource.ParseSeed(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	tx := m.store.Begin(txn.Block)
+	for _, p := range ps {
+		if err := m.rm.CreatePool(tx, p.ID, p.OnHand, p.Props); err != nil {
+			_ = tx.Abort()
+			return 0, 0, err
+		}
+		pools++
+	}
+	for _, in := range ins {
+		if err := m.rm.CreateInstance(tx, in.ID, in.Props); err != nil {
+			_ = tx.Abort()
+			return 0, 0, err
+		}
+		instances++
+	}
+	return pools, instances, tx.Commit()
 }

@@ -51,7 +51,7 @@ func requestQuantity(client, pool string, qty int64) Request {
 
 func grantOne(t *testing.T, m *Manager, req Request) PromiseResponse {
 	t.Helper()
-	resp, err := m.Execute(req)
+	resp, err := m.Execute(bg, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestFigure1AcceptPath(t *testing.T) {
 	// "Send 'purchase stock' request to promise manager and release
 	// promise to keep stock level >= 5": the purchase and release form an
 	// atomic unit.
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(bg, Request{
 		Client: "order-process",
 		Env:    []EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		Action: func(ac *ActionContext) (any, error) {
@@ -153,17 +153,17 @@ func TestFigure1RejectPath(t *testing.T) {
 
 func TestExecuteValidation(t *testing.T) {
 	m, _ := newManager(t, Config{})
-	if _, err := m.Execute(Request{}); !errors.Is(err, ErrBadRequest) {
+	if _, err := m.Execute(bg, Request{}); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("missing client: %v", err)
 	}
-	resp, err := m.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{}}})
+	resp, err := m.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{}}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Promises[0].Accepted {
 		t.Fatal("empty predicate list accepted")
 	}
-	resp, err = m.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+	resp, err = m.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{Quantity("", 5)},
 	}}})
 	if err != nil {
@@ -172,7 +172,7 @@ func TestExecuteValidation(t *testing.T) {
 	if resp.Promises[0].Accepted {
 		t.Fatal("invalid predicate accepted")
 	}
-	resp, err = m.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+	resp, err = m.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{Quantity("p", -2)},
 	}}})
 	if err != nil {
@@ -212,7 +212,7 @@ func TestNamedPromiseSingleHolder(t *testing.T) {
 		t.Fatal("named instance promised twice")
 	}
 	// After alice releases, bob can have it.
-	if _, err := m.Execute(Request{Client: "alice", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
+	if _, err := m.Execute(bg, Request{Client: "alice", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
 	pr3 := grantOne(t, m, req("bob"))
@@ -226,7 +226,7 @@ func TestNamedDuplicateInOneRequest(t *testing.T) {
 	seed(t, m, func(tx *txn.Tx) error {
 		return m.Resources().CreateInstance(tx, "i", nil)
 	})
-	resp, err := m.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+	resp, err := m.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{Named("i"), Named("i")},
 	}}})
 	if err != nil {
@@ -239,7 +239,7 @@ func TestNamedDuplicateInOneRequest(t *testing.T) {
 
 func TestNamedMissingInstance(t *testing.T) {
 	m, _ := newManager(t, Config{})
-	resp, err := m.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+	resp, err := m.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{Named("ghost")},
 	}}})
 	if err != nil {
@@ -302,7 +302,7 @@ func TestArtGalleryActionReleaseAtomicity(t *testing.T) {
 
 	// First attempt: "no shipper is available that day" — the purchase
 	// fails, so the promise must remain in force.
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(bg, Request{
 		Client: "buyer",
 		Env:    []EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		Action: func(ac *ActionContext) (any, error) {
@@ -335,7 +335,7 @@ func TestArtGalleryActionReleaseAtomicity(t *testing.T) {
 	_ = tx.Commit()
 
 	// Second attempt succeeds: purchase and release commit together.
-	resp, err = m.Execute(Request{
+	resp, err = m.Execute(bg, Request{
 		Client: "buyer",
 		Env:    []EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		Action: func(ac *ActionContext) (any, error) {
@@ -477,7 +477,7 @@ func TestActionViolatingPromiseRolledBack(t *testing.T) {
 	}
 	// An unrelated client's action drains the pool below the promised
 	// level without holding any promise.
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(bg, Request{
 		Client: "rogue",
 		Action: func(ac *ActionContext) (any, error) {
 			_, err := ac.Resources.AdjustPool(ac.Tx, "stock", -5)
@@ -507,7 +507,7 @@ func TestActionWithinPromiseBoundsSucceeds(t *testing.T) {
 	pr := grantOne(t, m, requestQuantity("holder", "stock", 8))
 	_ = pr
 	// Draining 2 leaves 8 >= promised 8: allowed.
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(bg, Request{
 		Client: "walkin",
 		Action: func(ac *ActionContext) (any, error) {
 			_, err := ac.Resources.AdjustPool(ac.Tx, "stock", -2)
@@ -530,7 +530,7 @@ func TestDisablePostCheckAblation(t *testing.T) {
 		return m.Resources().CreatePool(tx, "stock", 10, nil)
 	})
 	_ = grantOne(t, m, requestQuantity("holder", "stock", 8))
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(bg, Request{
 		Client: "rogue",
 		Action: func(ac *ActionContext) (any, error) {
 			_, err := ac.Resources.AdjustPool(ac.Tx, "stock", -5)
@@ -556,7 +556,7 @@ func TestActionPanicRecovered(t *testing.T) {
 	seed(t, m, func(tx *txn.Tx) error {
 		return m.Resources().CreatePool(tx, "p", 5, nil)
 	})
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(bg, Request{
 		Client: "c",
 		Action: func(ac *ActionContext) (any, error) {
 			_, _ = ac.Resources.AdjustPool(ac.Tx, "p", -1)
@@ -590,7 +590,7 @@ func TestEnvErrors(t *testing.T) {
 	noteAction := func(ac *ActionContext) (any, error) { ran = true; return nil, nil }
 
 	// Unknown promise.
-	resp, err := m.Execute(Request{Client: "owner", Env: []EnvEntry{{PromiseID: "prm-404"}}, Action: noteAction})
+	resp, err := m.Execute(bg, Request{Client: "owner", Env: []EnvEntry{{PromiseID: "prm-404"}}, Action: noteAction})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -598,15 +598,15 @@ func TestEnvErrors(t *testing.T) {
 		t.Fatalf("unknown env promise: err=%v ran=%v", resp.ActionErr, ran)
 	}
 	// Wrong client.
-	resp, _ = m.Execute(Request{Client: "stranger", Env: []EnvEntry{{PromiseID: pr.PromiseID}}, Action: noteAction})
+	resp, _ = m.Execute(bg, Request{Client: "stranger", Env: []EnvEntry{{PromiseID: pr.PromiseID}}, Action: noteAction})
 	if !errors.Is(resp.ActionErr, ErrPromiseNotFound) || ran {
 		t.Fatalf("foreign env promise: err=%v ran=%v", resp.ActionErr, ran)
 	}
 	// Released promise.
-	if _, err := m.Execute(Request{Client: "owner", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
+	if _, err := m.Execute(bg, Request{Client: "owner", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
-	resp, _ = m.Execute(Request{Client: "owner", Env: []EnvEntry{{PromiseID: pr.PromiseID}}, Action: noteAction})
+	resp, _ = m.Execute(bg, Request{Client: "owner", Env: []EnvEntry{{PromiseID: pr.PromiseID}}, Action: noteAction})
 	if !errors.Is(resp.ActionErr, ErrPromiseReleased) || ran {
 		t.Fatalf("released env promise: err=%v ran=%v", resp.ActionErr, ran)
 	}
@@ -614,7 +614,7 @@ func TestEnvErrors(t *testing.T) {
 
 func TestPureReleaseMessageWithBadEnv(t *testing.T) {
 	m, _ := newManager(t, Config{})
-	resp, err := m.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: "prm-404", Release: true}}})
+	resp, err := m.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: "prm-404", Release: true}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -662,7 +662,7 @@ func TestGrantedHelperAndMultipleRequests(t *testing.T) {
 	seed(t, m, func(tx *txn.Tx) error {
 		return m.Resources().CreatePool(tx, "p", 5, nil)
 	})
-	resp, err := m.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{
+	resp, err := m.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{
 		{RequestID: "a", Predicates: []Predicate{Quantity("p", 3)}},
 		{RequestID: "b", Predicates: []Predicate{Quantity("p", 3)}}, // fails: only 2 left
 		{RequestID: "c", Predicates: []Predicate{Quantity("p", 2)}},

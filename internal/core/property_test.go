@@ -158,7 +158,7 @@ func TestPropertyPromiseReleaseFreesInstance(t *testing.T) {
 	if c.Accepted {
 		t.Fatal("no third room")
 	}
-	if _, err := m.Execute(Request{Client: "a", Env: []EnvEntry{{PromiseID: a.PromiseID, Release: true}}}); err != nil {
+	if _, err := m.Execute(bg, Request{Client: "a", Env: []EnvEntry{{PromiseID: a.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
 	c2 := grantOne(t, m, propertyReq("c", "view = true"))
@@ -176,7 +176,7 @@ func TestPostActionRepairAfterPropertyChange(t *testing.T) {
 	pr := grantOne(t, m, propertyReq("cust", "view = true"))
 	info, _ := m.PromiseInfo(pr.PromiseID)
 	assigned := info.Assigned[0]
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(bg, Request{
 		Client: "maintenance",
 		Action: func(ac *ActionContext) (any, error) {
 			in, err := ac.Resources.Instance(ac.Tx, assigned)
@@ -209,7 +209,7 @@ func TestPostActionRepairImpossibleRollsBack(t *testing.T) {
 	}
 	// Both rooms are promised; removing the view from one breaks a promise
 	// with no repair possible.
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(bg, Request{
 		Client: "maintenance",
 		Action: func(ac *ActionContext) (any, error) {
 			in, err := ac.Resources.Instance(ac.Tx, "room-512")
@@ -243,7 +243,7 @@ func TestPropertyTakenUnderPromiseWithAtomicRelease(t *testing.T) {
 	pr := grantOne(t, m, propertyReq("cust", "floor = 5"))
 	info, _ := m.PromiseInfo(pr.PromiseID)
 	room := info.Assigned[0]
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(bg, Request{
 		Client: "cust",
 		Env:    []EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		Action: func(ac *ActionContext) (any, error) {

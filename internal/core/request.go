@@ -60,6 +60,18 @@ type ActionContext struct {
 // action succeeds and no promises are violated.
 type Action func(ac *ActionContext) (any, error)
 
+// NamedAction is a registered service operation taking string parameters —
+// the shape of a §6 <action> element. service.Registry handlers have
+// exactly this signature.
+type NamedAction func(params map[string]string, ac *ActionContext) (string, error)
+
+// ActionResolver maps action names to runnable operations, letting a local
+// engine serve Request.ActionName exactly as a remote daemon resolves a
+// wire <action> element. service.Registry implements it.
+type ActionResolver interface {
+	ResolveAction(name string) (NamedAction, error)
+}
+
 // Request is one client message to the promise manager, carrying any mix
 // of promise requests, an environment, and an application action — §6:
 // "each message may contain any subset of the different elements relating
@@ -71,8 +83,17 @@ type Request struct {
 	PromiseRequests []PromiseRequest
 	// Env lists the promises protecting Action, with release options.
 	Env []EnvEntry
-	// Action is the optional application request in the message body.
+	// Action is the optional application request in the message body. It
+	// cannot cross the wire; remote engines reject requests carrying it.
 	Action Action
+	// ActionName optionally names a registered service operation instead of
+	// Action — the wire-representable form, resolved by the engine
+	// (Config.Actions locally, the server's registry remotely), so one call
+	// site works against local and remote engines alike. Setting both
+	// ActionName and Action is an error.
+	ActionName string
+	// ActionParams are ActionName's parameters.
+	ActionParams map[string]string
 	// Resources optionally names the pools and instances Action touches.
 	// The single-store Manager ignores it; the ShardedManager uses it to
 	// route the action to the shard owning those resources (an action only

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -116,7 +117,7 @@ type Reservation struct {
 //   - a rejection response (the transaction was rolled back; release
 //     targets remain in force, §4),
 //   - an internal error (also rolled back).
-func (m *Manager) Reserve(client string, rr ReserveRequest) (*Reservation, *PromiseResponse, error) {
+func (m *Manager) Reserve(ctx context.Context, client string, rr ReserveRequest) (*Reservation, *PromiseResponse, error) {
 	tx := m.store.Begin(txn.Block)
 	st := &execState{}
 	start := m.clk.Now()
@@ -164,7 +165,7 @@ func (m *Manager) Reserve(client string, rr ReserveRequest) (*Reservation, *Prom
 	if len(rr.Predicates) > 0 {
 		duration := m.clampDuration(rr.Duration)
 		// Releases were already applied above, so plan with none pending.
-		plan, reason, counter, err := m.plan(tx, st, rr.Predicates, nil, duration)
+		plan, reason, counter, err := m.plan(ctx, tx, st, rr.Predicates, nil, duration)
 		if err != nil {
 			return fail(err)
 		}

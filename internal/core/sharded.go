@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -130,13 +131,14 @@ type ShardedConfig struct {
 	// Clock drives promise expiry on every shard. Nil uses the system clock.
 	Clock clock.Clock
 	// DefaultDuration, MaxDuration, PropertyMode, DisablePostCheck,
-	// Suppliers and MaxRetries apply to each shard as in Config.
+	// Suppliers, MaxRetries and Actions apply to each shard as in Config.
 	DefaultDuration  time.Duration
 	MaxDuration      time.Duration
 	PropertyMode     PropertyMode
 	DisablePostCheck bool
 	Suppliers        map[string]Supplier
 	MaxRetries       int
+	Actions          ActionResolver
 }
 
 // NewSharded creates a ShardedManager with cfg.Shards independent shards.
@@ -165,6 +167,7 @@ func NewSharded(cfg ShardedConfig) (*ShardedManager, error) {
 			DisablePostCheck: cfg.DisablePostCheck,
 			Suppliers:        cfg.Suppliers,
 			MaxRetries:       cfg.MaxRetries,
+			Actions:          cfg.Actions,
 			IDPrefix:         fmt.Sprintf("%s%d", shardIDPrefix, i),
 		})
 		if err != nil {
@@ -416,9 +419,25 @@ func (s *ShardedManager) promiseRequestNeedsGlobal(pr PromiseRequest) (bool, err
 // The loop converges because the lock set only grows. A second check under
 // the locks escalates to the full set when a named predicate needs the
 // global matcher (needsGlobal above).
-func (s *ShardedManager) Execute(req Request) (*Response, error) {
+//
+// Cancellation is honoured before any lock is taken and, for cross-shard
+// requests, between per-shard reservations (see grantCross) — a dead client
+// aborts the whole pipeline before anything is confirmed, leaking no state.
+func (s *ShardedManager) Execute(ctx context.Context, req Request) (*Response, error) {
 	if req.Client == "" {
 		return nil, fmt.Errorf("%w: missing client", ErrBadRequest)
+	}
+	// A named action's resource params route it to its owning shard, the
+	// same normalisation the transport server applies for wire actions.
+	if req.ActionName != "" && len(req.Resources) == 0 {
+		for _, key := range []string{"pool", "instance"} {
+			if r := req.ActionParams[key]; r != "" {
+				req.Resources = append(req.Resources, r)
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	involved, _, _ := s.route(req)
 	for {
@@ -433,9 +452,9 @@ func (s *ShardedManager) Execute(req Request) (*Response, error) {
 			if !esc || len(involved) == len(s.shards) {
 				defer unlock()
 				if simple && !esc {
-					return s.shards[primary].m.Execute(req)
+					return s.shards[primary].m.Execute(ctx, req)
 				}
-				return s.executeCross(req, primary)
+				return s.executeCross(ctx, req, primary)
 			}
 			again = s.allShards()
 		}
@@ -448,10 +467,10 @@ func (s *ShardedManager) Execute(req Request) (*Response, error) {
 
 // executeCross runs a cross-shard request. Caller holds the locks of every
 // shard the request can touch.
-func (s *ShardedManager) executeCross(req Request, primary int) (*Response, error) {
+func (s *ShardedManager) executeCross(ctx context.Context, req Request, primary int) (*Response, error) {
 	resp := &Response{}
 	for _, pr := range req.PromiseRequests {
-		presp, err := s.grantCross(req.Client, pr)
+		presp, err := s.grantCross(ctx, req.Client, pr)
 		if err != nil {
 			// Restore the single-store all-or-nothing contract for the
 			// message: grants already committed for earlier promise
@@ -469,7 +488,9 @@ func (s *ShardedManager) executeCross(req Request, primary int) (*Response, erro
 		envErr = s.validateEnvGroups(req.Client, groups)
 	}
 	switch {
-	case req.Action != nil:
+	// A named action is resolved by the primary shard's manager, so it
+	// counts as an action here even though req.Action is still nil.
+	case req.Action != nil || req.ActionName != "":
 		if envErr != nil {
 			resp.ActionErr = envErr
 			break
@@ -478,10 +499,12 @@ func (s *ShardedManager) executeCross(req Request, primary int) (*Response, erro
 		// transaction on the primary; the other shards' releases apply
 		// afterwards, invisible to concurrent clients because the full
 		// lock set is held throughout.
-		sub, err := s.shards[primary].m.Execute(Request{
-			Client: req.Client,
-			Env:    groups[primary],
-			Action: req.Action,
+		sub, err := s.shards[primary].m.Execute(ctx, Request{
+			Client:       req.Client,
+			Env:          groups[primary],
+			Action:       req.Action,
+			ActionName:   req.ActionName,
+			ActionParams: req.ActionParams,
 		})
 		if err != nil {
 			for _, prev := range resp.Promises {
@@ -506,7 +529,8 @@ func (s *ShardedManager) executeCross(req Request, primary int) (*Response, erro
 // releaseGrant hands back a just-granted promise (single-shard or
 // composite) when a later internal failure in the same message forces the
 // whole message to fail: the client never learns the promise id, so the
-// grant must not outlive the call.
+// grant must not outlive the call. Compensation ignores the request's
+// context — it must run even (especially) when the client is gone.
 func (s *ShardedManager) releaseGrant(client string, pr PromiseResponse) {
 	if !pr.Accepted {
 		return
@@ -514,7 +538,7 @@ func (s *ShardedManager) releaseGrant(client string, pr PromiseResponse) {
 	if isCompositeID(pr.PromiseID) {
 		if c := s.lookupComposite(client, pr.PromiseID); c != nil {
 			for _, part := range c.parts {
-				_, _ = s.shards[part.shard].m.Execute(Request{
+				_, _ = s.shards[part.shard].m.Execute(context.Background(), Request{
 					Client: client,
 					Env:    []EnvEntry{{PromiseID: part.id, Release: true}},
 				})
@@ -524,7 +548,7 @@ func (s *ShardedManager) releaseGrant(client string, pr PromiseResponse) {
 		return
 	}
 	if sh, ok := s.ownerShard(pr.PromiseID); ok {
-		_, _ = s.shards[sh].m.Execute(Request{
+		_, _ = s.shards[sh].m.Execute(context.Background(), Request{
 			Client: client,
 			Env:    []EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		})
@@ -586,14 +610,23 @@ func (s *ShardedManager) applyReleaseGroups(client string, groups map[int][]EnvE
 		if len(rel) == 0 {
 			continue
 		}
-		_, _ = s.shards[sh].m.Execute(Request{Client: client, Env: rel})
+		// Best-effort by contract (see above): never cancelled mid-way.
+		_, _ = s.shards[sh].m.Execute(context.Background(), Request{Client: client, Env: rel})
 	}
 }
 
 // grantCross evaluates one promise request that may span shards, running
 // the two-phase reserve → confirm/abort pipeline of reserve.go. Caller
 // holds the locks of every shard the request can touch.
-func (s *ShardedManager) grantCross(client string, pr PromiseRequest) (PromiseResponse, error) {
+//
+// Cancellation is checked between per-shard reservations and once more
+// before the first Confirm: a context that dies mid-pipeline aborts every
+// open reservation, so releases spring back into force, tentative grants
+// vanish, and upstream promises acquired while planning are compensated —
+// no state outlives the cancelled call. Once the first shard has confirmed
+// the pipeline runs to completion; cancellation can no longer split the
+// grant.
+func (s *ShardedManager) grantCross(ctx context.Context, client string, pr PromiseRequest) (PromiseResponse, error) {
 	reject := func(format string, args ...any) PromiseResponse {
 		return PromiseResponse{Correlation: pr.RequestID, Reason: fmt.Sprintf(format, args...)}
 	}
@@ -682,7 +715,7 @@ func (s *ShardedManager) grantCross(client string, pr PromiseRequest) (PromiseRe
 			if !sameShard {
 				break
 			}
-			resp, err := s.shards[sh].m.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{pr}})
+			resp, err := s.shards[sh].m.Execute(ctx, Request{Client: client, PromiseRequests: []PromiseRequest{pr}})
 			if err != nil {
 				return PromiseResponse{}, err
 			}
@@ -715,12 +748,18 @@ func (s *ShardedManager) grantCross(client string, pr PromiseRequest) (PromiseRe
 		}
 	}
 	for _, sh := range sortedKeys(involved) {
+		// The cancellation point of the pipeline: a context that died while
+		// earlier shards reserved aborts everything before any Confirm.
+		if err := ctx.Err(); err != nil {
+			abortAll()
+			return PromiseResponse{}, err
+		}
 		idxs := fixed[sh]
 		preds := make([]Predicate, len(idxs))
 		for j, idx := range idxs {
 			preds[j] = pr.Predicates[idx]
 		}
-		resv, rejResp, err := s.shards[sh].m.Reserve(client, ReserveRequest{
+		resv, rejResp, err := s.shards[sh].m.Reserve(ctx, client, ReserveRequest{
 			Releases:   relByShard[sh],
 			Predicates: preds,
 			PredIdx:    idxs,
@@ -799,7 +838,12 @@ func (s *ShardedManager) grantCross(client string, pr PromiseRequest) (PromiseRe
 	// reservation cannot conflict (the shard lock is held), so a failure
 	// here is an internal invariant break; grants already confirmed are
 	// handed back best-effort so no promise the client never learned about
-	// outlives the call.
+	// outlives the call. The last cancellation check sits before the first
+	// Confirm: past it the grant is committed whole.
+	if err := ctx.Err(); err != nil {
+		abortAll()
+		return PromiseResponse{}, err
+	}
 	var confirmed []compositePart
 	for _, sh := range sortedKeys(resvs) {
 		granted := resvs[sh].Granted()
@@ -838,7 +882,7 @@ func (s *ShardedManager) grantCross(client string, pr PromiseRequest) (PromiseRe
 // that is now failing, in reverse grant order.
 func (s *ShardedManager) releaseParts(client string, parts []compositePart) {
 	for i := len(parts) - 1; i >= 0; i-- {
-		_, _ = s.shards[parts[i].shard].m.Execute(Request{
+		_, _ = s.shards[parts[i].shard].m.Execute(context.Background(), Request{
 			Client: client,
 			Env:    []EnvEntry{{PromiseID: parts[i].id, Release: true}},
 		})
@@ -906,9 +950,12 @@ func (s *ShardedManager) commitMoves(migs []slotMigration) {
 // a single acquisition of the ordered shard lock set, batching the
 // single-shard requests into one transaction per shard. Responses line up
 // with reqs by index; each request is still individually atomic.
-func (s *ShardedManager) GrantBatch(client string, reqs []PromiseRequest) ([]PromiseResponse, error) {
+func (s *ShardedManager) GrantBatch(ctx context.Context, client string, reqs []PromiseRequest) ([]PromiseResponse, error) {
 	if client == "" {
 		return nil, fmt.Errorf("%w: missing client", ErrBadRequest)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	routeAll := func() (involved map[int]bool, perShard map[int][]int, cross []int) {
 		involved = make(map[int]bool)
@@ -998,7 +1045,7 @@ func (s *ShardedManager) GrantBatch(client string, reqs []PromiseRequest) ([]Pro
 		for j, idx := range idxs {
 			batch[j] = reqs[idx]
 		}
-		resps, err := s.shards[sh].m.GrantBatch(client, batch)
+		resps, err := s.shards[sh].m.GrantBatch(ctx, client, batch)
 		if err != nil {
 			undo()
 			return nil, err
@@ -1008,7 +1055,7 @@ func (s *ShardedManager) GrantBatch(client string, reqs []PromiseRequest) ([]Pro
 		}
 	}
 	for _, idx := range cross {
-		presp, err := s.grantCross(client, reqs[idx])
+		presp, err := s.grantCross(ctx, client, reqs[idx])
 		if err != nil {
 			undo()
 			return nil, err
@@ -1018,12 +1065,32 @@ func (s *ShardedManager) GrantBatch(client string, reqs []PromiseRequest) ([]Pro
 	return out, nil
 }
 
+// Release hands back the named promises atomically, exactly like
+// Manager.Release; composite ids expand to their per-shard parts.
+func (s *ShardedManager) Release(ctx context.Context, client string, ids ...string) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	env := make([]EnvEntry, len(ids))
+	for i, id := range ids {
+		env[i] = EnvEntry{PromiseID: id, Release: true}
+	}
+	resp, err := s.Execute(ctx, Request{Client: client, Env: env})
+	if err != nil {
+		return err
+	}
+	return resp.ActionErr
+}
+
 // CheckBatch reports, per promise id, whether the promise is currently
 // usable by client (see Manager.CheckBatch). Ids are checked one shard at a
 // time; a composite is usable only if every part is. A slot migration can
 // re-home a promise between routing and the shard lock, so routing is
 // re-verified under each lock and mis-routed ids are re-dispatched.
-func (s *ShardedManager) CheckBatch(client string, ids []string) []error {
+func (s *ShardedManager) CheckBatch(ctx context.Context, client string, ids []string) ([]error, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]error, len(ids))
 	perShard := make(map[int][]int)
 	for i, id := range ids {
@@ -1052,7 +1119,7 @@ func (s *ShardedManager) CheckBatch(client string, ids []string) []error {
 				}
 			}
 			unlock()
-			return out
+			return out, nil
 		}
 		next := make(map[int][]int)
 		for _, shIdx := range sortedKeys(perShard) {
@@ -1071,15 +1138,18 @@ func (s *ShardedManager) CheckBatch(client string, ids []string) []error {
 				batch = append(batch, ids[idx])
 				bidx = append(bidx, idx)
 			}
-			errs := sh.m.CheckBatch(client, batch)
+			errs, err := sh.m.CheckBatch(ctx, client, batch)
 			sh.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
 			for j, idx := range bidx {
 				out[idx] = errs[j]
 			}
 		}
 		perShard = next
 	}
-	return out
+	return out, nil
 }
 
 // checkComposite checks every part of one composite, retrying when a
@@ -1266,22 +1336,29 @@ func (s *ShardedManager) ActivePromises() ([]Promise, error) {
 }
 
 // Stats aggregates every shard's counters and merges their latency
-// histograms exactly: the summary is computed over the union of every
-// shard's raw samples (no approximate percentile merge), and PerShard
-// carries each shard's own summary plus the Imbalance gauge so operators
-// can see skew instead of a single blended number. Counters track
-// per-shard work, not client-visible outcomes: a composite grant over N
-// shards counts N requests and N grants, and the cross-shard pipeline's
-// reserve/abort cycles add matching rejection and release counts.
+// histograms over the union of every shard's retained reservoir samples.
+// The merge is exact while no reservoir has overflowed; past that, each
+// shard contributes at most its reservoir capacity, so a very hot shard is
+// represented by the same sample budget as a cold one and merged
+// percentiles lean toward the quieter shards (per-shard summaries stay
+// individually representative — read PerShard when shards are skewed, which
+// Imbalance flags). Summary counts always report true observation totals.
+// Counters track per-shard work, not client-visible outcomes: a composite
+// grant over N shards counts N requests and N grants, and the cross-shard
+// pipeline's reserve/abort cycles add matching rejection and release
+// counts.
 func (s *ShardedManager) Stats() Stats {
 	out := Stats{PerShard: make([]ShardStat, 0, len(s.shards))}
 	var all []time.Duration
+	var observed int
 	var maxRequests int64
 	for i, sh := range s.shards {
 		// Copy each shard's samples once and summarise from the copy, so a
 		// scrape costs one pass over the sample store, not two.
 		samples := sh.m.metrics.latency.Samples()
 		perShard := metrics.SummarizeDurations(samples)
+		perShard.Count = sh.m.metrics.latency.Count()
+		observed += perShard.Count
 		all = append(all, samples...)
 		st := ShardStat{
 			Shard:      i,
@@ -1304,6 +1381,7 @@ func (s *ShardedManager) Stats() Stats {
 		}
 	}
 	out.Latency = metrics.SummarizeDurations(all)
+	out.Latency.Count = observed
 	if out.Requests > 0 {
 		out.Imbalance = float64(maxRequests) * float64(len(s.shards)) / float64(out.Requests)
 	}

@@ -50,7 +50,7 @@ func TestShardedStressConservation(t *testing.T) {
 					i := rng.Intn(numPools)
 					j := (i + 1 + rng.Intn(numPools-1)) % numPools
 					q1, q2 := int64(1+rng.Intn(3)), int64(1+rng.Intn(3))
-					resp, err := s.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
+					resp, err := s.Execute(bg, Request{Client: client, PromiseRequests: []PromiseRequest{{
 						Predicates: []Predicate{Quantity(pools[i], q1), Quantity(pools[j], q2)},
 					}}})
 					if err != nil {
@@ -62,7 +62,7 @@ func TestShardedStressConservation(t *testing.T) {
 						t.Errorf("grant rejected with ample capacity: %s", pr.Reason)
 						return
 					}
-					if _, err := s.Execute(Request{Client: client, Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
+					if _, err := s.Execute(bg, Request{Client: client, Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 						t.Error(err)
 						return
 					}
@@ -72,7 +72,7 @@ func TestShardedStressConservation(t *testing.T) {
 					// release (§4, second requirement).
 					i := rng.Intn(numPools)
 					q := int64(1 + rng.Intn(3))
-					resp, err := s.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
+					resp, err := s.Execute(bg, Request{Client: client, PromiseRequests: []PromiseRequest{{
 						Predicates: []Predicate{Quantity(pools[i], q)},
 					}}})
 					if err != nil {
@@ -85,7 +85,7 @@ func TestShardedStressConservation(t *testing.T) {
 						return
 					}
 					pool := pools[i]
-					out, err := s.Execute(Request{
+					out, err := s.Execute(bg, Request{
 						Client:    client,
 						Env:       []EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 						Resources: []string{pool},
@@ -109,7 +109,7 @@ func TestShardedStressConservation(t *testing.T) {
 					for k := range reqs {
 						reqs[k] = PromiseRequest{Predicates: []Predicate{Quantity(pools[rng.Intn(numPools)], 1)}}
 					}
-					resps, err := s.GrantBatch(client, reqs)
+					resps, err := s.GrantBatch(bg, client, reqs)
 					if err != nil {
 						t.Error(err)
 						return
@@ -122,7 +122,7 @@ func TestShardedStressConservation(t *testing.T) {
 						}
 						env = append(env, EnvEntry{PromiseID: pr.PromiseID, Release: true})
 					}
-					if _, err := s.Execute(Request{Client: client, Env: env}); err != nil {
+					if _, err := s.Execute(bg, Request{Client: client, Env: env}); err != nil {
 						t.Error(err)
 						return
 					}
@@ -202,7 +202,7 @@ func TestShardedStressUpgradeChurn(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(7000 + w)))
 			client := fmt.Sprintf("churner-%d", w)
-			seed, err := s.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
+			seed, err := s.Execute(bg, Request{Client: client, PromiseRequests: []PromiseRequest{{
 				Predicates: []Predicate{Quantity(poolA, hold), Quantity(poolB, hold)},
 			}}})
 			if err != nil {
@@ -219,7 +219,7 @@ func TestShardedStressUpgradeChurn(t *testing.T) {
 					// Impossible upgrade: asks for more than the whole pool,
 					// so one shard reserves (tentatively freeing this
 					// worker's holds) and the other aborts the pipeline.
-					resp, err := s.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
+					resp, err := s.Execute(bg, Request{Client: client, PromiseRequests: []PromiseRequest{{
 						Predicates: []Predicate{Quantity(poolA, hold), Quantity(poolB, workers*hold+1)},
 						Releases:   []string{cur.PromiseID},
 					}}})
@@ -231,7 +231,7 @@ func TestShardedStressUpgradeChurn(t *testing.T) {
 						t.Error("upgrade granted beyond pool capacity")
 						return
 					}
-					if errs := s.CheckBatch(client, []string{cur.PromiseID}); errs[0] != nil {
+					if errs, _ := s.CheckBatch(bg, client, []string{cur.PromiseID}); errs[0] != nil {
 						t.Errorf("aborted upgrade consumed the release target: %v", errs[0])
 						return
 					}
@@ -239,7 +239,7 @@ func TestShardedStressUpgradeChurn(t *testing.T) {
 				}
 				// Same-size upgrade: only satisfiable because the release is
 				// applied tentatively inside the reservation.
-				resp, err := s.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
+				resp, err := s.Execute(bg, Request{Client: client, PromiseRequests: []PromiseRequest{{
 					Predicates: []Predicate{Quantity(poolA, hold), Quantity(poolB, hold)},
 					Releases:   []string{cur.PromiseID},
 				}}})
@@ -254,7 +254,7 @@ func TestShardedStressUpgradeChurn(t *testing.T) {
 				}
 				cur = next
 			}
-			if _, err := s.Execute(Request{Client: client, Env: []EnvEntry{{PromiseID: cur.PromiseID, Release: true}}}); err != nil {
+			if _, err := s.Execute(bg, Request{Client: client, Env: []EnvEntry{{PromiseID: cur.PromiseID, Release: true}}}); err != nil {
 				t.Error(err)
 			}
 		}(w)
@@ -303,7 +303,7 @@ func TestShardedStressNoDoubleGrant(t *testing.T) {
 			client := fmt.Sprintf("racer-%d", w)
 			for it := 0; it < iters; it++ {
 				k := rng.Intn(instances)
-				resp, err := s.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{
+				resp, err := s.Execute(bg, Request{Client: client, PromiseRequests: []PromiseRequest{{
 					Predicates: []Predicate{Named(names[k])},
 				}}})
 				if err != nil {
@@ -321,7 +321,7 @@ func TestShardedStressNoDoubleGrant(t *testing.T) {
 				// Clear the shadow flag before the release commits so a
 				// racing grant after commit never sees a stale 1.
 				held[k].Store(0)
-				if _, err := s.Execute(Request{Client: client, Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
+				if _, err := s.Execute(bg, Request{Client: client, Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 					t.Error(err)
 					return
 				}

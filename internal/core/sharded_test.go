@@ -55,7 +55,7 @@ func mustPool(t *testing.T, s *ShardedManager, id string, qty int64) {
 
 func grantQty(t *testing.T, s *ShardedManager, client string, preds ...Predicate) PromiseResponse {
 	t.Helper()
-	resp, err := s.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{{Predicates: preds}}})
+	resp, err := s.Execute(bg, Request{Client: client, PromiseRequests: []PromiseRequest{{Predicates: preds}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestShardedSingleShardGrantRelease(t *testing.T) {
 	if over := grantQty(t, s, "c", Quantity(pool, 7)); over.Accepted {
 		t.Fatal("over-granted beyond capacity")
 	}
-	if _, err := s.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
+	if _, err := s.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
 	if full := grantQty(t, s, "c", Quantity(pool, 10)); !full.Accepted {
@@ -134,18 +134,18 @@ func TestShardedCrossShardAtomicGrant(t *testing.T) {
 	if over := grantQty(t, s, "c", Quantity(b, 7)); over.Accepted {
 		t.Fatal("shard 3 reservation missing")
 	}
-	if errs := s.CheckBatch("c", []string{pr.PromiseID}); errs[0] != nil {
+	if errs := checkB(t, s, "c", []string{pr.PromiseID}); errs[0] != nil {
 		t.Fatalf("composite not usable: %v", errs[0])
 	}
 	// Releasing the composite frees both shards atomically.
-	if _, err := s.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
+	if _, err := s.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
 	if full := grantQty(t, s, "c", Quantity(a, 10), Quantity(b, 10)); !full.Accepted {
 		t.Fatalf("composite release leaked holds: %s", full.Reason)
 	}
 	// The single-store sentinel contract holds for composites too.
-	if errs := s.CheckBatch("c", []string{pr.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
+	if errs := checkB(t, s, "c", []string{pr.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
 		t.Fatalf("released composite reports %v, want ErrPromiseReleased", errs[0])
 	}
 	mustHealthy(t, s)
@@ -183,7 +183,7 @@ func TestShardedReleasesSurviveRejectedGrant(t *testing.T) {
 	if !old.Accepted {
 		t.Fatal(old.Reason)
 	}
-	pr, err := s.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+	pr, err := s.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{Quantity(b, 99)},
 		Releases:   []string{old.PromiseID},
 	}}})
@@ -194,7 +194,7 @@ func TestShardedReleasesSurviveRejectedGrant(t *testing.T) {
 		t.Fatal("granted beyond capacity")
 	}
 	// §4: release targets stay in force when the grant is rejected.
-	if errs := s.CheckBatch("c", []string{old.PromiseID}); errs[0] != nil {
+	if errs := checkB(t, s, "c", []string{old.PromiseID}); errs[0] != nil {
 		t.Fatalf("release target was consumed by a rejected grant: %v", errs[0])
 	}
 	mustHealthy(t, s)
@@ -211,7 +211,7 @@ func TestShardedCrossShardUpgradeReleasesOld(t *testing.T) {
 	if !old.Accepted {
 		t.Fatal(old.Reason)
 	}
-	resp, err := s.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+	resp, err := s.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{Quantity(a, 5), Quantity(b, 5)},
 		Releases:   []string{old.PromiseID},
 	}}})
@@ -222,7 +222,7 @@ func TestShardedCrossShardUpgradeReleasesOld(t *testing.T) {
 	if !up.Accepted {
 		t.Fatalf("upgrade rejected: %s", up.Reason)
 	}
-	if errs := s.CheckBatch("c", []string{old.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
+	if errs := checkB(t, s, "c", []string{old.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
 		t.Fatalf("upgraded-away composite reports %v, want ErrPromiseReleased", errs[0])
 	}
 	// Exactly 5 reserved per pool now.
@@ -250,7 +250,7 @@ func TestShardedCrossShardUpgradeNeedsFreedCapacity(t *testing.T) {
 	if !old.Accepted {
 		t.Fatal(old.Reason)
 	}
-	resp, err := s.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+	resp, err := s.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{Quantity(a, 8), Quantity(b, 1)},
 		Releases:   []string{old.PromiseID},
 	}}})
@@ -261,14 +261,14 @@ func TestShardedCrossShardUpgradeNeedsFreedCapacity(t *testing.T) {
 	if !up.Accepted {
 		t.Fatalf("cross-shard upgrade rejected despite freed capacity: %s", up.Reason)
 	}
-	if errs := s.CheckBatch("c", []string{old.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
+	if errs := checkB(t, s, "c", []string{old.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
 		t.Fatalf("upgraded-away promise reports %v, want ErrPromiseReleased", errs[0])
 	}
 	// Everything is held by the upgrade now; releasing it frees it all.
 	if over := grantQty(t, s, "c", Quantity(a, 1)); over.Accepted {
 		t.Fatal("upgrade double-counted the freed capacity")
 	}
-	if _, err := s.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: up.PromiseID, Release: true}}}); err != nil {
+	if _, err := s.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: up.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
 	if full := grantQty(t, s, "c", Quantity(a, 8), Quantity(b, 1)); !full.Accepted {
@@ -291,7 +291,7 @@ func TestShardedUpgradeAbortRestoresReleases(t *testing.T) {
 	if !old.Accepted {
 		t.Fatal(old.Reason)
 	}
-	resp, err := s.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+	resp, err := s.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{Quantity(a, 10), Quantity(b, 99)},
 		Releases:   []string{old.PromiseID},
 	}}})
@@ -303,7 +303,7 @@ func TestShardedUpgradeAbortRestoresReleases(t *testing.T) {
 	}
 	// The release must not have stuck: old is still usable and still
 	// holding all 10 units on shard a.
-	if errs := s.CheckBatch("c", []string{old.PromiseID}); errs[0] != nil {
+	if errs := checkB(t, s, "c", []string{old.PromiseID}); errs[0] != nil {
 		t.Fatalf("release target consumed by aborted upgrade: %v", errs[0])
 	}
 	if over := grantQty(t, s, "c", Quantity(a, 1)); over.Accepted {
@@ -334,7 +334,7 @@ func TestShardedPropertyUpgradeAcrossShards(t *testing.T) {
 	if !old.Accepted {
 		t.Fatal(old.Reason)
 	}
-	resp, err := s.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+	resp, err := s.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{MustProperty("p"), MustProperty("q")},
 		Releases:   []string{old.PromiseID},
 	}}})
@@ -392,7 +392,7 @@ func TestShardedNamedDisplacesPropertySlotAcrossShards(t *testing.T) {
 	}
 	// The property promise survives, re-hosted on the other shard's
 	// instance under the same id.
-	if errs := s.CheckBatch("c", []string{prop.PromiseID}); errs[0] != nil {
+	if errs := checkB(t, s, "c", []string{prop.PromiseID}); errs[0] != nil {
 		t.Fatalf("displaced property promise unusable: %v", errs[0])
 	}
 	info, err = s.PromiseInfo(prop.PromiseID)
@@ -407,7 +407,7 @@ func TestShardedNamedDisplacesPropertySlotAcrossShards(t *testing.T) {
 	if dup := grantQty(t, s, "e", MustProperty("p")); dup.Accepted {
 		t.Fatal("double-granted a held instance")
 	}
-	if _, err := s.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: prop.PromiseID, Release: true}}}); err != nil {
+	if _, err := s.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: prop.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
 	if again := grantQty(t, s, "e", Named(other)); !again.Accepted {
@@ -449,7 +449,7 @@ func TestShardedCompositePartMigration(t *testing.T) {
 	if named := grantQty(t, s, "d", Named(taken)); !named.Accepted {
 		t.Fatalf("named claim rejected: %s", named.Reason)
 	}
-	if errs := s.CheckBatch("c", []string{comp.PromiseID}); errs[0] != nil {
+	if errs := checkB(t, s, "c", []string{comp.PromiseID}); errs[0] != nil {
 		t.Fatalf("composite unusable after part migration: %v", errs[0])
 	}
 	info, err = s.PromiseInfo(comp.PromiseID)
@@ -463,10 +463,10 @@ func TestShardedCompositePartMigration(t *testing.T) {
 
 	// Releasing the composite frees the migrated part on its new shard and
 	// the escrow on the pool's shard.
-	if _, err := s.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: comp.PromiseID, Release: true}}}); err != nil {
+	if _, err := s.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: comp.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
-	if errs := s.CheckBatch("c", []string{comp.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
+	if errs := checkB(t, s, "c", []string{comp.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
 		t.Fatalf("released composite reports %v, want ErrPromiseReleased", errs[0])
 	}
 	if full := grantQty(t, s, "c", Quantity(pool, 10)); !full.Accepted {
@@ -501,7 +501,7 @@ func TestShardedPropertyAcrossShards(t *testing.T) {
 	if dup := grantQty(t, s, "c", MustProperty("view and floor = 2")); dup.Accepted {
 		t.Fatal("double-granted the only matching instance")
 	}
-	if _, err := s.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
+	if _, err := s.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
 	if again := grantQty(t, s, "c", MustProperty("view and floor = 2")); !again.Accepted {
@@ -526,7 +526,7 @@ func TestShardedNamedAcrossShardsAtomic(t *testing.T) {
 	if solo := grantQty(t, s, "d", Named(a)); solo.Accepted {
 		t.Fatal("instance double-granted")
 	}
-	if _, err := s.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
+	if _, err := s.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: pr.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
 	if solo := grantQty(t, s, "d", Named(a)); !solo.Accepted {
@@ -546,7 +546,7 @@ func TestShardedActionRoutedToResourceShard(t *testing.T) {
 	}
 	// Consume under the promise: action must land on shard 3 via the
 	// Resources hint even though the env promise already routes there.
-	resp, err := s.Execute(Request{
+	resp, err := s.Execute(bg, Request{
 		Client:    "c",
 		Env:       []EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		Resources: []string{pool},
@@ -567,7 +567,7 @@ func TestShardedActionRoutedToResourceShard(t *testing.T) {
 	if lvl != 5 {
 		t.Fatalf("pool level = %d, want 5", lvl)
 	}
-	if errs := s.CheckBatch("c", []string{pr.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
+	if errs := checkB(t, s, "c", []string{pr.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
 		t.Fatalf("promise not released with action: %v", errs[0])
 	}
 	mustHealthy(t, s)
@@ -583,7 +583,7 @@ func TestShardedActionFailureKeepsCrossShardEnv(t *testing.T) {
 	pb := grantQty(t, s, "c", Quantity(b, 1))
 
 	boom := errors.New("boom")
-	resp, err := s.Execute(Request{
+	resp, err := s.Execute(bg, Request{
 		Client: "c",
 		Env: []EnvEntry{
 			{PromiseID: pa.PromiseID, Release: true},
@@ -599,7 +599,7 @@ func TestShardedActionFailureKeepsCrossShardEnv(t *testing.T) {
 		t.Fatalf("ActionErr = %v, want boom", resp.ActionErr)
 	}
 	// §4: the promises remain in force because the action failed.
-	for i, err := range s.CheckBatch("c", []string{pa.PromiseID, pb.PromiseID}) {
+	for i, err := range checkB(t, s, "c", []string{pa.PromiseID, pb.PromiseID}) {
 		if err != nil {
 			t.Fatalf("env promise %d not in force after failed action: %v", i, err)
 		}
@@ -616,7 +616,7 @@ func TestShardedEnvReleaseAppliedOnActionSuccess(t *testing.T) {
 	pa := grantQty(t, s, "c", Quantity(a, 1))
 	pb := grantQty(t, s, "c", Quantity(b, 1))
 
-	resp, err := s.Execute(Request{
+	resp, err := s.Execute(bg, Request{
 		Client: "c",
 		Env: []EnvEntry{
 			{PromiseID: pa.PromiseID, Release: true},
@@ -633,7 +633,7 @@ func TestShardedEnvReleaseAppliedOnActionSuccess(t *testing.T) {
 	if resp.ActionErr != nil {
 		t.Fatal(resp.ActionErr)
 	}
-	for i, err := range s.CheckBatch("c", []string{pa.PromiseID, pb.PromiseID}) {
+	for i, err := range checkB(t, s, "c", []string{pa.PromiseID, pb.PromiseID}) {
 		if !errors.Is(err, ErrPromiseReleased) {
 			t.Fatalf("env promise %d not released with successful action: %v", i, err)
 		}
@@ -662,7 +662,7 @@ func TestShardedGrantBatch(t *testing.T) {
 		Predicates: []Predicate{Quantity(pools[0], 1), Quantity(pools[len(pools)-1], 1)},
 	}}, reqs[6:]...)...)
 
-	resps, err := s.GrantBatch("c", reqs)
+	resps, err := s.GrantBatch(bg, "c", reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -679,13 +679,13 @@ func TestShardedGrantBatch(t *testing.T) {
 		}
 		ids[i] = pr.PromiseID
 	}
-	for i, err := range s.CheckBatch("c", ids) {
+	for i, err := range checkB(t, s, "c", ids) {
 		if err != nil {
 			t.Fatalf("promise %d unusable: %v", i, err)
 		}
 	}
 	// Wrong client sees nothing.
-	for i, err := range s.CheckBatch("intruder", ids) {
+	for i, err := range checkB(t, s, "intruder", ids) {
 		if !errors.Is(err, ErrPromiseNotFound) {
 			t.Fatalf("promise %d leaked to another client: %v", i, err)
 		}
@@ -708,7 +708,7 @@ func TestShardedExpirySweepAcrossShards(t *testing.T) {
 	if err := s.Sweep(); err != nil {
 		t.Fatal(err)
 	}
-	if errs := s.CheckBatch("c", []string{pr.PromiseID}); !errors.Is(errs[0], ErrPromiseExpired) {
+	if errs := checkB(t, s, "c", []string{pr.PromiseID}); !errors.Is(errs[0], ErrPromiseExpired) {
 		t.Fatalf("expired composite reports %v, want ErrPromiseExpired", errs[0])
 	}
 	if full := grantQty(t, s, "c", Quantity(a, 10), Quantity(b, 10)); !full.Accepted {
@@ -791,7 +791,7 @@ func TestShardedUpgradeInCrossShardMessage(t *testing.T) {
 	if !old.Accepted {
 		t.Fatal(old.Reason)
 	}
-	resp, err := s.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{
+	resp, err := s.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{
 		{Predicates: []Predicate{Quantity(a, 100)}, Releases: []string{old.PromiseID}},
 		{Predicates: []Predicate{Quantity(b, 1)}},
 	}})
@@ -804,7 +804,7 @@ func TestShardedUpgradeInCrossShardMessage(t *testing.T) {
 	if !resp.Promises[1].Accepted {
 		t.Fatalf("sibling request rejected: %s", resp.Promises[1].Reason)
 	}
-	if errs := s.CheckBatch("c", []string{old.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
+	if errs := checkB(t, s, "c", []string{old.PromiseID}); !errors.Is(errs[0], ErrPromiseReleased) {
 		t.Fatalf("old promise reports %v, want ErrPromiseReleased", errs[0])
 	}
 	mustHealthy(t, s)
@@ -819,7 +819,7 @@ func TestShardedSingleShardConfigMatchesManager(t *testing.T) {
 	if !old.Accepted {
 		t.Fatal(old.Reason)
 	}
-	resp, err := s.Execute(Request{Client: "c", PromiseRequests: []PromiseRequest{{
+	resp, err := s.Execute(bg, Request{Client: "c", PromiseRequests: []PromiseRequest{{
 		Predicates: []Predicate{Quantity("w", 10)},
 		Releases:   []string{old.PromiseID},
 	}}})

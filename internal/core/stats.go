@@ -38,9 +38,11 @@ type Stats struct {
 	ActionErrors int64
 	// DeadlockRetries counts internal transaction retries.
 	DeadlockRetries int64
-	// Latency summarises Execute latency. For a sharded manager this is the
-	// exact summary over the union of every shard's samples, not an
-	// approximate percentile merge.
+	// Latency summarises Execute latency. Count is the true number of
+	// observations; percentiles come from bounded reservoir samples (exact
+	// until a reservoir fills). For a sharded manager the percentiles merge
+	// every shard's retained samples — see ShardedManager.Stats for the
+	// weighting caveat under heavy shard skew.
 	Latency metrics.Summary
 	// PerShard holds each shard's own counters and latency histogram
 	// summary, in shard order. Empty for the single-store Manager.

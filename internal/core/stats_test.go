@@ -19,18 +19,18 @@ func TestStatsCountOutcomes(t *testing.T) {
 	_ = grantOne(t, m, requestQuantity("c", "p", 6))
 
 	// 1 release.
-	if _, err := m.Execute(Request{Client: "c", Env: []EnvEntry{{PromiseID: ok.PromiseID, Release: true}}}); err != nil {
+	if _, err := m.Execute(bg, Request{Client: "c", Env: []EnvEntry{{PromiseID: ok.PromiseID, Release: true}}}); err != nil {
 		t.Fatal(err)
 	}
 	// 1 action error.
-	if _, err := m.Execute(Request{Client: "c", Action: func(ac *ActionContext) (any, error) {
+	if _, err := m.Execute(bg, Request{Client: "c", Action: func(ac *ActionContext) (any, error) {
 		return nil, errors.New("boom")
 	}}); err != nil {
 		t.Fatal(err)
 	}
 	// 1 violation.
 	_ = grantOne(t, m, requestQuantity("c", "p", 10))
-	resp, err := m.Execute(Request{Client: "c", Action: func(ac *ActionContext) (any, error) {
+	resp, err := m.Execute(bg, Request{Client: "c", Action: func(ac *ActionContext) (any, error) {
 		_, err := ac.Resources.AdjustPool(ac.Tx, "p", -1)
 		return nil, err
 	}})
@@ -93,7 +93,7 @@ func TestStatsViolationRollbackDoesNotCountRelease(t *testing.T) {
 	mine := grantOne(t, m, requestQuantity("me", "p", 2))
 	_ = grantOne(t, m, requestQuantity("other", "p", 8))
 	// Buying 3 under a 2-unit promise violates the other promise.
-	resp, err := m.Execute(Request{
+	resp, err := m.Execute(bg, Request{
 		Client: "me",
 		Env:    []EnvEntry{{PromiseID: mine.PromiseID, Release: true}},
 		Action: func(ac *ActionContext) (any, error) {

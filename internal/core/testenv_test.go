@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"os"
 	"strconv"
+	"testing"
 )
 
 // testShards returns the shard count for shard-count-generic tests: the
@@ -18,4 +20,23 @@ func testShards(def int) int {
 		}
 	}
 	return def
+}
+
+// bg is the context every test that doesn't exercise cancellation uses.
+var bg = context.Background()
+
+// checkEngine is the slice of the Engine surface the check helper needs.
+type checkEngine interface {
+	CheckBatch(ctx context.Context, client string, ids []string) ([]error, error)
+}
+
+// checkB runs CheckBatch under the background context, failing the test on
+// an engine-level error (per-promise sentinels are returned for asserting).
+func checkB(t testing.TB, e checkEngine, client string, ids []string) []error {
+	t.Helper()
+	errs, err := e.CheckBatch(bg, client, ids)
+	if err != nil {
+		t.Fatalf("CheckBatch: %v", err)
+	}
+	return errs
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -65,7 +66,7 @@ func e5Named(n int) (float64, error) {
 		return 0, err
 	}
 	for i := 0; i < n; i++ {
-		resp, err := m.Execute(core.Request{Client: "seed", PromiseRequests: []core.PromiseRequest{{
+		resp, err := m.Execute(context.Background(), core.Request{Client: "seed", PromiseRequests: []core.PromiseRequest{{
 			Predicates: []core.Predicate{core.Named(fmt.Sprintf("i%06d", i))},
 		}}})
 		if err != nil {
@@ -88,7 +89,7 @@ func e5Anonymous(n int) (float64, error) {
 		return 0, err
 	}
 	for i := 0; i < n; i++ {
-		if _, err := m.Execute(requestQty("seed", "p", 1)); err != nil {
+		if _, err := m.Execute(context.Background(), requestQty("seed", "p", 1)); err != nil {
 			return 0, err
 		}
 	}
@@ -113,7 +114,7 @@ func e5Property(n int) (float64, error) {
 		return 0, err
 	}
 	for i := 0; i < n; i++ {
-		resp, err := m.Execute(core.Request{Client: "seed", PromiseRequests: []core.PromiseRequest{{
+		resp, err := m.Execute(context.Background(), core.Request{Client: "seed", PromiseRequests: []core.PromiseRequest{{
 			Predicates: []core.Predicate{core.MustProperty(fmt.Sprintf("slot >= 0 and slot <= %d", n+20))},
 		}}})
 		if err != nil {
@@ -140,7 +141,7 @@ func requestQty(client, pool string, qty int64) core.Request {
 func timeGrants(k int, mk func(int) core.Request, m *core.Manager) (float64, error) {
 	start := time.Now()
 	for i := 0; i < k; i++ {
-		resp, err := m.Execute(mk(i))
+		resp, err := m.Execute(context.Background(), mk(i))
 		if err != nil {
 			return 0, err
 		}
@@ -261,7 +262,7 @@ func e7Run(rooms, trials int, mode core.PropertyMode) (granted, offered int, err
 		for i := 0; i < rooms; i++ {
 			expr := preds[r.Intn(2)]
 			offered++
-			resp, err := m.Execute(core.Request{Client: "c", PromiseRequests: []core.PromiseRequest{{
+			resp, err := m.Execute(context.Background(), core.Request{Client: "c", PromiseRequests: []core.PromiseRequest{{
 				Predicates: []core.Predicate{core.MustProperty(expr)},
 			}}})
 			if err != nil {

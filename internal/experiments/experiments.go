@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -285,7 +286,7 @@ func RunE2(quick bool) (*Table, error) {
 		}
 		okInvariant := true
 		promRate, err := runOrderLoop(cycles, clients, func() error {
-			resp, err := m.Execute(core.Request{
+			resp, err := m.Execute(context.Background(), core.Request{
 				Client: "c",
 				PromiseRequests: []core.PromiseRequest{{
 					Predicates: []core.Predicate{core.Quantity("p", 1)},
@@ -299,7 +300,7 @@ func RunE2(quick bool) (*Table, error) {
 				return fmt.Errorf("grant rejected on huge pool")
 			}
 			hold()
-			_, err = m.Execute(core.Request{
+			_, err = m.Execute(context.Background(), core.Request{
 				Client: "c",
 				Env:    []core.EnvEntry{{PromiseID: resp.Promises[0].PromiseID, Release: true}},
 			})

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -39,7 +40,7 @@ func RunE8(quick bool) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			resp, err := m.Execute(requestQty("shop", "acct", 100))
+			resp, err := m.Execute(context.Background(), requestQty("shop", "acct", 100))
 			if err != nil {
 				return nil, err
 			}
@@ -54,14 +55,14 @@ func RunE8(quick bool) (*Table, error) {
 			go func() {
 				defer wg.Done()
 				jitter(i + 3)
-				_, _ = m.Execute(requestQty("rival", "acct", 150))
+				_, _ = m.Execute(context.Background(), requestQty("rival", "acct", 150))
 			}()
 			go func() {
 				defer wg.Done()
 				jitter(i)
 				switch strategy {
 				case "atomic-modify":
-					resp, err := m.Execute(core.Request{Client: "shop", PromiseRequests: []core.PromiseRequest{{
+					resp, err := m.Execute(context.Background(), core.Request{Client: "shop", PromiseRequests: []core.PromiseRequest{{
 						Predicates: []core.Predicate{core.Quantity("acct", 200)},
 						Releases:   []string{old.PromiseID},
 					}}})
@@ -78,13 +79,13 @@ func RunE8(quick bool) (*Table, error) {
 					// Naive: release first, then request the bigger promise.
 					// The window between the two messages is where the
 					// rival can take the freed capacity.
-					if _, err := m.Execute(core.Request{Client: "shop",
+					if _, err := m.Execute(context.Background(), core.Request{Client: "shop",
 						Env: []core.EnvEntry{{PromiseID: old.PromiseID, Release: true}}}); err != nil {
 						lost.Add(1)
 						return
 					}
 					time.Sleep(120 * time.Microsecond)
-					resp, err := m.Execute(requestQty("shop", "acct", 200))
+					resp, err := m.Execute(context.Background(), requestQty("shop", "acct", 200))
 					if err != nil {
 						lost.Add(1)
 						return
@@ -131,12 +132,12 @@ func RunE9(quick bool) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := m.Execute(requestQty("holder", "stock", 80)); err != nil {
+		if _, err := m.Execute(context.Background(), requestQty("holder", "stock", 80)); err != nil {
 			return nil, err
 		}
 		var rolledBack, committed int
 		for i := 0; i < rogues; i++ {
-			resp, err := m.Execute(core.Request{
+			resp, err := m.Execute(context.Background(), core.Request{
 				Client: "rogue",
 				Action: func(ac *core.ActionContext) (any, error) {
 					_, err := ac.Resources.AdjustPool(ac.Tx, "stock", -3)
@@ -234,7 +235,7 @@ func RunE10(quick bool) (*Table, error) {
 
 	grantIDs := make([]string, 0, 2*httpIters)
 	for i := 0; i < 2*httpIters; i++ {
-		pr, err := c.RequestPromise([]core.Predicate{core.Quantity("w", 1)}, time.Hour)
+		pr, err := c.RequestPromise(context.Background(), []core.Predicate{core.Quantity("w", 1)}, time.Hour)
 		if err != nil || !pr.Accepted {
 			return nil, fmt.Errorf("seed grant: %v %v", pr, err)
 		}
@@ -244,11 +245,11 @@ func RunE10(quick bool) (*Table, error) {
 	start := time.Now()
 	for i := 0; i < httpIters; i++ {
 		id := grantIDs[i]
-		if _, err := c.Invoke([]core.EnvEntry{{PromiseID: id}}, "adjust-pool",
+		if _, err := c.Invoke(context.Background(), []core.EnvEntry{{PromiseID: id}}, "adjust-pool",
 			map[string]string{"pool": "w", "delta": "-1"}); err != nil {
 			return nil, err
 		}
-		if err := c.Release(id); err != nil {
+		if err := c.Release(context.Background(), "", id); err != nil {
 			return nil, err
 		}
 	}
@@ -257,7 +258,7 @@ func RunE10(quick bool) (*Table, error) {
 	start = time.Now()
 	for i := 0; i < httpIters; i++ {
 		id := grantIDs[httpIters+i]
-		if _, err := c.Invoke([]core.EnvEntry{{PromiseID: id, Release: true}}, "adjust-pool",
+		if _, err := c.Invoke(context.Background(), []core.EnvEntry{{PromiseID: id, Release: true}}, "adjust-pool",
 			map[string]string{"pool": "w", "delta": "-1"}); err != nil {
 			return nil, err
 		}
@@ -309,7 +310,7 @@ func RunE11(quick bool) (*Table, error) {
 		start := time.Now()
 		ok := true
 		for i := 0; i < k; i++ {
-			resp, err := managers[0].Execute(requestQty("customer", "w", 5))
+			resp, err := managers[0].Execute(context.Background(), requestQty("customer", "w", 5))
 			if err != nil {
 				return nil, err
 			}
@@ -318,7 +319,7 @@ func RunE11(quick bool) (*Table, error) {
 				ok = false
 				break
 			}
-			if _, err := managers[0].Execute(core.Request{
+			if _, err := managers[0].Execute(context.Background(), core.Request{
 				Client: "customer",
 				Env:    []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 			}); err != nil {

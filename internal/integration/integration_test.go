@@ -5,6 +5,7 @@
 package integration_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http/httptest"
@@ -90,7 +91,7 @@ func TestThreeTierSupplyChainOverHTTP(t *testing.T) {
 	// Customer orders 30: retailer has 5, wholesaler 20, factory covers
 	// the last 5 through the second delegation hop.
 	cust := retailer.client("customer")
-	pr, err := cust.RequestPromise([]core.Predicate{core.Quantity("widgets", 30)}, time.Minute)
+	pr, err := cust.RequestPromise(bg, []core.Predicate{core.Quantity("widgets", 30)}, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestThreeTierSupplyChainOverHTTP(t *testing.T) {
 
 	// Purchase: the retailer ships its 5 under the promise with atomic
 	// release; upstream releases propagate over HTTP after commit.
-	if _, err := cust.Invoke(
+	if _, err := cust.Invoke(bg,
 		[]core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		"adjust-pool", map[string]string{"pool": "widgets", "delta": "-5"},
 	); err != nil {
@@ -145,7 +146,7 @@ func TestWorkflowDrivenOrderOverHTTP(t *testing.T) {
 		Start: "reserve",
 		Steps: map[string]workflow.StepFunc{
 			"reserve": func(wc *workflow.Context) (workflow.Transition, error) {
-				pr, err := c.RequestPromise([]core.Predicate{core.Quantity("widgets", 4)}, time.Minute)
+				pr, err := c.RequestPromise(bg, []core.Predicate{core.Quantity("widgets", 4)}, time.Minute)
 				if err != nil {
 					return workflow.Transition{}, err
 				}
@@ -156,7 +157,7 @@ func TestWorkflowDrivenOrderOverHTTP(t *testing.T) {
 				return workflow.WaitFor("payment", "fulfil"), nil
 			},
 			"fulfil": func(wc *workflow.Context) (workflow.Transition, error) {
-				level, err := c.Invoke(
+				level, err := c.Invoke(bg,
 					[]core.EnvEntry{{PromiseID: wc.Vars["promise"].(string), Release: true}},
 					"adjust-pool", map[string]string{"pool": "widgets", "delta": "-4"},
 				)
@@ -211,11 +212,11 @@ func TestPropertyPredicatesOverWire(t *testing.T) {
 	}
 	alice := hotel.client("alice")
 	bob := hotel.client("bob")
-	prView, err := alice.RequestPromise([]core.Predicate{viewPred}, time.Minute)
+	prView, err := alice.RequestPromise(bg, []core.Predicate{viewPred}, time.Minute)
 	if err != nil || !prView.Accepted {
 		t.Fatalf("view: %+v %v", prView, err)
 	}
-	prFifth, err := bob.RequestPromise([]core.Predicate{fifthPred}, time.Minute)
+	prFifth, err := bob.RequestPromise(bg, []core.Predicate{fifthPred}, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,18 +238,18 @@ func TestExpiryOverHTTP(t *testing.T) {
 		return m.Resources().CreatePool(tx, "widgets", 10, nil)
 	})
 	c := shop.client("c")
-	pr, err := c.RequestPromise([]core.Predicate{core.Quantity("widgets", 5)}, 30*time.Second)
+	pr, err := c.RequestPromise(bg, []core.Predicate{core.Quantity("widgets", 5)}, 30*time.Second)
 	if err != nil || !pr.Accepted {
 		t.Fatalf("%+v %v", pr, err)
 	}
 	fake.Advance(time.Minute)
-	_, err = c.Invoke([]core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+	_, err = c.Invoke(bg, []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		"adjust-pool", map[string]string{"pool": "widgets", "delta": "-5"})
 	if !errors.Is(err, core.ErrPromiseExpired) {
 		t.Fatalf("err = %v, want ErrPromiseExpired", err)
 	}
 	// The expired hold no longer constrains the pool.
-	pr2, err := c.RequestPromise([]core.Predicate{core.Quantity("widgets", 10)}, time.Minute)
+	pr2, err := c.RequestPromise(bg, []core.Predicate{core.Quantity("widgets", 10)}, time.Minute)
 	if err != nil || !pr2.Accepted {
 		t.Fatalf("after expiry: %+v %v", pr2, err)
 	}
@@ -267,7 +268,7 @@ func TestHTTPStampedeRespectsCapacity(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			c := shop.client(fmt.Sprintf("c%d", i))
-			pr, err := c.RequestPromise([]core.Predicate{core.Quantity("seats", 1)}, time.Minute)
+			pr, err := c.RequestPromise(bg, []core.Predicate{core.Quantity("seats", 1)}, time.Minute)
 			if err != nil {
 				t.Error(err)
 				return
@@ -300,7 +301,7 @@ func TestFacadeNegotiationAgainstLiveContention(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A rival promises 12, leaving 8.
-	if _, err := m.Execute(promises.Request{
+	if _, err := m.Execute(bg, promises.Request{
 		Client: "rival",
 		PromiseRequests: []promises.PromiseRequest{{
 			Predicates: []promises.Predicate{promises.Quantity("widgets", 12)},
@@ -308,7 +309,7 @@ func TestFacadeNegotiationAgainstLiveContention(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := promises.Negotiate(m, "picky", time.Minute, true,
+	res, err := promises.Negotiate(bg, m, "picky", time.Minute, true,
 		[]promises.Predicate{promises.Quantity("widgets", 20)},
 		[]promises.Predicate{promises.Quantity("widgets", 15)},
 	)
@@ -323,3 +324,5 @@ func TestFacadeNegotiationAgainstLiveContention(t *testing.T) {
 		t.Fatalf("settled quantity = %d, want 8", info.Predicates[0].Qty)
 	}
 }
+
+var bg = context.Background()

@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -39,31 +40,68 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the last value set (zero before any Set).
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// Histogram records durations and reports percentile summaries. It stores
-// raw samples; experiments record at most a few million observations so the
-// memory cost is acceptable and the percentiles are exact.
+// DefaultReservoirSize bounds a zero-value Histogram's sample memory. 4096
+// samples keep the p99 of a steady workload within a fraction of a percent
+// of exact while capping a Stats scrape at one fixed-size copy+sort.
+const DefaultReservoirSize = 4096
+
+// Histogram records durations and reports percentile summaries. It keeps a
+// fixed-size uniform reservoir (Vitter's Algorithm R): the first Cap
+// observations are stored exactly, after which each new observation replaces
+// a random resident with probability Cap/seen. Percentiles are exact until
+// the reservoir fills and statistically representative afterwards, so a
+// long-lived daemon's scrape cost stays O(Cap) no matter how many requests
+// it has served. The zero value is ready to use with DefaultReservoirSize.
 type Histogram struct {
+	// Cap is the reservoir capacity. Zero means DefaultReservoirSize. Set
+	// it before the first Observe; it must not change afterwards.
+	Cap int
+
 	mu      sync.Mutex
+	seen    int64
+	rng     *rand.Rand
 	samples []time.Duration
+}
+
+func (h *Histogram) cap() int {
+	if h.Cap > 0 {
+		return h.Cap
+	}
+	return DefaultReservoirSize
 }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
-	h.samples = append(h.samples, d)
+	h.seen++
+	if len(h.samples) < h.cap() {
+		h.samples = append(h.samples, d)
+		h.mu.Unlock()
+		return
+	}
+	if h.rng == nil {
+		// Seeded from the sample count so replacement is deterministic per
+		// histogram history; the distributional guarantee does not depend on
+		// seed quality.
+		h.rng = rand.New(rand.NewSource(h.seen))
+	}
+	if j := h.rng.Int63n(h.seen); j < int64(len(h.samples)) {
+		h.samples[j] = d
+	}
 	h.mu.Unlock()
 }
 
-// Count returns the number of observations.
+// Count returns the number of observations (not the reservoir occupancy).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.seen)
 }
 
-// Samples returns a copy of the raw observations, so callers can merge
-// several histograms into one exact summary (see SummarizeDurations) —
+// Samples returns a copy of the retained reservoir samples, so callers can
+// merge several histograms into one summary (see SummarizeDurations) —
 // percentiles of a union cannot be recovered from per-histogram summaries.
+// The copy is at most Cap long regardless of how much was observed.
 func (h *Histogram) Samples() []time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -72,7 +110,10 @@ func (h *Histogram) Samples() []time.Duration {
 	return out
 }
 
-// Summary holds an exact percentile summary of a Histogram.
+// Summary holds a percentile summary of a Histogram. Percentiles are exact
+// while the reservoir has not filled and reservoir-sampled afterwards;
+// Count is always the true number of observations, never the (bounded)
+// number of retained samples.
 type Summary struct {
 	Count          int
 	Min, Max, Mean time.Duration
@@ -81,11 +122,16 @@ type Summary struct {
 
 // Summarize computes a Summary. An empty histogram yields a zero Summary.
 func (h *Histogram) Summarize() Summary {
-	return SummarizeDurations(h.Samples())
+	s := SummarizeDurations(h.Samples())
+	s.Count = h.Count()
+	return s
 }
 
-// SummarizeDurations computes an exact Summary over raw samples, which it
-// sorts in place. Empty input yields a zero Summary.
+// SummarizeDurations computes a Summary over raw samples, which it sorts in
+// place; Count is len(samples). Callers merging bounded reservoirs should
+// overwrite Count with the true observation total (see Histogram.Summarize)
+// — and note that concatenating reservoirs weights each histogram by its
+// retained samples, not its traffic. Empty input yields a zero Summary.
 func SummarizeDurations(samples []time.Duration) Summary {
 	if len(samples) == 0 {
 		return Summary{}

@@ -170,3 +170,49 @@ func TestSummaryString(t *testing.T) {
 		t.Fatal("String() empty")
 	}
 }
+
+func TestHistogramReservoirBoundsMemory(t *testing.T) {
+	h := &Histogram{Cap: 64}
+	for i := 0; i < 100_000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := len(h.Samples()); got != 64 {
+		t.Fatalf("reservoir size = %d, want 64", got)
+	}
+	if h.Count() != 100_000 {
+		t.Fatalf("Count = %d, want 100000 (total observations, not occupancy)", h.Count())
+	}
+	// The reservoir is a uniform sample: its median of a uniform ramp must
+	// land near the true median, far from either extreme.
+	s := h.Summarize()
+	mid := 50 * time.Millisecond
+	if s.P50 < mid/4 || s.P50 > mid*7/4 {
+		t.Fatalf("reservoir p50 = %v wildly off true median %v", s.P50, mid)
+	}
+}
+
+func TestHistogramExactBelowCapacity(t *testing.T) {
+	// Until the reservoir fills, percentiles are exact — nothing is dropped
+	// or replaced.
+	h := &Histogram{Cap: 1000}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summarize()
+	if s.Count != 100 || s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms exactly", s.P50)
+	}
+}
+
+func TestHistogramZeroValueDefaultCap(t *testing.T) {
+	var h Histogram
+	for i := 0; i < DefaultReservoirSize+500; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if got := len(h.Samples()); got != DefaultReservoirSize {
+		t.Fatalf("zero-value reservoir size = %d, want %d", got, DefaultReservoirSize)
+	}
+}

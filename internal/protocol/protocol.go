@@ -47,23 +47,49 @@ type Header struct {
 }
 
 // BatchRequest is the <batch-request> element: independent promise
-// requests plus promise-usability checks. Each grant is individually
-// atomic (one rejection does not affect its neighbours), exactly as if
-// the requests had arrived in separate §6 messages.
+// requests, promise releases, piggybacked actions, and promise-usability
+// checks — enough for a whole §4 upgrade burst in one round trip. Each
+// entry is individually atomic (one rejection does not affect its
+// neighbours), exactly as if the requests had arrived in separate §6
+// messages. The server processes grants, then releases, then actions, then
+// checks, so a check in the same envelope reflects the envelope's own
+// releases.
 type BatchRequest struct {
 	Grants []WireRequest `xml:"promise-request"`
-	Checks []PromiseRef  `xml:"check"`
+	// Releases hands back promises independently of any grant (the
+	// release-with-grant §4 shape stays inside WireRequest.Releases; these
+	// entries are the standalone hand-backs).
+	Releases []PromiseRef `xml:"release-request"`
+	// Actions are piggybacked service invocations, each run under its own
+	// environment as its own §8 transaction.
+	Actions []BatchAction `xml:"batch-action"`
+	Checks  []PromiseRef  `xml:"check"`
 }
 
-// BatchResponse is the <batch-response> element. Responses and Checks line
-// up with the request's Grants and Checks by index.
+// BatchAction is one piggybacked action with the environment protecting it.
+type BatchAction struct {
+	Action WireAction   `xml:"action"`
+	Env    []PromiseRef `xml:"promise-ref"`
+}
+
+// BatchResponse is the <batch-response> element. Responses, Releases,
+// Actions and Checks line up with the request's entries by index.
 type BatchResponse struct {
 	Responses []WireResponse `xml:"promise-response"`
+	Releases  []CheckResult  `xml:"release-result"`
+	Actions   []ActionResult `xml:"action-result"`
 	Checks    []CheckResult  `xml:"check-result"`
 }
 
-// CheckResult reports one promise's usability: no fault means the promise
-// is active, owned by the caller, and unexpired.
+// ActionResult reports one piggybacked action's outcome.
+type ActionResult struct {
+	Result string `xml:"result,omitempty"`
+	Fault  *Fault `xml:"fault,omitempty"`
+}
+
+// CheckResult reports one promise's usability (or one release's outcome):
+// no fault means the promise was active, owned by the caller, and
+// unexpired.
 type CheckResult struct {
 	ID    string `xml:"id,attr"`
 	Fault *Fault `xml:"fault,omitempty"`

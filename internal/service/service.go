@@ -55,6 +55,17 @@ func (r *Registry) Resolve(name string) (Handler, error) {
 	return h, nil
 }
 
+// ResolveAction implements core.ActionResolver, so a Registry can be set as
+// Config.Actions and a local engine serves Request.ActionName exactly like
+// a daemon serving wire <action> elements.
+func (r *Registry) ResolveAction(name string) (core.NamedAction, error) {
+	h, err := r.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.NamedAction(h), nil
+}
+
 // Names lists registered actions, sorted, for tooling.
 func (r *Registry) Names() []string {
 	r.mu.RLock()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -39,7 +40,7 @@ func invoke(t *testing.T, reg *Registry, m *core.Manager, name string, params ma
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := m.Execute(core.Request{
+	resp, err := m.Execute(bg, core.Request{
 		Client: "tester",
 		Action: func(ac *core.ActionContext) (any, error) {
 			return h(params, ac)
@@ -159,7 +160,7 @@ func TestHandlersConcurrentOnShardedManager(t *testing.T) {
 			client := fmt.Sprintf("svc-%d", w)
 			params := map[string]string{"pool": pool, "delta": "-1"}
 			for i := 0; i < iters; i++ {
-				grant, err := s.Execute(core.Request{Client: client, PromiseRequests: []core.PromiseRequest{{
+				grant, err := s.Execute(bg, core.Request{Client: client, PromiseRequests: []core.PromiseRequest{{
 					Predicates: []core.Predicate{core.Quantity(pool, 1)},
 				}}})
 				if err != nil {
@@ -171,7 +172,7 @@ func TestHandlersConcurrentOnShardedManager(t *testing.T) {
 					t.Errorf("grant rejected: %s", pr.Reason)
 					return
 				}
-				resp, err := s.Execute(core.Request{
+				resp, err := s.Execute(bg, core.Request{
 					Client:    client,
 					Env:       []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 					Resources: []string{pool},
@@ -211,3 +212,5 @@ func TestHandlersConcurrentOnShardedManager(t *testing.T) {
 		t.Fatalf("audit unhealthy: %s", rep)
 	}
 }
+
+var bg = context.Background()

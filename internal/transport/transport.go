@@ -6,14 +6,22 @@
 // processing. The promise manager then does its work and passes the request
 // on to the application."
 //
-// The package also provides RemoteSupplier, a core.Supplier backed by a
-// Client, so delegation chains (§5) span processes.
+// Client implements the same context-first Engine surface as the in-process
+// managers (promises.Engine), so an application, supplier chain or tool
+// written against that interface runs unchanged whether its promise maker
+// is a local store or a remote daemon. The package also provides
+// RemoteSupplier, a core.Supplier backed by a Client, so delegation chains
+// (§5) span processes.
 package transport
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,14 +33,22 @@ import (
 // Endpoint is the promise manager's HTTP path.
 const Endpoint = "/promises"
 
-// Engine is the manager-side surface the transport needs. Both the
+// FaultHeader carries the protocol fault code of a non-200 response, so
+// top-level errors (bad request, unknown action) round-trip onto the same
+// sentinel errors local engines return — errors.Is works identically
+// against every engine shape.
+const FaultHeader = "X-Promise-Fault"
+
+// Engine is the manager-side surface the transport serves and the Client
+// re-exposes — the same method set as promises.Engine. Both the
 // single-store core.Manager and the sharded core.ShardedManager implement
 // it, so a daemon picks its concurrency model at construction time without
 // the transport caring.
 type Engine interface {
-	Execute(core.Request) (*core.Response, error)
-	GrantBatch(client string, reqs []core.PromiseRequest) ([]core.PromiseResponse, error)
-	CheckBatch(client string, ids []string) []error
+	Execute(ctx context.Context, req core.Request) (*core.Response, error)
+	GrantBatch(ctx context.Context, client string, reqs []core.PromiseRequest) ([]core.PromiseResponse, error)
+	CheckBatch(ctx context.Context, client string, ids []string) ([]error, error)
+	Release(ctx context.Context, client string, ids ...string) error
 	Stats() core.Stats
 	Audit() (*core.AuditReport, error)
 }
@@ -51,36 +67,77 @@ func NewServer(manager Engine, registry *service.Registry) *Server {
 // Handler returns the http.Handler exposing the promise endpoint plus two
 // read-only operational endpoints:
 //
-//	GET /stats  — the manager's activity counters (text)
-//	GET /audit  — a full consistency audit (text; 500 when unhealthy)
+//	GET /stats  — the manager's activity counters
+//	GET /audit  — a full consistency audit (500 when unhealthy)
+//
+// Both render human-readable text by default and structured JSON with
+// ?format=json, for machine scrapers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+Endpoint, s.handle)
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, s.manager.Stats())
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		st := s.manager.Stats()
+		if wantsJSON(r) {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, st)
 	})
-	mux.HandleFunc("GET /audit", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("GET /audit", func(w http.ResponseWriter, r *http.Request) {
 		rep, err := s.manager.Audit()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		status := http.StatusOK
 		if !rep.Healthy() {
-			w.WriteHeader(http.StatusInternalServerError)
+			status = http.StatusInternalServerError
 		}
+		if wantsJSON(r) {
+			writeJSON(w, status, rep)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(status)
 		fmt.Fprintln(w, rep)
 	})
 	return mux
 }
 
+// httpFault reports a top-level error, stamping its protocol fault code in
+// FaultHeader so the client can reconstruct the sentinel.
+func httpFault(w http.ResponseWriter, err error, status int) {
+	if f := protocol.FaultFromError(err); f != nil && f.Code != protocol.FaultActionFailed {
+		w.Header().Set(FaultHeader, f.Code)
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// wantsJSON reports whether the scrape asked for structured output.
+func wantsJSON(r *http.Request) bool {
+	return r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+// writeJSON renders v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
 func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	in, err := protocol.Decode(r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if in.Header.Batch != nil {
-		s.handleBatch(w, in)
+		s.handleBatch(ctx, w, in)
 		return
 	}
 	req := core.Request{Client: in.Header.Client}
@@ -96,31 +153,20 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	req.Env = protocol.EnvFromWire(in.Header.Environment)
 	if in.Body.Action != nil {
-		handler, err := s.registry.Resolve(in.Body.Action.Name)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+		if err := s.bindAction(&req, in.Body.Action); err != nil {
+			// An unknown action is a bad request on a local engine
+			// (resolveAction wraps ErrBadRequest); mirror that class so
+			// errors.Is behaves identically across deployments.
+			httpFault(w, fmt.Errorf("%w: %v", core.ErrBadRequest, err), http.StatusNotFound)
 			return
-		}
-		params := in.Body.Action.ParamMap()
-		req.Action = func(ac *core.ActionContext) (any, error) {
-			return handler(params, ac)
-		}
-		// The standard handlers name their resources in the "pool" and
-		// "instance" params; surface them so a sharded engine routes the
-		// action to the owning shard (the single-store engine ignores this).
-		if p := params["pool"]; p != "" {
-			req.Resources = append(req.Resources, p)
-		}
-		if p := params["instance"]; p != "" {
-			req.Resources = append(req.Resources, p)
 		}
 	}
 
-	resp, err := s.manager.Execute(req)
+	resp, err := s.manager.Execute(ctx, req)
 	if err != nil {
 		// Malformed request (e.g. missing client); internal failures also
 		// land here and surface as 500s via the fault-free error path.
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		httpFault(w, err, http.StatusBadRequest)
 		return
 	}
 
@@ -142,14 +188,40 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleBatch answers a <batch-request> envelope: all grants run through
-// the engine's batched grant path (one lock acquisition per shard set),
-// then all checks, and the results ride back in one <batch-response>.
-func (s *Server) handleBatch(w http.ResponseWriter, in *protocol.Envelope) {
+// bindAction resolves a wire action against the registry and attaches it to
+// req, surfacing the named resources so a sharded engine routes the action
+// to the owning shard (the single-store engine ignores Resources).
+func (s *Server) bindAction(req *core.Request, wa *protocol.WireAction) error {
+	handler, err := s.registry.Resolve(wa.Name)
+	if err != nil {
+		return err
+	}
+	params := wa.ParamMap()
+	req.Action = func(ac *core.ActionContext) (any, error) {
+		return handler(params, ac)
+	}
+	// The standard handlers name their resources in the "pool" and
+	// "instance" params.
+	if p := params["pool"]; p != "" {
+		req.Resources = append(req.Resources, p)
+	}
+	if p := params["instance"]; p != "" {
+		req.Resources = append(req.Resources, p)
+	}
+	return nil
+}
+
+// handleBatch answers a <batch-request> envelope: grants run through the
+// engine's batched grant path (one lock acquisition per shard set), then
+// standalone releases, then piggybacked actions (each its own §8
+// transaction), then checks — so checks observe the envelope's own releases
+// and actions — and the results ride back in one <batch-response>.
+func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, in *protocol.Envelope) {
 	if in.Header.Promise != nil || in.Header.Environment != nil || in.Body.Action != nil {
 		http.Error(w, "transport: batch-request cannot combine with promise, environment or action elements", http.StatusBadRequest)
 		return
 	}
+	client := in.Header.Client
 	batch := in.Header.Batch
 	reqs := make([]core.PromiseRequest, 0, len(batch.Grants))
 	for _, wr := range batch.Grants {
@@ -162,23 +234,50 @@ func (s *Server) handleBatch(w http.ResponseWriter, in *protocol.Envelope) {
 	}
 	out := &protocol.Envelope{}
 	out.Header.BatchResult = &protocol.BatchResponse{}
+	result := out.Header.BatchResult
 	if len(reqs) > 0 {
-		resps, err := s.manager.GrantBatch(in.Header.Client, reqs)
+		resps, err := s.manager.GrantBatch(ctx, client, reqs)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			httpFault(w, err, http.StatusBadRequest)
 			return
 		}
 		for _, pr := range resps {
-			out.Header.BatchResult.Responses = append(out.Header.BatchResult.Responses, protocol.ResponseToWire(pr))
+			result.Responses = append(result.Responses, protocol.ResponseToWire(pr))
 		}
+	}
+	for _, rel := range batch.Releases {
+		// Entries are independent: one dead promise must not strand its
+		// neighbours, so each release is its own engine call.
+		err := s.manager.Release(ctx, client, rel.ID)
+		result.Releases = append(result.Releases,
+			protocol.CheckResult{ID: rel.ID, Fault: protocol.FaultFromError(err)})
+	}
+	for _, ba := range batch.Actions {
+		req := core.Request{Client: client, Env: protocol.EnvFromWire(&protocol.EnvironmentHeader{Refs: ba.Env})}
+		ar := protocol.ActionResult{}
+		if err := s.bindAction(&req, &ba.Action); err != nil {
+			ar.Fault = &protocol.Fault{Code: protocol.FaultBadRequest, Message: err.Error()}
+		} else if resp, err := s.manager.Execute(ctx, req); err != nil {
+			ar.Fault = protocol.FaultFromError(err)
+		} else if resp.ActionErr != nil {
+			ar.Fault = protocol.FaultFromError(resp.ActionErr)
+		} else if s, ok := resp.ActionResult.(string); ok {
+			ar.Result = s
+		}
+		result.Actions = append(result.Actions, ar)
 	}
 	if len(batch.Checks) > 0 {
 		ids := make([]string, len(batch.Checks))
 		for i, c := range batch.Checks {
 			ids[i] = c.ID
 		}
-		for i, err := range s.manager.CheckBatch(in.Header.Client, ids) {
-			out.Header.BatchResult.Checks = append(out.Header.BatchResult.Checks,
+		errs, err := s.manager.CheckBatch(ctx, client, ids)
+		if err != nil {
+			httpFault(w, err, http.StatusBadRequest)
+			return
+		}
+		for i, err := range errs {
+			result.Checks = append(result.Checks,
 				protocol.CheckResult{ID: ids[i], Fault: protocol.FaultFromError(err)})
 		}
 	}
@@ -188,11 +287,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, in *protocol.Envelope) {
 	}
 }
 
-// Client talks to a remote promise manager.
+// Client talks to a remote promise manager through the same context-first
+// Engine surface the in-process managers expose, so call sites cannot tell
+// a daemon from a local store.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8642".
 	BaseURL string
-	// Client identifies this promise client to the manager.
+	// Client is the default promise-client identity, used when a call does
+	// not carry its own (Request.Client or the client argument).
 	Client string
 	// HTTP is the underlying transport; nil uses http.DefaultClient.
 	HTTP *http.Client
@@ -205,15 +307,30 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// Do sends an envelope (stamping the client identity) and returns the
-// response envelope.
-func (c *Client) Do(env *protocol.Envelope) (*protocol.Envelope, error) {
-	env.Header.Client = c.Client
+// clientID resolves a per-call identity against the bound default.
+func (c *Client) clientID(client string) string {
+	if client != "" {
+		return client
+	}
+	return c.Client
+}
+
+// Do sends an envelope (stamping the default client identity when the
+// envelope carries none) and returns the response envelope.
+func (c *Client) Do(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	if env.Header.Client == "" {
+		env.Header.Client = c.Client
+	}
 	var buf bytes.Buffer
 	if err := protocol.Encode(&buf, env); err != nil {
 		return nil, err
 	}
-	httpResp, err := c.httpClient().Post(c.BaseURL+Endpoint, "application/xml", &buf)
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+Endpoint, &buf)
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/xml")
+	httpResp, err := c.httpClient().Do(httpReq)
 	if err != nil {
 		return nil, err
 	}
@@ -221,9 +338,81 @@ func (c *Client) Do(env *protocol.Envelope) (*protocol.Envelope, error) {
 	if httpResp.StatusCode != http.StatusOK {
 		var msg bytes.Buffer
 		_, _ = msg.ReadFrom(httpResp.Body)
+		// A stamped fault code reconstructs the sentinel the engine raised,
+		// so errors.Is(err, ErrBadRequest) etc. work like a local call.
+		if code := httpResp.Header.Get(FaultHeader); code != "" {
+			return nil, protocol.ErrorFromFault(&protocol.Fault{
+				Code:    code,
+				Message: fmt.Sprintf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes())),
+			})
+		}
 		return nil, fmt.Errorf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes()))
 	}
 	return protocol.Decode(httpResp.Body)
+}
+
+// Execute implements the Engine surface over the wire: promise requests,
+// environment entries and a named action cross as one §6 envelope and run
+// as one atomic message on the server. Function-valued actions cannot cross
+// the wire — requests carrying Request.Action are rejected; use
+// Request.ActionName, which the daemon resolves against its registry. The
+// returned ActionResult is always the action's string rendering.
+func (c *Client) Execute(ctx context.Context, req core.Request) (*core.Response, error) {
+	if req.Action != nil {
+		return nil, fmt.Errorf("%w: transport: function actions cannot cross the wire; use Request.ActionName", core.ErrBadRequest)
+	}
+	msg := &protocol.Envelope{}
+	msg.Header.Client = c.clientID(req.Client)
+	if len(req.PromiseRequests) > 0 {
+		msg.Header.Promise = &protocol.PromiseHeader{}
+		for _, r := range req.PromiseRequests {
+			msg.Header.Promise.Requests = append(msg.Header.Promise.Requests, protocol.RequestToWire(r))
+		}
+	}
+	msg.Header.Environment = protocol.EnvToWire(req.Env)
+	if req.ActionName != "" {
+		action := &protocol.WireAction{Name: req.ActionName}
+		for _, k := range sortedParamKeys(req.ActionParams) {
+			action.Params = append(action.Params, protocol.Param{Name: k, Value: req.ActionParams[k]})
+		}
+		msg.Body.Action = action
+	}
+
+	reply, err := c.Do(ctx, msg)
+	if err != nil {
+		return nil, err
+	}
+	out := &core.Response{}
+	if reply.Body.Result != "" {
+		out.ActionResult = reply.Body.Result
+	}
+	if reply.Header.Promise != nil {
+		for _, wr := range reply.Header.Promise.Responses {
+			pr, err := protocol.ResponseFromWire(wr)
+			if err != nil {
+				return nil, err
+			}
+			out.Promises = append(out.Promises, pr)
+		}
+	}
+	// Local engines answer every promise request positionally; a reply that
+	// doesn't (version skew, broken middlebox) must error, not make
+	// resp.Promises[i] indexing panic at the call site.
+	if len(out.Promises) != len(req.PromiseRequests) {
+		return nil, fmt.Errorf("transport: got %d promise responses, want %d", len(out.Promises), len(req.PromiseRequests))
+	}
+	out.ActionErr = protocol.ErrorFromFault(reply.Body.Fault)
+	return out, nil
+}
+
+// sortedParamKeys orders action parameters deterministically on the wire.
+func sortedParamKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Result is the client-side view of one full exchange.
@@ -237,8 +426,9 @@ type Result struct {
 }
 
 // Exchange sends promise requests, an environment and an optional action in
-// one message and decodes the reply.
-func (c *Client) Exchange(reqs []core.PromiseRequest, env []core.EnvEntry, action *protocol.WireAction) (*Result, error) {
+// one message and decodes the reply — the envelope-level surface beneath
+// Execute, for callers that build wire actions directly.
+func (c *Client) Exchange(ctx context.Context, reqs []core.PromiseRequest, env []core.EnvEntry, action *protocol.WireAction) (*Result, error) {
 	msg := &protocol.Envelope{}
 	if len(reqs) > 0 {
 		msg.Header.Promise = &protocol.PromiseHeader{}
@@ -249,7 +439,7 @@ func (c *Client) Exchange(reqs []core.PromiseRequest, env []core.EnvEntry, actio
 	msg.Header.Environment = protocol.EnvToWire(env)
 	msg.Body.Action = action
 
-	reply, err := c.Do(msg)
+	reply, err := c.Do(ctx, msg)
 	if err != nil {
 		return nil, err
 	}
@@ -267,66 +457,193 @@ func (c *Client) Exchange(reqs []core.PromiseRequest, env []core.EnvEntry, actio
 	return out, nil
 }
 
-// GrantBatch sends many independent promise requests in one round trip and
-// returns the responses in request order — the remote mirror of the
-// engines' GrantBatch.
-func (c *Client) GrantBatch(reqs []core.PromiseRequest) ([]core.PromiseResponse, error) {
+// Batch is one multi-operation round trip: independent grants, standalone
+// releases, piggybacked actions and usability checks — the client face of
+// the extended §6 <batch-request> element.
+type Batch struct {
+	Grants   []core.PromiseRequest
+	Releases []string
+	Actions  []BatchAction
+	Checks   []string
+}
+
+// BatchAction is one piggybacked action invocation.
+type BatchAction struct {
+	Name   string
+	Params map[string]string
+	// Env protects the action; release options apply atomically with it.
+	Env []core.EnvEntry
+}
+
+// BatchOutcome carries a Batch's results, index-aligned with its fields.
+type BatchOutcome struct {
+	Grants      []core.PromiseResponse
+	ReleaseErrs []error
+	Actions     []ActionOutcome
+	CheckErrs   []error
+}
+
+// ActionOutcome is one piggybacked action's result or error.
+type ActionOutcome struct {
+	Result string
+	Err    error
+}
+
+// DoBatch runs a whole Batch in one round trip for the given client (empty
+// means the bound identity). The server processes grants, then releases,
+// then actions, then checks.
+func (c *Client) DoBatch(ctx context.Context, client string, b Batch) (*BatchOutcome, error) {
 	msg := &protocol.Envelope{}
+	msg.Header.Client = c.clientID(client)
 	msg.Header.Batch = &protocol.BatchRequest{}
-	for _, r := range reqs {
+	for _, r := range b.Grants {
 		msg.Header.Batch.Grants = append(msg.Header.Batch.Grants, protocol.RequestToWire(r))
 	}
-	reply, err := c.Do(msg)
+	for _, id := range b.Releases {
+		msg.Header.Batch.Releases = append(msg.Header.Batch.Releases, protocol.PromiseRef{ID: id, Release: true})
+	}
+	for _, ba := range b.Actions {
+		wa := protocol.BatchAction{Action: protocol.WireAction{Name: ba.Name}}
+		for _, k := range sortedParamKeys(ba.Params) {
+			wa.Action.Params = append(wa.Action.Params, protocol.Param{Name: k, Value: ba.Params[k]})
+		}
+		if env := protocol.EnvToWire(ba.Env); env != nil {
+			wa.Env = env.Refs
+		}
+		msg.Header.Batch.Actions = append(msg.Header.Batch.Actions, wa)
+	}
+	for _, id := range b.Checks {
+		msg.Header.Batch.Checks = append(msg.Header.Batch.Checks, protocol.PromiseRef{ID: id})
+	}
+
+	reply, err := c.Do(ctx, msg)
 	if err != nil {
 		return nil, err
 	}
-	if reply.Header.BatchResult == nil {
+	br := reply.Header.BatchResult
+	if br == nil {
 		return nil, fmt.Errorf("transport: reply carries no batch-response")
 	}
-	out := make([]core.PromiseResponse, 0, len(reply.Header.BatchResult.Responses))
-	for _, wr := range reply.Header.BatchResult.Responses {
+	if len(b.Grants) > 0 && len(br.Responses) != len(b.Grants) {
+		return nil, fmt.Errorf("transport: got %d batch responses, want %d", len(br.Responses), len(b.Grants))
+	}
+	if len(br.Releases) != len(b.Releases) {
+		return nil, fmt.Errorf("transport: got %d release results, want %d", len(br.Releases), len(b.Releases))
+	}
+	if len(br.Actions) != len(b.Actions) {
+		return nil, fmt.Errorf("transport: got %d action results, want %d", len(br.Actions), len(b.Actions))
+	}
+	if len(br.Checks) != len(b.Checks) {
+		return nil, fmt.Errorf("transport: got %d check results, want %d", len(br.Checks), len(b.Checks))
+	}
+	out := &BatchOutcome{}
+	for _, wr := range br.Responses {
 		pr, err := protocol.ResponseFromWire(wr)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, pr)
+		out.Grants = append(out.Grants, pr)
 	}
-	if len(out) != len(reqs) {
-		return nil, fmt.Errorf("transport: got %d batch responses, want %d", len(out), len(reqs))
+	for _, cr := range br.Releases {
+		out.ReleaseErrs = append(out.ReleaseErrs, protocol.ErrorFromFault(cr.Fault))
+	}
+	for _, ar := range br.Actions {
+		out.Actions = append(out.Actions, ActionOutcome{Result: ar.Result, Err: protocol.ErrorFromFault(ar.Fault)})
+	}
+	for _, cr := range br.Checks {
+		out.CheckErrs = append(out.CheckErrs, protocol.ErrorFromFault(cr.Fault))
 	}
 	return out, nil
 }
 
-// CheckBatch asks, in one round trip, whether each promise is currently
-// usable by this client: nil when usable, otherwise the sentinel-wrapped
-// error, exactly like the engines' CheckBatch.
-func (c *Client) CheckBatch(ids []string) ([]error, error) {
-	msg := &protocol.Envelope{}
-	msg.Header.Batch = &protocol.BatchRequest{}
-	for _, id := range ids {
-		msg.Header.Batch.Checks = append(msg.Header.Batch.Checks, protocol.PromiseRef{ID: id})
-	}
-	reply, err := c.Do(msg)
+// GrantBatch sends many independent promise requests in one round trip and
+// returns the responses in request order — the remote mirror of the
+// engines' GrantBatch.
+func (c *Client) GrantBatch(ctx context.Context, client string, reqs []core.PromiseRequest) ([]core.PromiseResponse, error) {
+	out, err := c.DoBatch(ctx, client, Batch{Grants: reqs})
 	if err != nil {
 		return nil, err
 	}
-	if reply.Header.BatchResult == nil {
-		return nil, fmt.Errorf("transport: reply carries no batch-response")
+	return out.Grants, nil
+}
+
+// CheckBatch asks, in one round trip, whether each promise is currently
+// usable by the client: nil when usable, otherwise the sentinel-wrapped
+// error, exactly like the engines' CheckBatch.
+func (c *Client) CheckBatch(ctx context.Context, client string, ids []string) ([]error, error) {
+	out, err := c.DoBatch(ctx, client, Batch{Checks: ids})
+	if err != nil {
+		return nil, err
 	}
-	checks := reply.Header.BatchResult.Checks
-	if len(checks) != len(ids) {
-		return nil, fmt.Errorf("transport: got %d check results, want %d", len(checks), len(ids))
+	return out.CheckErrs, nil
+}
+
+// Release hands back the named promises atomically in one round trip,
+// exactly like the engines' Release: either every id is usable and all are
+// released, or none are.
+func (c *Client) Release(ctx context.Context, client string, ids ...string) error {
+	if len(ids) == 0 {
+		return nil
 	}
-	out := make([]error, len(ids))
-	for i, cr := range checks {
-		out[i] = protocol.ErrorFromFault(cr.Fault)
+	env := make([]core.EnvEntry, len(ids))
+	for i, id := range ids {
+		env[i] = core.EnvEntry{PromiseID: id, Release: true}
 	}
-	return out, nil
+	resp, err := c.Execute(ctx, core.Request{Client: client, Env: env})
+	if err != nil {
+		return err
+	}
+	return resp.ActionErr
+}
+
+// FetchStats retrieves the daemon's activity counters from the structured
+// /stats endpoint.
+func (c *Client) FetchStats(ctx context.Context) (core.Stats, error) {
+	var st core.Stats
+	err := c.getJSON(ctx, "/stats?format=json", &st)
+	return st, err
+}
+
+// Stats implements the Engine surface. Transport failures yield a zero
+// snapshot; use FetchStats when the error matters.
+func (c *Client) Stats() core.Stats {
+	st, _ := c.FetchStats(context.Background())
+	return st
+}
+
+// Audit runs a server-side consistency audit and returns the report — like
+// the local engines, an unhealthy report is a report, not an error.
+func (c *Client) Audit() (*core.AuditReport, error) {
+	rep := &core.AuditReport{}
+	if err := c.getJSON(context.Background(), "/audit?format=json", rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// getJSON fetches one operational endpoint into out. A 500 with a JSON body
+// still decodes (an unhealthy audit is a valid report).
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	if !strings.HasPrefix(httpResp.Header.Get("Content-Type"), "application/json") {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(httpResp.Body)
+		return fmt.Errorf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes()))
+	}
+	return json.NewDecoder(httpResp.Body).Decode(out)
 }
 
 // RequestPromise asks for one promise over the given predicates.
-func (c *Client) RequestPromise(preds []core.Predicate, d time.Duration) (core.PromiseResponse, error) {
-	res, err := c.Exchange([]core.PromiseRequest{{Predicates: preds, Duration: d}}, nil, nil)
+func (c *Client) RequestPromise(ctx context.Context, preds []core.Predicate, d time.Duration) (core.PromiseResponse, error) {
+	res, err := c.Exchange(ctx, []core.PromiseRequest{{Predicates: preds, Duration: d}}, nil, nil)
 	if err != nil {
 		return core.PromiseResponse{}, err
 	}
@@ -336,35 +653,27 @@ func (c *Client) RequestPromise(preds []core.Predicate, d time.Duration) (core.P
 	return res.Promises[0], nil
 }
 
-// Release hands back a promise.
-func (c *Client) Release(promiseID string) error {
-	res, err := c.Exchange(nil, []core.EnvEntry{{PromiseID: promiseID, Release: true}}, nil)
-	if err != nil {
-		return err
-	}
-	return res.ActionErr
-}
-
 // Invoke runs a registered action under the given environment.
-func (c *Client) Invoke(env []core.EnvEntry, name string, params map[string]string) (string, error) {
-	action := &protocol.WireAction{Name: name}
-	for k, v := range params {
-		action.Params = append(action.Params, protocol.Param{Name: k, Value: v})
-	}
-	res, err := c.Exchange(nil, env, action)
+func (c *Client) Invoke(ctx context.Context, env []core.EnvEntry, name string, params map[string]string) (string, error) {
+	resp, err := c.Execute(ctx, core.Request{Env: env, ActionName: name, ActionParams: params})
 	if err != nil {
 		return "", err
 	}
-	if res.ActionErr != nil {
-		return "", res.ActionErr
+	if resp.ActionErr != nil {
+		return "", resp.ActionErr
 	}
-	return res.ActionResult, nil
+	s, _ := resp.ActionResult.(string)
+	return s, nil
 }
 
 // RemoteSupplier adapts a Client into a core.Supplier so a local manager
 // can delegate shortfalls to a remote one (§5) — the cross-process version
 // of core.ManagerSupplier. It remembers which pool each upstream promise
 // covers, because the wire protocol (like §6) has no promise introspection.
+//
+// Deprecated: promises.EngineSupplier fronts any Engine — including this
+// package's Client — with the same bookkeeping; it cannot live here only
+// because transport must not import the facade. New code should use it.
 type RemoteSupplier struct {
 	C *Client
 
@@ -373,8 +682,8 @@ type RemoteSupplier struct {
 }
 
 // RequestPromise implements core.Supplier.
-func (s *RemoteSupplier) RequestPromise(pool string, qty int64, d time.Duration) (string, error) {
-	pr, err := s.C.RequestPromise([]core.Predicate{core.Quantity(pool, qty)}, d)
+func (s *RemoteSupplier) RequestPromise(ctx context.Context, pool string, qty int64, d time.Duration) (string, error) {
+	pr, err := s.C.RequestPromise(ctx, []core.Predicate{core.Quantity(pool, qty)}, d)
 	if err != nil {
 		return "", err
 	}
@@ -391,16 +700,16 @@ func (s *RemoteSupplier) RequestPromise(pool string, qty int64, d time.Duration)
 }
 
 // ReleasePromise implements core.Supplier.
-func (s *RemoteSupplier) ReleasePromise(id string) error {
+func (s *RemoteSupplier) ReleasePromise(ctx context.Context, id string) error {
 	s.mu.Lock()
 	delete(s.pools, id)
 	s.mu.Unlock()
-	return s.C.Release(id)
+	return s.C.Release(ctx, "", id)
 }
 
 // ConsumePromise implements core.Supplier via the standard adjust-pool
 // action; the server must have service.RegisterStandard handlers installed.
-func (s *RemoteSupplier) ConsumePromise(id string, qty int64) error {
+func (s *RemoteSupplier) ConsumePromise(ctx context.Context, id string, qty int64) error {
 	s.mu.Lock()
 	pool, ok := s.pools[id]
 	delete(s.pools, id)
@@ -408,7 +717,7 @@ func (s *RemoteSupplier) ConsumePromise(id string, qty int64) error {
 	if !ok {
 		return fmt.Errorf("transport: unknown upstream promise %q", id)
 	}
-	res, err := s.C.Exchange(nil, []core.EnvEntry{{PromiseID: id, Release: true}}, &protocol.WireAction{
+	res, err := s.C.Exchange(ctx, nil, []core.EnvEntry{{PromiseID: id, Release: true}}, &protocol.WireAction{
 		Name: "adjust-pool",
 		Params: []protocol.Param{
 			{Name: "pool", Value: pool},

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -58,7 +59,7 @@ func TestEndToEndFigure1OverHTTP(t *testing.T) {
 	c := &Client{BaseURL: srv.URL, Client: "order-process"}
 
 	// Promise request.
-	pr, err := c.RequestPromise([]core.Predicate{core.Quantity("pink-widgets", 5)}, time.Minute)
+	pr, err := c.RequestPromise(bg, []core.Predicate{core.Quantity("pink-widgets", 5)}, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestEndToEndFigure1OverHTTP(t *testing.T) {
 	}
 
 	// Purchase with atomic release, via the registered action.
-	result, err := c.Invoke(
+	result, err := c.Invoke(bg,
 		[]core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		"adjust-pool", map[string]string{"pool": "pink-widgets", "delta": "-5"},
 	)
@@ -94,7 +95,7 @@ func TestRejectionOverHTTP(t *testing.T) {
 		return seedPool(m, "w", 3)
 	})
 	c := &Client{BaseURL: srv.URL, Client: "c"}
-	pr, err := c.RequestPromise([]core.Predicate{core.Quantity("w", 5)}, 0)
+	pr, err := c.RequestPromise(bg, []core.Predicate{core.Quantity("w", 5)}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,16 +113,16 @@ func TestFaultMappingOverHTTP(t *testing.T) {
 	})
 	c := &Client{BaseURL: srv.URL, Client: "c"}
 	// Using an unknown promise id yields a typed fault on the client side.
-	_, err := c.Invoke([]core.EnvEntry{{PromiseID: "prm-404"}}, "pool-level", map[string]string{"pool": "w"})
+	_, err := c.Invoke(bg, []core.EnvEntry{{PromiseID: "prm-404"}}, "pool-level", map[string]string{"pool": "w"})
 	if !errors.Is(err, core.ErrPromiseNotFound) {
 		t.Fatalf("err = %v, want ErrPromiseNotFound", err)
 	}
 	// Releasing twice yields promise-released.
-	pr, _ := c.RequestPromise([]core.Predicate{core.Quantity("w", 1)}, 0)
-	if err := c.Release(pr.PromiseID); err != nil {
+	pr, _ := c.RequestPromise(bg, []core.Predicate{core.Quantity("w", 1)}, 0)
+	if err := c.Release(bg, "", pr.PromiseID); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Release(pr.PromiseID); !errors.Is(err, core.ErrPromiseReleased) {
+	if err := c.Release(bg, "", pr.PromiseID); !errors.Is(err, core.ErrPromiseReleased) {
 		t.Fatalf("double release err = %v", err)
 	}
 }
@@ -131,17 +132,17 @@ func TestViolationFaultOverHTTP(t *testing.T) {
 		return seedPool(m, "w", 10)
 	})
 	holder := &Client{BaseURL: srv.URL, Client: "holder"}
-	pr, err := holder.RequestPromise([]core.Predicate{core.Quantity("w", 8)}, time.Minute)
+	pr, err := holder.RequestPromise(bg, []core.Predicate{core.Quantity("w", 8)}, time.Minute)
 	if err != nil || !pr.Accepted {
 		t.Fatalf("setup: %v %v", pr, err)
 	}
 	rogue := &Client{BaseURL: srv.URL, Client: "rogue"}
-	_, err = rogue.Invoke(nil, "adjust-pool", map[string]string{"pool": "w", "delta": "-5"})
+	_, err = rogue.Invoke(bg, nil, "adjust-pool", map[string]string{"pool": "w", "delta": "-5"})
 	if !errors.Is(err, core.ErrPromiseViolated) {
 		t.Fatalf("err = %v, want ErrPromiseViolated", err)
 	}
 	// State intact.
-	level, err := rogue.Invoke(nil, "pool-level", map[string]string{"pool": "w"})
+	level, err := rogue.Invoke(bg, nil, "pool-level", map[string]string{"pool": "w"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestViolationFaultOverHTTP(t *testing.T) {
 func TestUnknownActionIs404(t *testing.T) {
 	srv, _ := newTestServer(t, nil)
 	c := &Client{BaseURL: srv.URL, Client: "c"}
-	_, err := c.Invoke(nil, "launch-missiles", nil)
+	_, err := c.Invoke(bg, nil, "launch-missiles", nil)
 	if err == nil || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("err = %v, want 404", err)
 	}
@@ -162,7 +163,7 @@ func TestUnknownActionIs404(t *testing.T) {
 func TestMissingClientIsBadRequest(t *testing.T) {
 	srv, _ := newTestServer(t, nil)
 	c := &Client{BaseURL: srv.URL, Client: ""}
-	_, err := c.Exchange(nil, nil, nil)
+	_, err := c.Exchange(bg, nil, nil, nil)
 	if err == nil || !strings.Contains(err.Error(), "400") {
 		t.Fatalf("err = %v, want 400", err)
 	}
@@ -196,7 +197,7 @@ func TestRemoteSupplierDelegationChain(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err := merchant.Execute(core.Request{
+	resp, err := merchant.Execute(bg, core.Request{
 		Client: "customer",
 		PromiseRequests: []core.PromiseRequest{{
 			Predicates: []core.Predicate{core.Quantity("widgets", 8)},
@@ -222,7 +223,7 @@ func TestRemoteSupplierDelegationChain(t *testing.T) {
 		t.Fatalf("upstream state = %v", up.State)
 	}
 	// Release propagates over HTTP.
-	if _, err := merchant.Execute(core.Request{
+	if _, err := merchant.Execute(bg, core.Request{
 		Client: "customer",
 		Env:    []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 	}); err != nil {
@@ -239,11 +240,11 @@ func TestRemoteSupplierConsume(t *testing.T) {
 		return seedPool(m, "w", 10)
 	})
 	sup := &RemoteSupplier{C: &Client{BaseURL: distSrv.URL, Client: "m"}}
-	id, err := sup.RequestPromise("w", 4, time.Minute)
+	id, err := sup.RequestPromise(bg, "w", 4, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sup.ConsumePromise(id, 4); err != nil {
+	if err := sup.ConsumePromise(bg, id, 4); err != nil {
 		t.Fatal(err)
 	}
 	tx := distM.Store().Begin(txn.Block)
@@ -252,7 +253,7 @@ func TestRemoteSupplierConsume(t *testing.T) {
 	if p.OnHand != 6 {
 		t.Fatalf("on hand = %d", p.OnHand)
 	}
-	if err := sup.ConsumePromise("up-unknown", 1); err == nil {
+	if err := sup.ConsumePromise(bg, "up-unknown", 1); err == nil {
 		t.Fatal("unknown upstream promise consumed")
 	}
 }
@@ -262,7 +263,7 @@ func TestOpsEndpoints(t *testing.T) {
 		return seedPool(m, "w", 10)
 	})
 	c := &Client{BaseURL: srv.URL, Client: "c"}
-	if _, err := c.RequestPromise([]core.Predicate{core.Quantity("w", 5)}, time.Minute); err != nil {
+	if _, err := c.RequestPromise(bg, []core.Predicate{core.Quantity("w", 5)}, time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	get := func(path string) (int, string) {
@@ -294,7 +295,7 @@ func TestPiggybackedGrantAndAction(t *testing.T) {
 		return seedPool(m, "w", 10)
 	})
 	c := &Client{BaseURL: srv.URL, Client: "c"}
-	res, err := c.Exchange(
+	res, err := c.Exchange(bg,
 		[]core.PromiseRequest{{Predicates: []core.Predicate{core.Quantity("w", 3)}}},
 		nil,
 		&protocol.WireAction{Name: "pool-level", Params: []protocol.Param{{Name: "pool", Value: "w"}}},
@@ -341,7 +342,7 @@ func TestShardedServerConcurrentClients(t *testing.T) {
 			c := &Client{BaseURL: srv.URL, Client: fmt.Sprintf("http-%d", w)}
 			pool := pools[w]
 			for i := 0; i < iters; i++ {
-				pr, err := c.RequestPromise([]core.Predicate{core.Quantity(pool, 1)}, time.Hour)
+				pr, err := c.RequestPromise(bg, []core.Predicate{core.Quantity(pool, 1)}, time.Hour)
 				if err != nil {
 					t.Error(err)
 					return
@@ -351,7 +352,7 @@ func TestShardedServerConcurrentClients(t *testing.T) {
 					return
 				}
 				// The "pool" param routes the action to the owning shard.
-				if _, err := c.Invoke([]core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+				if _, err := c.Invoke(bg, []core.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 					"adjust-pool", map[string]string{"pool": pool, "delta": "-1"}); err != nil {
 					t.Error(err)
 					return
@@ -391,7 +392,7 @@ func TestBatchOverHTTP(t *testing.T) {
 	})
 	c := &Client{BaseURL: srv.URL, Client: "loader"}
 
-	first, err := c.RequestPromise([]core.Predicate{core.Quantity("bulk", 10)}, time.Minute)
+	first, err := c.RequestPromise(bg, []core.Predicate{core.Quantity("bulk", 10)}, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +400,7 @@ func TestBatchOverHTTP(t *testing.T) {
 		t.Fatalf("seed grant rejected: %s", first.Reason)
 	}
 
-	resps, err := c.GrantBatch([]core.PromiseRequest{
+	resps, err := c.GrantBatch(bg, "", []core.PromiseRequest{
 		{RequestID: "up", Predicates: []core.Predicate{core.Quantity("bulk", 10)}, Releases: []string{first.PromiseID}},
 		{RequestID: "no", Predicates: []core.Predicate{core.Quantity("bulk", 99)}},
 	})
@@ -419,7 +420,7 @@ func TestBatchOverHTTP(t *testing.T) {
 		t.Fatal("over-capacity batch entry granted")
 	}
 
-	checks, err := c.CheckBatch([]string{resps[0].PromiseID, first.PromiseID, "prm-nope"})
+	checks, err := c.CheckBatch(bg, "", []string{resps[0].PromiseID, first.PromiseID, "prm-nope"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,7 +461,7 @@ func TestBatchOverHTTPSharded(t *testing.T) {
 	defer srv.Close()
 	c := &Client{BaseURL: srv.URL, Client: "loader"}
 
-	resps, err := c.GrantBatch([]core.PromiseRequest{
+	resps, err := c.GrantBatch(bg, "", []core.PromiseRequest{
 		{RequestID: "solo", Predicates: []core.Predicate{core.Quantity(a, 2)}},
 		{RequestID: "span", Predicates: []core.Predicate{core.Quantity(a, 2), core.Quantity(b, 2)}},
 	})
@@ -473,7 +474,7 @@ func TestBatchOverHTTPSharded(t *testing.T) {
 	if !strings.HasPrefix(resps[1].PromiseID, "shp-") {
 		t.Fatalf("cross-shard batch entry id = %q, want composite", resps[1].PromiseID)
 	}
-	checks, err := c.CheckBatch([]string{resps[0].PromiseID, resps[1].PromiseID})
+	checks, err := c.CheckBatch(bg, "", []string{resps[0].PromiseID, resps[1].PromiseID})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -490,7 +491,9 @@ func TestBatchCannotCombineWithAction(t *testing.T) {
 	env.Header.Batch = &protocol.BatchRequest{}
 	env.Body.Action = &protocol.WireAction{Name: "adjust-pool"}
 	c := &Client{BaseURL: srv.URL, Client: "loader"}
-	if _, err := c.Do(env); err == nil || !strings.Contains(err.Error(), "batch-request") {
+	if _, err := c.Do(bg, env); err == nil || !strings.Contains(err.Error(), "batch-request") {
 		t.Fatalf("combined batch+action err = %v, want bad-request naming batch-request", err)
 	}
 }
+
+var bg = context.Background()

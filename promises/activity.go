@@ -1,12 +1,11 @@
 package promises
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
-
-	"repro/internal/transport"
 )
 
 // This file implements the §10 future-work item of integrating promises
@@ -17,68 +16,10 @@ import (
 // obtained, everything already held is handed back (compensation), since
 // "the autonomy of service-providers means that there is no way to demand
 // atomicity across long duration business processes" (§4).
-
-// PromiseMaker abstracts one promise-granting endpoint: a local Manager or
-// a remote manager reached through the wire protocol.
-type PromiseMaker interface {
-	// RequestPromise submits one promise request for the given client.
-	RequestPromise(client string, pr PromiseRequest) (PromiseResponse, error)
-	// ReleasePromise hands a promise back.
-	ReleasePromise(client string, id string) error
-}
-
-// LocalMaker adapts a Manager into a PromiseMaker.
-type LocalMaker struct {
-	M *Manager
-}
-
-// RequestPromise implements PromiseMaker.
-func (l *LocalMaker) RequestPromise(client string, pr PromiseRequest) (PromiseResponse, error) {
-	resp, err := l.M.Execute(Request{Client: client, PromiseRequests: []PromiseRequest{pr}})
-	if err != nil {
-		return PromiseResponse{}, err
-	}
-	return resp.Promises[0], nil
-}
-
-// ReleasePromise implements PromiseMaker.
-func (l *LocalMaker) ReleasePromise(client, id string) error {
-	resp, err := l.M.Execute(Request{Client: client, Env: []EnvEntry{{PromiseID: id, Release: true}}})
-	if err != nil {
-		return err
-	}
-	return resp.ActionErr
-}
-
-// RemoteMaker adapts a transport.Client into a PromiseMaker. The client's
-// own identity is used; the per-call client argument must match it.
-type RemoteMaker struct {
-	C *transport.Client
-}
-
-// RequestPromise implements PromiseMaker.
-func (r *RemoteMaker) RequestPromise(client string, pr PromiseRequest) (PromiseResponse, error) {
-	if client != r.C.Client {
-		return PromiseResponse{}, fmt.Errorf("%w: remote maker is bound to client %q, got %q",
-			ErrBadRequest, r.C.Client, client)
-	}
-	res, err := r.C.Exchange([]PromiseRequest{pr}, nil, nil)
-	if err != nil {
-		return PromiseResponse{}, err
-	}
-	if len(res.Promises) != 1 {
-		return PromiseResponse{}, fmt.Errorf("promises: got %d responses, want 1", len(res.Promises))
-	}
-	return res.Promises[0], nil
-}
-
-// ReleasePromise implements PromiseMaker.
-func (r *RemoteMaker) ReleasePromise(client, id string) error {
-	if client != r.C.Client {
-		return fmt.Errorf("%w: remote maker is bound to client %q, got %q", ErrBadRequest, r.C.Client, client)
-	}
-	return r.C.Release(id)
-}
+//
+// Promise makers are Engines: the same Activity code acquires from local
+// managers and remote daemons interchangeably, which is the whole point of
+// the unified surface.
 
 // ErrActivityClosed is returned when obtaining through a completed or
 // cancelled activity.
@@ -86,11 +27,11 @@ var ErrActivityClosed = errors.New("promises: activity already closed")
 
 // heldPromise tracks one obtained promise and where to release it.
 type heldPromise struct {
-	maker PromiseMaker
-	id    string
+	engine Engine
+	id     string
 }
 
-// Activity coordinates promise acquisition across managers for one
+// Activity coordinates promise acquisition across engines for one
 // long-running business process.
 type Activity struct {
 	client string
@@ -105,11 +46,11 @@ func NewActivity(client string) *Activity {
 	return &Activity{client: client}
 }
 
-// Obtain requests one promise from mk and tracks it on success. A
-// rejection is returned as-is (the caller may try alternatives, §4's
-// "trying alternative resources and predicates"); transport errors
-// propagate. Neither cancels the activity.
-func (a *Activity) Obtain(mk PromiseMaker, preds []Predicate, d time.Duration) (PromiseResponse, error) {
+// Obtain requests one promise from e and tracks it on success. A rejection
+// is returned as-is (the caller may try alternatives, §4's "trying
+// alternative resources and predicates"); transport errors propagate.
+// Neither cancels the activity.
+func (a *Activity) Obtain(ctx context.Context, e Engine, preds []Predicate, d time.Duration) (PromiseResponse, error) {
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
@@ -117,19 +58,23 @@ func (a *Activity) Obtain(mk PromiseMaker, preds []Predicate, d time.Duration) (
 	}
 	a.mu.Unlock()
 
-	pr, err := mk.RequestPromise(a.client, PromiseRequest{Predicates: preds, Duration: d})
+	resp, err := e.Execute(ctx, Request{
+		Client:          a.client,
+		PromiseRequests: []PromiseRequest{{Predicates: preds, Duration: d}},
+	})
 	if err != nil {
 		return PromiseResponse{}, err
 	}
+	pr := resp.Promises[0]
 	if pr.Accepted {
 		a.mu.Lock()
 		if a.closed {
 			// Lost the race with Cancel/Complete: hand it straight back.
 			a.mu.Unlock()
-			_ = mk.ReleasePromise(a.client, pr.PromiseID)
+			_ = e.Release(context.Background(), a.client, pr.PromiseID)
 			return PromiseResponse{}, ErrActivityClosed
 		}
-		a.held = append(a.held, heldPromise{maker: mk, id: pr.PromiseID})
+		a.held = append(a.held, heldPromise{engine: e, id: pr.PromiseID})
 		a.mu.Unlock()
 	}
 	return pr, nil
@@ -138,8 +83,8 @@ func (a *Activity) Obtain(mk PromiseMaker, preds []Predicate, d time.Duration) (
 // MustObtain is Obtain that cancels the whole activity when the promise is
 // rejected or errors, returning what went wrong. This is the all-or-release
 // acquisition pattern of the §4 travel agent.
-func (a *Activity) MustObtain(mk PromiseMaker, preds []Predicate, d time.Duration) (PromiseResponse, error) {
-	pr, err := a.Obtain(mk, preds, d)
+func (a *Activity) MustObtain(ctx context.Context, e Engine, preds []Predicate, d time.Duration) (PromiseResponse, error) {
+	pr, err := a.Obtain(ctx, e, preds, d)
 	if err != nil {
 		_ = a.Cancel()
 		return PromiseResponse{}, err
@@ -164,7 +109,9 @@ func (a *Activity) Held() []string {
 
 // Cancel releases every held promise, in reverse acquisition order
 // (compensation). Errors are collected; releasing continues past failures
-// so one unreachable maker cannot strand the rest.
+// so one unreachable engine cannot strand the rest. Compensation runs
+// under context.Background(): the work must complete even when the
+// process's own context has died.
 func (a *Activity) Cancel() error {
 	a.mu.Lock()
 	if a.closed {
@@ -178,7 +125,7 @@ func (a *Activity) Cancel() error {
 
 	var errs []error
 	for i := len(held) - 1; i >= 0; i-- {
-		if err := held[i].maker.ReleasePromise(a.client, held[i].id); err != nil {
+		if err := held[i].engine.Release(context.Background(), a.client, held[i].id); err != nil {
 			errs = append(errs, fmt.Errorf("release %s: %w", held[i].id, err))
 		}
 	}

@@ -1,6 +1,7 @@
 package promises_test
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"sync"
@@ -9,40 +10,47 @@ import (
 
 	"repro/internal/service"
 	"repro/internal/transport"
-	"repro/internal/txn"
 	"repro/promises"
 )
 
-func newMakerWorld(t *testing.T, pools map[string]int64) *promises.Manager {
+var bg = context.Background()
+
+// inspector is the introspection surface of the local engines.
+type inspector interface {
+	PromiseInfo(id string) (promises.Promise, error)
+	ActivePromises() ([]promises.Promise, error)
+}
+
+func newEngineWorld(t *testing.T, pools map[string]int64) promises.Engine {
 	t.Helper()
-	m, err := promises.New(promises.Config{})
+	eng, err := promises.Open()
 	if err != nil {
 		t.Fatal(err)
 	}
-	tx := m.Store().Begin(txn.Block)
+	seeder, err := promises.Seed(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for pool, qty := range pools {
-		if err := m.Resources().CreatePool(tx, pool, qty, nil); err != nil {
+		if err := seeder.CreatePool(pool, qty, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := tx.Commit(); err != nil {
-		t.Fatal(err)
-	}
-	return m
+	return eng
 }
 
 func TestActivityAllOrReleaseSuccess(t *testing.T) {
 	// §4's travel agent across three autonomous services.
-	airline := newMakerWorld(t, map[string]int64{"seats": 2})
-	cars := newMakerWorld(t, map[string]int64{"cars": 1})
-	hotel := newMakerWorld(t, map[string]int64{"rooms": 5})
+	airline := newEngineWorld(t, map[string]int64{"seats": 2})
+	cars := newEngineWorld(t, map[string]int64{"cars": 1})
+	hotel := newEngineWorld(t, map[string]int64{"rooms": 5})
 
 	a := promises.NewActivity("agent")
 	for _, leg := range []struct {
-		m    *promises.Manager
+		e    promises.Engine
 		pool string
 	}{{airline, "seats"}, {cars, "cars"}, {hotel, "rooms"}} {
-		if _, err := a.MustObtain(&promises.LocalMaker{M: leg.m},
+		if _, err := a.MustObtain(bg, leg.e,
 			[]promises.Predicate{promises.Quantity(leg.pool, 1)}, time.Minute); err != nil {
 			t.Fatal(err)
 		}
@@ -55,8 +63,8 @@ func TestActivityAllOrReleaseSuccess(t *testing.T) {
 		t.Fatalf("held = %v", held)
 	}
 	// Promises remain active after completion: the agent consumes them.
-	for i, m := range []*promises.Manager{airline, cars, hotel} {
-		info, err := m.PromiseInfo(held[i])
+	for i, e := range []promises.Engine{airline, cars, hotel} {
+		info, err := e.(inspector).PromiseInfo(held[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,22 +75,22 @@ func TestActivityAllOrReleaseSuccess(t *testing.T) {
 }
 
 func TestActivityCompensatesOnFailure(t *testing.T) {
-	airline := newMakerWorld(t, map[string]int64{"seats": 2})
-	cars := newMakerWorld(t, map[string]int64{"cars": 0}) // no cars anywhere
+	airline := newEngineWorld(t, map[string]int64{"seats": 2})
+	cars := newEngineWorld(t, map[string]int64{"cars": 0}) // no cars anywhere
 
 	a := promises.NewActivity("agent")
-	if _, err := a.MustObtain(&promises.LocalMaker{M: airline},
+	if _, err := a.MustObtain(bg, airline,
 		[]promises.Predicate{promises.Quantity("seats", 1)}, time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	seatID := a.Held()[0]
-	_, err := a.MustObtain(&promises.LocalMaker{M: cars},
+	_, err := a.MustObtain(bg, cars,
 		[]promises.Predicate{promises.Quantity("cars", 1)}, time.Minute)
 	if err == nil {
 		t.Fatal("car leg should fail")
 	}
 	// The seat promise was compensated.
-	info, err := airline.PromiseInfo(seatID)
+	info, err := airline.(inspector).PromiseInfo(seatID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +98,7 @@ func TestActivityCompensatesOnFailure(t *testing.T) {
 		t.Fatalf("seat promise state = %v, want released", info.State)
 	}
 	// The activity is closed.
-	if _, err := a.Obtain(&promises.LocalMaker{M: airline},
+	if _, err := a.Obtain(bg, airline,
 		[]promises.Predicate{promises.Quantity("seats", 1)}, time.Minute); !errors.Is(err, promises.ErrActivityClosed) {
 		t.Fatalf("obtain after cancel: %v", err)
 	}
@@ -105,17 +113,16 @@ func TestActivityCompensatesOnFailure(t *testing.T) {
 func TestActivityObtainToleratesRejection(t *testing.T) {
 	// Plain Obtain does not cancel: the caller tries an alternative (§4's
 	// "trying alternative resources and predicates").
-	m := newMakerWorld(t, map[string]int64{"cars": 0, "trains": 5})
+	e := newEngineWorld(t, map[string]int64{"cars": 0, "trains": 5})
 	a := promises.NewActivity("agent")
-	mk := &promises.LocalMaker{M: m}
-	pr, err := a.Obtain(mk, []promises.Predicate{promises.Quantity("cars", 1)}, time.Minute)
+	pr, err := a.Obtain(bg, e, []promises.Predicate{promises.Quantity("cars", 1)}, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pr.Accepted {
 		t.Fatal("no cars exist")
 	}
-	pr, err = a.Obtain(mk, []promises.Predicate{promises.Quantity("trains", 1)}, time.Minute)
+	pr, err = a.Obtain(bg, e, []promises.Predicate{promises.Quantity("trains", 1)}, time.Minute)
 	if err != nil || !pr.Accepted {
 		t.Fatalf("train: %+v %v", pr, err)
 	}
@@ -125,22 +132,31 @@ func TestActivityObtainToleratesRejection(t *testing.T) {
 }
 
 func TestActivityOverHTTP(t *testing.T) {
-	airline := newMakerWorld(t, map[string]int64{"seats": 1})
-	hotel := newMakerWorld(t, map[string]int64{"rooms": 1})
+	// The same Activity code acquires from remote engines: the makers are
+	// promises.Open(WithRemote(url)) — swapping local for remote is a
+	// constructor change, not a call-site change.
+	airline := newEngineWorld(t, map[string]int64{"seats": 1})
+	hotel := newEngineWorld(t, map[string]int64{"rooms": 1})
 	reg := service.NewRegistry()
 	service.RegisterStandard(reg)
-	airSrv := httptest.NewServer(transport.NewServer(airline, reg).Handler())
+	airSrv := httptest.NewServer(transport.NewServer(airline.(transport.Engine), reg).Handler())
 	defer airSrv.Close()
-	hotSrv := httptest.NewServer(transport.NewServer(hotel, reg).Handler())
+	hotSrv := httptest.NewServer(transport.NewServer(hotel.(transport.Engine), reg).Handler())
 	defer hotSrv.Close()
 
 	a := promises.NewActivity("agent")
-	airMk := &promises.RemoteMaker{C: &transport.Client{BaseURL: airSrv.URL, Client: "agent"}}
-	hotMk := &promises.RemoteMaker{C: &transport.Client{BaseURL: hotSrv.URL, Client: "agent"}}
-	if _, err := a.MustObtain(airMk, []promises.Predicate{promises.Quantity("seats", 1)}, time.Minute); err != nil {
+	airEng, err := promises.Open(promises.WithRemote(airSrv.URL), promises.WithClientID("agent"))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.MustObtain(hotMk, []promises.Predicate{promises.Quantity("rooms", 1)}, time.Minute); err != nil {
+	hotEng, err := promises.Open(promises.WithRemote(hotSrv.URL), promises.WithClientID("agent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.MustObtain(bg, airEng, []promises.Predicate{promises.Quantity("seats", 1)}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.MustObtain(bg, hotEng, []promises.Predicate{promises.Quantity("rooms", 1)}, time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	held := a.Held()
@@ -148,42 +164,25 @@ func TestActivityOverHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Both remote promises released.
-	if info, _ := airline.PromiseInfo(held[0]); info.State != promises.Released {
+	if info, _ := airline.(inspector).PromiseInfo(held[0]); info.State != promises.Released {
 		t.Fatalf("airline promise = %v", info.State)
 	}
-	if info, _ := hotel.PromiseInfo(held[1]); info.State != promises.Released {
+	if info, _ := hotel.(inspector).PromiseInfo(held[1]); info.State != promises.Released {
 		t.Fatalf("hotel promise = %v", info.State)
-	}
-}
-
-func TestRemoteMakerIdentityGuard(t *testing.T) {
-	m := newMakerWorld(t, map[string]int64{"p": 1})
-	reg := service.NewRegistry()
-	srv := httptest.NewServer(transport.NewServer(m, reg).Handler())
-	defer srv.Close()
-	mk := &promises.RemoteMaker{C: &transport.Client{BaseURL: srv.URL, Client: "alice"}}
-	if _, err := mk.RequestPromise("bob", promises.PromiseRequest{
-		Predicates: []promises.Predicate{promises.Quantity("p", 1)},
-	}); !errors.Is(err, promises.ErrBadRequest) {
-		t.Fatalf("identity mismatch: %v", err)
-	}
-	if err := mk.ReleasePromise("bob", "prm-1"); !errors.Is(err, promises.ErrBadRequest) {
-		t.Fatalf("identity mismatch on release: %v", err)
 	}
 }
 
 func TestActivityConcurrentObtainAndCancel(t *testing.T) {
 	// Obtain racing Cancel must never leak: either the promise is tracked
 	// and released by Cancel, or Obtain releases it itself.
-	m := newMakerWorld(t, map[string]int64{"p": 1000})
-	mk := &promises.LocalMaker{M: m}
+	e := newEngineWorld(t, map[string]int64{"p": 1000})
 	for round := 0; round < 20; round++ {
 		a := promises.NewActivity("agent")
 		var wg sync.WaitGroup
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			_, _ = a.Obtain(mk, []promises.Predicate{promises.Quantity("p", 1)}, time.Minute)
+			_, _ = a.Obtain(bg, e, []promises.Predicate{promises.Quantity("p", 1)}, time.Minute)
 		}()
 		go func() {
 			defer wg.Done()
@@ -192,7 +191,7 @@ func TestActivityConcurrentObtainAndCancel(t *testing.T) {
 		wg.Wait()
 		_ = a.Cancel()
 		// Any tracked-but-uncancelled promise would show up here.
-		list, err := m.ActivePromises()
+		list, err := e.(inspector).ActivePromises()
 		if err != nil {
 			t.Fatal(err)
 		}

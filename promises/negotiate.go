@@ -1,6 +1,7 @@
 package promises
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -33,13 +34,16 @@ func (r *NegotiationResult) Accepted() bool { return r.Response.Accepted }
 // the manager's counter-offer from the final rejection (if any) is
 // submitted as a last attempt — the §6 "accepted with the condition XX"
 // loop closed from the client side.
-func Negotiate(m *Manager, client string, d time.Duration, acceptCounter bool, alternatives ...[]Predicate) (*NegotiationResult, error) {
+//
+// Negotiate drives any Engine — local, sharded or remote — and stops at
+// the first context cancellation.
+func Negotiate(ctx context.Context, e Engine, client string, d time.Duration, acceptCounter bool, alternatives ...[]Predicate) (*NegotiationResult, error) {
 	if len(alternatives) == 0 {
 		return nil, fmt.Errorf("%w: no alternatives to negotiate", ErrBadRequest)
 	}
 	result := &NegotiationResult{Attempt: -1}
 	for i, preds := range alternatives {
-		resp, err := m.Execute(Request{
+		resp, err := e.Execute(ctx, Request{
 			Client: client,
 			PromiseRequests: []PromiseRequest{{
 				RequestID:  fmt.Sprintf("negotiate-%d", i),
@@ -60,7 +64,7 @@ func Negotiate(m *Manager, client string, d time.Duration, acceptCounter bool, a
 		result.Tried = append(result.Tried, pr.Reason)
 	}
 	if acceptCounter && len(result.Response.Counter) > 0 {
-		resp, err := m.Execute(Request{
+		resp, err := e.Execute(ctx, Request{
 			Client: client,
 			PromiseRequests: []PromiseRequest{{
 				RequestID:  "negotiate-counter",

@@ -36,7 +36,7 @@ func seedHotelAndStock(t *testing.T) *promises.Manager {
 
 func TestNegotiateFirstAlternativeWins(t *testing.T) {
 	m := seedHotelAndStock(t)
-	res, err := promises.Negotiate(m, "c", time.Minute, false,
+	res, err := promises.Negotiate(bg, m, "c", time.Minute, false,
 		[]promises.Predicate{promises.MustProperty(`beds = "twin"`)},
 		[]promises.Predicate{promises.MustProperty("true")},
 	)
@@ -51,7 +51,7 @@ func TestNegotiateFirstAlternativeWins(t *testing.T) {
 func TestNegotiateFallsBackThroughWishes(t *testing.T) {
 	// §3.3: non-smoking + view + twin -> non-smoking + twin -> twin.
 	m := seedHotelAndStock(t)
-	res, err := promises.Negotiate(m, "c", time.Minute, false,
+	res, err := promises.Negotiate(bg, m, "c", time.Minute, false,
 		[]promises.Predicate{promises.MustProperty(`not smoking and view and beds = "twin"`)},
 		[]promises.Predicate{promises.MustProperty(`not smoking and beds = "twin"`)},
 	)
@@ -68,7 +68,7 @@ func TestNegotiateFallsBackThroughWishes(t *testing.T) {
 
 func TestNegotiateAllRejected(t *testing.T) {
 	m := seedHotelAndStock(t)
-	res, err := promises.Negotiate(m, "c", time.Minute, false,
+	res, err := promises.Negotiate(bg, m, "c", time.Minute, false,
 		[]promises.Predicate{promises.MustProperty("view")},
 		[]promises.Predicate{promises.MustProperty("smoking")},
 	)
@@ -84,7 +84,7 @@ func TestNegotiateAcceptsCounterOffer(t *testing.T) {
 	// 10 widgets on hand; asking for 15 then 12 fails, but the manager's
 	// counter-offer of 10 is taken.
 	m := seedHotelAndStock(t)
-	res, err := promises.Negotiate(m, "c", time.Minute, true,
+	res, err := promises.Negotiate(bg, m, "c", time.Minute, true,
 		[]promises.Predicate{promises.Quantity("widgets", 15)},
 		[]promises.Predicate{promises.Quantity("widgets", 12)},
 	)
@@ -108,7 +108,7 @@ func TestNegotiateAcceptsCounterOffer(t *testing.T) {
 
 func TestNegotiateCounterDeclined(t *testing.T) {
 	m := seedHotelAndStock(t)
-	res, err := promises.Negotiate(m, "c", time.Minute, false,
+	res, err := promises.Negotiate(bg, m, "c", time.Minute, false,
 		[]promises.Predicate{promises.Quantity("widgets", 15)},
 	)
 	if err != nil {
@@ -124,7 +124,7 @@ func TestNegotiateCounterDeclined(t *testing.T) {
 
 func TestNegotiateNoAlternatives(t *testing.T) {
 	m := seedHotelAndStock(t)
-	if _, err := promises.Negotiate(m, "c", time.Minute, false); !errors.Is(err, promises.ErrBadRequest) {
+	if _, err := promises.Negotiate(bg, m, "c", time.Minute, false); !errors.Is(err, promises.ErrBadRequest) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -134,7 +134,7 @@ func TestNegotiateCounterRace(t *testing.T) {
 	// between rejection and resubmission, the counter attempt fails too.
 	m := seedHotelAndStock(t)
 	// Ask for 15 -> counter 10, but drain 5 before accepting.
-	resp, err := m.Execute(promises.Request{
+	resp, err := m.Execute(bg, promises.Request{
 		Client: "rival",
 		PromiseRequests: []promises.PromiseRequest{{
 			Predicates: []promises.Predicate{promises.Quantity("widgets", 15)},
@@ -148,7 +148,7 @@ func TestNegotiateCounterRace(t *testing.T) {
 		t.Fatalf("counter = %v", counter)
 	}
 	// Rival takes 5.
-	if _, err := m.Execute(promises.Request{
+	if _, err := m.Execute(bg, promises.Request{
 		Client: "rival",
 		PromiseRequests: []promises.PromiseRequest{{
 			Predicates: []promises.Predicate{promises.Quantity("widgets", 5)},
@@ -157,7 +157,7 @@ func TestNegotiateCounterRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Resubmitting the stale counter fails with a fresh counter of 5.
-	resp, err = m.Execute(promises.Request{
+	resp, err = m.Execute(bg, promises.Request{
 		Client:          "c",
 		PromiseRequests: []promises.PromiseRequest{{Predicates: counter}},
 	})

@@ -1,0 +1,169 @@
+package promises
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/transport"
+)
+
+// options collects everything Open can configure; the zero value is a
+// self-contained single-store engine.
+type options struct {
+	shards           int
+	clk              clock.Clock
+	defaultDuration  time.Duration
+	maxDuration      time.Duration
+	mode             PropertyMode
+	modeSet          bool
+	disablePostCheck bool
+	maxRetries       int
+	suppliers        map[string]Supplier
+	actions          core.ActionResolver
+	standardActions  bool
+
+	remoteURL  string
+	clientID   string
+	httpClient *http.Client
+}
+
+// Option configures Open.
+type Option func(*options)
+
+// WithShards stripes the engine's state across n independent shards so
+// concurrent clients on different resources proceed in parallel. n <= 1
+// yields the single-store §8 reference engine. Local engines only.
+func WithShards(n int) Option { return func(o *options) { o.shards = n } }
+
+// WithClock drives promise expiry from the given clock — tests and
+// simulations pass FakeClock(). Local engines only.
+func WithClock(c clock.Clock) Option { return func(o *options) { o.clk = c } }
+
+// WithDefaultDuration sets the duration applied when a request names none.
+// Local engines only.
+func WithDefaultDuration(d time.Duration) Option {
+	return func(o *options) { o.defaultDuration = d }
+}
+
+// WithMaxDuration caps granted durations (§6: the manager "might … offer a
+// guarantee that expires sooner than the client wished"). Local engines
+// only.
+func WithMaxDuration(d time.Duration) Option { return func(o *options) { o.maxDuration = d } }
+
+// WithPropertyMode selects the property-view technique (§5); the default is
+// MatchingMode. Local engines only.
+func WithPropertyMode(m PropertyMode) Option {
+	return func(o *options) { o.mode = m; o.modeSet = true }
+}
+
+// WithSuppliers maps pool ids to upstream promise makers for delegation
+// (§5); see EngineSupplier. Local engines only.
+func WithSuppliers(s map[string]Supplier) Option { return func(o *options) { o.suppliers = s } }
+
+// WithActions installs a resolver for Request.ActionName, so named service
+// operations run locally exactly as a daemon runs wire actions. Local
+// engines only.
+func WithActions(r core.ActionResolver) Option { return func(o *options) { o.actions = r } }
+
+// WithStandardActions installs the standard resource-operation handlers
+// (adjust-pool, pool-level, take-instance, release-instance) as the
+// engine's action resolver — the same set every promised daemon serves.
+// Local engines only.
+func WithStandardActions() Option { return func(o *options) { o.standardActions = true } }
+
+// WithRemote makes Open return a client engine for the promised daemon at
+// url (e.g. "http://localhost:8642") instead of constructing local state.
+// Combine with WithClientID and WithHTTPClient only.
+func WithRemote(url string) Option { return func(o *options) { o.remoteURL = url } }
+
+// WithClientID sets the default promise-client identity a remote engine
+// stamps on requests that carry none.
+func WithClientID(id string) Option { return func(o *options) { o.clientID = id } }
+
+// WithHTTPClient sets the *http.Client a remote engine sends through.
+func WithHTTPClient(h *http.Client) Option { return func(o *options) { o.httpClient = h } }
+
+// Open builds a promise engine. With no options it is a self-contained
+// single-store manager (fresh store and resource manager); WithShards(n)
+// stripes state across n shards; WithRemote(url) returns a wire client for
+// a running daemon. All three satisfy Engine, so everything downstream of
+// Open is deployment-agnostic.
+//
+// Open replaces the former Config/ShardedConfig constructors; New and
+// NewSharded remain as deprecated shims over the same machinery.
+func Open(opts ...Option) (Engine, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.standardActions {
+		if o.actions != nil {
+			return nil, fmt.Errorf("promises: WithActions and WithStandardActions are mutually exclusive")
+		}
+		reg := service.NewRegistry()
+		service.RegisterStandard(reg)
+		o.actions = reg
+	}
+	if o.remoteURL != "" {
+		if o.shards != 0 || o.clk != nil || o.defaultDuration != 0 || o.maxDuration != 0 ||
+			o.modeSet || o.suppliers != nil || o.actions != nil || o.maxRetries != 0 {
+			return nil, fmt.Errorf("promises: WithRemote(%q) cannot combine with local-engine options", o.remoteURL)
+		}
+		return &transport.Client{BaseURL: o.remoteURL, Client: o.clientID, HTTP: o.httpClient}, nil
+	}
+	if o.httpClient != nil {
+		return nil, fmt.Errorf("promises: WithHTTPClient requires WithRemote")
+	}
+	if o.shards > 1 {
+		return core.NewSharded(core.ShardedConfig{
+			Shards:           o.shards,
+			Clock:            o.clk,
+			DefaultDuration:  o.defaultDuration,
+			MaxDuration:      o.maxDuration,
+			PropertyMode:     o.mode,
+			DisablePostCheck: o.disablePostCheck,
+			Suppliers:        o.suppliers,
+			MaxRetries:       o.maxRetries,
+			Actions:          o.actions,
+		})
+	}
+	return core.New(core.Config{
+		Clock:            o.clk,
+		DefaultDuration:  o.defaultDuration,
+		MaxDuration:      o.maxDuration,
+		PropertyMode:     o.mode,
+		DisablePostCheck: o.disablePostCheck,
+		Suppliers:        o.suppliers,
+		MaxRetries:       o.maxRetries,
+		Actions:          o.actions,
+	})
+}
+
+// Seeder is the resource-seeding surface of the local engines: both
+// *Manager and *ShardedManager implement it, so setup code can feed pools
+// and instances to whatever Open returned. Remote engines do not seed —
+// the daemon owns its resources (use its -seed/-seed-file flags).
+type Seeder interface {
+	CreatePool(id string, onHand int64, props map[string]Value) error
+	CreateInstance(id string, props map[string]Value) error
+	PoolLevel(pool string) (int64, error)
+}
+
+var (
+	_ Seeder = (*core.Manager)(nil)
+	_ Seeder = (*core.ShardedManager)(nil)
+)
+
+// Seed type-asserts an Engine to its seeding surface, failing with a clear
+// error for remote engines.
+func Seed(e Engine) (Seeder, error) {
+	s, ok := e.(Seeder)
+	if !ok {
+		return nil, fmt.Errorf("promises: engine %T cannot seed resources locally; seed the daemon instead", e)
+	}
+	return s, nil
+}

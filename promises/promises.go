@@ -10,14 +10,14 @@
 //
 // # Quickstart
 //
-//	m, err := promises.New(promises.Config{})
-//	// seed a pool of 10 pink widgets
-//	tx := m.Store().Begin(txn.Block)
-//	m.Resources().CreatePool(tx, "pink-widgets", 10, nil)
-//	tx.Commit()
+//	ctx := context.Background()
+//	eng, err := promises.Open() // or WithShards(8), or WithRemote(url)
+//	// seed a pool of 10 pink widgets (local engines only)
+//	seeder, _ := promises.Seed(eng)
+//	seeder.CreatePool("pink-widgets", 10, nil)
 //
 //	// Figure 1: ask for a promise that 5 widgets stay available
-//	resp, _ := m.Execute(promises.Request{
+//	resp, _ := eng.Execute(ctx, promises.Request{
 //	    Client: "order-process",
 //	    PromiseRequests: []promises.PromiseRequest{{
 //	        Predicates: []promises.Predicate{promises.Quantity("pink-widgets", 5)},
@@ -27,7 +27,7 @@
 //	pr := resp.Promises[0] // pr.Accepted, pr.PromiseID
 //
 //	// later: purchase under the promise, releasing it atomically
-//	m.Execute(promises.Request{
+//	eng.Execute(ctx, promises.Request{
 //	    Client: "order-process",
 //	    Env:    []promises.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 //	    Action: func(ac *promises.ActionContext) (any, error) {
@@ -35,6 +35,11 @@
 //	        return nil, err
 //	    },
 //	})
+//
+// Everything above runs unchanged against a sharded engine or a remote
+// daemon (swap the closure Action for ActionName, which crosses the wire):
+// Engine is one interface over all three deployments, with contexts
+// plumbed end to end so a dead client cancels in-flight work.
 //
 // # Resource views
 //
@@ -50,13 +55,14 @@
 // The Manager follows the prototype of §8: promise table, escrow ledger and
 // soft-lock tags live in one transactional store with the resource manager;
 // every Execute call is a single ACID transaction; actions that violate
-// outstanding promises are rolled back. internal/transport serves the
-// manager over HTTP using the §6 protocol elements; see cmd/promised.
+// outstanding promises are rolled back. internal/transport serves any
+// Engine over HTTP using the §6 protocol elements; see cmd/promised.
 package promises
 
 import (
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/predicate"
 )
 
 // Re-exported core types. The library's behaviour is documented on the
@@ -65,11 +71,15 @@ type (
 	// Manager is the promise manager (§2, §8).
 	Manager = core.Manager
 	// Config configures a Manager.
+	//
+	// Deprecated: use Open with Options.
 	Config = core.Config
 	// ShardedManager stripes promise, escrow and soft-lock state across N
 	// shards for concurrent throughput; see core.ShardedManager.
 	ShardedManager = core.ShardedManager
 	// ShardedConfig configures a ShardedManager.
+	//
+	// Deprecated: use Open with WithShards.
 	ShardedConfig = core.ShardedConfig
 	// Request is one client message (§6).
 	Request = core.Request
@@ -88,11 +98,19 @@ type (
 	// Action is an application operation run under the manager's
 	// transaction (§8).
 	Action = core.Action
+	// NamedAction is a registered service operation taking string
+	// parameters — the wire-representable action shape.
+	NamedAction = core.NamedAction
+	// ActionResolver maps action names to runnable operations; see
+	// WithActions.
+	ActionResolver = core.ActionResolver
 	// ActionContext gives actions transactional resource access.
 	ActionContext = core.ActionContext
 	// Supplier is an upstream promise maker for delegation (§5).
 	Supplier = core.Supplier
 	// ManagerSupplier adapts a local Manager into a Supplier.
+	//
+	// Deprecated: use EngineSupplier, which fronts any Engine.
 	ManagerSupplier = core.ManagerSupplier
 	// View is a resource view (§3).
 	View = core.View
@@ -104,8 +122,11 @@ type (
 	Stats = core.Stats
 	// ShardStat is one shard's slice of a sharded manager's Stats.
 	ShardStat = core.ShardStat
-	// AuditReport summarises a consistency audit (Manager.Audit).
+	// AuditReport summarises a consistency audit (Engine.Audit).
 	AuditReport = core.AuditReport
+	// Value is one typed property value for seeding instances; see Int,
+	// Str and Bool.
+	Value = predicate.Value
 )
 
 // Re-exported constants.
@@ -133,11 +154,17 @@ var (
 
 // New creates a Manager. A zero Config builds a self-contained manager
 // with a fresh store and resource manager.
+//
+// Deprecated: use Open, which returns the unified Engine surface; New
+// remains for callers that need the concrete *Manager.
 func New(cfg Config) (*Manager, error) { return core.New(cfg) }
 
 // NewSharded creates a ShardedManager: a promise manager whose state is
 // striped across cfg.Shards independent shards (default 8) so concurrent
 // clients on different resources proceed in parallel.
+//
+// Deprecated: use Open with WithShards; NewSharded remains for callers
+// that need the concrete *ShardedManager.
 func NewSharded(cfg ShardedConfig) (*ShardedManager, error) { return core.NewSharded(cfg) }
 
 // Quantity builds an anonymous-view predicate (§3.1): qty units of pool
@@ -159,7 +186,16 @@ func MustProperty(src string) Predicate { return core.MustProperty(src) }
 // "quantity >= 5" or "balance >= 100" as an anonymous predicate on pool.
 func FromExpr(pool, src string) (Predicate, error) { return core.FromExpr(pool, src) }
 
-// SystemClock is the wall clock for Config.Clock.
+// Int builds an integer property value for seeding instances.
+func Int(v int64) Value { return predicate.Int(v) }
+
+// Str builds a string property value for seeding instances.
+func Str(v string) Value { return predicate.Str(v) }
+
+// Bool builds a boolean property value for seeding instances.
+func Bool(v bool) Value { return predicate.Bool(v) }
+
+// SystemClock is the wall clock for WithClock.
 func SystemClock() clock.Clock { return clock.System{} }
 
 // FakeClock returns a manually advanced clock for tests and simulations.

@@ -28,7 +28,7 @@ func newSeeded(t *testing.T) *promises.Manager {
 
 func TestFacadeEndToEnd(t *testing.T) {
 	m := newSeeded(t)
-	resp, err := m.Execute(promises.Request{
+	resp, err := m.Execute(bg, promises.Request{
 		Client: "order",
 		PromiseRequests: []promises.PromiseRequest{{
 			Predicates: []promises.Predicate{promises.Quantity("pink-widgets", 5)},
@@ -42,7 +42,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if !pr.Accepted {
 		t.Fatal(pr.Reason)
 	}
-	resp, err = m.Execute(promises.Request{
+	resp, err = m.Execute(bg, promises.Request{
 		Client: "order",
 		Env:    []promises.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		Action: func(ac *promises.ActionContext) (any, error) {
@@ -57,7 +57,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 
 func TestFacadeSentinelsMatchCore(t *testing.T) {
 	m := newSeeded(t)
-	resp, err := m.Execute(promises.Request{
+	resp, err := m.Execute(bg, promises.Request{
 		Client: "c",
 		Env:    []promises.EnvEntry{{PromiseID: "prm-404", Release: true}},
 	})
@@ -112,7 +112,7 @@ func ExampleNew() {
 	_ = m.Resources().CreatePool(tx, "pink-widgets", 10, nil)
 	_ = tx.Commit()
 
-	resp, _ := m.Execute(promises.Request{
+	resp, _ := m.Execute(bg, promises.Request{
 		Client: "order-process",
 		PromiseRequests: []promises.PromiseRequest{{
 			Predicates: []promises.Predicate{promises.Quantity("pink-widgets", 5)},
@@ -121,7 +121,7 @@ func ExampleNew() {
 	pr := resp.Promises[0]
 	fmt.Println("accepted:", pr.Accepted)
 
-	resp, _ = m.Execute(promises.Request{
+	resp, _ = m.Execute(bg, promises.Request{
 		Client: "order-process",
 		Env:    []promises.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
 		Action: func(ac *promises.ActionContext) (any, error) {
