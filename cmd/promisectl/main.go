@@ -13,6 +13,8 @@
 //	modify <old-id> <predicate>.. atomically swap old promise for a new one
 //	release <promise-id>...       release promises atomically
 //	check <promise-id>...         report each promise's usability
+//	watch [promise-id]...         stream lifecycle events (SSE; see -types,
+//	                              -client, -exit-on, -after)
 //	invoke <action> [k=v]...      run an action (optionally -env/-release-env)
 //	buy <pool> <qty> <promise-id> purchase under a promise, releasing it
 //	stats                         show the manager's activity counters
@@ -63,12 +65,14 @@ func main() {
 	var err error
 	switch args[0] {
 	case "request":
-		err = cmdRequest(ctx, c, *dur, nil, args[1:])
+		gc, gctx := grantClient(c, *timeout)
+		err = cmdRequest(gctx, gc, *dur, nil, args[1:])
 	case "modify":
 		if len(args) < 3 {
 			usage()
 		}
-		err = cmdRequest(ctx, c, *dur, []string{args[1]}, args[2:])
+		gc, gctx := grantClient(c, *timeout)
+		err = cmdRequest(gctx, gc, *dur, []string{args[1]}, args[2:])
 	case "release":
 		if len(args) < 2 {
 			usage()
@@ -82,6 +86,8 @@ func main() {
 			usage()
 		}
 		err = cmdCheck(ctx, c, args[1:])
+	case "watch":
+		err = cmdWatch(ctx, c, args[1:])
 	case "invoke":
 		if len(args) < 2 {
 			usage()
@@ -106,16 +112,86 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: promisectl [flags] <request|modify|release|check|invoke|buy|stats|audit> ...
+	fmt.Fprintln(os.Stderr, `usage: promisectl [flags] <request|modify|release|check|watch|invoke|buy|stats|audit> ...
   request qty:pink-widgets=5 prop:'floor = 5'
   modify prm-1 qty:acct-alice=200
   release prm-1 prm-2
   check prm-1 prm-2
+  watch [-types granted,expired] [-exit-on expired] [prm-1 ...]
   invoke pool-level pool=pink-widgets
   buy pink-widgets 5 prm-1
   stats                       show the manager's activity counters
   audit                       run a server-side consistency audit`)
 	os.Exit(2)
+}
+
+// grantClient prepares the request/modify exchange: a context deadline
+// would cross the wire and cap the granted duration at -timeout (the
+// engines' unified timeout vocabulary), which is not what a CLI -duration
+// flag means — so grants run under a background context and the exchange
+// is bounded at the HTTP layer instead.
+func grantClient(c *transport.Client, timeout time.Duration) (*transport.Client, context.Context) {
+	gc := *c
+	gc.HTTP = &http.Client{Timeout: timeout}
+	return &gc, context.Background()
+}
+
+// cmdWatch streams lifecycle events until the deadline, printing one line
+// per event; with -exit-on it returns successfully as soon as an event of
+// that type arrives. Its flags follow the subcommand
+// (`watch -exit-on expired prm-1 ...`), so it parses its own set.
+func cmdWatch(ctx context.Context, c *transport.Client, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	types := fs.String("types", "", "comma-separated event types to stream (default all)")
+	client := fs.String("client", "", "only events for this client's promises (default all)")
+	exitOnFlag := fs.String("exit-on", "", "exit successfully once an event of this type arrives")
+	after := fs.Uint64("after", 0, "resume the stream after this sequence number")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	exitOn := *exitOnFlag
+	opts := core.WatchOptions{Client: *client, PromiseIDs: fs.Args()}
+	if *types != "" {
+		for _, t := range strings.Split(*types, ",") {
+			opts.Types = append(opts.Types, core.EventType(strings.TrimSpace(t)))
+		}
+	}
+	if *after > 0 {
+		opts.AfterSeq, opts.Replay = *after, true
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	events, err := c.Watch(ctx, opts)
+	if err != nil {
+		return err
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			if exitOn != "" {
+				return fmt.Errorf("no %q event before the deadline", exitOn)
+			}
+			return nil
+		case ev, ok := <-events:
+			if !ok {
+				return fmt.Errorf("event stream closed")
+			}
+			line := fmt.Sprintf("%d %s %s %s", ev.Seq, ev.Time.Format(time.RFC3339), ev.Type, ev.PromiseID)
+			if ev.Client != "" {
+				line += " client=" + ev.Client
+			}
+			if !ev.Expires.IsZero() {
+				line += " expires=" + ev.Expires.Format(time.RFC3339)
+			}
+			if ev.Reason != "" {
+				line += fmt.Sprintf(" (%s)", ev.Reason)
+			}
+			fmt.Println(line)
+			if exitOn != "" && ev.Type == core.EventType(exitOn) {
+				return nil
+			}
+		}
+	}
 }
 
 // cmdGet fetches a read-only operational endpoint.

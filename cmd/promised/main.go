@@ -50,10 +50,12 @@ func main() {
 	seedFile := flag.String("seed-file", "", "XML resource seed file (see internal/resource seed format); overrides -seed")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "state shards; 1 serializes all requests through one store")
 	maxDur := flag.Duration("max-duration", 10*time.Minute, "cap on granted promise durations")
-	sweepEvery := flag.Duration("sweep", 5*time.Second, "expiry sweep interval")
+	statsEvery := flag.Duration("sweep", 5*time.Second, "activity log interval (expiry itself fires at promise deadlines)")
+	warn := flag.Duration("expiry-warning", 2*time.Second, "emit expiry-imminent events this long before each deadline; 0 disables")
 	flag.Parse()
 
-	eng, err := promises.Open(promises.WithShards(*shards), promises.WithMaxDuration(*maxDur))
+	eng, err := promises.Open(promises.WithShards(*shards), promises.WithMaxDuration(*maxDur),
+		promises.WithExpiryWarning(*warn))
 	if err != nil {
 		log.Fatalf("promised: %v", err)
 	}
@@ -76,11 +78,10 @@ func main() {
 	reg := service.NewRegistry()
 	service.RegisterStandard(reg)
 
+	// Expiry no longer needs a periodic sweep — the engine's expiry heap
+	// lapses promises at their deadlines — so the ticker only logs activity.
 	go func() {
-		for range time.Tick(*sweepEvery) {
-			if err := m.Sweep(); err != nil {
-				log.Printf("promised: sweep: %v", err)
-			}
+		for range time.Tick(*statsEvery) {
 			log.Printf("promised: %s", m.Stats())
 		}
 	}()

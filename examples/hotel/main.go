@@ -1,8 +1,10 @@
 // Hotel: the §3.3 property-view scenario — concurrent customers with
 // overlapping property predicates, the room-512 tentative reallocation of
-// §5, and the essential-vs-desirable negotiation where a client "may
-// initially request a non-smoking room with a view and twin beds, and
-// eventually accept a promise for a room with just twin beds".
+// §5, the essential-vs-desirable negotiation where a client "may initially
+// request a non-smoking room with a view and twin beds, and eventually
+// accept a promise for a room with just twin beds" — and the event-driven
+// lifecycle: instead of polling CheckBatch, the view customer renews their
+// reservation reactively when the engine pushes an expiry-imminent event.
 package main
 
 import (
@@ -25,7 +27,14 @@ type inspector interface {
 
 func main() {
 	ctx := context.Background()
-	eng, err := promises.Open(promises.WithPropertyMode(promises.MatchingMode))
+	// A fake clock makes the expiry choreography below deterministic and
+	// instant; the 15s warning window drives reactive renewal.
+	fake := promises.FakeClock()
+	eng, err := promises.Open(
+		promises.WithPropertyMode(promises.MatchingMode),
+		promises.WithClock(fake),
+		promises.WithExpiryWarning(15*time.Second),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,6 +126,59 @@ func main() {
 
 	active, _ := ins.ActivePromises()
 	fmt.Printf("promises still active: %d (view + 5th-floor customers)\n", len(active))
+
+	// Event-driven renewal: customer-view keeps their reservation alive by
+	// reacting to pushed expiry-imminent events — no CheckBatch polling.
+	// The engine's expiry heap fires the warning 15s before each deadline
+	// and the expiry itself at the deadline, even with no requests running.
+	fmt.Println("\ncustomer-view renews reactively on expiry-imminent events:")
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	events, err := eng.Watch(watchCtx, promises.WatchOptions{
+		Client: "customer-view",
+		Types:  []promises.EventType{promises.EventExpiryImminent, promises.EventExpired},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	current := view.PromiseID
+	for renewals := 0; renewals < 2; {
+		fake.Advance(50 * time.Second) // cross into the warning window
+		ev := <-events
+		if ev.Type != promises.EventExpiryImminent {
+			log.Fatalf("unexpected event %s for %s", ev.Type, ev.PromiseID)
+		}
+		fmt.Printf("  %s for %s — renewing\n", ev.Type, ev.PromiseID)
+		// The §4 atomic modify: a fresh promise over the same predicate,
+		// releasing the expiring one only if the new grant succeeds.
+		resp, err := eng.Execute(ctx, promises.Request{
+			Client: "customer-view",
+			PromiseRequests: []promises.PromiseRequest{{
+				Predicates: []promises.Predicate{promises.MustProperty("view = true")},
+				Duration:   time.Minute,
+				Releases:   []string{current},
+			}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !resp.Promises[0].Accepted {
+			log.Fatalf("renewal rejected: %s", resp.Promises[0].Reason)
+		}
+		current = resp.Promises[0].PromiseID
+		renewals++
+		fmt.Printf("  renewed as %s (expires %s)\n", current, resp.Promises[0].Expires.Format(time.Kitchen))
+	}
+
+	// Checkout: stop renewing and let the promise lapse; the Expired event
+	// arrives at the deadline with the room's capacity already freed.
+	fake.Advance(2 * time.Minute)
+	for ev := range events {
+		if ev.Type == promises.EventExpired && ev.PromiseID == current {
+			fmt.Printf("  %s lapsed at its deadline; room freed\n", ev.PromiseID)
+			break
+		}
+	}
 }
 
 func seedRooms(eng promises.Engine) {

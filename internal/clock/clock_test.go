@@ -65,4 +65,66 @@ func TestFakeConcurrentAdvance(t *testing.T) {
 func TestFakeImplementsClock(t *testing.T) {
 	var _ Clock = (*Fake)(nil)
 	var _ Clock = System{}
+	var _ Alarmer = (*Fake)(nil)
+	var _ Alarmer = System{}
+}
+
+func TestFakeAlarmsFireInOrderInsideAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var fired []string
+	f.AfterFunc(time.Unix(20, 0), func() { fired = append(fired, "b") })
+	f.AfterFunc(time.Unix(10, 0), func() { fired = append(fired, "a") })
+	f.AfterFunc(time.Unix(100, 0), func() { fired = append(fired, "far") })
+	f.Advance(30 * time.Second)
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("fired = %v, want [a b] synchronously inside Advance", fired)
+	}
+	f.Advance(100 * time.Second)
+	if len(fired) != 3 || fired[2] != "far" {
+		t.Fatalf("fired = %v, want the far alarm on the second advance", fired)
+	}
+}
+
+func TestFakeAlarmStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	fired := false
+	stop := f.AfterFunc(time.Unix(10, 0), func() { fired = true })
+	stop()
+	f.Advance(time.Minute)
+	if fired {
+		t.Fatal("stopped alarm fired")
+	}
+}
+
+func TestFakeAlarmCanRescheduleFromCallback(t *testing.T) {
+	// An alarm callback must be able to read the clock and register the
+	// next alarm — the expiry heap's re-arming pattern.
+	f := NewFake(time.Unix(0, 0))
+	var at []time.Time
+	var rearm func()
+	rearm = func() {
+		now := f.Now()
+		at = append(at, now)
+		if len(at) < 3 {
+			f.AfterFunc(now.Add(10*time.Second), rearm)
+		}
+	}
+	f.AfterFunc(time.Unix(10, 0), rearm)
+	for i := 0; i < 3; i++ {
+		f.Advance(10 * time.Second)
+	}
+	if len(at) != 3 {
+		t.Fatalf("chained alarm fired %d times, want 3", len(at))
+	}
+}
+
+func TestSystemAfterFunc(t *testing.T) {
+	c := System{}
+	ch := make(chan struct{})
+	c.AfterFunc(time.Now().Add(10*time.Millisecond), func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("system alarm never fired")
+	}
 }

@@ -153,13 +153,20 @@ func (m *Manager) Audit() (*AuditReport, error) {
 		}
 	}
 
+	m.pubMu.Lock()
 	if err := tx.Commit(); err != nil {
+		m.pubMu.Unlock()
 		return nil, err
 	}
 	committed = true
+	m.bus.publish(st.events...)
+	m.pubMu.Unlock()
 	m.metrics.expirations.Add(st.expired)
 	for _, f := range st.postCommit {
 		f()
+	}
+	if len(st.sweptDue) > 0 {
+		m.exp.removeDue(m.clk.Now(), st.sweptDue)
 	}
 	return report, nil
 }

@@ -186,6 +186,20 @@ func (m *Manager) planInner(ctx context.Context, tx *txn.Tx, st *execState, pred
 	}
 
 	// --- Named and property predicates over instances (§3.2, §3.3). ---
+	// A request with only anonymous predicates needs none of the instance
+	// machinery below — skipping it keeps the common grant free of the
+	// O(active-promise) and O(instance) scans (the expiry heap removed the
+	// other per-request scan; see sweepExpired).
+	instancePreds := false
+	for _, p := range preds {
+		if p.View != AnonymousView {
+			instancePreds = true
+			break
+		}
+	}
+	if !instancePreds {
+		return plan, "", nil, nil
+	}
 	instances, err := m.rm.Instances(tx)
 	if err != nil {
 		return nil, "", nil, err
@@ -447,6 +461,18 @@ func (m *Manager) applyRealloc(tx *txn.Tx, realloc map[string]string) error {
 	return nil
 }
 
+// violationError names the first promise a post-action check found broken,
+// so the Violated lifecycle event can address the promise's owner. Its text
+// is exactly the message checkAll always produced.
+type violationError struct {
+	PromiseID string
+	Client    string
+	err       error
+}
+
+func (v *violationError) Error() string { return v.err.Error() }
+func (v *violationError) Unwrap() error { return v.err }
+
 // checkAll is the post-action promise check of §8: "the promise manager
 // also has to check for consistency after an action has been completed.
 // This ensures that the state changes made by the application have not
@@ -468,12 +494,14 @@ func (m *Manager) checkAll(tx *txn.Tx) error {
 			switch pred.View {
 			case NamedView:
 				if err := m.slotHealthy(tx, p.Assigned[i], slot, nil); err != nil {
-					return fmt.Errorf("promise %s predicate %d (%s): %v", p.ID, i, pred, err)
+					return &violationError{PromiseID: p.ID, Client: p.Client,
+						err: fmt.Errorf("promise %s predicate %d (%s): %v", p.ID, i, pred, err)}
 				}
 			case PropertyView:
 				if err := m.slotHealthy(tx, p.Assigned[i], slot, pred.Expr); err != nil {
 					if m.cfg.PropertyMode == FirstFitMode {
-						return fmt.Errorf("promise %s predicate %d (%s): %v", p.ID, i, pred, err)
+						return &violationError{PromiseID: p.ID, Client: p.Client,
+							err: fmt.Errorf("promise %s predicate %d (%s): %v", p.ID, i, pred, err)}
 					}
 					brokenProperty = true
 				}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the subscription face of the promise manager: lifecycle
+// transitions become typed, pushed events instead of states a client polls
+// for with CheckBatch — the §6 notification direction ("managers notifying
+// clients about promise lifecycle transitions") as an API.
+//
+// Every engine shape exposes the same Watch surface: the single-store
+// Manager publishes into its own bus; the ShardedManager injects one shared
+// bus into every shard, so per-shard streams merge into a single totally
+// ordered sequence and events survive a cross-shard slot migration under
+// their promise id. The transport serves the bus as SSE (GET /events) and
+// transport.Client re-exposes Watch over it.
+//
+// Events are per concrete promise: parts of a cross-shard composite appear
+// individually under their per-shard ids, exactly as in ActivePromises.
+
+// EventType names one promise lifecycle transition.
+type EventType string
+
+// Lifecycle event types.
+const (
+	// EventGranted: a promise was granted (one event per concrete promise;
+	// the parts of a cross-shard composite each emit their own).
+	EventGranted EventType = "granted"
+	// EventRenewed: a grant that atomically released prior promises — the
+	// §4 modify/upgrade shape. The event carries the new promise id; the
+	// replaced promises emit EventReleased alongside. Parts of a
+	// cross-shard pipeline always emit EventGranted.
+	EventRenewed EventType = "renewed"
+	// EventReleased: the client handed the promise back.
+	EventReleased EventType = "released"
+	// EventExpired: the promise lapsed at its deadline; its holds are free.
+	EventExpired EventType = "expired"
+	// EventExpiryImminent: the promise is within its configured warning
+	// window of expiry (Config.ExpiryWarning / promises.WithExpiryWarning);
+	// a client that still needs the guarantee should renew now.
+	EventExpiryImminent EventType = "expiry-imminent"
+	// EventViolated: a post-action check found the promise violated and
+	// rolled the action back (§8). PromiseID may be empty when the
+	// violation is a joint property-matching failure not attributable to
+	// one promise.
+	EventViolated EventType = "violated"
+	// EventMigrated: the global matcher re-homed the promise's slot on
+	// another shard; the promise id, client and expiry are unchanged.
+	EventMigrated EventType = "migrated"
+)
+
+// Event is one promise lifecycle transition.
+type Event struct {
+	// Seq is the bus-assigned sequence number, strictly increasing across
+	// the whole engine. Consumers detect dropped events (SlowDrop policy)
+	// by gaps, and resume a broken subscription with WatchOptions.AfterSeq
+	// (the SSE Last-Event-ID cursor).
+	Seq uint64 `json:"seq"`
+	// Type is the transition.
+	Type EventType `json:"type"`
+	// PromiseID is the promise that transitioned.
+	PromiseID string `json:"promise,omitempty"`
+	// Client is the promise's owner.
+	Client string `json:"client,omitempty"`
+	// Time is the engine-clock instant of the transition.
+	Time time.Time `json:"time"`
+	// Expires is the promise's current expiry, where meaningful (granted,
+	// renewed, expiry-imminent, migrated).
+	Expires time.Time `json:"expires,omitempty"`
+	// Reason carries detail: the violation message, the replaced ids of a
+	// renewal, the shard movement of a migration.
+	Reason string `json:"reason,omitempty"`
+}
+
+// MarshalJSON omits a zero Expires — encoding/json's omitempty does not
+// apply to struct zero values, and a released/expired event must not show
+// a year-0001 expiry on the SSE wire.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type alias Event
+	aux := struct {
+		alias
+		Expires *time.Time `json:"expires,omitempty"`
+	}{alias: alias(e)}
+	if !e.Expires.IsZero() {
+		aux.Expires = &e.Expires
+	}
+	return json.Marshal(aux)
+}
+
+// SlowPolicy selects what the bus does with a subscriber whose channel
+// buffer is full when an event arrives.
+type SlowPolicy int
+
+const (
+	// SlowDrop (the default) drops the event for that subscriber; the gap
+	// is visible as missing Seq values.
+	SlowDrop SlowPolicy = iota
+	// SlowDisconnect closes the subscription instead of dropping, so a
+	// consumer that must not miss events fails loudly and can re-Watch
+	// with AfterSeq.
+	SlowDisconnect
+)
+
+// WatchOptions filters and configures one subscription.
+type WatchOptions struct {
+	// Client restricts the stream to one client's promises ("" = all).
+	Client string
+	// PromiseIDs restricts the stream to specific promises (nil = all).
+	PromiseIDs []string
+	// Types restricts the stream to specific event types (nil = all).
+	Types []EventType
+	// Buffer is the subscription channel's capacity; 0 means 64.
+	Buffer int
+	// SlowPolicy selects the full-buffer behaviour.
+	SlowPolicy SlowPolicy
+	// AfterSeq, with Replay set, resumes a stream: retained events with
+	// Seq > AfterSeq are delivered first, then live ones. The bus retains
+	// a bounded ring of recent events; resuming past its horizon shows as
+	// a Seq gap.
+	AfterSeq uint64
+	// Replay enables the AfterSeq replay (so AfterSeq zero can mean
+	// "replay everything retained").
+	Replay bool
+}
+
+// eventRingCap bounds the replay ring: reconnecting subscribers can resume
+// across this many events.
+const eventRingCap = 4096
+
+// maxWatchBuffer caps a subscription's channel capacity. The buffer is
+// remote-controllable through GET /events?buffer=, so it must not size an
+// arbitrary allocation.
+const maxWatchBuffer = 1 << 16
+
+// subscriber is one Watch registration.
+type subscriber struct {
+	ch     chan Event
+	opts   WatchOptions
+	ids    map[string]bool
+	types  map[EventType]bool
+	closed bool
+}
+
+// matches reports whether the subscriber wants ev.
+func (s *subscriber) matches(ev Event) bool {
+	if s.opts.Client != "" && ev.Client != s.opts.Client {
+		return false
+	}
+	if s.ids != nil && !s.ids[ev.PromiseID] {
+		return false
+	}
+	if s.types != nil && !s.types[ev.Type] {
+		return false
+	}
+	return true
+}
+
+// EventBus fans promise lifecycle events out to subscribers. Publication
+// happens post-commit under the bus mutex, so subscribers observe one total
+// order, and all events of one promise arrive in lifecycle order.
+type EventBus struct {
+	mu      sync.Mutex
+	seq     uint64
+	ring    []Event // newest last; grows to eventRingCap, then slides
+	subs    map[uint64]*subscriber
+	nextSub uint64
+}
+
+// NewEventBus returns an empty bus. The replay ring grows with publication
+// (up to eventRingCap), so an engine that never emits pays nothing.
+func NewEventBus() *EventBus {
+	return &EventBus{subs: make(map[uint64]*subscriber)}
+}
+
+// Watch subscribes to the bus: events matching opts are delivered on the
+// returned channel until ctx is cancelled (the channel is then closed) or,
+// under SlowDisconnect, the subscriber falls behind. See promises.Engine.
+func (b *EventBus) Watch(ctx context.Context, opts WatchOptions) (<-chan Event, error) {
+	if opts.Buffer < 0 {
+		return nil, fmt.Errorf("%w: negative watch buffer %d", ErrBadRequest, opts.Buffer)
+	}
+	if opts.Buffer == 0 {
+		opts.Buffer = 64
+	}
+	if opts.Buffer > maxWatchBuffer {
+		opts.Buffer = maxWatchBuffer
+	}
+	sub := &subscriber{opts: opts}
+	if len(opts.PromiseIDs) > 0 {
+		sub.ids = make(map[string]bool, len(opts.PromiseIDs))
+		for _, id := range opts.PromiseIDs {
+			sub.ids[id] = true
+		}
+	}
+	if len(opts.Types) > 0 {
+		sub.types = make(map[EventType]bool, len(opts.Types))
+		for _, t := range opts.Types {
+			sub.types[t] = true
+		}
+	}
+
+	b.mu.Lock()
+	// Replay happens before the subscriber can possibly drain, so the
+	// channel is sized to hold every replayed event on top of the
+	// configured buffer — a Last-Event-ID resume within the ring is
+	// lossless regardless of how far behind the cursor is.
+	var replay []Event
+	if opts.Replay {
+		for _, ev := range b.retainedLocked() {
+			if ev.Seq > opts.AfterSeq && sub.matches(ev) {
+				replay = append(replay, ev)
+			}
+		}
+	}
+	sub.ch = make(chan Event, opts.Buffer+len(replay))
+	for _, ev := range replay {
+		sub.ch <- ev
+	}
+	id := b.nextSub
+	b.nextSub++
+	b.subs[id] = sub
+	b.mu.Unlock()
+
+	go func() {
+		<-ctx.Done()
+		b.unsubscribe(id)
+	}()
+	return sub.ch, nil
+}
+
+// retainedLocked lists the ring's events, oldest first. Callers hold b.mu
+// and must not retain the slice past it.
+func (b *EventBus) retainedLocked() []Event { return b.ring }
+
+// deliverLocked enqueues ev for one subscriber, applying its slow policy on
+// a full buffer.
+func (b *EventBus) deliverLocked(id uint64, sub *subscriber, ev Event) {
+	if sub.closed {
+		return
+	}
+	select {
+	case sub.ch <- ev:
+	default:
+		if sub.opts.SlowPolicy == SlowDisconnect {
+			sub.closed = true
+			close(sub.ch)
+			delete(b.subs, id)
+		}
+		// SlowDrop: the gap shows as missing Seq values.
+	}
+}
+
+// unsubscribe removes and closes one subscription.
+func (b *EventBus) unsubscribe(id uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if sub, ok := b.subs[id]; ok && !sub.closed {
+		sub.closed = true
+		close(sub.ch)
+	}
+	delete(b.subs, id)
+}
+
+// publish assigns sequence numbers to events and fans them out. Callers
+// invoke it only after the transition is durable (post-commit), in the
+// order the transitions happened.
+func (b *EventBus) publish(events ...Event) {
+	if len(events) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ev := range events {
+		b.seq++
+		ev.Seq = b.seq
+		b.ring = append(b.ring, ev)
+		if len(b.ring) > eventRingCap {
+			b.ring = b.ring[len(b.ring)-eventRingCap:]
+		}
+		for id, sub := range b.subs {
+			if sub.matches(ev) {
+				b.deliverLocked(id, sub, ev)
+			}
+		}
+	}
+}

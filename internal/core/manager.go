@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/clock"
@@ -69,6 +71,17 @@ type Config struct {
 	// sharded manager gives each shard a distinct prefix so promise ids
 	// stay unique across shards and route back to their owning shard.
 	IDPrefix string
+	// ExpiryWarning, when positive, emits an EventExpiryImminent this long
+	// before each promise's deadline, so clients renew reactively instead
+	// of polling CheckBatch. Zero disables the warning.
+	ExpiryWarning time.Duration
+
+	// bus shares one event bus across shards; nil creates a private one.
+	// gate wraps deadline-driven expiry so the sharded manager can take the
+	// shard lock around it; nil runs it directly. Both are set only by
+	// NewSharded.
+	bus  *EventBus
+	gate func(run func())
 }
 
 // Manager is the promise manager. It is safe for concurrent use; every
@@ -82,6 +95,14 @@ type Manager struct {
 	promiseIDs *ids.Generator
 	cfg        Config
 	metrics    managerMetrics
+	bus        *EventBus
+	exp        expiryIndex
+	gate       func(run func())
+	// pubMu is held across a transaction's commit and the publication of
+	// its events, so bus order equals commit order and a promise's
+	// lifecycle events can never invert even on a bare (unsharded,
+	// unlocked) Manager.
+	pubMu sync.Mutex
 }
 
 // New creates a Manager, installing its promise, escrow and soft-lock
@@ -129,7 +150,7 @@ func New(cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Manager{
+	m := &Manager{
 		store:      cfg.Store,
 		rm:         cfg.Resources,
 		ledger:     ledger,
@@ -137,7 +158,32 @@ func New(cfg Config) (*Manager, error) {
 		clk:        cfg.Clock,
 		promiseIDs: ids.New(cfg.IDPrefix),
 		cfg:        cfg,
-	}, nil
+		bus:        cfg.bus,
+		gate:       cfg.gate,
+	}
+	if m.bus == nil {
+		m.bus = NewEventBus()
+	}
+	if m.gate == nil {
+		m.gate = func(run func()) { run() }
+	}
+	m.exp.alarmer, _ = cfg.Clock.(clock.Alarmer)
+	// A failed deadline pass re-arms itself on a backoff; the counter is
+	// how the failure surfaces (Stats.ExpiryErrors) — there is no caller
+	// to return the error to.
+	m.exp.fire = func() {
+		if err := m.expireDue(); err != nil {
+			m.metrics.expiryErrors.Inc()
+		}
+	}
+	return m, nil
+}
+
+// Watch subscribes to the manager's promise lifecycle events; see
+// promises.Engine. The channel closes when ctx is cancelled or — under
+// SlowDisconnect — when the subscriber falls behind.
+func (m *Manager) Watch(ctx context.Context, opts WatchOptions) (<-chan Event, error) {
+	return m.bus.Watch(ctx, opts)
 }
 
 // Resources returns the resource manager (for seeding state in examples
@@ -157,6 +203,13 @@ type execState struct {
 	postCommit   []func()
 	released     int64
 	expired      int64
+	// events records the attempt's lifecycle transitions; they publish on
+	// the shared bus only after the transaction commits.
+	events []Event
+	// sweptDue are the expiry-heap entries the request-path due check
+	// processed inside this transaction; they are removed from the heap
+	// only after commit.
+	sweptDue []expiryEntry
 }
 
 // Execute processes one client message: grants/rejects its promise
@@ -271,6 +324,7 @@ func (m *Manager) executeOnce(ctx context.Context, req Request) (_ *Response, er
 		sp := tx.Savepoint()
 		postMark := len(st.postCommit)
 		relMark := st.released
+		evMark := len(st.events)
 		result, aerr := runAction(req.Action, tx, m.rm)
 		if aerr != nil {
 			// A deadlock inside the action is a transaction-level event,
@@ -303,7 +357,14 @@ func (m *Manager) executeOnce(ctx context.Context, req Request) (_ *Response, er
 				}
 				st.postCommit = st.postCommit[:postMark]
 				st.released = relMark
+				st.events = st.events[:evMark]
 				resp.ActionErr = fmt.Errorf("%w: %v", ErrPromiseViolated, verr)
+				ve := Event{Type: EventViolated, Time: m.clk.Now(), Reason: verr.Error()}
+				var v *violationError
+				if errors.As(verr, &v) {
+					ve.PromiseID, ve.Client = v.PromiseID, v.Client
+				}
+				st.events = append(st.events, ve)
 				break
 			}
 		}
@@ -319,14 +380,31 @@ func (m *Manager) executeOnce(ctx context.Context, req Request) (_ *Response, er
 		}
 	}
 
+	m.pubMu.Lock()
 	if err := tx.Commit(); err != nil {
+		m.pubMu.Unlock()
 		return nil, err
 	}
 	committed = true
+	m.bus.publish(st.events...)
+	m.pubMu.Unlock()
 	m.metrics.releases.Add(st.released)
 	m.metrics.expirations.Add(st.expired)
 	for _, f := range st.postCommit {
 		f()
+	}
+	// Tracked only after the grant events are published, so a deadline
+	// alarm can never emit a promise's Expired ahead of its Granted.
+	for _, pr := range resp.Promises {
+		if pr.Accepted {
+			m.trackExpiry(pr.PromiseID, pr.Expires)
+		}
+	}
+	// Request-path expiry processed these entries inside the committed
+	// transaction; drop them so they are not re-inspected forever when no
+	// alarm-capable clock prunes the heap.
+	if len(st.sweptDue) > 0 {
+		m.exp.removeDue(m.clk.Now(), st.sweptDue)
 	}
 	return resp, nil
 }
@@ -368,7 +446,10 @@ func (m *Manager) processPromiseRequest(ctx context.Context, tx *txn.Tx, st *exe
 		releases = append(releases, p)
 	}
 
-	duration := m.clampDuration(pr.Duration)
+	duration, durReason := m.grantDuration(ctx, pr.Duration, pr.MinDuration)
+	if durReason != "" {
+		return reject("%s", durReason), nil
+	}
 	plan, reason, counter, err := m.plan(ctx, tx, st, pr.Predicates, releases, duration)
 	if err != nil {
 		return PromiseResponse{}, err
@@ -394,6 +475,18 @@ func (m *Manager) processPromiseRequest(ctx context.Context, tx *txn.Tx, st *exe
 	if err := m.applyGrant(tx, prm, plan); err != nil {
 		return PromiseResponse{}, err
 	}
+	ev := Event{Type: EventGranted, PromiseID: prm.ID, Client: client, Time: m.clk.Now(), Expires: prm.Expires}
+	if len(releases) > 0 {
+		// The §4 modify/upgrade shape: the new promise supersedes the ones
+		// just handed back.
+		ev.Type = EventRenewed
+		ids := make([]string, len(releases))
+		for i, rp := range releases {
+			ids[i] = rp.ID
+		}
+		ev.Reason = "replaces " + strings.Join(ids, ",")
+	}
+	st.events = append(st.events, ev)
 	return PromiseResponse{
 		Correlation: pr.RequestID,
 		Accepted:    true,
@@ -410,6 +503,31 @@ func (m *Manager) clampDuration(d time.Duration) time.Duration {
 		d = m.cfg.MaxDuration
 	}
 	return d
+}
+
+// grantDuration resolves the duration a grant would carry: the requested
+// duration clamped to the manager's cap, then capped by the request
+// context's deadline — the two timeout vocabularies agree, so a promise
+// never outlives the call-level deadline the client itself set. A non-empty
+// reason rejects the request: the client declared (via min) that anything
+// shorter is useless to it, the §6 "manager might … offer a guarantee that
+// expires sooner than the client wished" direction with an explicit floor.
+func (m *Manager) grantDuration(ctx context.Context, requested, min time.Duration) (time.Duration, string) {
+	d := m.clampDuration(requested)
+	if deadline, ok := ctx.Deadline(); ok {
+		// The deadline is wall-clock; durations are relative, so the cap
+		// translates to any engine clock.
+		if remaining := time.Until(deadline); remaining < d {
+			d = remaining
+		}
+	}
+	if min > 0 && d < min {
+		return 0, fmt.Sprintf("cannot hold the promise for the required minimum %v: capped at %v by the manager and the request deadline", min, d.Round(time.Millisecond))
+	}
+	if d <= 0 {
+		return 0, fmt.Sprintf("request deadline leaves no time to promise (%v)", d.Round(time.Millisecond))
+	}
+	return d, ""
 }
 
 // promiseForClient loads a usable promise owned by client, mapping state
@@ -552,55 +670,66 @@ func (m *Manager) releasePromise(tx *txn.Tx, st *execState, p *Promise, terminal
 		}
 	}
 	p.State = terminal
+	typ := EventReleased
 	if terminal == Expired {
 		st.expired++
+		typ = EventExpired
 	} else {
 		st.released++
 	}
+	st.events = append(st.events, Event{Type: typ, PromiseID: p.ID, Client: p.Client, Time: m.clk.Now()})
 	return m.putPromise(tx, p)
 }
 
-// sweepExpired lapses every active promise past its expiry, freeing its
-// holds. It runs at the start of every request so availability reflects
-// only live promises (§2: "promises will expire at the end of this time").
+// sweepExpired lapses active promises past their expiry, freeing their
+// holds, so availability reflects only live promises (§2: "promises will
+// expire at the end of this time"). It runs at the start of every request,
+// but no longer scans the promise table: the expiry heap (expiry.go) names
+// exactly the promises due, so the check is O(1) when nothing is due —
+// normally the case, because the deadline alarm already lapsed them — and
+// O(expired) otherwise.
 func (m *Manager) sweepExpired(tx *txn.Tx, st *execState) error {
 	now := m.clk.Now()
-	var expired []*Promise
-	err := tx.Scan(TablePromises, func(_ string, row txn.Row) bool {
-		p := row.(*promiseRow).p
-		if p.State == Active && !now.Before(p.Expires) {
-			expired = append(expired, &p)
+	for _, e := range m.exp.dueEntries(now) {
+		if e.warn {
+			// Warnings belong to the alarm path; without an alarm-capable
+			// clock the request path emits (and retires) them instead, so
+			// they cannot pile up in the heap.
+			if m.exp.alarmer == nil {
+				if p, err := m.promise(tx, e.id); err == nil && p.State == Active && now.Before(p.Expires) {
+					st.events = append(st.events, Event{
+						Type: EventExpiryImminent, PromiseID: p.ID, Client: p.Client,
+						Time: now, Expires: p.Expires,
+					})
+				}
+				st.sweptDue = append(st.sweptDue, e)
+			}
+			continue
 		}
-		return true
-	})
-	if err != nil {
-		return err
-	}
-	for _, p := range expired {
-		if err := m.releasePromise(tx, st, p, Expired); err != nil {
+		p, err := m.promise(tx, e.id)
+		if errors.Is(err, ErrPromiseNotFound) {
+			st.sweptDue = append(st.sweptDue, e)
+			continue // migrated away, or an id this store never held
+		}
+		if err != nil {
 			return err
 		}
+		if p.State == Active && !now.Before(p.Expires) {
+			if err := m.releasePromise(tx, st, p, Expired); err != nil {
+				return err
+			}
+		}
+		st.sweptDue = append(st.sweptDue, e)
 	}
 	return nil
 }
 
-// Sweep expires lapsed promises in a transaction of its own; deployments
-// call it periodically, tests call it after advancing a fake clock.
+// Sweep expires lapsed promises. With an alarm-capable clock (the system
+// clock, the test fake) it is a no-op shim kept for compatibility: the
+// expiry heap already lapsed every promise at its deadline. With a clock
+// that cannot alarm it performs the deadline processing itself.
 func (m *Manager) Sweep() error {
-	tx := m.store.Begin(txn.Block)
-	st := &execState{}
-	if err := m.sweepExpired(tx, st); err != nil {
-		_ = tx.Abort()
-		return err
-	}
-	if err := tx.Commit(); err != nil {
-		return err
-	}
-	m.metrics.expirations.Add(st.expired)
-	for _, f := range st.postCommit {
-		f()
-	}
-	return nil
+	return m.expireDue()
 }
 
 // PromiseInfo returns a copy of the promise with the given id, for

@@ -27,6 +27,11 @@ type PromiseRequest struct {
 	// may grant a shorter duration (§6: "the promise manager might …
 	// offer a guarantee that expires sooner than the client wished").
 	Duration time.Duration
+	// MinDuration is the client's floor: the request is rejected (with a
+	// clear reason) rather than granted for less. The manager's duration
+	// cap and the request context's deadline both shorten grants — this is
+	// how a client says a too-short guarantee is useless to it.
+	MinDuration time.Duration
 	// Releases lists existing promises to hand back atomically with the
 	// grant; on rejection they remain in force.
 	Releases []string

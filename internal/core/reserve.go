@@ -48,6 +48,8 @@ type ReserveRequest struct {
 	PredIdx []int
 	// Duration is the requested promise duration, clamped per shard config.
 	Duration time.Duration
+	// MinDuration is the client's floor, as in PromiseRequest.MinDuration.
+	MinDuration time.Duration
 }
 
 // GrantedPart describes one sub-promise created under a reservation.
@@ -163,7 +165,11 @@ func (m *Manager) Reserve(ctx context.Context, client string, rr ReserveRequest)
 
 	r := &Reservation{m: m, tx: tx, st: st, client: client, start: start}
 	if len(rr.Predicates) > 0 {
-		duration := m.clampDuration(rr.Duration)
+		duration, durReason := m.grantDuration(ctx, rr.Duration, rr.MinDuration)
+		if durReason != "" {
+			_, resp, _ := reject("%s", durReason)
+			return nil, resp, nil
+		}
 		// Releases were already applied above, so plan with none pending.
 		plan, reason, counter, err := m.plan(ctx, tx, st, rr.Predicates, nil, duration)
 		if err != nil {
@@ -184,6 +190,10 @@ func (m *Manager) Reserve(ctx context.Context, client string, rr ReserveRequest)
 		if err := m.applyGrant(tx, prm, plan); err != nil {
 			return fail(err)
 		}
+		st.events = append(st.events, Event{
+			Type: EventGranted, PromiseID: prm.ID, Client: client,
+			Time: m.clk.Now(), Expires: prm.Expires,
+		})
 		r.granted = append(r.granted, GrantedPart{
 			ID:      prm.ID,
 			PredIdx: append([]int(nil), rr.PredIdx...),
@@ -342,6 +352,10 @@ func (r *Reservation) GrantPinned(preds []Predicate, predIdx []int, assign []str
 	if err := m.putPromise(r.tx, prm); err != nil {
 		return err
 	}
+	r.st.events = append(r.st.events, Event{
+		Type: EventGranted, PromiseID: prm.ID, Client: r.client,
+		Time: m.clk.Now(), Expires: prm.Expires,
+	})
 	r.granted = append(r.granted, GrantedPart{
 		ID:      prm.ID,
 		PredIdx: append([]int(nil), predIdx...),
@@ -362,12 +376,16 @@ func (r *Reservation) Confirm() error {
 	}
 	r.done = true
 	m := r.m
+	m.pubMu.Lock()
 	if err := r.tx.Commit(); err != nil {
+		m.pubMu.Unlock()
 		for i := len(r.st.undoUpstream) - 1; i >= 0; i-- {
 			r.st.undoUpstream[i]()
 		}
 		return err
 	}
+	m.bus.publish(r.st.events...)
+	m.pubMu.Unlock()
 	for _, f := range r.st.postCommit {
 		f()
 	}
@@ -376,6 +394,12 @@ func (r *Reservation) Confirm() error {
 	m.metrics.releases.Add(r.st.released)
 	m.metrics.expirations.Add(r.st.expired)
 	m.metrics.latency.Observe(time.Since(r.start))
+	for _, g := range r.granted {
+		m.trackExpiry(g.ID, g.Expires)
+	}
+	if len(r.st.sweptDue) > 0 {
+		m.exp.removeDue(m.clk.Now(), r.st.sweptDue)
+	}
 	return nil
 }
 

@@ -62,6 +62,12 @@ type ShardedManager struct {
 	clk    clock.Clock
 	mode   PropertyMode
 
+	// bus is the event bus shared by every shard: per-shard lifecycle
+	// streams merge into one totally ordered sequence, so Watch spans the
+	// whole engine and events keep their promise id across a cross-shard
+	// slot migration.
+	bus *EventBus
+
 	// compIDs names composite promises; their parts live in directory.
 	// moved tracks property sub-promises re-homed by the global matcher:
 	// promise id -> owning shard, overriding the id-prefix route. partOf
@@ -82,9 +88,14 @@ type ShardedManager struct {
 }
 
 // managerShard pairs one single-store Manager with the mutex that the
-// lock-ordering protocol acquires on its behalf.
+// lock-ordering protocol acquires on its behalf. Mutating operations (and
+// the reserve/confirm pipeline, which requires sole use of the shard's
+// store) take the write lock; read-only operations (CheckBatch,
+// PromiseInfo, ActivePromises, listings) share the read lock, so reads
+// never queue behind each other — the first concrete step of the lock-free
+// read path.
 type managerShard struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	m  *Manager
 }
 
@@ -131,7 +142,8 @@ type ShardedConfig struct {
 	// Clock drives promise expiry on every shard. Nil uses the system clock.
 	Clock clock.Clock
 	// DefaultDuration, MaxDuration, PropertyMode, DisablePostCheck,
-	// Suppliers, MaxRetries and Actions apply to each shard as in Config.
+	// Suppliers, MaxRetries, Actions and ExpiryWarning apply to each shard
+	// as in Config.
 	DefaultDuration  time.Duration
 	MaxDuration      time.Duration
 	PropertyMode     PropertyMode
@@ -139,6 +151,7 @@ type ShardedConfig struct {
 	Suppliers        map[string]Supplier
 	MaxRetries       int
 	Actions          ActionResolver
+	ExpiryWarning    time.Duration
 }
 
 // NewSharded creates a ShardedManager with cfg.Shards independent shards.
@@ -153,12 +166,14 @@ func NewSharded(cfg ShardedConfig) (*ShardedManager, error) {
 	s := &ShardedManager{
 		clk:     cfg.Clock,
 		mode:    cfg.PropertyMode,
+		bus:     NewEventBus(),
 		compIDs: ids.New("shp"),
 		dir:     make(map[string]*composite),
 		moved:   make(map[string]int),
 		partOf:  make(map[string]string),
 	}
 	for i := 0; i < n; i++ {
+		sh := &managerShard{}
 		m, err := New(Config{
 			Clock:            cfg.Clock,
 			DefaultDuration:  cfg.DefaultDuration,
@@ -169,13 +184,30 @@ func NewSharded(cfg ShardedConfig) (*ShardedManager, error) {
 			MaxRetries:       cfg.MaxRetries,
 			Actions:          cfg.Actions,
 			IDPrefix:         fmt.Sprintf("%s%d", shardIDPrefix, i),
+			ExpiryWarning:    cfg.ExpiryWarning,
+			bus:              s.bus,
+			// Deadline-driven expiry mutates the shard's store, so it runs
+			// under the shard's write lock like any other mutation — the
+			// reserve/confirm pipeline's sole-user invariant holds.
+			gate: func(run func()) {
+				sh.mu.Lock()
+				defer sh.mu.Unlock()
+				run()
+			},
 		})
 		if err != nil {
 			return nil, err
 		}
-		s.shards = append(s.shards, &managerShard{m: m})
+		sh.m = m
+		s.shards = append(s.shards, sh)
 	}
 	return s, nil
+}
+
+// Watch subscribes to lifecycle events across every shard, merged into one
+// totally ordered stream; see promises.Engine.
+func (s *ShardedManager) Watch(ctx context.Context, opts WatchOptions) (<-chan Event, error) {
+	return s.bus.Watch(ctx, opts)
 }
 
 // NumShards returns the shard count.
@@ -663,6 +695,19 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 		relByShard[sh] = append(relByShard[sh], rid)
 	}
 
+	// Resolve the duration cap (manager clamp + context deadline) up front:
+	// a request whose floor cannot be met must reject before any shard
+	// reserves, even when every predicate floats (shard configs agree, so
+	// any shard's answer is the answer). The capped value also prices the
+	// pinned grants below, so a floating predicate cannot outlive the
+	// caller's deadline either.
+	durCapped, durReason := s.shards[0].m.grantDuration(ctx, pr.Duration, pr.MinDuration)
+	if durReason != "" {
+		s.shards[0].m.metrics.requests.Inc()
+		s.shards[0].m.metrics.rejections.Inc()
+		return reject("%s", durReason), nil
+	}
+
 	// Partition predicates: anonymous and named bind to their resource's
 	// shard; property predicates float and are placed by the global match.
 	// A named predicate whose instance is tentatively allocated to a
@@ -760,10 +805,11 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 			preds[j] = pr.Predicates[idx]
 		}
 		resv, rejResp, err := s.shards[sh].m.Reserve(ctx, client, ReserveRequest{
-			Releases:   relByShard[sh],
-			Predicates: preds,
-			PredIdx:    idxs,
-			Duration:   pr.Duration,
+			Releases:    relByShard[sh],
+			Predicates:  preds,
+			PredIdx:     idxs,
+			Duration:    pr.Duration,
+			MinDuration: pr.MinDuration,
 		})
 		if err != nil {
 			abortAll()
@@ -788,6 +834,7 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 	// shard, then the new predicates pin to their chosen instances — each
 	// as a single-predicate sub-promise, so the slot stays migratable.
 	var pendingMoves []slotMigration
+	var movedRows []*Promise
 	if len(floating) > 0 {
 		plans, migs, ok, err := s.solveFloatAssignment(resvs, pr, floating, s.mode)
 		if err != nil {
@@ -825,13 +872,14 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 		for _, sh := range sortedKeys(plans) {
 			p := plans[sh]
 			for j := range p.preds {
-				if err := resvs[sh].GrantPinned(p.preds[j:j+1], p.predIdx[j:j+1], p.assign[j:j+1], pr.Duration); err != nil {
+				if err := resvs[sh].GrantPinned(p.preds[j:j+1], p.predIdx[j:j+1], p.assign[j:j+1], durCapped); err != nil {
 					abortAll()
 					return PromiseResponse{}, err
 				}
 			}
 		}
 		pendingMoves = migs
+		movedRows = migRows
 	}
 
 	// Phase 3 — confirm, in ascending shard order. Commit of an open
@@ -857,6 +905,23 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 		}
 	}
 	s.commitMoves(pendingMoves)
+	if len(pendingMoves) > 0 {
+		// The migrated promises now live (and will expire) on their new
+		// shards; their ids, clients and expiries are unchanged, and the
+		// shared bus keeps their event streams continuous.
+		now := s.clk.Now()
+		events := make([]Event, 0, len(pendingMoves))
+		for i, mg := range pendingMoves {
+			row := movedRows[i]
+			s.shards[mg.to].m.trackExpiry(row.ID, row.Expires)
+			events = append(events, Event{
+				Type: EventMigrated, PromiseID: row.ID, Client: row.Client,
+				Time: now, Expires: row.Expires,
+				Reason: fmt.Sprintf("slot moved from shard %d to shard %d", mg.from, mg.to),
+			})
+		}
+		s.bus.publish(events...)
+	}
 
 	// A pipeline that produced a single sub-promise (e.g. an upgrade whose
 	// new predicates all land on one shard while the releases span others)
@@ -1125,12 +1190,13 @@ func (s *ShardedManager) CheckBatch(ctx context.Context, client string, ids []st
 		for _, shIdx := range sortedKeys(perShard) {
 			idxs := perShard[shIdx]
 			sh := s.shards[shIdx]
-			sh.mu.Lock()
+			sh.mu.RLock()
 			var batch []string
 			var bidx []int
 			for _, idx := range idxs {
-				// No migration can touch this shard while its lock is
-				// held, so the owner re-check is stable.
+				// Migrations take the write lock, so no migration can touch
+				// this shard while the read lock is held and the owner
+				// re-check is stable; concurrent checks share the lock.
 				if o, ok := s.ownerShard(ids[idx]); ok && o != shIdx {
 					next[o] = append(next[o], idx)
 					continue
@@ -1139,7 +1205,7 @@ func (s *ShardedManager) CheckBatch(ctx context.Context, client string, ids []st
 				bidx = append(bidx, idx)
 			}
 			errs, err := sh.m.CheckBatch(ctx, client, batch)
-			sh.mu.Unlock()
+			sh.mu.RUnlock()
 			if err != nil {
 				return nil, err
 			}
@@ -1180,11 +1246,11 @@ func (s *ShardedManager) checkParts(client string, c *composite, locked bool) (e
 	for _, part := range c.parts {
 		sh := s.shards[part.shard]
 		if !locked {
-			sh.mu.Lock()
+			sh.mu.RLock()
 		}
 		err := sh.m.usable(client, part.id)
 		if !locked {
-			sh.mu.Unlock()
+			sh.mu.RUnlock()
 		}
 		if err != nil {
 			if errors.Is(err, ErrPromiseNotFound) && !locked {
@@ -1196,15 +1262,14 @@ func (s *ShardedManager) checkParts(client string, c *composite, locked bool) (e
 	return nil, false
 }
 
-// Sweep expires lapsed promises on every shard. Directory entries for
-// expired composites stay behind, like rows in the done tables, so clients
-// reusing the id still get the precise promise-expired error.
+// Sweep expires lapsed promises on every shard — a compatibility shim now
+// that each shard's expiry heap lapses promises at their deadlines (each
+// shard's sweep takes its own lock through the expiry gate). Directory
+// entries for expired composites stay behind, like rows in the done tables,
+// so clients reusing the id still get the precise promise-expired error.
 func (s *ShardedManager) Sweep() error {
 	for _, sh := range s.shards {
-		sh.mu.Lock()
-		err := sh.m.Sweep()
-		sh.mu.Unlock()
-		if err != nil {
+		if err := sh.m.Sweep(); err != nil {
 			return err
 		}
 	}
@@ -1235,13 +1300,13 @@ func (s *ShardedManager) PromiseInfo(id string) (Promise, error) {
 			if !ok {
 				return Promise{}, fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
 			}
-			s.shards[sh].mu.Lock()
+			s.shards[sh].mu.RLock()
 			if o, ok := s.ownerShard(id); ok && o != sh {
-				s.shards[sh].mu.Unlock()
+				s.shards[sh].mu.RUnlock()
 				continue
 			}
 			p, err := s.shards[sh].m.PromiseInfo(id)
-			s.shards[sh].mu.Unlock()
+			s.shards[sh].mu.RUnlock()
 			return p, err
 		}
 	}
@@ -1287,11 +1352,11 @@ func (s *ShardedManager) compositeInfo(id string, freeze bool) (_ Promise, stale
 	for _, part := range c.parts {
 		sh := s.shards[part.shard]
 		if !freeze {
-			sh.mu.Lock()
+			sh.mu.RLock()
 		}
 		p, err := sh.m.PromiseInfo(part.id)
 		if !freeze {
-			sh.mu.Unlock()
+			sh.mu.RUnlock()
 		}
 		if err != nil {
 			if errors.Is(err, ErrPromiseNotFound) && !freeze {
@@ -1324,9 +1389,9 @@ func (s *ShardedManager) compositeInfo(id string, freeze bool) (_ Promise, stale
 func (s *ShardedManager) ActivePromises() ([]Promise, error) {
 	var out []Promise
 	for _, sh := range s.shards {
-		sh.mu.Lock()
+		sh.mu.RLock()
 		ps, err := sh.m.ActivePromises()
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
@@ -1375,6 +1440,7 @@ func (s *ShardedManager) Stats() Stats {
 		out.Violations += sh.m.metrics.violations.Value()
 		out.ActionErrors += sh.m.metrics.actionErrors.Value()
 		out.DeadlockRetries += sh.m.metrics.deadlocks.Value()
+		out.ExpiryErrors += sh.m.metrics.expiryErrors.Value()
 		out.PerShard = append(out.PerShard, st)
 		if st.Requests > maxRequests {
 			maxRequests = st.Requests
@@ -1431,9 +1497,9 @@ func (s *ShardedManager) Audit() (*AuditReport, error) {
 	for _, id := range sortedStringKeys(moved) {
 		shIdx := moved[id]
 		sh := s.shards[shIdx]
-		sh.mu.Lock()
+		sh.mu.RLock()
 		_, err := sh.m.PromiseInfo(id)
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 		if err != nil {
 			s.dirMu.Lock()
 			cur := s.moved[id]
@@ -1455,9 +1521,9 @@ func (s *ShardedManager) auditComposite(id string, c *composite) []string {
 	var problems []string
 	for _, part := range c.parts {
 		sh := s.shards[part.shard]
-		sh.mu.Lock()
+		sh.mu.RLock()
 		p, err := sh.m.PromiseInfo(part.id)
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 		if err != nil {
 			problems = append(problems,
 				fmt.Sprintf("directory: composite %s part %s: %v", id, part.id, err))
@@ -1536,11 +1602,11 @@ func (s *ShardedManager) LoadSeed(r io.Reader) (pools, instances int, err error)
 func (s *ShardedManager) Pools() ([]*resource.Pool, error) {
 	var out []*resource.Pool
 	for _, sh := range s.shards {
-		sh.mu.Lock()
+		sh.mu.RLock()
 		tx := sh.m.Store().Begin(txn.Block)
 		ps, err := sh.m.Resources().Pools(tx)
 		_ = tx.Commit()
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
@@ -1554,11 +1620,11 @@ func (s *ShardedManager) Pools() ([]*resource.Pool, error) {
 func (s *ShardedManager) Instances() ([]*resource.Instance, error) {
 	var out []*resource.Instance
 	for _, sh := range s.shards {
-		sh.mu.Lock()
+		sh.mu.RLock()
 		tx := sh.m.Store().Begin(txn.Block)
 		ins, err := sh.m.Resources().Instances(tx)
 		_ = tx.Commit()
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
@@ -1571,8 +1637,8 @@ func (s *ShardedManager) Instances() ([]*resource.Instance, error) {
 // PoolLevel returns the quantity on hand of one pool, for tools and tests.
 func (s *ShardedManager) PoolLevel(pool string) (int64, error) {
 	sh := s.shards[s.ShardOf(pool)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	tx := sh.m.Store().Begin(txn.Block)
 	defer tx.Commit()
 	p, err := sh.m.Resources().Pool(tx, pool)

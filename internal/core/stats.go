@@ -17,6 +17,7 @@ type managerMetrics struct {
 	violations   metrics.Counter
 	actionErrors metrics.Counter
 	deadlocks    metrics.Counter // internal deadlock retries
+	expiryErrors metrics.Counter // failed deadline-alarm expiry passes
 	requests     metrics.Counter
 	latency      metrics.Histogram
 }
@@ -38,6 +39,10 @@ type Stats struct {
 	ActionErrors int64
 	// DeadlockRetries counts internal transaction retries.
 	DeadlockRetries int64
+	// ExpiryErrors counts deadline-alarm expiry passes that failed and were
+	// re-armed on a backoff; a non-zero steady climb means promises are not
+	// lapsing at their deadlines (the request-path check still frees them).
+	ExpiryErrors int64
 	// Latency summarises Execute latency. Count is the true number of
 	// observations; percentiles come from bounded reservoir samples (exact
 	// until a reservoir fills). For a sharded manager the percentiles merge
@@ -71,6 +76,9 @@ func (s Stats) String() string {
 		"requests=%d grants=%d rejections=%d releases=%d expirations=%d violations=%d actionErrs=%d deadlockRetries=%d p50=%v p99=%v",
 		s.Requests, s.Grants, s.Rejections, s.Releases, s.Expirations,
 		s.Violations, s.ActionErrors, s.DeadlockRetries, s.Latency.P50, s.Latency.P99)
+	if s.ExpiryErrors > 0 {
+		out += fmt.Sprintf(" expiryErrs=%d", s.ExpiryErrors)
+	}
 	if len(s.PerShard) > 0 {
 		out += fmt.Sprintf(" shards=%d imbalance=%.2f", len(s.PerShard), s.Imbalance)
 	}
@@ -88,6 +96,7 @@ func (m *Manager) Stats() Stats {
 		Violations:      m.metrics.violations.Value(),
 		ActionErrors:    m.metrics.actionErrors.Value(),
 		DeadlockRetries: m.metrics.deadlocks.Value(),
+		ExpiryErrors:    m.metrics.expiryErrors.Value(),
 		Latency:         m.metrics.latency.Summarize(),
 	}
 }

@@ -34,6 +34,11 @@ type Envelope struct {
 type Header struct {
 	// Client identifies the promise client.
 	Client string `xml:"client,omitempty"`
+	// Deadline is the client's remaining call budget (a duration), stamped
+	// when the caller's context carries a deadline. The server applies it
+	// to its own request context, so the ctx-deadline cap on granted
+	// durations behaves identically for local and remote engines.
+	Deadline string `xml:"deadline,attr,omitempty"`
 	// Promise carries promise-requests and piggybacked promise-responses.
 	Promise *PromiseHeader `xml:"promise,omitempty"`
 	// Environment names the promises protecting the body's action.
@@ -104,10 +109,13 @@ type PromiseHeader struct {
 // WireRequest is a <promise-request> element: request identifier,
 // predicates, resources, duration, and promises to release on grant (§6).
 type WireRequest struct {
-	ID         string          `xml:"id,attr,omitempty"`
-	Duration   string          `xml:"duration,attr,omitempty"`
-	Predicates []WirePredicate `xml:"predicate"`
-	Releases   []string        `xml:"release"`
+	ID       string `xml:"id,attr,omitempty"`
+	Duration string `xml:"duration,attr,omitempty"`
+	// MinDuration is the client's floor: the manager rejects rather than
+	// grants for less (see core.PromiseRequest.MinDuration).
+	MinDuration string          `xml:"min-duration,attr,omitempty"`
+	Predicates  []WirePredicate `xml:"predicate"`
+	Releases    []string        `xml:"release"`
 }
 
 // WirePredicate is one predicate with its resource reference. The view
@@ -253,6 +261,9 @@ func RequestToWire(pr core.PromiseRequest) WireRequest {
 	if pr.Duration > 0 {
 		out.Duration = pr.Duration.String()
 	}
+	if pr.MinDuration > 0 {
+		out.MinDuration = pr.MinDuration.String()
+	}
 	for _, p := range pr.Predicates {
 		out.Predicates = append(out.Predicates, PredicateToWire(p))
 	}
@@ -268,6 +279,13 @@ func RequestFromWire(w WireRequest) (core.PromiseRequest, error) {
 			return core.PromiseRequest{}, fmt.Errorf("protocol: bad duration %q: %v", w.Duration, err)
 		}
 		out.Duration = d
+	}
+	if w.MinDuration != "" {
+		d, err := time.ParseDuration(w.MinDuration)
+		if err != nil {
+			return core.PromiseRequest{}, fmt.Errorf("protocol: bad min-duration %q: %v", w.MinDuration, err)
+		}
+		out.MinDuration = d
 	}
 	for _, wp := range w.Predicates {
 		p, err := PredicateFromWire(wp)

@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file carries the engine's subscription face over the wire as
+// Server-Sent Events, so transport.Client.Watch satisfies the same
+// interface as the in-process engines and a plain `curl` can follow a
+// manager's lifecycle stream.
+//
+// The SSE contract (GET /events):
+//
+//	query parameters
+//	    client=<id>        only events for this client's promises
+//	    id=<promise-id>    only these promises (repeatable)
+//	    type=<event-type>  only these types (repeatable)
+//	    policy=disconnect  close the stream instead of dropping when slow
+//	    buffer=<n>         server-side subscription buffer (default 64)
+//	    after=<seq>        resume: replay retained events with Seq > seq
+//
+//	response      text/event-stream; each event is
+//	    id: <seq>
+//	    event: <type>
+//	    data: <core.Event as JSON>
+//
+// The standard `Last-Event-ID` request header is honoured as `after`, so an
+// SSE client that reconnects resumes where it stopped; the bus retains a
+// bounded ring of recent events, and resuming past its horizon shows up as
+// a gap in the data's seq values.
+
+// EventsEndpoint is the lifecycle event stream's HTTP path.
+const EventsEndpoint = "/events"
+
+// handleEvents serves one SSE subscription until the client disconnects or
+// (policy=disconnect) it falls behind.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "transport: streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	opts, err := watchOptionsFromRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ch, err := s.manager.Watch(r.Context(), opts)
+	if err != nil {
+		httpFault(w, err, http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	// An immediate comment line tells the client the subscription is live
+	// before any event fires.
+	fmt.Fprint(w, ": watching\n\n")
+	fl.Flush()
+	for ev := range ch {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+	// The engine closed the subscription while the request is still live:
+	// that is the slow-subscriber disconnect policy. Tell the client
+	// explicitly, so it can fail loudly instead of treating the EOF as a
+	// transient break and silently reconnecting.
+	if r.Context().Err() == nil {
+		fmt.Fprint(w, "event: disconnect\ndata: {}\n\n")
+		fl.Flush()
+	}
+}
+
+// watchOptionsFromRequest decodes the SSE query contract.
+func watchOptionsFromRequest(r *http.Request) (core.WatchOptions, error) {
+	q := r.URL.Query()
+	opts := core.WatchOptions{
+		Client:     q.Get("client"),
+		PromiseIDs: q["id"],
+	}
+	for _, t := range q["type"] {
+		opts.Types = append(opts.Types, core.EventType(t))
+	}
+	if b := q.Get("buffer"); b != "" {
+		n, err := strconv.Atoi(b)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("transport: bad buffer %q", b)
+		}
+		opts.Buffer = n
+	}
+	if q.Get("policy") == "disconnect" {
+		opts.SlowPolicy = core.SlowDisconnect
+	}
+	after := r.Header.Get("Last-Event-ID")
+	if a := q.Get("after"); a != "" {
+		after = a
+	}
+	if after != "" {
+		seq, err := strconv.ParseUint(after, 10, 64)
+		if err != nil {
+			return opts, fmt.Errorf("transport: bad resume cursor %q", after)
+		}
+		opts.AfterSeq, opts.Replay = seq, true
+	}
+	return opts, nil
+}
+
+// Watch implements the Engine surface over SSE: the returned channel
+// carries the same event sequence the fronted engine publishes, in the same
+// order, until ctx is cancelled (the channel then closes). A broken stream
+// reconnects automatically with a Last-Event-ID cursor, so once any event
+// has been delivered (or opts.Replay set), events published while
+// disconnected are replayed from the server's retained ring rather than
+// lost; a cursorless live-tail reconnects live-only. opts.SlowPolicy and
+// opts.Buffer apply server-side — a server-side disconnect closes this
+// channel too — and the local channel additionally holds opts.Buffer
+// events.
+func (c *Client) Watch(ctx context.Context, opts core.WatchOptions) (<-chan core.Event, error) {
+	if opts.Buffer < 0 {
+		return nil, fmt.Errorf("%w: negative watch buffer %d", core.ErrBadRequest, opts.Buffer)
+	}
+	if opts.Buffer == 0 {
+		opts.Buffer = 64
+	}
+	// Dial synchronously so a bad URL or rejected options fail the call,
+	// not the stream.
+	resp, err := c.dialEvents(ctx, opts, opts.AfterSeq, opts.Replay)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan core.Event, opts.Buffer)
+	go func() {
+		defer close(out)
+		var lastSeq uint64
+		if opts.Replay {
+			lastSeq = opts.AfterSeq
+		}
+		for {
+			last, ok := c.streamEvents(ctx, resp, lastSeq, out)
+			lastSeq = last
+			resp = nil
+			if !ok || ctx.Err() != nil {
+				return
+			}
+			// Transient break: reconnect after a short backoff. With a
+			// cursor (an event was seen, or the caller asked for replay)
+			// the retained ring resumes the stream; a cursorless live-tail
+			// subscription reconnects live-only — replaying would deliver
+			// history from before the subscription ever existed.
+			replay := opts.Replay || lastSeq > 0
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(200 * time.Millisecond):
+			}
+			r, err := c.dialEvents(ctx, opts, lastSeq, replay)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				continue
+			}
+			resp = r
+		}
+	}()
+	return out, nil
+}
+
+// dialEvents opens one SSE connection; with replay set the server replays
+// retained events past cursor first (the Last-Event-ID resume).
+func (c *Client) dialEvents(ctx context.Context, opts core.WatchOptions, cursor uint64, replay bool) (*http.Response, error) {
+	q := url.Values{}
+	if opts.Client != "" {
+		q.Set("client", opts.Client)
+	}
+	for _, id := range opts.PromiseIDs {
+		q.Add("id", id)
+	}
+	for _, t := range opts.Types {
+		q.Add("type", string(t))
+	}
+	if opts.SlowPolicy == core.SlowDisconnect {
+		q.Set("policy", "disconnect")
+	}
+	q.Set("buffer", strconv.Itoa(opts.Buffer))
+	if replay {
+		q.Set("after", strconv.FormatUint(cursor, 10))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+EventsEndpoint+"?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		msg := new(strings.Builder)
+		_, _ = fmt.Fprintf(msg, "transport: %s", resp.Status)
+		buf := bufio.NewScanner(resp.Body)
+		if buf.Scan() {
+			fmt.Fprintf(msg, ": %s", strings.TrimSpace(buf.Text()))
+		}
+		return nil, fmt.Errorf("%s", msg.String())
+	}
+	return resp, nil
+}
+
+// streamEvents decodes one SSE connection into out until it breaks or ctx
+// is cancelled. It returns the last sequence number delivered and whether
+// the caller should reconnect.
+func (c *Client) streamEvents(ctx context.Context, resp *http.Response, lastSeq uint64, out chan<- core.Event) (uint64, bool) {
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var name, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		case line == "":
+			if name == "disconnect" {
+				// The server applied the slow-subscriber disconnect
+				// policy: close, like an in-process subscription would.
+				return lastSeq, false
+			}
+			if data == "" {
+				name = ""
+				continue // heartbeat comment blocks carry no data
+			}
+			var ev core.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				return lastSeq, false // protocol corruption: do not resume
+			}
+			name, data = "", ""
+			if ev.Seq <= lastSeq {
+				continue // duplicate from an overlapping replay
+			}
+			select {
+			case out <- ev:
+				lastSeq = ev.Seq
+			case <-ctx.Done():
+				return lastSeq, false
+			}
+		}
+	}
+	return lastSeq, ctx.Err() == nil
+}

@@ -1,0 +1,351 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file extends the wire-equivalence programme to the subscription
+// face: transport.Client.Watch must observe exactly the event sequence the
+// engine it fronts publishes — same types, same promise ids, same seq
+// numbers, same order — and must survive a broken SSE connection by
+// resuming from its Last-Event-ID cursor.
+
+// eventKey flattens an event for comparison.
+func eventKey(ev core.Event) string {
+	return fmt.Sprintf("%d/%s/%s/%s", ev.Seq, ev.Type, ev.PromiseID, ev.Client)
+}
+
+// collectUntil receives events until pred matches (returning everything
+// received including the match) or the deadline trips.
+func collectUntil(t *testing.T, ch <-chan core.Event, pred func(core.Event) bool) []core.Event {
+	t.Helper()
+	var out []core.Event
+	deadline := time.After(15 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("event stream closed after %d events", len(out))
+			}
+			out = append(out, ev)
+			if pred(ev) {
+				return out
+			}
+		case <-deadline:
+			t.Fatalf("marker event never arrived (have %d events)", len(out))
+		}
+	}
+}
+
+// TestWireEventEquivalence drives the randomized wire workload while two
+// subscribers follow the remote engine — one directly, one through the SSE
+// client — and asserts both saw the identical stream.
+func TestWireEventEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w := newWireWorld(t, seed)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			direct, err := w.remote.Watch(ctx, core.WatchOptions{Buffer: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire, err := w.client.Watch(ctx, core.WatchOptions{Buffer: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			w.run(80)
+
+			// Expire everything outstanding so the marker grant cannot be
+			// rejected for capacity (both subscribers see the same expiry
+			// burst), then flush the streams with a marker exchange: both
+			// subscribers stop at its Released event.
+			w.fake.Advance(2 * time.Hour)
+			marker, err := w.client.Execute(bg, core.Request{
+				Client: "marker",
+				PromiseRequests: []core.PromiseRequest{{
+					Predicates: []core.Predicate{core.Quantity(w.pools[0], 1)},
+				}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mid := marker.Promises[0].PromiseID
+			if mid == "" {
+				t.Fatalf("marker grant rejected: %s", marker.Promises[0].Reason)
+			}
+			if err := w.client.Release(bg, "marker", mid); err != nil {
+				t.Fatal(err)
+			}
+			isMarker := func(ev core.Event) bool {
+				return ev.Type == core.EventReleased && ev.PromiseID == mid
+			}
+			got := collectUntil(t, wire, isMarker)
+			want := collectUntil(t, direct, isMarker)
+			if len(got) != len(want) {
+				t.Fatalf("wire saw %d events, engine saw %d", len(got), len(want))
+			}
+			for i := range want {
+				if eventKey(got[i]) != eventKey(want[i]) {
+					t.Fatalf("event %d diverged:\nwire:   %s\nengine: %s", i, eventKey(got[i]), eventKey(want[i]))
+				}
+			}
+			if len(want) == 0 {
+				t.Fatal("workload produced no events")
+			}
+		})
+	}
+}
+
+// TestClientWatchReconnects drops the SSE connection mid-stream and
+// asserts the client resumes from its Last-Event-ID cursor without losing
+// or duplicating events.
+func TestClientWatchReconnects(t *testing.T) {
+	eng, err := core.New(core.Config{DefaultDuration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CreatePool("rp", 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(eng, nil)
+	inner := srv.Handler()
+
+	// A chaos proxy: the first events connection is cut after 2 events by
+	// limiting the response writer; later connections stream freely.
+	var conns atomic.Int64
+	outer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == EventsEndpoint && conns.Add(1) == 1 {
+			inner.ServeHTTP(&truncatingWriter{ResponseWriter: w, maxEvents: 2, r: r}, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer outer.Close()
+
+	c := &Client{BaseURL: outer.URL, Client: "c"}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := c.Watch(ctx, core.WatchOptions{Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grant := func() string {
+		resp, err := eng.Execute(context.Background(), core.Request{
+			Client: "c",
+			PromiseRequests: []core.PromiseRequest{{
+				Predicates: []core.Predicate{core.Quantity("rp", 1)},
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Promises[0].PromiseID
+	}
+	var want []string
+	for i := 0; i < 6; i++ {
+		want = append(want, grant())
+		time.Sleep(20 * time.Millisecond) // let the cut + reconnect interleave
+	}
+
+	var got []string
+	deadline := time.After(15 * time.Second)
+	for len(got) < len(want) {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("stream closed after %d events", len(got))
+			}
+			if ev.Type != core.EventGranted {
+				t.Fatalf("unexpected event %s", ev.Type)
+			}
+			got = append(got, ev.PromiseID)
+		case <-deadline:
+			t.Fatalf("timed out after %d/%d events (reconnect lost the tail?)", len(got), len(want))
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %s, want %s (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	if conns.Load() < 2 {
+		t.Fatalf("client never reconnected (%d connections)", conns.Load())
+	}
+}
+
+// truncatingWriter closes the SSE response after maxEvents events by
+// failing writes, simulating a dropped connection.
+type truncatingWriter struct {
+	http.ResponseWriter
+	maxEvents int
+	events    int
+	r         *http.Request
+}
+
+func (t *truncatingWriter) Write(p []byte) (int, error) {
+	if t.events >= t.maxEvents {
+		return 0, fmt.Errorf("connection cut")
+	}
+	n, err := t.ResponseWriter.Write(p)
+	if err == nil && len(p) > 4 && string(p[:3]) == "id:" {
+		t.events++
+	}
+	return n, err
+}
+
+func (t *truncatingWriter) Flush() {
+	if fl, ok := t.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// TestClientWatchDisconnectSentinel: a server that applies the
+// slow-subscriber disconnect policy ends the stream with an explicit
+// disconnect event; the client must close its channel (like an in-process
+// SlowDisconnect subscription) instead of silently reconnecting.
+func TestClientWatchDisconnectSentinel(t *testing.T) {
+	var conns atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		fl := w.(http.Flusher)
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, ": watching\n\n")
+		fmt.Fprint(w, "id: 1\nevent: granted\ndata: {\"seq\":1,\"type\":\"granted\",\"promise\":\"prm-1\",\"time\":\"2026-01-01T00:00:00Z\"}\n\n")
+		fmt.Fprint(w, "event: disconnect\ndata: {}\n\n")
+		fl.Flush()
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := c.Watch(ctx, core.WatchOptions{SlowPolicy: core.SlowDisconnect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := <-ch
+	if !ok || ev.Seq != 1 {
+		t.Fatalf("first event = %+v ok=%v", ev, ok)
+	}
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("expected channel close after disconnect sentinel")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("channel not closed after disconnect sentinel")
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("client reconnected after disconnect sentinel (%d connections)", got)
+	}
+}
+
+// TestWireDeadlineCap: the ctx-deadline cap on granted durations crosses
+// the wire (the envelope's deadline attribute re-imposes the client's
+// remaining budget server-side), so a remote engine accepts and rejects
+// exactly like the local engine it fronts.
+func TestWireDeadlineCap(t *testing.T) {
+	eng, err := core.New(core.Config{DefaultDuration: time.Hour, MaxDuration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CreatePool("dp", 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(eng, nil).Handler())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, Client: "c"}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req := func(min time.Duration) core.PromiseResponse {
+		resp, err := c.Execute(ctx, core.Request{PromiseRequests: []core.PromiseRequest{{
+			Predicates:  []core.Predicate{core.Quantity("dp", 1)},
+			Duration:    time.Hour,
+			MinDuration: min,
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Promises[0]
+	}
+
+	capped := req(0)
+	if !capped.Accepted {
+		t.Fatalf("capped grant rejected: %s", capped.Reason)
+	}
+	if max := time.Now().Add(6 * time.Second); capped.Expires.After(max) {
+		t.Fatalf("remote grant expires %v, beyond the ctx deadline cap", capped.Expires)
+	}
+	if floor := req(time.Minute); floor.Accepted {
+		t.Fatal("remote engine granted below the client's floor; local would reject")
+	}
+}
+
+// TestEventsEndpointContract pins the SSE surface a non-Go client sees:
+// content type, id/event/data framing, and the after-cursor replay.
+func TestEventsEndpointContract(t *testing.T) {
+	eng, err := core.New(core.Config{DefaultDuration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CreatePool("sp", 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(eng, nil).Handler())
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Execute(context.Background(), core.Request{
+			Client: "c",
+			PromiseRequests: []core.PromiseRequest{{
+				Predicates: []core.Predicate{core.Quantity("sp", 1)},
+			}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+EventsEndpoint+"?after=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "0") // the query cursor must win
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	buf := make([]byte, 4096)
+	var body string
+	for ctx.Err() == nil && !(strings.Contains(body, "id: 2") && strings.Contains(body, "id: 3")) {
+		n, err := resp.Body.Read(buf)
+		body += string(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(body, "id: 2\nevent: granted\ndata: {") {
+		t.Fatalf("SSE framing missing from replay:\n%s", body)
+	}
+	if strings.Contains(body, "id: 1\n") {
+		t.Fatalf("after=1 replayed seq 1:\n%s", body)
+	}
+}

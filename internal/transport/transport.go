@@ -49,6 +49,7 @@ type Engine interface {
 	GrantBatch(ctx context.Context, client string, reqs []core.PromiseRequest) ([]core.PromiseResponse, error)
 	CheckBatch(ctx context.Context, client string, ids []string) ([]error, error)
 	Release(ctx context.Context, client string, ids ...string) error
+	Watch(ctx context.Context, opts core.WatchOptions) (<-chan core.Event, error)
 	Stats() core.Stats
 	Audit() (*core.AuditReport, error)
 }
@@ -64,17 +65,19 @@ func NewServer(manager Engine, registry *service.Registry) *Server {
 	return &Server{manager: manager, registry: registry}
 }
 
-// Handler returns the http.Handler exposing the promise endpoint plus two
+// Handler returns the http.Handler exposing the promise endpoint plus the
 // read-only operational endpoints:
 //
-//	GET /stats  — the manager's activity counters
-//	GET /audit  — a full consistency audit (500 when unhealthy)
+//	GET /stats   — the manager's activity counters
+//	GET /audit   — a full consistency audit (500 when unhealthy)
+//	GET /events  — the promise lifecycle event stream as SSE (events.go)
 //
-// Both render human-readable text by default and structured JSON with
-// ?format=json, for machine scrapers.
+// /stats and /audit render human-readable text by default and structured
+// JSON with ?format=json, for machine scrapers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+Endpoint, s.handle)
+	mux.HandleFunc("GET "+EventsEndpoint, s.handleEvents)
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.manager.Stats()
 		if wantsJSON(r) {
@@ -114,6 +117,25 @@ func httpFault(w http.ResponseWriter, err error, status int) {
 	http.Error(w, err.Error(), status)
 }
 
+// applyDeadline re-imposes the client's remaining call budget (stamped in
+// the envelope header) on the server-side context, so the ctx-deadline cap
+// on granted durations — and cancellation of overlong work — behave exactly
+// as they would against a local engine.
+func applyDeadline(ctx context.Context, budget string) (context.Context, context.CancelFunc, error) {
+	if budget == "" {
+		return ctx, func() {}, nil
+	}
+	d, err := time.ParseDuration(budget)
+	if err != nil {
+		return ctx, func() {}, fmt.Errorf("transport: bad deadline %q: %v", budget, err)
+	}
+	if d <= 0 {
+		d = time.Nanosecond // already past: surface context.DeadlineExceeded
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	return ctx, cancel, nil
+}
+
 // wantsJSON reports whether the scrape asked for structured output.
 func wantsJSON(r *http.Request) bool {
 	return r.URL.Query().Get("format") == "json" ||
@@ -130,12 +152,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
-	ctx := r.Context()
 	in, err := protocol.Decode(r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	ctx, cancel, err := applyDeadline(r.Context(), in.Header.Deadline)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
 	if in.Header.Batch != nil {
 		s.handleBatch(ctx, w, in)
 		return
@@ -316,10 +343,15 @@ func (c *Client) clientID(client string) string {
 }
 
 // Do sends an envelope (stamping the default client identity when the
-// envelope carries none) and returns the response envelope.
+// envelope carries none, and the context's remaining deadline budget so the
+// server enforces it exactly like a local engine) and returns the response
+// envelope.
 func (c *Client) Do(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
 	if env.Header.Client == "" {
 		env.Header.Client = c.Client
+	}
+	if d, ok := ctx.Deadline(); ok && env.Header.Deadline == "" {
+		env.Header.Deadline = time.Until(d).Round(time.Millisecond).String()
 	}
 	var buf bytes.Buffer
 	if err := protocol.Encode(&buf, env); err != nil {

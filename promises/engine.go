@@ -43,6 +43,18 @@ type Engine interface {
 	// Release hands back the named promises atomically: all released, or
 	// none and the failure returned.
 	Release(ctx context.Context, client string, ids ...string) error
+	// Watch subscribes to the engine's promise lifecycle events — the §6
+	// notification direction as an API. Events (Granted, Renewed, Released,
+	// Expired, ExpiryImminent, Violated, Migrated) arrive on the returned
+	// channel in one total order, with all events of one promise in
+	// lifecycle order; Expired fires at the promise's deadline, driven by
+	// the engine's expiry heap, not at the next request. The channel closes
+	// when ctx is cancelled or, under WatchOptions.SlowDisconnect, when the
+	// subscriber falls behind (with the default SlowDrop policy a slow
+	// subscriber instead sees gaps in Event.Seq). A remote engine streams
+	// the same sequence over SSE (GET /events) and resumes a broken
+	// connection with a Last-Event-ID cursor.
+	Watch(ctx context.Context, opts WatchOptions) (<-chan Event, error)
 	// Stats snapshots the engine's activity counters.
 	Stats() Stats
 	// Audit runs a full consistency audit; an unhealthy report is a

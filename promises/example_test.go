@@ -75,6 +75,53 @@ func ExampleEngine_checkBatch() {
 	// unknown usable: false
 }
 
+// ExampleEngine_watch shows the subscription face: lifecycle transitions
+// arrive as pushed events, and expiry fires at the promise's deadline —
+// driven by the engine's expiry heap and clock, not by polling. The same
+// Watch call works against a sharded engine (per-shard streams merge) and a
+// remote daemon (streamed as SSE from GET /events).
+func ExampleEngine_watch() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	clk := promises.FakeClock()
+	eng, err := promises.Open(
+		promises.WithClock(clk),
+		promises.WithExpiryWarning(10*time.Second), // push a warning before each deadline
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seeder, _ := promises.Seed(eng)
+	_ = seeder.CreatePool("seats", 5, nil)
+
+	events, err := eng.Watch(ctx, promises.WatchOptions{Client: "agent"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	resp, _ := eng.Execute(ctx, promises.Request{
+		Client: "agent",
+		PromiseRequests: []promises.PromiseRequest{{
+			Predicates: []promises.Predicate{promises.Quantity("seats", 2)},
+			Duration:   time.Minute,
+		}},
+	})
+	_ = resp
+
+	// Crossing into the warning window pushes expiry-imminent; crossing
+	// the deadline lapses the promise — no request in flight either time.
+	clk.Advance(55 * time.Second)
+	clk.Advance(10 * time.Second)
+	for i := 0; i < 3; i++ {
+		ev := <-events
+		fmt.Println(ev.Type)
+	}
+	// Output:
+	// granted
+	// expiry-imminent
+	// expired
+}
+
 // ExampleEngineSupplier builds a §5 delegation chain: the merchant covers
 // shortfalls from an upstream engine. The upstream may be local or
 // promises.Open(WithRemote(url)) — the chain code cannot tell.

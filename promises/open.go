@@ -25,6 +25,7 @@ type options struct {
 	suppliers        map[string]Supplier
 	actions          core.ActionResolver
 	standardActions  bool
+	expiryWarning    time.Duration
 
 	remoteURL  string
 	clientID   string
@@ -75,6 +76,15 @@ func WithActions(r core.ActionResolver) Option { return func(o *options) { o.act
 // Local engines only.
 func WithStandardActions() Option { return func(o *options) { o.standardActions = true } }
 
+// WithExpiryWarning makes the engine emit an EventExpiryImminent on Watch
+// streams this long before each promise's deadline, so clients renew
+// reactively instead of polling CheckBatch. Zero (the default) disables the
+// warning. Local engines only; a remote engine streams whatever its daemon
+// was configured with (promised -expiry-warning).
+func WithExpiryWarning(d time.Duration) Option {
+	return func(o *options) { o.expiryWarning = d }
+}
+
 // WithRemote makes Open return a client engine for the promised daemon at
 // url (e.g. "http://localhost:8642") instead of constructing local state.
 // Combine with WithClientID and WithHTTPClient only.
@@ -110,7 +120,8 @@ func Open(opts ...Option) (Engine, error) {
 	}
 	if o.remoteURL != "" {
 		if o.shards != 0 || o.clk != nil || o.defaultDuration != 0 || o.maxDuration != 0 ||
-			o.modeSet || o.suppliers != nil || o.actions != nil || o.maxRetries != 0 {
+			o.modeSet || o.suppliers != nil || o.actions != nil || o.maxRetries != 0 ||
+			o.expiryWarning != 0 {
 			return nil, fmt.Errorf("promises: WithRemote(%q) cannot combine with local-engine options", o.remoteURL)
 		}
 		return &transport.Client{BaseURL: o.remoteURL, Client: o.clientID, HTTP: o.httpClient}, nil
@@ -129,6 +140,7 @@ func Open(opts ...Option) (Engine, error) {
 			Suppliers:        o.suppliers,
 			MaxRetries:       o.maxRetries,
 			Actions:          o.actions,
+			ExpiryWarning:    o.expiryWarning,
 		})
 	}
 	return core.New(core.Config{
@@ -140,6 +152,7 @@ func Open(opts ...Option) (Engine, error) {
 		Suppliers:        o.suppliers,
 		MaxRetries:       o.maxRetries,
 		Actions:          o.actions,
+		ExpiryWarning:    o.expiryWarning,
 	})
 }
 

@@ -118,6 +118,14 @@ type (
 	State = core.State
 	// PropertyMode selects the property-view technique (§5).
 	PropertyMode = core.PropertyMode
+	// Event is one promise lifecycle transition delivered by Engine.Watch.
+	Event = core.Event
+	// EventType names a lifecycle transition.
+	EventType = core.EventType
+	// WatchOptions filters and configures one Watch subscription.
+	WatchOptions = core.WatchOptions
+	// SlowPolicy selects the full-buffer behaviour of a subscription.
+	SlowPolicy = core.SlowPolicy
 	// Stats is a snapshot of manager activity counters.
 	Stats = core.Stats
 	// ShardStat is one shard's slice of a sharded manager's Stats.
@@ -141,6 +149,17 @@ const (
 
 	MatchingMode = core.MatchingMode
 	FirstFitMode = core.FirstFitMode
+
+	EventGranted        = core.EventGranted
+	EventRenewed        = core.EventRenewed
+	EventReleased       = core.EventReleased
+	EventExpired        = core.EventExpired
+	EventExpiryImminent = core.EventExpiryImminent
+	EventViolated       = core.EventViolated
+	EventMigrated       = core.EventMigrated
+
+	SlowDrop       = core.SlowDrop
+	SlowDisconnect = core.SlowDisconnect
 )
 
 // Re-exported sentinel errors.
