@@ -1,0 +1,154 @@
+// Command benchjson converts `go test -json -bench` output into a compact
+// machine-readable benchmark summary, so CI can archive one JSON artifact
+// per PR (BENCH_pr<N>.json) and the repository's performance trajectory is
+// diffable across PRs instead of buried in job logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=1x -json ./... | benchjson > BENCH.json
+//
+// It reads the test2json event stream on stdin, extracts benchmark result
+// lines ("BenchmarkFoo-8  100  123 ns/op  7.0 extra/op"), and emits a JSON
+// object keyed by package-qualified benchmark name:
+//
+//	{
+//	  "repro/internal/core.BenchmarkCheckUnderWriteLoad/writers=0-8": {
+//	    "iterations": 100,
+//	    "ns_per_op": 123,
+//	    "metrics": {"extra/op": 7}
+//	  }
+//	}
+//
+// Unparseable lines are ignored; plain (non -json) `go test` output also
+// works, with names left unqualified.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the test2json event schema benchjson needs.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// result is one benchmark's extracted numbers.
+type result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	results := make(map[string]result)
+	record := func(pkg, text string) {
+		name, res, ok := parseBenchLine(text)
+		if !ok {
+			return
+		}
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		results[name] = res
+	}
+	// test2json splits one benchmark result across output events (the name
+	// flushes before the run, the numbers after), so events are reassembled
+	// into lines per package before parsing.
+	pending := make(map[string]string)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "{") {
+			record("", line)
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Action != "output" {
+			continue
+		}
+		buf := pending[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			record(ev.Package, buf[:nl])
+			buf = buf[nl+1:]
+		}
+		pending[ev.Package] = buf
+	}
+	for pkg, buf := range pending {
+		record(pkg, buf)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	// Deterministic output: sorted keys via an ordered re-marshal.
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprintln(out, "{")
+	for i, k := range keys {
+		b, err := json.Marshal(results[k])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		comma := ","
+		if i == len(keys)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(out, "  %q: %s%s\n", k, b, comma)
+	}
+	fmt.Fprintln(out, "}")
+}
+
+// parseBenchLine extracts one "BenchmarkName-P  N  X ns/op [Y unit]..."
+// result line. ok is false for anything else.
+func parseBenchLine(line string) (string, result, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	res := result{Iterations: iters}
+	// The remainder alternates value/unit pairs: "123 ns/op 7.5 x/op".
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = v
+			sawNs = true
+			continue
+		}
+		if res.Metrics == nil {
+			res.Metrics = make(map[string]float64)
+		}
+		res.Metrics[unit] = v
+	}
+	if !sawNs {
+		return "", result{}, false
+	}
+	return fields[0], res, true
+}

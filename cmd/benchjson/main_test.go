@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	name, res, ok := parseBenchLine("BenchmarkCrossShardPropertyGrant/skewed-8 \t     100\t    104536 ns/op\t         7.000 skipped-shards/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if name != "BenchmarkCrossShardPropertyGrant/skewed-8" {
+		t.Fatalf("name = %q", name)
+	}
+	if res.Iterations != 100 || res.NsPerOp != 104536 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Metrics["skipped-shards/op"] != 7 {
+		t.Fatalf("metrics = %v", res.Metrics)
+	}
+
+	for _, bad := range []string{
+		"PASS",
+		"ok  \trepro/internal/core\t0.033s",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"goos: linux",
+		"BenchmarkNoNs-8 100 12 allocs/op",
+	} {
+		if _, _, ok := parseBenchLine(bad); ok {
+			t.Fatalf("parsed %q as a benchmark result", bad)
+		}
+	}
+}

@@ -52,10 +52,11 @@ func main() {
 	maxDur := flag.Duration("max-duration", 10*time.Minute, "cap on granted promise durations")
 	statsEvery := flag.Duration("sweep", 5*time.Second, "activity log interval (expiry itself fires at promise deadlines)")
 	warn := flag.Duration("expiry-warning", 2*time.Second, "emit expiry-imminent events this long before each deadline; 0 disables")
+	replayRing := flag.Int("replay-ring", 0, "event replay-ring capacity for SSE Last-Event-ID resume; 0 means the default (4096)")
 	flag.Parse()
 
 	eng, err := promises.Open(promises.WithShards(*shards), promises.WithMaxDuration(*maxDur),
-		promises.WithExpiryWarning(*warn))
+		promises.WithExpiryWarning(*warn), promises.WithReplayRing(*replayRing))
 	if err != nil {
 		log.Fatalf("promised: %v", err)
 	}

@@ -43,37 +43,43 @@ func (r *AuditReport) String() string {
 //  4. every escrow reservation and soft-lock holder belongs to a live
 //     promise slot (no leaked holds from released/expired promises).
 //
-// Audit runs in its own transaction and performs an expiry sweep first so
-// lapsed promises do not show up as leaks.
+// Audit reads one immutable committed store snapshot and acquires no lock
+// at all, so it can run continuously against a loaded manager without
+// slowing a single grant. Consistency model: the snapshot is a
+// transactionally consistent point-in-time state — invariants are judged
+// against exactly one commit boundary, never a torn mix. Promises whose
+// deadline has passed but whose expiry transaction has not yet committed
+// still count as live (their holds are still transactionally present; the
+// deadline alarm lapses them independently), so the audit never reports
+// their backing as leaked.
 func (m *Manager) Audit() (*AuditReport, error) {
-	st := &execState{}
-	tx := m.store.Begin(txn.Block)
-	committed := false
-	defer func() {
-		if !committed && !tx.Done() {
-			_ = tx.Abort()
-		}
-	}()
-	if err := m.sweepExpired(tx, st); err != nil {
-		return nil, err
-	}
+	snap := m.store.Snapshot()
 	report := &AuditReport{}
 	problem := func(format string, args ...any) {
 		report.Problems = append(report.Problems, fmt.Sprintf(format, args...))
 	}
 
 	// 1. Escrow invariant per pool.
-	if err := m.ledger.CheckAllInvariants(tx); err != nil {
+	if err := m.ledger.CheckAllInvariants(snap); err != nil {
 		problem("escrow: %v", err)
 	}
 	// 2. Tag/instance agreement.
-	if err := m.tags.CheckInvariant(tx); err != nil {
+	if err := m.tags.CheckInvariant(snap); err != nil {
 		problem("softlock: %v", err)
 	}
 
 	// 3+4. Walk live promises; collect the slots that legitimately hold
-	// resources.
-	promises, err := m.activePromises(tx)
+	// resources. Liveness here is transactional (state Active), not
+	// wall-clock: a deadline that has passed without its expiry commit yet
+	// leaves the holds in place, and they are not leaks.
+	var promises []Promise
+	err := snap.Scan(TablePromises, func(_ string, row txn.Row) bool {
+		p := row.(*promiseRow).p
+		if p.State == Active {
+			promises = append(promises, p)
+		}
+		return true
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +100,7 @@ func (m *Manager) Audit() (*AuditReport, error) {
 				}
 				set[slot] = true
 				// Local reservation + delegated quantity must cover Qty.
-				q, err := m.ledger.Reserved(tx, pred.Pool, slot)
+				q, err := m.ledger.Reserved(snap, pred.Pool, slot)
 				if err != nil {
 					return nil, err
 				}
@@ -111,7 +117,7 @@ func (m *Manager) Audit() (*AuditReport, error) {
 				if pred.View == NamedView {
 					expr = nil
 				}
-				if err := m.slotHealthy(tx, p.Assigned[i], slot, expr); err != nil {
+				if err := m.slotHealthy(snap, p.Assigned[i], slot, expr); err != nil {
 					problem("promise %s slot %d: %v", p.ID, i, err)
 				}
 			}
@@ -119,7 +125,7 @@ func (m *Manager) Audit() (*AuditReport, error) {
 	}
 
 	// 4a. Leaked soft-lock holders.
-	holders, err := m.tags.Holders(tx)
+	holders, err := m.tags.Holders(snap)
 	if err != nil {
 		return nil, err
 	}
@@ -130,18 +136,18 @@ func (m *Manager) Audit() (*AuditReport, error) {
 	}
 	// 4b. Leaked escrow reservations: re-derive per-pool totals from live
 	// slots and compare with the ledger.
-	pools, err := m.rm.Pools(tx)
+	pools, err := m.rm.Pools(snap)
 	if err != nil {
 		return nil, err
 	}
 	for _, pool := range pools {
-		total, err := m.ledger.TotalReserved(tx, pool.ID)
+		total, err := m.ledger.TotalReserved(snap, pool.ID)
 		if err != nil {
 			return nil, err
 		}
 		var live int64
 		for slot := range liveAnonSlots[pool.ID] {
-			q, err := m.ledger.Reserved(tx, pool.ID, slot)
+			q, err := m.ledger.Reserved(snap, pool.ID, slot)
 			if err != nil {
 				return nil, err
 			}
@@ -151,22 +157,6 @@ func (m *Manager) Audit() (*AuditReport, error) {
 			problem("escrow: pool %q has %d reserved but only %d owned by live promises",
 				pool.ID, total, live)
 		}
-	}
-
-	m.pubMu.Lock()
-	if err := tx.Commit(); err != nil {
-		m.pubMu.Unlock()
-		return nil, err
-	}
-	committed = true
-	m.bus.publish(st.events...)
-	m.pubMu.Unlock()
-	m.metrics.expirations.Add(st.expired)
-	for _, f := range st.postCommit {
-		f()
-	}
-	if len(st.sweptDue) > 0 {
-		m.exp.removeDue(m.clk.Now(), st.sweptDue)
 	}
 	return report, nil
 }

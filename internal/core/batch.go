@@ -3,8 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-
-	"repro/internal/txn"
 )
 
 // This file is the batched request surface shared by the single-store
@@ -27,38 +25,36 @@ func (m *Manager) GrantBatch(ctx context.Context, client string, reqs []PromiseR
 // CheckBatch reports, per promise id, whether the promise is currently
 // usable by client: nil when active and unexpired, otherwise the matching
 // sentinel error (ErrPromiseNotFound, ErrPromiseReleased,
-// ErrPromiseExpired). All ids are checked in one read-only transaction. The
-// outer error reports a failure of the check itself (a cancelled context, a
-// dead transport), never a per-promise state.
+// ErrPromiseExpired). All ids are checked against one immutable committed
+// store snapshot, with zero lock acquisition — checks never block grants
+// and never queue behind each other, no matter how many writers are
+// running. The outer error reports a failure of the check itself (a
+// cancelled context, a dead transport), never a per-promise state.
 func (m *Manager) CheckBatch(ctx context.Context, client string, ids []string) ([]error, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	out := make([]error, len(ids))
-	tx := m.store.Begin(txn.Block)
-	defer tx.Commit()
+	snap := m.store.Snapshot()
 	for i, id := range ids {
-		_, out[i] = m.promiseForClient(tx, client, id)
+		_, out[i] = m.promiseForClient(snap, client, id)
 	}
 	return out, nil
 }
 
 // usable reports whether the promise exists, belongs to client, and is
-// still active and unexpired, in a transaction of its own.
+// still active and unexpired, against the latest committed snapshot.
 func (m *Manager) usable(client, id string) error {
-	tx := m.store.Begin(txn.Block)
-	defer tx.Commit()
-	_, err := m.promiseForClient(tx, client, id)
+	_, err := m.promiseForClient(m.store.Snapshot(), client, id)
 	return err
 }
 
-// envOK validates an environment in a read-only transaction: every promise
-// exists, belongs to client, and has not expired or been released.
+// envOK validates an environment against the latest committed snapshot:
+// every promise exists, belongs to client, and has not expired or been
+// released.
 func (m *Manager) envOK(client string, env []EnvEntry) error {
 	if client == "" {
 		return fmt.Errorf("%w: missing client", ErrBadRequest)
 	}
-	tx := m.store.Begin(txn.Block)
-	defer tx.Commit()
-	return m.validateEnv(tx, client, env)
+	return m.validateEnv(m.store.Snapshot(), client, env)
 }

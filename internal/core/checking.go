@@ -341,8 +341,8 @@ func (m *Manager) planInner(ctx context.Context, tx *txn.Tx, st *execState, pred
 
 // activePropertySlots lists every property predicate of every active
 // promise, minus excluded slots.
-func (m *Manager) activePropertySlots(tx *txn.Tx, excluded map[string]bool) ([]propSlot, error) {
-	promises, err := m.activePromises(tx)
+func (m *Manager) activePropertySlots(r txn.Reader, excluded map[string]bool) ([]propSlot, error) {
+	promises, err := m.activePromises(r)
 	if err != nil {
 		return nil, err
 	}
@@ -519,18 +519,18 @@ func (m *Manager) checkAll(tx *txn.Tx) error {
 // slotHealthy verifies one instance-backed slot: instance present, still
 // tagged promised, held by this slot, and (for property view) still
 // satisfying the predicate.
-func (m *Manager) slotHealthy(tx *txn.Tx, inst, slot string, expr predicate.Expr) error {
+func (m *Manager) slotHealthy(r txn.Reader, inst, slot string, expr predicate.Expr) error {
 	if inst == "" {
 		return fmt.Errorf("no assigned instance")
 	}
-	in, err := m.rm.Instance(tx, inst)
+	in, err := m.rm.Instance(r, inst)
 	if err != nil {
 		return fmt.Errorf("assigned instance %q: %v", inst, err)
 	}
 	if in.Status != resource.Promised {
 		return fmt.Errorf("assigned instance %q is %v, want promised", inst, in.Status)
 	}
-	holder, err := m.tags.Holder(tx, inst)
+	holder, err := m.tags.Holder(r, inst)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -128,9 +129,10 @@ type WatchOptions struct {
 	Replay bool
 }
 
-// eventRingCap bounds the replay ring: reconnecting subscribers can resume
-// across this many events.
-const eventRingCap = 4096
+// DefaultReplayRing bounds the replay ring when no explicit capacity is
+// configured: reconnecting subscribers can resume across this many events.
+// See Config.ReplayRing / promises.WithReplayRing / promised -replay-ring.
+const DefaultReplayRing = 4096
 
 // maxWatchBuffer caps a subscription's channel capacity. The buffer is
 // remote-controllable through GET /events?buffer=, so it must not size an
@@ -165,17 +167,37 @@ func (s *subscriber) matches(ev Event) bool {
 // order, and all events of one promise arrive in lifecycle order.
 type EventBus struct {
 	mu      sync.Mutex
-	seq     uint64
-	ring    []Event // newest last; grows to eventRingCap, then slides
+	seq     atomic.Uint64 // written under mu; read lock-free by Seq
+	ringCap int
+	ring    []Event // newest last; grows to ringCap, then slides
 	subs    map[uint64]*subscriber
 	nextSub uint64
 }
 
-// NewEventBus returns an empty bus. The replay ring grows with publication
-// (up to eventRingCap), so an engine that never emits pays nothing.
+// NewEventBus returns an empty bus with the default replay ring. The ring
+// grows with publication (up to its capacity), so an engine that never
+// emits pays nothing.
 func NewEventBus() *EventBus {
-	return &EventBus{subs: make(map[uint64]*subscriber)}
+	return NewEventBusCap(DefaultReplayRing)
 }
+
+// NewEventBusCap returns an empty bus whose replay ring retains up to cap
+// events (cap <= 0 means DefaultReplayRing). A larger ring lets
+// reconnecting subscribers resume across longer outages at the cost of
+// memory; a smaller one surfaces resume gaps sooner.
+func NewEventBusCap(cap int) *EventBus {
+	if cap <= 0 {
+		cap = DefaultReplayRing
+	}
+	return &EventBus{ringCap: cap, subs: make(map[uint64]*subscriber)}
+}
+
+// Seq returns the sequence number of the most recently published event
+// (zero before any). It is a lock-free atomic read: the promise manager
+// stamps it onto every published store snapshot as the snapshot's epoch,
+// so snapshot readers and Watch streams agree on how far history has
+// progressed.
+func (b *EventBus) Seq() uint64 { return b.seq.Load() }
 
 // Watch subscribes to the bus: events matching opts are delivered on the
 // returned channel until ctx is cancelled (the channel is then closed) or,
@@ -276,11 +298,10 @@ func (b *EventBus) publish(events ...Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for _, ev := range events {
-		b.seq++
-		ev.Seq = b.seq
+		ev.Seq = b.seq.Add(1)
 		b.ring = append(b.ring, ev)
-		if len(b.ring) > eventRingCap {
-			b.ring = b.ring[len(b.ring)-eventRingCap:]
+		if len(b.ring) > b.ringCap {
+			b.ring = b.ring[len(b.ring)-b.ringCap:]
 		}
 		for id, sub := range b.subs {
 			if sub.matches(ev) {

@@ -75,6 +75,11 @@ type Config struct {
 	// before each promise's deadline, so clients renew reactively instead
 	// of polling CheckBatch. Zero disables the warning.
 	ExpiryWarning time.Duration
+	// ReplayRing sets the event bus's replay-ring capacity (how far back a
+	// Watch subscriber can resume with AfterSeq). Zero means
+	// DefaultReplayRing. Ignored when an external bus is injected (the
+	// sharded manager sizes the shared bus itself).
+	ReplayRing int
 
 	// bus shares one event bus across shards; nil creates a private one.
 	// gate wraps deadline-driven expiry so the sharded manager can take the
@@ -97,6 +102,7 @@ type Manager struct {
 	metrics    managerMetrics
 	bus        *EventBus
 	exp        expiryIndex
+	cand       candidateIndex
 	gate       func(run func())
 	// pubMu is held across a transaction's commit and the publication of
 	// its events, so bus order equals commit order and a promise's
@@ -162,11 +168,20 @@ func New(cfg Config) (*Manager, error) {
 		gate:       cfg.gate,
 	}
 	if m.bus == nil {
-		m.bus = NewEventBus()
+		m.bus = NewEventBusCap(cfg.ReplayRing)
 	}
 	if m.gate == nil {
 		m.gate = func(run func()) { run() }
 	}
+	// Every committed transaction publishes an immutable store snapshot
+	// (txn/snapshot.go); stamping it with the bus sequence makes snapshot
+	// epochs and Watch streams describe the same history, and the commit
+	// hook keeps the property-candidate index (candidates.go) current for
+	// the cross-shard reservation pre-filter. Both installs happen before
+	// the manager is visible to any other goroutine.
+	m.store.SetEpochSource(m.bus.Seq)
+	m.candInit(m.store.Snapshot())
+	m.store.SetCommitHook(m.onCommit)
 	m.exp.alarmer, _ = cfg.Clock.(clock.Alarmer)
 	// A failed deadline pass re-arms itself on a backoff; the counter is
 	// how the failure surfaces (Stats.ExpiryErrors) — there is no caller
@@ -531,9 +546,11 @@ func (m *Manager) grantDuration(ctx context.Context, requested, min time.Duratio
 }
 
 // promiseForClient loads a usable promise owned by client, mapping state
-// problems to the client-visible sentinel errors.
-func (m *Manager) promiseForClient(tx *txn.Tx, client, id string) (*Promise, error) {
-	p, err := m.promise(tx, id)
+// problems to the client-visible sentinel errors. It reads through any
+// txn.Reader: a transaction on the write paths, a lock-free snapshot on
+// the read paths.
+func (m *Manager) promiseForClient(r txn.Reader, client, id string) (*Promise, error) {
+	p, err := m.promise(r, id)
 	if err != nil {
 		return nil, err
 	}
@@ -552,10 +569,10 @@ func (m *Manager) promiseForClient(tx *txn.Tx, client, id string) (*Promise, err
 	return p, nil
 }
 
-func (m *Manager) promise(tx *txn.Tx, id string) (*Promise, error) {
-	row, err := tx.Get(TablePromises, id)
+func (m *Manager) promise(r txn.Reader, id string) (*Promise, error) {
+	row, err := r.Get(TablePromises, id)
 	if errors.Is(err, txn.ErrNotFound) {
-		row, err = tx.Get(TablePromisesDone, id)
+		row, err = r.Get(TablePromisesDone, id)
 	}
 	if errors.Is(err, txn.ErrNotFound) {
 		return nil, fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
@@ -582,9 +599,9 @@ func (m *Manager) putPromise(tx *txn.Tx, p *Promise) error {
 // validateEnv checks that every environment promise exists, belongs to the
 // client, and has not expired or been released — the "promise-expired"
 // check of §2.
-func (m *Manager) validateEnv(tx *txn.Tx, client string, env []EnvEntry) error {
+func (m *Manager) validateEnv(r txn.Reader, client string, env []EnvEntry) error {
 	for _, e := range env {
-		if _, err := m.promiseForClient(tx, client, e.PromiseID); err != nil {
+		if _, err := m.promiseForClient(r, client, e.PromiseID); err != nil {
 			return err
 		}
 	}
@@ -733,28 +750,26 @@ func (m *Manager) Sweep() error {
 }
 
 // PromiseInfo returns a copy of the promise with the given id, for
-// inspection by tools and tests.
+// inspection by tools and tests. It reads the latest committed store
+// snapshot and acquires no lock, so it never queues behind grants.
 func (m *Manager) PromiseInfo(id string) (Promise, error) {
-	tx := m.store.Begin(txn.Block)
-	defer tx.Commit()
-	p, err := m.promise(tx, id)
+	p, err := m.promise(m.store.Snapshot(), id)
 	if err != nil {
 		return Promise{}, err
 	}
 	return *p, nil
 }
 
-// ActivePromises returns copies of all active, unexpired promises.
+// ActivePromises returns copies of all active, unexpired promises, read
+// from the latest committed store snapshot with no lock acquisition.
 func (m *Manager) ActivePromises() ([]Promise, error) {
-	tx := m.store.Begin(txn.Block)
-	defer tx.Commit()
-	return m.activePromises(tx)
+	return m.activePromises(m.store.Snapshot())
 }
 
-func (m *Manager) activePromises(tx *txn.Tx) ([]Promise, error) {
+func (m *Manager) activePromises(r txn.Reader) ([]Promise, error) {
 	now := m.clk.Now()
 	var out []Promise
-	err := tx.Scan(TablePromises, func(_ string, row txn.Row) bool {
+	err := r.Scan(TablePromises, func(_ string, row txn.Row) bool {
 		p := row.(*promiseRow).p
 		if p.State == Active && now.Before(p.Expires) {
 			out = append(out, p)
@@ -803,11 +818,10 @@ func (m *Manager) CreateInstance(id string, props map[string]predicate.Value) er
 	return tx.Commit()
 }
 
-// PoolLevel returns the quantity on hand of one pool, for tools and tests.
+// PoolLevel returns the quantity on hand of one pool, for tools and tests,
+// read from the latest committed store snapshot with no lock acquisition.
 func (m *Manager) PoolLevel(pool string) (int64, error) {
-	tx := m.store.Begin(txn.Block)
-	defer tx.Commit()
-	p, err := m.rm.Pool(tx, pool)
+	p, err := m.rm.Pool(m.store.Snapshot(), pool)
 	if err != nil {
 		return 0, err
 	}

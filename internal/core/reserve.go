@@ -205,14 +205,15 @@ func (m *Manager) Reserve(ctx context.Context, client string, rr ReserveRequest)
 
 // propertySlotHolder reports whether inst is currently promised to an
 // active property-view slot — the §5 tentative-allocation state the global
-// matcher may rearrange or migrate. It runs in a read transaction of its
-// own; the caller must hold the shard's lock. Missing instances, named
-// holds and lapsed holders all report false (the grant path then handles
-// them exactly as the single store would).
+// matcher may rearrange or migrate. It reads the latest committed store
+// snapshot; the caller must hold the shard's lock when the answer gates a
+// mutation (the lock keeps the snapshot from going stale underneath the
+// decision). Missing instances, named holds and lapsed holders all report
+// false (the grant path then handles them exactly as the single store
+// would).
 func (m *Manager) propertySlotHolder(inst string) (bool, error) {
-	tx := m.store.Begin(txn.Block)
-	defer tx.Commit()
-	in, err := m.rm.Instance(tx, inst)
+	snap := m.store.Snapshot()
+	in, err := m.rm.Instance(snap, inst)
 	if errors.Is(err, txn.ErrNotFound) {
 		return false, nil
 	}
@@ -222,7 +223,7 @@ func (m *Manager) propertySlotHolder(inst string) (bool, error) {
 	if in.Status != resource.Promised {
 		return false, nil
 	}
-	holder, err := m.tags.Holder(tx, inst)
+	holder, err := m.tags.Holder(snap, inst)
 	if err != nil {
 		return false, err
 	}
@@ -230,7 +231,7 @@ func (m *Manager) propertySlotHolder(inst string) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	p, err := m.promise(tx, pid)
+	p, err := m.promise(snap, pid)
 	if err != nil {
 		if errors.Is(err, ErrPromiseNotFound) {
 			return false, nil

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -68,23 +69,42 @@ type ShardedManager struct {
 	// slot migration.
 	bus *EventBus
 
-	// compIDs names composite promises; their parts live in directory.
-	// moved tracks property sub-promises re-homed by the global matcher:
-	// promise id -> owning shard, overriding the id-prefix route. partOf
-	// maps sub-promise ids to their composite so a migration can update
-	// the composite's part table without scanning the directory. Entries
-	// are never removed (ids are client-visible forever). Directory
-	// composites are immutable: a migration replaces the entry, so readers
-	// holding the old pointer see a consistent — if stale — part list and
-	// retry off the not-found they run into.
+	// compIDs names composite promises; their parts live in the dir
+	// directory. moved tracks property sub-promises re-homed by the global
+	// matcher: promise id -> owning shard (int), overriding the id-prefix
+	// route. partOf maps sub-promise ids to their composite so a migration
+	// can update the composite's part table without scanning the
+	// directory. Entries are never removed (ids are client-visible
+	// forever). Directory composites are immutable: a migration replaces
+	// the entry, so readers holding the old pointer see a consistent — if
+	// stale — part list and retry off the not-found they run into.
+	//
+	// dir and moved are sync.Maps so the read paths (CheckBatch routing,
+	// composite walks) resolve them without acquiring any mutex; dirMu
+	// guards only partOf, which is touched exclusively by writers.
 	compIDs *ids.Generator
 	dirMu   sync.Mutex
-	dir     map[string]*composite
-	moved   map[string]int
+	dir     sync.Map // composite id -> *composite
+	moved   sync.Map // promise id -> int shard
 	partOf  map[string]string
 
-	// imbalance retains the shard-imbalance gauge computed by Stats.
-	imbalance metrics.Gauge
+	// migSeq is a seqlock over slot migrations: odd while a pipeline is
+	// between its first migrating commit and the directory update, bumped
+	// to even by commitMoves. Lock-free readers that miss an id use it to
+	// tell a genuine not-found (no migration in flight or completed around
+	// the read — the answer is definitive) from a possible race with a
+	// migration (retry, then freeze under the full lock set).
+	migSeq atomic.Uint64
+
+	// disablePrefilter turns the candidate-index reservation pre-filter
+	// off, so tests can pin pre-filtered ≡ all-shards equivalence.
+	disablePrefilter bool
+
+	// imbalance retains the shard-imbalance gauge computed by Stats;
+	// prefilterSkipped counts shards the pre-filter kept out of
+	// cross-shard property reservations.
+	imbalance        metrics.Gauge
+	prefilterSkipped metrics.Counter
 }
 
 // managerShard pairs one single-store Manager with the mutex that the
@@ -152,6 +172,9 @@ type ShardedConfig struct {
 	MaxRetries       int
 	Actions          ActionResolver
 	ExpiryWarning    time.Duration
+	// ReplayRing sizes the shared event bus's replay ring, as in
+	// Config.ReplayRing.
+	ReplayRing int
 }
 
 // NewSharded creates a ShardedManager with cfg.Shards independent shards.
@@ -166,10 +189,8 @@ func NewSharded(cfg ShardedConfig) (*ShardedManager, error) {
 	s := &ShardedManager{
 		clk:     cfg.Clock,
 		mode:    cfg.PropertyMode,
-		bus:     NewEventBus(),
+		bus:     NewEventBusCap(cfg.ReplayRing),
 		compIDs: ids.New("shp"),
-		dir:     make(map[string]*composite),
-		moved:   make(map[string]int),
 		partOf:  make(map[string]string),
 	}
 	for i := 0; i < n; i++ {
@@ -223,13 +244,11 @@ func (s *ShardedManager) ShardOf(resourceID string) int {
 
 // ownerShard maps a promise id back to its shard: the moved directory for
 // migrated property sub-promises, the "prm<i>-" prefix otherwise. ok is
-// false for composite ids and ids this manager never issued.
+// false for composite ids and ids this manager never issued. Lock-free:
+// this sits on the hot path of every check.
 func (s *ShardedManager) ownerShard(id string) (int, bool) {
-	s.dirMu.Lock()
-	sh, migrated := s.moved[id]
-	s.dirMu.Unlock()
-	if migrated {
-		return sh, true
+	if sh, migrated := s.moved.Load(id); migrated {
+		return sh.(int), true
 	}
 	if !strings.HasPrefix(id, shardIDPrefix) {
 		return 0, false
@@ -250,25 +269,28 @@ func isCompositeID(id string) bool { return strings.HasPrefix(id, compositeIDPre
 
 // lookupComposite returns the directory entry for id, or nil when missing
 // or owned by a different client (pass client "" to skip the owner check).
+// Lock-free: entries are immutable once stored.
 func (s *ShardedManager) lookupComposite(client, id string) *composite {
-	s.dirMu.Lock()
-	defer s.dirMu.Unlock()
-	c := s.dir[id]
-	if c == nil || (client != "" && c.client != client) {
+	v, ok := s.dir.Load(id)
+	if !ok {
+		return nil
+	}
+	c := v.(*composite)
+	if client != "" && c.client != client {
 		return nil
 	}
 	return c
 }
 
 func (s *ShardedManager) dropComposite(id string) {
-	s.dirMu.Lock()
-	if c := s.dir[id]; c != nil {
-		for _, part := range c.parts {
+	if v, ok := s.dir.Load(id); ok {
+		s.dirMu.Lock()
+		for _, part := range v.(*composite).parts {
 			delete(s.partOf, part.id)
 		}
+		s.dirMu.Unlock()
 	}
-	delete(s.dir, id)
-	s.dirMu.Unlock()
+	s.dir.Delete(id)
 }
 
 // lockShards acquires the mutexes of the given shard set in ascending index
@@ -770,10 +792,14 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 
 	// Phase 1 — reserve. Every involved shard tentatively applies its
 	// releases and grants its fixed predicates inside an open transaction.
-	// With floating predicates every shard participates (any shard may host
-	// an instance or contribute rearrangement candidates); the held lock
-	// set covers them by construction, because routeRequest marks all
-	// shards for property view.
+	// With floating predicates, the candidate-index pre-filter decides
+	// which shards join: only those whose published index says they could
+	// contribute a slot, a candidate instance or a migration target (see
+	// contributingShards — shards with nothing to offer are provably
+	// irrelevant to the joint match and their reservations are skipped).
+	// The held lock set covers every possible choice by construction,
+	// because routeRequest marks all shards for property view; the
+	// pre-filter reads are stable because those locks are held.
 	involved := make(map[int]bool)
 	for sh := range relByShard {
 		involved[sh] = true
@@ -782,8 +808,17 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 		involved[sh] = true
 	}
 	if len(floating) > 0 {
-		for i := range s.shards {
+		for i := range s.contributingShards(pr, floating) {
 			involved[i] = true
+		}
+		if len(involved) == 0 {
+			// No shard can contribute and nothing is fixed or released:
+			// reserve one shard anyway so the rejection runs through the
+			// same counters and response shape as always.
+			involved[0] = true
+		}
+		if skipped := len(s.shards) - len(involved); skipped > 0 {
+			s.prefilterSkipped.Add(int64(skipped))
 		}
 	}
 	resvs := make(map[int]*Reservation)
@@ -892,10 +927,21 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 		abortAll()
 		return PromiseResponse{}, err
 	}
+	// With migrations pending, the confirms below make a promise vanish
+	// from its source shard's snapshot before the directory re-routes it;
+	// the odd seqlock value tells lock-free readers their miss may be this
+	// race rather than a definitive not-found.
+	migrating := len(pendingMoves) > 0
+	if migrating {
+		s.migSeq.Add(1)
+	}
 	var confirmed []compositePart
 	for _, sh := range sortedKeys(resvs) {
 		granted := resvs[sh].Granted()
 		if err := resvs[sh].Confirm(); err != nil {
+			if migrating {
+				s.migSeq.Add(1)
+			}
 			abortAll()
 			s.releaseParts(client, confirmed)
 			return PromiseResponse{}, err
@@ -905,6 +951,9 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 		}
 	}
 	s.commitMoves(pendingMoves)
+	if migrating {
+		s.migSeq.Add(1)
+	}
 	if len(pendingMoves) > 0 {
 		// The migrated promises now live (and will expire) on their new
 		// shards; their ids, clients and expiries are unchanged, and the
@@ -943,6 +992,88 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 	}, nil
 }
 
+// contributingShards is the reservation pre-filter: given a request's
+// floating predicates, it returns the set of shards that could contribute
+// anything to the joint property match, read lock-free from each shard's
+// published candidate-index summary (candidates.go). The caller holds
+// every shard's lock, so the summaries cannot move underneath the
+// decision.
+//
+// Two sound pruning tiers, both strictly conservative:
+//
+//  1. A shard with no active property slot and no hostable instance adds
+//     no vertex to the bipartite problem at all — not a slot to rearrange,
+//     not a candidate to host a new predicate or a migrated slot — so
+//     excluding it can never change feasibility. (Release and fixed-
+//     predicate shards are reserved by the caller regardless, which is
+//     what keeps capacity freed by §4 releases visible to the match.)
+//  2. When no shard holds any property slot, no rearrangement or
+//     migration is possible: the match degenerates to placing the new
+//     predicates on available instances. A slotless shard is then needed
+//     only if one of its hostable instances might satisfy one of the new
+//     predicates, which the per-value property index answers
+//     conservatively (indexMay); unindexable predicate shapes report
+//     "may", falling back to inclusion.
+//
+// Everything else — skew in instance placement being the headline case —
+// shrinks the reservation set to the shards that matter.
+func (s *ShardedManager) contributingShards(pr PromiseRequest, floating []floatPred) map[int]bool {
+	out := make(map[int]bool, len(s.shards))
+	if s.disablePrefilter {
+		for i := range s.shards {
+			out[i] = true
+		}
+		return out
+	}
+	summaries := make([]*candSummary, len(s.shards))
+	totalSlots := 0
+	for i, sh := range s.shards {
+		summaries[i] = sh.m.cand.summary.Load()
+		totalSlots += summaries[i].Slots
+	}
+	// Tier 2 applies only with zero slots anywhere; a deferred named
+	// predicate implies a property slot exists, so with totalSlots == 0
+	// every floating predicate is a property expression.
+	valuePrune := totalSlots == 0
+	var exprs []predicate.Expr
+	if valuePrune {
+		for _, f := range floating {
+			if f.named {
+				valuePrune = false
+				break
+			}
+			exprs = append(exprs, pr.Predicates[f.idx].Expr)
+		}
+	}
+	now := s.clk.Now()
+	for i := range s.shards {
+		sum := summaries[i]
+		// A summary with pinned instances past their holder's deadline
+		// under-counts: the reservation-time sweep would free them, so a
+		// cannot-contribute verdict is no longer trustworthy and the
+		// shard is included (the commit that lapses the holder restores
+		// precision).
+		stale := sum.Pinned > 0 && !now.Before(sum.MinPinnedExpiry)
+		if sum.Slots == 0 && sum.Hostable == 0 && !stale {
+			continue // tier 1: nothing to offer
+		}
+		if valuePrune && sum.Slots == 0 && !stale {
+			may := false
+			for _, e := range exprs {
+				if m, ok := indexMay(e, sum.ByProp); !ok || m {
+					may = true
+					break
+				}
+			}
+			if !may {
+				continue // tier 2: no hostable instance can satisfy anything requested
+			}
+		}
+		out[i] = true
+	}
+	return out
+}
+
 // releaseParts hands back sub-promises granted earlier in an operation
 // that is now failing, in reverse grant order.
 func (s *ShardedManager) releaseParts(client string, parts []compositePart) {
@@ -966,21 +1097,22 @@ func (s *ShardedManager) registerComposite(client string, parts []compositePart)
 	}
 	id := s.compIDs.Next()
 	s.dirMu.Lock()
-	s.dir[id] = &composite{client: client, expires: expires, parts: parts}
 	for _, part := range parts {
 		s.partOf[part.id] = id
 	}
 	s.dirMu.Unlock()
+	s.dir.Store(id, &composite{client: client, expires: expires, parts: parts})
 	return id, expires
 }
 
 // commitMoves records confirmed cross-shard slot migrations: the moved
 // directory re-routes the promise ids from now on, and any composite
 // referencing a migrated part gets a fresh directory entry with the
-// updated shard. Entries are replaced, never mutated: a concurrent reader
-// holding the old pointer sees a consistent stale part list, runs into
-// promise-not-found on the vacated shard, and retries against the fresh
-// entry. Called only while every shard lock is held.
+// updated shard. Entries are replaced, never mutated: a concurrent
+// lock-free reader holding the old pointer sees a consistent stale part
+// list, runs into promise-not-found on the vacated shard, and retries
+// against the fresh entry. Called only while every shard lock the
+// migration touched is held.
 func (s *ShardedManager) commitMoves(migs []slotMigration) {
 	if len(migs) == 0 {
 		return
@@ -988,15 +1120,16 @@ func (s *ShardedManager) commitMoves(migs []slotMigration) {
 	s.dirMu.Lock()
 	defer s.dirMu.Unlock()
 	for _, mg := range migs {
-		s.moved[mg.promiseID] = mg.to
+		s.moved.Store(mg.promiseID, mg.to)
 		cid, ok := s.partOf[mg.promiseID]
 		if !ok {
 			continue
 		}
-		old := s.dir[cid]
-		if old == nil {
+		v, ok := s.dir.Load(cid)
+		if !ok {
 			continue
 		}
+		old := v.(*composite)
 		fresh := &composite{
 			client:  old.client,
 			expires: old.expires,
@@ -1007,7 +1140,7 @@ func (s *ShardedManager) commitMoves(migs []slotMigration) {
 				fresh.parts[i].shard = mg.to
 			}
 		}
-		s.dir[cid] = fresh
+		s.dir.Store(cid, fresh)
 	}
 }
 
@@ -1148,10 +1281,15 @@ func (s *ShardedManager) Release(ctx context.Context, client string, ids ...stri
 }
 
 // CheckBatch reports, per promise id, whether the promise is currently
-// usable by client (see Manager.CheckBatch). Ids are checked one shard at a
-// time; a composite is usable only if every part is. A slot migration can
-// re-home a promise between routing and the shard lock, so routing is
-// re-verified under each lock and mis-routed ids are re-dispatched.
+// usable by client (see Manager.CheckBatch). The whole path is lock-free:
+// ids route through the migration directory (atomic map reads) to their
+// shard's immutable store snapshot, so checks never block grants and scale
+// with cores no matter how many writers are running. A racing slot
+// migration can make an id miss on its routed shard (the source committed,
+// the directory not yet updated); such ids are re-dispatched, and after a
+// bounded number of attempts the remaining ones are resolved definitively
+// under the full shard lock set — the only situation in which a check
+// takes a lock.
 func (s *ShardedManager) CheckBatch(ctx context.Context, client string, ids []string) ([]error, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -1171,7 +1309,7 @@ func (s *ShardedManager) CheckBatch(ctx context.Context, client string, ids []st
 	}
 	for attempt := 0; len(perShard) > 0; attempt++ {
 		if attempt > migrationRetryLimit {
-			// Migrations keep outrunning the per-shard locks; freeze them
+			// Migrations keep outrunning the directory updates; freeze them
 			// by holding every lock and resolve what is left.
 			unlock := s.lockShards(s.allShards())
 			for _, shIdx := range sortedKeys(perShard) {
@@ -1190,13 +1328,10 @@ func (s *ShardedManager) CheckBatch(ctx context.Context, client string, ids []st
 		for _, shIdx := range sortedKeys(perShard) {
 			idxs := perShard[shIdx]
 			sh := s.shards[shIdx]
-			sh.mu.RLock()
+			mseq := s.migSeq.Load()
 			var batch []string
 			var bidx []int
 			for _, idx := range idxs {
-				// Migrations take the write lock, so no migration can touch
-				// this shard while the read lock is held and the owner
-				// re-check is stable; concurrent checks share the lock.
 				if o, ok := s.ownerShard(ids[idx]); ok && o != shIdx {
 					next[o] = append(next[o], idx)
 					continue
@@ -1205,17 +1340,37 @@ func (s *ShardedManager) CheckBatch(ctx context.Context, client string, ids []st
 				bidx = append(bidx, idx)
 			}
 			errs, err := sh.m.CheckBatch(ctx, client, batch)
-			sh.mu.RUnlock()
 			if err != nil {
 				return nil, err
 			}
 			for j, idx := range bidx {
+				// Not-found may mean the id never existed — or that a
+				// migration's source shard committed before the directory
+				// re-routed the id. The migration seqlock separates the two
+				// without locks: if no migration was in flight around the
+				// read, the miss is definitive; otherwise re-dispatch, with
+				// the freeze pass settling persistent races.
+				if errors.Is(errs[j], ErrPromiseNotFound) && !s.migrationsQuiescedAt(mseq) {
+					o, ok := s.ownerShard(ids[idx])
+					if !ok {
+						o = 0
+					}
+					next[o] = append(next[o], idx)
+					continue
+				}
 				out[idx] = errs[j]
 			}
 		}
 		perShard = next
 	}
 	return out, nil
+}
+
+// migrationsQuiescedAt reports whether no slot migration was in flight
+// when before was loaded and none has begun or finished since — making a
+// not-found read taken in between definitive rather than possibly stale.
+func (s *ShardedManager) migrationsQuiescedAt(before uint64) bool {
+	return before%2 == 0 && s.migSeq.Load() == before
 }
 
 // checkComposite checks every part of one composite, retrying when a
@@ -1239,20 +1394,13 @@ func (s *ShardedManager) checkComposite(client, id string) error {
 	}
 }
 
-// checkParts checks each part on its shard; locked means the caller
-// already holds every shard lock. stale reports a part vanished from its
-// recorded shard — the signature of racing a migration.
+// checkParts checks each part on its shard's snapshot, lock-free; locked
+// means the caller holds every shard lock (the freeze pass), making the
+// answer definitive. stale reports a part vanished from its recorded
+// shard — the signature of racing a migration.
 func (s *ShardedManager) checkParts(client string, c *composite, locked bool) (error, bool) {
 	for _, part := range c.parts {
-		sh := s.shards[part.shard]
-		if !locked {
-			sh.mu.RLock()
-		}
-		err := sh.m.usable(client, part.id)
-		if !locked {
-			sh.mu.RUnlock()
-		}
-		if err != nil {
+		if err := s.shards[part.shard].m.usable(client, part.id); err != nil {
 			if errors.Is(err, ErrPromiseNotFound) && !locked {
 				return nil, true
 			}
@@ -1276,37 +1424,46 @@ func (s *ShardedManager) Sweep() error {
 	return nil
 }
 
-// snapshotDir copies the composite directory so callers can walk it while
-// taking shard locks (never hold dirMu across a shard lock).
+// snapshotDir copies the composite directory for a stable walk (entries
+// themselves are immutable).
 func (s *ShardedManager) snapshotDir() map[string]*composite {
-	s.dirMu.Lock()
-	defer s.dirMu.Unlock()
-	snapshot := make(map[string]*composite, len(s.dir))
-	for id, c := range s.dir {
-		snapshot[id] = c
-	}
+	snapshot := make(map[string]*composite)
+	s.dir.Range(func(k, v any) bool {
+		snapshot[k.(string)] = v.(*composite)
+		return true
+	})
 	return snapshot
 }
 
-// PromiseInfo returns a copy of the promise with the given id. Composite
-// promises are reconstructed from their parts in original predicate order;
-// a composite reports the worst lifecycle state among its parts. Both
-// paths re-verify routing against racing slot migrations, exactly like
-// CheckBatch.
+// PromiseInfo returns a copy of the promise with the given id, read from
+// the owning shard's immutable store snapshot with no lock acquisition.
+// Composite promises are reconstructed from their parts in original
+// predicate order; a composite reports the worst lifecycle state among its
+// parts. Both paths re-verify routing against racing slot migrations,
+// exactly like CheckBatch, falling back to the full lock set only when a
+// migration keeps outrunning the directory.
 func (s *ShardedManager) PromiseInfo(id string) (Promise, error) {
 	if !isCompositeID(id) {
-		for {
+		for attempt := 0; ; attempt++ {
+			mseq := s.migSeq.Load()
 			sh, ok := s.ownerShard(id)
 			if !ok {
 				return Promise{}, fmt.Errorf("%w: %s", ErrPromiseNotFound, id)
 			}
-			s.shards[sh].mu.RLock()
-			if o, ok := s.ownerShard(id); ok && o != sh {
-				s.shards[sh].mu.RUnlock()
-				continue
+			if attempt > migrationRetryLimit {
+				// Freeze migrations and resolve definitively.
+				unlock := s.lockShards(s.allShards())
+				if o, ok := s.ownerShard(id); ok {
+					sh = o
+				}
+				p, err := s.shards[sh].m.PromiseInfo(id)
+				unlock()
+				return p, err
 			}
 			p, err := s.shards[sh].m.PromiseInfo(id)
-			s.shards[sh].mu.RUnlock()
+			if errors.Is(err, ErrPromiseNotFound) && !s.migrationsQuiescedAt(mseq) {
+				continue // possibly racing a migration; re-route and retry
+			}
 			return p, err
 		}
 	}
@@ -1350,14 +1507,7 @@ func (s *ShardedManager) compositeInfo(id string, freeze bool) (_ Promise, stale
 		State:        Active,
 	}
 	for _, part := range c.parts {
-		sh := s.shards[part.shard]
-		if !freeze {
-			sh.mu.RLock()
-		}
-		p, err := sh.m.PromiseInfo(part.id)
-		if !freeze {
-			sh.mu.RUnlock()
-		}
+		p, err := s.shards[part.shard].m.PromiseInfo(part.id)
 		if err != nil {
 			if errors.Is(err, ErrPromiseNotFound) && !freeze {
 				return Promise{}, true, nil
@@ -1384,14 +1534,13 @@ func (s *ShardedManager) compositeInfo(id string, freeze bool) (_ Promise, stale
 }
 
 // ActivePromises returns copies of all active, unexpired promises across
-// every shard. Parts of composite promises appear individually, under
+// every shard, each shard read from its immutable store snapshot with no
+// lock acquisition. Parts of composite promises appear individually, under
 // their per-shard ids.
 func (s *ShardedManager) ActivePromises() ([]Promise, error) {
 	var out []Promise
 	for _, sh := range s.shards {
-		sh.mu.RLock()
 		ps, err := sh.m.ActivePromises()
-		sh.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
@@ -1412,35 +1561,80 @@ func (s *ShardedManager) ActivePromises() ([]Promise, error) {
 // grant over N shards counts N requests and N grants, and the cross-shard
 // pipeline's reserve/abort cycles add matching rejection and release
 // counts.
+//
+// Consistency model: the scrape acquires no shard lock — it never slows a
+// grant. It runs in two phases: a tight capture pass that copies every
+// shard's counter values, reservoir samples and store-snapshot epoch
+// back-to-back, then a merge/summarize pass over the captured copies.
+// Each shard's captured values are individually coherent atomic reads;
+// across shards the view can skew only by the work that committed during
+// the capture pass itself (microseconds, with no sorting or summarizing
+// in between), and each ShardStat.Epoch records exactly which committed
+// state its shard had reached, making any residual skew observable
+// instead of silent.
 func (s *ShardedManager) Stats() Stats {
+	type capture struct {
+		epoch     uint64
+		samples   []time.Duration
+		count     int
+		requests  int64
+		grants    int64
+		reject    int64
+		releases  int64
+		expire    int64
+		violate   int64
+		actErrs   int64
+		deadlocks int64
+		expErrs   int64
+	}
+	caps := make([]capture, len(s.shards))
+	// Phase 1 — capture: nothing but copies, so the cross-shard skew
+	// window is as small as the loop itself.
+	for i, sh := range s.shards {
+		mm := &sh.m.metrics
+		caps[i] = capture{
+			epoch:     sh.m.store.Snapshot().Epoch(),
+			samples:   mm.latency.Samples(),
+			count:     mm.latency.Count(),
+			requests:  mm.requests.Value(),
+			grants:    mm.grants.Value(),
+			reject:    mm.rejections.Value(),
+			releases:  mm.releases.Value(),
+			expire:    mm.expirations.Value(),
+			violate:   mm.violations.Value(),
+			actErrs:   mm.actionErrors.Value(),
+			deadlocks: mm.deadlocks.Value(),
+			expErrs:   mm.expiryErrors.Value(),
+		}
+	}
+	// Phase 2 — merge and summarize from the captured copies.
 	out := Stats{PerShard: make([]ShardStat, 0, len(s.shards))}
 	var all []time.Duration
 	var observed int
 	var maxRequests int64
-	for i, sh := range s.shards {
-		// Copy each shard's samples once and summarise from the copy, so a
-		// scrape costs one pass over the sample store, not two.
-		samples := sh.m.metrics.latency.Samples()
-		perShard := metrics.SummarizeDurations(samples)
-		perShard.Count = sh.m.metrics.latency.Count()
-		observed += perShard.Count
-		all = append(all, samples...)
+	for i := range caps {
+		c := &caps[i]
+		perShard := metrics.SummarizeDurations(c.samples)
+		perShard.Count = c.count
+		observed += c.count
+		all = append(all, c.samples...)
 		st := ShardStat{
 			Shard:      i,
-			Requests:   sh.m.metrics.requests.Value(),
-			Grants:     sh.m.metrics.grants.Value(),
-			Rejections: sh.m.metrics.rejections.Value(),
+			Requests:   c.requests,
+			Grants:     c.grants,
+			Rejections: c.reject,
 			Latency:    perShard,
+			Epoch:      c.epoch,
 		}
 		out.Requests += st.Requests
 		out.Grants += st.Grants
 		out.Rejections += st.Rejections
-		out.Releases += sh.m.metrics.releases.Value()
-		out.Expirations += sh.m.metrics.expirations.Value()
-		out.Violations += sh.m.metrics.violations.Value()
-		out.ActionErrors += sh.m.metrics.actionErrors.Value()
-		out.DeadlockRetries += sh.m.metrics.deadlocks.Value()
-		out.ExpiryErrors += sh.m.metrics.expiryErrors.Value()
+		out.Releases += c.releases
+		out.Expirations += c.expire
+		out.Violations += c.violate
+		out.ActionErrors += c.actErrs
+		out.DeadlockRetries += c.deadlocks
+		out.ExpiryErrors += c.expErrs
 		out.PerShard = append(out.PerShard, st)
 		if st.Requests > maxRequests {
 			maxRequests = st.Requests
@@ -1451,6 +1645,7 @@ func (s *ShardedManager) Stats() Stats {
 	if out.Requests > 0 {
 		out.Imbalance = float64(maxRequests) * float64(len(s.shards)) / float64(out.Requests)
 	}
+	out.PrefilterSkipped = s.prefilterSkipped.Value()
 	s.imbalance.Set(out.Imbalance)
 	return out
 }
@@ -1462,12 +1657,14 @@ func (s *ShardedManager) Imbalance() float64 { return s.imbalance.Value() }
 // Audit runs every shard's consistency audit and checks the composite
 // directory: each part of each live composite must resolve to a promise
 // owned by the composite's client. Problems are prefixed with their shard.
+// Like every other read path it works from the shards' immutable store
+// snapshots and acquires no lock, so a continuous background audit costs
+// the grant path nothing; each per-shard report is judged against one
+// transactionally consistent state (see Manager.Audit for the model).
 func (s *ShardedManager) Audit() (*AuditReport, error) {
 	report := &AuditReport{}
 	for i, sh := range s.shards {
-		sh.mu.Lock()
 		rep, err := sh.m.Audit()
-		sh.mu.Unlock()
 		if err != nil {
 			return nil, err
 		}
@@ -1488,24 +1685,20 @@ func (s *ShardedManager) Audit() (*AuditReport, error) {
 		}
 		report.Problems = append(report.Problems, problems...)
 	}
-	s.dirMu.Lock()
-	moved := make(map[string]int, len(s.moved))
-	for id, sh := range s.moved {
-		moved[id] = sh
-	}
-	s.dirMu.Unlock()
+	moved := make(map[string]int)
+	s.moved.Range(func(k, v any) bool {
+		moved[k.(string)] = v.(int)
+		return true
+	})
 	for _, id := range sortedStringKeys(moved) {
 		shIdx := moved[id]
-		sh := s.shards[shIdx]
-		sh.mu.RLock()
-		_, err := sh.m.PromiseInfo(id)
-		sh.mu.RUnlock()
-		if err != nil {
-			s.dirMu.Lock()
-			cur := s.moved[id]
-			s.dirMu.Unlock()
-			if cur != shIdx {
+		mseq := s.migSeq.Load()
+		if _, err := s.shards[shIdx].m.PromiseInfo(id); err != nil {
+			if cur, ok := s.moved.Load(id); ok && cur.(int) != shIdx {
 				continue // moved again mid-audit; the fresh entry is checked next run
+			}
+			if !s.migrationsQuiescedAt(mseq) {
+				continue // racing a migration's confirm→directory window; next run settles it
 			}
 			report.Problems = append(report.Problems,
 				fmt.Sprintf("moved: promise %s not found on shard %d: %v", id, shIdx, err))
@@ -1516,15 +1709,18 @@ func (s *ShardedManager) Audit() (*AuditReport, error) {
 
 // auditComposite verifies one composite directory entry: every part must
 // resolve on its recorded shard to a promise owned by the composite's
-// client.
+// client. A part that vanishes while a migration's confirm→directory
+// window is open is skipped, not reported — the next audit sees the
+// settled state.
 func (s *ShardedManager) auditComposite(id string, c *composite) []string {
 	var problems []string
 	for _, part := range c.parts {
-		sh := s.shards[part.shard]
-		sh.mu.RLock()
-		p, err := sh.m.PromiseInfo(part.id)
-		sh.mu.RUnlock()
+		mseq := s.migSeq.Load()
+		p, err := s.shards[part.shard].m.PromiseInfo(part.id)
 		if err != nil {
+			if errors.Is(err, ErrPromiseNotFound) && !s.migrationsQuiescedAt(mseq) {
+				continue
+			}
 			problems = append(problems,
 				fmt.Sprintf("directory: composite %s part %s: %v", id, part.id, err))
 			continue
@@ -1598,15 +1794,12 @@ func (s *ShardedManager) LoadSeed(r io.Reader) (pools, instances int, err error)
 	return pools, instances, nil
 }
 
-// Pools lists every pool across all shards, in id order.
+// Pools lists every pool across all shards, in id order, read from the
+// shards' immutable store snapshots with no lock acquisition.
 func (s *ShardedManager) Pools() ([]*resource.Pool, error) {
 	var out []*resource.Pool
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		tx := sh.m.Store().Begin(txn.Block)
-		ps, err := sh.m.Resources().Pools(tx)
-		_ = tx.Commit()
-		sh.mu.RUnlock()
+		ps, err := sh.m.Resources().Pools(sh.m.Store().Snapshot())
 		if err != nil {
 			return nil, err
 		}
@@ -1616,15 +1809,13 @@ func (s *ShardedManager) Pools() ([]*resource.Pool, error) {
 	return out, nil
 }
 
-// Instances lists every named instance across all shards, in id order.
+// Instances lists every named instance across all shards, in id order,
+// read from the shards' immutable store snapshots with no lock
+// acquisition.
 func (s *ShardedManager) Instances() ([]*resource.Instance, error) {
 	var out []*resource.Instance
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		tx := sh.m.Store().Begin(txn.Block)
-		ins, err := sh.m.Resources().Instances(tx)
-		_ = tx.Commit()
-		sh.mu.RUnlock()
+		ins, err := sh.m.Resources().Instances(sh.m.Store().Snapshot())
 		if err != nil {
 			return nil, err
 		}
@@ -1634,18 +1825,10 @@ func (s *ShardedManager) Instances() ([]*resource.Instance, error) {
 	return out, nil
 }
 
-// PoolLevel returns the quantity on hand of one pool, for tools and tests.
+// PoolLevel returns the quantity on hand of one pool, for tools and tests,
+// read lock-free from the owning shard's snapshot.
 func (s *ShardedManager) PoolLevel(pool string) (int64, error) {
-	sh := s.shards[s.ShardOf(pool)]
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	tx := sh.m.Store().Begin(txn.Block)
-	defer tx.Commit()
-	p, err := sh.m.Resources().Pool(tx, pool)
-	if err != nil {
-		return 0, err
-	}
-	return p.OnHand, nil
+	return s.shards[s.ShardOf(pool)].m.PoolLevel(pool)
 }
 
 // sortedKeys returns the keys of m in ascending order — every multi-shard

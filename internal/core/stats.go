@@ -57,6 +57,11 @@ type Stats struct {
 	// perfectly balanced load; N (the shard count) means one shard took
 	// everything. Zero when idle or unsharded.
 	Imbalance float64
+	// PrefilterSkipped counts shards that the candidate-index pre-filter
+	// excluded from cross-shard property reservations (each skipped shard
+	// is one reservation, one open transaction and one commit that never
+	// happened). Zero for the single-store Manager.
+	PrefilterSkipped int64
 }
 
 // ShardStat is one shard's slice of a sharded manager's activity.
@@ -68,6 +73,11 @@ type ShardStat struct {
 	Requests, Grants, Rejections int64
 	// Latency summarises the shard's own request latency.
 	Latency metrics.Summary
+	// Epoch is the shard's store-snapshot epoch at capture time — the
+	// event-bus sequence number the shard's committed state had reached.
+	// Because all shards share one bus, comparing epochs bounds how much
+	// the capture pass skewed across shards.
+	Epoch uint64
 }
 
 // String renders the snapshot on one line (plus shard balance when sharded).
@@ -81,6 +91,9 @@ func (s Stats) String() string {
 	}
 	if len(s.PerShard) > 0 {
 		out += fmt.Sprintf(" shards=%d imbalance=%.2f", len(s.PerShard), s.Imbalance)
+	}
+	if s.PrefilterSkipped > 0 {
+		out += fmt.Sprintf(" prefilterSkipped=%d", s.PrefilterSkipped)
 	}
 	return out
 }

@@ -74,8 +74,8 @@ func NewLedger(store *txn.Store, rm *resource.Manager) (*Ledger, error) {
 	return &Ledger{store: store, rm: rm}, nil
 }
 
-func (l *Ledger) load(tx *txn.Tx, pool string) (*entry, error) {
-	row, err := tx.Get(Table, pool)
+func (l *Ledger) load(r txn.Reader, pool string) (*entry, error) {
+	row, err := r.Get(Table, pool)
 	if errors.Is(err, txn.ErrNotFound) {
 		return &entry{pool: pool, reserved: make(map[string]int64)}, nil
 	}
@@ -173,8 +173,8 @@ func (l *Ledger) Consume(tx *txn.Tx, pool, holder string, qty int64) error {
 }
 
 // Reserved returns the quantity holder currently has reserved in pool.
-func (l *Ledger) Reserved(tx *txn.Tx, pool, holder string) (int64, error) {
-	e, err := l.load(tx, pool)
+func (l *Ledger) Reserved(r txn.Reader, pool, holder string) (int64, error) {
+	e, err := l.load(r, pool)
 	if err != nil {
 		return 0, err
 	}
@@ -182,8 +182,8 @@ func (l *Ledger) Reserved(tx *txn.Tx, pool, holder string) (int64, error) {
 }
 
 // TotalReserved returns the sum of all reservations against pool.
-func (l *Ledger) TotalReserved(tx *txn.Tx, pool string) (int64, error) {
-	e, err := l.load(tx, pool)
+func (l *Ledger) TotalReserved(r txn.Reader, pool string) (int64, error) {
+	e, err := l.load(r, pool)
 	if err != nil {
 		return 0, err
 	}
@@ -192,12 +192,12 @@ func (l *Ledger) TotalReserved(tx *txn.Tx, pool string) (int64, error) {
 
 // Unreserved returns the pool quantity not covered by any reservation —
 // what a new promise request can still draw on.
-func (l *Ledger) Unreserved(tx *txn.Tx, pool string) (int64, error) {
-	p, err := l.rm.Pool(tx, pool)
+func (l *Ledger) Unreserved(r txn.Reader, pool string) (int64, error) {
+	p, err := l.rm.Pool(r, pool)
 	if err != nil {
 		return 0, err
 	}
-	total, err := l.TotalReserved(tx, pool)
+	total, err := l.TotalReserved(r, pool)
 	if err != nil {
 		return 0, err
 	}
@@ -207,8 +207,8 @@ func (l *Ledger) Unreserved(tx *txn.Tx, pool string) (int64, error) {
 // CheckInvariant verifies sum(reserved) <= on-hand for pool; promise
 // checking calls this after every application action (§8 "a check is
 // performed after every client-requested operation has completed").
-func (l *Ledger) CheckInvariant(tx *txn.Tx, pool string) error {
-	u, err := l.Unreserved(tx, pool)
+func (l *Ledger) CheckInvariant(r txn.Reader, pool string) error {
+	u, err := l.Unreserved(r, pool)
 	if err != nil {
 		return err
 	}
@@ -220,9 +220,9 @@ func (l *Ledger) CheckInvariant(tx *txn.Tx, pool string) error {
 
 // CheckAllInvariants verifies the escrow invariant for every pool that has
 // reservations.
-func (l *Ledger) CheckAllInvariants(tx *txn.Tx) error {
+func (l *Ledger) CheckAllInvariants(r txn.Reader) error {
 	var pools []string
-	err := tx.Scan(Table, func(key string, _ txn.Row) bool {
+	err := r.Scan(Table, func(key string, _ txn.Row) bool {
 		pools = append(pools, key)
 		return true
 	})
@@ -230,7 +230,7 @@ func (l *Ledger) CheckAllInvariants(tx *txn.Tx) error {
 		return err
 	}
 	for _, pool := range pools {
-		if err := l.CheckInvariant(tx, pool); err != nil {
+		if err := l.CheckInvariant(r, pool); err != nil {
 			return err
 		}
 	}

@@ -160,8 +160,8 @@ func (m *Manager) CreatePool(tx *txn.Tx, id string, onHand int64, props map[stri
 }
 
 // Pool fetches a pool by id.
-func (m *Manager) Pool(tx *txn.Tx, id string) (*Pool, error) {
-	row, err := tx.Get(TablePools, id)
+func (m *Manager) Pool(r txn.Reader, id string) (*Pool, error) {
+	row, err := r.Get(TablePools, id)
 	if err != nil {
 		return nil, err
 	}
@@ -193,9 +193,9 @@ func (m *Manager) AdjustPool(tx *txn.Tx, id string, delta int64) (int64, error) 
 }
 
 // Pools scans every pool in id order.
-func (m *Manager) Pools(tx *txn.Tx) ([]*Pool, error) {
+func (m *Manager) Pools(r txn.Reader) ([]*Pool, error) {
 	var out []*Pool
-	err := tx.Scan(TablePools, func(_ string, row txn.Row) bool {
+	err := r.Scan(TablePools, func(_ string, row txn.Row) bool {
 		out = append(out, row.(*Pool))
 		return true
 	})
@@ -211,8 +211,8 @@ func (m *Manager) CreateInstance(tx *txn.Tx, id string, props map[string]predica
 }
 
 // Instance fetches an instance by id.
-func (m *Manager) Instance(tx *txn.Tx, id string) (*Instance, error) {
-	row, err := tx.Get(TableInstances, id)
+func (m *Manager) Instance(r txn.Reader, id string) (*Instance, error) {
+	row, err := r.Get(TableInstances, id)
 	if err != nil {
 		return nil, err
 	}
@@ -253,9 +253,9 @@ func (m *Manager) SetStatus(tx *txn.Tx, id string, to Status) error {
 }
 
 // Instances scans every instance in id order.
-func (m *Manager) Instances(tx *txn.Tx) ([]*Instance, error) {
+func (m *Manager) Instances(r txn.Reader) ([]*Instance, error) {
 	var out []*Instance
-	err := tx.Scan(TableInstances, func(_ string, row txn.Row) bool {
+	err := r.Scan(TableInstances, func(_ string, row txn.Row) bool {
 		out = append(out, row.(*Instance))
 		return true
 	})
@@ -266,10 +266,10 @@ func (m *Manager) Instances(tx *txn.Tx) ([]*Instance, error) {
 // expr, in id order. Instances for which the predicate references unknown
 // properties are skipped (the predicate simply does not apply to them),
 // but genuine type errors propagate: a schema mismatch should fail loudly.
-func (m *Manager) Matching(tx *txn.Tx, expr predicate.Expr) ([]*Instance, error) {
+func (m *Manager) Matching(r txn.Reader, expr predicate.Expr) ([]*Instance, error) {
 	var out []*Instance
 	var evalErr error
-	err := tx.Scan(TableInstances, func(_ string, row txn.Row) bool {
+	err := r.Scan(TableInstances, func(_ string, row txn.Row) bool {
 		in := row.(*Instance)
 		ok, err := predicate.Eval(expr, in.Env())
 		if err != nil {

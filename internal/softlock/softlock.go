@@ -126,8 +126,8 @@ func (t *Tags) checkHolder(tx *txn.Tx, id, holder string) error {
 }
 
 // Holder reports who holds instance id, or "" when unallocated.
-func (t *Tags) Holder(tx *txn.Tx, id string) (string, error) {
-	row, err := tx.Get(Table, id)
+func (t *Tags) Holder(r txn.Reader, id string) (string, error) {
+	row, err := r.Get(Table, id)
 	if errors.Is(err, txn.ErrNotFound) {
 		return "", nil
 	}
@@ -140,9 +140,9 @@ func (t *Tags) Holder(tx *txn.Tx, id string) (string, error) {
 // Holders returns a snapshot of every allocation: instance id -> holder.
 // The promise manager's property-view planner uses it to classify instances
 // in one pass instead of a lookup per instance.
-func (t *Tags) Holders(tx *txn.Tx) (map[string]string, error) {
+func (t *Tags) Holders(r txn.Reader) (map[string]string, error) {
 	out := make(map[string]string)
-	err := tx.Scan(Table, func(key string, row txn.Row) bool {
+	err := r.Scan(Table, func(key string, row txn.Row) bool {
 		out[key] = row.(*holderRow).holder
 		return true
 	})
@@ -155,16 +155,16 @@ func (t *Tags) Holders(tx *txn.Tx) (map[string]string, error) {
 // CheckInvariant verifies tag/table agreement: every promised instance has
 // exactly one holder record and every holder record points at a promised
 // instance.
-func (t *Tags) CheckInvariant(tx *txn.Tx) error {
+func (t *Tags) CheckInvariant(r txn.Reader) error {
 	holders := make(map[string]string)
-	err := tx.Scan(Table, func(key string, row txn.Row) bool {
+	err := r.Scan(Table, func(key string, row txn.Row) bool {
 		holders[key] = row.(*holderRow).holder
 		return true
 	})
 	if err != nil {
 		return err
 	}
-	instances, err := t.rm.Instances(tx)
+	instances, err := t.rm.Instances(r)
 	if err != nil {
 		return err
 	}

@@ -27,31 +27,48 @@ type table struct {
 // Store is an in-memory multi-table store with strict-2PL transactions and
 // undo-log rollback. It models the Resource Manager's storage and the
 // promise table of the prototype (§8).
+//
+// Alongside the transactional surface the store maintains a lock-free read
+// path: every commit publishes an immutable versioned Snapshot of the full
+// committed state (see snapshot.go), so read-only callers can observe a
+// consistent view without acquiring a single lock.
 type Store struct {
 	lm     *LockManager
 	nextTx atomic.Uint64
 
 	mu     sync.RWMutex // guards the tables map and row maps; row access also lock-managed
 	tables map[string]*table
+
+	// snap is the latest published snapshot; snapMu serializes
+	// publications. epochFn and commitHook are optional, set before
+	// concurrent use (see SetEpochSource / SetCommitHook).
+	snap       atomic.Pointer[Snapshot]
+	snapMu     sync.Mutex
+	epochFn    func() uint64
+	commitHook func(snap *Snapshot, touched []TableKey)
 }
 
 // NewStore returns an empty Store.
 func NewStore() *Store {
-	return &Store{
+	s := &Store{
 		lm:     NewLockManager(),
 		tables: make(map[string]*table),
 	}
+	s.snap.Store(&Snapshot{byName: map[string]int{}})
+	return s
 }
 
 // CreateTable registers a table. Creating an existing table is an error so
 // schema typos surface early.
 func (s *Store) CreateTable(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.tables[name]; ok {
+		s.mu.Unlock()
 		return fmt.Errorf("txn: table %q already exists", name)
 	}
 	s.tables[name] = &table{rows: make(map[string]Row)}
+	s.mu.Unlock()
+	s.publishTable(name)
 	return nil
 }
 
@@ -214,13 +231,18 @@ func (t *Tx) recordUndoLocked(tab *table, tbl, key string) {
 	t.undo = append(t.undo, undoRecord{table: tbl, key: key, prev: prev})
 }
 
-// Commit makes the transaction's writes durable (in-memory) and releases
-// all locks.
+// Commit makes the transaction's writes durable (in-memory), publishes a
+// fresh snapshot covering them (before any lock is released, so the
+// snapshot sequence is consistent with the 2PL serialization order), and
+// releases all locks.
 func (t *Tx) Commit() error {
 	if t.done {
 		return ErrTxDone
 	}
 	t.done = true
+	if touched := touchedKeys(t.undo); len(touched) > 0 {
+		t.store.publishCommit(touched)
+	}
 	t.undo = nil
 	t.store.lm.ReleaseAll(t.id)
 	return nil

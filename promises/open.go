@@ -26,6 +26,7 @@ type options struct {
 	actions          core.ActionResolver
 	standardActions  bool
 	expiryWarning    time.Duration
+	replayRing       int
 
 	remoteURL  string
 	clientID   string
@@ -85,6 +86,14 @@ func WithExpiryWarning(d time.Duration) Option {
 	return func(o *options) { o.expiryWarning = d }
 }
 
+// WithReplayRing sizes the event bus's replay ring: how many recent events
+// a Watch subscriber can resume across with AfterSeq/Last-Event-ID before
+// hitting a gap. Zero (the default) means core.DefaultReplayRing (4096).
+// Size it to the longest outage times the event rate you need to survive.
+// Local engines only; a remote engine resumes against whatever ring its
+// daemon was started with (promised -replay-ring).
+func WithReplayRing(n int) Option { return func(o *options) { o.replayRing = n } }
+
 // WithRemote makes Open return a client engine for the promised daemon at
 // url (e.g. "http://localhost:8642") instead of constructing local state.
 // Combine with WithClientID and WithHTTPClient only.
@@ -121,7 +130,7 @@ func Open(opts ...Option) (Engine, error) {
 	if o.remoteURL != "" {
 		if o.shards != 0 || o.clk != nil || o.defaultDuration != 0 || o.maxDuration != 0 ||
 			o.modeSet || o.suppliers != nil || o.actions != nil || o.maxRetries != 0 ||
-			o.expiryWarning != 0 {
+			o.expiryWarning != 0 || o.replayRing != 0 {
 			return nil, fmt.Errorf("promises: WithRemote(%q) cannot combine with local-engine options", o.remoteURL)
 		}
 		return &transport.Client{BaseURL: o.remoteURL, Client: o.clientID, HTTP: o.httpClient}, nil
@@ -141,6 +150,7 @@ func Open(opts ...Option) (Engine, error) {
 			MaxRetries:       o.maxRetries,
 			Actions:          o.actions,
 			ExpiryWarning:    o.expiryWarning,
+			ReplayRing:       o.replayRing,
 		})
 	}
 	return core.New(core.Config{
@@ -153,6 +163,7 @@ func Open(opts ...Option) (Engine, error) {
 		MaxRetries:       o.maxRetries,
 		Actions:          o.actions,
 		ExpiryWarning:    o.expiryWarning,
+		ReplayRing:       o.replayRing,
 	})
 }
 
