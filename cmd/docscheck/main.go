@@ -1,0 +1,197 @@
+// Command docscheck keeps the repo's markdown honest: every relative link
+// must resolve to a real file (and, for markdown targets with a #fragment,
+// to a real heading), and every fenced ```go snippet must at least parse.
+// CI runs it over README.md, ROADMAP.md and docs/ so documentation rot
+// fails the build instead of accumulating.
+//
+// Usage:
+//
+//	docscheck [-root .] FILE.md ...
+//
+// External links (anything with a scheme) are not fetched; links that
+// resolve outside -root (e.g. the GitHub ../../actions badge) are skipped,
+// since only the repo's own files are checkable offline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var linkRe = regexp.MustCompile(`\]\(([^()\s]+)\)`)
+
+func main() {
+	root := flag.String("root", ".", "repository root; links resolving outside it are skipped")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: no files given")
+		os.Exit(2)
+	}
+	absRoot, err := filepath.Abs(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+	var problems []string
+	for _, file := range flag.Args() {
+		probs, err := checkFile(absRoot, file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, probs...)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Printf("docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d file(s) OK\n", flag.NArg())
+}
+
+func checkFile(root, file string) ([]string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	text := string(data)
+	var problems []string
+	for _, link := range extractLinks(text) {
+		if msg := checkLink(root, file, link); msg != "" {
+			problems = append(problems, fmt.Sprintf("%s: %s", file, msg))
+		}
+	}
+	for i, snippet := range goSnippets(text) {
+		if err := parseGoSnippet(snippet); err != nil {
+			problems = append(problems, fmt.Sprintf("%s: go snippet %d does not parse: %v", file, i+1, err))
+		}
+	}
+	return problems, nil
+}
+
+// extractLinks returns the target of every inline markdown link or image,
+// skipping fenced code blocks (where "](..." is usually code, not a link).
+func extractLinks(text string) []string {
+	var links []string
+	inFence := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			links = append(links, m[1])
+		}
+	}
+	return links
+}
+
+func checkLink(root, file, link string) string {
+	if strings.Contains(link, "://") || strings.HasPrefix(link, "mailto:") {
+		return "" // external; not fetched
+	}
+	path, frag, _ := strings.Cut(link, "#")
+	target := file
+	if path != "" {
+		target = filepath.Join(filepath.Dir(file), path)
+		abs, err := filepath.Abs(target)
+		if err != nil || !strings.HasPrefix(abs+string(filepath.Separator), root+string(filepath.Separator)) {
+			return "" // escapes the repo (e.g. the CI badge); not checkable offline
+		}
+		if _, err := os.Stat(target); err != nil {
+			return fmt.Sprintf("broken link %q: %v", link, err)
+		}
+	}
+	if frag != "" && strings.HasSuffix(target, ".md") {
+		ok, err := hasAnchor(target, frag)
+		if err != nil {
+			return fmt.Sprintf("link %q: %v", link, err)
+		}
+		if !ok {
+			return fmt.Sprintf("link %q: no heading for anchor #%s in %s", link, frag, target)
+		}
+	}
+	return ""
+}
+
+// hasAnchor reports whether the markdown file has a heading whose
+// GitHub-style slug equals frag.
+func hasAnchor(file, frag string) (bool, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return false, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(line, "#")
+		if !strings.HasPrefix(heading, " ") {
+			continue
+		}
+		if slugify(heading) == frag {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// slugify approximates GitHub's heading-to-anchor rule: lowercase, drop
+// everything but letters, digits, spaces, hyphens and underscores, then
+// turn each space into a hyphen.
+func slugify(heading string) string {
+	heading = strings.TrimSpace(strings.ToLower(heading))
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// goSnippets returns the bodies of ```go fenced blocks.
+func goSnippets(text string) []string {
+	var snippets []string
+	lines := strings.Split(text, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		var body []string
+		for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			body = append(body, lines[i])
+		}
+		snippets = append(snippets, strings.Join(body, "\n"))
+	}
+	return snippets
+}
+
+// parseGoSnippet accepts a snippet that parses as a whole file, as
+// top-level declarations, or as statements — documentation quotes all
+// three shapes.
+func parseGoSnippet(src string) error {
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "snippet.go", src, 0); err == nil {
+		return nil
+	}
+	if _, err := parser.ParseFile(fset, "snippet.go", "package p\n"+src, 0); err == nil {
+		return nil
+	}
+	_, err := parser.ParseFile(fset, "snippet.go", "package p\nfunc _() {\n"+src+"\n}", 0)
+	return err
+}

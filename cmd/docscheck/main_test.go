@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		" Durability: WAL + checkpoints": "durability-wal--checkpoints",
+		" Sync policies":                 "sync-policies",
+		" The unified Engine API":        "the-unified-engine-api",
+		" What is durable, what is not":  "what-is-durable-what-is-not",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckFileCatchesRot(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.md")
+	if err := os.WriteFile(good, []byte("# Target\n\n## Deep Dive\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := filepath.Join(dir, "doc.md")
+	body := "# Doc\n\n" +
+		"[ok](good.md) [ok-anchor](good.md#deep-dive) [self](#doc)\n" +
+		"[rot](missing.md) [bad-anchor](good.md#nope)\n" +
+		"[ext](https://example.com/whatever)\n\n" +
+		"```go\nx := breaks(\n```\n\n" +
+		"```go\neng, _ := promises.Open()\n_ = eng\n```\n"
+	if err := os.WriteFile(doc, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := checkFile(dir, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly three: the missing file, the missing anchor, the unparsable
+	// first snippet. The second snippet parses as statements.
+	if len(problems) != 3 {
+		t.Fatalf("got %d problems, want 3: %v", len(problems), problems)
+	}
+}
+
+func TestGoSnippetShapes(t *testing.T) {
+	for _, src := range []string{
+		"package main\nfunc main() {}",           // whole file
+		"type I interface {\n\tM() error\n}",     // declaration
+		"resp, _ := do()\nfor range resp {\n}\n", // statements
+	} {
+		if err := parseGoSnippet(src); err != nil {
+			t.Errorf("snippet %q rejected: %v", src, err)
+		}
+	}
+	if err := parseGoSnippet("func ( {"); err == nil {
+		t.Error("garbage snippet accepted")
+	}
+}

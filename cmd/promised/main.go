@@ -5,6 +5,7 @@
 // Usage:
 //
 //	promised [-addr :8642] [-seed retail|hotel|bank] [-shards N] [-max-duration 10m]
+//	         [-data-dir /var/lib/promised] [-sync always|interval|none]
 //
 // -shards defaults to GOMAXPROCS.
 //
@@ -14,21 +15,35 @@
 // configurations come from promises.Open and serve the same Engine surface,
 // so clients cannot tell them apart.
 //
+// With -data-dir the daemon is durable: every committed transaction and
+// published event is logged under the directory, and a restart recovers the
+// previous process's state — promises, pools, escrow, soft locks, pending
+// expiries, and the Watch replay ring — before listening (docs/operations.md
+// has the full persistence story). A directory that already holds state is
+// never re-seeded, and its manifest supplies the shard count when -shards is
+// not given explicitly. SIGINT/SIGTERM drain in-flight requests, flush a
+// final checkpoint, and exit cleanly.
+//
 // The wire protocol is the §6 promise protocol over XML; see
 // internal/protocol. Try it with cmd/promisectl, or from code with
 // promises.Open(promises.WithRemote(url)).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/transport"
 	"repro/promises"
@@ -53,15 +68,57 @@ func main() {
 	statsEvery := flag.Duration("sweep", 5*time.Second, "activity log interval (expiry itself fires at promise deadlines)")
 	warn := flag.Duration("expiry-warning", 2*time.Second, "emit expiry-imminent events this long before each deadline; 0 disables")
 	replayRing := flag.Int("replay-ring", 0, "event replay-ring capacity for SSE Last-Event-ID resume; 0 means the default (4096)")
+	dataDir := flag.String("data-dir", "", "durable data directory: log every commit, recover state on restart; empty runs in-memory")
+	syncPol := flag.String("sync", "always", "with -data-dir, when log writes reach disk: always, interval, none")
+	syncEvery := flag.Duration("sync-every", 0, "with -sync interval, the group-fsync cadence; 0 means 50ms")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "with -data-dir, how often the log compacts into a checkpoint; 0 means 1m, negative disables")
 	flag.Parse()
 
-	eng, err := promises.Open(promises.WithShards(*shards), promises.WithMaxDuration(*maxDur),
-		promises.WithExpiryWarning(*warn), promises.WithReplayRing(*replayRing))
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
+
+	// An existing data directory dictates its own shape: its manifest wins
+	// over the -shards default, and its recovered resources must not be
+	// seeded on top of.
+	recovered := false
+	opts := []promises.Option{promises.WithMaxDuration(*maxDur),
+		promises.WithExpiryWarning(*warn), promises.WithReplayRing(*replayRing)}
+	if *dataDir != "" {
+		mf, err := core.ReadManifest(*dataDir)
+		if err != nil {
+			log.Fatalf("promised: reading %s: %v", *dataDir, err)
+		}
+		if mf != nil {
+			recovered = true
+			if !shardsSet {
+				*shards = mf.Shards
+			}
+		}
+		pol, err := promises.ParseSyncPolicy(*syncPol)
+		if err != nil {
+			log.Fatalf("promised: -sync: %v", err)
+		}
+		opts = append(opts, promises.WithDataDir(*dataDir), promises.WithSyncPolicy(pol))
+		if *syncEvery != 0 {
+			opts = append(opts, promises.WithSyncEvery(*syncEvery))
+		}
+		if *ckptEvery != 0 {
+			opts = append(opts, promises.WithCheckpointEvery(*ckptEvery))
+		}
+	}
+	eng, err := promises.Open(append(opts, promises.WithShards(*shards))...)
 	if err != nil {
 		log.Fatalf("promised: %v", err)
 	}
 	m := eng.(localEngine)
-	if *seedFile != "" {
+	switch {
+	case recovered:
+		log.Printf("promised: recovered state from %s (%d shards); skipping seed", *dataDir, *shards)
+	case *seedFile != "":
 		f, err := os.Open(*seedFile)
 		if err != nil {
 			log.Fatalf("promised: %v", err)
@@ -72,8 +129,10 @@ func main() {
 			log.Fatalf("promised: seed file %s: %v", *seedFile, err)
 		}
 		log.Printf("promised: seeded %d pools, %d instances from %s", pools, instances, *seedFile)
-	} else if err := seedData(m, *seed); err != nil {
-		log.Fatalf("promised: seeding %q: %v", *seed, err)
+	default:
+		if err := seedData(m, *seed); err != nil {
+			log.Fatalf("promised: seeding %q: %v", *seed, err)
+		}
 	}
 
 	reg := service.NewRegistry()
@@ -88,12 +147,33 @@ func main() {
 	}()
 
 	srv := transport.NewServer(m, reg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGINT/SIGTERM drain in-flight requests, then Close flushes a final
+	// checkpoint so the next start replays no log tail.
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("promised: %v — shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("promised: shutdown: %v", err)
+		}
+	}()
+
 	log.Printf("promised: promise manager listening on %s (seed=%s, shards=%d, actions=%v)",
 		*addr, *seed, *shards, reg.Names())
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if err := m.Close(); err != nil {
+		log.Printf("promised: close: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("promised: stopped")
 }
 
 // seedData installs one of the demo datasets used throughout the examples,

@@ -197,6 +197,13 @@ func (m *Manager) onCommit(snap *txn.Snapshot, touched []txn.TableKey) {
 	if changed {
 		m.candPublish()
 	}
+	// Durability rides the same hook: the commit record is appended after
+	// the snapshot is published, still inside the store's serialized hook
+	// order, so log order equals version order and a checkpoint taken from
+	// any later snapshot covers every record logged before it.
+	if m.persist != nil {
+		m.persist.logCommit(snap, touched)
+	}
 }
 
 // promContribOf summarises one active promise row for the index.

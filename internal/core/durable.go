@@ -1,0 +1,448 @@
+package core
+
+// This file is the serialization half of the durability layer (see
+// recover.go for the startup half): the record vocabulary written to the
+// write-ahead logs, the per-table row codecs, and the persist hooks the
+// commit path drives.
+//
+// Two logs per engine. Each shard's store appends one "commit" record per
+// committed transaction — written from the store's commit hook, which runs
+// under the snapshot-publication mutex, so log order equals version order.
+// A single shared bus log carries one "events" record per published event
+// batch (appended under the bus mutex, so log order equals Seq order) and,
+// for sharded engines, "dir" records mirroring every composite-directory
+// mutation. A "gen" marker separates log generations: it is appended when
+// a recovered engine reopens its log, so a crash before the recovered
+// engine's first checkpoint cannot confuse the old generation's version
+// numbering with the new one's.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/escrow"
+	"repro/internal/resource"
+	"repro/internal/softlock"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// SyncPolicy re-exports the WAL sync vocabulary at the engine surface.
+type SyncPolicy = wal.SyncPolicy
+
+// Sync policies (see wal.SyncPolicy).
+const (
+	SyncAlways   = wal.SyncAlways
+	SyncInterval = wal.SyncInterval
+	SyncNone     = wal.SyncNone
+)
+
+// ParseSyncPolicy parses "always", "interval" or "none" — the promised
+// daemon's -sync vocabulary.
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// DurabilityOptions configures a durable engine (OpenDurable /
+// OpenDurableSharded).
+type DurabilityOptions struct {
+	// Dir is the data directory. Required. One live process per directory;
+	// the layout is documented in docs/operations.md.
+	Dir string
+	// Sync selects when log appends reach stable storage. The zero value is
+	// SyncAlways: a responded request is durable.
+	Sync SyncPolicy
+	// SyncEvery is the background fsync cadence under SyncInterval; zero
+	// means wal.DefaultSyncEvery (50ms).
+	SyncEvery time.Duration
+	// CheckpointEvery is the automatic checkpoint cadence, driven by the
+	// engine clock when it can alarm. Zero means 1 minute; negative
+	// disables automatic checkpoints (Checkpoint can still be called).
+	CheckpointEvery time.Duration
+}
+
+// DefaultCheckpointEvery is the automatic checkpoint cadence when
+// DurabilityOptions.CheckpointEvery is zero.
+const DefaultCheckpointEvery = time.Minute
+
+// ErrNotDurable is returned by Checkpoint on an engine opened without a
+// data directory.
+var ErrNotDurable = errors.New("core: engine has no data directory")
+
+// Record types. Single letters: one is prefixed to every committed
+// transaction and event batch.
+const (
+	recCommit = "c" // one committed store transaction
+	recEvents = "e" // one published event batch
+	recDir    = "d" // one composite-directory mutation
+	recGen    = "g" // generation marker: a recovered engine reopened this log
+)
+
+// Directory-record operations.
+const (
+	dirAdd  = "add"
+	dirMove = "move"
+	dirDrop = "drop"
+)
+
+// walChange is one row change of a commit record. A nil Row is a delete.
+type walChange struct {
+	Table string          `json:"tbl"`
+	Key   string          `json:"key"`
+	Row   json.RawMessage `json:"row,omitempty"`
+}
+
+// walPart mirrors compositePart.
+type walPart struct {
+	Shard   int       `json:"shard"`
+	ID      string    `json:"id"`
+	PredIdx []int     `json:"pred_idx,omitempty"`
+	Expires time.Time `json:"expires"`
+}
+
+// walComposite mirrors a composite-directory entry.
+type walComposite struct {
+	ID      string    `json:"id"`
+	Client  string    `json:"client"`
+	Expires time.Time `json:"expires"`
+	Parts   []walPart `json:"parts"`
+}
+
+// walRecord is the one record shape both logs share; T selects which fields
+// are meaningful.
+type walRecord struct {
+	T string `json:"t"`
+	// commit records: the committed snapshot's version and epoch plus the
+	// touched rows' new values.
+	Ver     uint64      `json:"ver,omitempty"`
+	Epoch   uint64      `json:"epoch,omitempty"`
+	Changes []walChange `json:"changes,omitempty"`
+	// events records: the published batch, Seq already stamped.
+	Events []Event `json:"events,omitempty"`
+	// dir records.
+	Op      string        `json:"op,omitempty"`
+	Comp    *walComposite `json:"comp,omitempty"`    // add
+	Promise string        `json:"promise,omitempty"` // move: the migrated id
+	Shard   int           `json:"shard,omitempty"`   // move: destination shard
+	ID      string        `json:"id,omitempty"`      // drop: composite id
+}
+
+// storeCheckpoint is one shard's serialized table state.
+type storeCheckpoint struct {
+	Ver    uint64                                `json:"ver"`
+	Epoch  uint64                                `json:"epoch"`
+	Tables map[string]map[string]json.RawMessage `json:"tables"`
+}
+
+// busCheckpoint is the shared bus (and, sharded, composite directory)
+// state.
+type busCheckpoint struct {
+	Seq        uint64         `json:"seq"`
+	Ring       []Event        `json:"ring,omitempty"`
+	Composites []walComposite `json:"composites,omitempty"`
+	Moved      map[string]int `json:"moved,omitempty"`
+	CompNext   uint64         `json:"comp_next,omitempty"`
+}
+
+// durableTables lists exactly the tables the engine persists — the six its
+// constructor creates. Rows an action writes into tables of its own are
+// not durable (encodeRow fails loudly rather than dropping them silently).
+var durableTables = []string{
+	TablePromises, TablePromisesDone,
+	escrow.Table, softlock.Table,
+	resource.TablePools, resource.TableInstances,
+}
+
+// predJSON is the serialized form of one core Predicate: the property
+// expression travels as its source text and is re-parsed on decode, so the
+// codec never chases the Expr interface.
+type predJSON struct {
+	View     int    `json:"view"`
+	Pool     string `json:"pool,omitempty"`
+	Qty      int64  `json:"qty,omitempty"`
+	Instance string `json:"instance,omitempty"`
+	Expr     string `json:"expr,omitempty"`
+}
+
+// promiseJSON is the serialized form of a promiseRow.
+type promiseJSON struct {
+	ID           string     `json:"id"`
+	Client       string     `json:"client"`
+	Predicates   []predJSON `json:"predicates,omitempty"`
+	Assigned     []string   `json:"assigned,omitempty"`
+	DelegatedQty []int64    `json:"delegated_qty,omitempty"`
+	DelegatedID  []string   `json:"delegated_id,omitempty"`
+	Expires      time.Time  `json:"expires"`
+	State        int        `json:"state"`
+}
+
+// MarshalJSON implements json.Marshaler for checkpoint/WAL serialization.
+func (r *promiseRow) MarshalJSON() ([]byte, error) {
+	p := &r.p
+	out := promiseJSON{
+		ID: p.ID, Client: p.Client,
+		Assigned: p.Assigned, DelegatedQty: p.DelegatedQty, DelegatedID: p.DelegatedID,
+		Expires: p.Expires, State: int(p.State),
+	}
+	for _, pred := range p.Predicates {
+		pj := predJSON{View: int(pred.View), Pool: pred.Pool, Qty: pred.Qty, Instance: pred.Instance}
+		if pred.View == PropertyView {
+			pj.Expr = pred.Source
+			if pj.Expr == "" && pred.Expr != nil {
+				pj.Expr = pred.Expr.String()
+			}
+		}
+		out.Predicates = append(out.Predicates, pj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler; property expressions are
+// re-parsed from their preserved source text.
+func (r *promiseRow) UnmarshalJSON(data []byte) error {
+	var in promiseJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	p := Promise{
+		ID: in.ID, Client: in.Client,
+		Assigned: in.Assigned, DelegatedQty: in.DelegatedQty, DelegatedID: in.DelegatedID,
+		Expires: in.Expires, State: State(in.State),
+	}
+	for _, pj := range in.Predicates {
+		switch View(pj.View) {
+		case PropertyView:
+			pred, err := Property(pj.Expr)
+			if err != nil {
+				return fmt.Errorf("core: promise %s: bad stored predicate %q: %w", in.ID, pj.Expr, err)
+			}
+			p.Predicates = append(p.Predicates, pred)
+		case NamedView:
+			p.Predicates = append(p.Predicates, Named(pj.Instance))
+		default:
+			p.Predicates = append(p.Predicates, Quantity(pj.Pool, pj.Qty))
+		}
+	}
+	r.p = p
+	return nil
+}
+
+// encodeRow serializes one row of a durable table.
+func encodeRow(tbl string, row txn.Row) (json.RawMessage, error) {
+	switch tbl {
+	case TablePromises, TablePromisesDone:
+		return json.Marshal(row.(*promiseRow))
+	case escrow.Table, softlock.Table, resource.TablePools, resource.TableInstances:
+		return json.Marshal(row)
+	}
+	return nil, fmt.Errorf("core: table %q is not durable (only the engine's own tables persist)", tbl)
+}
+
+// decodeRow deserializes one row of a durable table.
+func decodeRow(tbl string, data []byte) (txn.Row, error) {
+	switch tbl {
+	case TablePromises, TablePromisesDone:
+		r := &promiseRow{}
+		if err := json.Unmarshal(data, r); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case escrow.Table:
+		return escrow.DecodeRow(data)
+	case softlock.Table:
+		return softlock.DecodeRow(data)
+	case resource.TablePools:
+		p := &resource.Pool{}
+		if err := json.Unmarshal(data, p); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case resource.TableInstances:
+		i := &resource.Instance{}
+		if err := json.Unmarshal(data, i); err != nil {
+			return nil, err
+		}
+		return i, nil
+	}
+	return nil, fmt.Errorf("core: no row codec for table %q", tbl)
+}
+
+// persistLog adapts one wal.Log to the commit path. Appends happen inside
+// commit hooks and bus publication, which have no caller to return an error
+// to; a failure is latched and surfaced by the next sync() — the durSync
+// call a request makes before responding.
+type persistLog struct {
+	log    *wal.Log
+	active atomic.Bool
+	errMu  sync.Mutex
+	err    error
+}
+
+func (p *persistLog) fail(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.errMu.Unlock()
+}
+
+func (p *persistLog) latched() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
+}
+
+// appendRecord logs one record while the persist is active.
+func (p *persistLog) appendRecord(rec *walRecord) {
+	if !p.active.Load() {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		p.fail(err)
+		return
+	}
+	if err := p.log.Append(data); err != nil {
+		p.fail(err)
+	}
+}
+
+// sync surfaces any latched append failure, then forces the log to stable
+// storage per its policy.
+func (p *persistLog) sync() error {
+	if err := p.latched(); err != nil {
+		return err
+	}
+	if !p.active.Load() {
+		return nil
+	}
+	return p.log.Sync()
+}
+
+// logCommit is the store commit hook's durability half: one commit record
+// naming every touched row's new value (or deletion). It runs under the
+// snapshot-publication mutex, so records land in version order.
+func (p *persistLog) logCommit(snap *txn.Snapshot, touched []txn.TableKey) {
+	if !p.active.Load() {
+		return
+	}
+	rec := walRecord{T: recCommit, Ver: snap.Version(), Epoch: snap.Epoch()}
+	rec.Changes = make([]walChange, 0, len(touched))
+	for _, tk := range touched {
+		ch := walChange{Table: tk.Table, Key: tk.Key}
+		if row, err := snap.Get(tk.Table, tk.Key); err == nil {
+			data, err := encodeRow(tk.Table, row)
+			if err != nil {
+				p.fail(err)
+				return
+			}
+			ch.Row = data
+		}
+		rec.Changes = append(rec.Changes, ch)
+	}
+	p.appendRecord(&rec)
+}
+
+// logEvents is the bus tap: one events record per published batch, appended
+// under the bus mutex so log order equals Seq order.
+func (p *persistLog) logEvents(events []Event) {
+	p.appendRecord(&walRecord{T: recEvents, Events: events})
+}
+
+// durSync forces this manager's commit and event appends to stable storage
+// (per the sync policy) and surfaces latched append failures. Nil-safe: a
+// non-durable manager pays one branch.
+func (m *Manager) durSync() error {
+	if m.persist == nil {
+		return nil
+	}
+	if err := m.persist.sync(); err != nil {
+		return err
+	}
+	if m.busPersist != nil {
+		return m.busPersist.sync()
+	}
+	return nil
+}
+
+// durSync forces the shared bus log (events and directory records) to
+// stable storage; per-shard commit syncs happen inside the shard that
+// committed.
+func (s *ShardedManager) durSync() error {
+	if s.busPersist == nil {
+		return nil
+	}
+	return s.busPersist.sync()
+}
+
+// logDirAdd mirrors registerComposite into the bus log.
+func (s *ShardedManager) logDirAdd(id string, c *composite) {
+	if s.busPersist == nil {
+		return
+	}
+	s.busPersist.appendRecord(&walRecord{T: recDir, Op: dirAdd, Comp: compositeToWal(id, c)})
+}
+
+// logDirMove mirrors one committed slot migration into the bus log.
+func (s *ShardedManager) logDirMove(promiseID string, to int) {
+	if s.busPersist == nil {
+		return
+	}
+	s.busPersist.appendRecord(&walRecord{T: recDir, Op: dirMove, Promise: promiseID, Shard: to})
+}
+
+// logDirDrop mirrors dropComposite into the bus log.
+func (s *ShardedManager) logDirDrop(id string) {
+	if s.busPersist == nil {
+		return
+	}
+	s.busPersist.appendRecord(&walRecord{T: recDir, Op: dirDrop, ID: id})
+}
+
+func compositeToWal(id string, c *composite) *walComposite {
+	wc := &walComposite{ID: id, Client: c.client, Expires: c.expires}
+	for _, part := range c.parts {
+		wc.Parts = append(wc.Parts, walPart{Shard: part.shard, ID: part.id, PredIdx: part.predIdx, Expires: part.expires})
+	}
+	return wc
+}
+
+func compositeFromWal(wc *walComposite) *composite {
+	c := &composite{client: wc.Client, expires: wc.Expires}
+	for _, part := range wc.Parts {
+		c.parts = append(c.parts, compositePart{shard: part.Shard, id: part.ID, predIdx: part.PredIdx, expires: part.Expires})
+	}
+	return c
+}
+
+// encodeStoreCheckpoint serializes one store snapshot's durable tables.
+func encodeStoreCheckpoint(snap *txn.Snapshot) ([]byte, error) {
+	ck := storeCheckpoint{
+		Ver:    snap.Version(),
+		Epoch:  snap.Epoch(),
+		Tables: make(map[string]map[string]json.RawMessage, len(durableTables)),
+	}
+	for _, tbl := range durableTables {
+		rows := make(map[string]json.RawMessage)
+		var encErr error
+		err := snap.Scan(tbl, func(key string, row txn.Row) bool {
+			data, err := encodeRow(tbl, row)
+			if err != nil {
+				encErr = err
+				return false
+			}
+			rows[key] = data
+			return true
+		})
+		if err == nil {
+			err = encErr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint of table %q: %w", tbl, err)
+		}
+		ck.Tables[tbl] = rows
+	}
+	return json.Marshal(ck)
+}

@@ -172,6 +172,71 @@ type EventBus struct {
 	ring    []Event // newest last; grows to ringCap, then slides
 	subs    map[uint64]*subscriber
 	nextSub uint64
+	// tap, when set, observes every published batch (Seq already stamped)
+	// under b.mu — so tap call order equals Seq order. The durability layer
+	// uses it to mirror the bus into the shared write-ahead log.
+	tap func(events []Event)
+}
+
+// SetTap installs fn as the bus's publication tap: every subsequently
+// published batch is passed to fn, with sequence numbers assigned, under
+// the bus mutex. One tap at most; nil removes it. fn must not call back
+// into the bus.
+func (b *EventBus) SetTap(fn func(events []Event)) {
+	b.mu.Lock()
+	b.tap = fn
+	b.mu.Unlock()
+}
+
+// restore rewinds the bus to a checkpointed state: the next published event
+// gets sequence seq+1 and the replay ring holds ring (truncated to the
+// bus's capacity, newest kept). Recovery-only; must precede any publish or
+// Watch.
+func (b *EventBus) restore(seq uint64, ring []Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq.Store(seq)
+	if len(ring) > b.ringCap {
+		ring = ring[len(ring)-b.ringCap:]
+	}
+	b.ring = append(b.ring[:0:0], ring...)
+}
+
+// restoreEvents re-appends logged events with sequence numbers beyond the
+// restored cursor — the WAL tail after a checkpoint. Already-seen events
+// (Seq at or below the cursor) are skipped, so replay is idempotent.
+// Recovery-only; no fan-out happens (there are no subscribers yet).
+func (b *EventBus) restoreEvents(events []Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ev := range events {
+		if ev.Seq <= b.seq.Load() {
+			continue
+		}
+		b.seq.Store(ev.Seq)
+		b.ring = append(b.ring, ev)
+		if len(b.ring) > b.ringCap {
+			b.ring = b.ring[len(b.ring)-b.ringCap:]
+		}
+	}
+}
+
+// ensureSeqAtLeast advances the sequence cursor to at least n without
+// touching the ring — recovery uses it so sequence numbers never repeat
+// even when the tail of the event log was lost.
+func (b *EventBus) ensureSeqAtLeast(n uint64) {
+	b.mu.Lock()
+	if n > b.seq.Load() {
+		b.seq.Store(n)
+	}
+	b.mu.Unlock()
+}
+
+// snapshotRing copies the current cursor and replay ring for a checkpoint.
+func (b *EventBus) snapshotRing() (uint64, []Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq.Load(), append([]Event(nil), b.ring...)
 }
 
 // NewEventBus returns an empty bus with the default replay ring. The ring
@@ -297,6 +362,10 @@ func (b *EventBus) publish(events ...Event) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	var stamped []Event
+	if b.tap != nil {
+		stamped = make([]Event, 0, len(events))
+	}
 	for _, ev := range events {
 		ev.Seq = b.seq.Add(1)
 		b.ring = append(b.ring, ev)
@@ -308,5 +377,11 @@ func (b *EventBus) publish(events ...Event) {
 				b.deliverLocked(id, sub, ev)
 			}
 		}
+		if b.tap != nil {
+			stamped = append(stamped, ev)
+		}
+	}
+	if b.tap != nil {
+		b.tap(stamped)
 	}
 }

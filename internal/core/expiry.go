@@ -163,6 +163,20 @@ func (x *expiryIndex) reschedule(floor time.Time) {
 	x.armLocked(floor, true)
 }
 
+// shutdown cancels the armed alarm and empties the heap so no further
+// deadline passes fire — engine Close. Entries are not processed; a durable
+// engine re-arms them from its store on the next open.
+func (x *expiryIndex) shutdown() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.stop != nil {
+		x.stop()
+	}
+	x.stop = nil
+	x.alarmAt = time.Time{}
+	x.h = nil
+}
+
 // trackExpiry indexes one granted (or migrated-in) promise for deadline
 // processing.
 func (m *Manager) trackExpiry(id string, expires time.Time) {
@@ -226,6 +240,9 @@ func (m *Manager) expireDueGated() error {
 			m.exp.reschedule(now.Add(100 * time.Millisecond))
 			return err
 		}
+		// Best-effort: there is no caller to surface a sync failure to; a
+		// lost warning event re-fires as the deadline entry anyway.
+		_ = m.durSync()
 	}
 
 	if len(exps) > 0 {
@@ -299,6 +316,9 @@ func (m *Manager) expireBatch(now time.Time, exps []expiryEntry) (*execState, er
 		}
 		m.bus.publish(st.events...)
 		m.pubMu.Unlock()
+		// Best-effort; a crash before this reaches disk replays as a still-
+		// active promise that re-expires on recovery.
+		_ = m.durSync()
 		return st, nil
 	}
 	return nil, lastErr

@@ -109,6 +109,13 @@ type Manager struct {
 	// lifecycle events can never invert even on a bare (unsharded,
 	// unlocked) Manager.
 	pubMu sync.Mutex
+	// persist mirrors this store's commits into its write-ahead log and
+	// busPersist the shared event log; both nil on a non-durable engine.
+	// durable is the owning durability runtime (set by OpenDurable; on a
+	// sharded engine it lives on the ShardedManager instead).
+	persist    *persistLog
+	busPersist *persistLog
+	durable    *durableEngine
 }
 
 // New creates a Manager, installing its promise, escrow and soft-lock
@@ -403,6 +410,12 @@ func (m *Manager) executeOnce(ctx context.Context, req Request) (_ *Response, er
 	committed = true
 	m.bus.publish(st.events...)
 	m.pubMu.Unlock()
+	// Force the commit and its events to stable storage (per the sync
+	// policy) before anything is reported to the caller. The commit stands
+	// either way; the error tells the caller its outcome may not survive a
+	// crash. Bookkeeping below still runs so the live engine stays
+	// consistent.
+	syncErr := m.durSync()
 	m.metrics.releases.Add(st.released)
 	m.metrics.expirations.Add(st.expired)
 	for _, f := range st.postCommit {
@@ -420,6 +433,9 @@ func (m *Manager) executeOnce(ctx context.Context, req Request) (_ *Response, er
 	// alarm-capable clock prunes the heap.
 	if len(st.sweptDue) > 0 {
 		m.exp.removeDue(m.clk.Now(), st.sweptDue)
+	}
+	if syncErr != nil {
+		return nil, fmt.Errorf("core: commit not durable: %w", syncErr)
 	}
 	return resp, nil
 }
@@ -805,7 +821,10 @@ func (m *Manager) CreatePool(id string, onHand int64, props map[string]predicate
 		_ = tx.Abort()
 		return err
 	}
-	return tx.Commit()
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	return m.durSync()
 }
 
 // CreateInstance registers a named instance, in a transaction of its own.
@@ -815,7 +834,10 @@ func (m *Manager) CreateInstance(id string, props map[string]predicate.Value) er
 		_ = tx.Abort()
 		return err
 	}
-	return tx.Commit()
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	return m.durSync()
 }
 
 // PoolLevel returns the quantity on hand of one pool, for tools and tests,
@@ -850,5 +872,8 @@ func (m *Manager) LoadSeed(r io.Reader) (pools, instances int, err error) {
 		}
 		instances++
 	}
-	return pools, instances, tx.Commit()
+	if err := tx.Commit(); err != nil {
+		return 0, 0, err
+	}
+	return pools, instances, m.durSync()
 }

@@ -387,6 +387,7 @@ func (r *Reservation) Confirm() error {
 	}
 	m.bus.publish(r.st.events...)
 	m.pubMu.Unlock()
+	syncErr := m.durSync()
 	for _, f := range r.st.postCommit {
 		f()
 	}
@@ -400,6 +401,9 @@ func (r *Reservation) Confirm() error {
 	}
 	if len(r.st.sweptDue) > 0 {
 		m.exp.removeDue(m.clk.Now(), r.st.sweptDue)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("core: commit not durable: %w", syncErr)
 	}
 	return nil
 }

@@ -105,6 +105,12 @@ type ShardedManager struct {
 	// cross-shard property reservations.
 	imbalance        metrics.Gauge
 	prefilterSkipped metrics.Counter
+
+	// busPersist mirrors the shared bus (events and composite-directory
+	// records) into the data directory's bus log; durable owns the
+	// checkpoint/recovery runtime. Both nil on a non-durable engine.
+	busPersist *persistLog
+	durable    *durableEngine
 }
 
 // managerShard pairs one single-store Manager with the mutex that the
@@ -291,6 +297,7 @@ func (s *ShardedManager) dropComposite(id string) {
 		s.dirMu.Unlock()
 	}
 	s.dir.Delete(id)
+	s.logDirDrop(id)
 }
 
 // lockShards acquires the mutexes of the given shard set in ascending index
@@ -976,6 +983,9 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 	// new predicates all land on one shard while the releases span others)
 	// needs no composite id: the part is an ordinary promise.
 	if len(confirmed) == 1 {
+		if err := s.durSync(); err != nil {
+			return PromiseResponse{}, fmt.Errorf("core: commit not durable: %w", err)
+		}
 		return PromiseResponse{
 			Correlation: pr.RequestID,
 			Accepted:    true,
@@ -984,6 +994,11 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 		}, nil
 	}
 	id, expires := s.registerComposite(client, confirmed)
+	// The directory add, the migration events and every part commit must be
+	// on stable storage before the composite id is handed out.
+	if err := s.durSync(); err != nil {
+		return PromiseResponse{}, fmt.Errorf("core: commit not durable: %w", err)
+	}
 	return PromiseResponse{
 		Correlation: pr.RequestID,
 		Accepted:    true,
@@ -1101,7 +1116,12 @@ func (s *ShardedManager) registerComposite(client string, parts []compositePart)
 		s.partOf[part.id] = id
 	}
 	s.dirMu.Unlock()
-	s.dir.Store(id, &composite{client: client, expires: expires, parts: parts})
+	c := &composite{client: client, expires: expires, parts: parts}
+	s.dir.Store(id, c)
+	// Logged after the directory mutation: replay re-applies the record as
+	// a plain overwrite, so the order only matters for the checkpointer,
+	// which captures the directory after rotating the log.
+	s.logDirAdd(id, c)
 	return id, expires
 }
 
@@ -1141,6 +1161,9 @@ func (s *ShardedManager) commitMoves(migs []slotMigration) {
 			}
 		}
 		s.dir.Store(cid, fresh)
+	}
+	for _, mg := range migs {
+		s.logDirMove(mg.promiseID, mg.to)
 	}
 }
 
@@ -1754,7 +1777,10 @@ func (s *ShardedManager) CreatePool(id string, onHand int64, props map[string]pr
 		_ = tx.Abort()
 		return err
 	}
-	return tx.Commit()
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	return sh.m.durSync()
 }
 
 // CreateInstance registers a named instance on its owning shard, in a
@@ -1768,7 +1794,10 @@ func (s *ShardedManager) CreateInstance(id string, props map[string]predicate.Va
 		_ = tx.Abort()
 		return err
 	}
-	return tx.Commit()
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	return sh.m.durSync()
 }
 
 // LoadSeed reads a resource seed file and creates its pools and instances

@@ -19,6 +19,7 @@
 package escrow
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -49,6 +50,41 @@ func (e *entry) CloneRow() txn.Row {
 		c.reserved[k] = v
 	}
 	return c
+}
+
+// entryJSON is the checkpoint/WAL wire form of an entry (the struct's own
+// fields are unexported by design; durability needs a stable encoding).
+type entryJSON struct {
+	Pool     string           `json:"pool"`
+	Reserved map[string]int64 `json:"reserved"`
+}
+
+// MarshalJSON implements json.Marshaler for checkpoint serialization.
+func (e *entry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(entryJSON{Pool: e.pool, Reserved: e.reserved})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for checkpoint recovery.
+func (e *entry) UnmarshalJSON(data []byte) error {
+	var j entryJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Reserved == nil {
+		j.Reserved = make(map[string]int64)
+	}
+	e.pool, e.reserved = j.Pool, j.Reserved
+	return nil
+}
+
+// DecodeRow decodes a serialized escrow entry back into a store row — the
+// escrow table's codec for WAL/checkpoint recovery.
+func DecodeRow(data []byte) (txn.Row, error) {
+	e := &entry{}
+	if err := json.Unmarshal(data, e); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 func (e *entry) total() int64 {

@@ -11,6 +11,8 @@ package ids
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 )
 
@@ -33,3 +35,31 @@ func (g *Generator) Next() string {
 
 // Count reports how many identifiers have been issued.
 func (g *Generator) Count() uint64 { return g.n.Load() }
+
+// EnsureAtLeast advances the counter to at least n, so identifiers issued
+// after a crash recovery never collide with ones already durable. Safe for
+// concurrent use; never moves the counter backwards.
+func (g *Generator) EnsureAtLeast(n uint64) {
+	for {
+		cur := g.n.Load()
+		if cur >= n || g.n.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Observe advances the counter past id if this generator issued it (it has
+// the form "<prefix>-<n>"); other identifiers are ignored. Recovery feeds
+// every durable identifier back through Observe so re-issued ids never
+// collide — the prefix check matters because a recovered table can hold
+// identifiers from other generators, e.g. promises migrated in from another
+// shard.
+func (g *Generator) Observe(id string) {
+	rest, ok := strings.CutPrefix(id, g.prefix+"-")
+	if !ok {
+		return
+	}
+	if n, err := strconv.ParseUint(rest, 10, 64); err == nil {
+		g.EnsureAtLeast(n)
+	}
+}

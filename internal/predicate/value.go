@@ -151,3 +151,35 @@ func (v Value) String() string {
 	}
 	return "?"
 }
+
+// MarshalText encodes the value in source syntax — the same rendering as
+// String — so values embed in JSON (checkpoints, the wire protocol's seed
+// files) without a parallel encoding.
+func (v Value) MarshalText() ([]byte, error) {
+	return []byte(v.String()), nil
+}
+
+// UnmarshalText parses the source syntax written by MarshalText: quoted
+// strings, "true"/"false", otherwise a 64-bit integer.
+func (v *Value) UnmarshalText(text []byte) error {
+	s := string(text)
+	switch {
+	case s == "true":
+		*v = Bool(true)
+	case s == "false":
+		*v = Bool(false)
+	case len(s) > 0 && s[0] == '"':
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return fmt.Errorf("predicate: bad string value %q: %w", s, err)
+		}
+		*v = Str(u)
+	default:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("predicate: bad value %q: %w", s, err)
+		}
+		*v = Int(i)
+	}
+	return nil
+}

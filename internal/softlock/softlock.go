@@ -16,6 +16,7 @@
 package softlock
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -43,6 +44,36 @@ type holderRow struct {
 
 // CloneRow implements txn.Row.
 func (h *holderRow) CloneRow() txn.Row { c := *h; return &c }
+
+// MarshalJSON implements json.Marshaler for checkpoint serialization (the
+// row's field is unexported by design; durability needs a stable encoding).
+func (h *holderRow) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Holder string `json:"holder"`
+	}{Holder: h.holder})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for checkpoint recovery.
+func (h *holderRow) UnmarshalJSON(data []byte) error {
+	var j struct {
+		Holder string `json:"holder"`
+	}
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	h.holder = j.Holder
+	return nil
+}
+
+// DecodeRow decodes a serialized soft-lock row back into a store row — the
+// softlock table's codec for WAL/checkpoint recovery.
+func DecodeRow(data []byte) (txn.Row, error) {
+	h := &holderRow{}
+	if err := json.Unmarshal(data, h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
 
 // Tags manages allocated-tag transitions over named instances.
 type Tags struct {

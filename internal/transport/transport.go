@@ -334,6 +334,17 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// Close implements the Engine surface: it releases idle connections held by
+// the client's own HTTP transport. The daemon's state is the daemon's (see
+// promised -data-dir); closing a client never flushes or destroys anything
+// server-side. The shared http.DefaultClient is left untouched.
+func (c *Client) Close() error {
+	if c.HTTP != nil {
+		c.HTTP.CloseIdleConnections()
+	}
+	return nil
+}
+
 // clientID resolves a per-call identity against the bound default.
 func (c *Client) clientID(client string) string {
 	if client != "" {

@@ -1,0 +1,179 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Checkpoints. A checkpoint is one frame-wrapped payload (same length+CRC
+// framing as log records) holding a full serialized engine state, named by
+// the log segment it covers up to (the Rotate value taken before the state
+// was captured — strictly increasing across process generations, unlike
+// store versions or epochs, which restart on a fresh store) and the
+// snapshot version inside it:
+//
+//	checkpoint-<segment>-<version>.ckpt
+//
+// both zero-padded so lexical order equals recency order. Writes go through
+// a temp file + fsync + rename + directory fsync, so a crash mid-checkpoint
+// leaves either the old set or the old set plus a complete new file — never
+// a half-written checkpoint under the real name. The newest two are kept:
+// if the newest turns out corrupt on load (torn rename target on exotic
+// filesystems, bit rot), recovery falls back to its predecessor plus a
+// longer log tail.
+
+const (
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".ckpt"
+	// ckptKeep is how many recent checkpoints survive pruning.
+	ckptKeep = 2
+)
+
+func ckptName(seg, ver uint64) string {
+	return fmt.Sprintf("%s%020d-%020d%s", ckptPrefix, seg, ver, ckptSuffix)
+}
+
+func parseCkptName(name string) (seg, ver uint64, ok bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, 0, false
+	}
+	body := name[len(ckptPrefix) : len(name)-len(ckptSuffix)]
+	if _, err := fmt.Sscanf(body, "%d-%d", &seg, &ver); err != nil {
+		return 0, 0, false
+	}
+	return seg, ver, true
+}
+
+// WriteCheckpoint durably writes payload as the checkpoint covering log
+// segments below seg at snapshot version ver, and prunes all but the newest
+// ckptKeep checkpoints.
+func WriteCheckpoint(dir string, seg, ver uint64, payload []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[frameHeader:], payload)
+
+	tmp, err := os.CreateTemp(dir, ckptPrefix+"tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, ckptName(seg, ver))); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return pruneCheckpoints(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+type ckptFile struct {
+	seg, ver uint64
+	name     string
+}
+
+func listCheckpoints(dir string) ([]ckptFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []ckptFile
+	for _, e := range entries {
+		if seg, ver, ok := parseCkptName(e.Name()); ok {
+			out = append(out, ckptFile{seg: seg, ver: ver, name: e.Name()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].seg != out[j].seg {
+			return out[i].seg < out[j].seg
+		}
+		return out[i].ver < out[j].ver
+	})
+	return out, nil
+}
+
+func pruneCheckpoints(dir string) error {
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	for len(cks) > ckptKeep {
+		if err := os.Remove(filepath.Join(dir, cks[0].name)); err != nil {
+			return err
+		}
+		cks = cks[1:]
+	}
+	return nil
+}
+
+// LatestCheckpoint loads the most recent intact checkpoint in dir. A
+// corrupt newest checkpoint is skipped in favour of its predecessor. With
+// no (intact) checkpoint present it returns (0, 0, nil, nil): recovery then
+// replays the log from genesis.
+func LatestCheckpoint(dir string) (seg, ver uint64, payload []byte, err error) {
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	for i := len(cks) - 1; i >= 0; i-- {
+		payload, err := readCheckpoint(filepath.Join(dir, cks[i].name))
+		if err != nil {
+			continue // corrupt or torn: fall back to the previous one
+		}
+		return cks[i].seg, cks[i].ver, payload, nil
+	}
+	return 0, 0, nil, nil
+}
+
+func readCheckpoint(path string) ([]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < frameHeader {
+		return nil, fmt.Errorf("wal: checkpoint %s truncated", filepath.Base(path))
+	}
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	crc := binary.LittleEndian.Uint32(buf[4:8])
+	if uint64(n) != uint64(len(buf)-frameHeader) {
+		return nil, fmt.Errorf("wal: checkpoint %s length mismatch", filepath.Base(path))
+	}
+	payload := buf[frameHeader:]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, fmt.Errorf("wal: checkpoint %s CRC mismatch", filepath.Base(path))
+	}
+	return payload, nil
+}

@@ -1,0 +1,97 @@
+// Package promises is the public API of the Promises library, a full
+// implementation of "Isolation Support for Service-based Applications"
+// (Greenfield, Fekete, Jang, Kuo, Nepal — CIDR 2007).
+//
+// A Promise is "an agreement between a client application (a 'promise
+// client') and a service (a 'promise maker'). By accepting a promise
+// request, a service guarantees that some set of conditions ('predicates')
+// will be maintained over a set of resources for a specified period of
+// time." (§2)
+//
+// # Quickstart
+//
+//	ctx := context.Background()
+//	eng, err := promises.Open() // or WithShards(8), or WithRemote(url)
+//	// seed a pool of 10 pink widgets (local engines only)
+//	seeder, _ := promises.Seed(eng)
+//	seeder.CreatePool("pink-widgets", 10, nil)
+//
+//	// Figure 1: ask for a promise that 5 widgets stay available
+//	resp, _ := eng.Execute(ctx, promises.Request{
+//	    Client: "order-process",
+//	    PromiseRequests: []promises.PromiseRequest{{
+//	        Predicates: []promises.Predicate{promises.Quantity("pink-widgets", 5)},
+//	        Duration:   time.Minute,
+//	    }},
+//	})
+//	pr := resp.Promises[0] // pr.Accepted, pr.PromiseID
+//
+//	// later: purchase under the promise, releasing it atomically
+//	eng.Execute(ctx, promises.Request{
+//	    Client: "order-process",
+//	    Env:    []promises.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
+//	    Action: func(ac *promises.ActionContext) (any, error) {
+//	        _, err := ac.Resources.AdjustPool(ac.Tx, "pink-widgets", -5)
+//	        return nil, err
+//	    },
+//	})
+//
+// Everything above runs unchanged against a sharded engine or a remote
+// daemon (swap the closure Action for ActionName, which crosses the wire):
+// Engine is one interface over all three deployments, with contexts
+// plumbed end to end so a dead client cancels in-flight work.
+//
+// # Resource views
+//
+// Predicates come in the paper's three flavours (§3):
+//
+//   - Quantity(pool, n) — anonymous view: n interchangeable units.
+//   - Named(instance)   — named view: one specific instance.
+//   - Property(expr)    — property view: any instance satisfying a boolean
+//     expression such as `floor = 5 and view and beds = "twin"`.
+//
+// # Events
+//
+// Engine.Watch subscribes to promise lifecycle transitions — granted,
+// renewed, released, expired, violated, and (with WithExpiryWarning)
+// expiry-imminent — pushed as they happen rather than polled. Expiry fires
+// at each promise's deadline from the engine's expiry heap, so an expired
+// event arrives with no request in flight. Subscriptions filter by client,
+// promise id and event type (WatchOptions), and can replay recent history:
+// every event carries a monotonic Seq, and WatchOptions.AfterSeq resumes
+// from the bus's replay ring (sized by WithReplayRing) — the same cursor a
+// remote engine's SSE stream exposes as Last-Event-ID.
+//
+// # Durability
+//
+// By default an engine's state lives in memory and dies with the process.
+// WithDataDir(dir) makes it durable: every committed transaction and every
+// published event is appended to a CRC-framed log under dir, and the log is
+// periodically compacted into checkpoints (WithCheckpointEvery). Reopening
+// the directory recovers the previous process's state — promises, pools,
+// escrow ledger, soft locks, pending expiries, and the Watch replay ring —
+// by loading the newest checkpoint and replaying the log tail through the
+// normal commit path, so the recovered engine is equivalent to one that
+// never stopped; Watch resume via AfterSeq/Last-Event-ID works across the
+// restart.
+//
+// WithSyncPolicy chooses the durability/latency trade: SyncAlways (the
+// default) fsyncs before a request is answered, so an acknowledged grant
+// survives a crash; SyncInterval group-commits on a timer (WithSyncEvery)
+// and can lose the last interval; SyncNone leaves flushing to the OS. A
+// torn or corrupt log tail — a crash mid-write — is truncated on recovery:
+// the interrupted commit is lost as a unit, never half-applied. Close
+// flushes a final checkpoint so a clean restart replays no tail. One live
+// process per directory; the directory's manifest pins its shard count.
+// See docs/operations.md for the on-disk layout and the full recovery
+// story.
+//
+// # Architecture
+//
+// The Manager follows the prototype of §8: promise table, escrow ledger and
+// soft-lock tags live in one transactional store with the resource manager;
+// every Execute call is a single ACID transaction; actions that violate
+// outstanding promises are rolled back. internal/transport serves any
+// Engine over HTTP using the §6 protocol elements; see cmd/promised, and
+// docs/architecture.md for the layer-by-layer map.
+package promises

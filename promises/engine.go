@@ -60,6 +60,13 @@ type Engine interface {
 	// Audit runs a full consistency audit; an unhealthy report is a
 	// report, not an error.
 	Audit() (*AuditReport, error)
+	// Close shuts the engine down cleanly. On a durable engine (Open with
+	// WithDataDir) it takes a final checkpoint and closes the logs, so the
+	// next Open recovers without replaying; on an in-memory engine it only
+	// stops background expiry alarms; on a remote engine it releases idle
+	// connections (the daemon's state is the daemon's). Close after
+	// quiescing requests; it is idempotent.
+	Close() error
 }
 
 // The three engine implementations, pinned at compile time.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/promises"
@@ -49,6 +50,55 @@ func ExampleOpen() {
 	// Output:
 	// accepted: true
 	// stock now: 5
+}
+
+// ExampleOpen_durable shows the persistence story end to end: a durable
+// engine logs every commit under its data directory, Close flushes a final
+// checkpoint, and reopening the same directory recovers the granted
+// promise — the second process picks up exactly where the first stopped.
+func ExampleOpen_durable() {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "promised-data")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	eng, err := promises.Open(promises.WithDataDir(dir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	seeder, _ := promises.Seed(eng)
+	_ = seeder.CreatePool("pink-widgets", 10, nil)
+
+	resp, err := eng.Execute(ctx, promises.Request{
+		Client: "order-process",
+		PromiseRequests: []promises.PromiseRequest{{
+			Predicates: []promises.Predicate{promises.Quantity("pink-widgets", 5)},
+			Duration:   time.Hour,
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	id := resp.Promises[0].PromiseID
+	if err := eng.Close(); err != nil { // final checkpoint
+		log.Fatal(err)
+	}
+
+	// A new process opening the same directory recovers the promise.
+	eng, err = promises.Open(promises.WithDataDir(dir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	errs, err := eng.CheckBatch(ctx, "order-process", []string{id})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("promise survived restart:", errs[0] == nil)
+	// Output:
+	// promise survived restart: true
 }
 
 // ExampleEngine_checkBatch shows the batched promise-usability check every

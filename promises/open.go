@@ -28,6 +28,12 @@ type options struct {
 	expiryWarning    time.Duration
 	replayRing       int
 
+	dataDir         string
+	syncPolicy      SyncPolicy
+	syncPolicySet   bool
+	syncEvery       time.Duration
+	checkpointEvery time.Duration
+
 	remoteURL  string
 	clientID   string
 	httpClient *http.Client
@@ -94,6 +100,35 @@ func WithExpiryWarning(d time.Duration) Option {
 // daemon was started with (promised -replay-ring).
 func WithReplayRing(n int) Option { return func(o *options) { o.replayRing = n } }
 
+// WithDataDir makes the engine durable: every committed transaction and
+// published event is written to an append-only, CRC-framed log under dir,
+// periodically compacted into checkpoints, and Open recovers the
+// directory's state — promises, pools, escrow, soft locks, pending
+// expiries, and the Watch replay ring — before serving, so the engine picks
+// up where the previous process stopped (see docs/operations.md for the
+// layout and recovery semantics). One live process per directory. Local
+// engines only; a remote engine's durability belongs to its daemon
+// (promised -data-dir).
+func WithDataDir(dir string) Option { return func(o *options) { o.dataDir = dir } }
+
+// WithSyncPolicy selects when log writes reach stable storage: SyncAlways
+// (the default — a responded request is durable), SyncInterval (group
+// fsync on a timer; see WithSyncEvery), or SyncNone (the OS decides).
+// Requires WithDataDir.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(o *options) { o.syncPolicy = p; o.syncPolicySet = true }
+}
+
+// WithSyncEvery sets the background fsync cadence under
+// SyncInterval; zero means 50ms. Requires WithDataDir.
+func WithSyncEvery(d time.Duration) Option { return func(o *options) { o.syncEvery = d } }
+
+// WithCheckpointEvery sets the automatic checkpoint cadence — how often the
+// log is compacted into a snapshot of current state. Zero means 1 minute; a
+// negative duration disables automatic checkpoints (Checkpoint on the
+// concrete engine still works). Requires WithDataDir.
+func WithCheckpointEvery(d time.Duration) Option { return func(o *options) { o.checkpointEvery = d } }
+
 // WithRemote makes Open return a client engine for the promised daemon at
 // url (e.g. "http://localhost:8642") instead of constructing local state.
 // Combine with WithClientID and WithHTTPClient only.
@@ -130,13 +165,51 @@ func Open(opts ...Option) (Engine, error) {
 	if o.remoteURL != "" {
 		if o.shards != 0 || o.clk != nil || o.defaultDuration != 0 || o.maxDuration != 0 ||
 			o.modeSet || o.suppliers != nil || o.actions != nil || o.maxRetries != 0 ||
-			o.expiryWarning != 0 || o.replayRing != 0 {
+			o.expiryWarning != 0 || o.replayRing != 0 || o.dataDir != "" {
 			return nil, fmt.Errorf("promises: WithRemote(%q) cannot combine with local-engine options", o.remoteURL)
 		}
 		return &transport.Client{BaseURL: o.remoteURL, Client: o.clientID, HTTP: o.httpClient}, nil
 	}
 	if o.httpClient != nil {
 		return nil, fmt.Errorf("promises: WithHTTPClient requires WithRemote")
+	}
+	if o.dataDir == "" && (o.syncPolicySet || o.syncEvery != 0 || o.checkpointEvery != 0) {
+		return nil, fmt.Errorf("promises: sync and checkpoint options require WithDataDir")
+	}
+	if o.dataDir != "" {
+		dur := core.DurabilityOptions{
+			Dir:             o.dataDir,
+			Sync:            o.syncPolicy,
+			SyncEvery:       o.syncEvery,
+			CheckpointEvery: o.checkpointEvery,
+		}
+		if o.shards > 1 {
+			return core.OpenDurableSharded(core.ShardedConfig{
+				Shards:           o.shards,
+				Clock:            o.clk,
+				DefaultDuration:  o.defaultDuration,
+				MaxDuration:      o.maxDuration,
+				PropertyMode:     o.mode,
+				DisablePostCheck: o.disablePostCheck,
+				Suppliers:        o.suppliers,
+				MaxRetries:       o.maxRetries,
+				Actions:          o.actions,
+				ExpiryWarning:    o.expiryWarning,
+				ReplayRing:       o.replayRing,
+			}, dur)
+		}
+		return core.OpenDurable(core.Config{
+			Clock:            o.clk,
+			DefaultDuration:  o.defaultDuration,
+			MaxDuration:      o.maxDuration,
+			PropertyMode:     o.mode,
+			DisablePostCheck: o.disablePostCheck,
+			Suppliers:        o.suppliers,
+			MaxRetries:       o.maxRetries,
+			Actions:          o.actions,
+			ExpiryWarning:    o.expiryWarning,
+			ReplayRing:       o.replayRing,
+		}, dur)
 	}
 	if o.shards > 1 {
 		return core.NewSharded(core.ShardedConfig{

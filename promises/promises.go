@@ -1,62 +1,6 @@
-// Package promises is the public API of the Promises library, a full
-// implementation of "Isolation Support for Service-based Applications"
-// (Greenfield, Fekete, Jang, Kuo, Nepal — CIDR 2007).
-//
-// A Promise is "an agreement between a client application (a 'promise
-// client') and a service (a 'promise maker'). By accepting a promise
-// request, a service guarantees that some set of conditions ('predicates')
-// will be maintained over a set of resources for a specified period of
-// time." (§2)
-//
-// # Quickstart
-//
-//	ctx := context.Background()
-//	eng, err := promises.Open() // or WithShards(8), or WithRemote(url)
-//	// seed a pool of 10 pink widgets (local engines only)
-//	seeder, _ := promises.Seed(eng)
-//	seeder.CreatePool("pink-widgets", 10, nil)
-//
-//	// Figure 1: ask for a promise that 5 widgets stay available
-//	resp, _ := eng.Execute(ctx, promises.Request{
-//	    Client: "order-process",
-//	    PromiseRequests: []promises.PromiseRequest{{
-//	        Predicates: []promises.Predicate{promises.Quantity("pink-widgets", 5)},
-//	        Duration:   time.Minute,
-//	    }},
-//	})
-//	pr := resp.Promises[0] // pr.Accepted, pr.PromiseID
-//
-//	// later: purchase under the promise, releasing it atomically
-//	eng.Execute(ctx, promises.Request{
-//	    Client: "order-process",
-//	    Env:    []promises.EnvEntry{{PromiseID: pr.PromiseID, Release: true}},
-//	    Action: func(ac *promises.ActionContext) (any, error) {
-//	        _, err := ac.Resources.AdjustPool(ac.Tx, "pink-widgets", -5)
-//	        return nil, err
-//	    },
-//	})
-//
-// Everything above runs unchanged against a sharded engine or a remote
-// daemon (swap the closure Action for ActionName, which crosses the wire):
-// Engine is one interface over all three deployments, with contexts
-// plumbed end to end so a dead client cancels in-flight work.
-//
-// # Resource views
-//
-// Predicates come in the paper's three flavours (§3):
-//
-//   - Quantity(pool, n) — anonymous view: n interchangeable units.
-//   - Named(instance)   — named view: one specific instance.
-//   - Property(expr)    — property view: any instance satisfying a boolean
-//     expression such as `floor = 5 and view and beds = "twin"`.
-//
-// # Architecture
-//
-// The Manager follows the prototype of §8: promise table, escrow ledger and
-// soft-lock tags live in one transactional store with the resource manager;
-// every Execute call is a single ACID transaction; actions that violate
-// outstanding promises are rolled back. internal/transport serves any
-// Engine over HTTP using the §6 protocol elements; see cmd/promised.
+// Re-exports, predicate builders and deprecated constructor shims; the
+// package documentation lives in doc.go.
+
 package promises
 
 import (
@@ -132,6 +76,9 @@ type (
 	ShardStat = core.ShardStat
 	// AuditReport summarises a consistency audit (Engine.Audit).
 	AuditReport = core.AuditReport
+	// SyncPolicy selects when a durable engine's log writes reach stable
+	// storage; see WithSyncPolicy.
+	SyncPolicy = core.SyncPolicy
 	// Value is one typed property value for seeding instances; see Int,
 	// Str and Bool.
 	Value = predicate.Value
@@ -160,6 +107,13 @@ const (
 
 	SlowDrop       = core.SlowDrop
 	SlowDisconnect = core.SlowDisconnect
+
+	// Sync policies for WithSyncPolicy. SyncAlways fsyncs before a request
+	// is answered; SyncInterval group-commits on a timer (WithSyncEvery);
+	// SyncNone leaves flushing to the OS.
+	SyncAlways   = core.SyncAlways
+	SyncInterval = core.SyncInterval
+	SyncNone     = core.SyncNone
 )
 
 // Re-exported sentinel errors.
@@ -204,6 +158,11 @@ func MustProperty(src string) Predicate { return core.MustProperty(src) }
 // FromExpr interprets a lower-bound quantity expression such as
 // "quantity >= 5" or "balance >= 100" as an anonymous predicate on pool.
 func FromExpr(pool, src string) (Predicate, error) { return core.FromExpr(pool, src) }
+
+// ParseSyncPolicy parses "always", "interval" or "none" into the
+// WithSyncPolicy vocabulary — the textual form the promised daemon's -sync
+// flag and configuration files use.
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return core.ParseSyncPolicy(s) }
 
 // Int builds an integer property value for seeding instances.
 func Int(v int64) Value { return predicate.Int(v) }
