@@ -1,0 +1,135 @@
+// Command benchdiff compares two benchmark summaries produced by
+// cmd/benchjson and reports the per-benchmark delta, so the performance
+// trajectory across PRs is a reviewable table instead of two opaque JSON
+// artifacts. It is the advisory regression gate in CI: when any benchmark
+// common to both files slows down by more than the configured factor,
+// benchdiff exits nonzero (the CI step surfaces that without failing the
+// build — shared runners are too noisy for a hard gate).
+//
+// Usage:
+//
+//	benchdiff [-threshold 1.30] [-min-ns 1000] OLD.json NEW.json
+//
+// OLD and NEW are benchjson outputs (see BENCH_pr*.json at the repository
+// root). Benchmarks present on only one side are listed but never gate.
+// The gate also ignores benchmarks whose baseline ran a single iteration
+// (smoke rows measure compilation, not speed) or whose ns/op sits under
+// the -min-ns noise floor.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// result mirrors cmd/benchjson's per-benchmark record.
+type result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// row is one line of the comparison table.
+type row struct {
+	Name     string
+	Old, New float64 // ns/op; <0 when the side is missing
+	Ratio    float64 // New/Old when both sides exist
+	Gated    bool    // counted toward the regression verdict
+}
+
+// diff lines up the two summaries. A row gates when both sides exist,
+// the baseline is trustworthy (more than one iteration, at or above the
+// noise floor) and threshold > 0; regressed reports whether any gated
+// row's ratio exceeds threshold.
+func diff(old, new map[string]result, threshold, minNs float64) (rows []row, regressed bool) {
+	names := make(map[string]bool, len(old)+len(new))
+	for n := range old {
+		names[n] = true
+	}
+	for n := range new {
+		names[n] = true
+	}
+	for n := range names {
+		r := row{Name: n, Old: -1, New: -1}
+		o, hasOld := old[n]
+		v, hasNew := new[n]
+		if hasOld {
+			r.Old = o.NsPerOp
+		}
+		if hasNew {
+			r.New = v.NsPerOp
+		}
+		if hasOld && hasNew && o.NsPerOp > 0 {
+			r.Ratio = v.NsPerOp / o.NsPerOp
+			r.Gated = threshold > 0 && o.Iterations > 1 && v.Iterations > 1 &&
+				o.NsPerOp >= minNs && v.NsPerOp >= minNs
+			if r.Gated && r.Ratio > threshold {
+				regressed = true
+			}
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows, regressed
+}
+
+func load(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]result)
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 1.30, "exit nonzero when a gated benchmark's ns/op grows past this factor; 0 reports only")
+	minNs := flag.Float64("min-ns", 1000, "noise floor: benchmarks under this many ns/op never gate")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(64)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	new, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	rows, regressed := diff(old, new, *threshold, *minNs)
+	fmt.Printf("%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range rows {
+		switch {
+		case r.Old < 0:
+			fmt.Printf("%-64s %14s %14.0f %9s\n", r.Name, "-", r.New, "new")
+		case r.New < 0:
+			fmt.Printf("%-64s %14.0f %14s %9s\n", r.Name, r.Old, "-", "gone")
+		default:
+			mark := ""
+			if r.Gated && r.Ratio > *threshold {
+				mark = "  << regression"
+			} else if !r.Gated {
+				mark = "  (not gated)"
+			}
+			fmt.Printf("%-64s %14.0f %14.0f %+8.1f%%%s\n", r.Name, r.Old, r.New, (r.Ratio-1)*100, mark)
+		}
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression past %.2fx threshold\n", *threshold)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func res(iters int64, ns float64) result { return result{Iterations: iters, NsPerOp: ns} }
+
+func TestDiffGating(t *testing.T) {
+	old := map[string]result{
+		"p.BenchmarkSlow":  res(100, 10000),
+		"p.BenchmarkFlat":  res(100, 10000),
+		"p.BenchmarkTiny":  res(100, 50),
+		"p.BenchmarkSmoke": res(1, 10000),
+		"p.BenchmarkGone":  res(100, 10000),
+	}
+	new := map[string]result{
+		"p.BenchmarkSlow":  res(100, 20000), // 2.0x: regression
+		"p.BenchmarkFlat":  res(100, 10500), // 1.05x: within threshold
+		"p.BenchmarkTiny":  res(100, 500),   // 10x but under the noise floor
+		"p.BenchmarkSmoke": res(1, 99999),   // single-iteration rows never gate
+		"p.BenchmarkNew":   res(100, 10000), // no baseline
+	}
+	rows, regressed := diff(old, new, 1.30, 1000)
+	if !regressed {
+		t.Fatal("2.0x slowdown not flagged as regression")
+	}
+	byName := make(map[string]row)
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (union of both sides)", len(rows))
+	}
+	for name, wantGated := range map[string]bool{
+		"p.BenchmarkSlow":  true,
+		"p.BenchmarkFlat":  true,
+		"p.BenchmarkTiny":  false,
+		"p.BenchmarkSmoke": false,
+	} {
+		if byName[name].Gated != wantGated {
+			t.Errorf("%s: gated=%v, want %v", name, byName[name].Gated, wantGated)
+		}
+	}
+	if r := byName["p.BenchmarkGone"]; r.New >= 0 {
+		t.Errorf("vanished benchmark reported a new ns/op: %+v", r)
+	}
+	if r := byName["p.BenchmarkNew"]; r.Old >= 0 || r.Gated {
+		t.Errorf("baseline-less benchmark must not gate: %+v", r)
+	}
+
+	// Without the 2x row the same inputs pass.
+	delete(old, "p.BenchmarkSlow")
+	delete(new, "p.BenchmarkSlow")
+	if _, regressed := diff(old, new, 1.30, 1000); regressed {
+		t.Fatal("regression reported with no gated row past threshold")
+	}
+	// threshold 0 turns the gate off entirely.
+	old["p.BenchmarkSlow"], new["p.BenchmarkSlow"] = res(100, 10000), res(100, 90000)
+	if _, regressed := diff(old, new, 0, 1000); regressed {
+		t.Fatal("threshold 0 must disable the gate")
+	}
+}

@@ -6,8 +6,14 @@
 //
 //	promised [-addr :8642] [-seed retail|hotel|bank] [-shards N] [-max-duration 10m]
 //	         [-data-dir /var/lib/promised] [-sync always|interval|none]
+//	         [-pprof-addr localhost:6060]
 //
 // -shards defaults to GOMAXPROCS.
+//
+// -pprof-addr serves net/http/pprof profiles (CPU, heap, goroutine,
+// contention) on a second listener, separate from the client-facing
+// protocol port so profiling access can be firewalled independently. Off
+// by default; see docs/operations.md.
 //
 // State is striped across -shards independent shards (hash of pool or
 // instance id) so parallel clients on different resources proceed
@@ -37,6 +43,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -72,6 +79,7 @@ func main() {
 	syncPol := flag.String("sync", "always", "with -data-dir, when log writes reach disk: always, interval, none")
 	syncEvery := flag.Duration("sync-every", 0, "with -sync interval, the group-fsync cadence; 0 means 50ms")
 	ckptEvery := flag.Duration("checkpoint-every", 0, "with -data-dir, how often the log compacts into a checkpoint; 0 means 1m, negative disables")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
 
 	shardsSet := false
@@ -148,6 +156,24 @@ func main() {
 
 	srv := transport.NewServer(m, reg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// The profiler gets its own mux on its own listener: nothing pprof
+	// ever shares a port with the client-facing protocol, so exposure is
+	// an explicit operator decision (and firewallable separately).
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("promised: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("promised: pprof server: %v", err)
+			}
+		}()
+	}
 
 	// SIGINT/SIGTERM drain in-flight requests, then Close flushes a final
 	// checkpoint so the next start replays no log tail.

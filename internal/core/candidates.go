@@ -53,13 +53,22 @@ import (
 // free, so the pre-filter must treat the shard as contributing again from
 // that instant even though no commit has re-classified the instance yet.
 type instContrib struct {
-	hostable    bool
+	hostable bool
+	// tentative distinguishes the two hostable states (available vs held
+	// by an active property slot). The counts don't care, but the
+	// persistent matcher (propmatch.go) serves the instance's row and
+	// tentative flag directly and caches predicate evaluations against its
+	// environment — so an Available ↔ property-held transition must count
+	// as a contribution change even though every count stays put, or the
+	// matcher would keep a stale row pointer and stale status-dependent
+	// edge verdicts.
+	tentative   bool
 	pinnedUntil time.Time
 	props       map[string]predicate.Value
 }
 
 func (a instContrib) equal(b instContrib) bool {
-	if a.hostable != b.hostable || !a.pinnedUntil.Equal(b.pinnedUntil) || len(a.props) != len(b.props) {
+	if a.hostable != b.hostable || a.tentative != b.tentative || !a.pinnedUntil.Equal(b.pinnedUntil) || len(a.props) != len(b.props) {
 		return false
 	}
 	for k, v := range a.props {
@@ -108,7 +117,12 @@ type candidateIndex struct {
 	hostable int
 	slots    int
 	byProp   map[string]map[predicate.Value]int
-	summary  atomic.Pointer[candSummary]
+	// dirty names the properties whose counts changed since the last
+	// publication, so candPublish copies one property's value map per
+	// touched property instead of the whole ByProp tree (per-property
+	// copy-on-write, mirroring the store snapshots' bucketed COW).
+	dirty   map[string]struct{}
+	summary atomic.Pointer[candSummary]
 }
 
 // CandidateSummary returns the manager's current candidate-index summary
@@ -123,11 +137,16 @@ func (m *Manager) CandidateSummary() (hostable, slots int) {
 // over a pre-populated store starts with a correct index.
 func (m *Manager) candInit(snap *txn.Snapshot) {
 	c := &m.cand
+	pm := &m.pmatch
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pm.init()
 	c.insts = make(map[string]instContrib)
 	c.promises = make(map[string]promContrib)
 	c.pinned = make(map[string]time.Time)
 	c.hostable, c.slots = 0, 0
 	c.byProp = make(map[string]map[predicate.Value]int)
+	c.dirty = make(map[string]struct{})
 	_ = snap.Scan(TablePromises, func(key string, row txn.Row) bool {
 		p := &row.(*promiseRow).p
 		pc := promContribOf(p)
@@ -135,6 +154,7 @@ func (m *Manager) candInit(snap *txn.Snapshot) {
 			c.promises[key] = pc
 			c.slots += pc.propSlots
 		}
+		pm.updatePromiseSlotsLocked(key, p)
 		return true
 	})
 	_ = snap.Scan(resource.TableInstances, func(key string, _ txn.Row) bool {
@@ -149,6 +169,8 @@ func (m *Manager) candInit(snap *txn.Snapshot) {
 // are serialized in commit order by the store.
 func (m *Manager) onCommit(snap *txn.Snapshot, touched []txn.TableKey) {
 	c := &m.cand
+	pm := &m.pmatch
+	pm.mu.Lock()
 	var affected map[string]bool
 	touch := func(id string) {
 		if affected == nil {
@@ -162,11 +184,14 @@ func (m *Manager) onCommit(snap *txn.Snapshot, touched []txn.TableKey) {
 		case TablePromises:
 			old := c.promises[tk.Key]
 			var neu promContrib
+			var prow *Promise
 			present := false
 			if row, err := snap.Get(TablePromises, tk.Key); err == nil {
-				neu = promContribOf(&row.(*promiseRow).p)
+				prow = &row.(*promiseRow).p
+				neu = promContribOf(prow)
 				present = true
 			}
+			pm.updatePromiseSlotsLocked(tk.Key, prow)
 			if neu.propSlots != old.propSlots {
 				c.slots += neu.propSlots - old.propSlots
 				changed = true
@@ -197,6 +222,7 @@ func (m *Manager) onCommit(snap *txn.Snapshot, touched []txn.TableKey) {
 	if changed {
 		m.candPublish()
 	}
+	pm.mu.Unlock()
 	// Durability rides the same hook: the commit record is appended after
 	// the snapshot is published, still inside the store's serialized hook
 	// order, so log order equals version order and a checkpoint taken from
@@ -221,10 +247,11 @@ func promContribOf(p *Promise) promContrib {
 }
 
 // candRecompute re-classifies one instance against the snapshot and folds
-// the difference into the counts. Returns whether anything changed.
+// the difference into the counts and the persistent matcher state (pm.mu
+// held by the caller). Returns whether anything changed.
 func (m *Manager) candRecompute(snap *txn.Snapshot, id string) bool {
 	c := &m.cand
-	neu, exists := m.candClassify(snap, id)
+	neu, inst, exists := m.candClassify(snap, id)
 	old := c.insts[id]
 	if old.equal(neu) {
 		return false
@@ -239,6 +266,7 @@ func (m *Manager) candRecompute(snap *txn.Snapshot, id string) bool {
 		for k, v := range old.props {
 			pv := c.byProp[k]
 			pv[v]--
+			c.dirty[k] = struct{}{}
 			if pv[v] <= 0 {
 				delete(pv, v)
 				if len(pv) == 0 {
@@ -256,8 +284,10 @@ func (m *Manager) candRecompute(snap *txn.Snapshot, id string) bool {
 				c.byProp[k] = pv
 			}
 			pv[v]++
+			c.dirty[k] = struct{}{}
 		}
 	}
+	m.pmatch.updateCandLocked(id, neu.hostable, neu.tentative, inst)
 	if exists {
 		c.insts[id] = neu
 	} else {
@@ -271,48 +301,53 @@ func (m *Manager) candRecompute(snap *txn.Snapshot, id string) bool {
 // matcher may rearrange). State-active promises past their wall-clock
 // expiry still count — over-approximation is the safe direction, and the
 // expiry transaction will retouch the rows moments later.
-func (m *Manager) candClassify(snap *txn.Snapshot, id string) (instContrib, bool) {
+func (m *Manager) candClassify(snap *txn.Snapshot, id string) (instContrib, *resource.Instance, bool) {
 	row, err := snap.Get(resource.TableInstances, id)
 	if err != nil {
-		return instContrib{}, false
+		return instContrib{}, nil, false
 	}
 	in := row.(*resource.Instance)
 	switch in.Status {
 	case resource.Available:
-		return instContrib{hostable: true, props: in.Props}, true
+		return instContrib{hostable: true, props: in.Props}, in, true
 	case resource.Promised:
 		holder, err := m.tags.Holder(snap, id)
 		if err != nil || holder == "" {
-			return instContrib{}, true
+			return instContrib{}, in, true
 		}
 		pid, idx, ok := parseSlotKey(holder)
 		if !ok {
-			return instContrib{}, true
+			return instContrib{}, in, true
 		}
 		prow, err := snap.Get(TablePromises, pid)
 		if err != nil {
-			return instContrib{}, true
+			return instContrib{}, in, true
 		}
 		p := &prow.(*promiseRow).p
 		if p.State == Active && idx < len(p.Predicates) && p.Predicates[idx].View == PropertyView {
-			return instContrib{hostable: true, props: in.Props}, true
+			return instContrib{hostable: true, tentative: true, props: in.Props}, in, true
 		}
 		if p.State == Active {
 			// Held by an active named-view (or mixed) promise: not
 			// hostable now, but a reservation's sweep frees it the moment
 			// the holder's deadline passes — record that instant so the
 			// pre-filter stops trusting this classification after it.
-			return instContrib{pinnedUntil: p.Expires}, true
+			return instContrib{pinnedUntil: p.Expires}, in, true
 		}
-		return instContrib{}, true
+		return instContrib{}, in, true
 	default: // Taken
-		return instContrib{}, true
+		return instContrib{}, in, true
 	}
 }
 
-// candPublish snapshots the counts into a fresh immutable summary.
+// candPublish snapshots the counts into a fresh immutable summary. ByProp
+// is copied per property: value maps of properties untouched since the last
+// publication are shared with the previous summary (both are immutable once
+// published), so a commit touching an instance with few properties pays for
+// those properties only, however many distinct properties the shard hosts.
 func (m *Manager) candPublish() {
 	c := &m.cand
+	prev := c.summary.Load()
 	s := &candSummary{
 		Hostable: c.hostable,
 		Slots:    c.slots,
@@ -325,11 +360,22 @@ func (m *Manager) candPublish() {
 		}
 	}
 	for k, pv := range c.byProp {
+		if prev != nil {
+			if _, isDirty := c.dirty[k]; !isDirty {
+				if shared, ok := prev.ByProp[k]; ok {
+					s.ByProp[k] = shared
+					continue
+				}
+			}
+		}
 		cp := make(map[predicate.Value]int, len(pv))
 		for v, n := range pv {
 			cp[v] = n
 		}
 		s.ByProp[k] = cp
+	}
+	for k := range c.dirty {
+		delete(c.dirty, k)
 	}
 	c.summary.Store(s)
 }
@@ -368,6 +414,33 @@ func indexMay(e predicate.Expr, byProp map[string]map[predicate.Value]int) (may,
 				return true, false
 			}
 			return pv[predicate.Bool(false)] > 0, true
+		}
+		if in, isIn := x.X.(*predicate.In); isIn {
+			// not (p in {…}) is satisfiable here iff some hostable value
+			// of p falls outside the set (In never errors on a present
+			// property, so negation is exact; a missing property errors,
+			// i.e. unsatisfied, matching Eval).
+			ref, isRef := in.X.(*predicate.Ref)
+			if !isRef {
+				return true, false
+			}
+			pv, ok := vals(ref.Name)
+			if !ok {
+				return true, false
+			}
+			for v := range pv {
+				member := false
+				for _, s := range in.Set {
+					if v.Equal(s) {
+						member = true
+						break
+					}
+				}
+				if !member {
+					return true, true
+				}
+			}
+			return false, true
 		}
 		return true, false
 	case *predicate.In:

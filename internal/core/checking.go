@@ -200,6 +200,37 @@ func (m *Manager) planInner(ctx context.Context, tx *txn.Tx, st *execState, pred
 	if !instancePreds {
 		return plan, "", nil, nil
 	}
+
+	// Fast path: an all-property request on a transaction with no writes
+	// can be served from the persistent matcher state (propmatch.go) —
+	// O(delta) instead of the three full table scans below. The gate
+	// conditions are exactly the preconditions of propmatch.go's
+	// consistency argument: no releases and no prior writes (so the
+	// committed state the matcher mirrors IS the transaction's view, and a
+	// sweep that lapsed anything already disqualified us), matching mode,
+	// and no named predicates (whose claims would carve instances out of
+	// the candidate set).
+	if m.cfg.PropertyMode == MatchingMode && !m.cfg.disableFastPath &&
+		len(releases) == 0 && tx.Writes() == 0 {
+		allProperty := true
+		for _, p := range preds {
+			if p.View != PropertyView {
+				allProperty = false
+				break
+			}
+		}
+		if allProperty {
+			feasible, err := m.planPropertyFast(tx, preds, plan)
+			if err != nil {
+				return nil, "", nil, err
+			}
+			if !feasible {
+				return nil, "property predicates not jointly satisfiable with outstanding promises", nil, nil
+			}
+			return plan, "", nil, nil
+		}
+	}
+
 	instances, err := m.rm.Instances(tx)
 	if err != nil {
 		return nil, "", nil, err

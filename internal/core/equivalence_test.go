@@ -61,12 +61,17 @@ func sentinelClass(err error) string {
 	}
 }
 
-func newEqWorld(t *testing.T, seed int64, shards int) *eqWorld {
+// newEqWorld builds the two engines. singleSlow disables the single
+// store's index-served fast path (propmatch.go), making it the scan-based
+// §5 reference planner: a workload driven with singleSlow=true pins the
+// fast path (still live on the sharded side) against the slow one.
+func newEqWorld(t *testing.T, seed int64, shards int, singleSlow bool) *eqWorld {
 	fake := clock.NewFake(time.Date(2007, 1, 7, 0, 0, 0, 0, time.UTC))
 	single, err := New(Config{Clock: fake, DefaultDuration: time.Hour})
 	if err != nil {
 		t.Fatal(err)
 	}
+	single.cfg.disableFastPath = singleSlow
 	sharded, err := NewSharded(ShardedConfig{Shards: shards, Clock: fake, DefaultDuration: time.Hour})
 	if err != nil {
 		t.Fatal(err)
@@ -87,6 +92,9 @@ func newEqWorld(t *testing.T, seed int64, shards int) *eqWorld {
 			"zone = 0 or zone = 3",
 			"gpu and tier >= 1",
 			"tier = 2 or zone = 1",
+			"tier in (0, 2)",
+			"not (zone in (1, 2))",
+			"(gpu and tier = 1) or (not gpu and zone = 2)",
 		},
 	}
 	for i := 0; i < 5; i++ {
@@ -345,8 +353,13 @@ func (w *eqWorld) run(iters int) {
 func TestShardedEquivalence(t *testing.T) {
 	shards := testShards(8)
 	for seed := int64(1); seed <= 6; seed++ {
-		t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
-			newEqWorld(t, seed, shards).run(250)
+		// Even seeds run the single store as the scan-based slow
+		// reference, pinning the index-served fast path and the shrunken
+		// property lock set (both live on the sharded side) against the
+		// §5 planner; odd seeds compare the fast paths to each other.
+		slowRef := seed%2 == 0
+		t.Run(fmt.Sprintf("seed=%d/shards=%d/slowref=%v", seed, shards, slowRef), func(t *testing.T) {
+			newEqWorld(t, seed, shards, slowRef).run(250)
 		})
 	}
 }
@@ -359,7 +372,7 @@ func TestShardedEquivalenceUpgradeHeavy(t *testing.T) {
 	shards := testShards(8)
 	for seed := int64(10); seed <= 13; seed++ {
 		t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
-			w := newEqWorld(t, seed, shards)
+			w := newEqWorld(t, seed, shards, false)
 			cur := make(map[string]*eqPair)
 			for it := 0; it < 200; it++ {
 				client := w.clients[w.rng.Intn(len(w.clients))]

@@ -136,8 +136,20 @@ func (s *ShardedManager) solveFloatAssignment(resvs map[int]*Reservation, pr Pro
 	}
 
 	// edge decides predicate satisfaction alone; the pass-specific oracles
-	// add the shard constraint for existing slots.
+	// add the shard constraint for existing slots. Each left vertex's
+	// predicate is compiled once (propmatch.go) so the common shapes
+	// evaluate straight off the property map; only shapes the compiler
+	// refuses (references to the id/status builtins) pay for full Eval.
 	nExist := len(slots)
+	compiled := make([]compiledPred, nExist+len(floating))
+	for i, sl := range slots {
+		compiled[i] = compilePred(sl.slot.Expr)
+	}
+	for k, f := range floating {
+		if !f.named {
+			compiled[nExist+k] = compilePred(pr.Predicates[f.idx].Expr)
+		}
+	}
 	edge := func(l, r int) bool {
 		var expr predicate.Expr
 		if l < nExist {
@@ -148,6 +160,9 @@ func (s *ShardedManager) solveFloatAssignment(resvs map[int]*Reservation, pr Pro
 				return cands[r].cand.Instance.ID == pr.Predicates[f.idx].Instance
 			}
 			expr = pr.Predicates[f.idx].Expr
+		}
+		if c := compiled[l]; c != nil {
+			return c(cands[r].cand.Instance.Props)
 		}
 		ok, err := predicate.Eval(expr, cands[r].cand.Instance.Env())
 		return err == nil && ok

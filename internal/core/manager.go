@@ -87,6 +87,10 @@ type Config struct {
 	// NewSharded.
 	bus  *EventBus
 	gate func(run func())
+	// disableFastPath forces property planning and PropertyContext down the
+	// scan-everything slow path. Tests only: the equivalence suites run
+	// both ways to pin fast ≡ slow.
+	disableFastPath bool
 }
 
 // Manager is the promise manager. It is safe for concurrent use; every
@@ -103,6 +107,7 @@ type Manager struct {
 	bus        *EventBus
 	exp        expiryIndex
 	cand       candidateIndex
+	pmatch     propMatcher
 	gate       func(run func())
 	// pubMu is held across a transaction's commit and the publication of
 	// its events, so bus order equals commit order and a promise's

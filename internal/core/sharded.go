@@ -96,8 +96,9 @@ type ShardedManager struct {
 	// migration (retry, then freeze under the full lock set).
 	migSeq atomic.Uint64
 
-	// disablePrefilter turns the candidate-index reservation pre-filter
-	// off, so tests can pin pre-filtered ≡ all-shards equivalence.
+	// disablePrefilter turns the candidate-index pre-filter off for both
+	// routing (the lock set) and reservations, so tests can pin
+	// pre-filtered ≡ all-shards equivalence.
 	disablePrefilter bool
 
 	// imbalance retains the shard-imbalance gauge computed by Stats;
@@ -152,6 +153,16 @@ const shardIDPrefix = "prm"
 
 // compositeIDPrefix prefixes directory-tracked composite promise ids.
 const compositeIDPrefix = "shp-"
+
+// errPrefilterWiden is the internal signal that the candidate-index
+// pre-filter, re-read under the held shard locks, named a contributing
+// shard whose lock is not held — an index flap on an unlocked shard (or a
+// named predicate deferred by an earlier grant in the same message whose
+// displaced slot may re-home beyond the held set). The request cannot be
+// soundly rejected over the clamped view, so the caller releases its
+// locks and retries under the full set, where the signal cannot recur.
+// Never client-visible.
+var errPrefilterWiden = errors.New("core: pre-filter names a shard outside the held lock set")
 
 // migrationRetryLimit bounds the optimistic retries the read paths
 // (CheckBatch, checkComposite, compositeInfo) make when a racing slot
@@ -346,20 +357,39 @@ func (s *ShardedManager) addPromiseID(set map[int]bool, id string, simple *bool)
 // simple means the whole request (predicates and releases) lives on one
 // shard with no composite references, so the single-store path can run it
 // with full §4/§8 semantics.
+//
+// A property predicate's satisfying instance may live anywhere, but
+// "anywhere" is bounded by the published candidate indexes: only the
+// shards the pre-filter says could contribute a slot, a candidate or a
+// migration target join the route (contributingShards). The summaries are
+// read lock-free here, so the answer is a hint, not a commitment — the
+// caller's re-route-under-locks loop and grantCross's under-lock
+// re-validation (errPrefilterWiden) are what make it sound; see the
+// Phase 1 comment in grantCross for the equivalence argument.
 func (s *ShardedManager) routeRequest(pr PromiseRequest) (set map[int]bool, simple bool) {
 	set = make(map[int]bool)
 	simple = true
-	for _, p := range pr.Predicates {
+	var props []floatPred
+	for i, p := range pr.Predicates {
 		switch p.View {
 		case AnonymousView:
 			set[s.ShardOf(p.Pool)] = true
 		case NamedView:
 			set[s.ShardOf(p.Instance)] = true
 		case PropertyView:
-			// The satisfying instance may live anywhere.
-			for i := range s.shards {
-				set[i] = true
-			}
+			props = append(props, floatPred{idx: i})
+		}
+	}
+	if len(props) > 0 {
+		for i := range s.contributingShards(pr, props) {
+			set[i] = true
+		}
+		if len(s.shards) > 1 {
+			// Property placement always runs the reservation pipeline on a
+			// multi-shard engine — grantCross owns the pre-filter counters,
+			// the flap re-validation and the global match — even when the
+			// pre-filter narrows the route to a single shard.
+			simple = false
 		}
 	}
 	for _, rid := range pr.Releases {
@@ -395,6 +425,18 @@ func (s *ShardedManager) route(req Request) (involved map[int]bool, simple bool,
 	for _, r := range req.Resources {
 		involved[s.ShardOf(r)] = true
 	}
+	// A multi-request message with a property predicate takes every lock:
+	// its later requests commit after earlier ones, and a pre-filter widen
+	// (errPrefilterWiden) fired mid-message could not be retried — the
+	// compensation path hands back grants but cannot restore committed §4
+	// releases. Single-request messages, the common and perf-critical
+	// shape, keep the shrunken set: their widen fires before any state
+	// changes, so the retry is a pure re-execution.
+	if len(s.shards) > 1 && len(req.PromiseRequests) > 1 && hasPropertyPred(req.PromiseRequests) {
+		for i := range s.shards {
+			involved[i] = true
+		}
+	}
 	if len(involved) == 0 {
 		involved[0] = true
 	}
@@ -412,6 +454,19 @@ func (s *ShardedManager) route(req Request) (involved map[int]bool, simple bool,
 		}
 	}
 	return involved, simple, primary
+}
+
+// hasPropertyPred reports whether any request carries a property-view
+// predicate — the only kind that can trigger a pre-filter widen.
+func hasPropertyPred(reqs []PromiseRequest) bool {
+	for _, pr := range reqs {
+		for _, p := range pr.Predicates {
+			if p.View == PropertyView {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // subsetOf reports whether every shard in a is also in b.
@@ -511,11 +566,20 @@ func (s *ShardedManager) Execute(ctx context.Context, req Request) (*Response, e
 				return nil, err
 			}
 			if !esc || len(involved) == len(s.shards) {
-				defer unlock()
 				if simple && !esc {
+					defer unlock()
 					return s.shards[primary].m.Execute(ctx, req)
 				}
-				return s.executeCross(ctx, req, primary)
+				resp, err := s.executeCross(ctx, req, primary, involved)
+				unlock()
+				if errors.Is(err, errPrefilterWiden) {
+					// The pre-filter flapped on a shard outside the held
+					// set; retry under every lock, where the widen signal
+					// cannot fire again (see grantCross Phase 1).
+					involved = s.allShards()
+					continue
+				}
+				return resp, err
 			}
 			again = s.allShards()
 		}
@@ -526,12 +590,15 @@ func (s *ShardedManager) Execute(ctx context.Context, req Request) (*Response, e
 	}
 }
 
-// executeCross runs a cross-shard request. Caller holds the locks of every
-// shard the request can touch.
-func (s *ShardedManager) executeCross(ctx context.Context, req Request, primary int) (*Response, error) {
+// executeCross runs a cross-shard request. Caller holds the locks of
+// exactly the shards in locked, which cover every shard the request can
+// touch. An errPrefilterWiden from grantCross propagates to the caller
+// (with earlier grants in the message compensated like any other
+// failure) so the whole message retries under the full lock set.
+func (s *ShardedManager) executeCross(ctx context.Context, req Request, primary int, locked map[int]bool) (*Response, error) {
 	resp := &Response{}
 	for _, pr := range req.PromiseRequests {
-		presp, err := s.grantCross(ctx, req.Client, pr)
+		presp, err := s.grantCross(ctx, req.Client, pr, locked)
 		if err != nil {
 			// Restore the single-store all-or-nothing contract for the
 			// message: grants already committed for earlier promise
@@ -678,7 +745,10 @@ func (s *ShardedManager) applyReleaseGroups(client string, groups map[int][]EnvE
 
 // grantCross evaluates one promise request that may span shards, running
 // the two-phase reserve → confirm/abort pipeline of reserve.go. Caller
-// holds the locks of every shard the request can touch.
+// holds the locks of exactly the shards in locked, which cover every
+// shard the request routed to; grantCross never reserves outside that
+// set, returning errPrefilterWiden instead when the re-read pre-filter
+// says it would have to (see Phase 1).
 //
 // Cancellation is checked between per-shard reservations and once more
 // before the first Confirm: a context that dies mid-pipeline aborts every
@@ -687,7 +757,7 @@ func (s *ShardedManager) applyReleaseGroups(client string, groups map[int][]EnvE
 // no state outlives the cancelled call. Once the first shard has confirmed
 // the pipeline runs to completion; cancellation can no longer split the
 // grant.
-func (s *ShardedManager) grantCross(ctx context.Context, client string, pr PromiseRequest) (PromiseResponse, error) {
+func (s *ShardedManager) grantCross(ctx context.Context, client string, pr PromiseRequest, locked map[int]bool) (PromiseResponse, error) {
 	reject := func(format string, args ...any) PromiseResponse {
 		return PromiseResponse{Correlation: pr.RequestID, Reason: fmt.Sprintf(format, args...)}
 	}
@@ -756,9 +826,10 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 				// already asked: an earlier promise request in the same
 				// message can have granted a property promise onto this
 				// instance, so the deferral answer must be re-read per
-				// request. (Only property grants create the held state,
-				// and any message containing one routes to every shard,
-				// so the full lock set is guaranteed either way.)
+				// request. The displaced slot may need to re-home on a
+				// shard the route never locked; the deferred predicate
+				// joins floating, so Phase 1's clamp check below catches
+				// that case and widens rather than plan past the held set.
 				held, err := s.shards[s.ShardOf(p.Instance)].m.propertySlotHolder(p.Instance)
 				if err != nil {
 					return PromiseResponse{}, err
@@ -804,9 +875,34 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 	// contribute a slot, a candidate instance or a migration target (see
 	// contributingShards — shards with nothing to offer are provably
 	// irrelevant to the joint match and their reservations are skipped).
-	// The held lock set covers every possible choice by construction,
-	// because routeRequest marks all shards for property view; the
-	// pre-filter reads are stable because those locks are held.
+	//
+	// Since the route itself is pre-filtered, the held lock set no longer
+	// covers every shard, and summaries of unlocked shards can move while
+	// this runs — the index flap PR 5's all-shards route made impossible.
+	// Equivalence with the single store survives the flap because of how
+	// the two outcomes linearize:
+	//
+	//   - Accepts are self-justifying: the match is solved over candidate
+	//     state read transactionally on reserved (locked) shards, and the
+	//     plan is applied and confirmed under those same locks. Extra
+	//     capacity appearing elsewhere can only keep a feasible request
+	//     feasible, so no flap invalidates an accept.
+	//   - Rejects linearize at the instant this re-read of the pre-filter
+	//     loads the unlocked shards' summaries. Locked shards are frozen
+	//     from acquisition through commit, so their state "now" is their
+	//     state at that instant; each unlocked shard's summary is its
+	//     committed state at its atomic load (commit hooks publish before
+	//     the shard lock releases). Together they form one consistent
+	//     global state in which every excluded shard provably contributes
+	//     nothing — the exact state a single store would have rejected.
+	//     A shard that becomes useful afterwards serializes the request
+	//     before that commit.
+	//
+	// The one case with no such instant is a shard the re-read names as
+	// contributing whose lock the route-time hint never took: it cannot
+	// be reserved (no lock), and excluding it would reject against a view
+	// no global state matches. That is the widen signal — the caller
+	// retries under the full lock set, where the clamp is vacuous.
 	involved := make(map[int]bool)
 	for sh := range relByShard {
 		involved[sh] = true
@@ -816,13 +912,16 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 	}
 	if len(floating) > 0 {
 		for i := range s.contributingShards(pr, floating) {
+			if !locked[i] {
+				return PromiseResponse{}, errPrefilterWiden
+			}
 			involved[i] = true
 		}
 		if len(involved) == 0 {
 			// No shard can contribute and nothing is fixed or released:
-			// reserve one shard anyway so the rejection runs through the
-			// same counters and response shape as always.
-			involved[0] = true
+			// reserve one (held) shard anyway so the rejection runs through
+			// the same counters and response shape as always.
+			involved[sortedKeys(locked)[0]] = true
 		}
 		if skipped := len(s.shards) - len(involved); skipped > 0 {
 			s.prefilterSkipped.Add(int64(skipped))
@@ -1007,12 +1106,15 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 	}, nil
 }
 
-// contributingShards is the reservation pre-filter: given a request's
-// floating predicates, it returns the set of shards that could contribute
-// anything to the joint property match, read lock-free from each shard's
-// published candidate-index summary (candidates.go). The caller holds
-// every shard's lock, so the summaries cannot move underneath the
-// decision.
+// contributingShards is the reservation (and, since the lock-set shrink,
+// routing) pre-filter: given a request's floating predicates, it returns
+// the set of shards that could contribute anything to the joint property
+// match, read lock-free from each shard's published candidate-index
+// summary (candidates.go). Summaries of shards whose lock the caller
+// holds cannot move underneath the decision; the rest can. routeRequest
+// therefore treats the answer as a hint, and grantCross re-reads it under
+// the held locks, clamping to the lock set and widening on a flap — the
+// Phase 1 comment there carries the equivalence argument.
 //
 // Two sound pruning tiers, both strictly conservative:
 //
@@ -1194,6 +1296,14 @@ func (s *ShardedManager) GrantBatch(ctx context.Context, client string, reqs []P
 				cross = append(cross, i)
 			}
 		}
+		// As in route(): a widen retry is only safe when nothing committed
+		// before it, so a multi-request batch with a property predicate
+		// takes every lock up front.
+		if len(s.shards) > 1 && len(reqs) > 1 && hasPropertyPred(reqs) {
+			for i := range s.shards {
+				involved[i] = true
+			}
+		}
 		return involved, perShard, cross
 	}
 	involved, perShard, cross := routeAll()
@@ -1205,85 +1315,100 @@ func (s *ShardedManager) GrantBatch(ctx context.Context, client string, reqs []P
 	// unlocked shards; requests whose named predicates need the global
 	// matcher escalate to the full lock set and the cross path.
 	unlock := s.lockShards(involved)
+retry:
 	for {
-		again, perShard2, cross2 := routeAll()
-		if subsetOf(again, involved) {
-			crossSet := make(map[int]bool, len(cross2))
-			for _, idx := range cross2 {
-				crossSet[idx] = true
-			}
-			needAll := false
-			if s.mode == MatchingMode {
-				for i, pr := range reqs {
-					held, err := s.promiseRequestNeedsGlobal(pr)
-					if err != nil {
-						unlock()
-						return nil, err
-					}
-					if held {
-						// The displaced slot may re-home anywhere, so the
-						// request needs the cross path under every lock.
-						crossSet[i] = true
-						needAll = true
-					}
+		for {
+			again, perShard2, cross2 := routeAll()
+			if subsetOf(again, involved) {
+				crossSet := make(map[int]bool, len(cross2))
+				for _, idx := range cross2 {
+					crossSet[idx] = true
 				}
-			}
-			if !needAll || len(involved) == len(s.shards) {
-				for sh, idxs := range perShard2 {
-					kept := idxs[:0]
-					for _, idx := range idxs {
-						if !crossSet[idx] {
-							kept = append(kept, idx)
+				needAll := false
+				if s.mode == MatchingMode {
+					for i, pr := range reqs {
+						held, err := s.promiseRequestNeedsGlobal(pr)
+						if err != nil {
+							unlock()
+							return nil, err
+						}
+						if held {
+							// The displaced slot may re-home anywhere, so the
+							// request needs the cross path under every lock.
+							crossSet[i] = true
+							needAll = true
 						}
 					}
-					perShard2[sh] = kept
 				}
-				cross2 = sortedKeys(crossSet)
-				perShard, cross = perShard2, cross2
-				break
+				if !needAll || len(involved) == len(s.shards) {
+					for sh, idxs := range perShard2 {
+						kept := idxs[:0]
+						for _, idx := range idxs {
+							if !crossSet[idx] {
+								kept = append(kept, idx)
+							}
+						}
+						perShard2[sh] = kept
+					}
+					cross2 = sortedKeys(crossSet)
+					perShard, cross = perShard2, cross2
+					break
+				}
+				again = s.allShards()
 			}
-			again = s.allShards()
+			unlock()
+			for i := range again {
+				involved[i] = true
+			}
+			unlock = s.lockShards(involved)
+		}
+
+		out := make([]PromiseResponse, len(reqs))
+		// On an internal error, grants already committed would be lost to the
+		// caller (it never sees their ids), so they are handed back first.
+		undo := func() {
+			for _, pr := range out {
+				s.releaseGrant(client, pr)
+			}
+		}
+		for _, sh := range sortedKeys(perShard) {
+			idxs := perShard[sh]
+			batch := make([]PromiseRequest, len(idxs))
+			for j, idx := range idxs {
+				batch[j] = reqs[idx]
+			}
+			resps, err := s.shards[sh].m.GrantBatch(ctx, client, batch)
+			if err != nil {
+				undo()
+				unlock()
+				return nil, err
+			}
+			for j, idx := range idxs {
+				out[idx] = resps[j]
+			}
+		}
+		for _, idx := range cross {
+			presp, err := s.grantCross(ctx, client, reqs[idx], involved)
+			if errors.Is(err, errPrefilterWiden) {
+				// The pre-filter flapped past the held lock set (see
+				// grantCross Phase 1): compensate the batch's committed
+				// grants and rerun it whole under every lock.
+				undo()
+				unlock()
+				involved = s.allShards()
+				unlock = s.lockShards(involved)
+				continue retry
+			}
+			if err != nil {
+				undo()
+				unlock()
+				return nil, err
+			}
+			out[idx] = presp
 		}
 		unlock()
-		for i := range again {
-			involved[i] = true
-		}
-		unlock = s.lockShards(involved)
+		return out, nil
 	}
-	defer unlock()
-
-	out := make([]PromiseResponse, len(reqs))
-	// On an internal error, grants already committed would be lost to the
-	// caller (it never sees their ids), so they are handed back first.
-	undo := func() {
-		for _, pr := range out {
-			s.releaseGrant(client, pr)
-		}
-	}
-	for _, sh := range sortedKeys(perShard) {
-		idxs := perShard[sh]
-		batch := make([]PromiseRequest, len(idxs))
-		for j, idx := range idxs {
-			batch[j] = reqs[idx]
-		}
-		resps, err := s.shards[sh].m.GrantBatch(ctx, client, batch)
-		if err != nil {
-			undo()
-			return nil, err
-		}
-		for j, idx := range idxs {
-			out[idx] = resps[j]
-		}
-	}
-	for _, idx := range cross {
-		presp, err := s.grantCross(ctx, client, reqs[idx])
-		if err != nil {
-			undo()
-			return nil, err
-		}
-		out[idx] = presp
-	}
-	return out, nil
 }
 
 // Release hands back the named promises atomically, exactly like

@@ -511,12 +511,22 @@ func TestPrefilterEquivalence(t *testing.T) {
 
 func runPrefilterEquivalence(t *testing.T, shards int, seed64 int64) {
 	fake := clock.NewFake(time.Date(2007, 1, 7, 0, 0, 0, 0, time.UTC))
+	// The "off" engine is the fully conservative reference: all-shards
+	// routing and reservations (no pre-filter, so no shrunken lock set)
+	// and the scan-based property planner (no index-served fast path).
+	// The "on" engine runs every optimisation; accept/reject decisions,
+	// lifecycle sentinels and pool levels must still be identical.
 	mkEngine := func(disable bool) *ShardedManager {
 		s, err := NewSharded(ShardedConfig{Shards: shards, Clock: fake, DefaultDuration: time.Hour})
 		if err != nil {
 			t.Fatal(err)
 		}
 		s.disablePrefilter = disable
+		if disable {
+			for _, sh := range s.shards {
+				sh.m.cfg.disableFastPath = true
+			}
+		}
 		return s
 	}
 	on, off := mkEngine(false), mkEngine(true)

@@ -73,16 +73,31 @@ func (inc *Incremental) Solve(initial []int) ([]int, bool) {
 		assignL[i] = j
 		matchR[j] = i
 	}
-	// Augment each unassigned left vertex.
+	// Augment each unassigned left vertex. Each search runs in two passes:
+	// the first claims a free right vertex when one exists — the common case,
+	// found with one cheap integer check per vertex and a single oracle call
+	// on the free one — and only when every compatible right vertex is taken
+	// does the second pass walk augmenting paths. The ordering does not
+	// change the result (Kuhn's algorithm is correct for any scan order); it
+	// changes the cost of the dense case from O(edges-evaluated) recursion to
+	// mostly integer scans, which is what keeps an unseeded solve within
+	// sight of a seeded one.
 	seen := make([]bool, inc.nRight)
 	var try func(i int) bool
 	try = func(i int) bool {
+		for j := 0; j < inc.nRight; j++ {
+			if matchR[j] == Unmatched && !seen[j] && inc.Edge(i, j) {
+				assignL[i] = j
+				matchR[j] = i
+				return true
+			}
+		}
 		for j := 0; j < inc.nRight; j++ {
 			if seen[j] || !inc.Edge(i, j) {
 				continue
 			}
 			seen[j] = true
-			if matchR[j] == Unmatched || try(matchR[j]) {
+			if try(matchR[j]) {
 				assignL[i] = j
 				matchR[j] = i
 				return true

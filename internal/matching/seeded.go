@@ -1,0 +1,101 @@
+package matching
+
+// SolveSeeded computes a left-saturating assignment with Kuhn's algorithm,
+// seeded from a previous assignment, over an externally supplied candidate
+// structure. It differs from Incremental in two ways that matter to callers
+// holding long-lived matcher state (the promise manager's persistent property
+// matcher, core/propmatch.go):
+//
+//   - adj restricts each left vertex to an explicit candidate list of right
+//     indices (nil means "every right vertex"), so an index that can resolve
+//     a predicate to its exact value class hands the solver a short list and
+//     the solver never touches the rest of the world.
+//   - there is no internal memo: edge is consulted directly, so a caller that
+//     caches edge results across calls (not merely within one solve) supplies
+//     its own cache and pays nothing to rebuild it here.
+//
+// initial seeds the matching (right partner per left vertex, Unmatched for
+// none); seeds that are out of range, duplicated, or fail the edge oracle are
+// ignored. Returns the assignment (right partner per left vertex) and whether
+// every left vertex was saturated; on failure no partial assignment is
+// returned.
+func SolveSeeded(nLeft, nRight int, edge func(l, r int) bool, adj func(l int) []int, initial []int) ([]int, bool) {
+	assignL := make([]int, nLeft)
+	matchR := make([]int, nRight)
+	for i := range assignL {
+		assignL[i] = Unmatched
+	}
+	for j := range matchR {
+		matchR[j] = Unmatched
+	}
+	for i, j := range initial {
+		if i >= nLeft || j < 0 || j >= nRight {
+			continue
+		}
+		if matchR[j] != Unmatched || !edge(i, j) {
+			continue
+		}
+		assignL[i] = j
+		matchR[j] = i
+	}
+	// candidates returns the right indices left vertex i may scan.
+	all := make([]int, nRight)
+	for j := range all {
+		all[j] = j
+	}
+	candidates := func(i int) []int {
+		if adj == nil {
+			return all
+		}
+		if c := adj(i); c != nil {
+			return c
+		}
+		return all
+	}
+	// Two-pass augmenting search, free-first: pass one claims a free right
+	// vertex (one int check per candidate, one edge call on the winner);
+	// only when every compatible candidate is taken does pass two walk
+	// augmenting paths. Scan order never changes the matching size.
+	seen := make([]bool, nRight)
+	var try func(i int) bool
+	try = func(i int) bool {
+		cs := candidates(i)
+		for _, j := range cs {
+			if j < 0 || j >= nRight {
+				continue
+			}
+			if matchR[j] == Unmatched && !seen[j] && edge(i, j) {
+				assignL[i] = j
+				matchR[j] = i
+				return true
+			}
+		}
+		for _, j := range cs {
+			if j < 0 || j >= nRight {
+				continue
+			}
+			if seen[j] || !edge(i, j) {
+				continue
+			}
+			seen[j] = true
+			if try(matchR[j]) {
+				assignL[i] = j
+				matchR[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < nLeft; i++ {
+		if assignL[i] != Unmatched {
+			continue
+		}
+		for k := range seen {
+			seen[k] = false
+		}
+		if !try(i) {
+			return nil, false
+		}
+	}
+	return assignL, true
+}

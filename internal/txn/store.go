@@ -222,6 +222,30 @@ func (t *Tx) Scan(tbl string, fn func(key string, row Row) bool) error {
 	return nil
 }
 
+// LockShared acquires a table-level S lock on tbl without reading anything —
+// the same lock Scan takes — and holds it until commit or abort (strict 2PL).
+// A transaction holding table S locks is guaranteed that no concurrent
+// transaction has uncommitted writes in those tables and that every prior
+// committer has finished publishing (the commit hook runs before locks are
+// released), so any out-of-band state maintained by the commit hook is
+// exactly consistent with what reads under this transaction would observe.
+// The property-matcher fast path (core/propmatch.go) is built on this.
+func (t *Tx) LockShared(tbl string) error {
+	if t.done {
+		return ErrTxDone
+	}
+	if _, err := t.lookupTable(tbl); err != nil {
+		return err
+	}
+	return t.store.lm.Acquire(t.id, tableLock(tbl), S, t.policy)
+}
+
+// Writes reports how many writes the transaction currently has in effect
+// (undo-log length; savepoint rollback truncates it). Zero means the
+// transaction has not modified any table state: everything it could read is
+// exactly the committed state.
+func (t *Tx) Writes() int { return len(t.undo) }
+
 // recordUndoLocked appends the pre-image of (tbl, key). Caller holds s.mu.
 func (t *Tx) recordUndoLocked(tab *table, tbl, key string) {
 	var prev Row
