@@ -9,12 +9,18 @@
 // Usage:
 //
 //	benchdiff [-threshold 1.30] [-min-ns 1000] OLD.json NEW.json
+//	benchdiff -history BENCH_pr5.json,BENCH_pr7.json,BENCH_pr8.json
 //
 // OLD and NEW are benchjson outputs (see BENCH_pr*.json at the repository
 // root). Benchmarks present on only one side are listed but never gate.
 // The gate also ignores benchmarks whose baseline ran a single iteration
 // (smoke rows measure compilation, not speed) or whose ns/op sits under
 // the -min-ns noise floor.
+//
+// -history takes a comma-separated list of summaries in chronological
+// order and prints each benchmark's ns/op trajectory across them — the
+// whole performance history in one table. History mode never gates; it is
+// a reading aid, not a check.
 package main
 
 import (
@@ -22,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // result mirrors cmd/benchjson's per-benchmark record.
@@ -88,14 +96,68 @@ func load(path string) (map[string]result, error) {
 	return out, nil
 }
 
+// history prints the per-benchmark ns/op trajectory across the named
+// summaries, in the order given.
+func history(paths []string) error {
+	sums := make([]map[string]result, len(paths))
+	labels := make([]string, len(paths))
+	names := make(map[string]bool)
+	for i, p := range paths {
+		s, err := load(p)
+		if err != nil {
+			return err
+		}
+		sums[i] = s
+		labels[i] = strings.TrimSuffix(filepath.Base(p), ".json")
+		for n := range s {
+			names[n] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	fmt.Printf("%-64s", "benchmark")
+	for _, l := range labels {
+		fmt.Printf(" %14s", l)
+	}
+	fmt.Println()
+	for _, n := range sorted {
+		fmt.Printf("%-64s", n)
+		for _, s := range sums {
+			if r, ok := s[n]; ok {
+				fmt.Printf(" %14.0f", r.NsPerOp)
+			} else {
+				fmt.Printf(" %14s", "-")
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 1.30, "exit nonzero when a gated benchmark's ns/op grows past this factor; 0 reports only")
 	minNs := flag.Float64("min-ns", 1000, "noise floor: benchmarks under this many ns/op never gate")
+	hist := flag.String("history", "", "comma-separated summaries in chronological order; print every benchmark's ns/op trajectory and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] OLD.json NEW.json\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] OLD.json NEW.json\n       benchdiff -history F1.json,F2.json,...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *hist != "" {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(64)
+		}
+		if err := history(strings.Split(*hist, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(64)

@@ -25,10 +25,17 @@
 //	qty:<pool>=<n>       anonymous view (quantity of pool >= n)
 //	inst:<id>            named view (instance available)
 //	prop:<expression>    property view (standard predicate syntax)
+//
+// Cluster mode: -cluster <coordinator-url> discovers the node set from the
+// coordinator's /cluster/status endpoint and drives a federated engine
+// over it — grants route to the consistent-hash owner, cross-node requests
+// run the two-phase path. `promisectl cluster status` prints the
+// coordinator's health view (add -json for machine-readable output).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -40,8 +47,10 @@ import (
 
 	"flag"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/transport"
+	"repro/promises"
 )
 
 func main() {
@@ -52,6 +61,7 @@ func main() {
 	env := flag.String("env", "", "comma-separated promise ids protecting the action")
 	release := flag.Bool("release-env", false, "release environment promises with the action")
 	jsonOut := flag.Bool("json", false, "stats/audit: fetch structured JSON instead of text")
+	clusterURL := flag.String("cluster", "", "cluster coordinator base URL; discover the node set from /cluster/status and drive a federated engine")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -62,22 +72,52 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
+
+	// The cluster status view lives on the coordinator, whichever flag
+	// named it.
+	if args[0] == "cluster" {
+		if len(args) != 2 || args[1] != "status" {
+			usage()
+		}
+		coordURL := *clusterURL
+		if coordURL == "" {
+			coordURL = *url
+		}
+		if err := cmdGet(ctx, coordURL, cluster.StatusEndpoint, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "promisectl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// eng is what every command drives: the single daemon at -url, or a
+	// federated engine over the coordinator's node set.
+	var eng promises.Engine = c
+	if *clusterURL != "" {
+		ce, err := openCluster(ctx, *clusterURL, *client, *timeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promisectl:", err)
+			os.Exit(1)
+		}
+		eng = ce
+	}
+
 	var err error
 	switch args[0] {
 	case "request":
-		gc, gctx := grantClient(c, *timeout)
-		err = cmdRequest(gctx, gc, *dur, nil, args[1:])
+		geng, gctx := grantEngine(eng, c, *clusterURL != "", *timeout)
+		err = cmdRequest(gctx, geng, *dur, nil, args[1:])
 	case "modify":
 		if len(args) < 3 {
 			usage()
 		}
-		gc, gctx := grantClient(c, *timeout)
-		err = cmdRequest(gctx, gc, *dur, []string{args[1]}, args[2:])
+		geng, gctx := grantEngine(eng, c, *clusterURL != "", *timeout)
+		err = cmdRequest(gctx, geng, *dur, []string{args[1]}, args[2:])
 	case "release":
 		if len(args) < 2 {
 			usage()
 		}
-		err = c.Release(ctx, "", args[1:]...)
+		err = eng.Release(ctx, *client, args[1:]...)
 		if err == nil {
 			fmt.Printf("released %s\n", strings.Join(args[1:], ", "))
 		}
@@ -85,23 +125,45 @@ func main() {
 		if len(args) < 2 {
 			usage()
 		}
-		err = cmdCheck(ctx, c, args[1:])
+		err = cmdCheck(ctx, eng, *client, args[1:])
 	case "watch":
-		err = cmdWatch(ctx, c, args[1:])
+		err = cmdWatch(ctx, eng, args[1:])
 	case "invoke":
 		if len(args) < 2 {
 			usage()
+		}
+		if *clusterURL != "" {
+			err = fmt.Errorf("invoke is not supported in cluster mode; target a node with -url")
+			break
 		}
 		err = cmdInvoke(ctx, c, *env, *release, args[1], args[2:])
 	case "buy":
 		if len(args) != 4 {
 			usage()
 		}
+		if *clusterURL != "" {
+			err = fmt.Errorf("buy is not supported in cluster mode; target a node with -url")
+			break
+		}
 		err = cmdBuy(ctx, c, args[1], args[2], args[3])
 	case "stats":
-		err = cmdGet(ctx, *url, "/stats", *jsonOut)
+		if *clusterURL != "" {
+			fmt.Println(eng.Stats())
+		} else {
+			err = cmdGet(ctx, *url, "/stats", *jsonOut)
+		}
 	case "audit":
-		err = cmdGet(ctx, *url, "/audit", *jsonOut)
+		if *clusterURL != "" {
+			var rep *core.AuditReport
+			if rep, err = eng.Audit(); err == nil {
+				fmt.Println(rep)
+				if !rep.Healthy() {
+					err = fmt.Errorf("audit found problems")
+				}
+			}
+		} else {
+			err = cmdGet(ctx, *url, "/audit", *jsonOut)
+		}
 	default:
 		usage()
 	}
@@ -109,6 +171,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "promisectl:", err)
 		os.Exit(1)
 	}
+}
+
+// openCluster asks the coordinator for its member list and opens a
+// federated engine over the nodes it reports.
+func openCluster(ctx context.Context, coordURL, client string, timeout time.Duration) (promises.Engine, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, coordURL+cluster.StatusEndpoint+"?format=json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator %s: %v", coordURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("coordinator %s returned %s", coordURL, resp.Status)
+	}
+	var st cluster.ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("coordinator %s: decoding status: %v", coordURL, err)
+	}
+	nodes := make(map[string]string, len(st.Nodes))
+	for _, n := range st.Nodes {
+		if n.URL != "" {
+			nodes[n.ID] = n.URL
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("coordinator %s reports no addressable nodes", coordURL)
+	}
+	return promises.Open(
+		promises.WithCluster(nodes),
+		promises.WithClientID(client),
+		promises.WithHTTPClient(&http.Client{Timeout: timeout}),
+	)
+}
+
+// grantEngine prepares the request/modify exchange (see grantClient); in
+// cluster mode the engine's HTTP client already bounds each hop.
+func grantEngine(eng promises.Engine, c *transport.Client, clustered bool, timeout time.Duration) (promises.Engine, context.Context) {
+	if clustered {
+		return eng, context.Background()
+	}
+	return grantClient(c, timeout)
 }
 
 func usage() {
@@ -121,7 +227,8 @@ func usage() {
   invoke pool-level pool=pink-widgets
   buy pink-widgets 5 prm-1
   stats                       show the manager's activity counters
-  audit                       run a server-side consistency audit`)
+  audit                       run a server-side consistency audit
+  cluster status              show the coordinator's health view (-cluster or -url names it)`)
 	os.Exit(2)
 }
 
@@ -140,7 +247,7 @@ func grantClient(c *transport.Client, timeout time.Duration) (*transport.Client,
 // per event; with -exit-on it returns successfully as soon as an event of
 // that type arrives. Its flags follow the subcommand
 // (`watch -exit-on expired prm-1 ...`), so it parses its own set.
-func cmdWatch(ctx context.Context, c *transport.Client, args []string) error {
+func cmdWatch(ctx context.Context, eng promises.Engine, args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	types := fs.String("types", "", "comma-separated event types to stream (default all)")
 	client := fs.String("client", "", "only events for this client's promises (default all)")
@@ -161,7 +268,7 @@ func cmdWatch(ctx context.Context, c *transport.Client, args []string) error {
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	events, err := c.Watch(ctx, opts)
+	events, err := eng.Watch(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -250,12 +357,12 @@ func parsePredicates(args []string) ([]core.Predicate, error) {
 	return out, nil
 }
 
-func cmdRequest(ctx context.Context, c *transport.Client, d time.Duration, releases, predArgs []string) error {
+func cmdRequest(ctx context.Context, eng promises.Engine, d time.Duration, releases, predArgs []string) error {
 	preds, err := parsePredicates(predArgs)
 	if err != nil {
 		return err
 	}
-	resp, err := c.Execute(ctx, core.Request{PromiseRequests: []core.PromiseRequest{{
+	resp, err := eng.Execute(ctx, core.Request{PromiseRequests: []core.PromiseRequest{{
 		Predicates: preds,
 		Duration:   d,
 		Releases:   releases,
@@ -272,8 +379,8 @@ func cmdRequest(ctx context.Context, c *transport.Client, d time.Duration, relea
 }
 
 // cmdCheck reports each promise's usability in one round trip.
-func cmdCheck(ctx context.Context, c *transport.Client, ids []string) error {
-	errs, err := c.CheckBatch(ctx, "", ids)
+func cmdCheck(ctx context.Context, eng promises.Engine, client string, ids []string) error {
+	errs, err := eng.CheckBatch(ctx, client, ids)
 	if err != nil {
 		return err
 	}

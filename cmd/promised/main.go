@@ -33,6 +33,20 @@
 // The wire protocol is the §6 promise protocol over XML; see
 // internal/protocol. Try it with cmd/promisectl, or from code with
 // promises.Open(promises.WithRemote(url)).
+//
+// Clustering: -node-id names the daemon as a cluster member (promise ids
+// gain the "<id>!" namespace the federation layer routes by), and
+//
+//	promised -coordinator -nodes n0=http://h0:8642,n1=http://h1:8642 [-addr :8640]
+//	         [-probe-every 1s] [-canary-max 250ms]
+//
+// runs the control-plane coordinator instead of a promise manager: it
+// health-checks the named nodes, drains slow ones by migrating their
+// promise slots to ring successors, and serves GET /cluster/status (text,
+// or ?format=json). Grants never pass through the coordinator; point
+// clients at the nodes (promises.WithCluster) or at the coordinator's
+// status endpoint via promisectl -cluster, which discovers the node set
+// from it. See docs/operations.md, "Running a cluster".
 package main
 
 import (
@@ -47,9 +61,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/transport"
@@ -80,7 +96,17 @@ func main() {
 	syncEvery := flag.Duration("sync-every", 0, "with -sync interval, the group-fsync cadence; 0 means 50ms")
 	ckptEvery := flag.Duration("checkpoint-every", 0, "with -data-dir, how often the log compacts into a checkpoint; 0 means 1m, negative disables")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+	nodeID := flag.String("node-id", "", "cluster member id; namespaces promise ids as '<id>!…' for federation routing")
+	coordinator := flag.Bool("coordinator", false, "run the cluster coordinator (health checks, drains, /cluster/status) instead of a promise manager")
+	nodes := flag.String("nodes", "", "with -coordinator: comma-separated id=url member list")
+	probeEvery := flag.Duration("probe-every", time.Second, "with -coordinator: health-probe interval")
+	canaryMax := flag.Duration("canary-max", 250*time.Millisecond, "with -coordinator: grant-latency budget before a node is considered slow")
 	flag.Parse()
+
+	if *coordinator {
+		runCoordinator(*addr, *nodes, *probeEvery, *canaryMax)
+		return
+	}
 
 	shardsSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -117,6 +143,9 @@ func main() {
 		if *ckptEvery != 0 {
 			opts = append(opts, promises.WithCheckpointEvery(*ckptEvery))
 		}
+	}
+	if *nodeID != "" {
+		opts = append(opts, promises.WithNodeID(*nodeID))
 	}
 	eng, err := promises.Open(append(opts, promises.WithShards(*shards))...)
 	if err != nil {
@@ -200,6 +229,54 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("promised: stopped")
+}
+
+// runCoordinator serves the cluster control plane: health probes over the
+// member list, drains of slow nodes, and the /cluster/status endpoint.
+func runCoordinator(addr, nodeList string, probeEvery, canaryMax time.Duration) {
+	if nodeList == "" {
+		log.Fatalf("promised: -coordinator requires -nodes id=url,...")
+	}
+	var ports []cluster.NodePort
+	for _, ent := range strings.Split(nodeList, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(ent), "=")
+		if !ok || id == "" || url == "" {
+			log.Fatalf("promised: -nodes entry %q: want id=url", ent)
+		}
+		ports = append(ports, cluster.NewHTTPPort(id, url, "cluster-coordinator", nil))
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Ports:     ports,
+		CanaryMax: canaryMax,
+	})
+	if err != nil {
+		log.Fatalf("promised: %v", err)
+	}
+
+	runCtx, cancel := context.WithCancel(context.Background())
+	go coord.Run(runCtx, probeEvery)
+
+	httpSrv := &http.Server{Addr: addr, Handler: coord.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("promised: %v — shutting down coordinator", s)
+		cancel()
+		ctx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+		defer stop()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("promised: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("promised: cluster coordinator listening on %s (%d nodes, probe every %v)",
+		addr, len(ports), probeEvery)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("promised: coordinator stopped")
 }
 
 // seedData installs one of the demo datasets used throughout the examples,

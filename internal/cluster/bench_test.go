@@ -1,0 +1,84 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/simulator"
+	"repro/internal/core"
+)
+
+// BenchmarkClusterGrant prices the federation tax: a single-pool grant is
+// ring-routed straight to its owner (one round trip, no coordinator),
+// while a grant spanning two nodes pays the reserve/confirm two-phase
+// pipeline. Each iteration grants and releases so capacity stays level.
+func BenchmarkClusterGrant(b *testing.B) {
+	newBenchSim := func(b *testing.B) (*simulator.Cluster, *cluster.Engine) {
+		sim, err := simulator.New(simulator.Config{Nodes: []string{"n0", "n1", "n2"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := sim.Engine(core.FirstFitMode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = eng.Close() })
+		return sim, eng
+	}
+	poolOn := func(b *testing.B, sim *simulator.Cluster, node string) string {
+		b.Helper()
+		for i := 0; i < 10000; i++ {
+			name := fmt.Sprintf("bpool-%d", i)
+			if sim.Ring().Owner(name) == node {
+				if err := sim.CreatePool(name, 1<<20, nil); err != nil {
+					b.Fatal(err)
+				}
+				return name
+			}
+		}
+		b.Fatalf("no pool name owned by %s", node)
+		return ""
+	}
+	run := func(b *testing.B, eng *cluster.Engine, reqs []core.PromiseRequest) {
+		b.Helper()
+		resps, err := eng.GrantBatch(bg, "bench", reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resps[0].Accepted {
+			b.Fatalf("bench grant rejected: %s", resps[0].Reason)
+		}
+		if err := eng.Release(bg, "bench", resps[0].PromiseID); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		sim, eng := newBenchSim(b)
+		pool := poolOn(b, sim, "n1")
+		req := []core.PromiseRequest{{
+			Predicates: []core.Predicate{core.Quantity(pool, 1)},
+			Duration:   time.Minute,
+		}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, eng, req)
+		}
+	})
+
+	b.Run("cross-node", func(b *testing.B) {
+		sim, eng := newBenchSim(b)
+		pa := poolOn(b, sim, "n0")
+		pb := poolOn(b, sim, "n2")
+		req := []core.PromiseRequest{{
+			Predicates: []core.Predicate{core.Quantity(pa, 1), core.Quantity(pb, 1)},
+			Duration:   time.Minute,
+		}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, eng, req)
+		}
+	})
+}

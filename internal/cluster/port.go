@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// NodePort is everything the cluster needs from one member node: the
+// ordinary engine surface for routed traffic, the federation verbs for
+// cross-node grants and drains, and the health probes the coordinator
+// runs. transport.Client provides all of it over HTTP (see HTTPPort); the
+// simulator provides an in-process implementation with injectable faults.
+type NodePort interface {
+	// ID is the node's cluster identity — also its promise-id namespace
+	// (ids minted by the node start "<id>!").
+	ID() string
+	// URL locates the node for tools; "" when the node is not addressable
+	// (simulated ports).
+	URL() string
+
+	Execute(ctx context.Context, req core.Request) (*core.Response, error)
+	GrantBatch(ctx context.Context, client string, reqs []core.PromiseRequest) ([]core.PromiseResponse, error)
+	CheckBatch(ctx context.Context, client string, ids []string) ([]error, error)
+	Release(ctx context.Context, client string, ids ...string) error
+	Watch(ctx context.Context, opts core.WatchOptions) (<-chan core.Event, error)
+	Stats() core.Stats
+	Audit() (*core.AuditReport, error)
+
+	FedReserve(ctx context.Context, client string, spec core.FedReserveSpec) (*core.FedReserveResult, error)
+	FedConfirm(ctx context.Context, sessionID string, spec core.FedConfirmSpec) ([]core.GrantedPart, error)
+	FedAbort(ctx context.Context, sessionID string) error
+	FedSummary(ctx context.Context) (core.NodeSummary, error)
+
+	// Ping is the liveness probe: nil means the node answered.
+	Ping(ctx context.Context) error
+	// Canary measures one cheap end-to-end engine operation and returns
+	// its latency — the coordinator's slowness signal. Simulated ports
+	// report an injected latency, keeping tests deterministic.
+	Canary(ctx context.Context) (time.Duration, error)
+
+	Close() error
+}
+
+// HTTPPort adapts a transport.Client into a NodePort.
+type HTTPPort struct {
+	*transport.Client
+	id string
+}
+
+// NewHTTPPort returns a port for the node with the given cluster id at
+// baseURL. client is the default promise-client identity; hc may be nil.
+func NewHTTPPort(id, baseURL, client string, hc *http.Client) *HTTPPort {
+	return &HTTPPort{
+		Client: &transport.Client{BaseURL: baseURL, Client: client, HTTP: hc},
+		id:     id,
+	}
+}
+
+// ID implements NodePort.
+func (p *HTTPPort) ID() string { return p.id }
+
+// URL implements NodePort.
+func (p *HTTPPort) URL() string { return p.Client.BaseURL }
+
+// Ping implements NodePort: a stats scrape answers iff the daemon serves.
+func (p *HTTPPort) Ping(ctx context.Context) error {
+	_, err := p.Client.FetchStats(ctx)
+	return err
+}
+
+// Canary implements NodePort: it times a single-id CheckBatch, which runs
+// the full envelope path through the node's engine locks — a grant-latency
+// proxy that never mutates state.
+func (p *HTTPPort) Canary(ctx context.Context) (time.Duration, error) {
+	start := time.Now()
+	if _, err := p.Client.CheckBatch(ctx, "cluster-canary", []string{"canary-probe"}); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

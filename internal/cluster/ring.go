@@ -1,0 +1,133 @@
+// Package cluster federates several promised nodes into one promise maker:
+// a consistent-hash ring assigns pool and instance ownership to nodes, an
+// Engine routes single-node traffic directly (one round trip) and drives
+// the reserve/confirm/abort two-phase path for grants that span nodes, and
+// a Coordinator health-checks the member set, draining slow nodes by
+// migrating their promise slots to successors. The deterministic
+// cluster/simulator subpackage runs N in-process nodes behind fake
+// transports for failover tests.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per member when Config leaves it
+// zero. More virtual nodes smooth the ownership split at the cost of a
+// larger ring.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash assignment of resource names to node ids:
+// every member appears at VNodes pseudo-random points on a hash circle,
+// and a name belongs to the member whose point follows the name's hash.
+// The ring is deterministic given the member list — every engine,
+// coordinator and tool that knows the members derives identical ownership
+// with no agreement protocol.
+type Ring struct {
+	members []string
+	points  []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV mixes weakly on short, similar strings ("n0#1", "n0#2", …),
+	// which clumps ring points and skews ownership badly; a splitmix64
+	// finalizer restores avalanche.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewRing builds a ring over the given member ids. vnodes <= 0 means
+// DefaultVNodes.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate ring member %q", sorted[i])
+		}
+	}
+	r := &Ring{members: sorted, points: make([]ringPoint, 0, len(sorted)*vnodes)}
+	for _, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", m, v)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Owner returns the member owning the given resource name: the successor
+// point of the name's hash on the circle.
+func (r *Ring) Owner(name string) string {
+	h := hash64(name)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the sorted member ids.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// SuccessorOrder returns the other members in the order a drain should try
+// them as migration targets: walking the circle from the member's first
+// point, deduplicated. Deterministic given the member list.
+func (r *Ring) SuccessorOrder(member string) []string {
+	start := hash64(fmt.Sprintf("%s#%d", member, 0))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash > start })
+	seen := map[string]bool{member: true}
+	var out []string
+	for n := 0; n < len(r.points) && len(out) < len(r.members)-1; n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
+// Share reports the fraction of a large keyspace sample owned by each
+// member — a balance diagnostic for tests and status output.
+func (r *Ring) Share(samples int) map[string]float64 {
+	if samples <= 0 {
+		samples = 4096
+	}
+	counts := make(map[string]int, len(r.members))
+	for i := 0; i < samples; i++ {
+		counts[r.Owner(fmt.Sprintf("sample-key-%d", i))]++
+	}
+	out := make(map[string]float64, len(counts))
+	for m, c := range counts {
+		out[m] = float64(c) / float64(samples)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The ring is the cluster's only agreement mechanism: every engine and
+// coordinator derives ownership independently, so identical member lists
+// must yield identical rings regardless of construction order.
+func TestRingDeterministicAcrossMemberOrder(t *testing.T) {
+	a, err := NewRing([]string{"n0", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n2", "n0", "n1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("pool-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %q differs across member order: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingRejectsBadMemberSets(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"n0", "n0"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+// Virtual nodes keep the split roughly fair: no member of a 3-node ring
+// should own a wildly disproportionate share of the keyspace.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"n0", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, share := range r.Share(8192) {
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.2f of the keyspace; want a roughly fair split", m, share)
+		}
+	}
+}
+
+// Removing one member must only re-home the keys it owned: everything
+// else keeps its owner (the property that makes failover cheap).
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	full, err := NewRing([]string{"n0", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"n0", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before != "n1" && after != before {
+			t.Fatalf("key %q moved %s -> %s though its owner never left", key, before, after)
+		}
+	}
+}
+
+func TestRingSuccessorOrder(t *testing.T) {
+	r, err := NewRing([]string{"n0", "n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range r.Members() {
+		order := r.SuccessorOrder(m)
+		if len(order) != 3 {
+			t.Fatalf("SuccessorOrder(%s) = %v; want the 3 other members", m, order)
+		}
+		seen := map[string]bool{m: true}
+		for _, s := range order {
+			if seen[s] {
+				t.Fatalf("SuccessorOrder(%s) repeats %s", m, s)
+			}
+			seen[s] = true
+		}
+	}
+	// Deterministic across calls.
+	a, b := r.SuccessorOrder("n1"), r.SuccessorOrder("n1")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SuccessorOrder not deterministic: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Package simulator runs an N-node promised cluster entirely in-process:
+// every node is a real core.ShardedManager behind a fake transport port
+// with injectable partitions, latencies, crashes and mid-operation
+// failures, all driven by one shared fake clock. Failover, drain and
+// split-brain scenarios become deterministic table-driven tests — no
+// sockets, no sleeps, no flakes.
+package simulator
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/predicate"
+)
+
+// Config sizes a simulated cluster.
+type Config struct {
+	// Nodes are the member ids (e.g. "n0", "n1", "n2").
+	Nodes []string
+	// Shards per node (0 = 4).
+	Shards int
+	// Mode is each node's property mode.
+	Mode core.PropertyMode
+	// Start anchors the shared fake clock; zero means 2030-01-01T00:00Z.
+	Start time.Time
+	// VNodes sizes the ownership ring (0 = cluster.DefaultVNodes).
+	VNodes int
+}
+
+// Cluster is a set of in-process nodes sharing one fake clock and one
+// ownership ring.
+type Cluster struct {
+	clk   *clock.Fake
+	ring  *cluster.Ring
+	nodes map[string]*Node
+	order []string
+}
+
+// Node is one simulated member: a real sharded engine plus its fault port.
+type Node struct {
+	id   string
+	mgr  *core.ShardedManager
+	port *Port
+}
+
+// New builds a simulated cluster.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("simulator: need at least one node")
+	}
+	start := cfg.Start
+	if start.IsZero() {
+		start = time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 4
+	}
+	ring, err := cluster.NewRing(cfg.Nodes, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		clk:   clock.NewFake(start),
+		ring:  ring,
+		nodes: make(map[string]*Node, len(cfg.Nodes)),
+		order: ring.Members(),
+	}
+	for _, id := range c.order {
+		mgr, merr := core.NewSharded(core.ShardedConfig{
+			Shards:       shards,
+			Clock:        c.clk,
+			PropertyMode: cfg.Mode,
+			IDNamespace:  id,
+		})
+		if merr != nil {
+			return nil, fmt.Errorf("simulator: node %s: %w", id, merr)
+		}
+		n := &Node{id: id, mgr: mgr}
+		n.port = &Port{node: n, canary: time.Millisecond, calls: make(map[string]int), fails: make(map[string]*failSpec)}
+		c.nodes[id] = n
+	}
+	return c, nil
+}
+
+// Clock returns the shared fake clock.
+func (c *Cluster) Clock() *clock.Fake { return c.clk }
+
+// Advance moves the shared clock (expiries and fed-session TTLs fire).
+func (c *Cluster) Advance(d time.Duration) { c.clk.Advance(d) }
+
+// Ring returns the ownership ring.
+func (c *Cluster) Ring() *cluster.Ring { return c.ring }
+
+// Node returns a member by id.
+func (c *Cluster) Node(id string) *Node { return c.nodes[id] }
+
+// Ports returns every member's port in ring order.
+func (c *Cluster) Ports() []cluster.NodePort {
+	out := make([]cluster.NodePort, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.nodes[id].port)
+	}
+	return out
+}
+
+// Engine builds a cluster engine over the simulated ports.
+func (c *Cluster) Engine(mode core.PropertyMode) (*cluster.Engine, error) {
+	return cluster.New(cluster.Config{Ports: c.Ports(), Clock: c.clk, Mode: mode})
+}
+
+// Coordinator builds a coordinator over the simulated ports.
+func (c *Cluster) Coordinator(cfg cluster.CoordinatorConfig) (*cluster.Coordinator, error) {
+	cfg.Ports = c.Ports()
+	cfg.Clock = c.clk
+	return cluster.NewCoordinator(cfg)
+}
+
+// CreatePool seeds a pool on its ring owner.
+func (c *Cluster) CreatePool(id string, onHand int64, props map[string]predicate.Value) error {
+	return c.nodes[c.ring.Owner(id)].mgr.CreatePool(id, onHand, props)
+}
+
+// CreateInstance seeds a named instance on its ring owner.
+func (c *Cluster) CreateInstance(id string, props map[string]predicate.Value) error {
+	return c.nodes[c.ring.Owner(id)].mgr.CreateInstance(id, props)
+}
+
+// PoolLevel reads a pool's level at its ring owner.
+func (c *Cluster) PoolLevel(pool string) (int64, error) {
+	return c.nodes[c.ring.Owner(pool)].mgr.PoolLevel(pool)
+}
+
+// Manager exposes a node's engine directly (seeding, assertions).
+func (n *Node) Manager() *core.ShardedManager { return n.mgr }
+
+// Port returns the node's fault port.
+func (n *Node) Port() *Port { return n.port }
+
+// ID returns the node id.
+func (n *Node) ID() string { return n.id }
+
+// FailMode says when an injected failure strikes relative to the real
+// operation.
+type FailMode int
+
+const (
+	// FailBefore returns the error without running the operation — the
+	// request never reached the node (a partition mid-pipeline).
+	FailBefore FailMode = iota
+	// FailAfter runs the operation, then returns an error anyway — the
+	// node did the work but the reply was lost (a crash mid-confirm).
+	FailAfter
+)
+
+type failSpec struct {
+	mode FailMode
+	n    int
+}
+
+// Port implements cluster.NodePort in-process with injectable faults.
+type Port struct {
+	node *Node
+
+	mu          sync.Mutex
+	crashed     bool
+	partitioned bool
+	canary      time.Duration
+	calls       map[string]int
+	fails       map[string]*failSpec
+}
+
+// errUnreachable is what every operation returns while the node is
+// crashed or partitioned away.
+func (p *Port) errUnreachable() error {
+	return fmt.Errorf("simulator: node %s unreachable", p.node.id)
+}
+
+// gate counts the call, enforces reachability, and applies any injected
+// failure. run is the real operation; it executes unless a FailBefore
+// strikes, and its result is discarded when a FailAfter strikes.
+func (p *Port) gate(op string, run func() error) error {
+	p.mu.Lock()
+	p.calls[op]++
+	if p.crashed || p.partitioned {
+		p.mu.Unlock()
+		return p.errUnreachable()
+	}
+	var strike *failSpec
+	if f := p.fails[op]; f != nil && f.n > 0 {
+		f.n--
+		strike = f
+	}
+	p.mu.Unlock()
+	if strike != nil && strike.mode == FailBefore {
+		return fmt.Errorf("simulator: injected failure before %s on %s", op, p.node.id)
+	}
+	err := run()
+	if strike != nil && strike.mode == FailAfter {
+		return fmt.Errorf("simulator: injected failure after %s on %s (operation applied, reply lost)", op, p.node.id)
+	}
+	return err
+}
+
+// Crash kills the node: in-flight federated sessions abort (their
+// reservations were in memory) while committed promises survive in the
+// store, and every subsequent call fails until Restart — the durable-node
+// model.
+func (p *Port) Crash() {
+	p.mu.Lock()
+	p.crashed = true
+	p.mu.Unlock()
+	p.node.mgr.FedAbortAll()
+}
+
+// Restart brings a crashed node back with its committed state intact.
+func (p *Port) Restart() {
+	p.mu.Lock()
+	p.crashed = false
+	p.mu.Unlock()
+}
+
+// Partition cuts (or heals) the node's network without killing it.
+func (p *Port) Partition(cut bool) {
+	p.mu.Lock()
+	p.partitioned = cut
+	p.mu.Unlock()
+}
+
+// SetCanaryLatency injects the latency Canary reports — how a test makes
+// a node "slow" without sleeping.
+func (p *Port) SetCanaryLatency(d time.Duration) {
+	p.mu.Lock()
+	p.canary = d
+	p.mu.Unlock()
+}
+
+// FailNext injects failures: the next n calls of op fail with the given
+// mode. Op names match the NodePort method names ("FedConfirm", ...).
+func (p *Port) FailNext(op string, mode FailMode, n int) {
+	p.mu.Lock()
+	p.fails[op] = &failSpec{mode: mode, n: n}
+	p.mu.Unlock()
+}
+
+// Calls reports how many times op was attempted (reachable or not).
+func (p *Port) Calls(op string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls[op]
+}
+
+// ID implements cluster.NodePort.
+func (p *Port) ID() string { return p.node.id }
+
+// URL implements cluster.NodePort; simulated nodes are not addressable.
+func (p *Port) URL() string { return "" }
+
+// Execute implements cluster.NodePort.
+func (p *Port) Execute(ctx context.Context, req core.Request) (*core.Response, error) {
+	var out *core.Response
+	err := p.gate("Execute", func() (err error) {
+		out, err = p.node.mgr.Execute(ctx, req)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GrantBatch implements cluster.NodePort.
+func (p *Port) GrantBatch(ctx context.Context, client string, reqs []core.PromiseRequest) ([]core.PromiseResponse, error) {
+	var out []core.PromiseResponse
+	err := p.gate("GrantBatch", func() (err error) {
+		out, err = p.node.mgr.GrantBatch(ctx, client, reqs)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CheckBatch implements cluster.NodePort.
+func (p *Port) CheckBatch(ctx context.Context, client string, ids []string) ([]error, error) {
+	var out []error
+	err := p.gate("CheckBatch", func() (err error) {
+		out, err = p.node.mgr.CheckBatch(ctx, client, ids)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Release implements cluster.NodePort.
+func (p *Port) Release(ctx context.Context, client string, ids ...string) error {
+	return p.gate("Release", func() error {
+		return p.node.mgr.Release(ctx, client, ids...)
+	})
+}
+
+// Watch implements cluster.NodePort. The subscription survives later
+// crashes of the port (an established stream is the engine's, not the
+// transport's); tests that want a severed stream cancel the context.
+func (p *Port) Watch(ctx context.Context, opts core.WatchOptions) (<-chan core.Event, error) {
+	var out <-chan core.Event
+	err := p.gate("Watch", func() (err error) {
+		out, err = p.node.mgr.Watch(ctx, opts)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats implements cluster.NodePort.
+func (p *Port) Stats() core.Stats {
+	p.mu.Lock()
+	dead := p.crashed || p.partitioned
+	p.mu.Unlock()
+	if dead {
+		return core.Stats{}
+	}
+	return p.node.mgr.Stats()
+}
+
+// Audit implements cluster.NodePort.
+func (p *Port) Audit() (*core.AuditReport, error) {
+	var out *core.AuditReport
+	err := p.gate("Audit", func() (err error) {
+		out, err = p.node.mgr.Audit()
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FedReserve implements cluster.NodePort.
+func (p *Port) FedReserve(ctx context.Context, client string, spec core.FedReserveSpec) (*core.FedReserveResult, error) {
+	var out *core.FedReserveResult
+	err := p.gate("FedReserve", func() (err error) {
+		out, err = p.node.mgr.FedReserve(ctx, client, spec)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FedConfirm implements cluster.NodePort.
+func (p *Port) FedConfirm(ctx context.Context, sessionID string, spec core.FedConfirmSpec) ([]core.GrantedPart, error) {
+	var out []core.GrantedPart
+	err := p.gate("FedConfirm", func() (err error) {
+		out, err = p.node.mgr.FedConfirm(ctx, sessionID, spec)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FedAbort implements cluster.NodePort.
+func (p *Port) FedAbort(ctx context.Context, sessionID string) error {
+	return p.gate("FedAbort", func() error {
+		p.node.mgr.FedAbort(sessionID)
+		return nil
+	})
+}
+
+// FedSummary implements cluster.NodePort.
+func (p *Port) FedSummary(ctx context.Context) (core.NodeSummary, error) {
+	var out core.NodeSummary
+	err := p.gate("FedSummary", func() error {
+		out = p.node.mgr.FedSummary()
+		return nil
+	})
+	return out, err
+}
+
+// Ping implements cluster.NodePort.
+func (p *Port) Ping(ctx context.Context) error {
+	return p.gate("Ping", func() error { return nil })
+}
+
+// Canary implements cluster.NodePort: the injected latency, never a sleep.
+func (p *Port) Canary(ctx context.Context) (time.Duration, error) {
+	p.mu.Lock()
+	lat := p.canary
+	p.mu.Unlock()
+	err := p.gate("Canary", func() error { return nil })
+	if err != nil {
+		return 0, err
+	}
+	return lat, nil
+}
+
+// Close implements cluster.NodePort.
+func (p *Port) Close() error {
+	return p.node.mgr.Close()
+}
+
+var _ cluster.NodePort = (*Port)(nil)

@@ -430,6 +430,12 @@ func (s *ShardedManager) applyDirRecord(rec *walRecord) {
 			s.restoreComposite(rec.Comp)
 		}
 	case dirMove:
+		if rec.Shard < 0 {
+			// A federated migrate-out: the slot left this node entirely,
+			// so its moved entry (if any) is retired rather than re-homed.
+			s.moved.Delete(rec.Promise)
+			return
+		}
 		s.moved.Store(rec.Promise, rec.Shard)
 		s.dirMu.Lock()
 		cid, ok := s.partOf[rec.Promise]

@@ -63,6 +63,13 @@ type ShardedManager struct {
 	clk    clock.Clock
 	mode   PropertyMode
 
+	// ns is the node-id namespace prefix stamped onto every promise id
+	// this manager issues ("n0!" for node n0, "" when not federated), so
+	// ids stay globally unique across a cluster and route back to their
+	// issuing node the same way the shard prefix routes them back to
+	// their shard. See ShardedConfig.IDNamespace.
+	ns string
+
 	// bus is the event bus shared by every shard: per-shard lifecycle
 	// streams merge into one totally ordered sequence, so Watch spans the
 	// whole engine and events keep their promise id across a cross-shard
@@ -95,6 +102,12 @@ type ShardedManager struct {
 	// the read — the answer is definitive) from a possible race with a
 	// migration (retry, then freeze under the full lock set).
 	migSeq atomic.Uint64
+
+	// fedMu guards the open federated sessions (fed.go): reservations
+	// held on behalf of a remote cluster coordinator, keyed by session id.
+	fedMu       sync.Mutex
+	fedSessions map[string]*fedSession
+	fedIDs      *ids.Generator
 
 	// disablePrefilter turns the candidate-index pre-filter off for both
 	// routing (the lock set) and reservations, so tests can pin
@@ -192,6 +205,13 @@ type ShardedConfig struct {
 	// ReplayRing sizes the shared event bus's replay ring, as in
 	// Config.ReplayRing.
 	ReplayRing int
+	// IDNamespace, when non-empty, prefixes every promise id with
+	// "<namespace>!" — the cluster layer sets it to the node id so ids
+	// issued by different nodes never collide and self-describe their
+	// issuing node. It must not contain '!' and must stay stable across
+	// restarts of a durable node (the id prefix is how recovered ids
+	// route). Empty (the default) issues classic un-namespaced ids.
+	IDNamespace string
 }
 
 // NewSharded creates a ShardedManager with cfg.Shards independent shards.
@@ -203,11 +223,19 @@ func NewSharded(cfg ShardedConfig) (*ShardedManager, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.System{}
 	}
+	ns := ""
+	if cfg.IDNamespace != "" {
+		if strings.ContainsAny(cfg.IDNamespace, "!+ \t\n") {
+			return nil, fmt.Errorf("%w: id namespace %q may not contain '!', '+' or whitespace", ErrBadRequest, cfg.IDNamespace)
+		}
+		ns = cfg.IDNamespace + "!"
+	}
 	s := &ShardedManager{
 		clk:     cfg.Clock,
 		mode:    cfg.PropertyMode,
+		ns:      ns,
 		bus:     NewEventBusCap(cfg.ReplayRing),
-		compIDs: ids.New("shp"),
+		compIDs: ids.New(ns + "shp"),
 		partOf:  make(map[string]string),
 	}
 	for i := 0; i < n; i++ {
@@ -221,7 +249,7 @@ func NewSharded(cfg ShardedConfig) (*ShardedManager, error) {
 			Suppliers:        cfg.Suppliers,
 			MaxRetries:       cfg.MaxRetries,
 			Actions:          cfg.Actions,
-			IDPrefix:         fmt.Sprintf("%s%d", shardIDPrefix, i),
+			IDPrefix:         fmt.Sprintf("%s%s%d", ns, shardIDPrefix, i),
 			ExpiryWarning:    cfg.ExpiryWarning,
 			bus:              s.bus,
 			// Deadline-driven expiry mutates the shard's store, so it runs
@@ -260,14 +288,17 @@ func (s *ShardedManager) ShardOf(resourceID string) int {
 }
 
 // ownerShard maps a promise id back to its shard: the moved directory for
-// migrated property sub-promises, the "prm<i>-" prefix otherwise. ok is
-// false for composite ids and ids this manager never issued. Lock-free:
+// migrated property sub-promises, the "<ns>prm<i>-" prefix otherwise. ok
+// is false for composite ids and ids this manager never issued — a
+// federated id from another node's namespace resolves only through the
+// moved directory (a slot migrated in keeps its original id). Lock-free:
 // this sits on the hot path of every check.
 func (s *ShardedManager) ownerShard(id string) (int, bool) {
 	if sh, migrated := s.moved.Load(id); migrated {
 		return sh.(int), true
 	}
-	if !strings.HasPrefix(id, shardIDPrefix) {
+	id, ok := strings.CutPrefix(id, s.ns)
+	if !ok || !strings.HasPrefix(id, shardIDPrefix) {
 		return 0, false
 	}
 	rest := id[len(shardIDPrefix):]
@@ -282,7 +313,15 @@ func (s *ShardedManager) ownerShard(id string) (int, bool) {
 	return n, true
 }
 
-func isCompositeID(id string) bool { return strings.HasPrefix(id, compositeIDPrefix) }
+// isCompositeID recognizes directory-tracked composite ids, including
+// node-namespaced ones ("n0!shp-3"): everything through a '!' is a
+// namespace, what remains must carry the composite prefix.
+func isCompositeID(id string) bool {
+	if i := strings.IndexByte(id, '!'); i >= 0 {
+		id = id[i+1:]
+	}
+	return strings.HasPrefix(id, compositeIDPrefix)
+}
 
 // lookupComposite returns the directory entry for id, or nil when missing
 // or owned by a different client (pass client "" to skip the owner check).

@@ -49,6 +49,15 @@ type Header struct {
 	Batch *BatchRequest `xml:"batch-request,omitempty"`
 	// BatchResult answers a Batch.
 	BatchResult *BatchResponse `xml:"batch-response,omitempty"`
+	// Reserve/Confirm/Abort are the federated two-phase grant elements
+	// (fed.go): a cluster coordinator drives one node's slice of a
+	// cross-node grant through them. Each *Result answers its request.
+	Reserve       *ReserveRequest  `xml:"reserve-request,omitempty"`
+	ReserveResult *ReserveResponse `xml:"reserve-response,omitempty"`
+	Confirm       *ConfirmRequest  `xml:"confirm-request,omitempty"`
+	ConfirmResult *ConfirmResponse `xml:"confirm-response,omitempty"`
+	Abort         *AbortRequest    `xml:"abort-request,omitempty"`
+	AbortResult   *AbortResponse   `xml:"abort-response,omitempty"`
 }
 
 // BatchRequest is the <batch-request> element: independent promise

@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// chaosProxy is a TCP proxy that kills the first N connections mid-flight
+// (reads a little, then resets), then pipes the rest to the backend — the
+// client sees the failure only after its request left the machine.
+type chaosProxy struct {
+	ln      net.Listener
+	backend string
+
+	mu    sync.Mutex
+	drops int
+}
+
+func newChaosProxy(t *testing.T, backend string, drops int) *chaosProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProxy{ln: ln, backend: strings.TrimPrefix(backend, "http://"), drops: drops}
+	go p.serve()
+	t.Cleanup(func() { ln.Close() })
+	return p
+}
+
+func (p *chaosProxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+func (p *chaosProxy) serve() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		kill := p.drops > 0
+		if kill {
+			p.drops--
+		}
+		p.mu.Unlock()
+		if kill {
+			// Read part of the request so the client finished (or is
+			// finishing) its send, then reset — a mid-flight death, not a
+			// refused dial.
+			buf := make([]byte, 256)
+			_, _ = conn.Read(buf)
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.SetLinger(0) // RST, so the peer sees a reset
+			}
+			conn.Close()
+			continue
+		}
+		go p.pipe(conn)
+	}
+}
+
+func (p *chaosProxy) pipe(down net.Conn) {
+	up, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		down.Close()
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := down.Read(buf)
+			if n > 0 {
+				if _, werr := up.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+	}()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := up.Read(buf)
+		if n > 0 {
+			if _, werr := down.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	down.Close()
+	up.Close()
+	<-done
+}
+
+// freshClient returns a Client with its own connection pool, so killed
+// connections from one test never leak into another.
+func freshClient(t *testing.T, url string) *Client {
+	t.Helper()
+	hc := &http.Client{Transport: &http.Transport{}}
+	t.Cleanup(hc.CloseIdleConnections)
+	return &Client{BaseURL: url, Client: "retry-test", HTTP: hc}
+}
+
+// A server that 503s is saying "not yet" before processing anything, so
+// even a grant retries through it.
+func TestRetryOn503(t *testing.T) {
+	innerSrv, _ := newTestServer(t, func(m *core.Manager) error {
+		return seedPool(m, "w", 5)
+	})
+	inner := innerSrv.Config.Handler
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= 2 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := freshClient(t, srv.URL)
+	pr, err := c.RequestPromise(bg, []core.Predicate{core.Quantity("w", 2)}, time.Minute)
+	if err != nil {
+		t.Fatalf("grant through warming-up server: %v", err)
+	}
+	if !pr.Accepted {
+		t.Fatalf("rejected: %s", pr.Reason)
+	}
+	if n := atomic.LoadInt32(&calls); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two 503s then success)", n)
+	}
+}
+
+// A read-only envelope (checks only) retries through mid-flight connection
+// deaths; the chaos proxy kills the first two connections.
+func TestRetryReadOnlyThroughConnectionReset(t *testing.T) {
+	srv, m := newTestServer(t, func(m *core.Manager) error {
+		return seedPool(m, "w", 5)
+	})
+	prs, err := m.GrantBatch(bg, "retry-test", []core.PromiseRequest{
+		{Predicates: []core.Predicate{core.Quantity("w", 1)}, Duration: time.Minute},
+	})
+	if err != nil || !prs[0].Accepted {
+		t.Fatalf("seed grant: %v %+v", err, prs)
+	}
+	pr := prs[0]
+
+	proxy := newChaosProxy(t, srv.URL, 2)
+	c := freshClient(t, proxy.URL())
+	errs, err := c.CheckBatch(bg, "retry-test", []string{pr.PromiseID})
+	if err != nil {
+		t.Fatalf("check through chaos proxy: %v", err)
+	}
+	if errs[0] != nil {
+		t.Fatalf("check verdict: %v", errs[0])
+	}
+}
+
+// A grant that dies mid-flight may have committed server-side; repeating it
+// could grant twice, so it fails fast instead of retrying.
+func TestGrantFailsFastOnConnectionReset(t *testing.T) {
+	srv, _ := newTestServer(t, func(m *core.Manager) error {
+		return seedPool(m, "w", 5)
+	})
+	proxy := newChaosProxy(t, srv.URL, 1)
+	c := freshClient(t, proxy.URL())
+	_, err := c.RequestPromise(bg, []core.Predicate{core.Quantity("w", 1)}, time.Minute)
+	if err == nil {
+		t.Fatal("grant retried through a mid-flight connection death; want fail-fast")
+	}
+}
+
+// The backoff loop honors the context deadline: a server that only ever
+// 503s cannot hold the caller past its budget.
+func TestRetryHonorsContextDeadline(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := freshClient(t, srv.URL)
+	c.Retry = &RetryPolicy{Attempts: 50, Base: 40 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(bg, 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.FetchStats(ctx)
+	if err == nil {
+		t.Fatal("want error from 503-only server")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ran %v past the 80ms deadline", elapsed)
+	}
+}
+
+// Exhausted attempts surface the last transient error.
+func TestRetryGivesUpAfterAttempts(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := freshClient(t, srv.URL)
+	c.Retry = &RetryPolicy{Attempts: 2, Base: time.Millisecond}
+	_, err := c.FetchStats(bg)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "giving up after 2 attempts") {
+		t.Fatalf("err = %v, want giving-up message", err)
+	}
+	if n := atomic.LoadInt32(&calls); n != 2 {
+		t.Fatalf("server saw %d requests, want 2", n)
+	}
+}

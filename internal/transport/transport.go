@@ -18,11 +18,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -105,6 +110,7 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(status)
 		fmt.Fprintln(w, rep)
 	})
+	mux.HandleFunc("GET "+SummaryEndpoint, s.handleSummary)
 	return mux
 }
 
@@ -165,6 +171,10 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	if in.Header.Batch != nil {
 		s.handleBatch(ctx, w, in)
+		return
+	}
+	if in.Header.Reserve != nil || in.Header.Confirm != nil || in.Header.Abort != nil {
+		s.handleFed(ctx, w, in)
 		return
 	}
 	req := core.Request{Client: in.Header.Client}
@@ -325,6 +335,96 @@ type Client struct {
 	Client string
 	// HTTP is the underlying transport; nil uses http.DefaultClient.
 	HTTP *http.Client
+	// Retry tunes the transient-error retry loop; nil uses DefaultRetry.
+	Retry *RetryPolicy
+}
+
+// RetryPolicy bounds the client's retry loop on transient transport
+// errors. Which failures retry depends on what the request can have done
+// server-side, not just on the policy:
+//
+//   - connection-refused dial errors and 503 responses retry for every
+//     request — the server provably never processed it;
+//   - mid-flight failures (connection reset, unexpected EOF) retry only
+//     for requests that are safe to repeat: reads (checks, stats
+//     scrapes) and idempotent federation aborts. A grant that died
+//     mid-flight may have committed, so repeating it could grant twice —
+//     those fail fast and the caller decides.
+//
+// Backoff doubles from Base with jitter, and every sleep honors the
+// context deadline.
+type RetryPolicy struct {
+	// Attempts is the total number of tries. <= 0 means DefaultRetry's.
+	Attempts int
+	// Base is the first backoff delay. <= 0 means DefaultRetry's.
+	Base time.Duration
+}
+
+// DefaultRetry is the retry policy used when Client.Retry is nil.
+var DefaultRetry = RetryPolicy{Attempts: 3, Base: 25 * time.Millisecond}
+
+func (c *Client) retryPolicy() RetryPolicy {
+	p := DefaultRetry
+	if c.Retry != nil {
+		if c.Retry.Attempts > 0 {
+			p.Attempts = c.Retry.Attempts
+		}
+		if c.Retry.Base > 0 {
+			p.Base = c.Retry.Base
+		}
+	}
+	return p
+}
+
+// transientDial reports an error raised before the request left this
+// machine: nothing reached the server, so any request may retry.
+func transientDial(err error) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// transientMidflight reports a connection that died after the request may
+// have reached the server — retryable only for repeat-safe requests.
+func transientMidflight(err error) bool {
+	return errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// repeatSafe reports whether re-sending the envelope can never double a
+// server-side effect: nothing in it grants, releases, acts or opens a
+// federated session. Aborts are explicitly idempotent server-side.
+func repeatSafe(env *protocol.Envelope) bool {
+	h := &env.Header
+	if h.Promise != nil || h.Environment != nil || env.Body.Action != nil ||
+		h.Reserve != nil || h.Confirm != nil {
+		return false
+	}
+	if h.Batch != nil && (len(h.Batch.Grants) > 0 || len(h.Batch.Releases) > 0 || len(h.Batch.Actions) > 0) {
+		return false
+	}
+	return true
+}
+
+// sleepBackoff waits out the attempt's backoff (exponential from base,
+// with jitter), honoring ctx.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
+	d := base << (attempt - 1)
+	if d > time.Second {
+		d = time.Second
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -364,34 +464,68 @@ func (c *Client) Do(ctx context.Context, env *protocol.Envelope) (*protocol.Enve
 	if d, ok := ctx.Deadline(); ok && env.Header.Deadline == "" {
 		env.Header.Deadline = time.Until(d).Round(time.Millisecond).String()
 	}
+	// Encode once; each attempt re-reads the same bytes so a retried
+	// request is byte-identical to the first.
 	var buf bytes.Buffer
 	if err := protocol.Encode(&buf, env); err != nil {
 		return nil, err
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+Endpoint, &buf)
-	if err != nil {
-		return nil, err
-	}
-	httpReq.Header.Set("Content-Type", "application/xml")
-	httpResp, err := c.httpClient().Do(httpReq)
-	if err != nil {
-		return nil, err
-	}
-	defer httpResp.Body.Close()
-	if httpResp.StatusCode != http.StatusOK {
-		var msg bytes.Buffer
-		_, _ = msg.ReadFrom(httpResp.Body)
-		// A stamped fault code reconstructs the sentinel the engine raised,
-		// so errors.Is(err, ErrBadRequest) etc. work like a local call.
-		if code := httpResp.Header.Get(FaultHeader); code != "" {
-			return nil, protocol.ErrorFromFault(&protocol.Fault{
-				Code:    code,
-				Message: fmt.Sprintf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes())),
-			})
+	body := buf.Bytes()
+	safe := repeatSafe(env)
+	pol := c.retryPolicy()
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepBackoff(ctx, pol.Base, attempt); err != nil {
+				return nil, fmt.Errorf("transport: %w (last error: %v)", err, lastErr)
+			}
 		}
-		return nil, fmt.Errorf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes()))
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+Endpoint, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		httpReq.Header.Set("Content-Type", "application/xml")
+		httpResp, err := c.httpClient().Do(httpReq)
+		if err != nil {
+			if ctx.Err() == nil && (transientDial(err) || (safe && transientMidflight(err))) {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		if httpResp.StatusCode == http.StatusServiceUnavailable {
+			// 503 means the server refused before processing — retryable
+			// for every request shape.
+			var msg bytes.Buffer
+			_, _ = msg.ReadFrom(httpResp.Body)
+			httpResp.Body.Close()
+			lastErr = fmt.Errorf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes()))
+			continue
+		}
+		if httpResp.StatusCode != http.StatusOK {
+			defer httpResp.Body.Close()
+			var msg bytes.Buffer
+			_, _ = msg.ReadFrom(httpResp.Body)
+			// A stamped fault code reconstructs the sentinel the engine raised,
+			// so errors.Is(err, ErrBadRequest) etc. work like a local call.
+			if code := httpResp.Header.Get(FaultHeader); code != "" {
+				return nil, protocol.ErrorFromFault(&protocol.Fault{
+					Code:    code,
+					Message: fmt.Sprintf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes())),
+				})
+			}
+			return nil, fmt.Errorf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes()))
+		}
+		reply, err := protocol.Decode(httpResp.Body)
+		httpResp.Body.Close()
+		if err != nil && ctx.Err() == nil && safe && transientMidflight(err) {
+			// The connection died while the response streamed back.
+			lastErr = err
+			continue
+		}
+		return reply, err
 	}
-	return protocol.Decode(httpResp.Body)
+	return nil, fmt.Errorf("transport: giving up after %d attempts: %w", pol.Attempts, lastErr)
 }
 
 // Execute implements the Engine surface over the wire: promise requests,
@@ -665,23 +799,51 @@ func (c *Client) Audit() (*core.AuditReport, error) {
 }
 
 // getJSON fetches one operational endpoint into out. A 500 with a JSON body
-// still decodes (an unhealthy audit is a valid report).
+// still decodes (an unhealthy audit is a valid report). GETs are read-only,
+// so every transient failure class retries under the client's policy.
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
-	if err != nil {
+	pol := c.retryPolicy()
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepBackoff(ctx, pol.Base, attempt); err != nil {
+				return fmt.Errorf("transport: %w (last error: %v)", err, lastErr)
+			}
+		}
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return err
+		}
+		httpResp, err := c.httpClient().Do(httpReq)
+		if err != nil {
+			if ctx.Err() == nil && (transientDial(err) || transientMidflight(err)) {
+				lastErr = err
+				continue
+			}
+			return err
+		}
+		if httpResp.StatusCode == http.StatusServiceUnavailable {
+			var msg bytes.Buffer
+			_, _ = msg.ReadFrom(httpResp.Body)
+			httpResp.Body.Close()
+			lastErr = fmt.Errorf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes()))
+			continue
+		}
+		if !strings.HasPrefix(httpResp.Header.Get("Content-Type"), "application/json") {
+			var msg bytes.Buffer
+			_, _ = msg.ReadFrom(httpResp.Body)
+			httpResp.Body.Close()
+			return fmt.Errorf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes()))
+		}
+		err = json.NewDecoder(httpResp.Body).Decode(out)
+		httpResp.Body.Close()
+		if err != nil && ctx.Err() == nil && transientMidflight(err) {
+			lastErr = err
+			continue
+		}
 		return err
 	}
-	httpResp, err := c.httpClient().Do(httpReq)
-	if err != nil {
-		return err
-	}
-	defer httpResp.Body.Close()
-	if !strings.HasPrefix(httpResp.Header.Get("Content-Type"), "application/json") {
-		var msg bytes.Buffer
-		_, _ = msg.ReadFrom(httpResp.Body)
-		return fmt.Errorf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes()))
-	}
-	return json.NewDecoder(httpResp.Body).Decode(out)
+	return fmt.Errorf("transport: giving up after %d attempts: %w", pol.Attempts, lastErr)
 }
 
 // RequestPromise asks for one promise over the given predicates.

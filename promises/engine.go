@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/transport"
 )
@@ -19,7 +20,9 @@ import (
 //   - *ShardedManager (promises.Open with WithShards(n > 1)) implements
 //     Engine;
 //   - the remote client (promises.Open with WithRemote(url)) implements
-//     Engine.
+//     Engine;
+//   - the federated cluster engine (promises.Open with WithCluster(nodes))
+//     implements Engine, routing each call across a multi-node deployment.
 //
 // The paper's §5 delegation model treats promise makers as interchangeable
 // whether local or reached over the wire; Engine is that interchangeability
@@ -69,11 +72,12 @@ type Engine interface {
 	Close() error
 }
 
-// The three engine implementations, pinned at compile time.
+// The four engine implementations, pinned at compile time.
 var (
 	_ Engine = (*core.Manager)(nil)
 	_ Engine = (*core.ShardedManager)(nil)
 	_ Engine = (*transport.Client)(nil)
+	_ Engine = (*cluster.Engine)(nil)
 )
 
 // EngineSupplier adapts any Engine into a Supplier, so a delegation chain

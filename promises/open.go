@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/transport"
@@ -37,6 +38,9 @@ type options struct {
 	remoteURL  string
 	clientID   string
 	httpClient *http.Client
+
+	nodeID       string
+	clusterNodes map[string]string
 }
 
 // Option configures Open.
@@ -134,6 +138,23 @@ func WithCheckpointEvery(d time.Duration) Option { return func(o *options) { o.c
 // Combine with WithClientID and WithHTTPClient only.
 func WithRemote(url string) Option { return func(o *options) { o.remoteURL = url } }
 
+// WithNodeID names this engine as a cluster member: promise ids are
+// namespaced "<id>!…" so ids issued by different nodes never collide and
+// self-describe their issuing node (how the cluster layer routes checks
+// and releases). Forces the sharded engine even at one shard. The id must
+// stay stable across restarts of a durable node. Local engines only.
+func WithNodeID(id string) Option { return func(o *options) { o.nodeID = id } }
+
+// WithCluster makes Open return a federated engine over the promised
+// nodes in the given id -> base-URL map: single-node traffic routes to
+// the consistent-hash owner in one round trip, and grants spanning nodes
+// run the two-phase reserve/confirm path. Combine with WithClientID,
+// WithHTTPClient and WithPropertyMode (which must mirror the nodes'
+// mode) only.
+func WithCluster(nodes map[string]string) Option {
+	return func(o *options) { o.clusterNodes = nodes }
+}
+
 // WithClientID sets the default promise-client identity a remote engine
 // stamps on requests that carry none.
 func WithClientID(id string) Option { return func(o *options) { o.clientID = id } }
@@ -162,10 +183,25 @@ func Open(opts ...Option) (Engine, error) {
 		service.RegisterStandard(reg)
 		o.actions = reg
 	}
+	if o.clusterNodes != nil {
+		if o.remoteURL != "" {
+			return nil, fmt.Errorf("promises: WithCluster and WithRemote are mutually exclusive")
+		}
+		if o.shards != 0 || o.clk != nil || o.defaultDuration != 0 || o.maxDuration != 0 ||
+			o.suppliers != nil || o.actions != nil || o.maxRetries != 0 ||
+			o.expiryWarning != 0 || o.replayRing != 0 || o.dataDir != "" || o.nodeID != "" {
+			return nil, fmt.Errorf("promises: WithCluster cannot combine with local-engine options")
+		}
+		ports := make([]cluster.NodePort, 0, len(o.clusterNodes))
+		for id, url := range o.clusterNodes {
+			ports = append(ports, cluster.NewHTTPPort(id, url, o.clientID, o.httpClient))
+		}
+		return cluster.New(cluster.Config{Ports: ports, Mode: o.mode})
+	}
 	if o.remoteURL != "" {
 		if o.shards != 0 || o.clk != nil || o.defaultDuration != 0 || o.maxDuration != 0 ||
 			o.modeSet || o.suppliers != nil || o.actions != nil || o.maxRetries != 0 ||
-			o.expiryWarning != 0 || o.replayRing != 0 || o.dataDir != "" {
+			o.expiryWarning != 0 || o.replayRing != 0 || o.dataDir != "" || o.nodeID != "" {
 			return nil, fmt.Errorf("promises: WithRemote(%q) cannot combine with local-engine options", o.remoteURL)
 		}
 		return &transport.Client{BaseURL: o.remoteURL, Client: o.clientID, HTTP: o.httpClient}, nil
@@ -183,9 +219,9 @@ func Open(opts ...Option) (Engine, error) {
 			SyncEvery:       o.syncEvery,
 			CheckpointEvery: o.checkpointEvery,
 		}
-		if o.shards > 1 {
+		if o.shards > 1 || o.nodeID != "" {
 			return core.OpenDurableSharded(core.ShardedConfig{
-				Shards:           o.shards,
+				Shards:           max(o.shards, 1),
 				Clock:            o.clk,
 				DefaultDuration:  o.defaultDuration,
 				MaxDuration:      o.maxDuration,
@@ -196,6 +232,7 @@ func Open(opts ...Option) (Engine, error) {
 				Actions:          o.actions,
 				ExpiryWarning:    o.expiryWarning,
 				ReplayRing:       o.replayRing,
+				IDNamespace:      o.nodeID,
 			}, dur)
 		}
 		return core.OpenDurable(core.Config{
@@ -211,9 +248,9 @@ func Open(opts ...Option) (Engine, error) {
 			ReplayRing:       o.replayRing,
 		}, dur)
 	}
-	if o.shards > 1 {
+	if o.shards > 1 || o.nodeID != "" {
 		return core.NewSharded(core.ShardedConfig{
-			Shards:           o.shards,
+			Shards:           max(o.shards, 1),
 			Clock:            o.clk,
 			DefaultDuration:  o.defaultDuration,
 			MaxDuration:      o.maxDuration,
@@ -224,6 +261,7 @@ func Open(opts ...Option) (Engine, error) {
 			Actions:          o.actions,
 			ExpiryWarning:    o.expiryWarning,
 			ReplayRing:       o.replayRing,
+			IDNamespace:      o.nodeID,
 		})
 	}
 	return core.New(core.Config{
