@@ -57,6 +57,8 @@ func main() {
 	url := flag.String("url", "http://localhost:8642", "promise manager base URL")
 	client := flag.String("client", "cli", "promise client identity")
 	dur := flag.Duration("duration", time.Minute, "requested promise duration")
+	prio := flag.Int("priority", 0, "request/modify: priority tier; a higher tier may displace lower-tier preemptible holds")
+	preemptible := flag.Bool("preemptible", false, "request/modify: mark the promise preemptible (spot tier)")
 	timeout := flag.Duration("timeout", 10*time.Second, "deadline for the whole command")
 	env := flag.String("env", "", "comma-separated promise ids protecting the action")
 	release := flag.Bool("release-env", false, "release environment promises with the action")
@@ -106,13 +108,13 @@ func main() {
 	switch args[0] {
 	case "request":
 		geng, gctx := grantEngine(eng, c, *clusterURL != "", *timeout)
-		err = cmdRequest(gctx, geng, *dur, nil, args[1:])
+		err = cmdRequest(gctx, geng, *dur, *prio, *preemptible, nil, args[1:])
 	case "modify":
 		if len(args) < 3 {
 			usage()
 		}
 		geng, gctx := grantEngine(eng, c, *clusterURL != "", *timeout)
-		err = cmdRequest(gctx, geng, *dur, []string{args[1]}, args[2:])
+		err = cmdRequest(gctx, geng, *dur, *prio, *preemptible, []string{args[1]}, args[2:])
 	case "release":
 		if len(args) < 2 {
 			usage()
@@ -220,6 +222,7 @@ func grantEngine(eng promises.Engine, c *transport.Client, clustered bool, timeo
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: promisectl [flags] <request|modify|release|check|watch|invoke|buy|stats|audit> ...
   request qty:pink-widgets=5 prop:'floor = 5'
+  request -- see also -priority/-preemptible for spot-tier requests
   modify prm-1 qty:acct-alice=200
   release prm-1 prm-2
   check prm-1 prm-2
@@ -290,6 +293,9 @@ func cmdWatch(ctx context.Context, eng promises.Engine, args []string) error {
 			if !ev.Expires.IsZero() {
 				line += " expires=" + ev.Expires.Format(time.RFC3339)
 			}
+			if ev.By != "" {
+				line += fmt.Sprintf(" by=%s tier=%d", ev.By, ev.Priority)
+			}
 			if ev.Reason != "" {
 				line += fmt.Sprintf(" (%s)", ev.Reason)
 			}
@@ -357,15 +363,17 @@ func parsePredicates(args []string) ([]core.Predicate, error) {
 	return out, nil
 }
 
-func cmdRequest(ctx context.Context, eng promises.Engine, d time.Duration, releases, predArgs []string) error {
+func cmdRequest(ctx context.Context, eng promises.Engine, d time.Duration, prio int, preemptible bool, releases, predArgs []string) error {
 	preds, err := parsePredicates(predArgs)
 	if err != nil {
 		return err
 	}
 	resp, err := eng.Execute(ctx, core.Request{PromiseRequests: []core.PromiseRequest{{
-		Predicates: preds,
-		Duration:   d,
-		Releases:   releases,
+		Predicates:  preds,
+		Duration:    d,
+		Releases:    releases,
+		Priority:    prio,
+		Preemptible: preemptible,
 	}}})
 	if err != nil {
 		return err
@@ -397,6 +405,9 @@ func cmdCheck(ctx context.Context, eng promises.Engine, client string, ids []str
 			bad = true
 		case errors.Is(cerr, core.ErrPromiseNotFound):
 			fmt.Printf("%s: not found\n", ids[i])
+			bad = true
+		case errors.Is(cerr, core.ErrPromisePreempted):
+			fmt.Printf("%s: preempted\n", ids[i])
 			bad = true
 		default:
 			fmt.Printf("%s: %v\n", ids[i], cerr)

@@ -1,0 +1,195 @@
+// GPU fleet: the spot-capacity subsystem end to end. A fleet of GPUs with
+// class/region properties serves two tiers of work — preemptible spot
+// batch jobs at the default tier, and on-demand training jobs at a higher
+// priority that may displace them. A fleet controller follows the engine's
+// preempted events and re-acquires capacity for displaced batch jobs,
+// falling back across GPU classes and regions. Everything runs on a fake
+// clock, so the run is instant and the tier choreography — who displaces
+// whom, and when capacity returns — is deterministic.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/promises"
+)
+
+// inspector is the operator-facing introspection surface of the local
+// engines (clients hold ids, the controller looks inside).
+type inspector interface {
+	PromiseInfo(id string) (promises.Promise, error)
+	ActivePromises() ([]promises.Promise, error)
+}
+
+func main() {
+	ctx := context.Background()
+	fake := promises.FakeClock()
+	eng, err := promises.Open(
+		promises.WithPropertyMode(promises.MatchingMode),
+		promises.WithClock(fake),
+		promises.WithMaxDuration(4*time.Hour),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seedFleet(eng)
+	ins := eng.(inspector)
+
+	request := func(client, expr string, prio int, spot bool, dur time.Duration) promises.PromiseResponse {
+		resp, err := eng.Execute(ctx, promises.Request{
+			Client: client,
+			PromiseRequests: []promises.PromiseRequest{{
+				Predicates:  []promises.Predicate{promises.MustProperty(expr)},
+				Duration:    dur,
+				Priority:    prio,
+				Preemptible: spot,
+			}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return resp.Promises[0]
+	}
+	gpuOf := func(pr promises.PromiseResponse) string {
+		info, err := ins.PromiseInfo(pr.PromiseID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return info.Assigned[0]
+	}
+
+	// Spot batch jobs soak up the whole fleet at the preemptible tier.
+	// Staggered durations keep every deadline distinct, so the preemption
+	// planner's oldest-deadline-first victim order is fully determined.
+	fmt.Println("spot batch jobs fill the fleet:")
+	jobs := map[string]promises.PromiseResponse{} // job name -> current hold
+	wants := []struct{ name, expr string }{
+		{"job-encode-1", `class = "h100"`},
+		{"job-encode-2", `class = "h100"`},
+		{"job-index-1", `class = "a100"`},
+		{"job-index-2", `class = "a100"`},
+		{"job-scrub-eu", `region = "eu"`},
+		{"job-scrub-any", `class = "a100" or class = "h100"`},
+	}
+	for i, w := range wants {
+		pr := request("batch", w.expr, 0, true, time.Duration(10+i)*time.Minute)
+		if !pr.Accepted {
+			log.Fatalf("%s rejected: %s", w.name, pr.Reason)
+		}
+		jobs[w.name] = pr
+		fmt.Printf("  %-13s %-35s -> %s (spot, expires %s)\n", w.name, w.expr, gpuOf(pr), pr.Expires.Format(time.Kitchen))
+	}
+
+	// The fleet controller follows preempted events for the batch tenant.
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	events, err := eng.Watch(watchCtx, promises.WatchOptions{
+		Client: "batch",
+		Types:  []promises.EventType{promises.EventPreempted},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An on-demand training job arrives at priority 1 needing an H100. The
+	// fleet is full, but every hold is spot: the planner revokes the
+	// earliest-expiring hold that frees an H100 — and only that one.
+	fmt.Println("\non-demand training job arrives (priority 1, h100):")
+	train := request("trainer", `class = "h100"`, 1, false, time.Hour)
+	if !train.Accepted {
+		log.Fatalf("training job rejected over a spot-held fleet: %s", train.Reason)
+	}
+	fmt.Printf("  trainer granted %s -> %s\n", train.PromiseID, gpuOf(train))
+
+	// The controller reacts: identify the displaced job and re-acquire spot
+	// capacity for it, falling back across classes and regions. The h100s
+	// are taken (one by the trainer, one by a surviving spot hold), so the
+	// fallback chain lands on whatever the matcher can still free up.
+	ev := <-events
+	victim := ""
+	for name, pr := range jobs {
+		if pr.PromiseID == ev.PromiseID {
+			victim = name
+		}
+	}
+	fmt.Printf("\ncontroller: %s preempted by %s (tier %d); re-acquiring\n", victim, ev.By, ev.Priority)
+	delete(jobs, victim)
+	fallbacks := []string{`class = "h100"`, `class = "a100"`, `region = "eu" or region = "us"`}
+	reacquired := false
+	for _, expr := range fallbacks {
+		pr := request("batch", expr, 0, true, 30*time.Minute)
+		if pr.Accepted {
+			fmt.Printf("  re-acquired %-28s -> %s (spot)\n", expr, gpuOf(pr))
+			jobs[victim] = pr
+			reacquired = true
+			break
+		}
+		fmt.Printf("  fallback %-31s rejected (%s)\n", expr, pr.Reason)
+	}
+	if reacquired {
+		log.Fatal("fleet is fully held; no fallback should have succeeded yet")
+	}
+	fmt.Println("  fleet saturated — controller waits for capacity")
+
+	// Capacity returns as spot deadlines lapse. The controller retries on
+	// the freed GPU; the fleet is whole again.
+	fake.Advance(11 * time.Minute) // job-encode-1's deadline (or its successor's)
+	for _, expr := range fallbacks {
+		pr := request("batch", expr, 0, true, 30*time.Minute)
+		if pr.Accepted {
+			fmt.Printf("\ncapacity lapsed; controller re-acquired %s -> %s\n", expr, gpuOf(pr))
+			jobs[victim] = pr
+			reacquired = true
+			break
+		}
+	}
+	if !reacquired {
+		log.Fatal("controller could not re-acquire after spot deadlines lapsed")
+	}
+
+	// Tier discipline held throughout: the trainer's on-demand promise was
+	// never at risk — same-or-lower tiers cannot displace it.
+	if errs, err := eng.CheckBatch(ctx, "trainer", []string{train.PromiseID}); err != nil || errs[0] != nil {
+		log.Fatalf("training promise disturbed: %v %v", err, errs)
+	}
+	rep, err := eng.Audit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rep.Healthy() {
+		log.Fatalf("audit: %v", rep.Problems)
+	}
+	active, _ := ins.ActivePromises()
+	fmt.Printf("\ntraining job intact; audit clean; %d promises active\n", len(active))
+}
+
+func seedFleet(eng promises.Engine) {
+	seeder, err := promises.Seed(eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpus := []struct {
+		id     string
+		class  string
+		region string
+	}{
+		{"gpu-h100-us-0", "h100", "us"},
+		{"gpu-h100-us-1", "h100", "us"},
+		{"gpu-a100-us-0", "a100", "us"},
+		{"gpu-a100-us-1", "a100", "us"},
+		{"gpu-a100-eu-0", "a100", "eu"},
+		{"gpu-a100-eu-1", "a100", "eu"},
+	}
+	for _, g := range gpus {
+		props := map[string]promises.Value{
+			"class":  promises.Str(g.class),
+			"region": promises.Str(g.region),
+		}
+		if err := seeder.CreateInstance(g.id, props); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -41,6 +41,12 @@ type Config struct {
 	Mode core.PropertyMode
 	// ReserveTTL bounds federated sessions server-side (0 = node default).
 	ReserveTTL time.Duration
+	// ReconcileEvery, when positive, runs Reconcile on that cadence in the
+	// background (clock-alarm driven, so a Fake clock advances it
+	// deterministically), retrying queued compensations without an
+	// operator in the loop. Zero leaves Reconcile manual. Requires a Clock
+	// that implements clock.Alarmer (System and Fake both do).
+	ReconcileEvery time.Duration
 }
 
 // Engine federates the member nodes into one promises.Engine. Single-node
@@ -60,8 +66,12 @@ type Engine struct {
 	watchMu  sync.Mutex
 	watchSeq atomic.Uint64
 
-	mu      sync.Mutex
-	pending []pendingRelease
+	reconcileEvery time.Duration
+
+	mu            sync.Mutex
+	pending       []pendingRelease
+	closed        bool
+	reconcileStop func()
 }
 
 // pendingRelease is a compensation that could not be delivered (its node
@@ -97,14 +107,39 @@ func New(cfg Config) (*Engine, error) {
 	if clk == nil {
 		clk = clock.System{}
 	}
-	return &Engine{
-		ring:  ring,
-		order: ring.Members(),
-		ports: ports,
-		clk:   clk,
-		mode:  cfg.Mode,
-		ttl:   cfg.ReserveTTL,
-	}, nil
+	e := &Engine{
+		ring:           ring,
+		order:          ring.Members(),
+		ports:          ports,
+		clk:            clk,
+		mode:           cfg.Mode,
+		ttl:            cfg.ReserveTTL,
+		reconcileEvery: cfg.ReconcileEvery,
+	}
+	if e.reconcileEvery > 0 {
+		if _, ok := clk.(clock.Alarmer); !ok {
+			return nil, fmt.Errorf("cluster: ReconcileEvery needs a clock implementing clock.Alarmer")
+		}
+		e.scheduleReconcile()
+	}
+	return e, nil
+}
+
+// scheduleReconcile arms the next background Reconcile alarm. Each firing
+// retries the pending compensation queue and re-arms, so the loop runs at
+// the configured cadence until Close; manual Reconcile calls stay valid in
+// between (the queue is shared and both paths drain it idempotently).
+func (e *Engine) scheduleReconcile() {
+	al := e.clk.(clock.Alarmer)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.reconcileStop = al.AfterFunc(e.clk.Now().Add(e.reconcileEvery), func() {
+		_ = e.Reconcile(context.Background())
+		e.scheduleReconcile()
+	})
 }
 
 // Ring exposes the ownership ring (tools and tests).
@@ -438,6 +473,8 @@ func (e *Engine) tryFed(ctx context.Context, client string, pr core.PromiseReque
 			Duration:    pr.Duration,
 			MinDuration: pr.MinDuration,
 			TTL:         e.ttl,
+			Priority:    pr.Priority,
+			Preemptible: pr.Preemptible,
 		})
 		if err != nil {
 			abortAll()
@@ -902,6 +939,7 @@ func (e *Engine) Stats() core.Stats {
 		out.DeadlockRetries += st.DeadlockRetries
 		out.ExpiryErrors += st.ExpiryErrors
 		out.PrefilterSkipped += st.PrefilterSkipped
+		out.Preemptions += st.Preemptions
 	}
 	return out
 }
@@ -924,8 +962,17 @@ func (e *Engine) Audit() (*core.AuditReport, error) {
 	return out, nil
 }
 
-// Close implements promises.Engine: closes every port.
+// Close implements promises.Engine: stops the background Reconcile loop
+// and closes every port.
 func (e *Engine) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	stop := e.reconcileStop
+	e.reconcileStop = nil
+	e.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
 	var firstErr error
 	for _, n := range e.order {
 		if err := e.ports[n].Close(); err != nil && firstErr == nil {

@@ -26,6 +26,8 @@ func classify(err error) string {
 		return "released"
 	case errors.Is(err, core.ErrPromiseExpired):
 		return "expired"
+	case errors.Is(err, core.ErrPromisePreempted):
+		return "preempted"
 	default:
 		return "other:" + err.Error()
 	}
@@ -154,6 +156,17 @@ func runEquivalence(t *testing.T, seed int64) {
 	var pairs []*pair
 	outage := false
 
+	// uniqueDur hands every preemptible hold a distinct deadline (kept under
+	// the managers' default MaxDuration cap). When deadlines tie, victim
+	// ordering falls through to engine-local promise ids, which the cluster
+	// and the reference assign differently — a harness artifact, not an
+	// engine property, so the workload avoids it.
+	durSeq := 0
+	uniqueDur := func() time.Duration {
+		durSeq++
+		return 5*time.Minute + time.Duration(durSeq)*time.Millisecond
+	}
+
 	// grantBoth runs one request through both systems and records the pair
 	// when both accept; accept/reject must agree.
 	grantBoth := func(round int, req core.PromiseRequest, refReq core.PromiseRequest) {
@@ -225,18 +238,37 @@ func runEquivalence(t *testing.T, seed int64) {
 		}
 
 		switch op := rnd.Intn(100); {
-		case op < 40: // quantity grant, possibly cross-node
+		case op < 40: // quantity grant, possibly cross-node, mixed tiers
 			avail := pools
 			if outage {
 				avail = survivorPools
 			}
+			prio, preemptible := 0, false
+			switch rnd.Intn(6) {
+			case 0, 1:
+				preemptible = true
+			case 2:
+				preemptible, prio = true, 1
+			case 3:
+				prio = 1 + rnd.Intn(2)
+			}
 			n := 1 + rnd.Intn(2)
+			if preemptible {
+				// Single-predicate spot holds: a cross-node hold becomes a
+				// composite on the cluster but one promise on the reference,
+				// and composite victims have no counterpart to agree with.
+				n = 1
+			}
 			picked := rnd.Perm(len(avail))[:n]
 			var preds []core.Predicate
 			for _, i := range picked {
 				preds = append(preds, core.Quantity(avail[i], int64(1+rnd.Intn(3))))
 			}
-			req := core.PromiseRequest{Predicates: preds, Duration: durs[rnd.Intn(len(durs))]}
+			dur := durs[rnd.Intn(len(durs))]
+			if preemptible {
+				dur = uniqueDur()
+			}
+			req := core.PromiseRequest{Predicates: preds, Duration: dur, Priority: prio, Preemptible: preemptible}
 			grantBoth(round, req, req)
 		case op < 55: // property grant (cluster-wide matching)
 			if outage {

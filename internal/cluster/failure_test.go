@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -269,5 +270,178 @@ func TestCoordinatorPingStateMachine(t *testing.T) {
 	coord.Tick(bg)
 	if got := state("n1"); got != cluster.StateHealthy {
 		t.Fatalf("healed node state %s, want healthy", got)
+	}
+}
+
+// A high-priority federated grant that displaces a spot hold on one node,
+// whose confirm applies there but the reply is lost and the node then
+// crashes, must resolve exactly-once: the failed grant ends up holding
+// nothing, the spot victim is displaced exactly once (one preempted event),
+// and after remediation the full capacity is grantable again.
+func TestPreemptionRacingCrashResolvesExactlyOnce(t *testing.T) {
+	sim, eng := newSim(t, core.MatchingMode)
+	pa := nameOwnedBy(t, sim.Ring(), "n0", "pool")
+	pb := nameOwnedBy(t, sim.Ring(), "n2", "pool")
+	for _, p := range []string{pa, pb} {
+		if err := sim.CreatePool(p, 4, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A spot workload holds all of pa.
+	resps, err := eng.GrantBatch(bg, "spot", []core.PromiseRequest{{
+		Predicates:  []core.Predicate{core.Quantity(pa, 4)},
+		Duration:    2 * time.Hour,
+		Preemptible: true,
+	}})
+	if err != nil || !resps[0].Accepted {
+		t.Fatalf("spot grant: %v %+v", err, resps)
+	}
+	spotID := resps[0].PromiseID
+
+	events, err := eng.Watch(bg, core.WatchOptions{Types: []core.EventType{core.EventPreempted}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The on-demand grant spans both nodes, so it takes the federated path;
+	// its reserve on n0 displaces the spot hold. Confirms run ascending, so
+	// n0 applies first — victim revoked, part granted — and the reply is
+	// lost; the node then crashes before remediation can reach it.
+	sim.Node("n0").Port().FailNext("FedConfirm", simulator.FailAfter, 1)
+	_, err = eng.GrantBatch(bg, "ondemand", []core.PromiseRequest{{
+		Predicates: []core.Predicate{core.Quantity(pa, 4), core.Quantity(pb, 4)},
+		Duration:   time.Hour,
+		Priority:   1,
+	}})
+	if err == nil {
+		t.Fatal("preempting grant succeeded though its confirm reply was lost")
+	}
+	if got := eng.PendingCompensations(); got == 0 {
+		t.Fatal("lost confirm reply queued no compensation")
+	}
+	sim.Node("n0").Port().Crash()
+	if err := eng.Reconcile(bg); err == nil {
+		t.Fatal("Reconcile reported success while the ambiguous node is down")
+	}
+
+	// Remediation: the node restarts with its committed state (the victim's
+	// revocation and the orphaned part both committed with the confirm) and
+	// Reconcile releases the part the failed grant left behind.
+	sim.Node("n0").Port().Restart()
+	if err := eng.Reconcile(bg); err != nil {
+		t.Fatalf("Reconcile after restart: %v", err)
+	}
+	if got := eng.PendingCompensations(); got != 0 {
+		t.Fatalf("%d compensations still pending after Reconcile", got)
+	}
+
+	// The victim was displaced exactly once: its verdict is preempted, and
+	// exactly one preempted event crossed the cluster Watch stream.
+	verdicts, err := eng.CheckBatch(bg, "spot", []string{spotID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(verdicts[0], core.ErrPromisePreempted) {
+		t.Fatalf("spot verdict = %v, want preempted", verdicts[0])
+	}
+	select {
+	case ev := <-events:
+		if ev.Type != core.EventPreempted || ev.PromiseID != spotID {
+			t.Fatalf("event %+v, want preempted %s", ev, spotID)
+		}
+		if ev.By == "" || ev.Priority != 1 {
+			t.Fatalf("preempted event By=%q Priority=%d, want displacing part id and tier 1", ev.By, ev.Priority)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no preempted event on the cluster Watch stream")
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("duplicate preempted event: %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Exactly once, capacity-wise: the failed grant holds nothing, so the
+	// full capacity of both pools is grantable again.
+	resps, err = eng.GrantBatch(bg, "carol", []core.PromiseRequest{{
+		Predicates: []core.Predicate{core.Quantity(pa, 4), core.Quantity(pb, 4)},
+		Duration:   time.Hour,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resps[0].Accepted {
+		t.Fatalf("full-capacity grant rejected after remediation: %s", resps[0].Reason)
+	}
+	rep, err := eng.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Fatalf("cluster unhealthy after remediation: %v", rep.Problems)
+	}
+}
+
+// With ReconcileEvery set, queued compensations drain on the clock alarm
+// cadence without any explicit Reconcile call, and Close stops the loop.
+func TestBackgroundReconcileLoopDrainsQueue(t *testing.T) {
+	sim, err := simulator.New(simulator.Config{Nodes: []string{"n0", "n1", "n2"}, Mode: core.MatchingMode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cluster.New(cluster.Config{
+		Ports:          sim.Ports(),
+		Clock:          sim.Clock(),
+		Mode:           core.MatchingMode,
+		ReconcileEvery: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	pa := nameOwnedBy(t, sim.Ring(), "n0", "pool")
+	pb := nameOwnedBy(t, sim.Ring(), "n2", "pool")
+	for _, p := range []string{pa, pb} {
+		if err := sim.CreatePool(p, 4, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sim.Node("n0").Port().FailNext("FedConfirm", simulator.FailAfter, 1)
+	if _, err := eng.GrantBatch(bg, "alice", []core.PromiseRequest{{
+		Predicates: []core.Predicate{core.Quantity(pa, 4), core.Quantity(pb, 4)},
+		Duration:   time.Hour,
+	}}); err == nil {
+		t.Fatal("grant succeeded though a confirm reply was lost")
+	}
+	if got := eng.PendingCompensations(); got == 0 {
+		t.Fatal("lost confirm reply queued no compensation")
+	}
+
+	// Short of the cadence nothing fires; crossing it drains the queue.
+	sim.Advance(30 * time.Second)
+	if got := eng.PendingCompensations(); got == 0 {
+		t.Fatal("reconcile loop fired before its cadence")
+	}
+	sim.Advance(30 * time.Second)
+	if got := eng.PendingCompensations(); got != 0 {
+		t.Fatalf("%d compensations still pending after the reconcile alarm", got)
+	}
+
+	// The loop re-arms: a second round drains on the next alarm too.
+	sim.Node("n0").Port().FailNext("FedConfirm", simulator.FailAfter, 1)
+	if _, err := eng.GrantBatch(bg, "bob", []core.PromiseRequest{{
+		Predicates: []core.Predicate{core.Quantity(pa, 4), core.Quantity(pb, 4)},
+		Duration:   time.Hour,
+	}}); err == nil {
+		t.Fatal("second grant succeeded though a confirm reply was lost")
+	}
+	if got := eng.PendingCompensations(); got == 0 {
+		t.Fatal("second lost reply queued no compensation")
+	}
+	sim.Advance(time.Minute)
+	if got := eng.PendingCompensations(); got != 0 {
+		t.Fatalf("%d compensations still pending after the second alarm", got)
 	}
 }

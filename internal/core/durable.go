@@ -176,6 +176,8 @@ type promiseJSON struct {
 	DelegatedID  []string   `json:"delegated_id,omitempty"`
 	Expires      time.Time  `json:"expires"`
 	State        int        `json:"state"`
+	Priority     int        `json:"priority,omitempty"`
+	Preemptible  bool       `json:"preemptible,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler for checkpoint/WAL serialization.
@@ -185,6 +187,7 @@ func (r *promiseRow) MarshalJSON() ([]byte, error) {
 		ID: p.ID, Client: p.Client,
 		Assigned: p.Assigned, DelegatedQty: p.DelegatedQty, DelegatedID: p.DelegatedID,
 		Expires: p.Expires, State: int(p.State),
+		Priority: p.Priority, Preemptible: p.Preemptible,
 	}
 	for _, pred := range p.Predicates {
 		pj := predJSON{View: int(pred.View), Pool: pred.Pool, Qty: pred.Qty, Instance: pred.Instance}
@@ -210,6 +213,7 @@ func (r *promiseRow) UnmarshalJSON(data []byte) error {
 		ID: in.ID, Client: in.Client,
 		Assigned: in.Assigned, DelegatedQty: in.DelegatedQty, DelegatedID: in.DelegatedID,
 		Expires: in.Expires, State: State(in.State),
+		Priority: in.Priority, Preemptible: in.Preemptible,
 	}
 	for _, pj := range in.Predicates {
 		switch View(pj.View) {

@@ -35,6 +35,12 @@ type eqWorld struct {
 	// pairs tracks (single id, sharded id) per granted promise, including
 	// released and expired ones: their sentinels must keep matching.
 	pairs []eqPair
+	// durSeq makes every preemptible grant's expiry unique: victim
+	// selection orders candidates by deadline, and an expiry tie would
+	// fall through to the promise id — which the two engines mint
+	// differently. Distinct deadlines keep the canonical order (and so
+	// the victim sets) engine-independent.
+	durSeq int
 }
 
 type eqPair struct {
@@ -56,6 +62,8 @@ func sentinelClass(err error) string {
 		return "expired"
 	case errors.Is(err, ErrPromiseViolated):
 		return "violated"
+	case errors.Is(err, ErrPromisePreempted):
+		return "preempted"
 	default:
 		return "error: " + err.Error()
 	}
@@ -147,6 +155,15 @@ func (w *eqWorld) randPredicate() Predicate {
 	}
 }
 
+// uniqueDur returns a duration no other preemptible grant in this world
+// uses, so candidate deadlines never tie (see durSeq).
+func (w *eqWorld) uniqueDur() time.Duration {
+	w.durSeq++
+	// Stay under the manager's default MaxDuration cap (10 minutes): a
+	// clamped duration would collapse distinct requests onto one deadline.
+	return 5*time.Minute + time.Duration(w.durSeq)*time.Millisecond
+}
+
 // clientPairs returns the indices of pairs owned by client.
 func (w *eqWorld) clientPairs(client string) []int {
 	var out []int
@@ -184,8 +201,26 @@ func (w *eqWorld) grant() {
 		if w.rng.Intn(6) == 0 {
 			dur = time.Duration(1+w.rng.Intn(3)) * time.Minute
 		}
-		reqS = append(reqS, PromiseRequest{Predicates: preds, Releases: relS, Duration: dur})
-		reqH = append(reqH, PromiseRequest{Predicates: preds, Releases: relH, Duration: dur})
+		// Priority shapes: spot holds (preemptible, sometimes mid-tier) and
+		// on-demand requests that may displace them. Preemptible grants stay
+		// single-predicate — a multi-predicate grant is a composite on the
+		// sharded side, which its victim filter excludes — and get a unique
+		// duration so victim ordering cannot tie on deadlines.
+		prio, preemptible := 0, false
+		switch w.rng.Intn(6) {
+		case 0, 1:
+			preemptible = true
+		case 2:
+			preemptible, prio = true, 1
+		case 3:
+			prio = 1 + w.rng.Intn(2)
+		}
+		if preemptible {
+			preds = preds[:1]
+			dur = w.uniqueDur()
+		}
+		reqS = append(reqS, PromiseRequest{Predicates: preds, Releases: relS, Duration: dur, Priority: prio, Preemptible: preemptible})
+		reqH = append(reqH, PromiseRequest{Predicates: preds, Releases: relH, Duration: dur, Priority: prio, Preemptible: preemptible})
 	}
 	respS, errS := w.single.Execute(bg, Request{Client: client, PromiseRequests: reqS})
 	respH, errH := w.sharded.Execute(bg, Request{Client: client, PromiseRequests: reqH})
@@ -404,6 +439,58 @@ func TestShardedEquivalenceUpgradeHeavy(t *testing.T) {
 					cur[client] = &eqPair{client: client, singleID: ps.PromiseID, shardID: ph.PromiseID}
 				}
 				if it%20 == 19 {
+					w.verify()
+				}
+			}
+			w.verify()
+		})
+	}
+}
+
+// TestShardedEquivalencePreemptionHeavy narrows the generator to the spot
+// shape: pools and instances accumulate single-predicate preemptible holds
+// until on-demand requests can only land by displacing them. Both engines
+// must agree on every accept/reject, on the exact victim set (each pair's
+// lifecycle sentinel — usable vs preempted — is cross-checked), and on
+// pool levels.
+func TestShardedEquivalencePreemptionHeavy(t *testing.T) {
+	shards := testShards(8)
+	for seed := int64(20); seed <= 23; seed++ {
+		slowRef := seed%2 == 0
+		t.Run(fmt.Sprintf("seed=%d/shards=%d/slowref=%v", seed, shards, slowRef), func(t *testing.T) {
+			w := newEqWorld(t, seed, shards, slowRef)
+			for it := 0; it < 200; it++ {
+				client := w.clients[w.rng.Intn(len(w.clients))]
+				preds := []Predicate{w.randPredicate()}
+				prio, preemptible := 0, false
+				var dur time.Duration
+				switch w.rng.Intn(5) {
+				case 0, 1:
+					preemptible, dur = true, w.uniqueDur()
+				case 2:
+					preemptible, prio, dur = true, 1, w.uniqueDur()
+				case 3:
+					prio = 1
+				default:
+					prio = 2
+				}
+				req := PromiseRequest{Predicates: preds, Duration: dur, Priority: prio, Preemptible: preemptible}
+				respS, errS := w.single.GrantBatch(bg, client, []PromiseRequest{req})
+				respH, errH := w.sharded.GrantBatch(bg, client, []PromiseRequest{req})
+				if errS != nil || errH != nil {
+					t.Fatalf("batch errors: single=%v sharded=%v", errS, errH)
+				}
+				if respS[0].Accepted != respH[0].Accepted {
+					t.Fatalf("iter %d diverged: single=%v (%s) sharded=%v (%s)\npriority=%d preemptible=%v predicates: %v",
+						it, respS[0].Accepted, respS[0].Reason, respH[0].Accepted, respH[0].Reason, prio, preemptible, preds)
+				}
+				if respS[0].Accepted {
+					w.pairs = append(w.pairs, eqPair{client: client, singleID: respS[0].PromiseID, shardID: respH[0].PromiseID})
+				}
+				if w.rng.Intn(12) == 0 {
+					w.advance()
+				}
+				if it%10 == 9 {
 					w.verify()
 				}
 			}

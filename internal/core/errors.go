@@ -27,6 +27,9 @@ var (
 	// ErrPromiseReleased is returned when using a promise that was already
 	// released.
 	ErrPromiseReleased = errors.New("core: promise already released")
+	// ErrPromisePreempted is returned when using a preemptible promise that
+	// a higher-priority grant revoked before its deadline.
+	ErrPromisePreempted = errors.New("core: promise preempted")
 	// ErrPromiseViolated is returned when the post-action consistency check
 	// fails: the application action made state changes that violate
 	// promises not being released with it; the action has been rolled back

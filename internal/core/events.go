@@ -53,6 +53,11 @@ const (
 	// EventMigrated: the global matcher re-homed the promise's slot on
 	// another shard; the promise id, client and expiry are unchanged.
 	EventMigrated EventType = "migrated"
+	// EventPreempted: a higher-priority grant revoked this preemptible
+	// promise before its deadline. By carries the displacing promise id and
+	// Priority the displacing tier; the holder's recourse is to re-request
+	// (possibly at a higher tier) — see EventType docs in docs/architecture.md.
+	EventPreempted EventType = "preempted"
 )
 
 // Event is one promise lifecycle transition.
@@ -76,6 +81,11 @@ type Event struct {
 	// Reason carries detail: the violation message, the replaced ids of a
 	// renewal, the shard movement of a migration.
 	Reason string `json:"reason,omitempty"`
+	// By, on a preempted event, is the displacing promise's id (the part id
+	// on its shard for a cross-shard composite grant).
+	By string `json:"by,omitempty"`
+	// Priority, on a preempted event, is the displacing request's tier.
+	Priority int `json:"priority,omitempty"`
 }
 
 // MarshalJSON omits a zero Expires — encoding/json's omitempty does not

@@ -49,6 +49,13 @@ type FedReserveSpec struct {
 	// aborts it unilaterally. Zero means DefaultFedTTL; the node caps it
 	// at MaxFedTTL.
 	TTL time.Duration
+	// Priority and Preemptible carry the original request's tier and spot
+	// flag, as in PromiseRequest: sub-promises are stamped with them, and
+	// a positive tier lets each node's planner displace its own
+	// lower-tier preemptible holds (preempt.go). Victim selection is
+	// node-local — a federated grant never preempts across nodes.
+	Priority    int
+	Preemptible bool
 }
 
 // Fed session TTL bounds: how long a node holds its shard locks for an
@@ -322,6 +329,8 @@ func (s *ShardedManager) FedReserve(ctx context.Context, client string, spec Fed
 			PredIdx:     orig,
 			Duration:    spec.Duration,
 			MinDuration: spec.MinDuration,
+			Priority:    spec.Priority,
+			Preemptible: spec.Preemptible,
 		})
 		if err != nil {
 			abortAll()

@@ -75,6 +75,11 @@ type Config struct {
 	// before each promise's deadline, so clients renew reactively instead
 	// of polling CheckBatch. Zero disables the warning.
 	ExpiryWarning time.Duration
+	// DefaultPriority is the tier stamped onto requests that do not name
+	// one (PromiseRequest.Priority == 0). Zero keeps tier 0, which never
+	// preempts; a deployment that wants ordinary traffic to displace spot
+	// holds sets a positive default. See preempt.go.
+	DefaultPriority int
 	// ReplayRing sets the event bus's replay-ring capacity (how far back a
 	// Watch subscriber can resume with AfterSeq). Zero means
 	// DefaultReplayRing. Ignored when an external bus is injected (the
@@ -91,6 +96,11 @@ type Config struct {
 	// scan-everything slow path. Tests only: the equivalence suites run
 	// both ways to pin fast ≡ slow.
 	disableFastPath bool
+	// preemptFilter, when non-nil, vetoes preemption candidates by promise
+	// id. NewSharded installs one that keeps composite members out of
+	// per-shard victim sets (a composite must be displaced whole or not at
+	// all, and only its coordinator can see the whole).
+	preemptFilter func(id string) bool
 }
 
 // Manager is the promise manager. It is safe for concurrent use; every
@@ -230,6 +240,7 @@ type execState struct {
 	postCommit   []func()
 	released     int64
 	expired      int64
+	preempted    int64
 	// events records the attempt's lifecycle transitions; they publish on
 	// the shared bus only after the transaction commits.
 	events []Event
@@ -423,6 +434,7 @@ func (m *Manager) executeOnce(ctx context.Context, req Request) (_ *Response, er
 	syncErr := m.durSync()
 	m.metrics.releases.Add(st.released)
 	m.metrics.expirations.Add(st.expired)
+	m.metrics.preemptions.Add(st.preempted)
 	for _, f := range st.postCommit {
 		f()
 	}
@@ -486,14 +498,28 @@ func (m *Manager) processPromiseRequest(ctx context.Context, tx *txn.Tx, st *exe
 	if durReason != "" {
 		return reject("%s", durReason), nil
 	}
+	if pr.Priority == 0 {
+		pr.Priority = m.cfg.DefaultPriority
+	}
 	plan, reason, counter, err := m.plan(ctx, tx, st, pr.Predicates, releases, duration)
 	if err != nil {
 		return PromiseResponse{}, err
 	}
+	var victims []*Promise
 	if plan == nil {
-		resp := reject("%s", reason)
-		resp.Counter = counter
-		return resp, nil
+		// Spot-capacity fallback: a positive-tier request the planner
+		// rejected may displace strictly-lower-tier preemptible holds
+		// (preempt.go). The rejection keeps the original reason when
+		// preemption cannot help either.
+		plan, victims, err = m.planPreempt(ctx, tx, st, pr.Predicates, releases, duration, pr.Priority)
+		if err != nil {
+			return PromiseResponse{}, err
+		}
+		if plan == nil {
+			resp := reject("%s", reason)
+			resp.Counter = counter
+			return resp, nil
+		}
 	}
 
 	for _, rp := range releases {
@@ -501,12 +527,22 @@ func (m *Manager) processPromiseRequest(ctx context.Context, tx *txn.Tx, st *exe
 			return PromiseResponse{}, err
 		}
 	}
+	// The grant's id is allocated before the victims are revoked so each
+	// EventPreempted can name the promise that displaced its holder.
+	id := m.promiseIDs.Next()
+	for _, vp := range victims {
+		if err := m.preemptPromise(tx, st, vp, id, pr.Priority); err != nil {
+			return PromiseResponse{}, err
+		}
+	}
 	prm := &Promise{
-		ID:         m.promiseIDs.Next(),
-		Client:     client,
-		Predicates: append([]Predicate(nil), pr.Predicates...),
-		Expires:    m.clk.Now().Add(duration),
-		State:      Active,
+		ID:          id,
+		Client:      client,
+		Predicates:  append([]Predicate(nil), pr.Predicates...),
+		Expires:     m.clk.Now().Add(duration),
+		State:       Active,
+		Priority:    pr.Priority,
+		Preemptible: pr.Preemptible,
 	}
 	if err := m.applyGrant(tx, prm, plan); err != nil {
 		return PromiseResponse{}, err
@@ -583,6 +619,8 @@ func (m *Manager) promiseForClient(r txn.Reader, client, id string) (*Promise, e
 		return nil, fmt.Errorf("%w: %s", ErrPromiseReleased, id)
 	case Expired:
 		return nil, fmt.Errorf("%w: %s", ErrPromiseExpired, id)
+	case Preempted:
+		return nil, fmt.Errorf("%w: %s", ErrPromisePreempted, id)
 	}
 	if !m.clk.Now().Before(p.Expires) {
 		return nil, fmt.Errorf("%w: %s", ErrPromiseExpired, id)
@@ -648,7 +686,7 @@ func (m *Manager) applyEnvReleases(tx *txn.Tx, st *execState, client string, env
 }
 
 // releasePromise frees every hold backing p and marks it with the given
-// terminal state (Released or Expired).
+// terminal state (Released, Expired or Preempted).
 func (m *Manager) releasePromise(tx *txn.Tx, st *execState, p *Promise, terminal State) error {
 	if p.State != Active {
 		return nil
@@ -709,10 +747,14 @@ func (m *Manager) releasePromise(tx *txn.Tx, st *execState, p *Promise, terminal
 	}
 	p.State = terminal
 	typ := EventReleased
-	if terminal == Expired {
+	switch terminal {
+	case Expired:
 		st.expired++
 		typ = EventExpired
-	} else {
+	case Preempted:
+		st.preempted++
+		typ = EventPreempted
+	default:
 		st.released++
 	}
 	st.events = append(st.events, Event{Type: typ, PromiseID: p.ID, Client: p.Client, Time: m.clk.Now()})

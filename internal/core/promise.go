@@ -34,6 +34,9 @@ const (
 	// Expired promises passed their duration (§2: "Promises do not last
 	// forever").
 	Expired
+	// Preempted promises were revoked before their deadline by a
+	// higher-priority grant (spot capacity reclaimed).
+	Preempted
 )
 
 // String names the state.
@@ -45,6 +48,8 @@ func (s State) String() string {
 		return "released"
 	case Expired:
 		return "expired"
+	case Preempted:
+		return "preempted"
 	}
 	return fmt.Sprintf("State(%d)", int(s))
 }
@@ -74,6 +79,11 @@ type Promise struct {
 	Expires time.Time
 	// State is the lifecycle state.
 	State State
+	// Priority is the tier the promise was granted at.
+	Priority int
+	// Preemptible marks the promise as displaceable by strictly
+	// higher-priority requests.
+	Preemptible bool
 }
 
 // slotKey identifies one predicate of one promise; escrow reservations and

@@ -35,6 +35,15 @@ type PromiseRequest struct {
 	// Releases lists existing promises to hand back atomically with the
 	// grant; on rejection they remain in force.
 	Releases []string
+	// Priority is the request's tier (default 0). When the normal planner
+	// finds no feasible assignment, a request may displace active
+	// preemptible promises of strictly lower priority; equal or higher
+	// tiers are never displaced.
+	Priority int
+	// Preemptible marks the granted promise as "spot" capacity: a later
+	// higher-priority request may revoke it before its deadline, emitting
+	// EventPreempted to its watchers.
+	Preemptible bool
 }
 
 // EnvEntry names one promise forming the execution environment of an

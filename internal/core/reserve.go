@@ -51,6 +51,13 @@ type ReserveRequest struct {
 	Duration time.Duration
 	// MinDuration is the client's floor, as in PromiseRequest.MinDuration.
 	MinDuration time.Duration
+	// Priority and Preemptible carry the request's tier and spot flag, as
+	// in PromiseRequest: every sub-promise of a cross-shard grant is
+	// stamped with them, and a positive tier lets the shard's planner (and
+	// the coordinator's joint matcher) displace lower-tier preemptible
+	// holds. See preempt.go.
+	Priority    int
+	Preemptible bool
 }
 
 // GrantedPart describes one sub-promise created under a reservation.
@@ -110,6 +117,11 @@ type Reservation struct {
 	start   time.Time
 	granted []GrantedPart
 	done    bool
+	// priority and preemptible are the request's tier and spot flag,
+	// stamped onto every sub-promise this reservation grants (including
+	// the coordinator's pinned property grants).
+	priority    int
+	preemptible bool
 }
 
 // Reserve begins a reservation: it opens a transaction, sweeps expired
@@ -145,6 +157,9 @@ func (m *Manager) Reserve(ctx context.Context, client string, rr ReserveRequest)
 	if err := m.sweepExpired(tx, st); err != nil {
 		return fail(err)
 	}
+	if rr.Priority == 0 {
+		rr.Priority = m.cfg.DefaultPriority
+	}
 
 	// Resolve every release target before applying any (mirroring the
 	// single-store order, so duplicate targets resolve identically), then
@@ -164,7 +179,7 @@ func (m *Manager) Reserve(ctx context.Context, client string, rr ReserveRequest)
 		}
 	}
 
-	r := &Reservation{m: m, tx: tx, st: st, client: client, start: start}
+	r := &Reservation{m: m, tx: tx, st: st, client: client, start: start, priority: rr.Priority, preemptible: rr.Preemptible}
 	if len(rr.Predicates) > 0 {
 		duration, durReason := m.grantDuration(ctx, rr.Duration, rr.MinDuration)
 		if durReason != "" {
@@ -176,17 +191,35 @@ func (m *Manager) Reserve(ctx context.Context, client string, rr ReserveRequest)
 		if err != nil {
 			return fail(err)
 		}
+		var victims []*Promise
 		if plan == nil {
-			_, resp, _ := reject("%s", reason)
-			resp.Counter = counter
-			return nil, resp, nil
+			// Spot-capacity fallback for the shard-bound predicates, exactly
+			// as on the single store (preempt.go): victims revoked inside the
+			// open reservation spring back untouched if any shard aborts.
+			plan, victims, err = m.planPreempt(ctx, tx, st, rr.Predicates, nil, duration, rr.Priority)
+			if err != nil {
+				return fail(err)
+			}
+			if plan == nil {
+				_, resp, _ := reject("%s", reason)
+				resp.Counter = counter
+				return nil, resp, nil
+			}
+		}
+		id := m.promiseIDs.Next()
+		for _, vp := range victims {
+			if err := m.preemptPromise(tx, st, vp, id, rr.Priority); err != nil {
+				return fail(err)
+			}
 		}
 		prm := &Promise{
-			ID:         m.promiseIDs.Next(),
-			Client:     client,
-			Predicates: append([]Predicate(nil), rr.Predicates...),
-			Expires:    m.clk.Now().Add(duration),
-			State:      Active,
+			ID:          id,
+			Client:      client,
+			Predicates:  append([]Predicate(nil), rr.Predicates...),
+			Expires:     m.clk.Now().Add(duration),
+			State:       Active,
+			Priority:    rr.Priority,
+			Preemptible: rr.Preemptible,
 		}
 		if err := m.applyGrant(tx, prm, plan); err != nil {
 			return fail(err)
@@ -366,12 +399,14 @@ func (r *Reservation) ApplyRealloc(realloc map[string]string) error {
 func (r *Reservation) GrantPinned(preds []Predicate, predIdx []int, assign []string, d time.Duration) error {
 	m := r.m
 	prm := &Promise{
-		ID:         m.promiseIDs.Next(),
-		Client:     r.client,
-		Predicates: append([]Predicate(nil), preds...),
-		Expires:    m.clk.Now().Add(m.clampDuration(d)),
-		State:      Active,
-		Assigned:   append([]string(nil), assign...),
+		ID:          m.promiseIDs.Next(),
+		Client:      r.client,
+		Predicates:  append([]Predicate(nil), preds...),
+		Expires:     m.clk.Now().Add(m.clampDuration(d)),
+		State:       Active,
+		Assigned:    append([]string(nil), assign...),
+		Priority:    r.priority,
+		Preemptible: r.preemptible,
 	}
 	prm.DelegatedQty = make([]int64, len(preds))
 	prm.DelegatedID = make([]string, len(preds))
@@ -399,6 +434,42 @@ func (r *Reservation) GrantPinned(preds []Predicate, predIdx []int, assign []str
 // only if Confirm succeeds.
 func (r *Reservation) Granted() []GrantedPart { return r.granted }
 
+// Preempt revokes the given active promises on this shard inside the
+// reservation transaction, on behalf of a cross-shard grant at tier
+// byPriority: the coordinator applies the jointly selected victim set
+// through the open reservations, so the revocations commit atomically with
+// the grant and an abort anywhere restores every victim. Non-active ids
+// are skipped (a concurrent expiry sweep may have lapsed one). The
+// displacing promise id is stamped afterwards via StampPreemptedBy, once
+// the pinned grants exist.
+func (r *Reservation) Preempt(ids []string, byPriority int) error {
+	for _, id := range ids {
+		p, err := r.m.promise(r.tx, id)
+		if err != nil {
+			return err
+		}
+		if p.State != Active {
+			continue
+		}
+		if err := r.m.preemptPromise(r.tx, r.st, p, "", byPriority); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StampPreemptedBy fills the displacing promise id into this reservation's
+// pending EventPreempted records that lack one (left empty by Preempt
+// because the displacing sub-promise did not exist yet). Events publish at
+// Confirm, so the annotation lands before any watcher can observe them.
+func (r *Reservation) StampPreemptedBy(by string) {
+	for i := range r.st.events {
+		if r.st.events[i].Type == EventPreempted && r.st.events[i].By == "" {
+			r.st.events[i].By = by
+		}
+	}
+}
+
 // Confirm commits the reservation: the tentative releases and grants become
 // durable and the shard's counters record the work.
 func (r *Reservation) Confirm() error {
@@ -425,6 +496,7 @@ func (r *Reservation) Confirm() error {
 	m.metrics.grants.Add(int64(len(r.granted)))
 	m.metrics.releases.Add(r.st.released)
 	m.metrics.expirations.Add(r.st.expired)
+	m.metrics.preemptions.Add(r.st.preempted)
 	m.metrics.latency.Observe(time.Since(r.start))
 	for _, g := range r.granted {
 		m.trackExpiry(g.ID, g.Expires)

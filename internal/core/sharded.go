@@ -202,6 +202,9 @@ type ShardedConfig struct {
 	MaxRetries       int
 	Actions          ActionResolver
 	ExpiryWarning    time.Duration
+	// DefaultPriority applies to requests that do not name a tier, as in
+	// Config.DefaultPriority.
+	DefaultPriority int
 	// ReplayRing sizes the shared event bus's replay ring, as in
 	// Config.ReplayRing.
 	ReplayRing int
@@ -251,7 +254,18 @@ func NewSharded(cfg ShardedConfig) (*ShardedManager, error) {
 			Actions:          cfg.Actions,
 			IDPrefix:         fmt.Sprintf("%s%s%d", ns, shardIDPrefix, i),
 			ExpiryWarning:    cfg.ExpiryWarning,
+			DefaultPriority:  cfg.DefaultPriority,
 			bus:              s.bus,
+			// Composite members never join a shard-local victim set: a
+			// composite promise is displaced whole or not at all, and only
+			// the coordinator sees the whole. dirMu is a leaf lock, safe
+			// to take under any shard lock.
+			preemptFilter: func(id string) bool {
+				s.dirMu.Lock()
+				_, part := s.partOf[id]
+				s.dirMu.Unlock()
+				return !part
+			},
 			// Deadline-driven expiry mutates the shard's store, so it runs
 			// under the shard's write lock like any other mutation — the
 			// reserve/confirm pipeline's sole-user invariant holds.
@@ -808,6 +822,11 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 			return reject("invalid predicate %s: %v", p, err), nil
 		}
 	}
+	// Normalize the tier here (pr is a copy) so the coordinator and every
+	// shard agree on it; shard configs share one DefaultPriority.
+	if pr.Priority == 0 {
+		pr.Priority = s.shards[0].m.cfg.DefaultPriority
+	}
 
 	// Partition release targets to their owning shards, expanding composite
 	// targets into their per-shard parts. Usability is checked by each
@@ -990,6 +1009,8 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 			PredIdx:     idxs,
 			Duration:    pr.Duration,
 			MinDuration: pr.MinDuration,
+			Priority:    pr.Priority,
+			Preemptible: pr.Preemptible,
 		})
 		if err != nil {
 			abortAll()
@@ -1015,11 +1036,55 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 	// as a single-predicate sub-promise, so the slot stays migratable.
 	var pendingMoves []slotMigration
 	var movedRows []*Promise
+	preempted := false
 	if len(floating) > 0 {
 		plans, migs, ok, err := s.solveFloatAssignment(resvs, pr, floating, s.mode)
 		if err != nil {
 			abortAll()
 			return PromiseResponse{}, err
+		}
+		if !ok && pr.Priority > 0 && s.mode == MatchingMode {
+			// Spot-capacity fallback (preempt.go): displacing lower-tier
+			// preemptible holds may restore joint feasibility. The victims
+			// that help can hold instances on any shard — including shards
+			// the pre-filter excluded, whose named-held instances become
+			// candidates once freed — so the fallback runs only under the
+			// full lock set (widen first otherwise; the retry is a pure
+			// re-execution, as in Phase 1) and reserves the leftover shards.
+			if len(locked) < len(s.shards) {
+				abortAll()
+				return PromiseResponse{}, errPrefilterWiden
+			}
+			for i := range s.shards {
+				if resvs[i] != nil {
+					continue
+				}
+				resv, rejResp, rerr := s.shards[i].m.Reserve(ctx, client, ReserveRequest{
+					Duration:    pr.Duration,
+					MinDuration: pr.MinDuration,
+					Priority:    pr.Priority,
+					Preemptible: pr.Preemptible,
+				})
+				if rerr != nil {
+					abortAll()
+					return PromiseResponse{}, rerr
+				}
+				if rejResp != nil {
+					// An empty reservation cannot reject on capacity; this is
+					// a duration-floor rejection, identical on every shard.
+					abortAll()
+					out := *rejResp
+					out.Correlation = pr.RequestID
+					return out, nil
+				}
+				resvs[i] = resv
+			}
+			plans, migs, ok, err = s.preemptFloat(pr, resvs, floating)
+			if err != nil {
+				abortAll()
+				return PromiseResponse{}, err
+			}
+			preempted = ok
 		}
 		if !ok {
 			abortAll()
@@ -1056,6 +1121,22 @@ func (s *ShardedManager) grantCross(ctx context.Context, client string, pr Promi
 					abortAll()
 					return PromiseResponse{}, err
 				}
+			}
+		}
+		if preempted {
+			// Name the displacing promise in every pending EventPreempted:
+			// the lowest granted part id (the composite id does not exist
+			// until after confirm, and a single-part grant answers to its
+			// part id anyway).
+			by := ""
+			for _, sh := range sortedKeys(resvs) {
+				if g := resvs[sh].Granted(); len(g) > 0 {
+					by = g[0].ID
+					break
+				}
+			}
+			for _, sh := range sortedKeys(resvs) {
+				resvs[sh].StampPreemptedBy(by)
 			}
 		}
 		pendingMoves = migs
@@ -1769,6 +1850,7 @@ func (s *ShardedManager) Stats() Stats {
 		reject    int64
 		releases  int64
 		expire    int64
+		preempt   int64
 		violate   int64
 		actErrs   int64
 		deadlocks int64
@@ -1788,6 +1870,7 @@ func (s *ShardedManager) Stats() Stats {
 			reject:    mm.rejections.Value(),
 			releases:  mm.releases.Value(),
 			expire:    mm.expirations.Value(),
+			preempt:   mm.preemptions.Value(),
 			violate:   mm.violations.Value(),
 			actErrs:   mm.actionErrors.Value(),
 			deadlocks: mm.deadlocks.Value(),
@@ -1818,6 +1901,7 @@ func (s *ShardedManager) Stats() Stats {
 		out.Rejections += st.Rejections
 		out.Releases += c.releases
 		out.Expirations += c.expire
+		out.Preemptions += c.preempt
 		out.Violations += c.violate
 		out.ActionErrors += c.actErrs
 		out.DeadlockRetries += c.deadlocks

@@ -14,6 +14,7 @@ type managerMetrics struct {
 	rejections   metrics.Counter
 	releases     metrics.Counter
 	expirations  metrics.Counter
+	preemptions  metrics.Counter
 	violations   metrics.Counter
 	actionErrors metrics.Counter
 	deadlocks    metrics.Counter // internal deadlock retries
@@ -33,6 +34,9 @@ type Stats struct {
 	Releases int64
 	// Expirations counts promises lapsed by the sweep.
 	Expirations int64
+	// Preemptions counts preemptible promises revoked before their deadline
+	// by higher-tier grants (preempt.go).
+	Preemptions int64
 	// Violations counts actions rolled back by the post-action check.
 	Violations int64
 	// ActionErrors counts actions that failed on their own.
@@ -86,6 +90,9 @@ func (s Stats) String() string {
 		"requests=%d grants=%d rejections=%d releases=%d expirations=%d violations=%d actionErrs=%d deadlockRetries=%d p50=%v p99=%v",
 		s.Requests, s.Grants, s.Rejections, s.Releases, s.Expirations,
 		s.Violations, s.ActionErrors, s.DeadlockRetries, s.Latency.P50, s.Latency.P99)
+	if s.Preemptions > 0 {
+		out += fmt.Sprintf(" preemptions=%d", s.Preemptions)
+	}
 	if s.ExpiryErrors > 0 {
 		out += fmt.Sprintf(" expiryErrs=%d", s.ExpiryErrors)
 	}
@@ -106,6 +113,7 @@ func (m *Manager) Stats() Stats {
 		Rejections:      m.metrics.rejections.Value(),
 		Releases:        m.metrics.releases.Value(),
 		Expirations:     m.metrics.expirations.Value(),
+		Preemptions:     m.metrics.preemptions.Value(),
 		Violations:      m.metrics.violations.Value(),
 		ActionErrors:    m.metrics.actionErrors.Value(),
 		DeadlockRetries: m.metrics.deadlocks.Value(),

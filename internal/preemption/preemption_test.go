@@ -1,0 +1,162 @@
+package preemption
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2007, 1, 7, 0, 0, 0, 0, time.UTC)
+
+// cand builds a candidate expiring m minutes from the epoch.
+func cand(id string, prio, m int) Candidate {
+	return Candidate{ID: id, Priority: prio, Expires: t0.Add(time.Duration(m) * time.Minute), Client: "c", Sig: "s"}
+}
+
+// qtyOracle models uniform one-unit holds on a single contended pool:
+// feasibility needs at least `need` victims.
+func qtyOracle(need int) func([]Candidate) (bool, error) {
+	return func(set []Candidate) (bool, error) { return len(set) >= need, nil }
+}
+
+func ids(set []Candidate) string {
+	out := ""
+	for i, c := range set {
+		if i > 0 {
+			out += ","
+		}
+		out += c.ID
+	}
+	return out
+}
+
+func TestSelectOldestDeadlineFirst(t *testing.T) {
+	cands := []Candidate{cand("late", 0, 30), cand("early", 0, 5), cand("mid", 0, 15)}
+	set, err := Select(cands, qtyOracle(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(set); got != "early,mid" {
+		t.Fatalf("victims = %s, want early,mid (oldest deadlines first)", got)
+	}
+}
+
+func TestSelectTieBreaks(t *testing.T) {
+	// Same deadline throughout: lower tier loses first, then client, then
+	// signature — engine-independent identity before any id comparison.
+	cands := []Candidate{
+		{ID: "x", Priority: 2, Expires: t0, Client: "bob", Sig: "s"},
+		{ID: "y", Priority: 0, Expires: t0, Client: "bob", Sig: "s"},
+		{ID: "z", Priority: 0, Expires: t0, Client: "alice", Sig: "s"},
+	}
+	set, err := Select(cands, qtyOracle(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(set); got != "z" {
+		t.Fatalf("victim = %s, want z (lowest tier, then client order)", got)
+	}
+}
+
+// The grow pass may admit candidates that contribute nothing; the prune
+// pass must drop them, leaving an inclusion-minimal set skewed to the
+// oldest deadlines.
+func TestSelectPrunesIrrelevantCandidates(t *testing.T) {
+	// Only "hit" candidates free the contended resource; "miss" candidates
+	// sort earlier (older deadlines) but are useless.
+	useful := func(set []Candidate) (bool, error) {
+		n := 0
+		for _, c := range set {
+			if c.Sig == "hit" {
+				n++
+			}
+		}
+		return n >= 2, nil
+	}
+	cands := []Candidate{
+		{ID: "m1", Expires: t0.Add(1 * time.Minute), Client: "c", Sig: "miss"},
+		{ID: "m2", Expires: t0.Add(2 * time.Minute), Client: "c", Sig: "miss"},
+		{ID: "h1", Expires: t0.Add(3 * time.Minute), Client: "c", Sig: "hit"},
+		{ID: "h2", Expires: t0.Add(4 * time.Minute), Client: "c", Sig: "hit"},
+		{ID: "h3", Expires: t0.Add(5 * time.Minute), Client: "c", Sig: "hit"},
+	}
+	set, err := Select(cands, useful)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(set); got != "h1,h2" {
+		t.Fatalf("victims = %s, want h1,h2 (misses pruned, oldest hits kept)", got)
+	}
+}
+
+func TestSelectInfeasibleReturnsNil(t *testing.T) {
+	set, err := Select([]Candidate{cand("a", 0, 1), cand("b", 0, 2)},
+		func([]Candidate) (bool, error) { return false, nil })
+	if err != nil || set != nil {
+		t.Fatalf("Select = %v, %v; want nil, nil when no subset is feasible", set, err)
+	}
+	if set, err := Select(nil, qtyOracle(0)); err != nil || set != nil {
+		t.Fatalf("Select(empty) = %v, %v; want nil, nil", set, err)
+	}
+}
+
+func TestSelectPropagatesOracleError(t *testing.T) {
+	boom := errors.New("trial plan failed")
+	if _, err := Select([]Candidate{cand("a", 0, 1)},
+		func([]Candidate) (bool, error) { return false, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the oracle's error", err)
+	}
+}
+
+// Determinism across presentation order: any permutation of the same
+// candidates yields the same victim set — the property the cross-engine
+// equivalence suites lean on.
+func TestSelectOrderIndependent(t *testing.T) {
+	base := []Candidate{cand("a", 0, 4), cand("b", 1, 2), cand("c", 0, 9), cand("d", 0, 1)}
+	want := ""
+	for i := 0; i < len(base); i++ {
+		perm := append(append([]Candidate(nil), base[i:]...), base[:i]...)
+		set, err := Select(perm, qtyOracle(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == "" {
+			want = ids(set)
+			continue
+		}
+		if got := ids(set); got != want {
+			t.Fatalf("rotation %d: victims = %s, want %s", i, got, want)
+		}
+	}
+	if want != "d,b" {
+		t.Fatalf("canonical victims = %s, want d,b", want)
+	}
+}
+
+// The oracle is never called with an empty set, and the call count stays
+// linear in the candidate list (grow ≤ n, prune ≤ n).
+func TestSelectOracleDiscipline(t *testing.T) {
+	const n = 40
+	cands := make([]Candidate, n)
+	for i := range cands {
+		cands[i] = cand(fmt.Sprintf("p%02d", i), 0, i+1)
+	}
+	calls := 0
+	set, err := Select(cands, func(set []Candidate) (bool, error) {
+		calls++
+		if len(set) == 0 {
+			t.Fatal("oracle called with empty set")
+		}
+		return len(set) >= n/2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != n/2 {
+		t.Fatalf("victim count = %d, want %d", len(set), n/2)
+	}
+	if calls > 2*n {
+		t.Fatalf("oracle called %d times for %d candidates; want O(n)", calls, n)
+	}
+}

@@ -29,6 +29,8 @@ type ReserveRequest struct {
 	Duration    string         `xml:"duration,attr,omitempty"`
 	MinDuration string         `xml:"min-duration,attr,omitempty"`
 	TTL         string         `xml:"ttl,attr,omitempty"`
+	Priority    int            `xml:"priority,attr,omitempty"`
+	Preemptible bool           `xml:"preemptible,attr,omitempty"`
 	Predicates  []FedPredicate `xml:"predicate"`
 	Releases    []string       `xml:"release"`
 }
@@ -139,8 +141,10 @@ type AbortResponse struct {
 // ReserveToWire encodes a node-side reserve spec.
 func ReserveToWire(spec core.FedReserveSpec) *ReserveRequest {
 	out := &ReserveRequest{
-		WantProps: spec.WantProps,
-		Releases:  spec.Releases,
+		WantProps:   spec.WantProps,
+		Releases:    spec.Releases,
+		Priority:    spec.Priority,
+		Preemptible: spec.Preemptible,
 	}
 	if spec.Duration != 0 {
 		out.Duration = spec.Duration.String()
@@ -162,7 +166,7 @@ func ReserveToWire(spec core.FedReserveSpec) *ReserveRequest {
 
 // ReserveFromWire decodes a reserve request.
 func ReserveFromWire(w *ReserveRequest) (core.FedReserveSpec, error) {
-	spec := core.FedReserveSpec{WantProps: w.WantProps, Releases: w.Releases}
+	spec := core.FedReserveSpec{WantProps: w.WantProps, Releases: w.Releases, Priority: w.Priority, Preemptible: w.Preemptible}
 	var err error
 	if spec.Duration, err = parseWireDuration(w.Duration); err != nil {
 		return spec, err

@@ -122,7 +122,11 @@ type WireRequest struct {
 	Duration string `xml:"duration,attr,omitempty"`
 	// MinDuration is the client's floor: the manager rejects rather than
 	// grants for less (see core.PromiseRequest.MinDuration).
-	MinDuration string          `xml:"min-duration,attr,omitempty"`
+	MinDuration string `xml:"min-duration,attr,omitempty"`
+	// Priority is the request's tier and preemptible marks the grant as
+	// spot capacity (see core.PromiseRequest).
+	Priority    int             `xml:"priority,attr,omitempty"`
+	Preemptible bool            `xml:"preemptible,attr,omitempty"`
 	Predicates  []WirePredicate `xml:"predicate"`
 	Releases    []string        `xml:"release"`
 }
@@ -204,12 +208,13 @@ type Fault struct {
 
 // Fault codes mapping the manager's sentinel errors onto the wire.
 const (
-	FaultPromiseExpired  = "promise-expired"
-	FaultPromiseNotFound = "promise-not-found"
-	FaultPromiseReleased = "promise-released"
-	FaultPromiseViolated = "promise-violated"
-	FaultBadRequest      = "bad-request"
-	FaultActionFailed    = "action-failed"
+	FaultPromiseExpired   = "promise-expired"
+	FaultPromiseNotFound  = "promise-not-found"
+	FaultPromiseReleased  = "promise-released"
+	FaultPromisePreempted = "promise-preempted"
+	FaultPromiseViolated  = "promise-violated"
+	FaultBadRequest       = "bad-request"
+	FaultActionFailed     = "action-failed"
 )
 
 // Encode writes the envelope as indented XML.
@@ -266,7 +271,7 @@ func PredicateFromWire(w WirePredicate) (core.Predicate, error) {
 
 // RequestToWire converts a core promise request.
 func RequestToWire(pr core.PromiseRequest) WireRequest {
-	out := WireRequest{ID: pr.RequestID, Releases: pr.Releases}
+	out := WireRequest{ID: pr.RequestID, Releases: pr.Releases, Priority: pr.Priority, Preemptible: pr.Preemptible}
 	if pr.Duration > 0 {
 		out.Duration = pr.Duration.String()
 	}
@@ -281,7 +286,7 @@ func RequestToWire(pr core.PromiseRequest) WireRequest {
 
 // RequestFromWire parses a wire promise request.
 func RequestFromWire(w WireRequest) (core.PromiseRequest, error) {
-	out := core.PromiseRequest{RequestID: w.ID, Releases: w.Releases}
+	out := core.PromiseRequest{RequestID: w.ID, Releases: w.Releases, Priority: w.Priority, Preemptible: w.Preemptible}
 	if w.Duration != "" {
 		d, err := time.ParseDuration(w.Duration)
 		if err != nil {
@@ -387,6 +392,8 @@ func FaultFromError(err error) *Fault {
 		code = FaultPromiseNotFound
 	case errors.Is(err, core.ErrPromiseReleased):
 		code = FaultPromiseReleased
+	case errors.Is(err, core.ErrPromisePreempted):
+		code = FaultPromisePreempted
 	case errors.Is(err, core.ErrPromiseViolated):
 		code = FaultPromiseViolated
 	case errors.Is(err, core.ErrBadRequest):
@@ -408,6 +415,8 @@ func ErrorFromFault(f *Fault) error {
 		return fmt.Errorf("%w: %s", core.ErrPromiseNotFound, f.Message)
 	case FaultPromiseReleased:
 		return fmt.Errorf("%w: %s", core.ErrPromiseReleased, f.Message)
+	case FaultPromisePreempted:
+		return fmt.Errorf("%w: %s", core.ErrPromisePreempted, f.Message)
 	case FaultPromiseViolated:
 		return fmt.Errorf("%w: %s", core.ErrPromiseViolated, f.Message)
 	case FaultBadRequest:

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -347,5 +348,84 @@ func TestEventsEndpointContract(t *testing.T) {
 	}
 	if strings.Contains(body, "id: 1\n") {
 		t.Fatalf("after=1 replayed seq 1:\n%s", body)
+	}
+}
+
+// TestPreemptedEventOverSSE pins the preempted event's wire shape: a
+// remote watcher filtered to preempted events sees the victim's id, the
+// displacing promise id and its tier — the same annotations a local
+// subscriber gets.
+func TestPreemptedEventOverSSE(t *testing.T) {
+	eng, err := core.New(core.Config{DefaultDuration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CreatePool("gp", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(eng, nil).Handler())
+	defer srv.Close()
+
+	spotC := &Client{BaseURL: srv.URL, Client: "spot"}
+	spotResp, err := spotC.Execute(bg, core.Request{PromiseRequests: []core.PromiseRequest{{
+		Predicates:  []core.Predicate{core.Quantity("gp", 1)},
+		Preemptible: true,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spotID := spotResp.Promises[0].PromiseID
+	if spotID == "" {
+		t.Fatalf("spot grant rejected: %s", spotResp.Promises[0].Reason)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := spotC.Watch(ctx, core.WatchOptions{Types: []core.EventType{core.EventPreempted}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	odC := &Client{BaseURL: srv.URL, Client: "od"}
+	odResp, err := odC.Execute(bg, core.Request{PromiseRequests: []core.PromiseRequest{{
+		Predicates: []core.Predicate{core.Quantity("gp", 1)},
+		Priority:   3,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	odID := odResp.Promises[0].PromiseID
+	if odID == "" {
+		t.Fatalf("displacing grant rejected over the wire: %s", odResp.Promises[0].Reason)
+	}
+
+	select {
+	case ev, ok := <-ch:
+		if !ok {
+			t.Fatal("event stream closed before the preempted event")
+		}
+		if ev.Type != core.EventPreempted || ev.PromiseID != spotID {
+			t.Fatalf("event %+v, want preempted %s", ev, spotID)
+		}
+		if ev.By != odID {
+			t.Errorf("event By = %q, want displacing id %s", ev.By, odID)
+		}
+		if ev.Priority != 3 {
+			t.Errorf("event Priority = %d, want 3", ev.Priority)
+		}
+		if ev.Client != "spot" {
+			t.Errorf("event Client = %q, want the victim's owner", ev.Client)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("preempted event never crossed the SSE stream")
+	}
+
+	// The victim's check over the wire reports the preempted sentinel.
+	verdicts, err := spotC.CheckBatch(bg, "spot", []string{spotID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(verdicts[0], core.ErrPromisePreempted) {
+		t.Fatalf("remote check after preemption = %v, want ErrPromisePreempted", verdicts[0])
 	}
 }

@@ -53,8 +53,10 @@
 // # Events
 //
 // Engine.Watch subscribes to promise lifecycle transitions — granted,
-// renewed, released, expired, violated, and (with WithExpiryWarning)
-// expiry-imminent — pushed as they happen rather than polled. Expiry fires
+// renewed, released, expired, violated, preempted (a spot hold revoked by
+// a higher-priority grant; the event names the displacing promise and its
+// tier), and (with WithExpiryWarning) expiry-imminent — pushed as they
+// happen rather than polled. Expiry fires
 // at each promise's deadline from the engine's expiry heap, so an expired
 // event arrives with no request in flight. Subscriptions filter by client,
 // promise id and event type (WatchOptions), and can replay recent history:

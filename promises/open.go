@@ -28,6 +28,7 @@ type options struct {
 	standardActions  bool
 	expiryWarning    time.Duration
 	replayRing       int
+	defaultPriority  int
 
 	dataDir         string
 	syncPolicy      SyncPolicy
@@ -39,8 +40,9 @@ type options struct {
 	clientID   string
 	httpClient *http.Client
 
-	nodeID       string
-	clusterNodes map[string]string
+	nodeID         string
+	clusterNodes   map[string]string
+	reconcileEvery time.Duration
 }
 
 // Option configures Open.
@@ -104,6 +106,12 @@ func WithExpiryWarning(d time.Duration) Option {
 // daemon was started with (promised -replay-ring).
 func WithReplayRing(n int) Option { return func(o *options) { o.replayRing = n } }
 
+// WithDefaultPriority sets the priority tier stamped on requests that name
+// none (PromiseRequest.Priority == 0). Higher tiers may displace
+// lower-tier preemptible holds when capacity is exhausted; see
+// docs/architecture.md ("Priority & preemption"). Local engines only.
+func WithDefaultPriority(p int) Option { return func(o *options) { o.defaultPriority = p } }
+
 // WithDataDir makes the engine durable: every committed transaction and
 // published event is written to an append-only, CRC-framed log under dir,
 // periodically compacted into checkpoints, and Open recovers the
@@ -155,6 +163,12 @@ func WithCluster(nodes map[string]string) Option {
 	return func(o *options) { o.clusterNodes = nodes }
 }
 
+// WithReconcileEvery makes a cluster engine retry its queued compensations
+// (partial-failure unwinds whose node was unreachable) on this cadence in
+// the background, instead of only when Reconcile is called explicitly.
+// Requires WithCluster.
+func WithReconcileEvery(d time.Duration) Option { return func(o *options) { o.reconcileEvery = d } }
+
 // WithClientID sets the default promise-client identity a remote engine
 // stamps on requests that carry none.
 func WithClientID(id string) Option { return func(o *options) { o.clientID = id } }
@@ -189,19 +203,24 @@ func Open(opts ...Option) (Engine, error) {
 		}
 		if o.shards != 0 || o.clk != nil || o.defaultDuration != 0 || o.maxDuration != 0 ||
 			o.suppliers != nil || o.actions != nil || o.maxRetries != 0 ||
-			o.expiryWarning != 0 || o.replayRing != 0 || o.dataDir != "" || o.nodeID != "" {
+			o.expiryWarning != 0 || o.replayRing != 0 || o.dataDir != "" || o.nodeID != "" ||
+			o.defaultPriority != 0 {
 			return nil, fmt.Errorf("promises: WithCluster cannot combine with local-engine options")
 		}
 		ports := make([]cluster.NodePort, 0, len(o.clusterNodes))
 		for id, url := range o.clusterNodes {
 			ports = append(ports, cluster.NewHTTPPort(id, url, o.clientID, o.httpClient))
 		}
-		return cluster.New(cluster.Config{Ports: ports, Mode: o.mode})
+		return cluster.New(cluster.Config{Ports: ports, Mode: o.mode, ReconcileEvery: o.reconcileEvery})
+	}
+	if o.reconcileEvery != 0 {
+		return nil, fmt.Errorf("promises: WithReconcileEvery requires WithCluster")
 	}
 	if o.remoteURL != "" {
 		if o.shards != 0 || o.clk != nil || o.defaultDuration != 0 || o.maxDuration != 0 ||
 			o.modeSet || o.suppliers != nil || o.actions != nil || o.maxRetries != 0 ||
-			o.expiryWarning != 0 || o.replayRing != 0 || o.dataDir != "" || o.nodeID != "" {
+			o.expiryWarning != 0 || o.replayRing != 0 || o.dataDir != "" || o.nodeID != "" ||
+			o.defaultPriority != 0 {
 			return nil, fmt.Errorf("promises: WithRemote(%q) cannot combine with local-engine options", o.remoteURL)
 		}
 		return &transport.Client{BaseURL: o.remoteURL, Client: o.clientID, HTTP: o.httpClient}, nil
@@ -246,6 +265,7 @@ func Open(opts ...Option) (Engine, error) {
 			Actions:          o.actions,
 			ExpiryWarning:    o.expiryWarning,
 			ReplayRing:       o.replayRing,
+			DefaultPriority:  o.defaultPriority,
 		}, dur)
 	}
 	if o.shards > 1 || o.nodeID != "" {
@@ -261,6 +281,7 @@ func Open(opts ...Option) (Engine, error) {
 			Actions:          o.actions,
 			ExpiryWarning:    o.expiryWarning,
 			ReplayRing:       o.replayRing,
+			DefaultPriority:  o.defaultPriority,
 			IDNamespace:      o.nodeID,
 		})
 	}
@@ -275,6 +296,7 @@ func Open(opts ...Option) (Engine, error) {
 		Actions:          o.actions,
 		ExpiryWarning:    o.expiryWarning,
 		ReplayRing:       o.replayRing,
+		DefaultPriority:  o.defaultPriority,
 	})
 }
 

@@ -90,9 +90,10 @@ const (
 	NamedView     = core.NamedView
 	PropertyView  = core.PropertyView
 
-	Active   = core.Active
-	Released = core.Released
-	Expired  = core.Expired
+	Active    = core.Active
+	Released  = core.Released
+	Expired   = core.Expired
+	Preempted = core.Preempted
 
 	MatchingMode = core.MatchingMode
 	FirstFitMode = core.FirstFitMode
@@ -104,6 +105,7 @@ const (
 	EventExpiryImminent = core.EventExpiryImminent
 	EventViolated       = core.EventViolated
 	EventMigrated       = core.EventMigrated
+	EventPreempted      = core.EventPreempted
 
 	SlowDrop       = core.SlowDrop
 	SlowDisconnect = core.SlowDisconnect
@@ -118,11 +120,12 @@ const (
 
 // Re-exported sentinel errors.
 var (
-	ErrPromiseNotFound = core.ErrPromiseNotFound
-	ErrPromiseExpired  = core.ErrPromiseExpired
-	ErrPromiseReleased = core.ErrPromiseReleased
-	ErrPromiseViolated = core.ErrPromiseViolated
-	ErrBadRequest      = core.ErrBadRequest
+	ErrPromiseNotFound  = core.ErrPromiseNotFound
+	ErrPromiseExpired   = core.ErrPromiseExpired
+	ErrPromiseReleased  = core.ErrPromiseReleased
+	ErrPromiseViolated  = core.ErrPromiseViolated
+	ErrPromisePreempted = core.ErrPromisePreempted
+	ErrBadRequest       = core.ErrBadRequest
 )
 
 // New creates a Manager. A zero Config builds a self-contained manager
