@@ -154,6 +154,12 @@ func main() {
 		} else {
 			err = cmdGet(ctx, *url, "/stats", *jsonOut)
 		}
+	case "health":
+		if *clusterURL != "" {
+			err = fmt.Errorf("health targets one daemon; name it with -url")
+			break
+		}
+		err = cmdHealth(ctx, *url, *jsonOut)
 	case "audit":
 		if *clusterURL != "" {
 			var rep *core.AuditReport
@@ -220,7 +226,7 @@ func grantEngine(eng promises.Engine, c *transport.Client, clustered bool, timeo
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: promisectl [flags] <request|modify|release|check|watch|invoke|buy|stats|audit> ...
+	fmt.Fprintln(os.Stderr, `usage: promisectl [flags] <request|modify|release|check|watch|invoke|buy|stats|audit|health> ...
   request qty:pink-widgets=5 prop:'floor = 5'
   request -- see also -priority/-preemptible for spot-tier requests
   modify prm-1 qty:acct-alice=200
@@ -231,6 +237,7 @@ func usage() {
   buy pink-widgets 5 prm-1
   stats                       show the manager's activity counters
   audit                       run a server-side consistency audit
+  health                      probe /healthz and /readyz; exit 0 only when ready (-json for structure)
   cluster status              show the coordinator's health view (-cluster or -url names it)`)
 	os.Exit(2)
 }
@@ -326,6 +333,65 @@ func cmdGet(ctx context.Context, base, path string, jsonOut bool) error {
 	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("%s returned %s", path, resp.Status)
+	}
+	return nil
+}
+
+// cmdHealth probes the daemon's liveness (/healthz) and readiness
+// (/readyz) endpoints. The exit code is the contract scripts key on: zero
+// only when the daemon is up AND ready; a degraded daemon (reads up,
+// mutations rejected) answers liveness but fails readiness.
+func cmdHealth(ctx context.Context, base string, jsonOut bool) error {
+	get := func(path string) (int, string, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return 0, "", err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		return resp.StatusCode, strings.TrimSpace(string(body)), err
+	}
+
+	liveStatus, liveBody, err := get("/healthz")
+	if err != nil {
+		return fmt.Errorf("liveness: %v", err)
+	}
+	readyPath := "/readyz"
+	if jsonOut {
+		readyPath += "?format=json"
+	}
+	readyStatus, readyBody, err := get(readyPath)
+	if err != nil {
+		return fmt.Errorf("readiness: %v", err)
+	}
+
+	if jsonOut {
+		var ready map[string]any
+		if err := json.Unmarshal([]byte(readyBody), &ready); err != nil {
+			return fmt.Errorf("readiness: decoding %q: %v", readyBody, err)
+		}
+		out := map[string]any{"live": liveStatus == http.StatusOK}
+		for k, v := range ready {
+			out[k] = v
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("live:  %s\n", liveBody)
+		fmt.Printf("ready: %s\n", readyBody)
+	}
+	if liveStatus != http.StatusOK {
+		return fmt.Errorf("liveness returned %d", liveStatus)
+	}
+	if readyStatus != http.StatusOK {
+		return fmt.Errorf("daemon not ready (%d)", readyStatus)
 	}
 	return nil
 }

@@ -67,6 +67,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/failpoint"
 	"repro/internal/service"
 	"repro/internal/transport"
 	"repro/promises"
@@ -96,12 +97,33 @@ func main() {
 	syncEvery := flag.Duration("sync-every", 0, "with -sync interval, the group-fsync cadence; 0 means 50ms")
 	ckptEvery := flag.Duration("checkpoint-every", 0, "with -data-dir, how often the log compacts into a checkpoint; 0 means 1m, negative disables")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+	reprobeEvery := flag.Duration("reprobe-every", 0, "with -data-dir, how often a degraded engine probes the directory for recovery; 0 means 5s")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: mutating requests dispatched concurrently; 0 disables the limiter")
+	maxQueue := flag.Int("max-queue", 0, "with -max-inflight, requests waiting for a slot before 503; 0 means 2x max-inflight")
+	retryAfter := flag.Duration("retry-after", 0, "with -max-inflight, the Retry-After hint stamped on shed responses; 0 means 1s")
+	failpoints := flag.String("failpoints", "", "arm failpoints at startup, e.g. 'wal/sync=error(disk gone);transport/handle=sleep(50ms)'; PROMISES_FAILPOINTS env adds more")
+	fpEndpoint := flag.Bool("failpoint-endpoint", false, "serve POST/GET/DELETE /failpoints to arm, list, and reset failpoints at runtime (chaos drills only)")
 	nodeID := flag.String("node-id", "", "cluster member id; namespaces promise ids as '<id>!…' for federation routing")
 	coordinator := flag.Bool("coordinator", false, "run the cluster coordinator (health checks, drains, /cluster/status) instead of a promise manager")
 	nodes := flag.String("nodes", "", "with -coordinator: comma-separated id=url member list")
 	probeEvery := flag.Duration("probe-every", time.Second, "with -coordinator: health-probe interval")
 	canaryMax := flag.Duration("canary-max", 250*time.Millisecond, "with -coordinator: grant-latency budget before a node is considered slow")
 	flag.Parse()
+
+	// Failpoints arm before anything else runs so startup paths (recovery,
+	// seeding) are drillable too. The flag and the environment both feed the
+	// same harness; arming is a no-op unless specs are given.
+	for _, spec := range []string{*failpoints, os.Getenv("PROMISES_FAILPOINTS")} {
+		if spec == "" {
+			continue
+		}
+		if err := failpoint.Arm(spec); err != nil {
+			log.Fatalf("promised: -failpoints: %v", err)
+		}
+	}
+	if armed := failpoint.List(); len(armed) > 0 {
+		log.Printf("promised: failpoints armed: %s", strings.Join(armed, "; "))
+	}
 
 	if *coordinator {
 		runCoordinator(*addr, *nodes, *probeEvery, *canaryMax)
@@ -143,6 +165,9 @@ func main() {
 		if *ckptEvery != 0 {
 			opts = append(opts, promises.WithCheckpointEvery(*ckptEvery))
 		}
+		if *reprobeEvery != 0 {
+			opts = append(opts, promises.WithReprobeEvery(*reprobeEvery))
+		}
 	}
 	if *nodeID != "" {
 		opts = append(opts, promises.WithNodeID(*nodeID))
@@ -183,7 +208,20 @@ func main() {
 		}
 	}()
 
-	srv := transport.NewServer(m, reg)
+	var srvOpts []transport.ServerOption
+	if *maxInflight > 0 {
+		srvOpts = append(srvOpts, transport.WithAdmission(transport.AdmissionConfig{
+			MaxInFlight: *maxInflight,
+			MaxQueue:    *maxQueue,
+			RetryAfter:  *retryAfter,
+		}))
+		log.Printf("promised: admission control on (max-inflight=%d, max-queue=%d)", *maxInflight, *maxQueue)
+	}
+	if *fpEndpoint {
+		srvOpts = append(srvOpts, transport.WithFailpointEndpoint())
+		log.Printf("promised: /failpoints endpoint enabled")
+	}
+	srv := transport.NewServer(m, reg, srvOpts...)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	// The profiler gets its own mux on its own listener: nothing pprof

@@ -1,0 +1,329 @@
+package cluster
+
+// Per-node circuit breakers. A peer that stops answering fails every call
+// into its transport timeout — and a federated grant pipeline that touches
+// a dead node pays that timeout on every attempt, dragging down traffic
+// that never needed the sick node. The breaker converts that slow failure
+// into a fast one: consecutive transport failures open the circuit, calls
+// fail immediately with ErrNodeUnavailable (typed, retryable — the node
+// may recover), and after a cooldown a single half-open probe decides
+// between closing the circuit and re-opening it.
+//
+// Engine errors are deliberately NOT failures: a node that answers
+// "promise not found" or "bad request" — or even "degraded" — is alive
+// and routing to it is fine. Only the transport-failure class (dial
+// errors, timeouts, dropped responses, a crashed simulator port) trips
+// the breaker.
+//
+// Coordinator health and breaker state feed each other: Ping and Canary
+// pass through an open breaker (probes must reach a recovering node) but
+// their outcomes are recorded, so a coordinator probe round both observes
+// the node and heals — or re-trips — its breaker. /cluster/status shows
+// the breaker column next to the health state.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// ErrNodeUnavailable is the fail-fast rejection for calls to a node whose
+// circuit breaker is open. It is retryable: the breaker re-probes after
+// its cooldown and the node may rejoin at any moment.
+var ErrNodeUnavailable = errors.New("cluster: node unavailable (circuit open)")
+
+// BreakerState is one circuit's position.
+type BreakerState string
+
+const (
+	// BreakerClosed: traffic flows; failures are being counted.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: calls fail fast until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: the cooldown elapsed; one probe call is deciding.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// BreakerConfig tunes a per-node circuit breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive transport failures open the
+	// circuit (0 = 5).
+	Threshold int
+	// Cooldown is how long an open circuit rejects before allowing the
+	// half-open probe (0 = 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// transportFailure classifies an error from a node call: true means the
+// transport failed (node unreachable, timed out, reply lost), false means
+// the node answered — engine verdicts, however unhappy, prove liveness.
+// Context cancellation is the caller's doing and proves nothing.
+func transportFailure(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	switch {
+	case errors.Is(err, core.ErrPromiseNotFound),
+		errors.Is(err, core.ErrPromiseExpired),
+		errors.Is(err, core.ErrPromiseReleased),
+		errors.Is(err, core.ErrPromisePreempted),
+		errors.Is(err, core.ErrPromiseViolated),
+		errors.Is(err, core.ErrBadRequest),
+		errors.Is(err, core.ErrDegraded),
+		errors.Is(err, transport.ErrOverloaded):
+		return false
+	}
+	return true
+}
+
+// breaker is the clock-driven state machine. All transitions happen under
+// mu; the clock is injected so simulator tests drive cooldowns
+// deterministically.
+type breaker struct {
+	cfg BreakerConfig
+	clk clock.Clock
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(cfg BreakerConfig, clk clock.Clock) *breaker {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &breaker{cfg: cfg.withDefaults(), clk: clk, state: BreakerClosed}
+}
+
+// allow gates one call. nil means proceed (and record the outcome); an
+// error is the immediate ErrNodeUnavailable rejection.
+func (b *breaker) allow(node string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.clk.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return nil // this call is the probe
+		}
+	case BreakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s (retry after %v)", ErrNodeUnavailable, node, b.cfg.Cooldown)
+}
+
+// record feeds one call outcome into the machine.
+func (b *breaker) record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !transportFailure(err) {
+		if err == nil || !errors.Is(err, context.Canceled) {
+			// Any real answer — success or engine verdict — closes the
+			// circuit and resets the count. A canceled call proves nothing
+			// and changes nothing.
+			b.state = BreakerClosed
+			b.fails = 0
+			b.probing = false
+		} else {
+			b.probing = false
+		}
+		return
+	}
+	b.fails++
+	b.probing = false
+	if b.state == BreakerHalfOpen || b.fails >= b.cfg.Threshold {
+		// A failed probe re-opens immediately; a closed circuit opens at
+		// the threshold. Either way the cooldown restarts now.
+		b.state = BreakerOpen
+		b.openedAt = b.clk.Now()
+	}
+}
+
+// snapshot returns the current state, advancing open→half-open lazily so
+// status surfaces don't show "open" past the cooldown.
+func (b *breaker) snapshot() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.clk.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// BreakerPort wraps a NodePort with a circuit breaker. Wrap each port once
+// and hand the same instance to the Engine and the Coordinator so routed
+// traffic and health probes share one view of the node; both constructors
+// reuse an already-wrapped port instead of double-wrapping.
+type BreakerPort struct {
+	NodePort
+	br *breaker
+}
+
+// NewBreakerPort wraps p. clk drives the cooldown; nil means the system
+// clock.
+func NewBreakerPort(p NodePort, cfg BreakerConfig, clk clock.Clock) *BreakerPort {
+	return &BreakerPort{NodePort: p, br: newBreaker(cfg, clk)}
+}
+
+// BreakerState reports the circuit's position (for status surfaces).
+func (p *BreakerPort) BreakerState() BreakerState { return p.br.snapshot() }
+
+// do runs one gated call: fail fast when open, otherwise record the
+// outcome.
+func (p *BreakerPort) do(op func() error) error {
+	if err := p.br.allow(p.NodePort.ID()); err != nil {
+		return err
+	}
+	err := op()
+	p.br.record(err)
+	return err
+}
+
+func (p *BreakerPort) Execute(ctx context.Context, req core.Request) (*core.Response, error) {
+	var out *core.Response
+	err := p.do(func() (err error) {
+		out, err = p.NodePort.Execute(ctx, req)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *BreakerPort) GrantBatch(ctx context.Context, client string, reqs []core.PromiseRequest) ([]core.PromiseResponse, error) {
+	var out []core.PromiseResponse
+	err := p.do(func() (err error) {
+		out, err = p.NodePort.GrantBatch(ctx, client, reqs)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *BreakerPort) CheckBatch(ctx context.Context, client string, ids []string) ([]error, error) {
+	var out []error
+	err := p.do(func() (err error) {
+		out, err = p.NodePort.CheckBatch(ctx, client, ids)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *BreakerPort) Release(ctx context.Context, client string, ids ...string) error {
+	return p.do(func() error { return p.NodePort.Release(ctx, client, ids...) })
+}
+
+func (p *BreakerPort) FedReserve(ctx context.Context, client string, spec core.FedReserveSpec) (*core.FedReserveResult, error) {
+	var out *core.FedReserveResult
+	err := p.do(func() (err error) {
+		out, err = p.NodePort.FedReserve(ctx, client, spec)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *BreakerPort) FedConfirm(ctx context.Context, sessionID string, spec core.FedConfirmSpec) ([]core.GrantedPart, error) {
+	var out []core.GrantedPart
+	err := p.do(func() (err error) {
+		out, err = p.NodePort.FedConfirm(ctx, sessionID, spec)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FedAbort bypasses the fail-fast gate: aborts are the unwind path of a
+// failed grant and must reach the node if it answers at all — but the
+// outcome still feeds the breaker.
+func (p *BreakerPort) FedAbort(ctx context.Context, sessionID string) error {
+	err := p.NodePort.FedAbort(ctx, sessionID)
+	p.br.record(err)
+	return err
+}
+
+// FedSummary is the pre-filter's read; an open breaker fails it fast, and
+// the engine's pre-filter conservatively keeps erroring nodes in scope —
+// the reserve that follows then fails fast too.
+func (p *BreakerPort) FedSummary(ctx context.Context) (core.NodeSummary, error) {
+	var out core.NodeSummary
+	err := p.do(func() (err error) {
+		out, err = p.NodePort.FedSummary(ctx)
+		return
+	})
+	return out, err
+}
+
+// Ping passes through an open breaker — health probes are how a dead
+// node's recovery is noticed — and its outcome feeds the breaker, so a
+// coordinator probe round heals or re-trips the circuit.
+func (p *BreakerPort) Ping(ctx context.Context) error {
+	err := p.NodePort.Ping(ctx)
+	p.br.record(err)
+	return err
+}
+
+// Canary passes through like Ping.
+func (p *BreakerPort) Canary(ctx context.Context) (time.Duration, error) {
+	lat, err := p.NodePort.Canary(ctx)
+	p.br.record(err)
+	return lat, err
+}
+
+var _ NodePort = (*BreakerPort)(nil)
+
+// wrapBreakers wraps every port not already breaker-wrapped. Shared by the
+// Engine and Coordinator constructors.
+func wrapBreakers(ports map[string]NodePort, cfg BreakerConfig, clk clock.Clock) {
+	for id, p := range ports {
+		if _, ok := p.(*BreakerPort); !ok {
+			ports[id] = NewBreakerPort(p, cfg, clk)
+		}
+	}
+}
+
+// breakerStates snapshots the breaker column for a port set; unwrapped
+// ports report no state.
+func breakerStates(ports map[string]NodePort) map[string]BreakerState {
+	out := make(map[string]BreakerState, len(ports))
+	for id, p := range ports {
+		if bp, ok := p.(*BreakerPort); ok {
+			out[id] = bp.BreakerState()
+		}
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/simulator"
+	"repro/internal/core"
+	"repro/internal/failpoint"
+)
+
+const (
+	brThreshold = 3
+	brCooldown  = 5 * time.Second
+)
+
+// newBreakerSim builds a simulated cluster whose engine wraps every port
+// in a circuit breaker driven by the shared fake clock.
+func newBreakerSim(t *testing.T, mode core.PropertyMode) (*simulator.Cluster, *cluster.Engine) {
+	t.Helper()
+	sim, err := simulator.New(simulator.Config{Nodes: []string{"n0", "n1", "n2"}, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cluster.New(cluster.Config{
+		Ports: sim.Ports(),
+		Clock: sim.Clock(),
+		Mode:  mode,
+		Breaker: &cluster.BreakerConfig{
+			Threshold: brThreshold,
+			Cooldown:  brCooldown,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	return sim, eng
+}
+
+// grant1 asks the engine for one unit of pool for an hour.
+func grant1(eng *cluster.Engine, client, pool string) (core.PromiseResponse, error) {
+	return grantN(eng, client, pool, 1)
+}
+
+func grantN(eng *cluster.Engine, client, pool string, n int64) (core.PromiseResponse, error) {
+	resps, err := eng.GrantBatch(bg, client, []core.PromiseRequest{{
+		Predicates: []core.Predicate{core.Quantity(pool, n)},
+		Duration:   time.Hour,
+	}})
+	if err != nil {
+		return core.PromiseResponse{}, err
+	}
+	return resps[0], nil
+}
+
+// TestBreakerTripHalfOpenRecover drives the full circuit lifecycle against
+// a hard-down node, deterministically on the fake clock: consecutive
+// transport failures open the circuit; open means fail-fast (the dead
+// port sees no more calls); the cooldown admits exactly one probe; a
+// failed probe re-opens; a successful probe after restart closes and
+// traffic flows again.
+func TestBreakerTripHalfOpenRecover(t *testing.T) {
+	sim, eng := newBreakerSim(t, core.MatchingMode)
+	pool := nameOwnedBy(t, sim.Ring(), "n1", "pool")
+	if err := sim.CreatePool(pool, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	victim := sim.Node("n1").Port()
+
+	if _, err := grant1(eng, "alice", pool); err != nil {
+		t.Fatalf("healthy grant: %v", err)
+	}
+	if st := eng.BreakerStates()["n1"]; st != cluster.BreakerClosed {
+		t.Fatalf("breaker after healthy grant = %s", st)
+	}
+
+	victim.Crash()
+	// Threshold consecutive failures trip the circuit; each one still
+	// reaches (and bounces off) the dead port.
+	for i := 0; i < brThreshold; i++ {
+		if _, err := grant1(eng, "alice", pool); err == nil {
+			t.Fatalf("grant %d against crashed node succeeded", i)
+		} else if errors.Is(err, cluster.ErrNodeUnavailable) {
+			t.Fatalf("grant %d failed fast before the threshold: %v", i, err)
+		}
+	}
+	if st := eng.BreakerStates()["n1"]; st != cluster.BreakerOpen {
+		t.Fatalf("breaker after %d failures = %s, want open", brThreshold, st)
+	}
+
+	// Open: fail fast, no call reaches the node.
+	before := victim.Calls("GrantBatch")
+	for i := 0; i < 3; i++ {
+		if _, err := grant1(eng, "alice", pool); !errors.Is(err, cluster.ErrNodeUnavailable) {
+			t.Fatalf("grant with open breaker = %v, want ErrNodeUnavailable", err)
+		}
+	}
+	if got := victim.Calls("GrantBatch"); got != before {
+		t.Fatalf("open breaker let %d calls through", got-before)
+	}
+
+	// Cooldown elapses; the next call is the half-open probe — it reaches
+	// the still-dead node, fails, and re-opens the circuit.
+	sim.Advance(brCooldown)
+	if _, err := grant1(eng, "alice", pool); err == nil || errors.Is(err, cluster.ErrNodeUnavailable) {
+		t.Fatalf("half-open probe = %v, want a transport failure that reached the node", err)
+	}
+	if got := victim.Calls("GrantBatch"); got != before+1 {
+		t.Fatalf("half-open admitted %d calls, want exactly 1", got-before)
+	}
+	if _, err := grant1(eng, "alice", pool); !errors.Is(err, cluster.ErrNodeUnavailable) {
+		t.Fatalf("post-probe grant = %v, want fail-fast (circuit re-opened)", err)
+	}
+
+	// Node restarts; after another cooldown the probe succeeds and the
+	// circuit closes for good.
+	victim.Restart()
+	sim.Advance(brCooldown)
+	resp, err := grant1(eng, "alice", pool)
+	if err != nil || !resp.Accepted {
+		t.Fatalf("probe grant after restart = %+v / %v", resp, err)
+	}
+	if st := eng.BreakerStates()["n1"]; st != cluster.BreakerClosed {
+		t.Fatalf("breaker after recovery = %s, want closed", st)
+	}
+	if _, err := grant1(eng, "alice", pool); err != nil {
+		t.Fatalf("grant after recovery: %v", err)
+	}
+}
+
+// TestBreakerIsolatesHealthyOwners is the acceptance scenario: one node
+// hard-down must not affect grants whose pools live on healthy owners —
+// after the trip, the dead node sees zero additional traffic — while
+// cross-node grants touching the dead node fail fast with the typed
+// error, leak nothing, and succeed exactly once after recovery.
+func TestBreakerIsolatesHealthyOwners(t *testing.T) {
+	sim, eng := newBreakerSim(t, core.MatchingMode)
+	healthyPool := nameOwnedBy(t, sim.Ring(), "n0", "hp")
+	deadPool := nameOwnedBy(t, sim.Ring(), "n1", "dp")
+	for _, p := range []string{healthyPool, deadPool} {
+		if err := sim.CreatePool(p, 100, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := sim.Node("n1").Port()
+	victim.Crash()
+	for i := 0; i < brThreshold; i++ {
+		if _, err := grant1(eng, "alice", deadPool); err == nil {
+			t.Fatal("grant against crashed node succeeded")
+		}
+	}
+
+	// Healthy-owner traffic: full speed, and the dead node is never
+	// touched — no timeout can leak into its latency profile.
+	deadCalls := victim.Calls("GrantBatch") + victim.Calls("FedReserve") + victim.Calls("Execute")
+	for i := 0; i < 20; i++ {
+		resp, err := grant1(eng, fmt.Sprintf("client-%d", i), healthyPool)
+		if err != nil || !resp.Accepted {
+			t.Fatalf("healthy grant %d = %+v / %v", i, resp, err)
+		}
+	}
+	if got := victim.Calls("GrantBatch") + victim.Calls("FedReserve") + victim.Calls("Execute"); got != deadCalls {
+		t.Fatalf("healthy-owner grants sent %d calls to the dead node", got-deadCalls)
+	}
+
+	// A spanning grant needs both nodes: it must fail fast on the open
+	// breaker, with nothing reserved or compensation-queued on the
+	// healthy node.
+	_, err := eng.GrantBatch(bg, "bob", []core.PromiseRequest{{
+		Predicates: []core.Predicate{core.Quantity(healthyPool, 2), core.Quantity(deadPool, 2)},
+		Duration:   time.Hour,
+	}})
+	if !errors.Is(err, cluster.ErrNodeUnavailable) {
+		t.Fatalf("spanning grant with dead participant = %v, want ErrNodeUnavailable", err)
+	}
+	if n := eng.PendingCompensations(); n != 0 {
+		t.Fatalf("failed-fast spanning grant queued %d compensations", n)
+	}
+	// Nothing may remain reserved on the healthy node: the full remaining
+	// capacity (100 - 20 held) is still grantable.
+	probe, err := grantN(eng, "probe", healthyPool, 100-20)
+	if err != nil || !probe.Accepted {
+		t.Fatalf("full-capacity probe after failed-fast grant = %+v / %v (leaked reservation?)", probe, err)
+	}
+	if err := eng.Release(bg, "probe", probe.PromiseID); err != nil {
+		t.Fatalf("release probe: %v", err)
+	}
+
+	// Recovery: restart, cooldown, and the same spanning grant lands
+	// exactly once; Reconcile has nothing to do and both nodes audit
+	// clean.
+	victim.Restart()
+	sim.Advance(brCooldown)
+	resps, err := eng.GrantBatch(bg, "bob", []core.PromiseRequest{{
+		Predicates: []core.Predicate{core.Quantity(healthyPool, 2), core.Quantity(deadPool, 2)},
+		Duration:   time.Hour,
+	}})
+	if err != nil || !resps[0].Accepted {
+		t.Fatalf("spanning grant after recovery = %+v / %v", resps, err)
+	}
+	if err := eng.Reconcile(bg); err != nil {
+		t.Fatalf("reconcile after recovery: %v", err)
+	}
+	for _, n := range []string{"n0", "n1"} {
+		rep, err := sim.Node(n).Manager().Audit()
+		if err != nil || !rep.Healthy() {
+			t.Fatalf("node %s audit after recovery: %+v / %v", n, rep, err)
+		}
+	}
+	// Exactly once, capacity-wise: the recovered spanning grant holds 2 on
+	// each pool — one unit more is rejected, the exact remainder accepted.
+	if over, err := grantN(eng, "probe", healthyPool, 100-20-2+1); err != nil || over.Accepted {
+		t.Fatalf("over-capacity probe = %+v / %v, want rejection (grant applied twice or zero times?)", over, err)
+	}
+	if exact, err := grantN(eng, "probe", healthyPool, 100-20-2); err != nil || !exact.Accepted {
+		t.Fatalf("exact-capacity probe on %s = %+v / %v", healthyPool, exact, err)
+	}
+	if exact, err := grantN(eng, "probe", deadPool, 100-2); err != nil || !exact.Accepted {
+		t.Fatalf("exact-capacity probe on %s = %+v / %v", deadPool, exact, err)
+	}
+}
+
+// TestCoordinatorShowsAndHealsBreakers: probe rounds and breakers feed
+// each other — ping failures trip the shared circuit, /cluster/status
+// reports it next to the node state, and the probe that finds the node
+// alive again closes the circuit without waiting for data traffic.
+func TestCoordinatorShowsAndHealsBreakers(t *testing.T) {
+	sim, err := simulator.New(simulator.Config{Nodes: []string{"n0", "n1", "n2"}, Mode: core.MatchingMode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrap once, share between engine and coordinator: data traffic and
+	// probes drive one breaker per node.
+	cfg := cluster.BreakerConfig{Threshold: brThreshold, Cooldown: brCooldown}
+	var shared []cluster.NodePort
+	for _, p := range sim.Ports() {
+		shared = append(shared, cluster.NewBreakerPort(p, cfg, sim.Clock()))
+	}
+	eng, err2 := cluster.New(cluster.Config{Ports: shared, Clock: sim.Clock(), Mode: core.MatchingMode})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Ports: shared, Clock: sim.Clock(), FailThreshold: brThreshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim.Node("n2").Port().Crash()
+	for i := 0; i < brThreshold; i++ {
+		coord.Tick(bg)
+	}
+	var n2 cluster.NodeStatus
+	for _, ns := range coord.Status().Nodes {
+		if ns.ID == "n2" {
+			n2 = ns
+		}
+	}
+	if n2.State != cluster.StateDown || n2.Breaker != cluster.BreakerOpen {
+		t.Fatalf("n2 status = state=%s breaker=%s, want down/open", n2.State, n2.Breaker)
+	}
+	// The engine shares the circuit: data traffic fails fast immediately.
+	pool := nameOwnedBy(t, sim.Ring(), "n2", "pool")
+	if err := sim.CreatePool(pool, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grant1(eng, "alice", pool); !errors.Is(err, cluster.ErrNodeUnavailable) {
+		t.Fatalf("grant via shared open breaker = %v, want ErrNodeUnavailable", err)
+	}
+
+	// After the cooldown the status column shows half-open; the next probe
+	// round reaches the recovered node and closes the circuit.
+	sim.Node("n2").Port().Restart()
+	sim.Advance(brCooldown)
+	if st := coord.BreakerStates()["n2"]; st != cluster.BreakerHalfOpen {
+		t.Fatalf("breaker past cooldown = %s, want half-open", st)
+	}
+	coord.Tick(bg)
+	for _, ns := range coord.Status().Nodes {
+		if ns.ID == "n2" && (ns.State != cluster.StateHealthy || ns.Breaker != cluster.BreakerClosed) {
+			t.Fatalf("n2 after recovery probe = state=%s breaker=%s, want healthy/closed", ns.State, ns.Breaker)
+		}
+	}
+	if resp, err := grant1(eng, "alice", pool); err != nil || !resp.Accepted {
+		t.Fatalf("grant after probe-healed breaker = %+v / %v", resp, err)
+	}
+}
+
+// TestFailpointDrivesBreakerTrip injects transport faults through the
+// failpoint harness instead of a crash: exactly Threshold armed errors on
+// the simulator's GrantBatch hook open the circuit, and once the injection
+// budget is spent a cooldown-probe closes it again — the chaos-drill shape
+// CI's chaos-smoke job runs against a live daemon.
+func TestFailpointDrivesBreakerTrip(t *testing.T) {
+	sim, eng := newBreakerSim(t, core.MatchingMode)
+	pool := nameOwnedBy(t, sim.Ring(), "n0", "pool")
+	if err := sim.CreatePool(pool, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := failpoint.Arm(fmt.Sprintf("sim/GrantBatch=%d*error(injected fault)", brThreshold)); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Reset()
+
+	for i := 0; i < brThreshold; i++ {
+		_, err := grant1(eng, "alice", pool)
+		if err == nil || !strings.Contains(err.Error(), "injected fault") {
+			t.Fatalf("grant %d under armed failpoint = %v, want injected fault", i, err)
+		}
+	}
+	if st := eng.BreakerStates()["n0"]; st != cluster.BreakerOpen {
+		t.Fatalf("breaker after %d injected faults = %s, want open", brThreshold, st)
+	}
+	if _, err := grant1(eng, "alice", pool); !errors.Is(err, cluster.ErrNodeUnavailable) {
+		t.Fatalf("grant with open breaker = %v, want ErrNodeUnavailable", err)
+	}
+
+	// The injection budget is exhausted; the cooldown probe finds the node
+	// healthy and the circuit closes.
+	sim.Advance(brCooldown)
+	if resp, err := grant1(eng, "alice", pool); err != nil || !resp.Accepted {
+		t.Fatalf("probe grant after faults drained = %+v / %v", resp, err)
+	}
+	if st := eng.BreakerStates()["n0"]; st != cluster.BreakerClosed {
+		t.Fatalf("breaker after recovery = %s, want closed", st)
+	}
+}

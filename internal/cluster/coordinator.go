@@ -54,6 +54,12 @@ type CoordinatorConfig struct {
 	SlowThreshold int
 	// ReserveTTL bounds the drain's federated sessions (0 = node default).
 	ReserveTTL time.Duration
+	// Breaker, when non-nil, wraps every port in a per-node circuit
+	// breaker (already-wrapped ports are reused — hand the Engine's
+	// wrapped ports in to share one breaker per node). Probes pass through
+	// an open circuit and their outcomes feed it, so the coordinator's
+	// probe rounds drive breaker recovery.
+	Breaker *BreakerConfig
 }
 
 // MigrationRecord is one slot migration a drain performed.
@@ -64,11 +70,13 @@ type MigrationRecord struct {
 	To      string    `json:"to"`
 }
 
-// NodeStatus is one member's health snapshot.
+// NodeStatus is one member's health snapshot. Breaker stays positioned
+// after State: external scrapers key on the id…state prefix order.
 type NodeStatus struct {
 	ID         string        `json:"id"`
 	URL        string        `json:"url,omitempty"`
 	State      NodeState     `json:"state"`
+	Breaker    BreakerState  `json:"breaker,omitempty"`
 	Fails      int           `json:"fails,omitempty"`
 	Slows      int           `json:"slows,omitempty"`
 	LastCanary time.Duration `json:"last-canary-ns,omitempty"`
@@ -131,6 +139,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	clk := cfg.Clock
 	if clk == nil {
 		clk = clock.System{}
+	}
+	if cfg.Breaker != nil {
+		wrapBreakers(ports, *cfg.Breaker, clk)
 	}
 	c := &Coordinator{
 		ring:          ring,
@@ -480,7 +491,7 @@ func (c *Coordinator) Status() ClusterStatus {
 	out := ClusterStatus{Migrations: append([]MigrationRecord(nil), c.migrations...)}
 	for _, id := range c.order {
 		h := c.health[id]
-		out.Nodes = append(out.Nodes, NodeStatus{
+		ns := NodeStatus{
 			ID:         id,
 			URL:        c.ports[id].URL(),
 			State:      h.state,
@@ -488,9 +499,19 @@ func (c *Coordinator) Status() ClusterStatus {
 			Slows:      h.slows,
 			LastCanary: h.lastCanary,
 			LastError:  h.lastErr,
-		})
+		}
+		if bp, ok := c.ports[id].(*BreakerPort); ok {
+			ns.Breaker = bp.BreakerState()
+		}
+		out.Nodes = append(out.Nodes, ns)
 	}
 	return out
+}
+
+// BreakerStates snapshots each supervised node's circuit state. Empty when
+// the ports carry no breakers.
+func (c *Coordinator) BreakerStates() map[string]BreakerState {
+	return breakerStates(c.ports)
 }
 
 // SetState forces a member's state (tests and operator tooling).
@@ -518,13 +539,17 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		var b strings.Builder
-		fmt.Fprintf(&b, "%-12s %-28s %-10s %8s %12s  %s\n", "NODE", "URL", "STATE", "FAILS", "CANARY", "ERROR")
+		fmt.Fprintf(&b, "%-12s %-28s %-10s %-10s %8s %12s  %s\n", "NODE", "URL", "STATE", "BREAKER", "FAILS", "CANARY", "ERROR")
 		for _, n := range st.Nodes {
 			canary := "-"
 			if n.LastCanary > 0 {
 				canary = n.LastCanary.Round(time.Microsecond).String()
 			}
-			fmt.Fprintf(&b, "%-12s %-28s %-10s %8d %12s  %s\n", n.ID, n.URL, n.State, n.Fails, canary, n.LastError)
+			breaker := "-"
+			if n.Breaker != "" {
+				breaker = string(n.Breaker)
+			}
+			fmt.Fprintf(&b, "%-12s %-28s %-10s %-10s %8d %12s  %s\n", n.ID, n.URL, n.State, breaker, n.Fails, canary, n.LastError)
 		}
 		if len(st.Migrations) > 0 {
 			fmt.Fprintf(&b, "\nmigrations:\n")

@@ -47,6 +47,13 @@ type Config struct {
 	// operator in the loop. Zero leaves Reconcile manual. Requires a Clock
 	// that implements clock.Alarmer (System and Fake both do).
 	ReconcileEvery time.Duration
+	// Breaker, when non-nil, wraps every port in a per-node circuit
+	// breaker (see BreakerPort): consecutive transport failures open the
+	// circuit and calls to that node fail fast with ErrNodeUnavailable
+	// until a cooldown probe succeeds. Ports already wrapped in a
+	// BreakerPort are reused, so an Engine and a Coordinator handed the
+	// same wrapped ports share one breaker per node.
+	Breaker *BreakerConfig
 }
 
 // Engine federates the member nodes into one promises.Engine. Single-node
@@ -107,6 +114,9 @@ func New(cfg Config) (*Engine, error) {
 	if clk == nil {
 		clk = clock.System{}
 	}
+	if cfg.Breaker != nil {
+		wrapBreakers(ports, *cfg.Breaker, clk)
+	}
 	e := &Engine{
 		ring:           ring,
 		order:          ring.Members(),
@@ -144,6 +154,12 @@ func (e *Engine) scheduleReconcile() {
 
 // Ring exposes the ownership ring (tools and tests).
 func (e *Engine) Ring() *Ring { return e.ring }
+
+// BreakerStates snapshots each node's circuit state. Empty when the
+// engine was built without breakers.
+func (e *Engine) BreakerStates() map[string]BreakerState {
+	return breakerStates(e.ports)
+}
 
 // isComposite reports a cluster-composite id.
 func isComposite(id string) bool { return strings.HasPrefix(id, CompositePrefix) }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/failpoint"
 	"repro/internal/predicate"
 )
 
@@ -183,8 +184,17 @@ func (p *Port) errUnreachable() error {
 
 // gate counts the call, enforces reachability, and applies any injected
 // failure. run is the real operation; it executes unless a FailBefore
-// strikes, and its result is discarded when a FailAfter strikes.
+// strikes, and its result is discarded when a FailAfter strikes. A
+// "sim/<op>" failpoint (e.g. "sim/FedConfirm=error(dropped)") strikes
+// before the operation, like FailBefore, letting chaos scripts drive the
+// same faults from outside the test process.
 func (p *Port) gate(op string, run func() error) error {
+	if err := failpoint.Eval("sim/" + op); err != nil {
+		p.mu.Lock()
+		p.calls[op]++
+		p.mu.Unlock()
+		return err
+	}
 	p.mu.Lock()
 	p.calls[op]++
 	if p.crashed || p.partitioned {

@@ -61,11 +61,21 @@ type DurabilityOptions struct {
 	// engine clock when it can alarm. Zero means 1 minute; negative
 	// disables automatic checkpoints (Checkpoint can still be called).
 	CheckpointEvery time.Duration
+	// ReprobeEvery is the degraded-mode log re-probe cadence: after a
+	// persistent WAL failure trips read-only mode, the engine probes the
+	// log on this cadence and restores service when a probe (append +
+	// sync + checkpoint) succeeds. Zero means 5 seconds; negative disables
+	// automatic re-probing (the engine stays degraded until restarted).
+	ReprobeEvery time.Duration
 }
 
 // DefaultCheckpointEvery is the automatic checkpoint cadence when
 // DurabilityOptions.CheckpointEvery is zero.
 const DefaultCheckpointEvery = time.Minute
+
+// DefaultReprobeEvery is the degraded-mode re-probe cadence when
+// DurabilityOptions.ReprobeEvery is zero.
+const DefaultReprobeEvery = 5 * time.Second
 
 // ErrNotDurable is returned by Checkpoint on an engine opened without a
 // data directory.
@@ -78,6 +88,7 @@ const (
 	recEvents = "e" // one published event batch
 	recDir    = "d" // one composite-directory mutation
 	recGen    = "g" // generation marker: a recovered engine reopened this log
+	recProbe  = "p" // degraded-mode liveness probe; replay skips it
 )
 
 // Directory-record operations.
@@ -280,6 +291,7 @@ func decodeRow(tbl string, data []byte) (txn.Row, error) {
 type persistLog struct {
 	log    *wal.Log
 	active atomic.Bool
+	health *engineHealth // tripped on append/sync failure; may be nil
 	errMu  sync.Mutex
 	err    error
 }
@@ -290,12 +302,21 @@ func (p *persistLog) fail(err error) {
 		p.err = err
 	}
 	p.errMu.Unlock()
+	p.health.trip(err.Error())
 }
 
 func (p *persistLog) latched() error {
 	p.errMu.Lock()
 	defer p.errMu.Unlock()
 	return p.err
+}
+
+// clearLatched drops the latched failure after a successful re-probe has
+// re-established (via checkpoint) that the log and the engine state agree.
+func (p *persistLog) clearLatched() {
+	p.errMu.Lock()
+	p.err = nil
+	p.errMu.Unlock()
 }
 
 // appendRecord logs one record while the persist is active.
@@ -314,7 +335,8 @@ func (p *persistLog) appendRecord(rec *walRecord) {
 }
 
 // sync surfaces any latched append failure, then forces the log to stable
-// storage per its policy.
+// storage per its policy. Either failure trips degraded mode: the engine
+// can no longer make commits durable.
 func (p *persistLog) sync() error {
 	if err := p.latched(); err != nil {
 		return err
@@ -322,7 +344,11 @@ func (p *persistLog) sync() error {
 	if !p.active.Load() {
 		return nil
 	}
-	return p.log.Sync()
+	if err := p.log.Sync(); err != nil {
+		p.health.trip(err.Error())
+		return err
+	}
+	return nil
 }
 
 // logCommit is the store commit hook's durability half: one commit record

@@ -38,4 +38,11 @@ var (
 	// ErrBadRequest is returned for malformed requests (no client, empty
 	// predicates, non-positive quantities…).
 	ErrBadRequest = errors.New("core: malformed request")
+	// ErrDegraded is returned for grants, releases and other mutating
+	// requests while the engine is in degraded read-only mode: a persistent
+	// WAL append/sync failure has made new commits undurable, so they are
+	// rejected rather than silently risked. Reads (CheckBatch, Watch,
+	// Stats) keep serving off snapshots; service resumes automatically when
+	// a log re-probe succeeds (see DurabilityOptions.ReprobeEvery).
+	ErrDegraded = errors.New("core: engine degraded (persistence failing); read-only until the log recovers")
 )

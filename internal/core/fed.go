@@ -203,6 +203,11 @@ func (s *ShardedManager) FedReserve(ctx context.Context, client string, spec Fed
 	if client == "" {
 		return nil, fmt.Errorf("%w: missing client", ErrBadRequest)
 	}
+	// A degraded node refuses to open new federated sessions; FedAbort
+	// stays available so peers can clean up sessions already reserved.
+	if err := s.health.reject(); err != nil {
+		return nil, err
+	}
 	reject := func(format string, args ...any) *FedReserveResult {
 		return &FedReserveResult{Reject: &PromiseResponse{Reason: fmt.Sprintf(format, args...)}}
 	}
@@ -447,6 +452,13 @@ func (s *ShardedManager) FedConfirm(ctx context.Context, sessionID string, spec 
 		for _, sh := range sortedKeys(sess.resvs) {
 			sess.resvs[sh].Abort()
 		}
+	}
+	// A node that degraded after reserving refuses the commit and hands
+	// the reservations back; the coordinator node sees a plain failed
+	// confirm and compensates as usual.
+	if err := s.health.reject(); err != nil {
+		abortAll()
+		return nil, err
 	}
 	resvFor := func(sh int) (*Reservation, error) {
 		if r := sess.resvs[sh]; r != nil {

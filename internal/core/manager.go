@@ -131,6 +131,9 @@ type Manager struct {
 	persist    *persistLog
 	busPersist *persistLog
 	durable    *durableEngine
+	// health is the shared degraded-mode latch (nil on a non-durable
+	// engine, which cannot degrade).
+	health *engineHealth
 }
 
 // New creates a Manager, installing its promise, escrow and soft-lock
@@ -263,6 +266,11 @@ type execState struct {
 func (m *Manager) Execute(ctx context.Context, req Request) (*Response, error) {
 	if req.Client == "" {
 		return nil, fmt.Errorf("%w: missing client", ErrBadRequest)
+	}
+	// Degraded read-only mode rejects mutations up front; reads
+	// (CheckBatch, Watch, Stats) never come through here.
+	if err := m.health.reject(); err != nil {
+		return nil, err
 	}
 	if err := m.resolveAction(&req); err != nil {
 		return nil, err

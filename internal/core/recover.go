@@ -109,11 +109,20 @@ type durableEngine struct {
 	busPersist *persistLog
 	shards     []durableShard
 	sharded    *ShardedManager // nil for a single-store engine
+	health     *engineHealth
 
 	// mu serializes checkpoints against each other and against Close.
 	mu        sync.Mutex
 	alarmStop func()
 	closed    bool
+
+	// probeMu guards the degraded-mode re-probe alarm — deliberately not
+	// mu: trips arrive from commit hooks holding the bus or publication
+	// mutexes, which a concurrent checkpointer (holding mu) may be
+	// waiting on.
+	probeMu     sync.Mutex
+	probeStop   func()
+	probeClosed bool
 
 	// checkpoints counts completed checkpoints (cadence tests read it).
 	checkpoints atomic.Uint64
@@ -179,6 +188,9 @@ func openDurable(opts DurabilityOptions, mgrs []*Manager, bus *EventBus, s *Shar
 	if opts.CheckpointEvery == 0 {
 		opts.CheckpointEvery = DefaultCheckpointEvery
 	}
+	if opts.ReprobeEvery == 0 {
+		opts.ReprobeEvery = DefaultReprobeEvery
+	}
 	dir := opts.Dir
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -199,6 +211,14 @@ func openDurable(opts DurabilityOptions, mgrs []*Manager, bus *EventBus, s *Shar
 	d := &durableEngine{
 		dir: dir, busDir: filepath.Join(dir, "bus"),
 		opts: opts, clk: clk, bus: bus, sharded: s,
+		health: &engineHealth{},
+	}
+	d.health.onTrip = d.armReprobe
+	for _, m := range mgrs {
+		m.health = d.health
+	}
+	if s != nil {
+		s.health = d.health
 	}
 
 	// 1. Bus first: sequence numbering must be restored before any store
@@ -244,11 +264,12 @@ func openDurable(opts DurabilityOptions, mgrs []*Manager, bus *EventBus, s *Shar
 			return nil, err
 		}
 		d.shards[i].log = lg
-		p := &persistLog{log: lg}
+		p := &persistLog{log: lg, health: d.health}
 		d.shards[i].m.persist = p
 		d.shards[i].m.busPersist = d.busPersist
 		p.active.Store(true)
 	}
+	d.busPersist.health = d.health
 	d.busPersist.active.Store(true)
 	bus.SetTap(d.busPersist.logEvents)
 	if s != nil {
@@ -563,6 +584,71 @@ func (d *durableEngine) armCadence() {
 	})
 }
 
+// armReprobe keeps one clock alarm scheduled for the next degraded-mode
+// log probe. It is the engineHealth onTrip hook, so the first persistence
+// failure of an episode arms it; each failed probe re-arms. Disabled when
+// the cadence is negative or the clock cannot alarm.
+func (d *durableEngine) armReprobe() {
+	if d.opts.ReprobeEvery <= 0 {
+		return
+	}
+	al, ok := d.clk.(clock.Alarmer)
+	if !ok {
+		return
+	}
+	d.probeMu.Lock()
+	defer d.probeMu.Unlock()
+	if d.probeClosed {
+		return
+	}
+	d.probeStop = al.AfterFunc(d.clk.Now().Add(d.opts.ReprobeEvery), func() {
+		if d.reprobe() {
+			return
+		}
+		d.armReprobe()
+	})
+}
+
+// reprobe tests whether the logs accept writes again: one probe record
+// appended and synced per log, then a full checkpoint. Commits that kept
+// mutating memory while their appends failed (expiries, the request that
+// tripped the latch) left holes in the log; the checkpoint recaptures the
+// complete state, so the latches can be cleared without a future recovery
+// ever replaying an incomplete history. Reports whether service was
+// restored.
+func (d *durableEngine) reprobe() bool {
+	d.probeMu.Lock()
+	closed := d.probeClosed
+	d.probeMu.Unlock()
+	if closed {
+		return true
+	}
+	rec, err := json.Marshal(&walRecord{T: recProbe})
+	if err != nil {
+		return false
+	}
+	probe := func(l *wal.Log) bool {
+		return l.Append(rec) == nil && l.Sync() == nil
+	}
+	for _, sh := range d.shards {
+		if !probe(sh.log) {
+			return false
+		}
+	}
+	if !probe(d.busLog) {
+		return false
+	}
+	if err := d.Checkpoint(); err != nil {
+		return false
+	}
+	for _, sh := range d.shards {
+		sh.m.persist.clearLatched()
+	}
+	d.busPersist.clearLatched()
+	d.health.clear()
+	return true
+}
+
 // close flushes everything, writes a final checkpoint, and closes the logs.
 // Idempotent. Callers should have quiesced requests first: a commit racing
 // past the final state capture survives only in memory.
@@ -577,6 +663,14 @@ func (d *durableEngine) close() error {
 	d.mu.Unlock()
 	if stop != nil {
 		stop()
+	}
+	d.probeMu.Lock()
+	d.probeClosed = true
+	pstop := d.probeStop
+	d.probeStop = nil
+	d.probeMu.Unlock()
+	if pstop != nil {
+		pstop()
 	}
 	// Quiesce the engine's own background activity before the final
 	// capture: deadline alarms would otherwise commit into a closed log.

@@ -125,6 +125,9 @@ type ShardedManager struct {
 	// checkpoint/recovery runtime. Both nil on a non-durable engine.
 	busPersist *persistLog
 	durable    *durableEngine
+	// health is the shared degraded-mode latch (nil on a non-durable
+	// engine, which cannot degrade).
+	health *engineHealth
 }
 
 // managerShard pairs one single-store Manager with the mutex that the
@@ -595,6 +598,12 @@ func (s *ShardedManager) promiseRequestNeedsGlobal(pr PromiseRequest) (bool, err
 func (s *ShardedManager) Execute(ctx context.Context, req Request) (*Response, error) {
 	if req.Client == "" {
 		return nil, fmt.Errorf("%w: missing client", ErrBadRequest)
+	}
+	// Degraded read-only mode rejects mutations before any routing or
+	// locking; the shard managers gate their own entry points too, but
+	// cross-shard paths bypass Manager.Execute.
+	if err := s.health.reject(); err != nil {
+		return nil, err
 	}
 	// A named action's resource params route it to its owning shard, the
 	// same normalisation the transport server applies for wire actions.
@@ -1396,6 +1405,9 @@ func (s *ShardedManager) commitMoves(migs []slotMigration) {
 func (s *ShardedManager) GrantBatch(ctx context.Context, client string, reqs []PromiseRequest) ([]PromiseResponse, error) {
 	if client == "" {
 		return nil, fmt.Errorf("%w: missing client", ErrBadRequest)
+	}
+	if err := s.health.reject(); err != nil {
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

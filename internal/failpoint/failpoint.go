@@ -1,0 +1,196 @@
+// Package failpoint is a tiny fault-injection harness for deterministic
+// robustness tests and chaos smokes. Call sites name a point and evaluate
+// it (Eval); operators arm points with a spec string via the
+// PROMISES_FAILPOINTS environment variable, promised's -failpoints flag,
+// or at runtime through the daemon's /failpoints endpoint.
+//
+// The disabled path costs one atomic load and no allocation, so hooks can
+// live on hot paths (WAL appends, HTTP handlers) without a build tag.
+//
+// Spec grammar — semicolon-separated name=action pairs:
+//
+//	wal/sync=error(disk gone)          fail with an injected error
+//	transport/handle=sleep(50ms)       sleep, then proceed
+//	wal/append=2*error(boom)           fire twice, then disarm
+//	wal/sync=off                       disarm the point
+//
+// Point names are free-form; the convention is "<package>/<site>".
+package failpoint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// armed counts currently armed points; Eval's fast path is a single load
+// of it. It is global on purpose: failpoints are a process-wide test and
+// operations facility, not per-engine configuration.
+var armed atomic.Int64
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+type point struct {
+	err       error         // non-nil: Eval returns it
+	delay     time.Duration // non-zero: Eval sleeps first
+	remaining int           // >0: fire this many times then disarm; <0: unlimited
+}
+
+// Enabled reports whether any failpoint is armed. Hot call sites may use
+// it to skip building Eval arguments.
+func Enabled() bool { return armed.Load() != 0 }
+
+// Eval evaluates the named point. When the point is disarmed (the common
+// case) it returns nil after one atomic load. A sleep action blocks for
+// its duration; an error action returns the injected error.
+func Eval(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p := points[name]
+	if p == nil {
+		mu.Unlock()
+		return nil
+	}
+	err, delay := p.err, p.delay
+	if p.remaining > 0 {
+		p.remaining--
+		if p.remaining == 0 {
+			delete(points, name)
+			armed.Add(-1)
+		}
+	}
+	mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+// Arm parses a spec string (see the package comment) and arms, re-arms or
+// disarms the named points. An empty spec is a no-op. Arming is atomic per
+// pair: a malformed pair reports an error without disturbing points armed
+// by earlier pairs.
+func Arm(spec string) error {
+	for _, pair := range strings.Split(spec, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, action, ok := strings.Cut(pair, "=")
+		name, action = strings.TrimSpace(name), strings.TrimSpace(action)
+		if !ok || name == "" || action == "" {
+			return fmt.Errorf("failpoint: malformed pair %q (want name=action)", pair)
+		}
+		if action == "off" {
+			Disarm(name)
+			continue
+		}
+		p, err := parseAction(name, action)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if _, exists := points[name]; !exists {
+			armed.Add(1)
+		}
+		points[name] = p
+		mu.Unlock()
+	}
+	return nil
+}
+
+// parseAction parses "[N*]error(msg)" or "[N*]sleep(duration)".
+func parseAction(name, action string) (*point, error) {
+	p := &point{remaining: -1}
+	if count, rest, ok := strings.Cut(action, "*"); ok && !strings.Contains(count, "(") {
+		n, err := strconv.Atoi(strings.TrimSpace(count))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("failpoint: bad count in %q", action)
+		}
+		p.remaining = n
+		action = strings.TrimSpace(rest)
+	}
+	verb, arg, ok := strings.Cut(action, "(")
+	if !ok || !strings.HasSuffix(arg, ")") {
+		return nil, fmt.Errorf("failpoint: malformed action %q (want error(msg) or sleep(duration))", action)
+	}
+	arg = strings.TrimSuffix(arg, ")")
+	switch verb {
+	case "error":
+		if arg == "" {
+			arg = "injected"
+		}
+		p.err = &Error{Point: name, Msg: arg}
+	case "sleep":
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return nil, fmt.Errorf("failpoint: bad sleep duration %q: %v", arg, err)
+		}
+		p.delay = d
+	default:
+		return nil, fmt.Errorf("failpoint: unknown action %q (want error or sleep)", verb)
+	}
+	return p, nil
+}
+
+// Disarm removes the named point, if armed.
+func Disarm(name string) {
+	mu.Lock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every point. Tests defer it so armed points never leak
+// across test cases.
+func Reset() {
+	mu.Lock()
+	for name := range points {
+		delete(points, name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// List returns the armed points as "name=state" strings, sorted, for the
+// daemon's /failpoints endpoint.
+func List() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(points))
+	for name, p := range points {
+		var action string
+		switch {
+		case p.err != nil:
+			action = fmt.Sprintf("error(%s)", p.err.(*Error).Msg)
+		default:
+			action = fmt.Sprintf("sleep(%s)", p.delay)
+		}
+		if p.remaining > 0 {
+			action = fmt.Sprintf("%d*%s", p.remaining, action)
+		}
+		out = append(out, name+"="+action)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Error is the error an error-action failpoint injects. Call sites and
+// tests can detect injected faults with errors.As.
+type Error struct {
+	Point string
+	Msg   string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("failpoint %s: %s", e.Point, e.Msg) }

@@ -1,0 +1,96 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	if Enabled() {
+		t.Fatal("enabled with nothing armed")
+	}
+	if err := Eval("never/armed"); err != nil {
+		t.Fatalf("Eval = %v", err)
+	}
+}
+
+func TestArmErrorAndDisarm(t *testing.T) {
+	defer Reset()
+	if err := Arm("wal/sync=error(disk gone)"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("not enabled after Arm")
+	}
+	err := Eval("wal/sync")
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != "wal/sync" || fe.Msg != "disk gone" {
+		t.Fatalf("Eval = %v", err)
+	}
+	if err := Eval("wal/append"); err != nil {
+		t.Fatalf("unarmed sibling fired: %v", err)
+	}
+	if err := Arm("wal/sync=off"); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("still enabled after off")
+	}
+	if err := Eval("wal/sync"); err != nil {
+		t.Fatalf("fired after disarm: %v", err)
+	}
+}
+
+func TestCountedPointAutoDisarms(t *testing.T) {
+	defer Reset()
+	if err := Arm("p=2*error(x)"); err != nil {
+		t.Fatal(err)
+	}
+	if Eval("p") == nil || Eval("p") == nil {
+		t.Fatal("counted point did not fire")
+	}
+	if Eval("p") != nil {
+		t.Fatal("fired past its count")
+	}
+	if Enabled() {
+		t.Fatal("still enabled after count exhausted")
+	}
+}
+
+func TestSleepAction(t *testing.T) {
+	defer Reset()
+	if err := Arm("slow=sleep(10ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Eval("slow"); err != nil {
+		t.Fatalf("sleep returned error: %v", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("sleep action did not sleep")
+	}
+}
+
+func TestMalformedSpecs(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{"noequals", "x=", "=y", "x=explode(now)", "x=sleep(fast)", "x=0*error(y)"} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) accepted", spec)
+		}
+	}
+	if Enabled() {
+		t.Fatal("malformed specs armed something")
+	}
+}
+
+func TestMultiPairSpecAndList(t *testing.T) {
+	defer Reset()
+	if err := Arm("a=error(1); b=sleep(5ms)"); err != nil {
+		t.Fatal(err)
+	}
+	got := List()
+	if len(got) != 2 || got[0] != "a=error(1)" || got[1] != "b=sleep(5ms)" {
+		t.Fatalf("List = %v", got)
+	}
+}

@@ -215,6 +215,14 @@ const (
 	FaultPromiseViolated  = "promise-violated"
 	FaultBadRequest       = "bad-request"
 	FaultActionFailed     = "action-failed"
+	// FaultDegraded maps core.ErrDegraded: the engine is in read-only
+	// degraded mode and rejected a mutation. Retryable once the server's
+	// persistence recovers (HTTP carries it as 503 + Retry-After).
+	FaultDegraded = "degraded"
+	// FaultOverloaded marks a request shed by the server's admission
+	// control rather than rejected by the engine; it never originates from
+	// a core sentinel (transport stamps it directly on 429/503 sheds).
+	FaultOverloaded = "overloaded"
 )
 
 // Encode writes the envelope as indented XML.
@@ -398,6 +406,8 @@ func FaultFromError(err error) *Fault {
 		code = FaultPromiseViolated
 	case errors.Is(err, core.ErrBadRequest):
 		code = FaultBadRequest
+	case errors.Is(err, core.ErrDegraded):
+		code = FaultDegraded
 	}
 	return &Fault{Code: code, Message: err.Error()}
 }
@@ -421,6 +431,8 @@ func ErrorFromFault(f *Fault) error {
 		return fmt.Errorf("%w: %s", core.ErrPromiseViolated, f.Message)
 	case FaultBadRequest:
 		return fmt.Errorf("%w: %s", core.ErrBadRequest, f.Message)
+	case FaultDegraded:
+		return fmt.Errorf("%w: %s", core.ErrDegraded, f.Message)
 	default:
 		return fmt.Errorf("protocol: action failed: %s", f.Message)
 	}

@@ -212,6 +212,7 @@ func TestFaultMapping(t *testing.T) {
 		{core.ErrPromiseReleased, FaultPromiseReleased},
 		{core.ErrPromiseViolated, FaultPromiseViolated},
 		{core.ErrBadRequest, FaultBadRequest},
+		{core.ErrDegraded, FaultDegraded},
 		{errors.New("shipper unavailable"), FaultActionFailed},
 	}
 	for _, c := range cases {

@@ -1,0 +1,296 @@
+package transport
+
+// Server-side admission control: a bounded in-flight limit with a small
+// bounded wait queue in front of the promise endpoint. Under pressure the
+// server sheds load instead of queueing without bound — and it sheds with
+// a policy, not blindly:
+//
+//   - brownout first: once the queue passes half full, tier-0 and
+//     preemptible grant traffic (the workloads that declared themselves
+//     displaceable, see core.PromiseRequest.Priority) is shed with 429
+//     while higher-tier work still queues;
+//   - a request whose context deadline would expire while it waits is
+//     rejected immediately (503) rather than parked on a queue it cannot
+//     survive;
+//   - a full queue sheds everything (503).
+//
+// Every shed carries Retry-After, which transport.Client honors before
+// its exponential backoff. Snapshot-served reads — pure check batches,
+// /stats, /audit, SSE — bypass admission entirely: they are lock-free
+// server-side and are exactly what operators need while shedding.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// ErrOverloaded is the typed rejection for requests shed by admission
+// control, server-side and (reconstructed from the wire fault code)
+// client-side after retries are exhausted.
+var ErrOverloaded = errors.New("transport: server overloaded")
+
+// AdmissionConfig bounds the promise endpoint's concurrency.
+type AdmissionConfig struct {
+	// MaxInFlight is the number of requests processed concurrently; <= 0
+	// disables admission control entirely.
+	MaxInFlight int
+	// MaxQueue is the wait-queue bound; <= 0 means 2*MaxInFlight.
+	// Brownout shedding of tier-0/preemptible grants starts at half
+	// occupancy.
+	MaxQueue int
+	// RetryAfter is the hint stamped on shed responses; <= 0 means 1s.
+	RetryAfter time.Duration
+}
+
+// AdmissionStats is the limiter's activity snapshot, embedded in the
+// /stats JSON document.
+type AdmissionStats struct {
+	// Admitted counts requests that acquired a slot (queued or not).
+	Admitted uint64 `json:"admitted"`
+	// Queued counts admitted requests that had to wait for a slot.
+	Queued uint64 `json:"queued"`
+	// ShedBrownout counts tier-0/preemptible grants shed at half queue.
+	ShedBrownout uint64 `json:"shed_brownout"`
+	// ShedDeadline counts requests rejected because their context
+	// deadline would have expired while queued.
+	ShedDeadline uint64 `json:"shed_deadline"`
+	// ShedFull counts requests shed because the queue was full.
+	ShedFull uint64 `json:"shed_full"`
+	// ShedByTier breaks every shed down by the request's highest grant
+	// tier (key "none" for envelopes with no grants).
+	ShedByTier map[string]uint64 `json:"shed_by_tier,omitempty"`
+	// InFlight and Waiting are instantaneous gauges.
+	InFlight int `json:"in_flight"`
+	Waiting  int `json:"waiting"`
+}
+
+// shedError is the server-side overload rejection: a status, a typed
+// sentinel and the Retry-After hint.
+type shedError struct {
+	status     int
+	retryAfter time.Duration
+	why        string
+}
+
+func (e *shedError) Error() string { return fmt.Sprintf("%v: %s", ErrOverloaded, e.why) }
+func (e *shedError) Unwrap() error { return ErrOverloaded }
+
+// admission is the limiter. The zero/nil limiter admits everything.
+type admission struct {
+	cfg   AdmissionConfig
+	slots chan struct{}
+
+	mu      sync.Mutex
+	waiting int
+	byTier  map[string]uint64
+
+	admitted     atomic.Uint64
+	queuedTotal  atomic.Uint64
+	shedBrownout atomic.Uint64
+	shedDeadline atomic.Uint64
+	shedFull     atomic.Uint64
+
+	// ewmaNs estimates per-request service time for the deadline-aware
+	// queue check.
+	ewmaNs atomic.Int64
+
+	clock func() time.Time // test seam; nil means time.Now
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	if cfg.MaxInFlight <= 0 {
+		return nil
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 2 * cfg.MaxInFlight
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	return &admission{
+		cfg:    cfg,
+		slots:  make(chan struct{}, cfg.MaxInFlight),
+		byTier: make(map[string]uint64),
+	}
+}
+
+func (a *admission) now() time.Time {
+	if a.clock != nil {
+		return a.clock()
+	}
+	return time.Now()
+}
+
+// envelopeClass summarizes what admission needs to know about a request.
+type envelopeClass struct {
+	// checkOnly: a pure read (check-only batch); bypasses admission.
+	checkOnly bool
+	// sheddable: carries grants, every one of them tier-0 or preemptible,
+	// and nothing else that must not be dropped (releases, actions) —
+	// the brownout candidates.
+	sheddable bool
+	// tier is the highest grant tier in the envelope ("none" without
+	// grants), for the shed-by-tier counters.
+	tier string
+}
+
+// classify inspects a decoded envelope. Wire requests carry priority and
+// preemptible directly, so no core conversion is needed here.
+func classify(env *protocol.Envelope) envelopeClass {
+	h := &env.Header
+	var grants []protocol.WireRequest
+	hasOther := h.Environment != nil || env.Body.Action != nil ||
+		h.Reserve != nil || h.Confirm != nil || h.Abort != nil
+	if h.Promise != nil {
+		grants = h.Promise.Requests
+	}
+	if h.Batch != nil {
+		grants = append(grants, h.Batch.Grants...)
+		hasOther = hasOther || len(h.Batch.Releases) > 0 || len(h.Batch.Actions) > 0
+		if len(grants) == 0 && !hasOther && len(h.Batch.Checks) > 0 {
+			return envelopeClass{checkOnly: true, tier: "none"}
+		}
+	}
+	cls := envelopeClass{tier: "none"}
+	if len(grants) == 0 {
+		return cls
+	}
+	maxTier, allLow := grants[0].Priority, true
+	for _, g := range grants {
+		if g.Priority > maxTier {
+			maxTier = g.Priority
+		}
+		if g.Priority > 0 && !g.Preemptible {
+			allLow = false
+		}
+		if len(g.Releases) > 0 {
+			// A grant that piggybacks releases (§4 release-with-grant)
+			// frees capacity; shedding it would hold resources longer.
+			allLow = false
+		}
+	}
+	cls.tier = strconv.Itoa(maxTier)
+	cls.sheddable = allLow && !hasOther
+	return cls
+}
+
+// acquire admits the request, queues it, or sheds it. On success the
+// returned release func must be called when the request finishes; on shed
+// it returns a *shedError.
+func (a *admission) acquire(ctx context.Context, cls envelopeClass) (func(), error) {
+	if a == nil || cls.checkOnly {
+		return func() {}, nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.admit(), nil
+	default:
+	}
+
+	a.mu.Lock()
+	waiting := a.waiting
+	switch {
+	case waiting >= a.cfg.MaxQueue:
+		a.byTier[cls.tier]++
+		a.mu.Unlock()
+		a.shedFull.Add(1)
+		return nil, &shedError{status: http.StatusServiceUnavailable, retryAfter: a.cfg.RetryAfter, why: "queue full"}
+	case cls.sheddable && waiting*2 >= a.cfg.MaxQueue:
+		// Brownout: the displaceable tiers go first, at half occupancy,
+		// so tier-1+ work still has queue room under pressure.
+		a.byTier[cls.tier]++
+		a.mu.Unlock()
+		a.shedBrownout.Add(1)
+		return nil, &shedError{status: http.StatusTooManyRequests, retryAfter: a.cfg.RetryAfter, why: "brownout: low-tier grants shed under pressure"}
+	}
+	// Deadline-aware queuing: estimate the wait from the queue depth and
+	// the observed service time; a request that cannot survive it is
+	// refused now, not after its deadline burns on the queue.
+	if dl, ok := ctx.Deadline(); ok {
+		if est := time.Duration((int64(waiting)/int64(a.cfg.MaxInFlight) + 1) * a.ewmaNs.Load()); est > 0 {
+			if a.now().Add(est).After(dl) {
+				a.byTier[cls.tier]++
+				a.mu.Unlock()
+				a.shedDeadline.Add(1)
+				return nil, &shedError{status: http.StatusServiceUnavailable, retryAfter: a.cfg.RetryAfter, why: "deadline would expire while queued"}
+			}
+		}
+	}
+	a.waiting++
+	a.mu.Unlock()
+	a.queuedTotal.Add(1)
+
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+		return a.admit(), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.waiting--
+		a.byTier[cls.tier]++
+		a.mu.Unlock()
+		a.shedDeadline.Add(1)
+		return nil, &shedError{status: http.StatusServiceUnavailable, retryAfter: a.cfg.RetryAfter, why: "deadline expired while queued"}
+	}
+}
+
+// admit records the admission and returns the slot-release func, which
+// also feeds the service-time estimate.
+func (a *admission) admit() func() {
+	a.admitted.Add(1)
+	start := a.now()
+	return func() {
+		obs := a.now().Sub(start).Nanoseconds()
+		// EWMA with alpha 1/4, nudged so the first observation seeds it.
+		old := a.ewmaNs.Load()
+		if old == 0 {
+			a.ewmaNs.Store(obs)
+		} else {
+			a.ewmaNs.Store(old - old/4 + obs/4)
+		}
+		<-a.slots
+	}
+}
+
+// snapshot returns the stats. Nil-safe: a disabled limiter reports zeros.
+func (a *admission) snapshot() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	st := AdmissionStats{
+		Admitted:     a.admitted.Load(),
+		Queued:       a.queuedTotal.Load(),
+		ShedBrownout: a.shedBrownout.Load(),
+		ShedDeadline: a.shedDeadline.Load(),
+		ShedFull:     a.shedFull.Load(),
+		InFlight:     len(a.slots),
+	}
+	a.mu.Lock()
+	st.Waiting = a.waiting
+	if len(a.byTier) > 0 {
+		st.ShedByTier = make(map[string]uint64, len(a.byTier))
+		for k, v := range a.byTier {
+			st.ShedByTier[k] = v
+		}
+	}
+	a.mu.Unlock()
+	return st
+}
+
+// writeShed renders a shed as its HTTP response: status, Retry-After and
+// the overloaded fault code so clients reconstruct ErrOverloaded.
+func writeShed(w http.ResponseWriter, e *shedError) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((e.retryAfter+time.Second-1)/time.Second)))
+	w.Header().Set(FaultHeader, protocol.FaultOverloaded)
+	http.Error(w, e.Error(), e.status)
+}

@@ -58,7 +58,7 @@ func (s *Server) handleFed(ctx context.Context, w http.ResponseWriter, in *proto
 		}
 		res, err := fe.FedReserve(ctx, in.Header.Client, spec)
 		if err != nil {
-			httpFault(w, err, http.StatusBadRequest)
+			engineFault(w, err)
 			return
 		}
 		out.Header.ReserveResult = protocol.ReserveResultToWire(res)
@@ -70,7 +70,7 @@ func (s *Server) handleFed(ctx context.Context, w http.ResponseWriter, in *proto
 		}
 		parts, err := fe.FedConfirm(ctx, in.Header.Confirm.Session, spec)
 		if err != nil {
-			httpFault(w, err, http.StatusBadRequest)
+			engineFault(w, err)
 			return
 		}
 		out.Header.ConfirmResult = protocol.ConfirmResultToWire(parts)

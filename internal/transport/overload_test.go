@@ -1,0 +1,532 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failpoint"
+	"repro/internal/protocol"
+	"repro/internal/service"
+)
+
+// gatedEngine blocks Execute until the test feeds (or closes) gate, so
+// tests saturate the admission limiter deterministically instead of racing
+// sleeps.
+type gatedEngine struct {
+	Engine
+	gate chan struct{}
+}
+
+func (g *gatedEngine) Execute(ctx context.Context, req core.Request) (*core.Response, error) {
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return g.Engine.Execute(ctx, req)
+}
+
+// newAdmissionServer builds a server with admission control over the given
+// engine and returns both the test listener and the Server (whose limiter
+// the tests inspect directly for deterministic waits).
+func newAdmissionServer(t *testing.T, eng Engine, cfg AdmissionConfig) (*httptest.Server, *Server) {
+	t.Helper()
+	reg := service.NewRegistry()
+	service.RegisterStandard(reg)
+	sv := NewServer(eng, reg, WithAdmission(cfg))
+	srv := httptest.NewServer(sv.Handler())
+	t.Cleanup(srv.Close)
+	return srv, sv
+}
+
+// waitAdmission polls the limiter until cond holds; deterministic in the
+// sense that it waits on observed limiter state, never on sleep guesses.
+func waitAdmission(t *testing.T, sv *Server, what string, cond func(AdmissionStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(sv.admit.snapshot()) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; stats=%+v", what, sv.admit.snapshot())
+}
+
+func grantReq(tier int, preemptible bool) core.PromiseRequest {
+	return core.PromiseRequest{
+		Predicates:  []core.Predicate{core.Quantity("widgets", 1)},
+		Duration:    time.Hour,
+		Priority:    tier,
+		Preemptible: preemptible,
+	}
+}
+
+// TestBrownoutShedsLowTierFirst drives the brownout ladder step by step:
+// with the single slot busy and the queue half full, tier-0 traffic sheds
+// with 429 while tier-1 still queues; a full queue sheds everything with
+// 503; snapshot-served reads flow the whole time.
+func TestBrownoutShedsLowTierFirst(t *testing.T) {
+	m, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seedPool(m, "widgets", 100); err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	srv, sv := newAdmissionServer(t, &gatedEngine{Engine: m, gate: gate}, AdmissionConfig{MaxInFlight: 1, MaxQueue: 2})
+	c := &Client{BaseURL: srv.URL, Client: "soak", Retry: &RetryPolicy{Attempts: 1, Base: time.Millisecond}}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	var queuedErrs [2]error
+	launch := func(slot int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, queuedErrs[slot] = c.Execute(ctx, core.Request{PromiseRequests: []core.PromiseRequest{grantReq(1, false)}})
+		}()
+	}
+	launch(0) // occupies the only slot, blocked in Execute
+	waitAdmission(t, sv, "slot occupied", func(st AdmissionStats) bool { return st.InFlight == 1 })
+	launch(1) // queues: waiting=1, which is half of MaxQueue=2 — brownout territory
+	waitAdmission(t, sv, "one queued", func(st AdmissionStats) bool { return st.Waiting == 1 })
+
+	// Tier-0 grant: shed by brownout with 429 and the typed sentinel.
+	_, err = c.Execute(ctx, core.Request{PromiseRequests: []core.PromiseRequest{grantReq(0, false)}})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("tier-0 grant under brownout = %v, want ErrOverloaded", err)
+	}
+	// A preemptible tier-2 grant is spot capacity: equally sheddable.
+	_, err = c.Execute(ctx, core.Request{PromiseRequests: []core.PromiseRequest{grantReq(2, true)}})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("preemptible grant under brownout = %v, want ErrOverloaded", err)
+	}
+	st := sv.admit.snapshot()
+	if st.ShedBrownout != 2 || st.ShedByTier["0"] != 1 || st.ShedByTier["2"] != 1 {
+		t.Fatalf("brownout stats = %+v, want 2 sheds split over tiers 0 and 2", st)
+	}
+
+	// Tier-1 still queues at half occupancy…
+	var wantQueued atomic.Int32
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := c.Execute(ctx, core.Request{PromiseRequests: []core.PromiseRequest{grantReq(1, false)}})
+		if err == nil && resp.Promises[0].Accepted {
+			wantQueued.Store(1)
+		}
+	}()
+	waitAdmission(t, sv, "two queued", func(st AdmissionStats) bool { return st.Waiting == 2 })
+
+	// …until the queue is full: then even tier-1 sheds, with 503.
+	_, err = c.Execute(ctx, core.Request{PromiseRequests: []core.PromiseRequest{grantReq(1, false)}})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("grant with full queue = %v, want ErrOverloaded", err)
+	}
+	if st := sv.admit.snapshot(); st.ShedFull != 1 {
+		t.Fatalf("full-queue shed not counted: %+v", st)
+	}
+
+	// Reads bypass admission entirely: a pure check batch completes while
+	// the slot is still blocked.
+	checkCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if _, err := c.CheckBatch(checkCtx, "soak", []string{"nonexistent"}); err != nil {
+		t.Fatalf("check batch during saturation: %v", err)
+	}
+	if _, err := c.FetchStats(checkCtx); err != nil {
+		t.Fatalf("stats scrape during saturation: %v", err)
+	}
+
+	close(gate) // drain: the occupant and both queued grants all complete
+	wg.Wait()
+	for slot, err := range queuedErrs {
+		if err != nil {
+			t.Fatalf("queued grant %d failed after drain: %v", slot, err)
+		}
+	}
+	if wantQueued.Load() != 1 {
+		t.Fatal("tier-1 grant queued at half occupancy did not complete accepted")
+	}
+}
+
+// TestDeadlineAwareQueueReject: once the limiter has a service-time
+// estimate, a request whose context deadline cannot survive the projected
+// queue wait is refused immediately rather than parked until it expires.
+func TestDeadlineAwareQueueReject(t *testing.T) {
+	m, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seedPool(m, "widgets", 100); err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	srv, sv := newAdmissionServer(t, &gatedEngine{Engine: m, gate: gate}, AdmissionConfig{MaxInFlight: 1, MaxQueue: 8})
+	c := &Client{BaseURL: srv.URL, Client: "dl", Retry: &RetryPolicy{Attempts: 1, Base: time.Millisecond}}
+	ctx := context.Background()
+
+	// Seed the EWMA with one ~80ms request.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Execute(ctx, core.Request{PromiseRequests: []core.PromiseRequest{grantReq(1, false)}}); err != nil {
+			t.Errorf("seed grant: %v", err)
+		}
+	}()
+	waitAdmission(t, sv, "seed in flight", func(st AdmissionStats) bool { return st.InFlight == 1 })
+	time.Sleep(80 * time.Millisecond)
+	gate <- struct{}{}
+	wg.Wait()
+	if sv.admit.ewmaNs.Load() < int64(50*time.Millisecond) {
+		t.Fatalf("service-time estimate not seeded: %v", time.Duration(sv.admit.ewmaNs.Load()))
+	}
+
+	// Saturate again: one in flight, two queued, all with generous budgets.
+	errs := make([]error, 3)
+	for i := range errs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = func() error {
+				lctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+				defer cancel()
+				_, err := c.Execute(lctx, core.Request{PromiseRequests: []core.PromiseRequest{grantReq(1, false)}})
+				return err
+			}()
+		}()
+		waitAdmission(t, sv, "pipeline fill", func(st AdmissionStats) bool { return st.InFlight == 1 && st.Waiting == i })
+	}
+
+	// Projected wait ≈ 3 × 80ms; a 10ms budget cannot survive it.
+	start := time.Now()
+	tight, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	_, err = c.Execute(tight, core.Request{PromiseRequests: []core.PromiseRequest{grantReq(1, false)}})
+	if elapsed := time.Since(start); !errors.Is(err, ErrOverloaded) || elapsed > 2*time.Second {
+		t.Fatalf("doomed-deadline request: err=%v after %v, want immediate ErrOverloaded", err, elapsed)
+	}
+	if st := sv.admit.snapshot(); st.ShedDeadline != 1 {
+		t.Fatalf("deadline shed not counted: %+v", st)
+	}
+
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("patient request %d failed after drain: %v", i, err)
+		}
+	}
+}
+
+// TestOverloadSoak is the satellite soak: many clients against a limit-2
+// server with a slow engine. Every request either lands (and matches what
+// an unthrottled engine would have decided — zero divergence) or sheds
+// with the typed overload error; shed counts reconcile exactly by tier,
+// and no request is left waiting past its budget.
+func TestOverloadSoak(t *testing.T) {
+	const (
+		clients  = 20
+		perEach  = 3
+		total    = clients * perEach
+		capacity = 10 * total // every admitted grant must accept
+	)
+	m, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seedPool(m, "widgets", capacity); err != nil {
+		t.Fatal(err)
+	}
+	// Slow-but-progressing engine: the failpoint sleep holds an admission
+	// slot for 10ms per request, manufacturing sustained overload.
+	defer failpoint.Reset()
+	if err := failpoint.Arm("transport/handle=sleep(10ms)"); err != nil {
+		t.Fatal(err)
+	}
+	srv, sv := newAdmissionServer(t, m, AdmissionConfig{MaxInFlight: 2, MaxQueue: 4})
+
+	var accepted, overloaded, other atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &Client{BaseURL: srv.URL, Client: fmt.Sprintf("soak-%d", g), Retry: &RetryPolicy{Attempts: 1, Base: time.Millisecond}}
+			for i := 0; i < perEach; i++ {
+				// Every second request is tier-0 (brownout bait), the rest
+				// tier-1.
+				tier := (g + i) % 2
+				lctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				resp, err := c.Execute(lctx, core.Request{PromiseRequests: []core.PromiseRequest{grantReq(tier, false)}})
+				cancel()
+				switch {
+				case err == nil && resp.Promises[0].Accepted:
+					accepted.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					overloaded.Add(1)
+				default:
+					other.Add(1)
+					t.Errorf("request diverged: resp=%+v err=%v", resp, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := accepted.Load() + overloaded.Load(); got != total || other.Load() != 0 {
+		t.Fatalf("accepted=%d + overloaded=%d = %d, want %d with 0 divergent", accepted.Load(), overloaded.Load(), got, total)
+	}
+	// Unthrottled comparison: capacity covers every request, so an
+	// unthrottled engine accepts all of them — any admitted-but-rejected
+	// request would be divergence, counted above. The engine's own grant
+	// count must equal the wire-level accepted count exactly.
+	if usage := countGrants(t, m); usage != accepted.Load() {
+		t.Fatalf("engine recorded %d grants, wire saw %d accepts", usage, accepted.Load())
+	}
+	st := sv.admit.snapshot()
+	sheds := st.ShedBrownout + st.ShedDeadline + st.ShedFull
+	if int64(sheds) != overloaded.Load() {
+		t.Fatalf("limiter counted %d sheds, clients saw %d", sheds, overloaded.Load())
+	}
+	var byTier uint64
+	for _, n := range st.ShedByTier {
+		byTier += n
+	}
+	if byTier != sheds {
+		t.Fatalf("per-tier shed counts sum to %d, want %d (%+v)", byTier, sheds, st.ShedByTier)
+	}
+	if st.Admitted != uint64(accepted.Load()) {
+		t.Fatalf("admitted=%d, accepted=%d", st.Admitted, accepted.Load())
+	}
+	if overloaded.Load() == 0 {
+		t.Fatal("soak produced no sheds; limiter never engaged")
+	}
+	t.Logf("soak: accepted=%d overloaded=%d queued=%d sheds=%+v", accepted.Load(), overloaded.Load(), st.Queued, st.ShedByTier)
+}
+
+// countGrants tallies the engine's granted promises for the soak's
+// divergence check.
+func countGrants(t *testing.T, m *core.Manager) int64 {
+	t.Helper()
+	return m.Stats().Grants
+}
+
+// TestRetryAfterHonored pins the satellite contract: a shed response's
+// Retry-After overrides the client's own (here deliberately huge) backoff,
+// and the typed overload error survives to the final wrapped failure.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set(FaultHeader, protocol.FaultOverloaded)
+			http.Error(w, "transport: server overloaded: queue full", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		_ = protocol.Encode(w, &protocol.Envelope{})
+	}))
+	defer srv.Close()
+
+	// Base=30s: if the client used its own backoff the test would time
+	// out; honoring Retry-After=1s finishes promptly.
+	c := &Client{BaseURL: srv.URL, Client: "ra", Retry: &RetryPolicy{Attempts: 2, Base: 30 * time.Second}}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Do(ctx, &protocol.Envelope{}); err != nil {
+		t.Fatalf("Do after retry = %v", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 900*time.Millisecond || elapsed > 5*time.Second {
+		t.Fatalf("retry waited %v, want ~1s from Retry-After", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+// TestOverloadErrorTyped: a client that exhausts its retries against a
+// shedding server surfaces ErrOverloaded through the giving-up wrapper.
+func TestOverloadErrorTyped(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.Header().Set(FaultHeader, protocol.FaultOverloaded)
+		http.Error(w, "transport: server overloaded: queue full", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, Client: "typed", Retry: &RetryPolicy{Attempts: 2, Base: time.Millisecond}}
+	_, err := c.Do(context.Background(), &protocol.Envelope{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("exhausted retries = %v, want ErrOverloaded", err)
+	}
+}
+
+// TestDegradedOverTheWire: a degraded engine's rejects cross the wire as
+// 503 + fault code and come back as core.ErrDegraded, while /readyz flips
+// and /healthz stays green.
+func TestDegradedOverTheWire(t *testing.T) {
+	m, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seedPool(m, "widgets", 10); err != nil {
+		t.Fatal(err)
+	}
+	eng := &fakeDegraded{Engine: m}
+	reg := service.NewRegistry()
+	srv := httptest.NewServer(NewServer(eng, reg).Handler())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, Client: "deg", Retry: &RetryPolicy{Attempts: 2, Base: time.Millisecond}}
+
+	if _, err := c.Execute(context.Background(), core.Request{PromiseRequests: []core.PromiseRequest{grantReq(1, false)}}); !errors.Is(err, core.ErrDegraded) {
+		t.Fatalf("grant against degraded daemon = %v, want core.ErrDegraded", err)
+	}
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "disk gone") {
+		t.Fatalf("/readyz = %d %q, want 503 with reason", resp.StatusCode, body)
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 ok", resp.StatusCode, body)
+	}
+}
+
+// fakeDegraded reports permanent degradation and rejects mutations the way
+// a latched engine does, without needing a real WAL failure.
+type fakeDegraded struct {
+	Engine
+}
+
+func (f *fakeDegraded) Health() core.Health {
+	return core.Health{Degraded: true, Reason: "disk gone"}
+}
+
+func (f *fakeDegraded) Execute(ctx context.Context, req core.Request) (*core.Response, error) {
+	return nil, fmt.Errorf("%w: disk gone", core.ErrDegraded)
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestFailpointEndpoint: the HTTP harness arms, lists and clears
+// failpoints — and is absent unless explicitly enabled.
+func TestFailpointEndpoint(t *testing.T) {
+	defer failpoint.Reset()
+	m, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seedPool(m, "widgets", 10); err != nil {
+		t.Fatal(err)
+	}
+	reg := service.NewRegistry()
+	srv := httptest.NewServer(NewServer(m, reg, WithFailpointEndpoint()).Handler())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, Client: "fp", Retry: &RetryPolicy{Attempts: 1, Base: time.Millisecond}}
+
+	post := func(spec string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/failpoints", "text/plain", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post("transport/handle=error(injected boom)"); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("arm = %d", resp.StatusCode)
+	}
+	if _, err := c.Execute(context.Background(), core.Request{PromiseRequests: []core.PromiseRequest{grantReq(1, false)}}); err == nil || !strings.Contains(err.Error(), "injected boom") {
+		t.Fatalf("armed handler failpoint = %v, want injected boom", err)
+	}
+	resp, err := http.Get(srv.URL + "/failpoints")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); !strings.Contains(body, "transport/handle=error(injected boom)") {
+		t.Fatalf("list = %q", body)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/failpoints", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if _, err := c.Execute(context.Background(), core.Request{PromiseRequests: []core.PromiseRequest{grantReq(1, false)}}); err != nil {
+		t.Fatalf("grant after reset: %v", err)
+	}
+	if resp := post("nonsense"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed spec = %d, want 400", resp.StatusCode)
+	}
+
+	// Without the option the endpoint does not exist.
+	plain := httptest.NewServer(NewServer(m, reg).Handler())
+	defer plain.Close()
+	resp2, err := http.Post(plain.URL+"/failpoints", "text/plain", strings.NewReader("x=error(y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode == http.StatusNoContent {
+		t.Fatal("failpoint endpoint reachable without WithFailpointEndpoint")
+	}
+}
+
+// TestDropResponseFailpoint: a dropped response is the mid-flight failure
+// class — retried for repeat-safe reads, failed fast for grants.
+func TestDropResponseFailpoint(t *testing.T) {
+	defer failpoint.Reset()
+	srv, _ := newTestServer(t, func(m *core.Manager) error { return seedPool(m, "widgets", 10) })
+	c := &Client{BaseURL: srv.URL, Client: "drop", Retry: &RetryPolicy{Attempts: 3, Base: time.Millisecond}}
+	ctx := context.Background()
+
+	if err := failpoint.Arm("transport/drop-response=1*error(peer response dropped)"); err != nil {
+		t.Fatal(err)
+	}
+	// A check batch is repeat-safe: the dropped response burns one attempt
+	// and the retry succeeds.
+	if _, err := c.CheckBatch(ctx, "drop", []string{"whatever"}); err != nil {
+		t.Fatalf("repeat-safe check after one dropped response: %v", err)
+	}
+
+	if err := failpoint.Arm("transport/drop-response=1*error(peer response dropped)"); err != nil {
+		t.Fatal(err)
+	}
+	// A grant may have committed server-side: it must fail fast, not
+	// retry into a double grant.
+	if _, err := c.Execute(ctx, core.Request{PromiseRequests: []core.PromiseRequest{grantReq(1, false)}}); err == nil || !strings.Contains(err.Error(), "peer response dropped") {
+		t.Fatalf("grant with dropped response = %v, want fail-fast drop error", err)
+	}
+}

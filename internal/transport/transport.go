@@ -25,12 +25,14 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/failpoint"
 	"repro/internal/protocol"
 	"repro/internal/service"
 )
@@ -61,24 +63,54 @@ type Engine interface {
 
 // Server adapts a promise manager and a service registry to HTTP.
 type Server struct {
-	manager  Engine
-	registry *service.Registry
+	manager    Engine
+	registry   *service.Registry
+	admit      *admission
+	failpoints bool
+}
+
+// ServerOption configures optional Server behavior.
+type ServerOption func(*Server)
+
+// WithAdmission enables admission control on the promise endpoint: a
+// bounded in-flight limit, a bounded wait queue, and priority-aware load
+// shedding (see AdmissionConfig). Read endpoints are unaffected.
+func WithAdmission(cfg AdmissionConfig) ServerOption {
+	return func(s *Server) { s.admit = newAdmission(cfg) }
+}
+
+// WithFailpointEndpoint exposes the failpoint harness over HTTP — POST
+// /failpoints arms a spec, GET lists, DELETE resets — for chaos drills
+// against a live daemon. Never enable it on a production listener.
+func WithFailpointEndpoint() ServerOption {
+	return func(s *Server) { s.failpoints = true }
 }
 
 // NewServer returns a Server for manager and registry.
-func NewServer(manager Engine, registry *service.Registry) *Server {
-	return &Server{manager: manager, registry: registry}
+func NewServer(manager Engine, registry *service.Registry, opts ...ServerOption) *Server {
+	s := &Server{manager: manager, registry: registry}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Handler returns the http.Handler exposing the promise endpoint plus the
 // read-only operational endpoints:
 //
-//	GET /stats   — the manager's activity counters
+//	GET /stats   — the manager's activity counters (+ admission stats)
 //	GET /audit   — a full consistency audit (500 when unhealthy)
 //	GET /events  — the promise lifecycle event stream as SSE (events.go)
+//	GET /healthz — process liveness (always 200)
+//	GET /readyz  — engine readiness (503 while degraded read-only)
 //
 // /stats and /audit render human-readable text by default and structured
-// JSON with ?format=json, for machine scrapers.
+// JSON with ?format=json, for machine scrapers. With WithFailpointEndpoint,
+// /failpoints (POST spec / GET list / DELETE reset) drives chaos drills.
+//
+// The health and read endpoints bypass admission control deliberately:
+// they are what operators and load balancers rely on while the promise
+// endpoint is shedding.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+Endpoint, s.handle)
@@ -86,11 +118,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.manager.Stats()
 		if wantsJSON(r) {
+			if s.admit != nil {
+				adm := s.admit.snapshot()
+				writeJSON(w, http.StatusOK, struct {
+					core.Stats
+					Admission *AdmissionStats `json:"admission"`
+				}{st, &adm})
+				return
+			}
 			writeJSON(w, http.StatusOK, st)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, st)
+		if s.admit != nil {
+			adm := s.admit.snapshot()
+			fmt.Fprintf(w, "admission: admitted=%d queued=%d shed(brownout=%d deadline=%d full=%d) in_flight=%d waiting=%d\n",
+				adm.Admitted, adm.Queued, adm.ShedBrownout, adm.ShedDeadline, adm.ShedFull, adm.InFlight, adm.Waiting)
+		}
 	})
 	mux.HandleFunc("GET /audit", func(w http.ResponseWriter, r *http.Request) {
 		rep, err := s.manager.Audit()
@@ -111,7 +156,66 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, rep)
 	})
 	mux.HandleFunc("GET "+SummaryEndpoint, s.handleSummary)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: the process answers. Readiness lives at /readyz.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	if s.failpoints {
+		mux.HandleFunc("POST /failpoints", func(w http.ResponseWriter, r *http.Request) {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := failpoint.Arm(strings.TrimSpace(string(body))); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		})
+		mux.HandleFunc("GET /failpoints", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, p := range failpoint.List() {
+				fmt.Fprintln(w, p)
+			}
+		})
+		mux.HandleFunc("DELETE /failpoints", func(w http.ResponseWriter, r *http.Request) {
+			failpoint.Reset()
+			w.WriteHeader(http.StatusNoContent)
+		})
+	}
 	return mux
+}
+
+// handleReady serves GET /readyz: 200 while the engine accepts mutations,
+// 503 with the degradation reason while it is read-only (core.ErrDegraded).
+// Engines that don't report health (e.g. pure in-memory) are always ready.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	var h core.Health
+	if hr, ok := s.manager.(core.HealthReporter); ok {
+		h = hr.Health()
+	}
+	status := http.StatusOK
+	if h.Degraded {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	if wantsJSON(r) {
+		writeJSON(w, status, struct {
+			Ready bool `json:"ready"`
+			core.Health
+		}{!h.Degraded, h})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	if h.Degraded {
+		fmt.Fprintf(w, "degraded: %s\n", h.Reason)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // httpFault reports a top-level error, stamping its protocol fault code in
@@ -121,6 +225,34 @@ func httpFault(w http.ResponseWriter, err error, status int) {
 		w.Header().Set(FaultHeader, f.Code)
 	}
 	http.Error(w, err.Error(), status)
+}
+
+// engineFault classifies an engine error onto its HTTP status — the one
+// sentinel→status mapping shared by the promise, batch and federation
+// handlers — then reports it through httpFault so remote callers rebuild
+// the same typed error a local engine would have returned.
+func engineFault(w http.ResponseWriter, err error) {
+	var status int
+	switch {
+	case errors.Is(err, core.ErrDegraded):
+		// The server's disk is the problem, not the request: 503 with a
+		// retry hint, so clients back off and retry like an admission shed.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrPromiseNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, core.ErrBadRequest),
+		errors.Is(err, core.ErrPromiseExpired),
+		errors.Is(err, core.ErrPromiseReleased),
+		errors.Is(err, core.ErrPromisePreempted),
+		errors.Is(err, core.ErrPromiseViolated):
+		status = http.StatusBadRequest
+	default:
+		// Unclassified engine failures (e.g. a commit that missed
+		// durability) are server faults.
+		status = http.StatusInternalServerError
+	}
+	httpFault(w, err, status)
 }
 
 // applyDeadline re-imposes the client's remaining call budget (stamped in
@@ -169,6 +301,27 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	// Admission control gates every mutating envelope; pure check batches
+	// classify as reads and pass straight through (they are served off
+	// snapshots and must keep flowing during brownout).
+	done, admErr := s.admit.acquire(ctx, classify(in))
+	if admErr != nil {
+		var shed *shedError
+		if errors.As(admErr, &shed) {
+			writeShed(w, shed)
+			return
+		}
+		http.Error(w, admErr.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer done()
+	if err := failpoint.Eval("transport/handle"); err != nil {
+		// A failpoint-injected handler fault, for chaos drills; the sleep
+		// action holds an admission slot, which is how the harness
+		// manufactures overload deterministically.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	if in.Header.Batch != nil {
 		s.handleBatch(ctx, w, in)
 		return
@@ -201,9 +354,7 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 
 	resp, err := s.manager.Execute(ctx, req)
 	if err != nil {
-		// Malformed request (e.g. missing client); internal failures also
-		// land here and surface as 500s via the fault-free error path.
-		httpFault(w, err, http.StatusBadRequest)
+		engineFault(w, err)
 		return
 	}
 
@@ -275,7 +426,7 @@ func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, in *pro
 	if len(reqs) > 0 {
 		resps, err := s.manager.GrantBatch(ctx, client, reqs)
 		if err != nil {
-			httpFault(w, err, http.StatusBadRequest)
+			engineFault(w, err)
 			return
 		}
 		for _, pr := range resps {
@@ -310,7 +461,7 @@ func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, in *pro
 		}
 		errs, err := s.manager.CheckBatch(ctx, client, ids)
 		if err != nil {
-			httpFault(w, err, http.StatusBadRequest)
+			engineFault(w, err)
 			return
 		}
 		for i, err := range errs {
@@ -417,6 +568,11 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
 		d = time.Second
 	}
 	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	return sleepFor(ctx, d)
+}
+
+// sleepFor waits d, honoring ctx.
+func sleepFor(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -425,6 +581,46 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// parseRetryAfter reads a Retry-After header: delay-seconds or an
+// HTTP-date. 0 means absent or unusable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// refusal consumes a 429/503 response — the server refused the request
+// before processing it, so any shape may retry. The stamped fault code
+// rebuilds the typed error (ErrOverloaded for admission sheds, ErrDegraded
+// for the read-only engine), and the server's Retry-After hint replaces
+// the client's own backoff for the next attempt.
+func refusal(resp *http.Response) (error, time.Duration) {
+	var msg bytes.Buffer
+	_, _ = msg.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := fmt.Sprintf("transport: %s: %s", resp.Status, bytes.TrimSpace(msg.Bytes()))
+	err := errors.New(text)
+	switch code := resp.Header.Get(FaultHeader); code {
+	case "":
+	case protocol.FaultOverloaded:
+		// ErrOverloaded lives here, not in protocol (which cannot import
+		// transport), so the code maps outside ErrorFromFault.
+		err = fmt.Errorf("%w: %s", ErrOverloaded, text)
+	default:
+		err = protocol.ErrorFromFault(&protocol.Fault{Code: code, Message: text})
+	}
+	return err, parseRetryAfter(resp.Header.Get("Retry-After"))
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -474,9 +670,18 @@ func (c *Client) Do(ctx context.Context, env *protocol.Envelope) (*protocol.Enve
 	safe := repeatSafe(env)
 	pol := c.retryPolicy()
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
 		if attempt > 0 {
-			if err := sleepBackoff(ctx, pol.Base, attempt); err != nil {
+			// A server-provided Retry-After overrides the client's own
+			// backoff: the server knows when it expects to have capacity.
+			wait := sleepBackoff
+			if retryAfter > 0 {
+				d := retryAfter
+				retryAfter = 0
+				wait = func(ctx context.Context, _ time.Duration, _ int) error { return sleepFor(ctx, d) }
+			}
+			if err := wait(ctx, pol.Base, attempt); err != nil {
 				return nil, fmt.Errorf("transport: %w (last error: %v)", err, lastErr)
 			}
 		}
@@ -486,6 +691,15 @@ func (c *Client) Do(ctx context.Context, env *protocol.Envelope) (*protocol.Enve
 		}
 		httpReq.Header.Set("Content-Type", "application/xml")
 		httpResp, err := c.httpClient().Do(httpReq)
+		if err == nil {
+			if fpErr := failpoint.Eval("transport/drop-response"); fpErr != nil {
+				// Chaos drill: the response is dropped on the floor, as if
+				// the connection died after the server processed the
+				// request — the mid-flight class, retryable only when safe.
+				httpResp.Body.Close()
+				err = fmt.Errorf("%w: %v", io.ErrUnexpectedEOF, fpErr)
+			}
+		}
 		if err != nil {
 			if ctx.Err() == nil && (transientDial(err) || (safe && transientMidflight(err))) {
 				lastErr = err
@@ -493,13 +707,10 @@ func (c *Client) Do(ctx context.Context, env *protocol.Envelope) (*protocol.Enve
 			}
 			return nil, err
 		}
-		if httpResp.StatusCode == http.StatusServiceUnavailable {
-			// 503 means the server refused before processing — retryable
-			// for every request shape.
-			var msg bytes.Buffer
-			_, _ = msg.ReadFrom(httpResp.Body)
-			httpResp.Body.Close()
-			lastErr = fmt.Errorf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes()))
+		if httpResp.StatusCode == http.StatusServiceUnavailable || httpResp.StatusCode == http.StatusTooManyRequests {
+			// 503 and 429 mean the server refused before processing —
+			// retryable for every request shape.
+			lastErr, retryAfter = refusal(httpResp)
 			continue
 		}
 		if httpResp.StatusCode != http.StatusOK {
@@ -804,9 +1015,16 @@ func (c *Client) Audit() (*core.AuditReport, error) {
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	pol := c.retryPolicy()
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
 		if attempt > 0 {
-			if err := sleepBackoff(ctx, pol.Base, attempt); err != nil {
+			if retryAfter > 0 {
+				d := retryAfter
+				retryAfter = 0
+				if err := sleepFor(ctx, d); err != nil {
+					return fmt.Errorf("transport: %w (last error: %v)", err, lastErr)
+				}
+			} else if err := sleepBackoff(ctx, pol.Base, attempt); err != nil {
 				return fmt.Errorf("transport: %w (last error: %v)", err, lastErr)
 			}
 		}
@@ -822,11 +1040,8 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 			}
 			return err
 		}
-		if httpResp.StatusCode == http.StatusServiceUnavailable {
-			var msg bytes.Buffer
-			_, _ = msg.ReadFrom(httpResp.Body)
-			httpResp.Body.Close()
-			lastErr = fmt.Errorf("transport: %s: %s", httpResp.Status, bytes.TrimSpace(msg.Bytes()))
+		if httpResp.StatusCode == http.StatusServiceUnavailable || httpResp.StatusCode == http.StatusTooManyRequests {
+			lastErr, retryAfter = refusal(httpResp)
 			continue
 		}
 		if !strings.HasPrefix(httpResp.Header.Get("Content-Type"), "application/json") {

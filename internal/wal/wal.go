@@ -32,6 +32,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/failpoint"
 )
 
 // SyncPolicy selects when appended records are forced to stable storage.
@@ -226,6 +228,9 @@ func (l *Log) Append(payload []byte) error {
 	if l.closed {
 		return ErrClosed
 	}
+	if err := failpoint.Eval("wal/append"); err != nil {
+		return err
+	}
 	if _, err := l.f.Write(buf); err != nil {
 		return err
 	}
@@ -261,6 +266,9 @@ func (l *Log) fsync() error {
 	defer l.syncMu.Unlock()
 	if l.synced >= target {
 		return nil // a concurrent committer's fsync already covered us
+	}
+	if err := failpoint.Eval("wal/sync"); err != nil {
+		return err
 	}
 	if err := f.Sync(); err != nil {
 		return err

@@ -35,6 +35,7 @@ type options struct {
 	syncPolicySet   bool
 	syncEvery       time.Duration
 	checkpointEvery time.Duration
+	reprobeEvery    time.Duration
 
 	remoteURL  string
 	clientID   string
@@ -141,6 +142,13 @@ func WithSyncEvery(d time.Duration) Option { return func(o *options) { o.syncEve
 // concrete engine still works). Requires WithDataDir.
 func WithCheckpointEvery(d time.Duration) Option { return func(o *options) { o.checkpointEvery = d } }
 
+// WithReprobeEvery sets how often a degraded engine — one whose log writes
+// started failing, rejecting mutations with ErrDegraded while reads stay up
+// — probes the data directory for recovery. A successful probe restores
+// full service automatically. Zero means 5 seconds. Requires WithDataDir;
+// see docs/operations.md, "Overload & degraded mode".
+func WithReprobeEvery(d time.Duration) Option { return func(o *options) { o.reprobeEvery = d } }
+
 // WithRemote makes Open return a client engine for the promised daemon at
 // url (e.g. "http://localhost:8642") instead of constructing local state.
 // Combine with WithClientID and WithHTTPClient only.
@@ -228,8 +236,8 @@ func Open(opts ...Option) (Engine, error) {
 	if o.httpClient != nil {
 		return nil, fmt.Errorf("promises: WithHTTPClient requires WithRemote")
 	}
-	if o.dataDir == "" && (o.syncPolicySet || o.syncEvery != 0 || o.checkpointEvery != 0) {
-		return nil, fmt.Errorf("promises: sync and checkpoint options require WithDataDir")
+	if o.dataDir == "" && (o.syncPolicySet || o.syncEvery != 0 || o.checkpointEvery != 0 || o.reprobeEvery != 0) {
+		return nil, fmt.Errorf("promises: sync, checkpoint, and reprobe options require WithDataDir")
 	}
 	if o.dataDir != "" {
 		dur := core.DurabilityOptions{
@@ -237,6 +245,7 @@ func Open(opts ...Option) (Engine, error) {
 			Sync:            o.syncPolicy,
 			SyncEvery:       o.syncEvery,
 			CheckpointEvery: o.checkpointEvery,
+			ReprobeEvery:    o.reprobeEvery,
 		}
 		if o.shards > 1 || o.nodeID != "" {
 			return core.OpenDurableSharded(core.ShardedConfig{
